@@ -1,0 +1,154 @@
+//! Machine geometry configuration.
+
+use hyperap_model::tech::TechParams;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and technology of a simulated Hyper-AP machine.
+///
+/// The paper's full chip (131,072 PEs) is impractical to simulate
+/// functionally; simulations use scaled-down geometries and chip-level
+/// numbers are obtained by scaling per-PE results with
+/// [`hyperap_model::AreaModel`] (the paper itself computes performance
+/// analytically from compilation results, §VI-A3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// Number of instruction-stream groups (the 8-bit group mask bounds
+    /// banks-per-group gating, §IV-A11).
+    pub groups: usize,
+    /// Banks per group.
+    pub banks_per_group: usize,
+    /// Subarrays per bank.
+    pub subarrays_per_bank: usize,
+    /// PEs per subarray.
+    pub pes_per_subarray: usize,
+    /// Word rows per PE (SIMD slots).
+    pub rows: usize,
+    /// Bit columns per PE.
+    pub cols: usize,
+    /// Memory technology parameters.
+    pub tech: TechParams,
+    /// Optional explicit PE-mesh shape for `MovR` (rows, cols); when unset
+    /// the PEs form a near-square grid.
+    pub mesh: Option<(usize, usize)>,
+}
+
+impl ArchConfig {
+    /// A small geometry for tests and examples: 2 groups × 1 bank ×
+    /// 2 subarrays × 2 PEs of 16×64.
+    pub fn tiny() -> Self {
+        ArchConfig {
+            groups: 2,
+            banks_per_group: 1,
+            subarrays_per_bank: 2,
+            pes_per_subarray: 2,
+            rows: 16,
+            cols: 64,
+            tech: TechParams::rram(),
+            mesh: None,
+        }
+    }
+
+    /// A single-group, single-PE machine with full 256-column PEs — the
+    /// geometry used for the peak-performance synthetic benchmarks (§VI-C:
+    /// "arithmetic operations that are performed in one SIMD slot ... no
+    /// inter-PE communication").
+    pub fn single_pe(rows: usize) -> Self {
+        ArchConfig {
+            groups: 1,
+            banks_per_group: 1,
+            subarrays_per_bank: 1,
+            pes_per_subarray: 1,
+            rows,
+            cols: 256,
+            tech: TechParams::rram(),
+            mesh: None,
+        }
+    }
+
+    /// A scaled-down rendition of the paper's hierarchy (Fig 6): 8 groups,
+    /// each with 1 bank of 8 subarrays × 8 PEs (the real chip has many more
+    /// banks; the shape is preserved).
+    pub fn paper_scaled(rows: usize) -> Self {
+        ArchConfig {
+            groups: 8,
+            banks_per_group: 1,
+            subarrays_per_bank: 8,
+            pes_per_subarray: 8,
+            rows,
+            cols: 256,
+            tech: TechParams::rram(),
+            mesh: None,
+        }
+    }
+
+    /// Total number of PEs.
+    pub fn total_pes(&self) -> usize {
+        self.groups * self.banks_per_group * self.subarrays_per_bank * self.pes_per_subarray
+    }
+
+    /// PEs per group.
+    pub fn pes_per_group(&self) -> usize {
+        self.banks_per_group * self.subarrays_per_bank * self.pes_per_subarray
+    }
+
+    /// PEs per bank.
+    pub fn pes_per_bank(&self) -> usize {
+        self.subarrays_per_bank * self.pes_per_subarray
+    }
+
+    /// Total SIMD slots.
+    pub fn total_slots(&self) -> usize {
+        self.total_pes() * self.rows
+    }
+
+    /// The PE-mesh dimensions for `MovR`: PEs are arranged row-major,
+    /// either in the explicitly configured shape or a near-square grid.
+    pub fn mesh_dims(&self) -> (usize, usize) {
+        if let Some(m) = self.mesh {
+            return m;
+        }
+        let n = self.total_pes();
+        let w = (n as f64).sqrt().ceil() as usize;
+        let h = n.div_ceil(w);
+        (h, w)
+    }
+
+    /// Group index owning a PE id.
+    pub fn group_of(&self, pe: usize) -> usize {
+        pe / self.pes_per_group()
+    }
+
+    /// Bank index (within its group) owning a PE id.
+    pub fn bank_of(&self, pe: usize) -> usize {
+        pe % self.pes_per_group() / self.pes_per_bank()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_counts() {
+        let c = ArchConfig::tiny();
+        assert_eq!(c.total_pes(), 8);
+        assert_eq!(c.pes_per_group(), 4);
+        assert_eq!(c.total_slots(), 128);
+    }
+
+    #[test]
+    fn mesh_covers_all_pes() {
+        let c = ArchConfig::paper_scaled(16);
+        let (h, w) = c.mesh_dims();
+        assert!(h * w >= c.total_pes());
+    }
+
+    #[test]
+    fn group_and_bank_indexing() {
+        let c = ArchConfig::tiny();
+        assert_eq!(c.group_of(0), 0);
+        assert_eq!(c.group_of(3), 0);
+        assert_eq!(c.group_of(4), 1);
+        assert_eq!(c.bank_of(5), 0);
+    }
+}

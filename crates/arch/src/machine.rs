@@ -1,0 +1,411 @@
+//! The event-stepped machine executing per-group instruction streams.
+
+use crate::config::ArchConfig;
+use crate::stats::RunStats;
+use hyperap_core::machine::HyperPe;
+use hyperap_isa::{Direction, Instruction};
+use hyperap_model::timing::OpCounts;
+use hyperap_tcam::key::SearchKey;
+use hyperap_tcam::tags::TagVector;
+
+/// Broadcast PE address (re-exported from the ISA): `ReadR`/`WriteR` with
+/// the all-ones 17-bit address target every PE of the issuing group.
+pub use hyperap_isa::lower::BROADCAST_ADDR;
+
+/// A simulated Hyper-AP machine.
+#[derive(Debug, Clone)]
+pub struct ApMachine {
+    config: ArchConfig,
+    pes: Vec<HyperPe>,
+    data_regs: Vec<TagVector>,
+    /// Per-group controller state: current key and bank-enable mask.
+    keys: Vec<SearchKey>,
+    bank_masks: Vec<u8>,
+    /// Controller data buffer (last `ReadR` result per group).
+    pub data_buffers: Vec<TagVector>,
+}
+
+impl ApMachine {
+    /// Build a machine with the given geometry; all cells zero.
+    pub fn new(config: ArchConfig) -> Self {
+        let n = config.total_pes();
+        ApMachine {
+            pes: (0..n).map(|_| HyperPe::new(config.rows, config.cols)).collect(),
+            data_regs: vec![TagVector::zeros(config.rows); n],
+            keys: vec![SearchKey::masked(config.cols); config.groups],
+            bank_masks: vec![0xFF; config.groups],
+            data_buffers: vec![TagVector::zeros(config.rows); config.groups],
+            config,
+        }
+    }
+
+    /// The machine geometry.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// Read access to a PE.
+    pub fn pe(&self, id: usize) -> &HyperPe {
+        &self.pes[id]
+    }
+
+    /// Mutable access to a PE (host data-load path).
+    pub fn pe_mut(&mut self, id: usize) -> &mut HyperPe {
+        &mut self.pes[id]
+    }
+
+    /// A PE's data register.
+    pub fn data_reg(&self, id: usize) -> &TagVector {
+        &self.data_regs[id]
+    }
+
+    /// The PE ids belonging to `group` whose banks are enabled by the
+    /// group's current bank mask.
+    fn active_pes(&self, group: usize) -> Vec<usize> {
+        let per_group = self.config.pes_per_group();
+        let base = group * per_group;
+        (base..base + per_group)
+            .filter(|&pe| {
+                let bank = self.config.bank_of(pe);
+                bank >= 8 || self.bank_masks[group] >> bank & 1 == 1
+            })
+            .collect()
+    }
+
+    /// Run one instruction stream per group to completion (streams beyond
+    /// [`ArchConfig::groups`] are ignored; missing streams idle).
+    ///
+    /// Returns cycle counts, SIMD-level operation counts, and reduction
+    /// results. Timing is event-stepped: each group issues its next
+    /// instruction when its previous one retires; `Wait` stalls implement
+    /// compile-time synchronization (§IV-A12).
+    pub fn run(&mut self, streams: &[Vec<Instruction>]) -> RunStats {
+        let groups = self.config.groups;
+        let mut stats = RunStats {
+            group_cycles: vec![0; groups],
+            group_ops: vec![OpCounts::default(); groups],
+            count_results: vec![Vec::new(); groups],
+            index_results: vec![Vec::new(); groups],
+        };
+        // Event-driven: always step the group whose local clock is
+        // earliest, so `Wait`-based synchronization orders cross-group
+        // interactions (MovR handoffs) exactly as the compile-time schedule
+        // intends (§IV-A12).
+        let mut pcs = vec![0usize; groups];
+        let mut clocks = vec![0u64; groups];
+        loop {
+            let next = (0..groups)
+                .filter(|&g| streams.get(g).is_some_and(|s| pcs[g] < s.len()))
+                .min_by_key(|&g| (clocks[g], g));
+            let Some(g) = next else { break };
+            let inst = streams[g][pcs[g]].clone();
+            pcs[g] += 1;
+            clocks[g] += inst.cycles(&self.config.tech);
+            self.execute(g, &inst, &mut stats);
+        }
+        stats.group_cycles = clocks;
+        stats
+    }
+
+    fn execute(&mut self, group: usize, inst: &Instruction, stats: &mut RunStats) {
+        let ops = &mut stats.group_ops[group];
+        match inst {
+            Instruction::SetKey { key } => {
+                self.keys[group] = key.clone();
+                ops.set_keys += 1;
+            }
+            Instruction::Search { acc, encode } => {
+                let key = self.keys[group].clone();
+                for pe in self.active_pes(group) {
+                    self.pes[pe].search(&key, *acc);
+                    if *encode {
+                        self.pes[pe].latch_tags();
+                    }
+                }
+                ops.searches += 1;
+            }
+            Instruction::Write { col, encode } => {
+                let key = self.keys[group].clone();
+                for pe in self.active_pes(group) {
+                    if *encode {
+                        self.pes[pe].write_encoded(*col as usize);
+                    } else {
+                        let value = key.bit(*col as usize);
+                        if value.write_value().is_some() {
+                            self.pes[pe].write(*col as usize, value);
+                        }
+                    }
+                }
+                if *encode {
+                    ops.writes_encoded += 1;
+                } else {
+                    ops.writes_single += 1;
+                }
+            }
+            Instruction::Count => {
+                let mut results = Vec::new();
+                for pe in self.active_pes(group) {
+                    results.push((pe, self.pes[pe].count()));
+                }
+                stats.count_results[group].extend(results);
+                stats.group_ops[group].counts += 1;
+            }
+            Instruction::Index => {
+                let mut results = Vec::new();
+                for pe in self.active_pes(group) {
+                    results.push((pe, self.pes[pe].index()));
+                }
+                stats.index_results[group].extend(results);
+                stats.group_ops[group].indexes += 1;
+            }
+            Instruction::MovR { dir } => {
+                self.mov_r(group, *dir);
+                ops.mov_rs += 1;
+            }
+            Instruction::ReadR { addr } => {
+                let pe = (*addr as usize).min(self.pes.len() - 1);
+                self.data_buffers[group] = self.data_regs[pe].clone();
+            }
+            Instruction::WriteR { addr, imm } => {
+                let value = Self::reg_from_bytes(imm, self.config.rows);
+                if *addr == BROADCAST_ADDR {
+                    for pe in self.active_pes(group) {
+                        self.data_regs[pe] = value.clone();
+                    }
+                } else {
+                    let pe = (*addr as usize).min(self.pes.len() - 1);
+                    self.data_regs[pe] = value;
+                }
+            }
+            Instruction::SetTag => {
+                for pe in self.active_pes(group) {
+                    let reg = self.data_regs[pe].clone();
+                    self.pes[pe].set_tags(reg);
+                }
+                ops.tag_ops += 1;
+            }
+            Instruction::ReadTag => {
+                for pe in self.active_pes(group) {
+                    self.data_regs[pe] = self.pes[pe].tags().clone();
+                }
+                ops.tag_ops += 1;
+            }
+            Instruction::Broadcast { group_mask } => {
+                self.bank_masks[group] = *group_mask;
+                ops.broadcasts += 1;
+            }
+            Instruction::Wait { cycles } => {
+                ops.wait_cycles += *cycles as u64;
+            }
+        }
+    }
+
+    /// MovR: every active PE *pushes* its data register to the mesh
+    /// neighbor in `dir` (the paper: "reads the value in the data register
+    /// of one PE and stores it into the data register of its adjacent PE" —
+    /// the destination may belong to another group, which is how
+    /// cross-group handoffs work under Wait synchronization). Active PEs
+    /// whose upstream neighbor is not pushing shift zeros in, like a
+    /// hardware shift chain; snapshot semantics throughout.
+    fn mov_r(&mut self, group: usize, dir: Direction) {
+        let (h, w) = self.config.mesh_dims();
+        let active = self.active_pes(group);
+        let active_set: std::collections::HashSet<usize> = active.iter().copied().collect();
+        let snapshot: Vec<(usize, TagVector)> = active
+            .iter()
+            .map(|&pe| (pe, self.data_regs[pe].clone()))
+            .collect();
+        // Active PEs with no pushing upstream receive zeros…
+        for &pe in &active {
+            let (r, c) = (pe / w, pe % w);
+            let upstream = match dir {
+                Direction::Up => (r + 1 < h).then(|| pe + w),
+                Direction::Down => (r > 0).then(|| pe - w),
+                Direction::Left => (c + 1 < w).then(|| pe + 1),
+                Direction::Right => (c > 0).then(|| pe - 1),
+            };
+            if upstream.map(|u| !active_set.contains(&u)).unwrap_or(true) {
+                self.data_regs[pe] = TagVector::zeros(self.config.rows);
+            }
+        }
+        // …then pushes land (possibly into other groups' PEs).
+        for (pe, value) in snapshot {
+            let (r, c) = (pe / w, pe % w);
+            let dest = match dir {
+                Direction::Up => (r > 0).then(|| pe - w),
+                Direction::Down => (r + 1 < h).then(|| pe + w),
+                Direction::Left => (c > 0).then(|| pe - 1),
+                Direction::Right => (c + 1 < w).then(|| pe + 1),
+            };
+            if let Some(d) = dest {
+                if d < self.data_regs.len() {
+                    self.data_regs[d] = value;
+                }
+            }
+        }
+    }
+
+    fn reg_from_bytes(bytes: &[u8], rows: usize) -> TagVector {
+        let mut t = TagVector::zeros(rows);
+        for row in 0..rows {
+            let byte = bytes.get(row / 8).copied().unwrap_or(0);
+            if byte >> (row % 8) & 1 == 1 {
+                t.set(row, true);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperap_tcam::bit::KeyBit;
+
+    fn search_key(s: &str) -> Instruction {
+        Instruction::SetKey {
+            key: SearchKey::parse(s).unwrap(),
+        }
+    }
+
+    #[test]
+    fn simd_search_applies_to_all_pes_in_group() {
+        let mut m = ApMachine::new(ArchConfig::tiny());
+        // Group 0 owns PEs 0..4; load bit 0 of row 2 in PEs 0 and 2.
+        m.pe_mut(0).load_bit(2, 0, true);
+        m.pe_mut(2).load_bit(2, 0, true);
+        let stats = m.run(&[vec![
+            search_key("1"),
+            Instruction::Search { acc: false, encode: false },
+            Instruction::Count,
+        ]]);
+        let counts: Vec<usize> = stats.count_results[0].iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn groups_run_independent_streams() {
+        let mut m = ApMachine::new(ArchConfig::tiny());
+        m.pe_mut(0).load_bit(0, 0, true); // group 0
+        m.pe_mut(4).load_bit(0, 1, true); // group 1
+        let g0 = vec![
+            search_key("1"),
+            Instruction::Search { acc: false, encode: false },
+            Instruction::Count,
+        ];
+        let g1 = vec![
+            search_key("-1"),
+            Instruction::Search { acc: false, encode: false },
+            Instruction::Count,
+            Instruction::Wait { cycles: 50 },
+        ];
+        let stats = m.run(&[g0, g1]);
+        assert_eq!(stats.count_results[0][0], (0, 1));
+        assert_eq!(stats.count_results[1][0], (4, 1));
+        // Wait extends group 1's makespan.
+        assert!(stats.group_cycles[1] > stats.group_cycles[0]);
+        assert_eq!(stats.makespan(), stats.group_cycles[1]);
+    }
+
+    #[test]
+    fn write_uses_key_register_value() {
+        let mut m = ApMachine::new(ArchConfig::tiny());
+        m.pe_mut(1).load_bit(5, 0, true);
+        m.run(&[vec![
+            search_key("1"),
+            Instruction::Search { acc: false, encode: false },
+            Instruction::SetKey {
+                key: SearchKey::masked(64).with_bit(3, KeyBit::One),
+            },
+            Instruction::Write { col: 3, encode: false },
+        ]]);
+        assert_eq!(m.pe(1).read_bit(5, 3), Some(true));
+        assert_eq!(m.pe(1).read_bit(4, 3), Some(false));
+        assert_eq!(m.pe(0).read_bit(5, 3), Some(false));
+    }
+
+    #[test]
+    fn broadcast_gates_banks() {
+        // tiny() has 1 bank per group, so disable it and verify no effect.
+        let mut m = ApMachine::new(ArchConfig::tiny());
+        m.pe_mut(0).load_bit(0, 0, true);
+        let stats = m.run(&[vec![
+            Instruction::Broadcast { group_mask: 0 }, // all banks off
+            search_key("1"),
+            Instruction::Search { acc: false, encode: false },
+            Instruction::Count,
+        ]]);
+        assert!(stats.count_results[0].is_empty(), "no active PEs");
+    }
+
+    #[test]
+    fn movr_shifts_data_registers_right() {
+        let mut m = ApMachine::new(ArchConfig::tiny());
+        // Put a pattern in PE 0's data register via WriteR, then MovR right.
+        let stats = m.run(&[vec![
+            Instruction::WriteR { addr: 0, imm: vec![0b101] },
+            Instruction::MovR { dir: Direction::Right },
+        ]]);
+        assert_eq!(stats.group_ops[0].mov_rs, 1);
+        assert!(m.data_reg(1).get(0));
+        assert!(!m.data_reg(1).get(1));
+        assert!(m.data_reg(1).get(2));
+    }
+
+    #[test]
+    fn readtag_movr_settag_transfers_tags_between_pes() {
+        // The §IV-B local-communication idiom: column -> tags -> data reg ->
+        // neighbor -> tags.
+        let mut m = ApMachine::new(ArchConfig::tiny());
+        m.pe_mut(0).load_bit(7, 0, true);
+        m.run(&[vec![
+            search_key("1"),
+            Instruction::Search { acc: false, encode: false },
+            Instruction::ReadTag,
+            Instruction::MovR { dir: Direction::Right },
+            Instruction::SetTag,
+            Instruction::SetKey {
+                key: SearchKey::masked(64).with_bit(1, KeyBit::One),
+            },
+            Instruction::Write { col: 1, encode: false },
+        ]]);
+        assert_eq!(m.pe(1).read_bit(7, 1), Some(true), "transferred to PE 1");
+        assert_eq!(m.pe(1).read_bit(6, 1), Some(false));
+    }
+
+    #[test]
+    fn broadcast_writer_loads_all_data_registers() {
+        let mut m = ApMachine::new(ArchConfig::tiny());
+        m.run(&[vec![
+            Instruction::WriteR { addr: BROADCAST_ADDR, imm: vec![0xFF; 64] },
+            Instruction::SetTag,
+            Instruction::Count,
+        ]]);
+        // All group-0 PEs count all rows tagged.
+        let mut mm = ApMachine::new(ArchConfig::tiny());
+        let stats = mm.run(&[vec![
+            Instruction::WriteR { addr: BROADCAST_ADDR, imm: vec![0xFF; 64] },
+            Instruction::SetTag,
+            Instruction::Count,
+        ]]);
+        for &(_, c) in &stats.count_results[0] {
+            assert_eq!(c, 16);
+        }
+    }
+
+    #[test]
+    fn cycle_accounting_is_deterministic() {
+        let mut m = ApMachine::new(ArchConfig::tiny());
+        let stream = vec![
+            search_key("1"),
+            Instruction::Search { acc: false, encode: false },
+            Instruction::SetKey {
+                key: SearchKey::masked(64).with_bit(2, KeyBit::One),
+            },
+            Instruction::Write { col: 2, encode: false },
+        ];
+        let stats = m.run(&[stream]);
+        // 1 + 1 + 1 + 12 = 15 cycles.
+        assert_eq!(stats.group_cycles[0], 15);
+    }
+}

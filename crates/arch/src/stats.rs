@@ -1,0 +1,40 @@
+//! Execution statistics: cycles, energy, and reduction results.
+
+use hyperap_model::tech::TechParams;
+use hyperap_model::timing::OpCounts;
+use serde::{Deserialize, Serialize};
+
+/// Results of one [`crate::ApMachine::run`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Cycle at which each group finished its stream.
+    pub group_cycles: Vec<u64>,
+    /// Per-group operation counts (aggregated over the group's PEs; one
+    /// SIMD instruction counts once, as in the paper's analytical model).
+    pub group_ops: Vec<OpCounts>,
+    /// `Count` results per group: `(pe_id, count)` pairs in program order.
+    pub count_results: Vec<Vec<(usize, usize)>>,
+    /// `Index` results per group: `(pe_id, first_index)` pairs.
+    pub index_results: Vec<Vec<(usize, Option<usize>)>>,
+}
+
+impl RunStats {
+    /// Machine makespan: the cycle at which the last group finished.
+    pub fn makespan(&self) -> u64 {
+        self.group_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Makespan in nanoseconds.
+    pub fn makespan_ns(&self, tech: &TechParams) -> f64 {
+        self.makespan() as f64 * tech.clock_period_ns()
+    }
+
+    /// Total dynamic energy in picojoules for `active_pes` PEs per group
+    /// (every PE in a group executes each SIMD instruction).
+    pub fn energy_pj(&self, tech: &TechParams, active_pes: usize) -> f64 {
+        self.group_ops
+            .iter()
+            .map(|ops| ops.energy_pj_per_pe(tech) * active_pes as f64)
+            .sum()
+    }
+}

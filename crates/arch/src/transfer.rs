@@ -1,0 +1,81 @@
+//! Inter-PE data-movement idioms built on the §IV-B local interface.
+//!
+//! The hardware primitive moves one 256-bit data register to a mesh
+//! neighbor (`MovR`, 5 cycles). Moving a stored bit column therefore costs:
+//! search the column (tags ← column), `ReadTag`, `MovR`, `SetTag`, and an
+//! associative write at the destination — the high-bandwidth, low-latency
+//! path the paper credits for Hyper-AP's low synchronization cost (§VI-D).
+
+use hyperap_isa::{Direction, Instruction};
+use hyperap_tcam::bit::KeyBit;
+use hyperap_tcam::key::SearchKey;
+
+/// Instruction sequence transferring one bit column from every active PE to
+/// its mesh neighbor in `dir` (column `src_col` → neighbor's `dst_col`).
+///
+/// The destination column is zeroed first (broadcast all-ones into the data
+/// registers, `SetTag`, write 0), then the moved bits arrive through
+/// tags → data register → `MovR` → tags → associative write.
+pub fn column_transfer(src_col: u8, dst_col: u8, dir: Direction, cols: usize) -> Vec<Instruction> {
+    let mut key_one = SearchKey::masked(cols);
+    key_one.set_bit(src_col as usize, KeyBit::One);
+    let mut dst_one = SearchKey::masked(cols);
+    dst_one.set_bit(dst_col as usize, KeyBit::One);
+    let mut dst_zero = SearchKey::masked(cols);
+    dst_zero.set_bit(dst_col as usize, KeyBit::Zero);
+    vec![
+        // Zero the destination column everywhere.
+        Instruction::WriteR {
+            addr: crate::machine::BROADCAST_ADDR,
+            imm: vec![0xFF; 64],
+        },
+        Instruction::SetTag,
+        Instruction::SetKey { key: dst_zero },
+        Instruction::Write { col: dst_col, encode: false },
+        // Tags ← source column; move; tags at the destination PE.
+        Instruction::SetKey { key: key_one },
+        Instruction::Search { acc: false, encode: false },
+        Instruction::ReadTag,
+        Instruction::MovR { dir },
+        Instruction::SetTag,
+        // Destination ← 1 where tagged.
+        Instruction::SetKey { key: dst_one },
+        Instruction::Write { col: dst_col, encode: false },
+    ]
+}
+
+/// Cycle cost of [`column_transfer`] under RRAM Table-I timing.
+pub fn column_transfer_cycles(tech: &hyperap_model::tech::TechParams) -> u64 {
+    column_transfer(0, 1, Direction::Right, 8)
+        .iter()
+        .map(|i| i.cycles(tech))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ApMachine, ArchConfig};
+
+    #[test]
+    fn column_transfer_moves_bits_right() {
+        let mut m = ApMachine::new(ArchConfig::tiny());
+        m.pe_mut(0).load_bit(3, 5, true);
+        m.pe_mut(0).load_bit(9, 5, true);
+        // Make destination dirty to prove both polarities are written.
+        m.pe_mut(1).load_bit(4, 6, true);
+        let stream = column_transfer(5, 6, Direction::Right, 64);
+        m.run(&[stream]);
+        assert_eq!(m.pe(1).read_bit(3, 6), Some(true));
+        assert_eq!(m.pe(1).read_bit(9, 6), Some(true));
+        assert_eq!(m.pe(1).read_bit(4, 6), Some(false), "stale bit cleared");
+    }
+
+    #[test]
+    fn transfer_cost_is_tens_of_cycles() {
+        // §VI-D quotes 10 ns latency / 51.2 Gb/s for the local interface;
+        // a full column transfer (256 bits) lands in the tens of cycles.
+        let cycles = column_transfer_cycles(&hyperap_model::TechParams::rram());
+        assert!(cycles > 10 && cycles < 60, "cycles = {cycles}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for the simulator substrate and the compiler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperap_compiler::{compile, CompileOptions};
+use hyperap_core::machine::HyperPe;
+use hyperap_core::microcode::Microcode;
+use hyperap_tcam::array::TcamArray;
+use hyperap_tcam::key::SearchKey;
+use hyperap_tcam::mvsop::{minimize, Cover, PosKind};
+use std::hint::black_box;
+
+fn bench_tcam_search(c: &mut Criterion) {
+    let mut array = TcamArray::pe_sized();
+    for row in 0..256 {
+        array.store_field(row, 0, 64, row as u64 * 0x9E37_79B9);
+    }
+    let mut key = SearchKey::masked(256);
+    key.set_field(0, 12, 0xABC);
+    c.bench_function("tcam_search_256x256", |b| {
+        b.iter(|| black_box(array.search(black_box(&key))))
+    });
+}
+
+fn bench_mvsop(c: &mut Criterion) {
+    // The 1-bit full-adder Sum cover (Fig 5d).
+    let cover = Cover::new(
+        vec![PosKind::Pair, PosKind::Single],
+        vec![vec![0b10, 0], vec![0b01, 0], vec![0b00, 1], vec![0b11, 1]],
+    );
+    c.bench_function("mvsop_minimize_full_adder", |b| {
+        b.iter(|| black_box(minimize(black_box(&cover))))
+    });
+}
+
+fn bench_microcode_add(c: &mut Criterion) {
+    c.bench_function("microcode_build_add32", |b| {
+        b.iter(|| {
+            let mut mc = Microcode::new(256);
+            let (x, y) = mc.alloc_paired_inputs("a", "b", 32);
+            black_box(mc.add(&x, &y));
+        })
+    });
+}
+
+fn bench_machine_run(c: &mut Criterion) {
+    let mut mc = Microcode::new(256);
+    let (x, y) = mc.alloc_paired_inputs("a", "b", 32);
+    let _ = mc.add(&x, &y);
+    let prog = mc.into_program();
+    c.bench_function("pe_run_add32_256rows", |b| {
+        b.iter(|| {
+            let mut pe = HyperPe::new(256, 256);
+            black_box(prog.run(&mut pe));
+        })
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let src = "unsigned int (9) main(unsigned int (8) a, unsigned int (8) b) {
+        return (a & b) + (a ^ b);
+    }";
+    c.bench_function("compile_merge_8bit", |b| {
+        b.iter(|| black_box(compile(black_box(src), &CompileOptions::default()).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tcam_search,
+    bench_mvsop,
+    bench_microcode_add,
+    bench_machine_run,
+    bench_compile
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Eq. 2 ablation: how α = Twrite/Tsearch retargets LUT generation between
+//! RRAM (α = 10) and CMOS (α = 1), and what each compiler optimization
+//! contributes (DESIGN.md's design-choice ablations).
+
+use hyperap_bench::header;
+use hyperap_compiler::{compile, CompileOptions};
+use hyperap_model::TechParams;
+
+fn main() {
+    let src = "unsigned int (10) main(unsigned int (8) a, unsigned int (8) b) {
+        unsigned int (9) t;
+        t = (a & b) + (a | b);
+        return t + (a ^ b) + 37;
+    }";
+    header("Eq. 2 cost-function ablation (merged logic + adds, 8-bit)");
+    for (name, alpha) in [("RRAM  (alpha = 10)", 10.0), ("CMOS  (alpha = 1)", 1.0)] {
+        let kernel = compile(src, &CompileOptions { alpha, ..Default::default() }).unwrap();
+        let c = kernel.op_counts();
+        let tech = if alpha > 1.0 { TechParams::rram() } else { TechParams::cmos() };
+        println!(
+            "  {name}: {:>4} searches {:>3} writes -> {:>5} cycles on its target",
+            c.searches,
+            c.writes(),
+            c.cycles(&tech)
+        );
+    }
+
+    header("Per-optimization ablation (same program)");
+    let variants: [(&str, CompileOptions); 4] = [
+        ("all optimizations", CompileOptions::default()),
+        ("no operation merging", CompileOptions { enable_merging: false, ..Default::default() }),
+        ("no operand embedding", CompileOptions { enable_embedding: false, ..Default::default() }),
+        ("no input pairing", CompileOptions { pair_inputs: false, ..Default::default() }),
+    ];
+    let rram = TechParams::rram();
+    let base = compile(src, &variants[0].1).unwrap().op_counts().cycles(&rram);
+    for (name, opts) in variants {
+        let c = compile(src, &opts).unwrap().op_counts();
+        let cycles = c.cycles(&rram);
+        println!(
+            "  {name:<22}: {:>4} searches {:>3} writes {:>6} cycles ({:+.0}% vs full)",
+            c.searches,
+            c.writes(),
+            cycles,
+            (cycles as f64 / base as f64 - 1.0) * 100.0
+        );
+    }
+}

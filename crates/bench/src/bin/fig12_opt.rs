@@ -1,0 +1,34 @@
+//! Fig 12: operation merging and operand embedding.
+
+use hyperap_bench::header;
+use hyperap_compiler::{compile, CompileOptions};
+
+fn main() {
+    header("Fig 12a: operation merging (chained 1-bit additions)");
+    let src = "unsigned int (3) main(
+        unsigned int (1) a, unsigned int (1) b,
+        unsigned int (1) c, unsigned int (1) d
+    ) {
+        unsigned int (2) e; unsigned int (2) f; unsigned int (3) g;
+        e = a + b; f = c + d; g = e + f;
+        return g;
+    }";
+    let merged = compile(src, &CompileOptions::default()).unwrap().op_counts();
+    let unmerged = compile(src, &CompileOptions { enable_merging: false, ..Default::default() })
+        .unwrap().op_counts();
+    println!("  without merging: {} searches, {} writes (paper: 8S, 7W)",
+             unmerged.searches, unmerged.writes());
+    println!("  with merging   : {} searches, {} writes (paper: 6S, 3W)",
+             merged.searches, merged.writes());
+
+    header("Fig 12b: operand embedding (2-bit a + immediate 2)");
+    let src = "unsigned int (3) main(unsigned int (2) a) {
+        unsigned int (2) b; unsigned int (3) c;
+        b = 2; c = a + b; return c;
+    }";
+    let embedded = compile(src, &CompileOptions::default()).unwrap().op_counts();
+    let mat = compile(src, &CompileOptions { enable_embedding: false, ..Default::default() })
+        .unwrap().op_counts();
+    println!("  without embedding: {} searches (paper: 5)", mat.searches);
+    println!("  with embedding   : {} searches (paper: 3)", embedded.searches);
+}

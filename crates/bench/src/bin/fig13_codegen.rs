@@ -1,0 +1,38 @@
+//! Fig 13: generated search/write sequences for the 2-bit addition and a
+//! conditional statement.
+
+use hyperap_bench::header;
+use hyperap_compiler::{compile, CompileOptions};
+use hyperap_isa::{asm, lower};
+
+fn main() {
+    header("Fig 13a: 2-bit addition");
+    let k = compile(
+        "unsigned int (3) main(unsigned int (2) a, unsigned int (2) b) {
+             unsigned int (3) c; c = a + b; return c;
+         }",
+        &CompileOptions::default(),
+    ).unwrap();
+    let c = k.op_counts();
+    println!("  {} searches, {} writes (paper's limit-3 example: 6S, 4W)", c.searches, c.writes());
+    println!("  instruction stream:");
+    let stream = lower(k.program());
+    for line in asm::format(&stream).lines().take(24) {
+        println!("    {line}");
+    }
+    if stream.len() > 24 {
+        println!("    ... ({} instructions total)", stream.len());
+    }
+
+    header("Fig 13b: conditional statement (both branches + select)");
+    let k = compile(
+        "unsigned int (1) main(unsigned int (1) a, unsigned int (4) x, unsigned int (4) y) {
+             unsigned int (1) b;
+             if (a == 1) { b = x > y; } else { b = x < y; }
+             return b;
+         }",
+        &CompileOptions::default(),
+    ).unwrap();
+    let c = k.op_counts();
+    println!("  {} searches, {} writes; both branches evaluated, predicated select", c.searches, c.writes());
+}

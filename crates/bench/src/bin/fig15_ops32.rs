@@ -1,0 +1,32 @@
+//! Fig 15: 32-bit arithmetic operations — latency, throughput, power
+//! efficiency, area efficiency vs IMP (and the reconstructed GPU series).
+
+use hyperap_baselines::gpu::GpuModel;
+use hyperap_baselines::reference::{record, OpKind, FIG15_HYPER_AP, FIG15_IMP};
+use hyperap_bench::{header, metric_block};
+use hyperap_workloads::perf::synthetic_metrics;
+
+fn main() {
+    header("Fig 15: representative arithmetic operations, 32-bit unsigned");
+    let gpu = GpuModel::default();
+    for op in [OpKind::Add, OpKind::Mul, OpKind::Div, OpKind::Sqrt, OpKind::Exp] {
+        let m = synthetic_metrics(op, 32);
+        let paper = record(&FIG15_HYPER_AP, op).unwrap();
+        metric_block(&op.to_string(), &m, &paper);
+        let imp = record(&FIG15_IMP, op).unwrap();
+        let g = gpu.record(op);
+        println!(
+            "     vs IMP: latency {:.1}x better (paper {:.1}x) | throughput {:.1}x (paper {:.1}x) | power eff {:.1}x (paper {:.1}x)",
+            imp.latency_ns / m.latency_ns,
+            imp.latency_ns / paper.latency_ns,
+            m.throughput_gops / imp.throughput_gops,
+            paper.throughput_gops / imp.throughput_gops,
+            m.power_eff_gops_w / imp.power_eff,
+            paper.power_eff / imp.power_eff,
+        );
+        println!(
+            "     GPU (reconstructed): {:.0} ns, {:.0} GOPS, {:.2} GOPS/W",
+            g.latency_ns, g.throughput_gops, g.power_eff
+        );
+    }
+}

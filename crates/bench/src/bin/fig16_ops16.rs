@@ -1,0 +1,22 @@
+//! Fig 16: the same operations on 16-bit unsigned integers — the flexible
+//! data-precision advantage (IMP is fixed at 32 bits).
+
+use hyperap_baselines::reference::{record, OpKind, FIG15_IMP, FIG16_HYPER_AP};
+use hyperap_bench::{header, metric_block, ratio};
+use hyperap_workloads::perf::synthetic_metrics;
+
+fn main() {
+    header("Fig 16: representative arithmetic operations, 16-bit unsigned");
+    for op in [OpKind::Add, OpKind::Mul, OpKind::Div, OpKind::Sqrt, OpKind::Exp] {
+        let m16 = synthetic_metrics(op, 16);
+        let m32 = synthetic_metrics(op, 32);
+        let paper = record(&FIG16_HYPER_AP, op).unwrap();
+        metric_block(&op.to_string(), &m16, &paper);
+        let imp = record(&FIG15_IMP, op).unwrap(); // IMP cannot narrow
+        println!(
+            "     precision scaling 32->16: {} (paper expects ~2x add, ~4x complex) | vs IMP throughput {:.1}x",
+            ratio(m16.throughput_gops, m32.throughput_gops),
+            m16.throughput_gops / imp.throughput_gops,
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Fig 18: Rodinia-style kernels — speedup and energy vs IMP and GPU.
+
+use hyperap_bench::header;
+use hyperap_workloads::kernels::all_kernels;
+use hyperap_workloads::perf::{compare_kernel, geomean};
+
+fn main() {
+    header("Fig 18: kernel speedup and energy (paper avg vs IMP: 3.3x speedup, 23.8x energy)");
+    // Native-Rodinia-scale inputs: both systems complete in a single pass
+    // (the paper's data sets are well under IMP's 2M slots), so the
+    // comparison isolates per-element cost rather than the 16x slot-count
+    // advantage.
+    let n = 1024 * 1024u64;
+    let mut speedups = Vec::new();
+    let mut energies = Vec::new();
+    println!(
+        "  {:<14} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "kernel", "vs IMP time", "vs IMP energy", "vs GPU time", "hyper time ms", "hyper energy J"
+    );
+    for k in all_kernels() {
+        let c = compare_kernel(&k, n);
+        speedups.push(c.speedup_vs_imp());
+        energies.push(c.energy_reduction_vs_imp());
+        println!(
+            "  {:<14} {:>11.2}x {:>11.1}x {:>11.2}x {:>14.3} {:>14.3}",
+            c.name,
+            c.speedup_vs_imp(),
+            c.energy_reduction_vs_imp(),
+            c.speedup_vs_gpu(),
+            c.hyper_time_s * 1e3,
+            c.hyper_energy_j
+        );
+    }
+    println!(
+        "\n  geometric mean vs IMP: {:.2}x speedup (paper 3.3x), {:.1}x energy reduction (paper 23.8x)",
+        geomean(speedups),
+        geomean(energies)
+    );
+}

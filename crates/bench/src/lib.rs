@@ -1,0 +1,41 @@
+//! Benchmark harness for the Hyper-AP reproduction.
+//!
+//! One binary per paper table/figure (see `src/bin/`); each prints a
+//! paper-vs-measured table. `EXPERIMENTS.md` is the checked-in snapshot of
+//! their output. Criterion micro-benchmarks for the simulator and compiler
+//! live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hyperap_model::metrics::Metrics;
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Format a ratio as `x.xx×`.
+pub fn ratio(measured: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:.2}x", measured / paper)
+}
+
+/// Print one metric row: name, measured, paper, ratio.
+pub fn row(name: &str, measured: f64, paper: f64, unit: &str) {
+    println!(
+        "  {name:<22} measured {measured:>12.1} {unit:<9} paper {paper:>12.1} {unit:<9} ({})",
+        ratio(measured, paper)
+    );
+}
+
+/// Print the four-metric block of Figs 15-17 for one operation.
+pub fn metric_block(op: &str, m: &Metrics, paper: &hyperap_baselines::OpRecord) {
+    println!("  -- {op} --");
+    row("latency", m.latency_ns, paper.latency_ns, "ns");
+    row("throughput", m.throughput_gops, paper.throughput_gops, "GOPS");
+    row("power eff", m.power_eff_gops_w, paper.power_eff, "GOPS/W");
+    row("area eff", m.area_eff_gops_mm2, paper.area_eff, "GOPS/mm2");
+}

@@ -1,0 +1,276 @@
+//! DFG clustering (§V-B2, Fig 10): group DFG nodes into clusters, each of
+//! which executes in one SIMD slot, minimizing inter-cluster edges (data
+//! copies between SIMD slots — slow on RRAM because of the write latency).
+//!
+//! The heuristic adapts the priority-cuts clustering [42] with the paper's
+//! cost function (Eq. 1):
+//!
+//! ```text
+//! Cost0[i] = Σ Cost0[j]  +  N_input_edges        (j: input clusters)
+//! ```
+
+use crate::dfg::{Dfg, DfgOp};
+use std::collections::{HashMap, HashSet};
+
+/// Result of clustering: a cluster index per node, plus statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Cluster id per DFG node.
+    pub assignment: Vec<usize>,
+    /// Number of clusters.
+    pub n_clusters: usize,
+    /// Inter-cluster edges (each is one data copy between SIMD slots).
+    pub cut_edges: usize,
+}
+
+/// Approximate column footprint of a node's result (its width plus ripple
+/// scratch), used as the cluster capacity measure.
+fn node_cols(dfg: &Dfg, id: usize) -> usize {
+    let n = dfg.node(id);
+    match n.op {
+        DfgOp::Input { .. } | DfgOp::Const { .. } => n.width,
+        DfgOp::Shl { .. } | DfgOp::Shr { .. } | DfgOp::Resize => 0, // renames
+        DfgOp::Mul => 4 * n.width,  // carry-save pairs + operand copies
+        DfgOp::Div | DfgOp::Rem => 3 * n.width,
+        DfgOp::Sqrt | DfgOp::Exp { .. } => 4 * n.width,
+        _ => 2 * n.width, // result + ripple scratch
+    }
+}
+
+/// Cluster the DFG under a per-cluster column capacity (one SIMD slot's
+/// usable columns).
+///
+/// Nodes are visited in topological order; each joins the predecessor
+/// cluster that minimizes Eq. 1 cost if capacity allows, otherwise starts a
+/// new cluster. A second pass greedily merges clusters whenever that
+/// reduces cut edges within capacity.
+pub fn cluster(dfg: &Dfg, capacity: usize) -> Clustering {
+    let n = dfg.len();
+    let mut assignment: Vec<usize> = vec![usize::MAX; n];
+    let mut cluster_load: Vec<usize> = Vec::new();
+
+    for id in 0..n {
+        let need = node_cols(dfg, id);
+        // Candidate clusters: those of the node's inputs.
+        let mut candidates: Vec<usize> = dfg
+            .node(id)
+            .inputs
+            .iter()
+            .map(|&i| assignment[i])
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        // Pick the candidate minimizing added cut edges (Eq. 1's
+        // N_input_edges term), respecting capacity.
+        let mut best: Option<(usize, usize)> = None; // (cut_edges, cluster)
+        for &c in &candidates {
+            if cluster_load[c] + need > capacity {
+                continue;
+            }
+            let cut = dfg
+                .node(id)
+                .inputs
+                .iter()
+                .filter(|&&i| assignment[i] != c)
+                .count();
+            if best.is_none_or(|(bc, _)| cut < bc) {
+                best = Some((cut, c));
+            }
+        }
+        let chosen = match best {
+            Some((_, c)) => c,
+            None => {
+                cluster_load.push(0);
+                cluster_load.len() - 1
+            }
+        };
+        assignment[id] = chosen;
+        cluster_load[chosen] += need;
+    }
+
+    // Merge pass: join cluster pairs connected by edges when capacity
+    // allows (reduces copies).
+    loop {
+        let mut edge_weight: HashMap<(usize, usize), usize> = HashMap::new();
+        for id in 0..n {
+            for &i in &dfg.node(id).inputs {
+                let (a, b) = (assignment[i], assignment[id]);
+                if a != b {
+                    *edge_weight.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut merged = false;
+        let mut pairs: Vec<((usize, usize), usize)> = edge_weight.into_iter().collect();
+        pairs.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
+        for ((a, b), _) in pairs {
+            if cluster_load[a] + cluster_load[b] <= capacity {
+                for x in assignment.iter_mut() {
+                    if *x == b {
+                        *x = a;
+                    }
+                }
+                cluster_load[a] += cluster_load[b];
+                cluster_load[b] = 0;
+                merged = true;
+                break;
+            }
+        }
+        if !merged {
+            break;
+        }
+    }
+
+    // Renumber densely.
+    let mut remap: HashMap<usize, usize> = HashMap::new();
+    for a in assignment.iter_mut() {
+        let next = remap.len();
+        *a = *remap.entry(*a).or_insert(next);
+    }
+    let n_clusters = remap.len();
+    let mut cut_edges = 0;
+    for id in 0..n {
+        for &i in &dfg.node(id).inputs {
+            if assignment[i] != assignment[id] {
+                cut_edges += 1;
+            }
+        }
+    }
+    Clustering {
+        assignment,
+        n_clusters,
+        cut_edges,
+    }
+}
+
+/// Eq. 1 cost of a clustering: per cluster, the recursive input cost plus
+/// the number of input edges (exposed for tests and benchmarks).
+pub fn eq1_cost(dfg: &Dfg, clustering: &Clustering) -> f64 {
+    // Build cluster DAG.
+    let mut input_edges: HashMap<usize, usize> = HashMap::new();
+    let mut preds: HashMap<usize, HashSet<usize>> = HashMap::new();
+    for id in 0..dfg.len() {
+        let c = clustering.assignment[id];
+        for &i in &dfg.node(id).inputs {
+            let pc = clustering.assignment[i];
+            if pc != c {
+                *input_edges.entry(c).or_insert(0) += 1;
+                preds.entry(c).or_default().insert(pc);
+            }
+        }
+    }
+    fn cost(
+        c: usize,
+        input_edges: &HashMap<usize, usize>,
+        preds: &HashMap<usize, HashSet<usize>>,
+        memo: &mut HashMap<usize, f64>,
+        depth: usize,
+    ) -> f64 {
+        if let Some(&v) = memo.get(&c) {
+            return v;
+        }
+        if depth > 10_000 {
+            return f64::INFINITY; // cyclic cluster graphs cannot happen on DAGs
+        }
+        let p: f64 = preds
+            .get(&c)
+            .map(|ps| {
+                ps.iter()
+                    .map(|&q| cost(q, input_edges, preds, memo, depth + 1))
+                    .sum()
+            })
+            .unwrap_or(0.0);
+        let v = p + *input_edges.get(&c).unwrap_or(&0) as f64;
+        memo.insert(c, v);
+        v
+    }
+    let mut memo = HashMap::new();
+    (0..clustering.n_clusters)
+        .map(|c| cost(c, &input_edges, &preds, &mut memo, 0))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::DfgNode;
+
+    fn input(dfg: &mut Dfg, w: usize) -> usize {
+        let idx = dfg.input_widths.len();
+        dfg.input_widths.push(w);
+        dfg.push(DfgNode {
+            op: DfgOp::Input { index: idx },
+            inputs: vec![],
+            width: w,
+            signed: false,
+        })
+    }
+
+    fn add(dfg: &mut Dfg, a: usize, b: usize) -> usize {
+        let w = dfg.node(a).width.max(dfg.node(b).width) + 1;
+        dfg.push(DfgNode {
+            op: DfgOp::Add,
+            inputs: vec![a, b],
+            width: w,
+            signed: false,
+        })
+    }
+
+    /// The Fig 10 shape: two adds feeding a multiply-free tree.
+    fn fig10_like() -> Dfg {
+        let mut g = Dfg::default();
+        let ins: Vec<usize> = (0..6).map(|_| input(&mut g, 8)).collect();
+        let s1 = add(&mut g, ins[0], ins[1]);
+        let s2 = add(&mut g, ins[2], ins[3]);
+        let s3 = add(&mut g, ins[4], ins[5]);
+        let t1 = add(&mut g, s1, s2);
+        let t2 = add(&mut g, t1, s3);
+        g.outputs = vec![t2];
+        g
+    }
+
+    #[test]
+    fn small_graph_fits_one_cluster() {
+        let g = fig10_like();
+        let c = cluster(&g, 1000);
+        assert_eq!(c.n_clusters, 1);
+        assert_eq!(c.cut_edges, 0, "no data copies inside one SIMD slot");
+    }
+
+    #[test]
+    fn tight_capacity_splits_with_few_cut_edges() {
+        let g = fig10_like();
+        let c = cluster(&g, 80);
+        assert!(c.n_clusters >= 2);
+        // Each split point costs at least one copy, but the heuristic must
+        // not cut everything.
+        assert!(c.cut_edges < g.len(), "cut edges = {}", c.cut_edges);
+        // Every node assigned.
+        assert!(c.assignment.iter().all(|&a| a < c.n_clusters));
+    }
+
+    #[test]
+    fn eq1_cost_prefers_fewer_cuts() {
+        let g = fig10_like();
+        let tight = cluster(&g, 80);
+        let loose = cluster(&g, 1000);
+        assert!(eq1_cost(&g, &loose) <= eq1_cost(&g, &tight));
+    }
+
+    #[test]
+    fn merge_pass_reduces_fragmentation() {
+        // A long chain should not fragment into per-node clusters.
+        let mut g = Dfg::default();
+        let mut prev = input(&mut g, 4);
+        for _ in 0..6 {
+            let c = input(&mut g, 4);
+            prev = add(&mut g, prev, c);
+        }
+        g.outputs = vec![prev];
+        let c = cluster(&g, 60);
+        // 13 nodes must not fragment into per-node clusters; input-only
+        // singleton clusters may remain (they have no incoming edges).
+        assert!(c.n_clusters <= 5, "clusters = {}", c.n_clusters);
+        assert!(c.cut_edges <= 6, "cut edges = {}", c.cut_edges);
+    }
+}

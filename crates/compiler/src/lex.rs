@@ -1,0 +1,219 @@
+//! Tokenizer for the C-like source language (§V-A).
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal, `0x`, or `0b`).
+    Int(u64),
+    /// Punctuation or operator.
+    Punct(&'static str),
+}
+
+/// A token plus its 1-based source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "(", ")", "{", "}", ";", ",", "=", "+", "-", "*", "/", "%", "&", "|", "^",
+    "~", "!", "<", ">", ".",
+];
+
+/// Tokenize source text.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unrecognized characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if src[i..].starts_with("//") {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if src[i..].starts_with("/*") {
+            let start_line = line;
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(LexError {
+                        line: start_line,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                if &src[i..i + 2] == "*/" {
+                    i += 2;
+                    continue 'outer;
+                }
+                i += 1;
+            }
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric()
+                || i < bytes.len() && bytes[i] == b'_'
+            {
+                i += 1;
+            }
+            out.push(Spanned {
+                token: Token::Ident(src[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let radix = if src[i..].starts_with("0x") || src[i..].starts_with("0X") {
+                i += 2;
+                16
+            } else if src[i..].starts_with("0b") || src[i..].starts_with("0B") {
+                i += 2;
+                2
+            } else {
+                10
+            };
+            let digit_start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                i += 1;
+            }
+            let digits = if radix == 10 { &src[start..i] } else { &src[digit_start..i] };
+            let value = u64::from_str_radix(digits, radix).map_err(|e| LexError {
+                line,
+                message: format!("bad integer literal `{}`: {e}", &src[start..i]),
+            })?;
+            out.push(Spanned {
+                token: Token::Int(value),
+                line,
+            });
+            continue;
+        }
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(Spanned {
+                    token: Token::Punct(p),
+                    line,
+                });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError {
+            line,
+            message: format!("unrecognized character `{c}`"),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            toks("unsigned int (5) a;"),
+            vec![
+                Token::Ident("unsigned".into()),
+                Token::Ident("int".into()),
+                Token::Punct("("),
+                Token::Int(5),
+                Token::Punct(")"),
+                Token::Ident("a".into()),
+                Token::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_longest_first() {
+        assert_eq!(
+            toks("a <<= b << c <= d"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct("<<="),
+                Token::Ident("b".into()),
+                Token::Punct("<<"),
+                Token::Ident("c".into()),
+                Token::Punct("<="),
+                Token::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_binary() {
+        assert_eq!(toks("0xFF 0b101 42"), vec![Token::Int(255), Token::Int(5), Token::Int(42)]);
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let spanned = lex("a // comment\n/* multi\nline */ b").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 3);
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.to_string().contains("unrecognized"));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_hex() {
+        assert!(lex("0xGG").is_err());
+    }
+}

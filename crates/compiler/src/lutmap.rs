@@ -1,0 +1,382 @@
+//! LUT generation (§V-B4): cut-based technology mapping of an AIG into
+//! lookup tables of at most `max_inputs` inputs, adapted from the priority-
+//! cuts algorithm [42] with the paper's cost function (Eq. 2):
+//!
+//! ```text
+//! Cost1[i] = Σ Cost1[j]  +  N_patterns  +  α        (j: input clusters)
+//! ```
+//!
+//! `N_patterns` is the number of search operations for the cluster's lookup
+//! table and α = Twrite/Tsearch weighs the write that follows them, so the
+//! same mapper retargets between RRAM (α = 10: prefer fewer, larger LUTs)
+//! and CMOS (α = 1). Unlike FPGA technology mapping, the objective is total
+//! search+write cost, not critical-path depth (§V-B4). Mapping runs over
+//! whole DFG regions, so clusters freely cross DFG node boundaries — this
+//! is the paper's **operation merging** optimization.
+
+use crate::aig::{lit_inverted, lit_node, Aig, AigNode, Lit};
+use hyperap_tcam::mvsop::{minimize, Cover, PosKind};
+use std::collections::{HashMap, HashSet};
+
+/// Mapping options.
+#[derive(Debug, Clone)]
+pub struct MapOptions {
+    /// Maximum LUT inputs (the paper uses 12; see §V-B4 on why it is
+    /// bounded).
+    pub max_inputs: usize,
+    /// Eq. 2's α = Twrite/Tsearch.
+    pub alpha: f64,
+    /// Priority-cut pool size per node.
+    pub cuts_per_node: usize,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions {
+            max_inputs: 6,
+            alpha: 10.0,
+            cuts_per_node: 6,
+        }
+    }
+}
+
+/// One mapped LUT: computes AIG node `root` (positive polarity) from the
+/// leaf nodes.
+#[derive(Debug, Clone)]
+pub struct MappedLut {
+    /// Root AIG node id.
+    pub root: u32,
+    /// Leaf node ids (LUT inputs), sorted.
+    pub leaves: Vec<u32>,
+    /// ON-set minterms over the leaves (bit `i` of a minterm = leaf `i`).
+    pub on_set: Vec<u16>,
+}
+
+/// The result of mapping: LUTs in topological order (every LUT's non-input
+/// leaves are roots of earlier LUTs or members of the initial leaf set).
+#[derive(Debug, Clone, Default)]
+pub struct Mapping {
+    /// Chosen LUTs.
+    pub luts: Vec<MappedLut>,
+}
+
+impl Mapping {
+    /// Total estimated searches (Σ N_patterns over LUTs, single-bit
+    /// positions — the pairing step may reduce this further).
+    pub fn total_patterns(&self) -> usize {
+        self.luts.iter().map(|l| estimate_patterns_exact(l)).sum()
+    }
+}
+
+fn estimate_patterns_exact(l: &MappedLut) -> usize {
+    let cover = Cover::new(vec![PosKind::Single; l.leaves.len()], min_to_vecs(&l.on_set, l.leaves.len()));
+    minimize(&cover).num_searches()
+}
+
+fn min_to_vecs(on: &[u16], k: usize) -> Vec<Vec<u8>> {
+    on.iter()
+        .map(|&m| (0..k).map(|i| (m >> i & 1) as u8).collect())
+        .collect()
+}
+
+/// Map the cones of `outputs` into LUTs. Nodes in `extra_leaves` are
+/// treated as free inputs (already materialized in storage).
+pub fn map(g: &Aig, outputs: &[Lit], extra_leaves: &HashSet<u32>, opts: &MapOptions) -> Mapping {
+    let cone = g.cone(outputs);
+    let is_leaf = |id: u32| -> bool {
+        matches!(g.node(id), AigNode::Const0 | AigNode::Input { .. }) || extra_leaves.contains(&id)
+    };
+
+    // Cut enumeration with Eq. 2 costing.
+    #[derive(Clone)]
+    struct Cut {
+        leaves: Vec<u32>,
+        cost: f64,
+    }
+    let mut cuts: HashMap<u32, Vec<Cut>> = HashMap::new();
+    let mut best_cost: HashMap<u32, f64> = HashMap::new();
+    let mut pattern_memo: HashMap<(usize, Vec<u64>), usize> = HashMap::new();
+
+    let n_patterns = |g: &Aig,
+                      root: u32,
+                      leaves: &[u32],
+                      memo: &mut HashMap<(usize, Vec<u64>), usize>|
+     -> usize {
+        let (tt, k) = truth_table(g, root, leaves);
+        if let Some(&p) = memo.get(&(k, tt.clone())) {
+            return p;
+        }
+        let on: Vec<Vec<u8>> = (0..1usize << k)
+            .filter(|&m| tt[m / 64] >> (m % 64) & 1 == 1)
+            .map(|m| (0..k).map(|i| (m >> i & 1) as u8).collect())
+            .collect();
+        let sol = minimize(&Cover::new(vec![PosKind::Single; k], on));
+        let p = sol.num_searches();
+        memo.insert((k, tt), p);
+        p
+    };
+
+    for &id in &cone {
+        if is_leaf(id) {
+            cuts.insert(
+                id,
+                vec![Cut {
+                    leaves: vec![id],
+                    cost: 0.0,
+                }],
+            );
+            best_cost.insert(id, 0.0);
+            continue;
+        }
+        let AigNode::And(la, lb) = g.node(id) else {
+            unreachable!("non-leaf is an AND")
+        };
+        let (na, nb) = (lit_node(la), lit_node(lb));
+        let mut pool: Vec<Cut> = Vec::new();
+        // Children contribute their cut pools plus their trivial self-cut
+        // (using the child as a materialized leaf), which guarantees every
+        // AND node has at least the {na, nb} cut.
+        let with_trivial = |node: u32, cuts: &HashMap<u32, Vec<Cut>>, best: &HashMap<u32, f64>| {
+            let mut v = cuts.get(&node).cloned().unwrap_or_default();
+            if !v.iter().any(|c| c.leaves == [node]) {
+                v.push(Cut {
+                    leaves: vec![node],
+                    cost: *best.get(&node).unwrap_or(&0.0),
+                });
+            }
+            v
+        };
+        let ca = with_trivial(na, &cuts, &best_cost);
+        let cb = with_trivial(nb, &cuts, &best_cost);
+        for a in &ca {
+            for b in &cb {
+                let mut leaves: Vec<u32> = a
+                    .leaves
+                    .iter()
+                    .chain(b.leaves.iter())
+                    .copied()
+                    .collect();
+                leaves.sort_unstable();
+                leaves.dedup();
+                if leaves.len() > opts.max_inputs {
+                    continue;
+                }
+                if pool.iter().any(|c| c.leaves == leaves) {
+                    continue;
+                }
+                let patterns = n_patterns(g, id, &leaves, &mut pattern_memo);
+                let leaf_cost: f64 = leaves.iter().map(|l| *best_cost.get(l).unwrap_or(&0.0)).sum();
+                pool.push(Cut {
+                    cost: leaf_cost + patterns as f64 + opts.alpha,
+                    leaves,
+                });
+            }
+        }
+        pool.sort_by(|x, y| x.cost.total_cmp(&y.cost));
+        pool.truncate(opts.cuts_per_node);
+        let best = pool.first().map(|c| c.cost).unwrap_or(f64::INFINITY);
+        best_cost.insert(id, best);
+        cuts.insert(id, pool);
+    }
+
+    // Top-down cover extraction.
+    let mut required: Vec<u32> = outputs
+        .iter()
+        .map(|&l| lit_node(l))
+        .filter(|&n| !is_leaf(n))
+        .collect();
+    required.sort_unstable();
+    required.dedup();
+    let mut chosen: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut work = required.clone();
+    while let Some(id) = work.pop() {
+        if chosen.contains_key(&id) {
+            continue;
+        }
+        let cut = cuts[&id]
+            .first()
+            .unwrap_or_else(|| panic!("node {id} has no feasible cut (fanin cone too wide?)"));
+        chosen.insert(id, cut.leaves.clone());
+        for &leaf in &cut.leaves {
+            if !is_leaf(leaf) && !chosen.contains_key(&leaf) {
+                work.push(leaf);
+            }
+        }
+    }
+
+    // Emit in topological (cone) order.
+    let mut luts = Vec::new();
+    for &id in &cone {
+        if let Some(leaves) = chosen.get(&id) {
+            let (tt, k) = truth_table(g, id, leaves);
+            let on_set: Vec<u16> = (0..1usize << k)
+                .filter(|&m| tt[m / 64] >> (m % 64) & 1 == 1)
+                .map(|m| m as u16)
+                .collect();
+            luts.push(MappedLut {
+                root: id,
+                leaves: leaves.clone(),
+                on_set,
+            });
+        }
+    }
+    Mapping { luts }
+}
+
+/// Truth table of node `root` over `leaves` (bit `m` of the packed table =
+/// value at minterm `m`; minterm bit `i` = leaf `i`).
+pub fn truth_table(g: &Aig, root: u32, leaves: &[u32]) -> (Vec<u64>, usize) {
+    let k = leaves.len();
+    assert!(k <= 16, "LUT wider than 16 inputs");
+    let leaf_index: HashMap<u32, usize> = leaves.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut tt = vec![0u64; (1usize << k).div_ceil(64)];
+    // Local cone from root down to leaves.
+    let mut vals: HashMap<u32, bool> = HashMap::new();
+    for m in 0..1usize << k {
+        vals.clear();
+        let v = eval_to_leaves(g, root, &leaf_index, m, &mut vals);
+        if v {
+            tt[m / 64] |= 1 << (m % 64);
+        }
+    }
+    (tt, k)
+}
+
+fn eval_to_leaves(
+    g: &Aig,
+    id: u32,
+    leaves: &HashMap<u32, usize>,
+    minterm: usize,
+    vals: &mut HashMap<u32, bool>,
+) -> bool {
+    if let Some(&i) = leaves.get(&id) {
+        return minterm >> i & 1 == 1;
+    }
+    if let Some(&v) = vals.get(&id) {
+        return v;
+    }
+    let v = match g.node(id) {
+        AigNode::Const0 => false,
+        AigNode::Input { .. } => {
+            panic!("cut does not cover input node {id}")
+        }
+        AigNode::And(a, b) => {
+            let va = eval_to_leaves(g, lit_node(a), leaves, minterm, vals) ^ lit_inverted(a);
+            let vb = eval_to_leaves(g, lit_node(b), leaves, minterm, vals) ^ lit_inverted(b);
+            va && vb
+        }
+    };
+    vals.insert(id, v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl;
+
+    #[test]
+    fn maps_small_adder_into_few_luts() {
+        let mut g = Aig::new();
+        let a: Vec<Lit> = (0..3).map(|_| g.input()).collect();
+        let b: Vec<Lit> = (0..3).map(|_| g.input()).collect();
+        let sum = rtl::add(&mut g, &a.clone(), &b.clone(), 4);
+        let mapping = map(&g, &sum, &HashSet::new(), &MapOptions::default());
+        // 4 output bits; with 8-input LUTs the whole 3-bit adder fits in
+        // at most 4 LUTs (one per output), usually fewer nodes duplicated.
+        assert!(!mapping.luts.is_empty());
+        assert!(mapping.luts.len() <= 6, "got {}", mapping.luts.len());
+        // Verify each LUT's truth table against direct AIG evaluation.
+        for lut in &mapping.luts {
+            for m in 0..1u16 << lut.leaves.len() {
+                let expected = {
+                    let leaf_idx: HashMap<u32, usize> = lut
+                        .leaves
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &n)| (n, i))
+                        .collect();
+                    let mut vals = HashMap::new();
+                    eval_to_leaves(&g, lut.root, &leaf_idx, m as usize, &mut vals)
+                };
+                assert_eq!(lut.on_set.contains(&m), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_steers_lut_granularity() {
+        // High α (RRAM) should never need more LUTs (writes) than low α.
+        let build = |alpha: f64| {
+            let mut g = Aig::new();
+            let a: Vec<Lit> = (0..4).map(|_| g.input()).collect();
+            let b: Vec<Lit> = (0..4).map(|_| g.input()).collect();
+            let sum = rtl::add(&mut g, &a, &b, 5);
+            let opts = MapOptions {
+                alpha,
+                ..MapOptions::default()
+            };
+            map(&g, &sum, &HashSet::new(), &opts).luts.len()
+        };
+        assert!(build(10.0) <= build(1.0));
+    }
+
+    #[test]
+    fn extra_leaves_act_as_inputs() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let x = g.and(a, b);
+        let y = g.xor(x, a);
+        // Declare x materialized: the mapping must treat it as a leaf.
+        let mut leaves = HashSet::new();
+        leaves.insert(lit_node(x));
+        let mapping = map(&g, &[y], &leaves, &MapOptions::default());
+        assert_eq!(mapping.luts.len(), 1);
+        assert!(mapping.luts[0].leaves.contains(&lit_node(x)));
+    }
+
+    #[test]
+    fn truth_table_of_xor() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let x = g.xor(a, b);
+        // The xor literal is complemented: the underlying node is an XNOR.
+        let (tt, k) = truth_table(&g, lit_node(x), &[lit_node(a), lit_node(b)]);
+        assert_eq!(k, 2);
+        let expect = if crate::aig::lit_inverted(x) { 0b1001 } else { 0b0110 };
+        assert_eq!(tt[0] & 0xF, expect);
+    }
+
+    #[test]
+    fn mapping_covers_outputs_topologically() {
+        let mut g = Aig::new();
+        let ins: Vec<Lit> = (0..6).map(|_| g.input()).collect();
+        let mut acc = ins[0];
+        for &l in &ins[1..] {
+            let x = g.xor(acc, l);
+            acc = g.and(x, ins[0]);
+        }
+        let mapping = map(
+            &g,
+            &[acc],
+            &HashSet::new(),
+            &MapOptions {
+                max_inputs: 4,
+                ..MapOptions::default()
+            },
+        );
+        // Every non-primary leaf must appear as an earlier LUT root.
+        let mut produced: HashSet<u32> = HashSet::new();
+        for lut in &mapping.luts {
+            for &leaf in &lut.leaves {
+                if matches!(g.node(leaf), AigNode::And(..)) {
+                    assert!(produced.contains(&leaf), "leaf {leaf} not yet produced");
+                }
+            }
+            produced.insert(lut.root);
+        }
+        assert!(produced.contains(&lit_node(acc)));
+    }
+}

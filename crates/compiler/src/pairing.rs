@@ -1,0 +1,178 @@
+//! Two-bit-encoding bit-pairing search (§V-B4a, Fig 11).
+//!
+//! Different pairings of a lookup table's input bits lead to different
+//! numbers of search operations. Following the paper, this module
+//! *enumerates all possible pairings* (perfect and partial matchings of the
+//! input set — singles are allowed, since bits may be stored unencoded like
+//! `Cin` in Fig 5d), counts the searches each needs via the MV-SOP
+//! minimizer, and returns the best. The space is small because LUT inputs
+//! are bounded (§V-B4: ≤ 12; exhaustive enumeration here is practical to
+//! ~10 inputs — the number of matchings of 10 elements is 9496).
+
+use hyperap_tcam::mvsop::{minimize, Cover, PosKind};
+
+/// A pairing: disjoint index pairs plus leftover single indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pairing {
+    /// Paired input indices (hi, lo).
+    pub pairs: Vec<(usize, usize)>,
+    /// Unpaired input indices.
+    pub singles: Vec<usize>,
+}
+
+/// Result of the pairing search.
+#[derive(Debug, Clone)]
+pub struct PairingChoice {
+    /// The winning pairing.
+    pub pairing: Pairing,
+    /// Searches needed under the winning pairing.
+    pub best_searches: usize,
+    /// Searches needed under the worst enumerated pairing (for reporting
+    /// the Fig 11 spread).
+    pub worst_searches: usize,
+    /// Searches with no pairing at all (all bits single).
+    pub unpaired_searches: usize,
+}
+
+/// Enumerate every pairing of `0..n` (all involutions).
+pub fn enumerate_pairings(n: usize) -> Vec<Pairing> {
+    let mut out = Vec::new();
+    let mut pairs = Vec::new();
+    let mut singles = Vec::new();
+    fn recurse(
+        remaining: &[usize],
+        pairs: &mut Vec<(usize, usize)>,
+        singles: &mut Vec<usize>,
+        out: &mut Vec<Pairing>,
+    ) {
+        let Some((&first, rest)) = remaining.split_first() else {
+            out.push(Pairing {
+                pairs: pairs.clone(),
+                singles: singles.clone(),
+            });
+            return;
+        };
+        // first stays single…
+        singles.push(first);
+        recurse(rest, pairs, singles, out);
+        singles.pop();
+        // …or pairs with each later element.
+        for (i, &other) in rest.iter().enumerate() {
+            let mut next: Vec<usize> = rest.to_vec();
+            next.remove(i);
+            pairs.push((first, other));
+            recurse(&next, pairs, singles, out);
+            pairs.pop();
+        }
+    }
+    let all: Vec<usize> = (0..n).collect();
+    recurse(&all, &mut pairs, &mut singles, &mut out);
+    out
+}
+
+/// Count the searches a LUT (ON-set over `n` inputs) needs under a pairing.
+pub fn searches_under_pairing(_n: usize, on_set: &[u16], pairing: &Pairing) -> usize {
+    let mut positions = Vec::new();
+    // Position order: pairs first, then singles.
+    for _ in &pairing.pairs {
+        positions.push(PosKind::Pair);
+    }
+    for _ in &pairing.singles {
+        positions.push(PosKind::Single);
+    }
+    let on: Vec<Vec<u8>> = on_set
+        .iter()
+        .map(|&m| {
+            let mut v = Vec::with_capacity(positions.len());
+            for &(hi, lo) in &pairing.pairs {
+                v.push(((m >> hi & 1) << 1 | (m >> lo & 1)) as u8);
+            }
+            for &s in &pairing.singles {
+                v.push((m >> s & 1) as u8);
+            }
+            v
+        })
+        .collect();
+    minimize(&Cover::new(positions, on)).num_searches()
+}
+
+/// Exhaustively choose the best pairing for a LUT (the paper's §V-B4a
+/// procedure: enumerate, count, pick the minimum).
+///
+/// # Panics
+///
+/// Panics if `n > 10` (enumeration would be too large; the compiler's
+/// layout heuristics handle wider LUTs).
+pub fn choose_pairing(n: usize, on_set: &[u16]) -> PairingChoice {
+    assert!(n <= 10, "exhaustive pairing search limited to 10 inputs");
+    let mut best: Option<(usize, Pairing)> = None;
+    let mut worst = 0usize;
+    for p in enumerate_pairings(n) {
+        let s = searches_under_pairing(n, on_set, &p);
+        worst = worst.max(s);
+        if best.as_ref().is_none_or(|(bs, _)| s < *bs) {
+            best = Some((s, p));
+        }
+    }
+    let (best_searches, pairing) = best.expect("at least the all-singles pairing exists");
+    let unpaired = Pairing {
+        pairs: vec![],
+        singles: (0..n).collect(),
+    };
+    let unpaired_searches = searches_under_pairing(n, on_set, &unpaired);
+    PairingChoice {
+        pairing,
+        best_searches,
+        worst_searches: worst,
+        unpaired_searches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairing_counts_match_involutions() {
+        // Number of involutions: 1, 1, 2, 4, 10, 26, 76.
+        for (n, expect) in [(0, 1), (1, 1), (2, 2), (3, 4), (4, 10), (5, 26), (6, 76)] {
+            assert_eq!(enumerate_pairings(n).len(), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fig11_example_best_pairing_is_one_search() {
+        // Fig 11: inputs A,B,C,D (indices 3,2,1,0 — minterm bit i = input i
+        // with A=bit 3 … D=bit 0): ON-set {1000, 0100, 1011, 0111}.
+        let on = vec![0b1000, 0b0100, 0b1011, 0b0111];
+        let choice = choose_pairing(4, &on);
+        assert_eq!(choice.best_searches, 1, "A-B and C-D pairing: one search");
+        assert!(choice.worst_searches >= 4, "A-C/B-D pairing needs four");
+        // The winning pairing must pair {3,2} and {1,0}.
+        let mut ps: Vec<(usize, usize)> = choice
+            .pairing
+            .pairs
+            .iter()
+            .map(|&(a, b)| (a.max(b), a.min(b)))
+            .collect();
+        ps.sort_unstable();
+        assert_eq!(ps, vec![(1, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn pairing_never_hurts() {
+        // The best pairing can never need more searches than unpaired.
+        let on = vec![0b000, 0b011, 0b101, 0b110];
+        let choice = choose_pairing(3, &on);
+        assert!(choice.best_searches <= choice.unpaired_searches);
+    }
+
+    #[test]
+    fn full_adder_sum_pairing_matches_fig5d() {
+        // Sum ON-set over (A=bit0, B=bit1, Cin=bit2).
+        let on = vec![0b001, 0b010, 0b100, 0b111];
+        let choice = choose_pairing(3, &on);
+        assert_eq!(choice.best_searches, 2);
+        assert_eq!(choice.unpaired_searches, 4);
+    }
+}

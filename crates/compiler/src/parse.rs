@@ -1,0 +1,549 @@
+//! Recursive-descent parser for the C-like language.
+
+use crate::ast::*;
+use crate::lex::{lex, LexError, Spanned, Token};
+
+/// Parse error with source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parse a full translation unit.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.check_punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn check_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Some(Token::Punct(q)) if *q == p)
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.check_punct(p) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<u64, ParseError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(v),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn check_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(i)) if i == s)
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.check_ident(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        while self.peek().is_some() {
+            // `struct Name {` starts a definition; `struct Name ident(`
+            // is a struct-returning function.
+            let is_struct_def = self.check_ident("struct")
+                && matches!(self.tokens.get(self.pos + 2).map(|t| &t.token),
+                            Some(Token::Punct("{")));
+            if is_struct_def {
+                prog.structs.push(self.struct_def()?);
+            } else {
+                prog.functions.push(self.function()?);
+            }
+        }
+        if prog.function("main").is_none() {
+            return Err(self.err("program must define `main`"));
+        }
+        Ok(prog)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, ParseError> {
+        assert!(self.eat_ident("struct"));
+        let name = self.expect_ident()?;
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        while !self.check_punct("}") {
+            let ty = self.type_spec()?;
+            let fname = self.expect_ident()?;
+            self.expect_punct(";")?;
+            fields.push((fname, ty));
+        }
+        self.expect_punct("}")?;
+        self.expect_punct(";")?;
+        Ok(StructDef { name, fields })
+    }
+
+    /// `unsigned int (N)` | `int (N)` | `bool` | `struct Name` | `Name`.
+    fn type_spec(&mut self) -> Result<Type, ParseError> {
+        if self.eat_ident("unsigned") {
+            if !self.eat_ident("int") {
+                return Err(self.err("expected `int` after `unsigned`"));
+            }
+            self.expect_punct("(")?;
+            let w = self.expect_int()? as usize;
+            self.expect_punct(")")?;
+            if w == 0 || w > 64 {
+                return Err(self.err("bit width must be 1..=64"));
+            }
+            return Ok(Type::UInt(w));
+        }
+        if self.eat_ident("int") {
+            self.expect_punct("(")?;
+            let w = self.expect_int()? as usize;
+            self.expect_punct(")")?;
+            if w == 0 || w > 64 {
+                return Err(self.err("bit width must be 1..=64"));
+            }
+            return Ok(Type::Int(w));
+        }
+        if self.eat_ident("bool") {
+            return Ok(Type::Bool);
+        }
+        if self.eat_ident("struct") {
+            return Ok(Type::Struct(self.expect_ident()?));
+        }
+        Err(self.err(format!("expected type, found {:?}", self.peek())))
+    }
+
+    /// Is a type specifier next? (For distinguishing decls from statements.)
+    fn at_type(&self) -> bool {
+        self.check_ident("unsigned")
+            || self.check_ident("int")
+            || self.check_ident("bool")
+            || self.check_ident("struct")
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let ret = self.type_spec()?;
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.check_punct(")") {
+            loop {
+                let ty = self.type_spec()?;
+                let pname = self.expect_ident()?;
+                params.push((ty, pname));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        let body = self.block()?;
+        Ok(Function {
+            ret,
+            name,
+            params,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.check_punct("}") {
+            if self.peek().is_none() {
+                return Err(self.err("unexpected end of input in block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect_punct("}")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_ident("return") {
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(e));
+        }
+        if self.eat_ident("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then_body = self.block()?;
+            let else_body = if self.eat_ident("else") {
+                if self.check_ident("if") {
+                    vec![self.stmt()?]
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
+        }
+        if self.eat_ident("for") {
+            // for (type? i = START; i < END; i += 1) — constant bounds.
+            self.expect_punct("(")?;
+            if self.at_type() {
+                let _ = self.type_spec()?; // induction variable type (ignored)
+            }
+            let var = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let start = self.expect_int()?;
+            self.expect_punct(";")?;
+            let v2 = self.expect_ident()?;
+            if v2 != var {
+                return Err(self.err("loop condition must test the induction variable"));
+            }
+            self.expect_punct("<")?;
+            let end = self.expect_int()?;
+            self.expect_punct(";")?;
+            let v3 = self.expect_ident()?;
+            if v3 != var {
+                return Err(self.err("loop step must update the induction variable"));
+            }
+            // Accept `i += 1` or `i = i + 1`.
+            if self.eat_punct("+=") {
+                let step = self.expect_int()?;
+                if step != 1 {
+                    return Err(self.err("only unit-stride loops are supported"));
+                }
+            } else {
+                self.expect_punct("=")?;
+                let v4 = self.expect_ident()?;
+                self.expect_punct("+")?;
+                let one = self.expect_int()?;
+                if v4 != var || one != 1 {
+                    return Err(self.err("only `i = i + 1` steps are supported"));
+                }
+            }
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            });
+        }
+        if self.at_type() {
+            let ty = self.type_spec()?;
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decl { ty, name, init });
+        }
+        // Assignment.
+        let name = self.expect_ident()?;
+        let target = if self.eat_punct(".") {
+            let field = self.expect_ident()?;
+            LValue::Member(name.clone(), field)
+        } else {
+            LValue::Var(name.clone())
+        };
+        let target_expr = match &target {
+            LValue::Var(v) => Expr::Var(v.clone()),
+            LValue::Member(b, f) => Expr::Member(Box::new(Expr::Var(b.clone())), f.clone()),
+        };
+        const COMPOUND: &[(&str, BinOp)] = &[
+            ("+=", BinOp::Add),
+            ("-=", BinOp::Sub),
+            ("*=", BinOp::Mul),
+            ("/=", BinOp::Div),
+            ("%=", BinOp::Rem),
+            ("&=", BinOp::And),
+            ("|=", BinOp::Or),
+            ("^=", BinOp::Xor),
+            ("<<=", BinOp::Shl),
+            (">>=", BinOp::Shr),
+        ];
+        for (punct, op) in COMPOUND {
+            if self.eat_punct(punct) {
+                let rhs = self.expr()?;
+                self.expect_punct(";")?;
+                return Ok(Stmt::Assign {
+                    target,
+                    value: Expr::Bin(*op, Box::new(target_expr), Box::new(rhs)),
+                });
+            }
+        }
+        self.expect_punct("=")?;
+        let value = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Assign { target, value })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some(Token::Punct(p)) = self.peek() else { break };
+            let Some((op, prec)) = bin_op(p) else { break };
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("~") {
+            return Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Un(UnOp::LNot, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("-") {
+            return Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.eat_punct(".") {
+            let field = self.expect_ident()?;
+            e = Expr::Member(Box::new(e), field);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Lit(v)),
+            Some(Token::Ident(name)) => {
+                if self.check_punct("(") {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.check_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(")")?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Token::Punct("(")) => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Operator → (BinOp, precedence). Higher binds tighter.
+fn bin_op(p: &str) -> Option<(BinOp, u8)> {
+    Some(match p {
+        "||" => (BinOp::LOr, 1),
+        "&&" => (BinOp::LAnd, 2),
+        "|" => (BinOp::Or, 3),
+        "^" => (BinOp::Xor, 4),
+        "&" => (BinOp::And, 5),
+        "==" => (BinOp::Eq, 6),
+        "!=" => (BinOp::Ne, 6),
+        "<" => (BinOp::Lt, 7),
+        "<=" => (BinOp::Le, 7),
+        ">" => (BinOp::Gt, 7),
+        ">=" => (BinOp::Ge, 7),
+        "<<" => (BinOp::Shl, 8),
+        ">>" => (BinOp::Shr, 8),
+        "+" => (BinOp::Add, 9),
+        "-" => (BinOp::Sub, 9),
+        "*" => (BinOp::Mul, 10),
+        "/" => (BinOp::Div, 10),
+        "%" => (BinOp::Rem, 10),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig8_program() {
+        let src = "
+            // A program that adds two 5-bit variables
+            unsigned int (6) main (unsigned int (5) a, unsigned int (5) b) {
+                unsigned int (6) c;
+                c = a + b;
+                return c;
+            }";
+        let prog = parse(src).unwrap();
+        let main = prog.function("main").unwrap();
+        assert_eq!(main.ret, Type::UInt(6));
+        assert_eq!(main.params.len(), 2);
+        assert_eq!(main.body.len(), 3);
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let prog = parse("unsigned int (8) main(unsigned int (8) a) { return a + a * a; }")
+            .unwrap();
+        let Stmt::Return(Expr::Bin(BinOp::Add, _, rhs)) = &prog.functions[0].body[0] else {
+            panic!("expected a + (a * a)");
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_if_else_and_for() {
+        let src = "
+            unsigned int (8) main(unsigned int (8) a) {
+                unsigned int (8) s;
+                s = 0;
+                for (i = 0; i < 4; i += 1) {
+                    s = s + a;
+                }
+                if (s > 10) { s = 10; } else { s = s + 1; }
+                return s;
+            }";
+        let prog = parse(src).unwrap();
+        assert!(matches!(prog.functions[0].body[2], Stmt::For { start: 0, end: 4, .. }));
+        assert!(matches!(prog.functions[0].body[3], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_structs_and_members() {
+        let src = "
+            struct pixel { unsigned int (8) r; unsigned int (8) g; };
+            unsigned int (9) main(struct pixel p) {
+                p.r = p.r + 1;
+                return p.r + p.g;
+            }";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.structs[0].fields.len(), 2);
+        assert!(matches!(
+            prog.functions[0].body[0],
+            Stmt::Assign { target: LValue::Member(..), .. }
+        ));
+    }
+
+    #[test]
+    fn desugars_compound_assignment() {
+        let prog = parse("unsigned int (8) main(unsigned int (8) a) { a += 3; return a; }")
+            .unwrap();
+        let Stmt::Assign { value, .. } = &prog.functions[0].body[0] else {
+            panic!();
+        };
+        assert!(matches!(value, Expr::Bin(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn requires_main() {
+        let err = parse("unsigned int (4) foo() { return 1; }").unwrap_err();
+        assert!(err.to_string().contains("main"));
+    }
+
+    #[test]
+    fn rejects_zero_width() {
+        assert!(parse("unsigned int (0) main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn parses_builtin_calls() {
+        let prog =
+            parse("unsigned int (8) main(unsigned int (16) a) { return sqrt(a); }").unwrap();
+        let Stmt::Return(Expr::Call(name, args)) = &prog.functions[0].body[0] else {
+            panic!();
+        };
+        assert_eq!(name, "sqrt");
+        assert_eq!(args.len(), 1);
+    }
+}

@@ -1,0 +1,304 @@
+//! The RTL library (§V-B3): expert-written gate-level implementations of
+//! the language operators, materialized as AIG netlists.
+//!
+//! [`Overload::resolve`] provides the function-overloading capability: the
+//! same operator dispatches to a different implementation based on operand
+//! widths and signedness, like C++ overloads. Complex operators (`*`, `/`,
+//! `%`, `sqrt`, `exp`) have *iterative* expert implementations in
+//! [`hyperap_core::microcode`] and are not built as combinational netlists
+//! (the paper uses "simple iterative methods [51] [46] [26]" for them).
+
+use crate::aig::{lit_not, Aig, Lit, FALSE};
+use crate::dfg::DfgOp;
+
+/// Bit-vector of AIG literals, LSB first.
+pub type Bits = Vec<Lit>;
+
+/// Zero-extend or truncate to `w`.
+pub fn zext(bits: &Bits, w: usize) -> Bits {
+    let mut out = bits.clone();
+    out.resize(w, FALSE);
+    out.truncate(w);
+    out
+}
+
+/// Sign-extend or truncate to `w`.
+pub fn sext(bits: &Bits, w: usize) -> Bits {
+    let mut out = bits.clone();
+    let sign = out.last().copied().unwrap_or(FALSE);
+    out.resize(w, sign);
+    out.truncate(w);
+    out
+}
+
+/// Constant bits for `value` at width `w`.
+pub fn constant(g: &Aig, value: u64, w: usize) -> Bits {
+    (0..w).map(|i| g.constant(value >> i & 1 == 1)).collect()
+}
+
+/// Ripple-carry adder: returns `w`-bit sum (callers size `w` for carry-out).
+pub fn add(g: &mut Aig, a: &Bits, b: &Bits, w: usize) -> Bits {
+    let a = zext(a, w);
+    let b = zext(b, w);
+    let mut out = Vec::with_capacity(w);
+    let mut carry = FALSE;
+    for i in 0..w {
+        let x = g.xor(a[i], b[i]);
+        out.push(g.xor(x, carry));
+        carry = g.maj(a[i], b[i], carry);
+    }
+    out
+}
+
+/// Ripple-borrow subtractor (wrapping at `w` bits).
+pub fn sub(g: &mut Aig, a: &Bits, b: &Bits, w: usize, signed: bool) -> Bits {
+    let a = if signed { sext(a, w) } else { zext(a, w) };
+    let b = if signed { sext(b, w) } else { zext(b, w) };
+    // a - b = a + ~b + 1.
+    let nb: Bits = b.iter().map(|&l| lit_not(l)).collect();
+    let mut out = Vec::with_capacity(w);
+    let mut carry = g.constant(true);
+    for i in 0..w {
+        let x = g.xor(a[i], nb[i]);
+        out.push(g.xor(x, carry));
+        carry = g.maj(a[i], nb[i], carry);
+    }
+    out
+}
+
+/// Two's-complement negation.
+pub fn neg(g: &mut Aig, a: &Bits, w: usize) -> Bits {
+    let zero = constant(g, 0, w);
+    sub(g, &zero, a, w, false)
+}
+
+/// Bitwise ops.
+pub fn bitwise(g: &mut Aig, op: DfgOp, a: &Bits, b: &Bits, w: usize) -> Bits {
+    let a = zext(a, w);
+    let b = zext(b, w);
+    (0..w)
+        .map(|i| match op {
+            DfgOp::And => g.and(a[i], b[i]),
+            DfgOp::Or => g.or(a[i], b[i]),
+            DfgOp::Xor => g.xor(a[i], b[i]),
+            _ => unreachable!("bitwise op"),
+        })
+        .collect()
+}
+
+/// Bitwise complement.
+pub fn not(a: &Bits) -> Bits {
+    a.iter().map(|&l| lit_not(l)).collect()
+}
+
+/// Equality (1 bit).
+pub fn eq(g: &mut Aig, a: &Bits, b: &Bits) -> Lit {
+    let w = a.len().max(b.len());
+    let a = zext(a, w);
+    let b = zext(b, w);
+    let mut acc = g.constant(true);
+    for i in 0..w {
+        let x = g.xnor(a[i], b[i]);
+        acc = g.and(acc, x);
+    }
+    acc
+}
+
+/// Unsigned/signed less-than (1 bit).
+pub fn lt(g: &mut Aig, a: &Bits, b: &Bits, signed: bool) -> Lit {
+    let w = a.len().max(b.len()).max(1);
+    let (a, b) = if signed {
+        (sext(a, w), sext(b, w))
+    } else {
+        (zext(a, w), zext(b, w))
+    };
+    // Ripple from LSB: lt_i = (¬a_i & b_i) | (a_i == b_i) & lt_{i-1},
+    // with the sign bits swapped for signed compare.
+    let mut lt_acc = FALSE;
+    for i in 0..w {
+        let (x, y) = if signed && i == w - 1 {
+            (b[i], a[i]) // sign bit: 1 means smaller
+        } else {
+            (a[i], b[i])
+        };
+        let strict = g.and(lit_not(x), y);
+        let equal = g.xnor(x, y);
+        let keep = g.and(equal, lt_acc);
+        lt_acc = g.or(strict, keep);
+    }
+    lt_acc
+}
+
+/// 2:1 mux over bit-vectors.
+pub fn select(g: &mut Aig, pred: Lit, t: &Bits, f: &Bits, w: usize) -> Bits {
+    let t = zext(t, w);
+    let f = zext(f, w);
+    (0..w).map(|i| g.mux(pred, t[i], f[i])).collect()
+}
+
+/// Shift left by a constant (wiring only).
+pub fn shl(a: &Bits, amount: usize, w: usize) -> Bits {
+    let mut out = vec![FALSE; amount.min(w)];
+    for &l in a {
+        if out.len() >= w {
+            break;
+        }
+        out.push(l);
+    }
+    out.resize(w, FALSE);
+    out
+}
+
+/// Shift right by a constant (wiring; arithmetic when `signed`).
+pub fn shr(a: &Bits, amount: usize, w: usize, signed: bool) -> Bits {
+    let fill = if signed {
+        a.last().copied().unwrap_or(FALSE)
+    } else {
+        FALSE
+    };
+    let mut out: Bits = a.iter().skip(amount).copied().collect();
+    out.resize(w, fill);
+    out.truncate(w);
+    out
+}
+
+/// Description of an overload target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overload {
+    /// Combinational netlist from this library.
+    Netlist,
+    /// Iterative expert microcode ([`hyperap_core::microcode`]).
+    Microcode,
+}
+
+impl Overload {
+    /// Resolve the implementation for a DFG operation on operands of the
+    /// given widths — the function-overloading step of §V-B3.
+    pub fn resolve(op: DfgOp, _widths: &[usize]) -> Overload {
+        if op.is_microcode() {
+            Overload::Microcode
+        } else {
+            Overload::Netlist
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_bits(g: &Aig, bits: &Bits, inputs: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .map(|(i, &l)| (g.eval(l, inputs) as u64) << i)
+            .sum()
+    }
+
+    fn input_bits(g: &mut Aig, w: usize) -> Bits {
+        (0..w).map(|_| g.input()).collect()
+    }
+
+    fn to_bools(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| v >> i & 1 == 1).collect()
+    }
+
+    #[test]
+    fn adder_is_correct() {
+        let mut g = Aig::new();
+        let a = input_bits(&mut g, 5);
+        let b = input_bits(&mut g, 5);
+        let s = add(&mut g, &a, &b, 6);
+        for (va, vb) in [(0u64, 0u64), (31, 31), (17, 5), (1, 30)] {
+            let mut ins = to_bools(va, 5);
+            ins.extend(to_bools(vb, 5));
+            assert_eq!(eval_bits(&g, &s, &ins), va + vb, "{va}+{vb}");
+        }
+    }
+
+    #[test]
+    fn subtractor_wraps() {
+        let mut g = Aig::new();
+        let a = input_bits(&mut g, 4);
+        let b = input_bits(&mut g, 4);
+        let d = sub(&mut g, &a, &b, 4, false);
+        for (va, vb) in [(9u64, 3u64), (3, 9), (0, 1), (15, 15)] {
+            let mut ins = to_bools(va, 4);
+            ins.extend(to_bools(vb, 4));
+            assert_eq!(eval_bits(&g, &d, &ins), va.wrapping_sub(vb) & 0xF);
+        }
+    }
+
+    #[test]
+    fn comparators() {
+        let mut g = Aig::new();
+        let a = input_bits(&mut g, 4);
+        let b = input_bits(&mut g, 4);
+        let e = eq(&mut g, &a, &b);
+        let l = lt(&mut g, &a, &b, false);
+        let ls = lt(&mut g, &a, &b, true);
+        for va in 0..16u64 {
+            for vb in 0..16u64 {
+                let mut ins = to_bools(va, 4);
+                ins.extend(to_bools(vb, 4));
+                assert_eq!(g.eval(e, &ins), va == vb);
+                assert_eq!(g.eval(l, &ins), va < vb, "{va} < {vb}");
+                let sa = (va as i64) << 60 >> 60;
+                let sb = (vb as i64) << 60 >> 60;
+                assert_eq!(g.eval(ls, &ins), sa < sb, "signed {sa} < {sb}");
+            }
+        }
+    }
+
+    #[test]
+    fn neg_and_not() {
+        let mut g = Aig::new();
+        let a = input_bits(&mut g, 4);
+        let n = neg(&mut g, &a, 4);
+        let c = not(&a);
+        for va in 0..16u64 {
+            let ins = to_bools(va, 4);
+            assert_eq!(eval_bits(&g, &n, &ins), va.wrapping_neg() & 0xF);
+            assert_eq!(eval_bits(&g, &c, &ins), !va & 0xF);
+        }
+    }
+
+    #[test]
+    fn shifts_are_wiring() {
+        let mut g = Aig::new();
+        let a = input_bits(&mut g, 6);
+        let before = g.and_count();
+        let l = shl(&a, 2, 8);
+        let r = shr(&a, 3, 6, false);
+        assert_eq!(g.and_count(), before, "no gates for shifts");
+        let ins = to_bools(0b110101, 6);
+        assert_eq!(eval_bits(&g, &l, &ins), (0b110101 << 2) & 0xFF);
+        assert_eq!(eval_bits(&g, &r, &ins), 0b110101 >> 3);
+    }
+
+    #[test]
+    fn constant_operand_erases_logic() {
+        // Operand embedding: add with a constant folds most gates away.
+        let mut g1 = Aig::new();
+        let a1 = input_bits(&mut g1, 8);
+        let b1 = input_bits(&mut g1, 8);
+        add(&mut g1, &a1, &b1, 9);
+        let full = g1.and_count();
+
+        let mut g2 = Aig::new();
+        let a2 = input_bits(&mut g2, 8);
+        let c = constant(&g2, 2, 8);
+        add(&mut g2, &a2, &c, 9);
+        let embedded = g2.and_count();
+        assert!(
+            embedded * 2 < full,
+            "embedded {embedded} vs full {full} gates"
+        );
+    }
+
+    #[test]
+    fn overload_resolution() {
+        assert_eq!(Overload::resolve(DfgOp::Add, &[8, 8]), Overload::Netlist);
+        assert_eq!(Overload::resolve(DfgOp::Mul, &[8, 8]), Overload::Microcode);
+        assert_eq!(Overload::resolve(DfgOp::Sqrt, &[16]), Overload::Microcode);
+    }
+}

@@ -1,0 +1,823 @@
+//! Semantic analysis: type checking, width inference, loop unrolling,
+//! branch flattening (Fig 13b), struct flattening, and constant folding —
+//! lowering the AST into a [`Dfg`].
+
+use crate::ast::*;
+use crate::dfg::{Dfg, DfgNode, DfgOp, NodeId};
+use std::collections::HashMap;
+
+/// Semantic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for SemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+fn err(msg: impl Into<String>) -> SemaError {
+    SemaError {
+        message: msg.into(),
+    }
+}
+
+/// Result of lowering: the DFG plus the flattened input/output signatures.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The dataflow graph.
+    pub dfg: Dfg,
+    /// Flattened scalar input names (structs expand to `name.field`).
+    pub input_names: Vec<String>,
+    /// Flattened scalar output names (for struct returns; a scalar return
+    /// is the single name `result`).
+    pub output_names: Vec<String>,
+}
+
+/// Lower a parsed program to a DFG (entry point: `main`).
+///
+/// # Errors
+///
+/// Returns [`SemaError`] on type errors, unsupported constructs (pointer
+/// chasing does not parse; data-dependent shift amounts and loop bounds are
+/// rejected here), or missing returns.
+pub fn lower(program: &Program) -> Result<Lowered, SemaError> {
+    let main = program
+        .function("main")
+        .ok_or_else(|| err("missing main"))?;
+    let mut ctx = Ctx {
+        program,
+        dfg: Dfg::default(),
+        env: HashMap::new(),
+        consts: HashMap::new(),
+        var_types: HashMap::new(),
+        input_names: Vec::new(),
+        returned: None,
+    };
+    // Bind parameters (structs flatten to one input per field).
+    for (ty, name) in &main.params {
+        ctx.bind_param(ty, name)?;
+    }
+    ctx.run_block(&main.body)?;
+    let ret = ctx
+        .returned
+        .take()
+        .ok_or_else(|| err("main must return a value"))?;
+    let ret_ty = main.ret.clone();
+    // Coerce the returned value to the declared return type.
+    let outputs: Vec<NodeId> = match &ret_ty {
+        Type::Struct(sname) => {
+            let def = program
+                .struct_def(sname)
+                .ok_or_else(|| err(format!("unknown struct `{sname}`")))?;
+            let Value::Struct(fields) = ret else {
+                return Err(err("return type is a struct but a scalar was returned"));
+            };
+            def.fields
+                .iter()
+                .map(|(fname, fty)| {
+                    let v = fields
+                        .get(fname)
+                        .copied()
+                        .ok_or_else(|| err(format!("missing struct field `{fname}`")))?;
+                    let w = fty.scalar_width().ok_or_else(|| err("nested structs"))?;
+                    Ok(ctx.resize(v, w, fty.is_signed()))
+                })
+                .collect::<Result<_, SemaError>>()?
+        }
+        scalar => {
+            let w = scalar.scalar_width().expect("scalar return");
+            let Value::Scalar(node) = ret else {
+                return Err(err("return type is scalar but a struct was returned"));
+            };
+            vec![ctx.resize(node, w, scalar.is_signed())]
+        }
+    };
+    let output_names = match &ret_ty {
+        Type::Struct(sname) => program
+            .struct_def(sname)
+            .expect("checked above")
+            .fields
+            .iter()
+            .map(|(f, _)| format!("result.{f}"))
+            .collect(),
+        _ => vec!["result".to_string()],
+    };
+    ctx.dfg.outputs = outputs;
+    Ok(Lowered {
+        dfg: ctx.dfg,
+        input_names: ctx.input_names,
+        output_names,
+    })
+}
+
+/// A value: a scalar DFG node or a flattened struct.
+#[derive(Debug, Clone)]
+enum Value {
+    Scalar(NodeId),
+    Struct(HashMap<String, NodeId>),
+}
+
+struct Ctx<'a> {
+    program: &'a Program,
+    dfg: Dfg,
+    /// Variable environment (struct members stored flat as `base.field`
+    /// inside Struct values).
+    env: HashMap<String, Value>,
+    /// Loop induction variables (compile-time constants).
+    consts: HashMap<String, u64>,
+    /// Declared (width, signed) of scalar variables and struct members
+    /// (members keyed as `base.field`) — assignments coerce to these.
+    var_types: HashMap<String, (usize, bool)>,
+    input_names: Vec<String>,
+    returned: Option<Value>,
+}
+
+impl<'a> Ctx<'a> {
+    fn bind_param(&mut self, ty: &Type, name: &str) -> Result<(), SemaError> {
+        match ty {
+            Type::Struct(sname) => {
+                let def = self
+                    .program
+                    .struct_def(sname)
+                    .ok_or_else(|| err(format!("unknown struct `{sname}`")))?
+                    .clone();
+                let mut fields = HashMap::new();
+                for (fname, fty) in &def.fields {
+                    let w = fty
+                        .scalar_width()
+                        .ok_or_else(|| err("nested structs are not supported"))?;
+                    let idx = self.dfg.input_widths.len();
+                    self.dfg.input_widths.push(w);
+                    self.input_names.push(format!("{name}.{fname}"));
+                    let node = self.dfg.push(DfgNode {
+                        op: DfgOp::Input { index: idx },
+                        inputs: vec![],
+                        width: w,
+                        signed: fty.is_signed(),
+                    });
+                    self.var_types.insert(format!("{name}.{fname}"), (w, fty.is_signed()));
+                    fields.insert(fname.clone(), node);
+                }
+                self.env.insert(name.to_string(), Value::Struct(fields));
+            }
+            scalar => {
+                let w = scalar.scalar_width().expect("scalar param");
+                let idx = self.dfg.input_widths.len();
+                self.dfg.input_widths.push(w);
+                self.input_names.push(name.to_string());
+                let node = self.dfg.push(DfgNode {
+                    op: DfgOp::Input { index: idx },
+                    inputs: vec![],
+                    width: w,
+                    signed: scalar.is_signed(),
+                });
+                self.var_types.insert(name.to_string(), (w, scalar.is_signed()));
+                self.env.insert(name.to_string(), Value::Scalar(node));
+            }
+        }
+        Ok(())
+    }
+
+    fn constant(&mut self, value: u64, width: usize) -> NodeId {
+        self.dfg.push(DfgNode {
+            op: DfgOp::Const { value: value & mask(width) },
+            inputs: vec![],
+            width,
+            signed: false,
+        })
+    }
+
+    /// Coerce to a declared variable type; unlike [`resize`](Self::resize)
+    /// this marks even folded constants with the declared signedness so
+    /// later operations (abs, compares) see the right type.
+    fn resize_declared(&mut self, node: NodeId, width: usize, signed: bool) -> NodeId {
+        let id = self.resize(node, width, signed);
+        if signed {
+            // Signedness is a property of the node; retag in place.
+            self.dfg.nodes[id].signed = true;
+        }
+        id
+    }
+
+    fn resize(&mut self, node: NodeId, width: usize, signed: bool) -> NodeId {
+        let n = self.dfg.node(node);
+        if n.width == width && n.signed == signed {
+            return node;
+        }
+        // Fold constant resizes immediately (operand embedding).
+        if let DfgOp::Const { value } = n.op {
+            return self.constant(value, width);
+        }
+        self.dfg.push(DfgNode {
+            op: DfgOp::Resize,
+            inputs: vec![node],
+            width,
+            signed,
+        })
+    }
+
+    fn run_block(&mut self, stmts: &[Stmt]) -> Result<(), SemaError> {
+        for stmt in stmts {
+            if self.returned.is_some() {
+                break; // code after return is dead
+            }
+            self.run_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn run_stmt(&mut self, stmt: &Stmt) -> Result<(), SemaError> {
+        match stmt {
+            Stmt::Decl { ty, name, init } => {
+                let value = match ty {
+                    Type::Struct(sname) => {
+                        if init.is_some() {
+                            return Err(err("struct initializers are not supported"));
+                        }
+                        let def = self
+                            .program
+                            .struct_def(sname)
+                            .ok_or_else(|| err(format!("unknown struct `{sname}`")))?
+                            .clone();
+                        let mut fields = HashMap::new();
+                        for (fname, fty) in &def.fields {
+                            let w = fty.scalar_width().ok_or_else(|| err("nested structs"))?;
+                            let zero = self.constant(0, w);
+                            self.var_types
+                                .insert(format!("{name}.{fname}"), (w, fty.is_signed()));
+                            fields.insert(fname.clone(), zero);
+                        }
+                        Value::Struct(fields)
+                    }
+                    scalar => {
+                        let w = scalar.scalar_width().expect("scalar decl");
+                        let node = match init {
+                            Some(e) => {
+                                let v = self.eval_expr(e)?;
+                                self.resize(v, w, scalar.is_signed())
+                            }
+                            None => self.constant(0, w),
+                        };
+                        self.var_types
+                            .insert(name.clone(), (w, scalar.is_signed()));
+                        Value::Scalar(node)
+                    }
+                };
+                self.env.insert(name.clone(), value);
+            }
+            Stmt::Assign { target, value } => {
+                let v = self.eval_expr(value)?;
+                match target {
+                    LValue::Var(name) => {
+                        let Some(old) = self.env.get(name) else {
+                            return Err(err(format!("assignment to undeclared `{name}`")));
+                        };
+                        if !matches!(old, Value::Scalar(_)) {
+                            return Err(err(format!("cannot assign whole struct `{name}`")));
+                        }
+                        let (w, s) = *self
+                            .var_types
+                            .get(name)
+                            .ok_or_else(|| err(format!("unknown type of `{name}`")))?;
+                        let coerced = self.resize_declared(v, w, s);
+                        self.env.insert(name.clone(), Value::Scalar(coerced));
+                    }
+                    LValue::Member(base, field) => {
+                        let Some(Value::Struct(fields)) = self.env.get(base) else {
+                            return Err(err(format!("`{base}` is not a struct")));
+                        };
+                        if fields.get(field).is_none() {
+                            return Err(err(format!("no field `{field}` on `{base}`")));
+                        }
+                        let (w, s) = *self
+                            .var_types
+                            .get(&format!("{base}.{field}"))
+                            .ok_or_else(|| err(format!("unknown type of `{base}.{field}`")))?;
+                        let coerced = self.resize_declared(v, w, s);
+                        if let Some(Value::Struct(fields)) = self.env.get_mut(base) {
+                            fields.insert(field.clone(), coerced);
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let pred = self.eval_expr(cond)?;
+                let pred = self.resize(pred, 1, false);
+                // Execute both branches on snapshots (Fig 13b), then select.
+                let before = self.env.clone();
+                let before_ret = self.returned.clone();
+                self.run_block(then_body)?;
+                if self.returned.is_some() != before_ret.is_some() {
+                    return Err(err("return inside `if` is not supported"));
+                }
+                let then_env = std::mem::replace(&mut self.env, before);
+                self.run_block(else_body)?;
+                let else_env = self.env.clone();
+                // Merge: any variable differing between branches selects.
+                let mut merged = HashMap::new();
+                for (name, then_v) in &then_env {
+                    let else_v = else_env.get(name).unwrap_or(then_v);
+                    merged.insert(name.clone(), self.merge_values(pred, then_v, else_v)?);
+                }
+                // Variables declared only in the else branch survive as-is.
+                for (name, else_v) in else_env {
+                    merged.entry(name).or_insert(else_v);
+                }
+                self.env = merged;
+            }
+            Stmt::For {
+                var,
+                start,
+                end,
+                body,
+            } => {
+                if end < start {
+                    return Err(err("loop bound below start"));
+                }
+                if end - start > 4096 {
+                    return Err(err("loop unrolls to more than 4096 iterations"));
+                }
+                for i in *start..*end {
+                    self.consts.insert(var.clone(), i);
+                    self.run_block(body)?;
+                    if self.returned.is_some() {
+                        break;
+                    }
+                }
+                self.consts.remove(var);
+            }
+            Stmt::Return(e) => {
+                let v = self.eval_expr_value(e)?;
+                self.returned = Some(v);
+            }
+        }
+        Ok(())
+    }
+
+    fn merge_values(&mut self, pred: NodeId, t: &Value, f: &Value) -> Result<Value, SemaError> {
+        match (t, f) {
+            (Value::Scalar(a), Value::Scalar(b)) => {
+                if a == b {
+                    return Ok(Value::Scalar(*a));
+                }
+                let w = self.dfg.node(*a).width.max(self.dfg.node(*b).width);
+                let signed = self.dfg.node(*a).signed;
+                let sel = self.dfg.push(DfgNode {
+                    op: DfgOp::Select,
+                    inputs: vec![pred, *a, *b],
+                    width: w,
+                    signed,
+                });
+                Ok(Value::Scalar(sel))
+            }
+            (Value::Struct(ta), Value::Struct(fb)) => {
+                let mut out = HashMap::new();
+                for (name, &a) in ta {
+                    let b = fb.get(name).copied().unwrap_or(a);
+                    let Value::Scalar(m) =
+                        self.merge_values(pred, &Value::Scalar(a), &Value::Scalar(b))?
+                    else {
+                        unreachable!()
+                    };
+                    out.insert(name.clone(), m);
+                }
+                Ok(Value::Struct(out))
+            }
+            _ => Err(err("branches assign incompatible values")),
+        }
+    }
+
+    fn eval_expr(&mut self, e: &Expr) -> Result<NodeId, SemaError> {
+        match self.eval_expr_value(e)? {
+            Value::Scalar(n) => Ok(n),
+            Value::Struct(_) => Err(err("expected a scalar expression")),
+        }
+    }
+
+    /// Fold to a constant if possible.
+    fn const_of(&self, node: NodeId) -> Option<u64> {
+        match self.dfg.node(node).op {
+            DfgOp::Const { value } => Some(value),
+            _ => None,
+        }
+    }
+
+    fn eval_expr_value(&mut self, e: &Expr) -> Result<Value, SemaError> {
+        match e {
+            Expr::Lit(v) => {
+                let width = (64 - v.leading_zeros()).max(1) as usize;
+                Ok(Value::Scalar(self.constant(*v, width)))
+            }
+            Expr::Var(name) => {
+                if let Some(&c) = self.consts.get(name) {
+                    let width = (64 - c.leading_zeros()).max(1) as usize;
+                    return Ok(Value::Scalar(self.constant(c, width)));
+                }
+                self.env
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| err(format!("undeclared variable `{name}`")))
+            }
+            Expr::Member(base, field) => {
+                let base_v = self.eval_expr_value(base)?;
+                let Value::Struct(fields) = base_v else {
+                    return Err(err("member access on non-struct"));
+                };
+                fields
+                    .get(field)
+                    .copied()
+                    .map(Value::Scalar)
+                    .ok_or_else(|| err(format!("no field `{field}`")))
+            }
+            Expr::Un(op, inner) => {
+                let v = self.eval_expr(inner)?;
+                let n = self.dfg.node(v).clone();
+                if let Some(c) = self.const_of(v) {
+                    let folded = match op {
+                        UnOp::Not => !c & mask(n.width),
+                        UnOp::Neg => c.wrapping_neg() & mask(n.width),
+                        UnOp::LNot => (c == 0) as u64,
+                    };
+                    let w = if *op == UnOp::LNot { 1 } else { n.width };
+                    return Ok(Value::Scalar(self.constant(folded, w)));
+                }
+                let node = match op {
+                    UnOp::Not => DfgNode {
+                        op: DfgOp::Not,
+                        inputs: vec![v],
+                        width: n.width,
+                        signed: n.signed,
+                    },
+                    UnOp::Neg => DfgNode {
+                        op: DfgOp::Neg,
+                        inputs: vec![v],
+                        width: n.width,
+                        signed: true,
+                    },
+                    UnOp::LNot => {
+                        let zero = self.constant(0, n.width);
+                        DfgNode {
+                            op: DfgOp::Eq,
+                            inputs: vec![v, zero],
+                            width: 1,
+                            signed: false,
+                        }
+                    }
+                };
+                Ok(Value::Scalar(self.dfg.push(node)))
+            }
+            Expr::Bin(op, lhs, rhs) => self.eval_bin(*op, lhs, rhs),
+            Expr::Call(name, args) => self.eval_call(name, args),
+        }
+    }
+
+    fn eval_bin(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Value, SemaError> {
+        let a = self.eval_expr(lhs)?;
+        let b = self.eval_expr(rhs)?;
+        let (wa, sa) = {
+            let n = self.dfg.node(a);
+            (n.width, n.signed)
+        };
+        let (wb, sb) = {
+            let n = self.dfg.node(b);
+            (n.width, n.signed)
+        };
+        // Constant folding (operand embedding starts here).
+        if let (Some(ca), Some(cb)) = (self.const_of(a), self.const_of(b)) {
+            if let Some((v, w)) = fold_bin(op, ca, cb, wa, wb) {
+                return Ok(Value::Scalar(self.constant(v, w)));
+            }
+        }
+        // Shifts require constant amounts (no barrel shifter in AP).
+        if matches!(op, BinOp::Shl | BinOp::Shr) {
+            let Some(amount) = self.const_of(b) else {
+                return Err(err("shift amounts must be compile-time constants"));
+            };
+            let amount = amount as usize;
+            let (dop, w) = match op {
+                BinOp::Shl => (DfgOp::Shl { amount }, (wa + amount).min(64)),
+                _ => (DfgOp::Shr { amount }, wa),
+            };
+            return Ok(Value::Scalar(self.dfg.push(DfgNode {
+                op: dop,
+                inputs: vec![a],
+                width: w,
+                signed: sa,
+            })));
+        }
+        let signed = sa || sb;
+        let (dop, width) = match op {
+            BinOp::Add => (DfgOp::Add, wa.max(wb) + 1),
+            BinOp::Sub => (DfgOp::Sub, wa.max(wb).max(1)),
+            BinOp::Mul => (DfgOp::Mul, (wa + wb).min(64)),
+            BinOp::Div => (DfgOp::Div, wa),
+            BinOp::Rem => (DfgOp::Rem, wa.min(wb).max(1)),
+            BinOp::And => (DfgOp::And, wa.max(wb)),
+            BinOp::Or => (DfgOp::Or, wa.max(wb)),
+            BinOp::Xor => (DfgOp::Xor, wa.max(wb)),
+            BinOp::Eq => (DfgOp::Eq, 1),
+            BinOp::Ne => (DfgOp::Ne, 1),
+            BinOp::Lt => (DfgOp::Lt, 1),
+            BinOp::Le => (DfgOp::Le, 1),
+            BinOp::Gt => (DfgOp::Gt, 1),
+            BinOp::Ge => (DfgOp::Ge, 1),
+            BinOp::LAnd => (DfgOp::And, 1),
+            BinOp::LOr => (DfgOp::Or, 1),
+            BinOp::Shl | BinOp::Shr => unreachable!("handled above"),
+        };
+        let width = width.min(64);
+        let (a, b) = if matches!(op, BinOp::LAnd | BinOp::LOr) {
+            (self.resize(a, 1, false), self.resize(b, 1, false))
+        } else {
+            (a, b)
+        };
+        // Signed arithmetic: sign-extend operands to the RESULT width so
+        // wrap-around matches two's-complement semantics (a zero-extended
+        // negative operand would otherwise lose its sign weight).
+        let (a, b) = if signed && !matches!(op, BinOp::LAnd | BinOp::LOr) {
+            let w = if matches!(op, BinOp::Add | BinOp::Sub) {
+                width
+            } else {
+                wa.max(wb)
+            };
+            (self.resize(a, w, sa), self.resize(b, w, sb))
+        } else {
+            (a, b)
+        };
+        let result_signed = signed && !matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::LAnd | BinOp::LOr);
+        Ok(Value::Scalar(self.dfg.push(DfgNode {
+            op: dop,
+            inputs: vec![a, b],
+            width,
+            signed: result_signed,
+        })))
+    }
+
+    fn eval_call(&mut self, name: &str, args: &[Expr]) -> Result<Value, SemaError> {
+        let need = |n: usize| -> Result<(), SemaError> {
+            if args.len() != n {
+                Err(err(format!("`{name}` expects {n} argument(s)")))
+            } else {
+                Ok(())
+            }
+        };
+        match name {
+            "sqrt" => {
+                need(1)?;
+                let a = self.eval_expr(&args[0])?;
+                let w = self.dfg.node(a).width;
+                Ok(Value::Scalar(self.dfg.push(DfgNode {
+                    op: DfgOp::Sqrt,
+                    inputs: vec![a],
+                    width: w.div_ceil(2),
+                    signed: false,
+                })))
+            }
+            "exp" => {
+                // exp(x, frac_bits): Q(w-f).f fixed point.
+                need(2)?;
+                let a = self.eval_expr(&args[0])?;
+                let f = self
+                    .eval_expr(&args[1])
+                    .ok()
+                    .and_then(|n| self.const_of(n))
+                    .ok_or_else(|| err("exp() fraction bits must be constant"))?;
+                let w = self.dfg.node(a).width;
+                if f as usize >= w {
+                    return Err(err("exp() needs at least one integer bit"));
+                }
+                Ok(Value::Scalar(self.dfg.push(DfgNode {
+                    op: DfgOp::Exp { frac_bits: f as u32 },
+                    inputs: vec![a],
+                    width: w,
+                    signed: false,
+                })))
+            }
+            "min" | "max" => {
+                need(2)?;
+                let a = self.eval_expr(&args[0])?;
+                let b = self.eval_expr(&args[1])?;
+                let w = self.dfg.node(a).width.max(self.dfg.node(b).width);
+                let signed = self.dfg.node(a).signed || self.dfg.node(b).signed;
+                let cmp_op = if name == "min" { DfgOp::Lt } else { DfgOp::Gt };
+                let pred = self.dfg.push(DfgNode {
+                    op: cmp_op,
+                    inputs: vec![a, b],
+                    width: 1,
+                    signed: false,
+                });
+                Ok(Value::Scalar(self.dfg.push(DfgNode {
+                    op: DfgOp::Select,
+                    inputs: vec![pred, a, b],
+                    width: w,
+                    signed,
+                })))
+            }
+            "abs" => {
+                need(1)?;
+                let a = self.eval_expr(&args[0])?;
+                let n = self.dfg.node(a).clone();
+                if !n.signed {
+                    return Ok(Value::Scalar(a));
+                }
+                let zero = self.constant(0, n.width);
+                let pred = self.dfg.push(DfgNode {
+                    op: DfgOp::Lt,
+                    inputs: vec![a, zero],
+                    width: 1,
+                    signed: false,
+                });
+                let neg = self.dfg.push(DfgNode {
+                    op: DfgOp::Neg,
+                    inputs: vec![a],
+                    width: n.width,
+                    signed: true,
+                });
+                Ok(Value::Scalar(self.dfg.push(DfgNode {
+                    op: DfgOp::Select,
+                    inputs: vec![pred, neg, a],
+                    width: n.width,
+                    signed: false,
+                })))
+            }
+            other => Err(err(format!("unknown builtin `{other}`"))),
+        }
+    }
+}
+
+fn mask(w: usize) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+fn fold_bin(op: BinOp, a: u64, b: u64, wa: usize, wb: usize) -> Option<(u64, usize)> {
+    let w = wa.max(wb);
+    Some(match op {
+        BinOp::Add => (a.wrapping_add(b), w + 1),
+        BinOp::Sub => (a.wrapping_sub(b) & mask(w), w),
+        BinOp::Mul => (a.wrapping_mul(b), (wa + wb).min(64)),
+        BinOp::Div => (if b == 0 { mask(wa) } else { a / b }, wa),
+        BinOp::Rem => (if b == 0 { a } else { a % b }, wb.max(1)),
+        BinOp::And => (a & b, w),
+        BinOp::Or => (a | b, w),
+        BinOp::Xor => (a ^ b, w),
+        BinOp::Shl => ((a << b.min(63)).min(u64::MAX), (wa + b as usize).min(64)),
+        BinOp::Shr => (a >> b.min(63), wa),
+        BinOp::Eq => ((a == b) as u64, 1),
+        BinOp::Ne => ((a != b) as u64, 1),
+        BinOp::Lt => ((a < b) as u64, 1),
+        BinOp::Le => ((a <= b) as u64, 1),
+        BinOp::Gt => ((a > b) as u64, 1),
+        BinOp::Ge => ((a >= b) as u64, 1),
+        BinOp::LAnd => ((a != 0 && b != 0) as u64, 1),
+        BinOp::LOr => ((a != 0 || b != 0) as u64, 1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn lower_src(src: &str) -> Lowered {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fig8_program_lowers_and_evaluates() {
+        let l = lower_src(
+            "unsigned int (6) main(unsigned int (5) a, unsigned int (5) b) {
+                 unsigned int (6) c; c = a + b; return c;
+             }",
+        );
+        assert_eq!(l.dfg.eval(&[30, 31]), vec![61]);
+        assert_eq!(l.input_names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn loops_unroll() {
+        let l = lower_src(
+            "unsigned int (8) main(unsigned int (4) a) {
+                 unsigned int (8) s; s = 0;
+                 for (i = 0; i < 5; i += 1) { s = s + a; }
+                 return s;
+             }",
+        );
+        assert_eq!(l.dfg.eval(&[7]), vec![35]);
+    }
+
+    #[test]
+    fn induction_variable_is_a_constant() {
+        let l = lower_src(
+            "unsigned int (8) main(unsigned int (4) a) {
+                 unsigned int (8) s; s = 0;
+                 for (i = 0; i < 4; i += 1) { s = s + i; }
+                 return s;
+             }",
+        );
+        assert_eq!(l.dfg.eval(&[0]), vec![6]);
+    }
+
+    #[test]
+    fn conditionals_flatten_to_select() {
+        let l = lower_src(
+            "unsigned int (8) main(unsigned int (8) a) {
+                 unsigned int (8) b;
+                 if (a > 10) { b = a - 10; } else { b = a + 1; }
+                 return b;
+             }",
+        );
+        assert!(l.dfg.nodes.iter().any(|n| n.op == DfgOp::Select));
+        assert_eq!(l.dfg.eval(&[20]), vec![10]);
+        assert_eq!(l.dfg.eval(&[5]), vec![6]);
+    }
+
+    #[test]
+    fn struct_params_flatten() {
+        let l = lower_src(
+            "struct pt { unsigned int (8) x; unsigned int (8) y; };
+             unsigned int (9) main(struct pt p) { return p.x + p.y; }",
+        );
+        assert_eq!(l.input_names, vec!["p.x", "p.y"]);
+        assert_eq!(l.dfg.eval(&[3, 4]), vec![7]);
+    }
+
+    #[test]
+    fn struct_returns_flatten() {
+        let l = lower_src(
+            "struct pair { unsigned int (8) lo; unsigned int (8) hi; };
+             struct pair main(unsigned int (8) a) {
+                 struct pair r;
+                 r.lo = a + 1;
+                 r.hi = a - 1;
+                 return r;
+             }",
+        );
+        assert_eq!(l.output_names, vec!["result.lo", "result.hi"]);
+        assert_eq!(l.dfg.eval(&[10]), vec![11, 9]);
+    }
+
+    #[test]
+    fn constants_fold() {
+        let l = lower_src("unsigned int (8) main(unsigned int (8) a) { return a + (2 * 3); }");
+        assert!(l
+            .dfg
+            .nodes
+            .iter()
+            .any(|n| matches!(n.op, DfgOp::Const { value: 6 })));
+        assert!(!l.dfg.nodes.iter().any(|n| n.op == DfgOp::Mul));
+    }
+
+    #[test]
+    fn rejects_variable_shift() {
+        let e = lower(&parse(
+            "unsigned int (8) main(unsigned int (8) a, unsigned int (3) k) { return a << k; }",
+        )
+        .unwrap())
+        .unwrap_err();
+        assert!(e.to_string().contains("compile-time"));
+    }
+
+    #[test]
+    fn rejects_undeclared() {
+        let e = lower(&parse("unsigned int (8) main() { return q; }").unwrap()).unwrap_err();
+        assert!(e.to_string().contains("undeclared"));
+    }
+
+    #[test]
+    fn signed_compare_and_abs() {
+        let l = lower_src(
+            "unsigned int (8) main(int (8) a, int (8) b) {
+                 int (8) d;
+                 d = a - b;
+                 return abs(d);
+             }",
+        );
+        // a = 3, b = 10 -> |3-10| = 7.
+        assert_eq!(l.dfg.eval(&[3, 10]), vec![7]);
+        assert_eq!(l.dfg.eval(&[10, 3]), vec![7]);
+    }
+
+    #[test]
+    fn min_max_builtin() {
+        let l = lower_src(
+            "unsigned int (8) main(unsigned int (8) a, unsigned int (8) b) {
+                 return min(a, b) + max(a, b);
+             }",
+        );
+        assert_eq!(l.dfg.eval(&[3, 9]), vec![12]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Language-level integration tests: every operator and construct of the
+//! C-like language (§V-A) compiles and executes with C semantics, validated
+//! exhaustively at small widths against the DFG interpreter and Rust.
+
+use hyperap_compiler::{compile, CompileError, CompileOptions};
+
+fn run(src: &str, inputs: &[&[u64]]) -> Vec<u64> {
+    compile(src, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("{e}\n{src}"))
+        .run_rows(inputs)
+        .unwrap()
+}
+
+#[test]
+fn every_binary_operator_small_width_exhaustive() {
+    let cases: &[(&str, fn(u64, u64) -> u64, usize)] = &[
+        ("a + b", |a, b| (a + b) & 0x1F, 5),
+        ("a - b", |a, b| a.wrapping_sub(b) & 0xF, 4),
+        ("a & b", |a, b| a & b, 4),
+        ("a | b", |a, b| a | b, 4),
+        ("a ^ b", |a, b| a ^ b, 4),
+        ("a == b", |a, b| (a == b) as u64, 1),
+        ("a != b", |a, b| (a != b) as u64, 1),
+        ("a < b", |a, b| (a < b) as u64, 1),
+        ("a <= b", |a, b| (a <= b) as u64, 1),
+        ("a > b", |a, b| (a > b) as u64, 1),
+        ("a >= b", |a, b| (a >= b) as u64, 1),
+    ];
+    for (expr, reference, out_w) in cases {
+        let src = format!(
+            "unsigned int ({out_w}) main(unsigned int (4) a, unsigned int (4) b) {{ return {expr}; }}"
+        );
+        let kernel = compile(&src, &CompileOptions::default()).unwrap();
+        let rows: Vec<Vec<u64>> = (0..256u64).map(|i| vec![i & 0xF, i >> 4]).collect();
+        let refs: Vec<&[u64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let out = kernel.run_rows(&refs).unwrap();
+        for (row, o) in rows.iter().zip(&out) {
+            let mask = ((1u128 << out_w) - 1) as u64;
+            assert_eq!(*o, reference(row[0], row[1]) & mask, "{expr} on {row:?}");
+        }
+    }
+}
+
+#[test]
+fn mul_div_rem_exhaustive_4bit() {
+    let kernel = compile(
+        "unsigned int (8) main(unsigned int (4) a, unsigned int (4) b) {
+             return a * b + a / b + a % b;
+         }",
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let rows: Vec<Vec<u64>> = (0..16u64)
+        .flat_map(|a| (1..16u64).map(move |b| vec![a, b]))
+        .collect();
+    let refs: Vec<&[u64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let out = kernel.run_rows(&refs).unwrap();
+    for (row, o) in rows.iter().zip(&out) {
+        let (a, b) = (row[0], row[1]);
+        assert_eq!(*o, (a * b + a / b + a % b) & 0xFF, "a={a} b={b}");
+    }
+}
+
+#[test]
+fn unary_operators() {
+    assert_eq!(
+        run(
+            "unsigned int (4) main(unsigned int (4) a) { return ~a; }",
+            &[&[0b1010]]
+        ),
+        vec![0b0101]
+    );
+    assert_eq!(
+        run(
+            "int (5) main(int (5) a) { return -a; }",
+            &[&[3]]
+        ),
+        vec![(-3i64 & 0x1F) as u64]
+    );
+    assert_eq!(
+        run(
+            "bool main(unsigned int (4) a) { return !(a > 2); }",
+            &[&[1], &[7]]
+        ),
+        vec![1, 0]
+    );
+}
+
+#[test]
+fn logical_operators_on_bools() {
+    let src = "bool main(unsigned int (4) a, unsigned int (4) b) {
+        return (a > 4) && (b < 4) || (a == b);
+    }";
+    let kernel = compile(src, &CompileOptions::default()).unwrap();
+    for a in 0..16u64 {
+        for b in 0..16u64 {
+            let expect = ((a > 4) && (b < 4) || (a == b)) as u64;
+            assert_eq!(kernel.run_rows(&[&[a, b]]).unwrap()[0], expect, "a={a} b={b}");
+        }
+    }
+}
+
+#[test]
+fn nested_ifs_and_else_if_chains() {
+    let src = "unsigned int (3) main(unsigned int (6) a) {
+        unsigned int (3) grade;
+        if (a >= 50) { grade = 5; }
+        else if (a >= 30) {
+            if (a >= 40) { grade = 4; } else { grade = 3; }
+        }
+        else { grade = 1; }
+        return grade;
+    }";
+    let kernel = compile(src, &CompileOptions::default()).unwrap();
+    for (a, expect) in [(55u64, 5u64), (45, 4), (35, 3), (10, 1), (50, 5), (30, 3)] {
+        assert_eq!(kernel.run_rows(&[&[a]]).unwrap()[0], expect, "a={a}");
+    }
+}
+
+#[test]
+fn nested_loops_unroll() {
+    let src = "unsigned int (8) main(unsigned int (2) a) {
+        unsigned int (8) s;
+        s = 0;
+        for (i = 0; i < 3; i += 1) {
+            for (j = 0; j < 2; j += 1) {
+                s = s + a + i + j;
+            }
+        }
+        return s;
+    }";
+    // s = sum over i in 0..3, j in 0..2 of (a+i+j) = 6a + 2*(0+1+2) + 3*(0+1)
+    let kernel = compile(src, &CompileOptions::default()).unwrap();
+    for a in 0..4u64 {
+        assert_eq!(kernel.run_rows(&[&[a]]).unwrap()[0], 6 * a + 9, "a={a}");
+    }
+}
+
+#[test]
+fn struct_round_trip_through_computation() {
+    let src = "
+        struct complex { int (8) re; int (8) im; };
+        struct complex main(struct complex x, struct complex y) {
+            struct complex r;
+            r.re = x.re + y.re;
+            r.im = x.im - y.im;
+            return r;
+        }";
+    let kernel = compile(src, &CompileOptions::default()).unwrap();
+    let out = kernel.run_rows_multi(&[&[10, 20, 5, 8]]).unwrap();
+    assert_eq!(out[0][0], 15);
+    assert_eq!(out[0][1], 12);
+}
+
+#[test]
+fn signed_arithmetic_and_shifts() {
+    let src = "int (8) main(int (8) a) {
+        int (8) t;
+        t = a - 100;
+        return t >> 2;
+    }";
+    let kernel = compile(src, &CompileOptions::default()).unwrap();
+    // a = 20: t = -80; arithmetic shift: -20.
+    assert_eq!(kernel.run_rows(&[&[20]]).unwrap()[0], (-20i64 & 0xFF) as u64);
+    // a = 120: t = 20; 20 >> 2 = 5.
+    assert_eq!(kernel.run_rows(&[&[120]]).unwrap()[0], 5);
+}
+
+#[test]
+fn sqrt_and_exp_builtins_compile() {
+    let k = compile(
+        "unsigned int (8) main(unsigned int (16) a) { return sqrt(a); }",
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(k.run_rows(&[&[10000], &[65535]]).unwrap(), vec![100, 255]);
+
+    let k = compile(
+        "unsigned int (16) main(unsigned int (16) x) { return exp(x, 8); }",
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    // exp(1.0) in Q8 ≈ 2.718 * 256 ≈ 696.
+    let y = k.run_rows(&[&[256]]).unwrap()[0];
+    assert!((y as f64 / 256.0 - std::f64::consts::E).abs() < 0.06, "{y}");
+}
+
+#[test]
+fn dead_code_after_return_is_ignored() {
+    let out = run(
+        "unsigned int (4) main(unsigned int (4) a) {
+             return a;
+             a = a + 1;
+             return a;
+         }",
+        &[&[7]],
+    );
+    assert_eq!(out, vec![7]);
+}
+
+#[test]
+fn width_truncation_on_assignment() {
+    let out = run(
+        "unsigned int (3) main(unsigned int (8) a) {
+             unsigned int (3) t;
+             t = a;
+             return t;
+         }",
+        &[&[0xFF], &[0b101]],
+    );
+    assert_eq!(out, vec![0b111, 0b101]);
+}
+
+#[test]
+fn useful_error_messages() {
+    let errs = [
+        ("unsigned int (4) main() { return x; }", "undeclared"),
+        ("unsigned int (4) main(unsigned int (4) a) { return a << a; }", "compile-time"),
+        ("unsigned int (4) main(unsigned int (4) a) { a; }", "expected"),
+        ("int (8) main(int (8) a) { return a / a; }", "signed division"),
+    ];
+    for (src, needle) in errs {
+        let err = compile(src, &CompileOptions::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "{src}: {msg}");
+        let _: CompileError = err;
+    }
+}
+
+#[test]
+fn compilation_report_is_informative() {
+    let kernel = compile(
+        "unsigned int (9) main(unsigned int (8) a, unsigned int (8) b) { return a + b; }",
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let report = kernel.report();
+    assert!(report.contains("a:8b"), "{report}");
+    assert!(report.contains("result:9b"), "{report}");
+    assert!(report.contains("searches"), "{report}");
+    assert!(kernel.max_column_used() < 256);
+}
+
+#[test]
+fn oversized_programs_error_instead_of_panicking() {
+    // Six chained 32-bit multiplies cannot fit one 256-column PE; the
+    // public API must report that as Unsupported, not unwind.
+    let big = format!(
+        "unsigned int (32) main(unsigned int (32) a, unsigned int (32) b) {{
+            unsigned int (32) t; t = a;
+            {} return t; }}",
+        "t = t * b; ".repeat(6)
+    );
+    let err = compile(&big, &CompileOptions::default()).unwrap_err();
+    assert!(matches!(err, CompileError::Unsupported(_)), "{err}");
+    assert!(err.to_string().contains("does not fit"), "{err}");
+}

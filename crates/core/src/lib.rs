@@ -1,0 +1,47 @@
+//! Abstract machine and execution models for traditional AP and Hyper-AP.
+//!
+//! This crate implements §II and §III of the paper:
+//!
+//! * [`machine`] — the two abstract machines. [`machine::HyperPe`] is the
+//!   Fig 4a model: a TCAM array, a ternary key register (with the `Z` input),
+//!   per-row tag registers with an **accumulation unit** (OR), an encoder
+//!   latch for two-bit-encoded result writes, and the reduction tree
+//!   (Count / Index). [`machine::TraditionalPe`] is the Fig 1a model: a
+//!   binary CAM with plain key/mask and overwrite-only tags.
+//! * [`field`] — logical-bit-to-physical-column data layout, including
+//!   two-bit-encoded pair placement and column allocation/recycling.
+//! * [`program`] — the low-level associative-operation IR ([`program::ApOp`])
+//!   shared by the hand-written microcode and the compiler, with an
+//!   interpreter and Table-I-faithful operation counting.
+//! * [`lut`] — lookup tables and their lowering under both execution models:
+//!   Single-Search-Single-Pattern/-Write (traditional, Fig 2c) and
+//!   Single-Search-Multi-Pattern + Multi-Search-Single-Write (Hyper-AP,
+//!   Fig 5d).
+//! * [`microcode`] — the "RTL library developed by experts" (§V-B3):
+//!   hand-optimized arithmetic routines (add, sub, mul, div, sqrt, exp,
+//!   compare, logic, shift) built from planned LUT applications.
+//!
+//! # Example: the paper's 1-bit addition (Fig 2 vs Fig 5d)
+//!
+//! ```
+//! use hyperap_core::lut::{full_adder_lut, ExecutionModel};
+//!
+//! let traditional = full_adder_lut().op_counts(ExecutionModel::Traditional);
+//! let hyper = full_adder_lut().op_counts(ExecutionModel::Hyper);
+//! assert_eq!(traditional.search_write_ops(), 14); // Fig 2c
+//! assert_eq!(hyper.search_write_ops(), 6);        // Fig 5d
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod lut;
+pub mod machine;
+pub mod microcode;
+pub mod program;
+
+pub use field::{Field, FieldAllocator, Slot};
+pub use lut::ExecutionModel;
+pub use machine::{HyperPe, TraditionalPe};
+pub use program::{ApOp, Program};

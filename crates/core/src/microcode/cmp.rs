@@ -1,0 +1,455 @@
+//! Comparisons and predicated arithmetic.
+//!
+//! Comparisons ripple a borrow/inequality bit; predicated subtraction is the
+//! workhorse of the iterative division/sqrt/exp methods — the predicate
+//! simply becomes one more LUT input, so "branches" cost one extra key bit
+//! instead of control flow (cf. the conditional-statement flattening of
+//! Fig 13b).
+
+use super::{bit, Microcode};
+use crate::field::{Field, Slot};
+
+impl Microcode {
+    /// 1-bit predicate: `a >= b` (unsigned; widths may differ).
+    pub fn cmp_ge(&mut self, a: &Field, b: &Field) -> Field {
+        let borrow = self.borrow_out(a, b);
+        let out = self.alloc_plain(format!("{}>={}", a.name, b.name), 1);
+        self.lut1_into(vec![borrow], |m| !bit(m, 0), out.slot(0).base_col());
+        self.free_slot(borrow);
+        out
+    }
+
+    /// 1-bit predicate: `a < b`.
+    pub fn cmp_lt(&mut self, a: &Field, b: &Field) -> Field {
+        let borrow = self.borrow_out(a, b);
+        Field::new(format!("{}<{}", a.name, b.name), vec![borrow])
+    }
+
+    /// The borrow-out slot of `a - b` over `max(width)` bits
+    /// (1 ⇔ `a < b`).
+    fn borrow_out(&mut self, a: &Field, b: &Field) -> Slot {
+        let w = a.width().max(b.width());
+        let mut borrow: Option<Slot> = None;
+        for i in 0..w {
+            let ai = (i < a.width()).then(|| a.slot(i));
+            let bi = (i < b.width()).then(|| b.slot(i));
+            let mut inputs = Vec::new();
+            if let Some(s) = ai {
+                inputs.push(s);
+            }
+            if let Some(s) = bi {
+                inputs.push(s);
+            }
+            let brw_idx = borrow.map(|s| {
+                inputs.push(s);
+                inputs.len() - 1
+            });
+            let has_a = ai.is_some();
+            let has_b = bi.is_some();
+            let f = move |m: u16| -> bool {
+                let mut idx = 0;
+                let av = if has_a {
+                    idx += 1;
+                    bit(m, idx - 1)
+                } else {
+                    false
+                };
+                let bv = if has_b {
+                    idx += 1;
+                    bit(m, idx - 1)
+                } else {
+                    false
+                };
+                let brw = brw_idx.map(|j| bit(m, j)).unwrap_or(false);
+                (av as i32 - bv as i32 - brw as i32) < 0
+            };
+            let next = self.lut1(inputs, f, "brw");
+            if let Some(prev) = borrow {
+                self.free_slot(prev);
+            }
+            borrow = Some(next);
+        }
+        borrow.expect("width >= 1")
+    }
+
+    /// 1-bit predicate: `a >= imm` via the **first-difference method**: the
+    /// comparison against a constant is a disjunction of exact-prefix
+    /// patterns, so it compiles to one accumulated search per zero bit of
+    /// `imm` (plus one for equality) and a **single write** — no borrow
+    /// chain is ever materialized. Operand embedding at its best (§V-B4c).
+    pub fn cmp_ge_imm(&mut self, a: &Field, imm: u64) -> Field {
+        if imm == 0 {
+            // Always true.
+            let one = self.const_bit(true);
+            return Field::new(format!("{}>={imm:#x}", a.name), vec![one]);
+        }
+        if a.width() < 64 && imm >> a.width() != 0 {
+            // a can never reach imm.
+            return self.zero_field(1);
+        }
+        let w = a.width();
+        // Allocate (and zero, if recycled) the output BEFORE the search
+        // series — zeroing manipulates the tags.
+        let out = self.alloc_plain(format!("{}>={imm:#x}", a.name), 1);
+        // a >= imm  ⇔  a == imm, or ∃i: imm_i = 0, a_i = 1, and
+        // a_j = imm_j for all j > i (first difference from the top is up).
+        let mut first = true;
+        for i in (0..w).rev() {
+            if imm >> i & 1 == 1 {
+                continue;
+            }
+            let mut constraints: Vec<(Slot, bool)> = vec![(a.slot(i), true)];
+            for j in i + 1..w {
+                constraints.push((a.slot(j), imm >> j & 1 == 1));
+            }
+            if let Some(key) = self.key_from_constraints(&constraints) {
+                self.prog.search(key, !first);
+                first = false;
+            }
+        }
+        // Equality term.
+        let eq_constraints: Vec<(Slot, bool)> =
+            (0..w).map(|i| (a.slot(i), imm >> i & 1 == 1)).collect();
+        if let Some(key) = self.key_from_constraints(&eq_constraints) {
+            self.prog.search(key, !first);
+            first = false;
+        }
+        if first {
+            // Every term was unsatisfiable: the predicate is constantly 0
+            // and the (pre-zeroed) output column is already correct.
+            return out;
+        }
+        self.prog.push(crate::program::ApOp::Write {
+            col: out.slot(0).base_col(),
+            value: hyperap_tcam::bit::KeyBit::One,
+        });
+        out
+    }
+
+    /// Build the exact-match search key for a conjunction of
+    /// (slot, required value) constraints, merging constraints that land on
+    /// the same encoded pair or column. Returns `None` when the conjunction
+    /// is unsatisfiable (the same stored bit required to be both 0 and 1 —
+    /// e.g. via a shared constant-zero column), in which case the term can
+    /// simply be skipped.
+    pub(crate) fn key_from_constraints(
+        &self,
+        constraints: &[(Slot, bool)],
+    ) -> Option<hyperap_tcam::key::SearchKey> {
+        use hyperap_tcam::bit::KeyBit;
+        use hyperap_tcam::encoding::{key_for_subset, PairSubset};
+        let mut key = hyperap_tcam::key::SearchKey::masked(0);
+        let mut pair_subsets: std::collections::BTreeMap<usize, PairSubset> =
+            std::collections::BTreeMap::new();
+        for &(slot, v) in constraints {
+            match slot {
+                Slot::Single { col } => {
+                    let want = KeyBit::from(v);
+                    let existing = key.bit(col);
+                    if existing != KeyBit::Masked && existing != want {
+                        return None; // conflicting requirements
+                    }
+                    key.set_bit(col, want);
+                }
+                Slot::PairHi { col } => {
+                    let s = pair_subsets.entry(col).or_insert(PairSubset::FULL);
+                    *s = PairSubset(s.0 & if v { 0b1100 } else { 0b0011 });
+                }
+                Slot::PairLo { col } => {
+                    let s = pair_subsets.entry(col).or_insert(PairSubset::FULL);
+                    *s = PairSubset(s.0 & if v { 0b1010 } else { 0b0101 });
+                }
+            }
+        }
+        for (col, subset) in pair_subsets {
+            let [k1, k0] = key_for_subset(subset)?;
+            if k1 != KeyBit::Masked {
+                key.set_bit(col, k1);
+            }
+            if k0 != KeyBit::Masked {
+                key.set_bit(col + 1, k0);
+            }
+        }
+        Some(key)
+    }
+
+    /// `pred ? a - imm : a` (wrapping), fused into one LUT chain per bit —
+    /// the restoring-update step of the iterative exp/sqrt methods with the
+    /// constant embedded.
+    pub fn cond_sub_imm(&mut self, a: &Field, imm: u64, pred: &Field) -> Field {
+        assert_eq!(pred.width(), 1, "predicate must be one bit");
+        let p = pred.slot(0);
+        let w = a.width();
+        let out = self.alloc_plain("csubi", w);
+        let mut borrow: Option<Slot> = None;
+        for i in 0..w {
+            let k = imm >> i & 1 == 1;
+            let ai = a.slot(i);
+            let mut inputs = vec![p, ai];
+            let brw_idx = borrow.map(|s| {
+                inputs.push(s);
+                inputs.len() - 1
+            });
+            let eval = move |m: u16| -> (bool, bool) {
+                let pv = bit(m, 0);
+                let av = bit(m, 1);
+                let brw = brw_idx.map(|j| bit(m, j)).unwrap_or(false);
+                if !pv {
+                    (av, false)
+                } else {
+                    let t = av as i32 - k as i32 - brw as i32;
+                    (t & 1 == 1, t < 0)
+                }
+            };
+            let need_borrow = i + 1 < w && (imm >> (i + 1) != 0 || borrow.is_some() || k);
+            if need_borrow {
+                let b2 = self.alloc_plain("cbi", 1).slot(0);
+                self.lut2_into(
+                    inputs,
+                    move |m| eval(m).0,
+                    out.slot(i).base_col(),
+                    move |m| eval(m).1,
+                    b2.base_col(),
+                );
+                if let Some(prev) = borrow {
+                    self.free_slot(prev);
+                }
+                borrow = Some(b2);
+            } else {
+                self.lut1_into(inputs, move |m| eval(m).0, out.slot(i).base_col());
+                if let Some(prev) = borrow {
+                    self.free_slot(prev);
+                }
+                borrow = None;
+            }
+        }
+        if let Some(prev) = borrow {
+            self.free_slot(prev);
+        }
+        out
+    }
+
+    /// 1-bit predicate: `a == b`.
+    pub fn cmp_eq(&mut self, a: &Field, b: &Field) -> Field {
+        let w = a.width().max(b.width());
+        let mut neq: Option<Slot> = None;
+        for i in 0..w {
+            let ai = (i < a.width()).then(|| a.slot(i));
+            let bi = (i < b.width()).then(|| b.slot(i));
+            let mut inputs = Vec::new();
+            if let Some(s) = ai {
+                inputs.push(s);
+            }
+            if let Some(s) = bi {
+                inputs.push(s);
+            }
+            let prev = neq.map(|s| {
+                inputs.push(s);
+                inputs.len() - 1
+            });
+            let has_a = ai.is_some();
+            let has_b = bi.is_some();
+            let f = move |m: u16| {
+                let mut idx = 0;
+                let av = if has_a {
+                    idx += 1;
+                    bit(m, idx - 1)
+                } else {
+                    false
+                };
+                let bv = if has_b {
+                    idx += 1;
+                    bit(m, idx - 1)
+                } else {
+                    false
+                };
+                av != bv || prev.map(|j| bit(m, j)).unwrap_or(false)
+            };
+            let next = self.lut1(inputs, f, "neq");
+            if let Some(prev) = neq {
+                self.free_slot(prev);
+            }
+            neq = Some(next);
+        }
+        let out = self.alloc_plain(format!("{}=={}", a.name, b.name), 1);
+        let last = neq.expect("width >= 1");
+        self.lut1_into(vec![last], |m| !bit(m, 0), out.slot(0).base_col());
+        self.free_slot(last);
+        out
+    }
+
+    /// 1-bit predicate: `a == imm` — a single multi-bit search: equality
+    /// against a constant is ONE search on an associative machine, at any
+    /// width (the key is built directly, bypassing the LUT minimizer).
+    pub fn cmp_eq_imm(&mut self, a: &Field, imm: u64) -> Field {
+        if a.width() < 64 && imm >> a.width() != 0 {
+            return self.zero_field(1);
+        }
+        let constraints: Vec<(Slot, bool)> = a
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, &slot)| (slot, imm >> i & 1 == 1))
+            .collect();
+        let out = self.alloc_plain(format!("{}=={imm:#x}", a.name), 1);
+        let Some(key) = self.key_from_constraints(&constraints) else {
+            return out; // unsatisfiable: predicate is constantly 0
+        };
+        self.prog.search(key, false);
+        self.prog.push(crate::program::ApOp::Write {
+            col: out.slot(0).base_col(),
+            value: hyperap_tcam::bit::KeyBit::One,
+        });
+        out
+    }
+
+    /// `pred ? a - b : a` (wrapping at `a`'s width), the inner step of
+    /// restoring division and the iterative square root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pred` is not 1 bit or `b` is wider than `a`.
+    pub fn cond_sub(&mut self, a: &Field, b: &Field, pred: &Field) -> Field {
+        assert_eq!(pred.width(), 1, "predicate must be one bit");
+        assert!(b.width() <= a.width(), "subtrahend wider than minuend");
+        let p = pred.slot(0);
+        let w = a.width();
+        let out = self.alloc_plain("csub", w);
+        let mut borrow: Option<Slot> = None;
+        for i in 0..w {
+            let ai = a.slot(i);
+            let bi = (i < b.width()).then(|| b.slot(i));
+            let mut inputs = vec![p, ai];
+            if let Some(s) = bi {
+                inputs.push(s);
+            }
+            let brw_idx = borrow.map(|s| {
+                inputs.push(s);
+                inputs.len() - 1
+            });
+            let has_b = bi.is_some();
+            let eval = move |m: u16| -> (bool, bool) {
+                let pv = bit(m, 0);
+                let av = bit(m, 1);
+                let bv = if has_b { bit(m, 2) } else { false };
+                let brw = brw_idx.map(|j| bit(m, j)).unwrap_or(false);
+                if !pv {
+                    // Borrow chain stays 0 when pred = 0, so diff = a.
+                    (av, false)
+                } else {
+                    let t = av as i32 - bv as i32 - brw as i32;
+                    (t & 1 == 1, t < 0)
+                }
+            };
+            let diff_col = out.slot(i).base_col();
+            let need_borrow = i + 1 < w;
+            if need_borrow {
+                let brw_slot = self.alloc_plain("cb", 1).slot(0);
+                self.lut2_into(
+                    inputs,
+                    move |m| eval(m).0,
+                    diff_col,
+                    move |m| eval(m).1,
+                    brw_slot.base_col(),
+                );
+                if let Some(prev) = borrow {
+                    self.free_slot(prev);
+                }
+                borrow = Some(brw_slot);
+            } else {
+                self.lut1_into(inputs, move |m| eval(m).0, diff_col);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::machine::HyperPe;
+
+    #[test]
+    fn cmp_ge_lt_eq_are_correct() {
+        let cases: Vec<(u64, u64)> = vec![(5, 3), (3, 5), (7, 7), (0, 0), (255, 254)];
+        let ge = run_binary_paired(8, &cases, |mc, a, b| mc.cmp_ge(a, b));
+        let lt = run_binary_paired(8, &cases, |mc, a, b| mc.cmp_lt(a, b));
+        let eq = run_binary_paired(8, &cases, |mc, a, b| mc.cmp_eq(a, b));
+        for (i, (a, b)) in cases.iter().enumerate() {
+            assert_eq!(ge[i] == 1, a >= b, "{a} >= {b}");
+            assert_eq!(lt[i] == 1, a < b, "{a} < {b}");
+            assert_eq!(eq[i] == 1, a == b, "{a} == {b}");
+        }
+    }
+
+    #[test]
+    fn cmp_ge_imm_is_correct() {
+        for imm in [0u64, 1, 100, 128, 255, 256, 300] {
+            let values: Vec<u64> = vec![0, 1, 99, 100, 101, 255];
+            let outs = run_unary(8, &values, |mc, a| mc.cmp_ge_imm(a, imm));
+            for (v, o) in values.iter().zip(&outs) {
+                assert_eq!(*o == 1, *v >= imm, "{v} >= {imm}");
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_eq_imm_is_one_search() {
+        let mut mc = Microcode::new(128);
+        let a = mc.alloc_plain_input("a", 8);
+        mc.cmp_eq_imm(&a, 0x42);
+        let c = mc.program().op_counts();
+        assert_eq!(c.searches, 1, "constant equality is a single search");
+        let values: Vec<u64> = vec![0x41, 0x42, 0x43];
+        let outs = run_unary(8, &values, |mc, a| mc.cmp_eq_imm(a, 0x42));
+        assert_eq!(outs, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn cmp_ge_imm_out_of_range_is_constant_zero() {
+        let values: Vec<u64> = vec![0, 255];
+        let outs = run_unary(8, &values, |mc, a| mc.cmp_ge_imm(a, 300));
+        assert_eq!(outs, vec![0, 0]);
+    }
+
+    #[test]
+    fn cond_sub_subtracts_only_when_predicated() {
+        let mut mc = Microcode::new(200);
+        let (a, b) = mc.alloc_paired_inputs("a", "b", 8);
+        let p = mc.alloc_plain_input("p", 1);
+        let out = mc.cond_sub(&a, &b, &p);
+        let mut pe = HyperPe::new(4, 200);
+        let rows = [(10u64, 3u64, 1u64), (10, 3, 0), (3, 10, 1), (0, 0, 1)];
+        for (row, &(va, vb, vp)) in rows.iter().enumerate() {
+            a.store(&mut pe, row, va);
+            b.store(&mut pe, row, vb);
+            p.store(&mut pe, row, vp);
+        }
+        mc.program().run(&mut pe);
+        for (row, &(va, vb, vp)) in rows.iter().enumerate() {
+            let expect = if vp == 1 {
+                va.wrapping_sub(vb) & 0xFF
+            } else {
+                va
+            };
+            assert_eq!(out.read(&pe, row), expect, "row {row}");
+        }
+    }
+
+    #[test]
+    fn mixed_width_compare() {
+        let mut mc = Microcode::new(128);
+        let a = mc.alloc_plain_input("a", 8);
+        let b = mc.alloc_plain_input("b", 4);
+        let ge = mc.cmp_ge(&a, &b);
+        let mut pe = HyperPe::new(2, 128);
+        a.store(&mut pe, 0, 200);
+        b.store(&mut pe, 0, 15);
+        a.store(&mut pe, 1, 3);
+        b.store(&mut pe, 1, 15);
+        mc.program().run(&mut pe);
+        assert_eq!(ge.read(&pe, 0), 1);
+        assert_eq!(ge.read(&pe, 1), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Fixed-point exponential via the multiplication-free shift-and-add method
+//! the paper cites [46] (quinapalus.com "Calculate exp() and log() Without
+//! Multiplications").
+//!
+//! Values are unsigned fixed point Q(w−f).f. The algorithm factors
+//! `e^x = 2^(m₄·16 + …) · Π (1 + 2^-k)^{d_k}` by repeatedly testing
+//! `x ≥ ln(factor)` and, when predicated, subtracting the (immediate!)
+//! constant and updating `y` with a shift-add — every constant is embedded
+//! into the lookup tables (operand embedding, §V-B4c), and every shift is a
+//! free layout rename.
+
+use super::{bit, Microcode};
+use crate::field::Field;
+
+/// Round `v` to Qf fixed point.
+fn to_fixed(v: f64, f: u32) -> u64 {
+    (v * (1u64 << f) as f64).round() as u64
+}
+
+impl Microcode {
+    /// `e^x` in unsigned Q(w−f).f fixed point (width preserved; saturating
+    /// behaviour is the caller's concern — choose `w`, `f` so the result
+    /// fits: `x < (w − f)·ln 2` roughly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits >= a.width()`.
+    pub fn exp_fixed(&mut self, a: &Field, frac_bits: u32) -> Field {
+        let w = a.width();
+        let f = frac_bits;
+        assert!((f as usize) < w, "need at least one integer bit");
+        let int_bits = w as u32 - f;
+
+        // Work on an owned copy so per-stage recycling never touches the
+        // caller's input columns.
+        let mut x = self.copy(a);
+        // y = 1.0
+        let mut y = self.const_field(1u64 << f, w);
+
+        // Stage 1: powers of two. For m from high to low:
+        //   if x >= 2^m · ln2 { x -= 2^m ln2; y <<= 2^m }
+        // 2^m ln2 must fit x's range; m up to log2(int_bits).
+        let mut m = 31 - (int_bits.max(1)).leading_zeros(); // floor(log2(int_bits))
+        loop {
+            let c = to_fixed((1u64 << m) as f64 * std::f64::consts::LN_2, f);
+            if c < (1u64 << w) {
+                let pred = self.cmp_ge_imm(&x, c);
+                let x_next = self.cond_sub_imm(&x, c, &pred);
+                self.free(&x);
+                x = x_next;
+                let y_shifted = self.shl(&y, 1usize << m, w);
+                let y_next = self.select(&pred, &y_shifted, &y);
+                self.free(&y);
+                y = y_next;
+                self.free(&pred);
+            }
+            if m == 0 {
+                break;
+            }
+            m -= 1;
+        }
+
+        // Stage 2: factors (1 + 2^-k), k = 1..f: if x >= ln(1+2^-k)
+        //   { x -= ln(1+2^-k); y += y >> k }.
+        for k in 1..=f {
+            let c = to_fixed((1.0 + (0.5f64).powi(k as i32)).ln(), f);
+            if c == 0 {
+                break; // below Qf resolution; remaining x < 1 ulp of ln-space
+            }
+            let pred = self.cmp_ge_imm(&x, c);
+            let x_next = self.cond_sub_imm(&x, c, &pred);
+            self.free(&x);
+            x = x_next;
+            let y_next = self.add_shifted_predicated(&y, k as usize, &pred);
+            self.free(&y);
+            y = y_next;
+            self.free(&pred);
+        }
+        Field::new(format!("exp({})", a.name), y.slots[..w].to_vec())
+    }
+
+    /// `pred ? y + (y >> k) : y`, wrapping at `y`'s width: the shift-add
+    /// update fused into one LUT chain per bit (inputs: y_i, y_{i+k},
+    /// carry, pred).
+    fn add_shifted_predicated(&mut self, y: &Field, k: usize, pred: &Field) -> Field {
+        let w = y.width();
+        let p = pred.slot(0);
+        let out = self.alloc_plain("y'", w);
+        let mut carry: Option<crate::field::Slot> = None;
+        for i in 0..w {
+            let yi = y.slot(i);
+            let shifted = (i + k < w).then(|| y.slot(i + k));
+            let mut inputs = vec![p, yi];
+            if let Some(s) = shifted {
+                inputs.push(s);
+            }
+            let carry_idx = carry.map(|s| {
+                inputs.push(s);
+                inputs.len() - 1
+            });
+            let has_shift = shifted.is_some();
+            let eval = move |m: u16| -> (bool, bool) {
+                let pv = bit(m, 0);
+                let yv = bit(m, 1);
+                let sv = if has_shift { bit(m, 2) } else { false };
+                let cv = carry_idx.map(|j| bit(m, j)).unwrap_or(false);
+                if !pv {
+                    (yv, false) // carry chain stays 0 when not predicated
+                } else {
+                    let t = yv as u32 + sv as u32 + cv as u32;
+                    (t & 1 == 1, t >= 2)
+                }
+            };
+            let need_carry = i + 1 < w;
+            if need_carry {
+                let c2 = self.alloc_plain("yc", 1).slot(0);
+                self.lut2_into(
+                    inputs,
+                    move |m| eval(m).0,
+                    out.slot(i).base_col(),
+                    move |m| eval(m).1,
+                    c2.base_col(),
+                );
+                if let Some(prev) = carry {
+                    self.free_slot(prev);
+                }
+                carry = Some(c2);
+            } else {
+                self.lut1_into(inputs, move |m| eval(m).0, out.slot(i).base_col());
+                if let Some(prev) = carry {
+                    self.free_slot(prev);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Microcode;
+    use crate::machine::HyperPe;
+
+    fn run_exp(width: usize, frac: u32, xs: &[f64]) -> Vec<f64> {
+        let mut mc = Microcode::new(256);
+        let a = mc.alloc_plain_input("a", width);
+        let out = mc.exp_fixed(&a, frac);
+        let mut pe = HyperPe::new(xs.len(), 256);
+        for (row, &x) in xs.iter().enumerate() {
+            a.store(&mut pe, row, super::to_fixed(x, frac));
+        }
+        mc.program().run(&mut pe);
+        (0..xs.len())
+            .map(|r| out.read(&pe, r) as f64 / (1u64 << frac) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn exp_q8_matches_f64_within_tolerance() {
+        let xs = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0];
+        let outs = run_exp(16, 8, &xs);
+        for (x, y) in xs.iter().zip(&outs) {
+            let expect = x.exp();
+            let rel = (y - expect).abs() / expect;
+            assert!(rel < 0.02, "exp({x}) = {y}, expected {expect} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn exp_q16_is_more_accurate() {
+        let xs = [0.0, 0.25, 1.0, 2.5, 5.0, 9.0];
+        let outs = run_exp(32, 16, &xs);
+        for (x, y) in xs.iter().zip(&outs) {
+            let expect = x.exp();
+            let rel = (y - expect).abs() / expect;
+            assert!(rel < 1e-3, "exp({x}) = {y}, expected {expect} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn exp_zero_is_one() {
+        let outs = run_exp(16, 8, &[0.0]);
+        assert_eq!(outs[0], 1.0);
+    }
+
+    #[test]
+    fn to_fixed_rounds() {
+        assert_eq!(super::to_fixed(1.0, 8), 256);
+        assert_eq!(super::to_fixed(0.5, 4), 8);
+    }
+}

@@ -1,0 +1,206 @@
+//! Bitwise logic, copies, and shifts.
+//!
+//! Shifts by constants are pure layout renames ([`Field::bits`] views plus
+//! shared zero columns) and cost zero operations — one of the "efficient
+//! shift and bit-wise logical operations" the paper credits for Hyper-AP's
+//! advantage on complex operations (§VI-C).
+
+use super::bit;
+use super::Microcode;
+use crate::field::{Field, Slot};
+
+impl Microcode {
+    /// Bitwise binary operation `f` applied per bit (zero-extending the
+    /// narrower operand).
+    pub fn bitwise(
+        &mut self,
+        a: &Field,
+        b: &Field,
+        f: impl Fn(bool, bool) -> bool,
+        name: &str,
+    ) -> Field {
+        let w = a.width().max(b.width());
+        let out = self.alloc_plain(name, w);
+        for i in 0..w {
+            let ai = (i < a.width()).then(|| a.slot(i));
+            let bi = (i < b.width()).then(|| b.slot(i));
+            let col = out.slot(i).base_col();
+            match (ai, bi) {
+                (Some(sa), Some(sb)) => {
+                    self.lut1_into(vec![sa, sb], |m| f(bit(m, 0), bit(m, 1)), col)
+                }
+                (Some(sa), None) => self.lut1_into(vec![sa], |m| f(bit(m, 0), false), col),
+                (None, Some(sb)) => self.lut1_into(vec![sb], |m| f(false, bit(m, 0)), col),
+                (None, None) => unreachable!("w = max(widths)"),
+            }
+        }
+        out
+    }
+
+    /// `a & b`.
+    pub fn and(&mut self, a: &Field, b: &Field) -> Field {
+        self.bitwise(a, b, |x, y| x && y, "and")
+    }
+
+    /// `a | b`.
+    pub fn or(&mut self, a: &Field, b: &Field) -> Field {
+        self.bitwise(a, b, |x, y| x || y, "or")
+    }
+
+    /// `a ^ b`.
+    pub fn xor(&mut self, a: &Field, b: &Field) -> Field {
+        self.bitwise(a, b, |x, y| x != y, "xor")
+    }
+
+    /// `!a` (bitwise complement).
+    pub fn not(&mut self, a: &Field) -> Field {
+        let out = self.alloc_plain("not", a.width());
+        for i in 0..a.width() {
+            self.lut1_into(vec![a.slot(i)], |m| !bit(m, 0), out.slot(i).base_col());
+        }
+        out
+    }
+
+    /// Copy `a` into fresh plain columns (1 search + 1 write per bit).
+    pub fn copy(&mut self, a: &Field) -> Field {
+        let out = self.alloc_plain(format!("copy({})", a.name), a.width());
+        for i in 0..a.width() {
+            self.lut1_into(vec![a.slot(i)], |m| bit(m, 0), out.slot(i).base_col());
+        }
+        out
+    }
+
+    /// `a << k` within `width` result bits: a free layout rename.
+    pub fn shl(&mut self, a: &Field, k: usize, width: usize) -> Field {
+        let zeros = self.zero_field(k.min(width));
+        let mut slots: Vec<Slot> = zeros.slots.clone();
+        for i in 0..width.saturating_sub(k) {
+            if i < a.width() {
+                slots.push(a.slot(i));
+            } else {
+                slots.push(self.zero_field(1).slot(0));
+            }
+        }
+        slots.truncate(width);
+        Field::new(format!("{}<<{k}", a.name), slots)
+    }
+
+    /// `a >> k` (logical): a free layout rename, zero-extended to `a`'s
+    /// width.
+    pub fn shr(&mut self, a: &Field, k: usize) -> Field {
+        let w = a.width();
+        let mut slots: Vec<Slot> = (k..w).map(|i| a.slot(i)).collect();
+        let zeros = self.zero_field(w - slots.len());
+        slots.extend(zeros.slots);
+        Field::new(format!("{}>>{k}", a.name), slots)
+    }
+
+    /// Select per row: `pred ? t : f`, zero-extending the narrower arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pred` is not a 1-bit field.
+    pub fn select(&mut self, pred: &Field, t: &Field, f: &Field) -> Field {
+        assert_eq!(pred.width(), 1, "predicate must be one bit");
+        let p = pred.slot(0);
+        let w = t.width().max(f.width());
+        let out = self.alloc_plain("select", w);
+        for i in 0..w {
+            let ti = (i < t.width()).then(|| t.slot(i));
+            let fi = (i < f.width()).then(|| f.slot(i));
+            let col = out.slot(i).base_col();
+            match (ti, fi) {
+                (Some(st), Some(sf)) => self.lut1_into(
+                    vec![p, st, sf],
+                    |m| if bit(m, 0) { bit(m, 1) } else { bit(m, 2) },
+                    col,
+                ),
+                (Some(st), None) => {
+                    self.lut1_into(vec![p, st], |m| bit(m, 0) && bit(m, 1), col)
+                }
+                (None, Some(sf)) => {
+                    self.lut1_into(vec![p, sf], |m| !bit(m, 0) && bit(m, 1), col)
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+    use crate::machine::HyperPe;
+
+    const CASES: [(u64, u64); 5] = [(0, 0), (0xFF, 0x0F), (0xA5, 0x5A), (1, 2), (0x42, 0x42)];
+
+    #[test]
+    fn and_or_xor_not_are_correct() {
+        let and = run_binary_plain(8, &CASES, |mc, a, b| mc.and(a, b));
+        let or = run_binary_plain(8, &CASES, |mc, a, b| mc.or(a, b));
+        let xor = run_binary_plain(8, &CASES, |mc, a, b| mc.xor(a, b));
+        for (i, (a, b)) in CASES.iter().enumerate() {
+            assert_eq!(and[i], a & b);
+            assert_eq!(or[i], a | b);
+            assert_eq!(xor[i], a ^ b);
+        }
+        let values = [0u64, 0xFF, 0xA5];
+        let not = run_unary(8, &values, |mc, a| mc.not(a));
+        for (v, n) in values.iter().zip(&not) {
+            assert_eq!(*n, !v & 0xFF);
+        }
+    }
+
+    #[test]
+    fn paired_xor_needs_one_search_per_bit() {
+        let mut mc = Microcode::new(128);
+        let (a, b) = mc.alloc_paired_inputs("a", "b", 8);
+        mc.xor(&a, &b);
+        let c = mc.program().op_counts();
+        assert_eq!(c.searches, 8, "pair subset {{01,10}} is a single key");
+        assert_eq!(c.writes(), 8);
+    }
+
+    #[test]
+    fn shifts_are_free_and_correct() {
+        let mut mc = Microcode::new(64);
+        let a = mc.alloc_plain_input("a", 8);
+        let l = mc.shl(&a, 3, 8);
+        let r = mc.shr(&a, 2);
+        let baseline = mc.program().op_counts();
+        assert_eq!(baseline.searches, 0, "shifts are layout renames");
+        assert_eq!(baseline.writes(), 0);
+        let mut pe = HyperPe::new(1, 64);
+        a.store(&mut pe, 0, 0b1011_0110);
+        mc.program().run(&mut pe);
+        assert_eq!(l.read(&pe, 0), (0b1011_0110u64 << 3) & 0xFF);
+        assert_eq!(r.read(&pe, 0), 0b1011_0110u64 >> 2);
+    }
+
+    #[test]
+    fn copy_duplicates_and_detaches() {
+        let values = [3u64, 250];
+        let outs = run_unary(8, &values, |mc, a| mc.copy(a));
+        assert_eq!(outs, vec![3, 250]);
+    }
+
+    #[test]
+    fn select_picks_per_row() {
+        let mut mc = Microcode::new(128);
+        let p = mc.alloc_plain_input("p", 1);
+        let t = mc.alloc_plain_input("t", 8);
+        let f = mc.alloc_plain_input("f", 8);
+        let out = mc.select(&p, &t, &f);
+        let mut pe = HyperPe::new(2, 128);
+        for row in 0..2 {
+            p.store(&mut pe, row, row as u64); // row0: pred=0, row1: pred=1
+            t.store(&mut pe, row, 0xAA);
+            f.store(&mut pe, row, 0x55);
+        }
+        mc.program().run(&mut pe);
+        assert_eq!(out.read(&pe, 0), 0x55);
+        assert_eq!(out.read(&pe, 1), 0xAA);
+    }
+}

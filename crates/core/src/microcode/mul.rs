@@ -1,0 +1,574 @@
+//! Multiplication: carry-save accumulation with the accumulator kept in
+//! two-bit-encoded (sum, carry) pairs.
+//!
+//! Each iteration folds one partial product row into the redundant
+//! accumulator with **no carry ripple**; the (s, c) pair of every position is
+//! rewritten with a single encoded write (the PE's two-bit encoder, Fig 7 /
+//! §IV-A2), which both halves the write count and keeps the accumulator
+//! searchable with multi-pattern keys. A final carry-propagate addition
+//! converts to binary — and its operands are already pair-encoded, so it
+//! enjoys the cheap Fig 5d adder LUTs.
+
+use super::{bit, Microcode};
+use crate::field::{Field, Slot};
+use crate::program::ApOp;
+
+impl Microcode {
+    /// `a * b` keeping the low `a.width()` bits (C unsigned wrap semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ (pad operands first if needed).
+    pub fn mul_wrapping(&mut self, a: &Field, b: &Field) -> Field {
+        assert_eq!(a.width(), b.width(), "mul operands must match in width");
+        self.mul_impl(a, b, a.width())
+    }
+
+    /// `a * b` with the full `2w`-bit product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn mul_full(&mut self, a: &Field, b: &Field) -> Field {
+        assert_eq!(a.width(), b.width(), "mul operands must match in width");
+        self.mul_impl(a, b, 2 * a.width())
+    }
+
+    fn mul_impl(&mut self, a: &Field, b: &Field, out_width: usize) -> Field {
+        let w = a.width();
+        // Redundant accumulator: position i holds the encoded pair
+        // (s_i, c_i); invariant: acc value = Σ (s_i + c_i)·2^i.
+        let (s_field, c_field, _dirty) =
+            self.alloc.alloc_paired("mul.s", "mul.c", out_width);
+
+        // Iteration j = 0 initializes every pair: s_i = a_i & b_0, c_i = 0.
+        // (write_encoded covers all rows, so no pre-zeroing is needed.)
+        for i in 0..out_width {
+            if i < w {
+                let key_inputs = vec![a.slot(i), b.slot(0)];
+                self.search_on_set(&key_inputs, &[0b11]); // a_i = 1 AND b_0 = 1
+                self.prog.push(ApOp::Latch);
+                self.prog.push(ApOp::TagNone); // c_i = 0
+                self.prog.push(ApOp::WriteEncoded {
+                    col: s_field.slot(i).base_col(),
+                });
+            } else {
+                // s_i = c_i = 0: program the (0,0) code with plain writes —
+                // a latch after TagNone would not survive ISA lowering
+                // (Latch only folds into a preceding Search).
+                let col = s_field.slot(i).base_col();
+                self.prog.push(ApOp::TagAll);
+                self.prog.push(ApOp::Write {
+                    col,
+                    value: hyperap_tcam::bit::KeyBit::Z,
+                });
+                self.prog.push(ApOp::Write {
+                    col: col + 1,
+                    value: hyperap_tcam::bit::KeyBit::Zero,
+                });
+            }
+        }
+
+        // Iterations j = 1..w: acc += (a << j)·b_j in carry-save form.
+        // Position j+w receives only the carry out of position j+w-1.
+        // Process positions high→low so c'_i can still read position i-1.
+        for j in 1..w {
+            let hi = out_width.min(j + w + 1);
+            for i in (j..hi).rev() {
+                let pair_i = s_field.slot(i); // PairHi covers (s_i, c_i)
+                // s'_i = s_i ⊕ c_i ⊕ (a_{i-j}·b_j)
+                {
+                    let s_has_pp = i - j < w;
+                    let mut inputs = vec![pair_i, c_field.slot(i)];
+                    if s_has_pp {
+                        inputs.push(a.slot(i - j));
+                        inputs.push(b.slot(j));
+                    }
+                    // inputs: 0 = s_i (pair hi), 1 = c_i (pair lo), 2 = a, 3 = b
+                    self.lut_search_series(inputs, move |m| {
+                        let s = bit(m, 0);
+                        let c = bit(m, 1);
+                        let pp = s_has_pp && bit(m, 2) && bit(m, 3);
+                        s ^ c ^ pp
+                    });
+                }
+                self.prog.push(ApOp::Latch);
+                // c'_i = maj(s_{i-1}, c_{i-1}, a_{i-1-j}·b_j); c'_j = 0.
+                if i == j {
+                    self.prog.push(ApOp::TagNone);
+                } else {
+                    let pm1 = s_field.slot(i - 1);
+                    let has_pp = i - 1 >= j && i - 1 - j < w;
+                    let mut inputs = vec![pm1, c_field.slot(i - 1)];
+                    if has_pp {
+                        inputs.push(a.slot(i - 1 - j));
+                        inputs.push(b.slot(j));
+                    }
+                    self.lut_search_series(inputs, move |m| {
+                        let s = bit(m, 0);
+                        let c = bit(m, 1);
+                        let pp = has_pp && bit(m, 2) && bit(m, 3);
+                        (s as u8 + c as u8 + pp as u8) >= 2
+                    });
+                }
+                self.prog.push(ApOp::WriteEncoded {
+                    col: pair_i.base_col(),
+                });
+            }
+        }
+
+        // Carry-propagate conversion: out = S + C (pair-encoded adder).
+        let sum = self.add(&s_field, &c_field);
+        // The redundant accumulator is dead after conversion.
+        self.free(&s_field);
+        self.free(&c_field);
+        sum.bits(0..out_width)
+    }
+
+    /// Emit the minimized accumulating search series for an ON-set over the
+    /// given input slots, leaving the result in the tags (no write).
+    pub(crate) fn lut_search_series(&mut self, inputs: Vec<Slot>, f: impl Fn(u16) -> bool) {
+        let n = inputs.len();
+        let ons = super::on_set(n, f);
+        self.search_on_set(&inputs, &ons);
+    }
+
+    /// As [`lut_search_series`](Self::lut_search_series) with an explicit
+    /// ON-set.
+    pub(crate) fn search_on_set(&mut self, inputs: &[Slot], ons: &[u16]) {
+        use crate::lut::{Lut, LutOutput};
+        if ons.is_empty() {
+            self.prog.push(ApOp::TagNone);
+            return;
+        }
+        // Reuse the LUT lowering machinery, then strip the trailing write.
+        // The output column is a placeholder; its write is stripped below.
+        let lut = Lut {
+            inputs: inputs.to_vec(),
+            outputs: vec![LutOutput::Plain {
+                col: 0,
+                on_set: ons.to_vec(),
+            }],
+        };
+        let lowered = lut.lower_hyper();
+        for op in lowered.ops() {
+            match op {
+                ApOp::Search { key, accumulate } => {
+                    self.prog.search(key.clone(), *accumulate)
+                }
+                ApOp::Write { .. } => {} // the sentinel write: dropped
+                other => self.prog.push(other.clone()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Microcode;
+    use crate::machine::HyperPe;
+
+    fn check_mul(width: usize, cases: &[(u64, u64)], full: bool) {
+        let mut mc = Microcode::new(256);
+        let a = mc.alloc_plain_input("a", width);
+        let b = mc.alloc_plain_input("b", width);
+        let out = if full {
+            mc.mul_full(&a, &b)
+        } else {
+            mc.mul_wrapping(&a, &b)
+        };
+        let mut pe = HyperPe::new(cases.len(), 256);
+        for (row, &(va, vb)) in cases.iter().enumerate() {
+            a.store(&mut pe, row, va);
+            b.store(&mut pe, row, vb);
+        }
+        mc.program().run(&mut pe);
+        let mask = if full {
+            (1u128 << (2 * width)) - 1
+        } else {
+            (1u128 << width) - 1
+        };
+        for (row, &(va, vb)) in cases.iter().enumerate() {
+            let expect = (va as u128 * vb as u128 & mask) as u64;
+            assert_eq!(out.read(&pe, row), expect, "{va} * {vb} (w={width})");
+        }
+    }
+
+    #[test]
+    fn mul_full_8bit_is_correct() {
+        check_mul(
+            8,
+            &[(0, 0), (1, 1), (255, 255), (13, 19), (200, 100), (2, 128)],
+            true,
+        );
+    }
+
+    #[test]
+    fn mul_wrapping_8bit_is_correct() {
+        check_mul(8, &[(255, 255), (16, 16), (17, 15), (0, 77)], false);
+    }
+
+    #[test]
+    fn mul_full_5bit_exhaustive_diagonal() {
+        let cases: Vec<(u64, u64)> = (0..32).map(|i| (i, (i * 7 + 3) % 32)).collect();
+        check_mul(5, &cases, true);
+    }
+
+    #[test]
+    fn mul_uses_encoded_writes() {
+        let mut mc = Microcode::new(256);
+        let a = mc.alloc_plain_input("a", 8);
+        let b = mc.alloc_plain_input("b", 8);
+        mc.mul_wrapping(&a, &b);
+        let c = mc.program().op_counts();
+        assert!(
+            c.writes_encoded > c.writes_single,
+            "CSA accumulator rewrites dominate: {c:?}"
+        );
+    }
+
+    #[test]
+    fn wrapping_is_cheaper_than_full() {
+        let count = |full: bool| {
+            let mut mc = Microcode::new(256);
+            let a = mc.alloc_plain_input("a", 8);
+            let b = mc.alloc_plain_input("b", 8);
+            if full {
+                mc.mul_full(&a, &b);
+            } else {
+                mc.mul_wrapping(&a, &b);
+            }
+            mc.program()
+                .op_counts()
+                .cycles(&hyperap_model::TechParams::rram())
+        };
+        assert!(count(false) < count(true));
+    }
+}
+
+impl Microcode {
+    /// `a * k` keeping the low `a.width()` bits, with the constant embedded:
+    /// only the set bits of `k` contribute partial-product iterations
+    /// (operand embedding, §V-B4c), and the multiplier bit disappears from
+    /// every lookup table.
+    pub fn mul_imm_wrapping(&mut self, a: &Field, k: u64) -> Field {
+        let w = a.width();
+        let out_width = w;
+        if k & (((1u128 << w) - 1) as u64) == 0 {
+            return self.zero_field(w);
+        }
+        let (s_field, c_field, _dirty) =
+            self.alloc.alloc_paired("muli.s", "muli.c", out_width);
+        let set_bits: Vec<usize> = (0..w).filter(|&j| k >> j & 1 == 1).collect();
+        let j0 = set_bits[0];
+        // First set bit initializes: s_i = a_{i-j0} for i >= j0, else 0.
+        for i in 0..out_width {
+            if i >= j0 && i - j0 < w {
+                self.search_on_set(&[a.slot(i - j0)], &[0b1]);
+            } else {
+                self.prog.push(ApOp::TagNone);
+            }
+            self.prog.push(ApOp::Latch);
+            self.prog.push(ApOp::TagNone); // c_i = 0
+            self.prog.push(ApOp::WriteEncoded {
+                col: s_field.slot(i).base_col(),
+            });
+        }
+        for &j in &set_bits[1..] {
+            let hi = out_width.min(j + w + 1);
+            for i in (j..hi).rev() {
+                let pair_i = s_field.slot(i);
+                {
+                    let s_has_pp = i - j < w;
+                    let mut inputs = vec![pair_i, c_field.slot(i)];
+                    if s_has_pp {
+                        inputs.push(a.slot(i - j));
+                    }
+                    self.lut_search_series(inputs, move |m| {
+                        let s = bit(m, 0);
+                        let c = bit(m, 1);
+                        let pp = s_has_pp && bit(m, 2);
+                        s ^ c ^ pp
+                    });
+                }
+                self.prog.push(ApOp::Latch);
+                if i == j {
+                    self.prog.push(ApOp::TagNone);
+                } else {
+                    let has_pp = i - 1 >= j && i - 1 - j < w;
+                    let mut inputs = vec![s_field.slot(i - 1), c_field.slot(i - 1)];
+                    if has_pp {
+                        inputs.push(a.slot(i - 1 - j));
+                    }
+                    self.lut_search_series(inputs, move |m| {
+                        let s = bit(m, 0);
+                        let c = bit(m, 1);
+                        let pp = has_pp && bit(m, 2);
+                        (s as u8 + c as u8 + pp as u8) >= 2
+                    });
+                }
+                self.prog.push(ApOp::WriteEncoded {
+                    col: pair_i.base_col(),
+                });
+            }
+        }
+        let sum = self.add(&s_field, &c_field);
+        self.free(&s_field);
+        self.free(&c_field);
+        sum.bits(0..out_width)
+    }
+}
+
+#[cfg(test)]
+mod imm_tests {
+    use super::super::Microcode;
+    use crate::machine::HyperPe;
+
+    #[test]
+    fn mul_imm_is_correct() {
+        for k in [0u64, 1, 2, 3, 0x5A, 0xFF, 0x81] {
+            let mut mc = Microcode::new(256);
+            let a = mc.alloc_plain_input("a", 8);
+            let out = mc.mul_imm_wrapping(&a, k);
+            let values = [0u64, 1, 7, 100, 255];
+            let mut pe = HyperPe::new(values.len(), 256);
+            for (row, &v) in values.iter().enumerate() {
+                a.store(&mut pe, row, v);
+            }
+            mc.program().run(&mut pe);
+            for (row, &v) in values.iter().enumerate() {
+                assert_eq!(out.read(&pe, row), v.wrapping_mul(k) & 0xFF, "{v} * {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_imm_is_cheaper_than_general_mul() {
+        let rram = hyperap_model::TechParams::rram();
+        let cost_imm = {
+            let mut mc = Microcode::new(256);
+            let a = mc.alloc_plain_input("a", 16);
+            mc.mul_imm_wrapping(&a, 0x5A5A);
+            mc.program().op_counts().cycles(&rram)
+        };
+        let cost_full = {
+            let mut mc = Microcode::new(256);
+            let a = mc.alloc_plain_input("a", 16);
+            let b = mc.alloc_plain_input("b", 16);
+            mc.mul_wrapping(&a, &b);
+            mc.program().op_counts().cycles(&rram)
+        };
+        assert!(cost_imm < cost_full, "{cost_imm} vs {cost_full}");
+    }
+}
+
+impl Microcode {
+    /// Radix-4 CSA multiplication: processes **two** multiplier bits per
+    /// iteration, halving the encoded-write count relative to
+    /// [`mul_wrapping`](Self::mul_wrapping). Needs one precomputed `3a`
+    /// row; when `b` is stored self-paired
+    /// ([`alloc_self_paired_input`](Self::alloc_self_paired_input)), each
+    /// digit is a single multi-valued key position.
+    pub fn mul_radix4_wrapping(&mut self, a: &Field, b: &Field) -> Field {
+        assert_eq!(a.width(), b.width(), "mul operands must match in width");
+        let w = a.width();
+        let out_width = w;
+        // 3a = a + 2a (plain, width w + 2).
+        let a2 = self.shl(a, 1, w + 1);
+        let t3 = self.add(&a2, a); // width w + 2
+        let (s_field, c_field, _dirty) =
+            self.alloc.alloc_paired("mul4.s", "mul4.c", out_width);
+
+        // pp bit k for digit d: 0 | a_k | (2a)_k = a_{k-1} | (3a)_k = t3_k.
+        // Builds the LUT input list for one (position, digit) and returns
+        // the evaluator of pp over the minterm, given the index offset where
+        // the pp-source inputs begin.
+        let n_digits = w.div_ceil(2);
+        for dj in 0..n_digits {
+            let j = 2 * dj;
+            let hi_bound = out_width.min(j + w + 2 + 1);
+            let digit_hi = (j + 1 < w).then(|| b.slot(j + 1));
+            let digit_lo = b.slot(j);
+            // Closure-friendly description of pp inputs at relative bit k.
+            let pp_inputs = |mcx: &Field, t3x: &Field, k: usize| -> Vec<(Slot, u8)> {
+                // (slot, role): role 0 = a_k, 1 = a_{k-1}, 2 = t3_k
+                let mut v = Vec::new();
+                if k < mcx.width() {
+                    v.push((mcx.slot(k), 0u8));
+                }
+                if k >= 1 && k - 1 < mcx.width() {
+                    v.push((mcx.slot(k - 1), 1u8));
+                }
+                if k < t3x.width() {
+                    v.push((t3x.slot(k), 2u8));
+                }
+                v
+            };
+            let eval_pp = |m: u16, base: usize, roles: &[u8], digit: u8| -> bool {
+                match digit {
+                    0 => false,
+                    1 => roles
+                        .iter()
+                        .position(|&r| r == 0)
+                        .map(|p| bit(m, base + p))
+                        .unwrap_or(false),
+                    2 => roles
+                        .iter()
+                        .position(|&r| r == 1)
+                        .map(|p| bit(m, base + p))
+                        .unwrap_or(false),
+                    _ => roles
+                        .iter()
+                        .position(|&r| r == 2)
+                        .map(|p| bit(m, base + p))
+                        .unwrap_or(false),
+                }
+            };
+            if dj == 0 {
+                // Initialize every accumulator pair: s_i = pp_i, c_i = 0.
+                for i in 0..out_width {
+                    let srcs = pp_inputs(a, &t3, i);
+                    let mut inputs = vec![digit_lo];
+                    if let Some(h) = digit_hi {
+                        inputs.push(h);
+                    }
+                    let base = inputs.len();
+                    let has_hi = digit_hi.is_some();
+                    let roles: Vec<u8> = srcs.iter().map(|&(_, r)| r).collect();
+                    inputs.extend(srcs.iter().map(|&(s, _)| s));
+                    let rl = roles.clone();
+                    self.lut_search_series(inputs, move |m| {
+                        let d = (bit(m, 0) as u8) | (has_hi && bit(m, 1)) as u8 * 2;
+                        eval_pp(m, base, &rl, d)
+                    });
+                    self.prog.push(ApOp::Latch);
+                    self.prog.push(ApOp::TagNone);
+                    self.prog.push(ApOp::WriteEncoded {
+                        col: s_field.slot(i).base_col(),
+                    });
+                }
+                continue;
+            }
+            for i in (j..hi_bound).rev() {
+                let pair_i = s_field.slot(i);
+                // s'_i = s_i ^ c_i ^ pp_{i-j}
+                {
+                    let srcs = pp_inputs(a, &t3, i - j);
+                    let mut inputs = vec![pair_i, c_field.slot(i), digit_lo];
+                    if let Some(h) = digit_hi {
+                        inputs.push(h);
+                    }
+                    let base = inputs.len();
+                    let has_hi = digit_hi.is_some();
+                    let roles: Vec<u8> = srcs.iter().map(|&(_, r)| r).collect();
+                    inputs.extend(srcs.iter().map(|&(s, _)| s));
+                    let rl = roles.clone();
+                    self.lut_search_series(inputs, move |m| {
+                        let d = (bit(m, 2) as u8) | (has_hi && bit(m, 3)) as u8 * 2;
+                        bit(m, 0) ^ bit(m, 1) ^ eval_pp(m, base, &rl, d)
+                    });
+                }
+                self.prog.push(ApOp::Latch);
+                // c'_i = maj(s_{i-1}, c_{i-1}, pp_{i-1-j}); c'_j = 0.
+                if i == j {
+                    self.prog.push(ApOp::TagNone);
+                } else {
+                    let srcs = pp_inputs(a, &t3, i - 1 - j);
+                    let mut inputs = vec![s_field.slot(i - 1), c_field.slot(i - 1), digit_lo];
+                    if let Some(h) = digit_hi {
+                        inputs.push(h);
+                    }
+                    let base = inputs.len();
+                    let has_hi = digit_hi.is_some();
+                    let roles: Vec<u8> = srcs.iter().map(|&(_, r)| r).collect();
+                    inputs.extend(srcs.iter().map(|&(s, _)| s));
+                    let rl = roles.clone();
+                    self.lut_search_series(inputs, move |m| {
+                        let d = (bit(m, 2) as u8) | (has_hi && bit(m, 3)) as u8 * 2;
+                        let pp = eval_pp(m, base, &rl, d);
+                        (bit(m, 0) as u8 + bit(m, 1) as u8 + pp as u8) >= 2
+                    });
+                }
+                self.prog.push(ApOp::WriteEncoded {
+                    col: pair_i.base_col(),
+                });
+            }
+        }
+        self.free(&t3);
+        let sum = self.add(&s_field, &c_field);
+        self.free(&s_field);
+        self.free(&c_field);
+        sum.bits(0..out_width)
+    }
+}
+
+#[cfg(test)]
+mod radix4_tests {
+    use super::super::Microcode;
+    use crate::machine::HyperPe;
+
+    fn check_r4(width: usize, self_paired: bool, cases: &[(u64, u64)]) {
+        let mut mc = Microcode::new(256);
+        let a = mc.alloc_plain_input("a", width);
+        let b = if self_paired {
+            mc.alloc_self_paired_input("b", width)
+        } else {
+            mc.alloc_plain_input("b", width)
+        };
+        let out = mc.mul_radix4_wrapping(&a, &b);
+        let mut pe = HyperPe::new(cases.len(), 256);
+        for (row, &(va, vb)) in cases.iter().enumerate() {
+            a.store(&mut pe, row, va);
+            b.store(&mut pe, row, vb);
+        }
+        mc.program().run(&mut pe);
+        let mask = ((1u128 << width) - 1) as u64;
+        for (row, &(va, vb)) in cases.iter().enumerate() {
+            assert_eq!(
+                out.read(&pe, row),
+                va.wrapping_mul(vb) & mask,
+                "{va} * {vb} (w={width}, paired={self_paired})"
+            );
+        }
+    }
+
+    #[test]
+    fn radix4_8bit_is_correct() {
+        let cases = [(0u64, 0u64), (255, 255), (13, 19), (200, 100), (1, 254), (85, 3)];
+        check_r4(8, true, &cases);
+        check_r4(8, false, &cases);
+    }
+
+    #[test]
+    fn radix4_odd_width() {
+        let cases = [(0u64, 0u64), (31, 31), (17, 5), (9, 21)];
+        check_r4(5, true, &cases);
+    }
+
+    #[test]
+    fn radix4_5bit_exhaustive_diagonal() {
+        let cases: Vec<(u64, u64)> = (0..32).map(|i| (i, (i * 11 + 2) % 32)).collect();
+        check_r4(5, true, &cases);
+    }
+
+    #[test]
+    fn radix4_beats_radix2() {
+        let rram = hyperap_model::TechParams::rram();
+        let r4 = {
+            let mut mc = Microcode::new(256);
+            let a = mc.alloc_plain_input("a", 32);
+            let b = mc.alloc_self_paired_input("b", 32);
+            mc.mul_radix4_wrapping(&a, &b);
+            mc.program().op_counts().cycles(&rram)
+        };
+        let r2 = {
+            let mut mc = Microcode::new(256);
+            let a = mc.alloc_plain_input("a", 32);
+            let b = mc.alloc_plain_input("b", 32);
+            mc.mul_wrapping(&a, &b);
+            mc.program().op_counts().cycles(&rram)
+        };
+        assert!(r4 < r2, "radix-4 {r4} vs radix-2 {r2}");
+        println!("radix4 {r4} radix2 {r2}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # Hyper-AP
+//!
+//! A from-scratch Rust reproduction of **"Hyper-AP: Enhancing Associative
+//! Processing Through A Full-Stack Optimization"** (Zha & Li, ISCA 2020):
+//! an RRAM-TCAM associative processor with an enhanced execution model
+//! (Single-Search-Multi-Pattern + Multi-Search-Single-Write), its
+//! architecture and ISA, and a compiler for a C-like language.
+//!
+//! This umbrella crate re-exports the subsystem crates:
+//!
+//! * [`tcam`] — ternary CAM arrays, device-level 2D2R model, the extended
+//!   two-bit encoding, and multi-valued search minimization.
+//! * [`core`] — abstract machines, execution models, and the expert
+//!   arithmetic microcode.
+//! * [`isa`] — the Table-I instruction set (encode/decode/assemble).
+//! * [`arch`] — the hierarchical chip simulator (groups/banks/subarrays/PEs).
+//! * [`compiler`] — the C-like language compiler with operation merging,
+//!   operand embedding, and bit-pairing optimizations.
+//! * [`model`] — technology/timing/energy/area models (Table II).
+//! * [`baselines`] — traditional AP, IMP, and GPU comparison models.
+//! * [`workloads`] — the synthetic and Rodinia-style benchmark sets.
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hyperap_arch as arch;
+pub use hyperap_baselines as baselines;
+pub use hyperap_compiler as compiler;
+pub use hyperap_core as core;
+pub use hyperap_isa as isa;
+pub use hyperap_model as model;
+pub use hyperap_tcam as tcam;
+pub use hyperap_workloads as workloads;

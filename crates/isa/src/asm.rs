@@ -1,0 +1,265 @@
+//! Text assembler and disassembler for instruction streams.
+//!
+//! One instruction per line; `#` starts a comment. Keys are written in the
+//! `0`/`1`/`Z`/`-` notation of the paper's figures, trailing masked columns
+//! omitted.
+//!
+//! ```text
+//! setkey 010
+//! search            # overwrite tags
+//! search acc        # accumulate (Multi-Search-Single-Write)
+//! write 3
+//! write 4 encode
+//! count
+//! ```
+
+use crate::instruction::{Direction, Instruction};
+use hyperap_tcam::key::SearchKey;
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+/// Render an instruction stream as assembly text.
+pub fn format(stream: &[Instruction]) -> String {
+    let mut out = String::new();
+    for inst in stream {
+        match inst {
+            Instruction::Search { acc, encode } => {
+                out.push_str("search");
+                if *acc {
+                    out.push_str(" acc");
+                }
+                if *encode {
+                    out.push_str(" encode");
+                }
+            }
+            Instruction::Write { col, encode } => {
+                out.push_str(&std::format!("write {col}"));
+                if *encode {
+                    out.push_str(" encode");
+                }
+            }
+            Instruction::SetKey { key } => {
+                let mut s = key.to_string();
+                while s.ends_with('-') && s.len() > 1 {
+                    s.pop();
+                }
+                out.push_str(&std::format!("setkey {s}"));
+            }
+            Instruction::Count => out.push_str("count"),
+            Instruction::Index => out.push_str("index"),
+            Instruction::MovR { dir } => {
+                let d = match dir {
+                    Direction::Up => "up",
+                    Direction::Left => "left",
+                    Direction::Right => "right",
+                    Direction::Down => "down",
+                };
+                out.push_str(&std::format!("movr {d}"));
+            }
+            Instruction::ReadR { addr } => out.push_str(&std::format!("readr {addr:#x}")),
+            Instruction::WriteR { addr, imm } => {
+                let hex: String = imm.iter().map(|b| std::format!("{b:02x}")).collect();
+                out.push_str(&std::format!("writer {addr:#x} {hex}"));
+            }
+            Instruction::SetTag => out.push_str("settag"),
+            Instruction::ReadTag => out.push_str("readtag"),
+            Instruction::Broadcast { group_mask } => {
+                out.push_str(&std::format!("broadcast {group_mask:#010b}"))
+            }
+            Instruction::Wait { cycles } => out.push_str(&std::format!("wait {cycles}")),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse assembly text back into an instruction stream.
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] with the offending line on malformed input.
+pub fn parse(text: &str) -> Result<Vec<Instruction>, ParseAsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let mnemonic = parts.next().expect("non-empty line");
+        let err = |m: &str| ParseAsmError {
+            line: line_no,
+            message: m.to_string(),
+        };
+        let parse_u = |s: Option<&str>, what: &str| -> Result<u64, ParseAsmError> {
+            let s = s.ok_or_else(|| err(&std::format!("missing {what}")))?;
+            let (digits, radix) = match s.strip_prefix("0x") {
+                Some(rest) => (rest, 16),
+                None => match s.strip_prefix("0b") {
+                    Some(rest) => (rest, 2),
+                    None => (s, 10),
+                },
+            };
+            u64::from_str_radix(digits, radix)
+                .map_err(|e| err(&std::format!("bad {what}: {e}")))
+        };
+        let inst = match mnemonic {
+            "search" => {
+                let rest: Vec<&str> = parts.collect();
+                for flag in &rest {
+                    if !["acc", "encode"].contains(flag) {
+                        return Err(err(&std::format!("unknown search flag `{flag}`")));
+                    }
+                }
+                Instruction::Search {
+                    acc: rest.contains(&"acc"),
+                    encode: rest.contains(&"encode"),
+                }
+            }
+            "write" => {
+                let col = parse_u(parts.next(), "column")? as u8;
+                let encode = matches!(parts.next(), Some("encode"));
+                Instruction::Write { col, encode }
+            }
+            "setkey" => {
+                let pattern = parts.next().ok_or_else(|| err("missing key pattern"))?;
+                let key = SearchKey::parse(pattern)
+                    .map_err(|c| err(&std::format!("bad key character `{c}`")))?;
+                Instruction::SetKey { key }
+            }
+            "count" => Instruction::Count,
+            "index" => Instruction::Index,
+            "movr" => {
+                let dir = match parts.next() {
+                    Some("up") => Direction::Up,
+                    Some("left") => Direction::Left,
+                    Some("right") => Direction::Right,
+                    Some("down") => Direction::Down,
+                    other => {
+                        return Err(err(&std::format!("bad direction {other:?}")));
+                    }
+                };
+                Instruction::MovR { dir }
+            }
+            "readr" => Instruction::ReadR {
+                addr: parse_u(parts.next(), "address")? as u32,
+            },
+            "writer" => {
+                let addr = parse_u(parts.next(), "address")? as u32;
+                let hex = parts.next().ok_or_else(|| err("missing immediate"))?;
+                if hex.len() % 2 != 0 {
+                    return Err(err("immediate must have an even number of hex digits"));
+                }
+                let imm: Result<Vec<u8>, _> = (0..hex.len() / 2)
+                    .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16))
+                    .collect();
+                Instruction::WriteR {
+                    addr,
+                    imm: imm.map_err(|e| err(&std::format!("bad immediate: {e}")))?,
+                }
+            }
+            "settag" => Instruction::SetTag,
+            "readtag" => Instruction::ReadTag,
+            "broadcast" => Instruction::Broadcast {
+                group_mask: parse_u(parts.next(), "group mask")? as u8,
+            },
+            "wait" => Instruction::Wait {
+                cycles: parse_u(parts.next(), "cycle count")? as u8,
+            },
+            other => return Err(err(&std::format!("unknown mnemonic `{other}`"))),
+        };
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5d_program_assembles() {
+        // The paper's Fig 5d 6-operation 1-bit addition, as assembly.
+        let text = "\
+# Hyper-AP 1-bit addition (Fig 5d)
+setkey 010
+search              # patterns 100, 010
+setkey 101
+search acc          # patterns 001, 111
+setkey ---1
+write 3             # Sum = 1
+setkey -11
+search              # patterns 011, 101, 111
+setkey 1Z0
+search acc          # pattern 110
+setkey ----1
+write 4             # Cout = 1
+";
+        let prog = parse(text).unwrap();
+        let searches = prog
+            .iter()
+            .filter(|i| matches!(i, Instruction::Search { .. }))
+            .count();
+        let writes = prog
+            .iter()
+            .filter(|i| matches!(i, Instruction::Write { .. }))
+            .count();
+        assert_eq!(searches + writes, 6, "Fig 5d: 6 operations");
+    }
+
+    #[test]
+    fn format_parse_round_trip() {
+        let stream = vec![
+            Instruction::SetKey {
+                key: SearchKey::parse("1Z0-").unwrap(),
+            },
+            Instruction::Search { acc: true, encode: false },
+            Instruction::Write { col: 9, encode: true },
+            Instruction::MovR { dir: Direction::Down },
+            Instruction::Broadcast { group_mask: 0xA5 },
+            Instruction::Wait { cycles: 12 },
+            Instruction::WriteR { addr: 0x1F, imm: vec![1, 2, 3] },
+        ];
+        let text = format(&stream);
+        let parsed = parse(&text).unwrap();
+        for (a, b) in parsed.iter().zip(&stream) {
+            match (a, b) {
+                (Instruction::SetKey { key: ka }, Instruction::SetKey { key: kb }) => {
+                    for col in 0..8 {
+                        assert_eq!(ka.bit(col), kb.bit(col));
+                    }
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse("count\nbogus 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let prog = parse("\n# nothing\n  count # inline\n\n").unwrap();
+        assert_eq!(prog, vec![Instruction::Count]);
+    }
+}

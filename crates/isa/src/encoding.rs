@@ -1,0 +1,305 @@
+//! Binary instruction encoding with Table I byte lengths.
+//!
+//! Layout: the high nibble of byte 0 is the opcode; low-nibble bits carry
+//! small flags (`<acc>`, `<encode>`, `<dir>`, the high address bit).
+//! `SetKey`/`WriteR` carry a 512-bit immediate — for `SetKey` it encodes the
+//! key+mask registers at 2 bits per column (§IV-A3): `00` = masked,
+//! `01` = key 1 (mask 1), `10` = key 0 (mask 1), `11` = the `Z` input.
+
+use crate::instruction::{Direction, Instruction, KEY_COLUMNS};
+use bytes::{Buf, BufMut, BytesMut};
+use hyperap_tcam::bit::KeyBit;
+use hyperap_tcam::key::SearchKey;
+
+const OP_SEARCH: u8 = 0x1;
+const OP_WRITE: u8 = 0x2;
+const OP_SETKEY: u8 = 0x3;
+const OP_COUNT: u8 = 0x4;
+const OP_INDEX: u8 = 0x5;
+const OP_MOVR: u8 = 0x6;
+const OP_READR: u8 = 0x7;
+const OP_WRITER: u8 = 0x8;
+const OP_SETTAG: u8 = 0x9;
+const OP_READTAG: u8 = 0xA;
+const OP_BROADCAST: u8 = 0xB;
+const OP_WAIT: u8 = 0xC;
+
+/// Errors from [`decode_stream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode nibble at the given byte offset.
+    UnknownOpcode {
+        /// Offending opcode nibble.
+        opcode: u8,
+        /// Byte offset.
+        offset: usize,
+    },
+    /// The stream ended inside an instruction.
+    Truncated {
+        /// Byte offset of the truncated instruction.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { opcode, offset } => {
+                write!(f, "unknown opcode {opcode:#x} at byte {offset}")
+            }
+            DecodeError::Truncated { offset } => {
+                write!(f, "truncated instruction at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Pack a key into the 512-bit `SetKey` immediate (2 bits per column).
+pub fn pack_key(key: &SearchKey) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    for col in 0..KEY_COLUMNS {
+        let code: u8 = match key.bit(col) {
+            KeyBit::Masked => 0b00,
+            KeyBit::One => 0b01,
+            KeyBit::Zero => 0b10,
+            KeyBit::Z => 0b11,
+        };
+        out[col / 4] |= code << (2 * (col % 4));
+    }
+    out
+}
+
+/// Unpack a 512-bit `SetKey` immediate back into a key.
+pub fn unpack_key(imm: &[u8; 64]) -> SearchKey {
+    let mut key = SearchKey::masked(KEY_COLUMNS);
+    for col in 0..KEY_COLUMNS {
+        let code = imm[col / 4] >> (2 * (col % 4)) & 0b11;
+        let bit = match code {
+            0b00 => KeyBit::Masked,
+            0b01 => KeyBit::One,
+            0b10 => KeyBit::Zero,
+            _ => KeyBit::Z,
+        };
+        key.set_bit(col, bit);
+    }
+    key
+}
+
+/// Encode an instruction stream to bytes.
+pub fn encode(instructions: &[Instruction]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    for inst in instructions {
+        encode_one(inst, &mut buf);
+    }
+    buf.to_vec()
+}
+
+fn encode_one(inst: &Instruction, buf: &mut BytesMut) {
+    match inst {
+        Instruction::Search { acc, encode } => {
+            buf.put_u8(OP_SEARCH << 4 | (*acc as u8) | (*encode as u8) << 1);
+        }
+        Instruction::Write { col, encode } => {
+            buf.put_u8(OP_WRITE << 4 | (*encode as u8));
+            buf.put_u8(*col);
+        }
+        Instruction::SetKey { key } => {
+            buf.put_u8(OP_SETKEY << 4);
+            buf.put_slice(&pack_key(key));
+        }
+        Instruction::Count => buf.put_u8(OP_COUNT << 4),
+        Instruction::Index => buf.put_u8(OP_INDEX << 4),
+        Instruction::MovR { dir } => buf.put_u8(OP_MOVR << 4 | dir.code()),
+        Instruction::ReadR { addr } => {
+            buf.put_u8(OP_READR << 4 | (addr >> 16 & 1) as u8);
+            buf.put_u16(*addr as u16);
+        }
+        Instruction::WriteR { addr, imm } => {
+            buf.put_u8(OP_WRITER << 4 | (addr >> 16 & 1) as u8);
+            buf.put_u16(*addr as u16);
+            let mut padded = imm.clone();
+            padded.resize(64, 0);
+            buf.put_slice(&padded);
+        }
+        Instruction::SetTag => buf.put_u8(OP_SETTAG << 4),
+        Instruction::ReadTag => buf.put_u8(OP_READTAG << 4),
+        Instruction::Broadcast { group_mask } => {
+            buf.put_u8(OP_BROADCAST << 4);
+            buf.put_u8(*group_mask);
+        }
+        Instruction::Wait { cycles } => {
+            buf.put_u8(OP_WAIT << 4);
+            buf.put_u8(*cycles);
+        }
+    }
+}
+
+/// Decode a full instruction stream.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on unknown opcodes or truncation.
+pub fn decode_stream(mut bytes: &[u8]) -> Result<Vec<Instruction>, DecodeError> {
+    let total = bytes.len();
+    let mut out = Vec::new();
+    while bytes.has_remaining() {
+        let offset = total - bytes.remaining();
+        let b0 = bytes.get_u8();
+        let opcode = b0 >> 4;
+        let need = |n: usize, bytes: &&[u8]| -> Result<(), DecodeError> {
+            if bytes.remaining() < n {
+                Err(DecodeError::Truncated { offset })
+            } else {
+                Ok(())
+            }
+        };
+        let inst = match opcode {
+            OP_SEARCH => Instruction::Search {
+                acc: b0 & 1 != 0,
+                encode: b0 & 2 != 0,
+            },
+            OP_WRITE => {
+                need(1, &bytes)?;
+                Instruction::Write {
+                    col: bytes.get_u8(),
+                    encode: b0 & 1 != 0,
+                }
+            }
+            OP_SETKEY => {
+                need(64, &bytes)?;
+                let mut imm = [0u8; 64];
+                bytes.copy_to_slice(&mut imm);
+                Instruction::SetKey {
+                    key: unpack_key(&imm),
+                }
+            }
+            OP_COUNT => Instruction::Count,
+            OP_INDEX => Instruction::Index,
+            OP_MOVR => Instruction::MovR {
+                dir: Direction::from_code(b0),
+            },
+            OP_READR => {
+                need(2, &bytes)?;
+                let lo = bytes.get_u16() as u32;
+                Instruction::ReadR {
+                    addr: (b0 as u32 & 1) << 16 | lo,
+                }
+            }
+            OP_WRITER => {
+                need(66, &bytes)?;
+                let lo = bytes.get_u16() as u32;
+                let mut imm = vec![0u8; 64];
+                bytes.copy_to_slice(&mut imm);
+                Instruction::WriteR {
+                    addr: (b0 as u32 & 1) << 16 | lo,
+                    imm,
+                }
+            }
+            OP_SETTAG => Instruction::SetTag,
+            OP_READTAG => Instruction::ReadTag,
+            OP_BROADCAST => {
+                need(1, &bytes)?;
+                Instruction::Broadcast {
+                    group_mask: bytes.get_u8(),
+                }
+            }
+            OP_WAIT => {
+                need(1, &bytes)?;
+                Instruction::Wait {
+                    cycles: bytes.get_u8(),
+                }
+            }
+            other => return Err(DecodeError::UnknownOpcode { opcode: other, offset }),
+        };
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instructions() -> Vec<Instruction> {
+        let key = SearchKey::parse("10Z-").unwrap();
+        vec![
+            Instruction::SetKey { key },
+            Instruction::Search { acc: false, encode: false },
+            Instruction::Search { acc: true, encode: true },
+            Instruction::Write { col: 200, encode: false },
+            Instruction::Write { col: 7, encode: true },
+            Instruction::Count,
+            Instruction::Index,
+            Instruction::MovR { dir: Direction::Right },
+            Instruction::ReadR { addr: 0x1ABCD },
+            Instruction::WriteR { addr: 0x0FF00, imm: (0..64).collect() },
+            Instruction::SetTag,
+            Instruction::ReadTag,
+            Instruction::Broadcast { group_mask: 0b1010_0101 },
+            Instruction::Wait { cycles: 99 },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_instructions() {
+        let prog = sample_instructions();
+        let bytes = encode(&prog);
+        let decoded = decode_stream(&bytes).unwrap();
+        // SetKey keys normalize to the 256-column register width.
+        assert_eq!(decoded.len(), prog.len());
+        for (a, b) in decoded.iter().zip(&prog) {
+            match (a, b) {
+                (Instruction::SetKey { key: ka }, Instruction::SetKey { key: kb }) => {
+                    for col in 0..KEY_COLUMNS {
+                        assert_eq!(ka.bit(col), kb.bit(col), "column {col}");
+                    }
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_length_matches_table1() {
+        let prog = sample_instructions();
+        let bytes = encode(&prog);
+        let expected: usize = prog.iter().map(|i| i.length()).sum();
+        assert_eq!(bytes.len(), expected);
+    }
+
+    #[test]
+    fn key_pack_unpack_round_trip() {
+        let mut key = SearchKey::masked(KEY_COLUMNS);
+        key.set_bit(0, KeyBit::One);
+        key.set_bit(1, KeyBit::Zero);
+        key.set_bit(100, KeyBit::Z);
+        key.set_bit(255, KeyBit::One);
+        let unpacked = unpack_key(&pack_key(&key));
+        for col in 0..KEY_COLUMNS {
+            assert_eq!(unpacked.bit(col), key.bit(col), "column {col}");
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let bytes = encode(&[Instruction::Write { col: 3, encode: false }]);
+        let err = decode_stream(&bytes[..1]).unwrap_err();
+        assert!(matches!(err, DecodeError::Truncated { offset: 0 }));
+    }
+
+    #[test]
+    fn unknown_opcode_errors() {
+        let err = decode_stream(&[0xF0]).unwrap_err();
+        assert!(matches!(err, DecodeError::UnknownOpcode { opcode: 0xF, .. }));
+        assert!(err.to_string().contains("unknown opcode"));
+    }
+
+    #[test]
+    fn addr_17_bits_survive() {
+        let bytes = encode(&[Instruction::ReadR { addr: 0x1FFFF }]);
+        let decoded = decode_stream(&bytes).unwrap();
+        assert_eq!(decoded, vec![Instruction::ReadR { addr: 0x1FFFF }]);
+    }
+}

@@ -1,0 +1,38 @@
+//! The Hyper-AP instruction set architecture (Table I).
+//!
+//! Twelve instructions in three categories:
+//!
+//! | Category | Instructions |
+//! |---|---|
+//! | Compute | `Search`, `Write`, `SetKey`, `Count`, `Index`, `MovR` |
+//! | Data manipulate | `ReadR`, `WriteR`, `SetTag`, `ReadTag` |
+//! | Control | `Broadcast`, `Wait` |
+//!
+//! This crate defines the instruction type ([`Instruction`]), its binary
+//! encoding with the exact byte lengths of Table I ([`encode`]), the cycle
+//! model ([`Instruction::cycles`]), a text assembler/disassembler
+//! ([`asm`]), and the lowering from the portable associative-operation IR
+//! of [`hyperap_core`] to instruction streams ([`lower`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hyperap_isa::{Instruction, encode, decode_stream};
+//!
+//! let prog = vec![Instruction::Search { acc: true, encode: false }, Instruction::Count];
+//! let bytes = encode(&prog);
+//! assert_eq!(bytes.len(), 2); // Table I: Search = 1 byte, Count = 1 byte
+//! assert_eq!(decode_stream(&bytes).unwrap(), prog);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod encoding;
+pub mod instruction;
+pub mod lower;
+
+pub use encoding::{decode_stream, encode};
+pub use instruction::{Direction, Instruction, KEY_COLUMNS};
+pub use lower::{lower, stream_cycles, stream_op_counts};

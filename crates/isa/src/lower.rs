@@ -1,0 +1,219 @@
+//! Lowering the portable associative-operation IR ([`hyperap_core`]'s
+//! [`ApOp`]) to Hyper-AP instruction streams, plus stream-level cycle/energy
+//! accounting.
+//!
+//! Lowering rules:
+//!
+//! * `Search` → `SetKey` + `Search` (the key register must hold the key);
+//!   consecutive searches with an identical key skip the redundant `SetKey`.
+//! * `Write { col, value }` → `SetKey` (value bit at `col`) + `Write` — the
+//!   write drivers take the value from the key register (§IV-B).
+//! * `Latch` → folds into the preceding `Search` as its `<encode>` flag, or
+//!   becomes a zero-cost re-search marker when standalone.
+//! * `TagAll`/`TagNone` → `WriteR`(all-ones/zeros into the data register) +
+//!   `SetTag`.
+//! * `Count`/`Index` map 1:1.
+
+use crate::instruction::Instruction;
+
+/// Broadcast PE address: `WriteR` with the all-ones 17-bit address targets
+/// every PE of the issuing group (the hierarchical machine honors it).
+pub const BROADCAST_ADDR: u32 = 0x1FFFF;
+use hyperap_core::program::{ApOp, Program};
+use hyperap_model::tech::TechParams;
+use hyperap_model::timing::OpCounts;
+use hyperap_tcam::key::SearchKey;
+
+/// Lower an IR program to an instruction stream.
+pub fn lower(program: &Program) -> Vec<Instruction> {
+    let mut out: Vec<Instruction> = Vec::with_capacity(program.len() * 2);
+    let mut current_key: Option<SearchKey> = None;
+    let set_key = |out: &mut Vec<Instruction>, key: &SearchKey, current: &mut Option<SearchKey>| {
+        if current.as_ref() != Some(key) {
+            out.push(Instruction::SetKey { key: key.clone() });
+            *current = Some(key.clone());
+        }
+    };
+    let ops = program.ops();
+    let mut i = 0;
+    while i < ops.len() {
+        match &ops[i] {
+            ApOp::Search { key, accumulate } => {
+                set_key(&mut out, key, &mut current_key);
+                // Fold a following Latch into the <encode> flag.
+                let encode = matches!(ops.get(i + 1), Some(ApOp::Latch));
+                out.push(Instruction::Search {
+                    acc: *accumulate,
+                    encode,
+                });
+                if encode {
+                    i += 1; // consume the Latch
+                }
+            }
+            ApOp::Latch => {
+                // Standalone latch: re-issue the search with <encode> set is
+                // not possible without the key; model as a Search with a
+                // fully-masked key would change tags. The machine latches
+                // for free, so emit nothing (the encoder DFF shadows the
+                // sense amplifiers continuously, Fig 7).
+            }
+            ApOp::Write { col, value } => {
+                let key = SearchKey::masked(crate::instruction::KEY_COLUMNS)
+                    .with_bit(*col, *value);
+                set_key(&mut out, &key, &mut current_key);
+                out.push(Instruction::Write {
+                    col: *col as u8,
+                    encode: false,
+                });
+            }
+            ApOp::WriteEncoded { col } => {
+                out.push(Instruction::Write {
+                    col: *col as u8,
+                    encode: true,
+                });
+            }
+            ApOp::TagAll => {
+                // Broadcast to every PE of the group: all PEs execute the
+                // SIMD SetTag that follows.
+                out.push(Instruction::WriteR {
+                    addr: BROADCAST_ADDR,
+                    imm: vec![0xFF; 64],
+                });
+                out.push(Instruction::SetTag);
+            }
+            ApOp::TagNone => {
+                out.push(Instruction::WriteR {
+                    addr: BROADCAST_ADDR,
+                    imm: vec![0; 64],
+                });
+                out.push(Instruction::SetTag);
+            }
+            ApOp::Count => out.push(Instruction::Count),
+            ApOp::Index => out.push(Instruction::Index),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Total cycles of an instruction stream under a technology.
+pub fn stream_cycles(stream: &[Instruction], tech: &TechParams) -> u64 {
+    stream.iter().map(|i| i.cycles(tech)).sum()
+}
+
+/// Classify an instruction stream into the model-level operation counts
+/// (used to cross-check analytical accounting against lowered code).
+pub fn stream_op_counts(stream: &[Instruction]) -> OpCounts {
+    let mut c = OpCounts::default();
+    for inst in stream {
+        match inst {
+            Instruction::Search { .. } => c.searches += 1,
+            Instruction::Write { encode: false, .. } => c.writes_single += 1,
+            Instruction::Write { encode: true, .. } => c.writes_encoded += 1,
+            Instruction::SetKey { .. } => c.set_keys += 1,
+            Instruction::Count => c.counts += 1,
+            Instruction::Index => c.indexes += 1,
+            Instruction::MovR { .. } => c.mov_rs += 1,
+            Instruction::ReadR { .. } | Instruction::WriteR { .. } => {}
+            Instruction::SetTag | Instruction::ReadTag => c.tag_ops += 1,
+            Instruction::Broadcast { .. } => c.broadcasts += 1,
+            Instruction::Wait { cycles } => c.wait_cycles += *cycles as u64,
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperap_tcam::bit::KeyBit;
+
+    #[test]
+    fn search_lowering_emits_setkey_then_search() {
+        let mut p = Program::new();
+        p.search(SearchKey::parse("1-0").unwrap(), false);
+        let stream = lower(&p);
+        assert!(matches!(stream[0], Instruction::SetKey { .. }));
+        assert!(matches!(
+            stream[1],
+            Instruction::Search { acc: false, encode: false }
+        ));
+    }
+
+    #[test]
+    fn repeated_key_skips_setkey() {
+        let mut p = Program::new();
+        let key = SearchKey::parse("1Z").unwrap();
+        p.search(key.clone(), false);
+        p.search(key, true);
+        let stream = lower(&p);
+        let setkeys = stream
+            .iter()
+            .filter(|i| matches!(i, Instruction::SetKey { .. }))
+            .count();
+        assert_eq!(setkeys, 1);
+    }
+
+    #[test]
+    fn latch_folds_into_search_encode_flag() {
+        let mut p = Program::new();
+        p.search(SearchKey::parse("1").unwrap(), false);
+        p.push(ApOp::Latch);
+        p.push(ApOp::WriteEncoded { col: 2 });
+        let stream = lower(&p);
+        assert!(stream
+            .iter()
+            .any(|i| matches!(i, Instruction::Search { encode: true, .. })));
+        assert!(stream
+            .iter()
+            .any(|i| matches!(i, Instruction::Write { encode: true, .. })));
+    }
+
+    #[test]
+    fn write_emits_value_setkey() {
+        let mut p = Program::new();
+        p.write(5, KeyBit::One);
+        let stream = lower(&p);
+        assert_eq!(stream.len(), 2);
+        let Instruction::SetKey { key } = &stream[0] else {
+            panic!("expected SetKey");
+        };
+        assert_eq!(key.bit(5), KeyBit::One);
+        assert_eq!(key.active_count(), 1);
+    }
+
+    #[test]
+    fn stream_cycles_match_table1() {
+        let mut p = Program::new();
+        p.search(SearchKey::parse("1").unwrap(), false);
+        p.write(0, KeyBit::One);
+        let stream = lower(&p);
+        // SetKey(1) + Search(1) + SetKey(1) + Write(12) = 15.
+        assert_eq!(stream_cycles(&stream, &TechParams::rram()), 15);
+    }
+
+    #[test]
+    fn lowered_counts_match_ir_counts_for_searches_and_writes() {
+        let mut p = Program::new();
+        p.search(SearchKey::parse("10").unwrap(), false);
+        p.search(SearchKey::parse("01").unwrap(), true);
+        p.write(3, KeyBit::One);
+        p.push(ApOp::WriteEncoded { col: 4 });
+        p.push(ApOp::Count);
+        let ir = p.op_counts();
+        let lowered = stream_op_counts(&lower(&p));
+        assert_eq!(lowered.searches, ir.searches);
+        assert_eq!(lowered.writes_single, ir.writes_single);
+        assert_eq!(lowered.writes_encoded, ir.writes_encoded);
+        assert_eq!(lowered.counts, ir.counts);
+    }
+
+    #[test]
+    fn tag_ops_lower_to_writer_settag() {
+        let mut p = Program::new();
+        p.push(ApOp::TagAll);
+        let stream = lower(&p);
+        assert!(matches!(stream[0], Instruction::WriteR { .. }));
+        assert!(matches!(stream[1], Instruction::SetTag));
+    }
+}

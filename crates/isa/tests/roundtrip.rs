@@ -1,0 +1,76 @@
+//! Property tests: binary encoding and assembly round-trips for arbitrary
+//! instruction streams.
+
+use hyperap_isa::{asm, decode_stream, encode, Direction, Instruction, KEY_COLUMNS};
+use hyperap_tcam::bit::KeyBit;
+use hyperap_tcam::key::SearchKey;
+use proptest::prelude::*;
+
+fn key_bit() -> impl Strategy<Value = KeyBit> {
+    prop_oneof![
+        Just(KeyBit::Zero),
+        Just(KeyBit::One),
+        Just(KeyBit::Z),
+        Just(KeyBit::Masked)
+    ]
+}
+
+fn instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (any::<bool>(), any::<bool>())
+            .prop_map(|(acc, encode)| Instruction::Search { acc, encode }),
+        (any::<u8>(), any::<bool>()).prop_map(|(col, encode)| Instruction::Write { col, encode }),
+        prop::collection::vec(key_bit(), 1..40).prop_map(|bits| Instruction::SetKey {
+            key: SearchKey::from_bits(bits),
+        }),
+        Just(Instruction::Count),
+        Just(Instruction::Index),
+        (0u8..4).prop_map(|d| Instruction::MovR {
+            dir: Direction::from_code(d),
+        }),
+        (0u32..1 << 17).prop_map(|addr| Instruction::ReadR { addr }),
+        (0u32..1 << 17, prop::collection::vec(any::<u8>(), 64))
+            .prop_map(|(addr, imm)| Instruction::WriteR { addr, imm }),
+        Just(Instruction::SetTag),
+        Just(Instruction::ReadTag),
+        any::<u8>().prop_map(|m| Instruction::Broadcast { group_mask: m }),
+        any::<u8>().prop_map(|c| Instruction::Wait { cycles: c }),
+    ]
+}
+
+fn keys_equal(a: &SearchKey, b: &SearchKey) -> bool {
+    (0..KEY_COLUMNS).all(|c| a.bit(c) == b.bit(c))
+}
+
+fn instructions_equal(a: &Instruction, b: &Instruction) -> bool {
+    match (a, b) {
+        (Instruction::SetKey { key: ka }, Instruction::SetKey { key: kb }) => keys_equal(ka, kb),
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #[test]
+    fn binary_round_trip(stream in prop::collection::vec(instruction(), 0..24)) {
+        let bytes = encode(&stream);
+        let expected: usize = stream.iter().map(|i| i.length()).sum();
+        prop_assert_eq!(bytes.len(), expected, "Table I lengths");
+        let decoded = decode_stream(&bytes).unwrap();
+        prop_assert_eq!(decoded.len(), stream.len());
+        for (d, s) in decoded.iter().zip(&stream) {
+            prop_assert!(instructions_equal(d, s), "{:?} vs {:?}", d, s);
+        }
+    }
+
+    #[test]
+    fn assembly_round_trip(stream in prop::collection::vec(instruction(), 0..16)) {
+        let text = asm::format(&stream);
+        let parsed = asm::parse(&text).unwrap();
+        prop_assert_eq!(parsed.len(), stream.len());
+        for (p, s) in parsed.iter().zip(&stream) {
+            // WriteR immediates shorter than 64 bytes re-parse exactly;
+            // binary encoding pads — assembly must not.
+            prop_assert!(instructions_equal(p, s), "{:?} vs {:?}", p, s);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Technology, timing, energy, and area models for the Hyper-AP reproduction.
+//!
+//! The paper evaluates Hyper-AP with HSPICE circuit simulation (32 nm PTM) and
+//! then computes performance analytically from compilation results, because
+//! "instruction latency is deterministic". This crate captures those device- and
+//! chip-level constants so that the architecture simulator ([`hyperap-arch`]) and
+//! the benchmark harness can turn *operation counts* into latency, throughput,
+//! power efficiency and area efficiency, exactly as §VI of the paper does.
+//!
+//! Three layers:
+//!
+//! * [`tech`] — memory-technology parameters (RRAM vs CMOS): search/write
+//!   latencies in cycles, per-operation energies, the write/search ratio α that
+//!   also parameterizes the compiler's LUT-generation cost function (Eq. 2).
+//! * [`area`] — physical-design constants (Fig 14): PE dimensions, array
+//!   geometry, chip-level PE/slot counts.
+//! * [`config`] — Table II system configurations for Hyper-AP, IMP, and GPU,
+//!   plus derived metrics ([`metrics`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hyperap_model::tech::TechParams;
+//! use hyperap_model::timing::OpCounts;
+//!
+//! let rram = TechParams::rram();
+//! let ops = OpCounts { searches: 159, writes_single: 33, set_keys: 159, ..OpCounts::default() };
+//! let cycles = ops.cycles(&rram);
+//! assert!(cycles > 159); // writes cost 12 cycles each on RRAM
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod config;
+pub mod metrics;
+pub mod tech;
+pub mod timing;
+
+pub use area::AreaModel;
+pub use config::{SystemConfig, GPU_TITAN_XP, IMP_SYSTEM};
+pub use metrics::Metrics;
+pub use tech::{TechParams, Technology};
+pub use timing::OpCounts;

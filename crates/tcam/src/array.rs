@@ -1,0 +1,425 @@
+//! The functional TCAM array model.
+//!
+//! Words are rows, bits are columns (Fig 1a). The representation is
+//! column-major: each column keeps two row-bitmasks (`is_zero`, `is_one`;
+//! `X` = neither), so a search over all rows is two or three 64-bit boolean
+//! operations per active column per 64 rows — the word-parallel semantics of
+//! the hardware at software speed.
+
+use crate::bit::{KeyBit, TernaryBit};
+use crate::key::SearchKey;
+use crate::tags::TagVector;
+use serde::{Deserialize, Serialize};
+
+/// One bit column of the array: which rows store `0` and which store `1`
+/// (rows in neither set store `X`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Column {
+    is_zero: Vec<u64>,
+    is_one: Vec<u64>,
+}
+
+/// A functional ternary CAM array of `rows` words × `cols` bits.
+///
+/// All cells initialize to `0`, matching the paper's convention that output
+/// vectors are initialized to zero before a computation (§II-C).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcamArray {
+    rows: usize,
+    cols: usize,
+    columns: Vec<Column>,
+    row_mask: Vec<u64>,
+    /// Associative-write pulses per column (RRAM endurance accounting; host
+    /// loads are not counted).
+    wear: Vec<u64>,
+}
+
+impl TcamArray {
+    /// Create an array of `rows` × `cols` cells, all storing `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
+        let blocks = rows.div_ceil(64);
+        let mut row_mask = vec![u64::MAX; blocks];
+        let tail = rows % 64;
+        if tail != 0 {
+            row_mask[blocks - 1] = (1u64 << tail) - 1;
+        }
+        let full_zero = row_mask.clone();
+        TcamArray {
+            rows,
+            cols,
+            columns: vec![
+                Column {
+                    is_zero: full_zero,
+                    is_one: vec![0; blocks],
+                };
+                cols
+            ],
+            row_mask,
+            wear: vec![0; cols],
+        }
+    }
+
+    /// The paper's PE array geometry: 256 words × 256 bits (Fig 7).
+    pub fn pe_sized() -> Self {
+        Self::new(256, 256)
+    }
+
+    /// Number of word rows (SIMD slots).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bit columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn cell(&self, row: usize, col: usize) -> TernaryBit {
+        assert!(row < self.rows && col < self.cols, "cell out of range");
+        let (b, m) = (row / 64, 1u64 << (row % 64));
+        let c = &self.columns[col];
+        if c.is_zero[b] & m != 0 {
+            TernaryBit::Zero
+        } else if c.is_one[b] & m != 0 {
+            TernaryBit::One
+        } else {
+            TernaryBit::X
+        }
+    }
+
+    /// Write one cell directly (host data load path, not an associative write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set_cell(&mut self, row: usize, col: usize, value: TernaryBit) {
+        assert!(row < self.rows && col < self.cols, "cell out of range");
+        let (b, m) = (row / 64, 1u64 << (row % 64));
+        let c = &mut self.columns[col];
+        c.is_zero[b] &= !m;
+        c.is_one[b] &= !m;
+        match value {
+            TernaryBit::Zero => c.is_zero[b] |= m,
+            TernaryBit::One => c.is_one[b] |= m,
+            TernaryBit::X => {}
+        }
+    }
+
+    /// Store a whole word at `row` (shorter words leave later columns alone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or the word length is out of range.
+    pub fn store_word(&mut self, row: usize, word: &[TernaryBit]) {
+        assert!(word.len() <= self.cols, "word wider than array");
+        for (col, bit) in word.iter().enumerate() {
+            self.set_cell(row, col, *bit);
+        }
+    }
+
+    /// Read the whole word at `row`.
+    pub fn read_word(&self, row: usize) -> Vec<TernaryBit> {
+        (0..self.cols).map(|c| self.cell(row, c)).collect()
+    }
+
+    /// Store the low `width` bits of `value` at columns
+    /// `col..col + width` of `row` (LSB first — the Fig 2a layout).
+    pub fn store_field(&mut self, row: usize, col: usize, width: usize, value: u64) {
+        for i in 0..width {
+            self.set_cell(row, col + i, TernaryBit::from_bool(value >> i & 1 == 1));
+        }
+    }
+
+    /// Read `width` bits starting at column `col` of `row` as a `u64`
+    /// (`None` if any cell stores `X`).
+    pub fn read_field(&self, row: usize, col: usize, width: usize) -> Option<u64> {
+        let mut v = 0u64;
+        for i in 0..width {
+            match self.cell(row, col + i).to_bool() {
+                Some(true) => v |= 1 << i,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(v)
+    }
+
+    /// Search all rows in parallel against `key`; returns one tag per row.
+    ///
+    /// Fig 4 semantics: key `0` matches stored {0, X}, key `1` matches
+    /// {1, X}, key `Z` matches {X}, masked columns match everything.
+    pub fn search(&self, key: &SearchKey) -> TagVector {
+        let mut acc = self.row_mask.clone();
+        for col in key.active_columns() {
+            if col >= self.cols {
+                continue;
+            }
+            let c = &self.columns[col];
+            match key.bit(col) {
+                KeyBit::Zero => {
+                    for (a, one) in acc.iter_mut().zip(&c.is_one) {
+                        *a &= !one;
+                    }
+                }
+                KeyBit::One => {
+                    for (a, zero) in acc.iter_mut().zip(&c.is_zero) {
+                        *a &= !zero;
+                    }
+                }
+                KeyBit::Z => {
+                    for ((a, zero), one) in acc.iter_mut().zip(&c.is_zero).zip(&c.is_one) {
+                        *a &= !(zero | one);
+                    }
+                }
+                KeyBit::Masked => unreachable!("active_columns yields unmasked only"),
+            }
+        }
+        for (a, m) in acc.iter_mut().zip(&self.row_mask) {
+            *a &= m;
+        }
+        let mut tags = TagVector::zeros(self.rows);
+        tags.blocks_mut().copy_from_slice(&acc);
+        tags
+    }
+
+    /// Associative write: program every unmasked column of every tagged row
+    /// with the key value (Fig 1c / Fig 4d; `Z` writes `X`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tags.len() != rows`.
+    pub fn write(&mut self, key: &SearchKey, tags: &TagVector) {
+        assert_eq!(tags.len(), self.rows, "tag/row count mismatch");
+        let tag_blocks = tags.blocks();
+        for col in key.active_columns() {
+            if col >= self.cols {
+                continue;
+            }
+            self.wear[col] += 1;
+            let value = key
+                .bit(col)
+                .write_value()
+                .expect("active column has a write value");
+            let c = &mut self.columns[col];
+            match value {
+                TernaryBit::Zero => {
+                    for ((zero, one), t) in c.is_zero.iter_mut().zip(&mut c.is_one).zip(tag_blocks)
+                    {
+                        *zero |= t;
+                        *one &= !t;
+                    }
+                }
+                TernaryBit::One => {
+                    for ((zero, one), t) in c.is_zero.iter_mut().zip(&mut c.is_one).zip(tag_blocks)
+                    {
+                        *one |= t;
+                        *zero &= !t;
+                    }
+                }
+                TernaryBit::X => {
+                    for ((zero, one), t) in c.is_zero.iter_mut().zip(&mut c.is_one).zip(tag_blocks)
+                    {
+                        *zero &= !t;
+                        *one &= !t;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Associative-write pulse count per column — the endurance profile of
+    /// the array. RRAM cells endure a bounded number of SET/RESET cycles
+    /// (~10^6-10^12 depending on device), so heavily recycled scratch
+    /// columns are the wear-leveling hotspot.
+    pub fn column_wear(&self) -> &[u64] {
+        &self.wear
+    }
+
+    /// Record one write pulse on `col` for operations that program cells
+    /// through a row-dependent path (e.g. the PE's two-bit encoder, whose
+    /// per-row values bypass [`write`](Self::write)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn note_write(&mut self, col: usize) {
+        assert!(col < self.cols, "column out of range");
+        self.wear[col] += 1;
+    }
+
+    /// The most-written column and its pulse count (`None` for a
+    /// never-written array).
+    pub fn max_wear(&self) -> Option<(usize, u64)> {
+        self.wear
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, w)| w)
+            .filter(|&(_, w)| w > 0)
+    }
+
+    /// Copy the cells of column `src` into column `dst` for all rows (used by
+    /// data-movement helpers in higher layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either column is out of range.
+    pub fn copy_column(&mut self, src: usize, dst: usize) {
+        assert!(src < self.cols && dst < self.cols, "column out of range");
+        if src == dst {
+            return;
+        }
+        let s = self.columns[src].clone();
+        self.columns[dst] = s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bit::word_from_str;
+
+    fn array_with(words: &[&str]) -> TcamArray {
+        let cols = words[0].len();
+        let mut a = TcamArray::new(words.len(), cols);
+        for (i, w) in words.iter().enumerate() {
+            a.store_word(i, &word_from_str(w).unwrap());
+        }
+        a
+    }
+
+    #[test]
+    fn new_array_is_all_zero() {
+        let a = TcamArray::new(3, 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(a.cell(r, c), TernaryBit::Zero);
+            }
+        }
+    }
+
+    #[test]
+    fn search_matches_selected_columns_only() {
+        // Fig 1b style: key 101 over the first three columns (last two
+        // masked); only rows whose selected columns equal the key match.
+        let a = array_with(&["10110", "10011", "11100", "10111", "00011"]);
+        let key = SearchKey::parse("101--").unwrap();
+        let tags = a.search(&key);
+        let expect = [true, false, false, true, false];
+        for (i, e) in expect.iter().enumerate() {
+            assert_eq!(tags.get(i), *e, "row {i}");
+        }
+    }
+
+    #[test]
+    fn write_fig1c_example() {
+        // Fig 1c: write 111 into columns 0,1,3 of tagged words.
+        let mut a = array_with(&["10011", "10010"]);
+        let tags = TagVector::from_bools([true, false]);
+        let key = SearchKey::parse("11-1-").unwrap();
+        a.write(&key, &tags);
+        assert_eq!(a.read_field(0, 0, 5), Some(0b11011)); // cols 0,1,3 set
+        assert_eq!(a.read_field(1, 0, 5), Some(0b01001)); // untouched
+    }
+
+    #[test]
+    fn x_state_matches_both_inputs() {
+        let a = array_with(&["X0", "00", "10"]);
+        let t0 = a.search(&SearchKey::parse("00").unwrap());
+        assert!(t0.get(0) && t0.get(1) && !t0.get(2));
+        let t1 = a.search(&SearchKey::parse("10").unwrap());
+        assert!(t1.get(0) && !t1.get(1) && t1.get(2));
+    }
+
+    #[test]
+    fn z_matches_only_x() {
+        let a = array_with(&["X", "0", "1"]);
+        let t = a.search(&SearchKey::parse("Z").unwrap());
+        assert!(t.get(0) && !t.get(1) && !t.get(2));
+    }
+
+    #[test]
+    fn z_writes_x() {
+        let mut a = TcamArray::new(2, 2);
+        let tags = TagVector::ones(2);
+        a.write(&SearchKey::parse("Z-").unwrap(), &tags);
+        assert_eq!(a.cell(0, 0), TernaryBit::X);
+        assert_eq!(a.cell(0, 1), TernaryBit::Zero); // masked column untouched
+    }
+
+    #[test]
+    fn fully_masked_key_matches_all_rows() {
+        let a = TcamArray::new(130, 4);
+        let t = a.search(&SearchKey::masked(4));
+        assert_eq!(t.count(), 130);
+    }
+
+    #[test]
+    fn fully_masked_key_does_not_set_padding() {
+        let a = TcamArray::new(70, 4);
+        let t = a.search(&SearchKey::masked(4));
+        assert_eq!(t.count(), 70);
+        assert_eq!(t.blocks()[1] >> 6, 0);
+    }
+
+    #[test]
+    fn field_round_trip() {
+        let mut a = TcamArray::new(4, 16);
+        a.store_field(2, 3, 8, 0xA5);
+        assert_eq!(a.read_field(2, 3, 8), Some(0xA5));
+    }
+
+    #[test]
+    fn write_untagged_rows_untouched() {
+        let mut a = array_with(&["0000", "0000"]);
+        let tags = TagVector::from_bools([false, true]);
+        a.write(&SearchKey::parse("1111").unwrap(), &tags);
+        assert_eq!(a.read_field(0, 0, 4), Some(0));
+        assert_eq!(a.read_field(1, 0, 4), Some(0xF));
+    }
+
+    #[test]
+    fn copy_column_duplicates_state() {
+        let mut a = array_with(&["10X", "01X"]);
+        a.copy_column(0, 2);
+        assert_eq!(a.cell(0, 2), TernaryBit::One);
+        assert_eq!(a.cell(1, 2), TernaryBit::Zero);
+    }
+
+    #[test]
+    fn wear_counts_associative_writes_only() {
+        let mut a = TcamArray::new(4, 4);
+        a.store_field(0, 0, 4, 0xF); // host load: not counted
+        assert_eq!(a.max_wear(), None);
+        let tags = TagVector::ones(4);
+        a.write(&SearchKey::parse("1-1-").unwrap(), &tags);
+        a.write(&SearchKey::parse("1---").unwrap(), &tags);
+        assert_eq!(a.column_wear(), &[2, 0, 1, 0]);
+        assert_eq!(a.max_wear(), Some((0, 2)));
+    }
+
+    #[test]
+    fn pe_sized_is_256x256() {
+        let a = TcamArray::pe_sized();
+        assert_eq!((a.rows(), a.cols()), (256, 256));
+    }
+
+    #[test]
+    fn search_key_beyond_cols_is_ignored() {
+        let a = array_with(&["11"]);
+        let mut key = SearchKey::masked(2);
+        key.set_bit(10, KeyBit::One);
+        // Column 10 doesn't exist; key is effectively fully masked.
+        assert_eq!(a.search(&key).count(), 1);
+    }
+}

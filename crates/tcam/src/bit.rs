@@ -1,0 +1,283 @@
+//! Ternary stored bits and quaternary key bits (Fig 4b/c).
+
+use serde::{Deserialize, Serialize};
+
+/// A stored TCAM bit: `0`, `1`, or the don't-care state `X`.
+///
+/// `X` matches both a `0` and a `1` search input (Fig 4b) and is the *only*
+/// state matched by the `Z` input (Fig 4c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TernaryBit {
+    /// Logic zero.
+    #[default]
+    Zero,
+    /// Logic one.
+    One,
+    /// Don't-care: matches both `0` and `1` inputs.
+    X,
+}
+
+impl TernaryBit {
+    /// Construct from a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            TernaryBit::One
+        } else {
+            TernaryBit::Zero
+        }
+    }
+
+    /// The boolean value, if this is not `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            TernaryBit::Zero => Some(false),
+            TernaryBit::One => Some(true),
+            TernaryBit::X => None,
+        }
+    }
+
+    /// Display character: `0`, `1` or `X`.
+    pub fn as_char(self) -> char {
+        match self {
+            TernaryBit::Zero => '0',
+            TernaryBit::One => '1',
+            TernaryBit::X => 'X',
+        }
+    }
+
+    /// Parse from a character (`0`, `1`, `X`/`x`).
+    pub fn from_char(c: char) -> Option<Self> {
+        match c {
+            '0' => Some(TernaryBit::Zero),
+            '1' => Some(TernaryBit::One),
+            'X' | 'x' => Some(TernaryBit::X),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TernaryBit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_char())
+    }
+}
+
+impl From<bool> for TernaryBit {
+    fn from(b: bool) -> Self {
+        TernaryBit::from_bool(b)
+    }
+}
+
+/// A search-key bit: `0`, `1`, the `Z` input, or masked-out (`-`).
+///
+/// Fig 4: `0` matches stored {0, X}; `1` matches stored {1, X}; `Z` matches
+/// stored {X} only; a masked bit matches everything (the column does not
+/// participate in the search). During a write, `0`/`1` program the stored bit
+/// and `Z` programs the `X` state (Fig 4d); masked columns are untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KeyBit {
+    /// Search for / write a logic zero.
+    Zero,
+    /// Search for / write a logic one.
+    One,
+    /// The `Z` input: matches only stored `X`; writes `X`.
+    Z,
+    /// Masked: the column does not participate (mask register bit = 0).
+    #[default]
+    Masked,
+}
+
+impl KeyBit {
+    /// Does this key bit match the given stored bit?
+    ///
+    /// Truth table (Fig 4b/c):
+    ///
+    /// | stored \ key | `0` | `1` | `Z` | `-` |
+    /// |---|---|---|---|---|
+    /// | `0` | ✓ |   |   | ✓ |
+    /// | `1` |   | ✓ |   | ✓ |
+    /// | `X` | ✓ | ✓ | ✓ | ✓ |
+    pub fn matches(self, stored: TernaryBit) -> bool {
+        match (self, stored) {
+            (KeyBit::Masked, _) => true,
+            (_, TernaryBit::X) => true,
+            (KeyBit::Zero, TernaryBit::Zero) => true,
+            (KeyBit::One, TernaryBit::One) => true,
+            _ => false,
+        }
+    }
+
+    /// The stored value this key bit writes, or `None` if masked.
+    pub fn write_value(self) -> Option<TernaryBit> {
+        match self {
+            KeyBit::Zero => Some(TernaryBit::Zero),
+            KeyBit::One => Some(TernaryBit::One),
+            KeyBit::Z => Some(TernaryBit::X),
+            KeyBit::Masked => None,
+        }
+    }
+
+    /// Display character: `0`, `1`, `Z` or `-`.
+    pub fn as_char(self) -> char {
+        match self {
+            KeyBit::Zero => '0',
+            KeyBit::One => '1',
+            KeyBit::Z => 'Z',
+            KeyBit::Masked => '-',
+        }
+    }
+
+    /// Parse from a character (`0`, `1`, `Z`/`z`, `-`).
+    pub fn from_char(c: char) -> Option<Self> {
+        match c {
+            '0' => Some(KeyBit::Zero),
+            '1' => Some(KeyBit::One),
+            'Z' | 'z' => Some(KeyBit::Z),
+            '-' => Some(KeyBit::Masked),
+            _ => None,
+        }
+    }
+
+    /// All four key-bit values, for exhaustive enumeration.
+    pub const ALL: [KeyBit; 4] = [KeyBit::Zero, KeyBit::One, KeyBit::Z, KeyBit::Masked];
+}
+
+impl std::fmt::Display for KeyBit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_char())
+    }
+}
+
+impl From<bool> for KeyBit {
+    fn from(b: bool) -> Self {
+        if b {
+            KeyBit::One
+        } else {
+            KeyBit::Zero
+        }
+    }
+}
+
+/// Parse a word of ternary bits from a string of `0`/`1`/`X` characters.
+/// Underscores are ignored as visual separators.
+///
+/// # Errors
+///
+/// Returns the offending character if any character is not `0`, `1`, `X`/`x`
+/// or `_`.
+pub fn word_from_str(s: &str) -> Result<Vec<TernaryBit>, char> {
+    s.chars()
+        .filter(|&c| c != '_')
+        .map(|c| TernaryBit::from_char(c).ok_or(c))
+        .collect()
+}
+
+/// Render a word of ternary bits as a `0`/`1`/`X` string.
+pub fn word_to_string(word: &[TernaryBit]) -> String {
+    word.iter().map(|b| b.as_char()).collect()
+}
+
+/// Pack the low `width` bits of `value` into a ternary word, LSB first.
+///
+/// Bit `i` of `value` lands at index `i`, matching the column-wise data
+/// layout of Fig 2a where a vector element's LSB occupies the first of its
+/// assigned bit columns.
+pub fn word_from_u64(value: u64, width: usize) -> Vec<TernaryBit> {
+    (0..width)
+        .map(|i| TernaryBit::from_bool(value >> i & 1 == 1))
+        .collect()
+}
+
+/// Reassemble a `u64` from a ternary word (LSB first).
+///
+/// Returns `None` if any bit is `X`.
+pub fn word_to_u64(word: &[TernaryBit]) -> Option<u64> {
+    let mut v = 0u64;
+    for (i, b) in word.iter().enumerate() {
+        match b.to_bool() {
+            Some(true) => v |= 1 << i,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_truth_table_fig4() {
+        use KeyBit as K;
+        use TernaryBit as T;
+        // X matches both 0 and 1 input (Fig 4b).
+        assert!(K::Zero.matches(T::X));
+        assert!(K::One.matches(T::X));
+        // Z only matches X (Fig 4c).
+        assert!(K::Z.matches(T::X));
+        assert!(!K::Z.matches(T::Zero));
+        assert!(!K::Z.matches(T::One));
+        // Exact matches.
+        assert!(K::Zero.matches(T::Zero));
+        assert!(!K::Zero.matches(T::One));
+        assert!(K::One.matches(T::One));
+        assert!(!K::One.matches(T::Zero));
+        // Masked matches everything.
+        for t in [T::Zero, T::One, T::X] {
+            assert!(K::Masked.matches(t));
+        }
+    }
+
+    #[test]
+    fn z_writes_x_state() {
+        // Fig 4d: input Z is used to write state X.
+        assert_eq!(KeyBit::Z.write_value(), Some(TernaryBit::X));
+        assert_eq!(KeyBit::Masked.write_value(), None);
+        assert_eq!(KeyBit::Zero.write_value(), Some(TernaryBit::Zero));
+        assert_eq!(KeyBit::One.write_value(), Some(TernaryBit::One));
+    }
+
+    #[test]
+    fn word_round_trip_string() {
+        let w = word_from_str("10X1_0").unwrap();
+        assert_eq!(w.len(), 5);
+        assert_eq!(word_to_string(&w), "10X10");
+    }
+
+    #[test]
+    fn word_from_str_rejects_bad_chars() {
+        assert_eq!(word_from_str("10Q"), Err('Q'));
+    }
+
+    #[test]
+    fn word_u64_round_trip() {
+        for v in [0u64, 1, 5, 0b1011, u16::MAX as u64] {
+            assert_eq!(word_to_u64(&word_from_u64(v, 20)), Some(v));
+        }
+    }
+
+    #[test]
+    fn word_with_x_has_no_u64() {
+        let mut w = word_from_u64(3, 4);
+        w[2] = TernaryBit::X;
+        assert_eq!(word_to_u64(&w), None);
+    }
+
+    #[test]
+    fn lsb_first_layout() {
+        let w = word_from_u64(0b01, 2);
+        assert_eq!(w[0], TernaryBit::One);
+        assert_eq!(w[1], TernaryBit::Zero);
+    }
+
+    #[test]
+    fn char_round_trips() {
+        for b in [TernaryBit::Zero, TernaryBit::One, TernaryBit::X] {
+            assert_eq!(TernaryBit::from_char(b.as_char()), Some(b));
+        }
+        for k in KeyBit::ALL {
+            assert_eq!(KeyBit::from_char(k.as_char()), Some(k));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Search keys: a key register + mask register pair (Fig 1a / Fig 4a).
+//!
+//! The paper stores the three traditional key-bit states (0, 1, masked) in
+//! two registers (key + mask) and reuses the spare combination for the `Z`
+//! input (§VI-B: "one combination of these two bits are not used. In
+//! Hyper-AP, we use this combination to store the additional Z input state").
+//! [`SearchKey`] is the logical view of that pair.
+
+use crate::bit::KeyBit;
+use serde::{Deserialize, Serialize};
+
+/// A search/write key over a word of TCAM columns.
+///
+/// Unspecified (masked) columns do not participate in a search and are left
+/// untouched by a write.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SearchKey {
+    bits: Vec<KeyBit>,
+}
+
+impl SearchKey {
+    /// A fully-masked key over `width` columns.
+    pub fn masked(width: usize) -> Self {
+        SearchKey {
+            bits: vec![KeyBit::Masked; width],
+        }
+    }
+
+    /// Build from explicit key bits.
+    pub fn from_bits(bits: Vec<KeyBit>) -> Self {
+        SearchKey { bits }
+    }
+
+    /// Parse from a string of `0`, `1`, `Z` and `-` characters
+    /// (underscores ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending character on invalid input.
+    ///
+    /// # Example
+    /// ```
+    /// let k = hyperap_tcam::SearchKey::parse("1Z-0").unwrap();
+    /// assert_eq!(k.width(), 4);
+    /// ```
+    pub fn parse(s: &str) -> Result<Self, char> {
+        let bits = s
+            .chars()
+            .filter(|&c| c != '_')
+            .map(|c| KeyBit::from_char(c).ok_or(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SearchKey { bits })
+    }
+
+    /// Number of columns this key spans.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The key bits.
+    pub fn bits(&self) -> &[KeyBit] {
+        &self.bits
+    }
+
+    /// The key bit for a column (`Masked` if out of range).
+    pub fn bit(&self, col: usize) -> KeyBit {
+        self.bits.get(col).copied().unwrap_or(KeyBit::Masked)
+    }
+
+    /// Set the key bit for `col`, growing the key with masked bits if needed.
+    pub fn set_bit(&mut self, col: usize, bit: KeyBit) {
+        if col >= self.bits.len() {
+            self.bits.resize(col + 1, KeyBit::Masked);
+        }
+        self.bits[col] = bit;
+    }
+
+    /// Builder-style [`set_bit`](Self::set_bit).
+    #[must_use]
+    pub fn with_bit(mut self, col: usize, bit: KeyBit) -> Self {
+        self.set_bit(col, bit);
+        self
+    }
+
+    /// Set `width` consecutive bits starting at `col` to the binary value
+    /// `value` (LSB at `col`).
+    pub fn set_field(&mut self, col: usize, width: usize, value: u64) {
+        for i in 0..width {
+            self.set_bit(col + i, KeyBit::from(value >> i & 1 == 1));
+        }
+    }
+
+    /// Indices of the unmasked (active) columns.
+    pub fn active_columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b != KeyBit::Masked)
+            .map(|(i, _)| i)
+    }
+
+    /// Number of unmasked columns.
+    pub fn active_count(&self) -> usize {
+        self.active_columns().count()
+    }
+
+    /// True if every column is masked (matches all words, writes nothing).
+    pub fn is_fully_masked(&self) -> bool {
+        self.bits.iter().all(|b| *b == KeyBit::Masked)
+    }
+}
+
+impl std::fmt::Display for SearchKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in &self.bits {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<KeyBit> for SearchKey {
+    fn from_iter<T: IntoIterator<Item = KeyBit>>(iter: T) -> Self {
+        SearchKey {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_round_trip() {
+        let s = "10Z-0-1Z";
+        assert_eq!(SearchKey::parse(s).unwrap().to_string(), s);
+    }
+
+    #[test]
+    fn parse_rejects_bad_chars() {
+        assert_eq!(SearchKey::parse("10#"), Err('#'));
+    }
+
+    #[test]
+    fn set_bit_grows() {
+        let mut k = SearchKey::masked(2);
+        k.set_bit(5, KeyBit::One);
+        assert_eq!(k.width(), 6);
+        assert_eq!(k.bit(5), KeyBit::One);
+        assert_eq!(k.bit(3), KeyBit::Masked);
+    }
+
+    #[test]
+    fn set_field_is_lsb_first() {
+        let mut k = SearchKey::masked(8);
+        k.set_field(2, 3, 0b101);
+        assert_eq!(k.to_string(), "--101---");
+    }
+
+    #[test]
+    fn active_columns_skips_masked() {
+        let k = SearchKey::parse("-1-Z").unwrap();
+        assert_eq!(k.active_columns().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(k.active_count(), 2);
+        assert!(!k.is_fully_masked());
+        assert!(SearchKey::masked(4).is_fully_masked());
+    }
+
+    #[test]
+    fn out_of_range_bit_is_masked() {
+        let k = SearchKey::masked(2);
+        assert_eq!(k.bit(100), KeyBit::Masked);
+    }
+}

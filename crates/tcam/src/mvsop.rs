@@ -1,0 +1,501 @@
+//! Multi-valued sum-of-products minimization over encoded search keys.
+//!
+//! With the extended two-bit encoding (Fig 5c), one Hyper-AP search over an
+//! encoded bit pair can match an *arbitrary subset* of the four original pair
+//! values ([`crate::encoding`]). Minimizing the number of search operations
+//! for a lookup-table output is therefore exactly the problem of covering its
+//! ON-set with a minimum number of *multi-valued product terms*, where each
+//! input position (an encoded pair, or an unencoded single bit) contributes
+//! an arbitrary per-position value subset.
+//!
+//! The minimizer here is an espresso-MV-lite: minterm seeding, per-position
+//! expansion against the OFF-set, prime deduplication, and greedy set cover
+//! with an exact branch-and-bound fallback for small instances. It is used by
+//! both the hand-optimized arithmetic microcode (the paper's "RTL library
+//! developed by experts") and the compiler's LUT-generation step (§V-B4).
+
+use crate::encoding::PairSubset;
+use serde::{Deserialize, Serialize};
+
+/// The kind of one input position of a lookup table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PosKind {
+    /// An encoded pair of data bits: values 0..=3, arbitrary subsets allowed.
+    Pair,
+    /// An unencoded single data bit: values 0..=1, arbitrary subsets allowed.
+    Single,
+}
+
+impl PosKind {
+    /// Number of distinct values at this position.
+    pub fn arity(self) -> u8 {
+        match self {
+            PosKind::Pair => 4,
+            PosKind::Single => 2,
+        }
+    }
+
+    /// The full subset for this position (all values allowed).
+    pub fn full(self) -> PairSubset {
+        match self {
+            PosKind::Pair => PairSubset(0b1111),
+            PosKind::Single => PairSubset(0b11),
+        }
+    }
+}
+
+/// One multi-valued product term: for each position, the subset of values it
+/// admits. A term covers a minterm iff every position's value is in the
+/// term's subset. One term = one Hyper-AP search operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Term {
+    /// Per-position admitted value subsets.
+    pub subsets: Vec<PairSubset>,
+}
+
+impl Term {
+    /// The term admitting exactly one minterm.
+    pub fn from_minterm(values: &[u8]) -> Self {
+        Term {
+            subsets: values.iter().map(|&v| PairSubset::singleton(v)).collect(),
+        }
+    }
+
+    /// Does this term cover the minterm `values`?
+    pub fn covers(&self, values: &[u8]) -> bool {
+        self.subsets
+            .iter()
+            .zip(values)
+            .all(|(s, &v)| s.contains(v))
+    }
+
+    /// Is `self` contained in `other` (every minterm of self covered by
+    /// other)?
+    pub fn is_contained_in(&self, other: &Term) -> bool {
+        self.subsets
+            .iter()
+            .zip(&other.subsets)
+            .all(|(a, b)| a.is_subset_of(*b))
+    }
+}
+
+/// A minimization problem: positions, ON-set minterms, and (implicitly)
+/// everything else is the OFF-set unless listed as don't-care.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cover {
+    /// Kinds of the input positions.
+    pub positions: Vec<PosKind>,
+    /// Minterms (one value per position) where the output is 1.
+    pub on_set: Vec<Vec<u8>>,
+    /// Minterms where the output value is irrelevant (may be freely covered).
+    pub dc_set: Vec<Vec<u8>>,
+}
+
+impl Cover {
+    /// New cover with an empty don't-care set.
+    pub fn new(positions: Vec<PosKind>, on_set: Vec<Vec<u8>>) -> Self {
+        Cover {
+            positions,
+            on_set,
+            dc_set: Vec::new(),
+        }
+    }
+
+    /// Total number of minterms in the input space.
+    pub fn space_size(&self) -> usize {
+        self.positions
+            .iter()
+            .map(|p| p.arity() as usize)
+            .product()
+    }
+
+    /// Enumerate the OFF-set: all minterms not in ON ∪ DC.
+    pub fn off_set(&self) -> Vec<Vec<u8>> {
+        let mut off = Vec::new();
+        let mut current = vec![0u8; self.positions.len()];
+        loop {
+            if !self.on_set.contains(&current) && !self.dc_set.contains(&current) {
+                off.push(current.clone());
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == self.positions.len() {
+                    return off;
+                }
+                current[i] += 1;
+                if current[i] < self.positions[i].arity() {
+                    break;
+                }
+                current[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Result of a minimization: the covering terms (search operations).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Product terms; one per required search operation.
+    pub terms: Vec<Term>,
+}
+
+impl Solution {
+    /// Number of search operations.
+    pub fn num_searches(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// Minimize the cover: return a small set of terms covering every ON minterm
+/// and no OFF minterm.
+///
+/// Complexity is bounded by the paper's 12-input LUT limit (§V-B4): the input
+/// space has at most 2^12 minterms.
+///
+/// # Panics
+///
+/// Panics if any minterm's length differs from the number of positions.
+pub fn minimize(cover: &Cover) -> Solution {
+    for m in cover.on_set.iter().chain(&cover.dc_set) {
+        assert_eq!(
+            m.len(),
+            cover.positions.len(),
+            "minterm arity mismatch"
+        );
+    }
+    if cover.on_set.is_empty() {
+        return Solution { terms: Vec::new() };
+    }
+    let off = cover.off_set();
+
+    // 1. Expand each ON minterm into a prime: greedily raise each position to
+    //    the maximal subset that avoids the OFF-set. Doing two passes with
+    //    different position orders yields a richer prime pool.
+    let mut primes: Vec<Term> = Vec::new();
+    let n = cover.positions.len();
+    let orders: Vec<Vec<usize>> = vec![(0..n).collect(), (0..n).rev().collect()];
+    for minterm in &cover.on_set {
+        for order in &orders {
+            let mut term = Term::from_minterm(minterm);
+            for &pos in order {
+                let mut best = term.subsets[pos];
+                for v in 0..cover.positions[pos].arity() {
+                    if best.contains(v) {
+                        continue;
+                    }
+                    let trial = best.union(PairSubset::singleton(v));
+                    let mut t2 = term.clone();
+                    t2.subsets[pos] = trial;
+                    if !off.iter().any(|m| t2.covers(m)) {
+                        best = trial;
+                    }
+                }
+                term.subsets[pos] = best;
+            }
+            if !primes.contains(&term) {
+                primes.push(term);
+            }
+        }
+    }
+
+    // Drop primes contained in other primes.
+    let mut keep = vec![true; primes.len()];
+    for i in 0..primes.len() {
+        for j in 0..primes.len() {
+            if i != j
+                && keep[i]
+                && keep[j]
+                && primes[i].is_contained_in(&primes[j])
+                && !(primes[j].is_contained_in(&primes[i]) && j > i)
+            {
+                keep[i] = false;
+            }
+        }
+    }
+    let primes: Vec<Term> = primes
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(p, k)| k.then_some(p))
+        .collect();
+
+    // 2. Cover: exact branch-and-bound for small instances, greedy otherwise.
+    let coverage: Vec<Vec<usize>> = primes
+        .iter()
+        .map(|p| {
+            cover
+                .on_set
+                .iter()
+                .enumerate()
+                .filter_map(|(i, m)| p.covers(m).then_some(i))
+                .collect()
+        })
+        .collect();
+    let greedy = greedy_cover(cover.on_set.len(), &coverage);
+    let chosen = if primes.len() <= 24 && cover.on_set.len() <= 64 {
+        exact_cover(cover.on_set.len(), &coverage, greedy.len()).unwrap_or(greedy)
+    } else {
+        greedy
+    };
+    Solution {
+        terms: chosen.into_iter().map(|i| primes[i].clone()).collect(),
+    }
+}
+
+fn greedy_cover(n_minterms: usize, coverage: &[Vec<usize>]) -> Vec<usize> {
+    let mut uncovered: Vec<bool> = vec![true; n_minterms];
+    let mut remaining = n_minterms;
+    let mut chosen = Vec::new();
+    while remaining > 0 {
+        let (best, gain) = coverage
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.iter().filter(|&&m| uncovered[m]).count()))
+            .max_by_key(|&(_, g)| g)
+            .expect("primes cover all ON minterms");
+        assert!(gain > 0, "prime pool fails to cover the ON-set");
+        chosen.push(best);
+        for &m in &coverage[best] {
+            if uncovered[m] {
+                uncovered[m] = false;
+                remaining -= 1;
+            }
+        }
+    }
+    chosen
+}
+
+fn exact_cover(n_minterms: usize, coverage: &[Vec<usize>], upper: usize) -> Option<Vec<usize>> {
+    // Branch and bound on the first uncovered minterm.
+    fn recurse(
+        n_minterms: usize,
+        coverage: &[Vec<usize>],
+        covered: &mut Vec<u32>,
+        chosen: &mut Vec<usize>,
+        best: &mut Option<Vec<usize>>,
+        budget: usize,
+    ) {
+        let first = (0..n_minterms).find(|&m| covered[m] == 0);
+        let Some(first) = first else {
+            if best.as_ref().is_none_or(|b| chosen.len() < b.len()) {
+                *best = Some(chosen.clone());
+            }
+            return;
+        };
+        if chosen.len() + 1 > budget {
+            return;
+        }
+        let candidates: Vec<usize> = coverage
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.contains(&first).then_some(i))
+            .collect();
+        for i in candidates {
+            chosen.push(i);
+            for &m in &coverage[i] {
+                covered[m] += 1;
+            }
+            let budget = best.as_ref().map_or(budget, |b| b.len() - 1);
+            recurse(n_minterms, coverage, covered, chosen, best, budget);
+            for &m in &coverage[i] {
+                covered[m] -= 1;
+            }
+            chosen.pop();
+        }
+    }
+    let mut best = None;
+    recurse(
+        n_minterms,
+        coverage,
+        &mut vec![0; n_minterms],
+        &mut Vec::new(),
+        &mut best,
+        upper,
+    );
+    best
+}
+
+/// Count the searches a *traditional* AP needs for the same ON-set: one
+/// search per minterm (Single-Search-Single-Pattern, §II-D).
+pub fn traditional_searches(cover: &Cover) -> usize {
+    cover.on_set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify(cover: &Cover, sol: &Solution) {
+        let off = cover.off_set();
+        for m in &cover.on_set {
+            assert!(
+                sol.terms.iter().any(|t| t.covers(m)),
+                "ON minterm {m:?} uncovered"
+            );
+        }
+        for m in &off {
+            assert!(
+                !sol.terms.iter().any(|t| t.covers(m)),
+                "OFF minterm {m:?} covered"
+            );
+        }
+    }
+
+    /// The 1-bit full adder's Sum output with (A,B) paired and Cin single:
+    /// ON-set {100, 010, 001, 111} → exactly 2 searches (Fig 5d).
+    #[test]
+    fn full_adder_sum_needs_two_searches() {
+        // Position 0: pair (A,B) with value = A*2 + B; position 1: Cin.
+        let on = vec![
+            vec![0b10, 0], // A=1,B=0,Cin=0
+            vec![0b01, 0], // A=0,B=1,Cin=0
+            vec![0b00, 1], // A=0,B=0,Cin=1
+            vec![0b11, 1], // A=1,B=1,Cin=1
+        ];
+        let cover = Cover::new(vec![PosKind::Pair, PosKind::Single], on);
+        let sol = minimize(&cover);
+        verify(&cover, &sol);
+        assert_eq!(sol.num_searches(), 2);
+        assert_eq!(traditional_searches(&cover), 4);
+    }
+
+    /// The Cout output: ON-set {110, 101, 011, 111} → 2 searches (Fig 5d).
+    #[test]
+    fn full_adder_cout_needs_two_searches() {
+        let on = vec![
+            vec![0b11, 0], // A=1,B=1,Cin=0
+            vec![0b10, 1], // A=1,Cin=1 (B=0)
+            vec![0b01, 1], // B=1,Cin=1 (A=0)
+            vec![0b11, 1], // A=1,B=1,Cin=1
+        ];
+        let cover = Cover::new(vec![PosKind::Pair, PosKind::Single], on);
+        let sol = minimize(&cover);
+        verify(&cover, &sol);
+        assert_eq!(sol.num_searches(), 2);
+    }
+
+    /// Fig 11: with (A,B) and (C,D) paired, ON-set
+    /// {1000, 0100, 1011, 0111} needs one search; with the bad pairing
+    /// (A,C),(B,D) it needs four.
+    #[test]
+    fn fig11_pairing_sensitivity() {
+        // Good pairing: pos0 = (A,B), pos1 = (C,D).
+        let good = Cover::new(
+            vec![PosKind::Pair, PosKind::Pair],
+            vec![
+                vec![0b10, 0b00],
+                vec![0b01, 0b00],
+                vec![0b10, 0b11],
+                vec![0b01, 0b11],
+            ],
+        );
+        let sol = minimize(&good);
+        verify(&good, &sol);
+        assert_eq!(sol.num_searches(), 1);
+
+        // Bad pairing: pos0 = (A,C), pos1 = (B,D).
+        // Minterm ABCD: A=a,B=b,C=c,D=d -> pos0 = a*2+c, pos1 = b*2+d.
+        let bad = Cover::new(
+            vec![PosKind::Pair, PosKind::Pair],
+            vec![
+                vec![0b10, 0b00], // 1000
+                vec![0b00, 0b10], // 0100
+                vec![0b11, 0b01], // 1011
+                vec![0b01, 0b11], // 0111
+            ],
+        );
+        let sol = minimize(&bad);
+        verify(&bad, &sol);
+        assert_eq!(sol.num_searches(), 4);
+    }
+
+    #[test]
+    fn empty_on_set_needs_no_searches() {
+        let cover = Cover::new(vec![PosKind::Pair], vec![]);
+        assert_eq!(minimize(&cover).num_searches(), 0);
+    }
+
+    #[test]
+    fn full_space_is_one_masked_search() {
+        let on: Vec<Vec<u8>> = (0..4).flat_map(|p| (0..2).map(move |s| vec![p, s])).collect();
+        let cover = Cover::new(vec![PosKind::Pair, PosKind::Single], on);
+        let sol = minimize(&cover);
+        verify(&cover, &sol);
+        assert_eq!(sol.num_searches(), 1);
+        assert_eq!(sol.terms[0].subsets[0], PosKind::Pair.full());
+    }
+
+    #[test]
+    fn dc_set_can_shrink_cover() {
+        // ON = {0}, DC = {1,2,3} over one pair: a single full-subset term.
+        let mut cover = Cover::new(vec![PosKind::Pair], vec![vec![0]]);
+        cover.dc_set = vec![vec![1], vec![2], vec![3]];
+        let sol = minimize(&cover);
+        assert_eq!(sol.num_searches(), 1);
+        assert_eq!(sol.terms[0].subsets[0], PairSubset(0b1111));
+    }
+
+    #[test]
+    fn xor_of_two_pairs() {
+        // Output = (pair0 value parity) XOR (pair1 value parity):
+        // a worst-case-ish function still solvable with few MV terms.
+        let mut on = Vec::new();
+        for p0 in 0u8..4 {
+            for p1 in 0u8..4 {
+                let parity = (p0.count_ones() + p1.count_ones()) % 2;
+                if parity == 1 {
+                    on.push(vec![p0, p1]);
+                }
+            }
+        }
+        let cover = Cover::new(vec![PosKind::Pair, PosKind::Pair], on);
+        let sol = minimize(&cover);
+        verify(&cover, &sol);
+        // Subsets {odd values} × {even values} and vice versa: 2 terms.
+        assert_eq!(sol.num_searches(), 2);
+    }
+
+    #[test]
+    fn single_bit_positions_behave_like_binary_sop() {
+        // Majority of three single bits: classic 3-term SOP... but MV subsets
+        // over single bits are just {0},{1},{0,1}, so the result matches
+        // binary prime implicants: ab + ac + bc -> 3 terms.
+        let on = vec![
+            vec![1, 1, 0],
+            vec![1, 0, 1],
+            vec![0, 1, 1],
+            vec![1, 1, 1],
+        ];
+        let cover = Cover::new(vec![PosKind::Single; 3], on);
+        let sol = minimize(&cover);
+        verify(&cover, &sol);
+        assert_eq!(sol.num_searches(), 3);
+    }
+
+    #[test]
+    fn minimized_never_worse_than_traditional() {
+        // Pseudo-random ON-sets over (pair, pair, single).
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seed >> 33
+        };
+        for _ in 0..20 {
+            let mut on = Vec::new();
+            for p0 in 0u8..4 {
+                for p1 in 0u8..4 {
+                    for s in 0u8..2 {
+                        if next() % 3 == 0 {
+                            on.push(vec![p0, p1, s]);
+                        }
+                    }
+                }
+            }
+            let cover = Cover::new(vec![PosKind::Pair, PosKind::Pair, PosKind::Single], on);
+            let sol = minimize(&cover);
+            verify(&cover, &sol);
+            assert!(sol.num_searches() <= traditional_searches(&cover).max(1));
+        }
+    }
+}

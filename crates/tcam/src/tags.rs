@@ -1,0 +1,242 @@
+//! Tag registers and the reduction tree (Fig 1a / Fig 4a / Fig 7).
+//!
+//! One tag bit per word row. The Hyper-AP accumulation unit ORs a new search
+//! result into the existing tags (Fig 4c); the reduction tree provides the
+//! population count (`Count` instruction, adder tree) and priority encoding
+//! (`Index` instruction).
+
+use serde::{Deserialize, Serialize};
+
+/// A bit-vector of per-row tags.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TagVector {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl TagVector {
+    /// All-zero tags for `len` rows.
+    pub fn zeros(len: usize) -> Self {
+        TagVector {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-one tags for `len` rows.
+    pub fn ones(len: usize) -> Self {
+        let mut t = Self::zeros(len);
+        for (i, b) in t.blocks.iter_mut().enumerate() {
+            let remaining = len - i * 64;
+            *b = if remaining >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << remaining) - 1
+            };
+        }
+        t
+    }
+
+    /// Build from an iterator of booleans.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        let mut t = Self::zeros(bools.len());
+        for (i, b) in bools.iter().enumerate() {
+            if *b {
+                t.set(i, true);
+            }
+        }
+        t
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tag for `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= len`.
+    pub fn get(&self, row: usize) -> bool {
+        assert!(row < self.len, "tag row {row} out of range {}", self.len);
+        self.blocks[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Set the tag for `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= len`.
+    pub fn set(&mut self, row: usize, value: bool) {
+        assert!(row < self.len, "tag row {row} out of range {}", self.len);
+        let mask = 1u64 << (row % 64);
+        if value {
+            self.blocks[row / 64] |= mask;
+        } else {
+            self.blocks[row / 64] &= !mask;
+        }
+    }
+
+    /// OR another tag vector into this one (the accumulation unit, Fig 4c).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn accumulate(&mut self, other: &TagVector) {
+        assert_eq!(self.len, other.len, "tag length mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// AND another tag vector into this one (used to combine the two
+    /// crossbar-array sensing results of one PE, §IV-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn intersect(&mut self, other: &TagVector) {
+        assert_eq!(self.len, other.len, "tag length mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// Population count — the `Count` instruction (adder tree).
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Index of the first tagged row — the `Index` instruction (priority
+    /// encoder). `None` if no row is tagged.
+    pub fn first_index(&self) -> Option<usize> {
+        for (i, b) in self.blocks.iter().enumerate() {
+            if *b != 0 {
+                return Some(i * 64 + b.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// True if any row is tagged.
+    pub fn any(&self) -> bool {
+        self.blocks.iter().any(|b| *b != 0)
+    }
+
+    /// Iterate over the indices of tagged rows.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// Clear all tags.
+    pub fn clear(&mut self) {
+        for b in &mut self.blocks {
+            *b = 0;
+        }
+    }
+
+    /// Raw 64-row blocks (LSB of block 0 = row 0).
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Mutable raw blocks, for bulk bit-parallel updates. Bits at positions
+    /// `>= len` in the last block must be left zero.
+    pub fn blocks_mut(&mut self) -> &mut [u64] {
+        &mut self.blocks
+    }
+}
+
+impl FromIterator<bool> for TagVector {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        Self::from_bools(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = TagVector::zeros(70);
+        assert_eq!(z.count(), 0);
+        assert!(!z.any());
+        let o = TagVector::ones(70);
+        assert_eq!(o.count(), 70);
+        assert_eq!(o.first_index(), Some(0));
+    }
+
+    #[test]
+    fn ones_does_not_set_padding_bits() {
+        let o = TagVector::ones(65);
+        assert_eq!(o.blocks()[1], 1);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut t = TagVector::zeros(100);
+        t.set(63, true);
+        t.set(64, true);
+        t.set(99, true);
+        assert!(t.get(63) && t.get(64) && t.get(99));
+        assert!(!t.get(0));
+        assert_eq!(t.count(), 3);
+        t.set(64, false);
+        assert_eq!(t.count(), 2);
+    }
+
+    #[test]
+    fn accumulate_is_or() {
+        let mut a = TagVector::from_bools([true, false, true, false]);
+        let b = TagVector::from_bools([false, false, true, true]);
+        a.accumulate(&b);
+        assert_eq!(
+            (0..4).map(|i| a.get(i)).collect::<Vec<_>>(),
+            vec![true, false, true, true]
+        );
+    }
+
+    #[test]
+    fn intersect_is_and() {
+        let mut a = TagVector::from_bools([true, true, false, true]);
+        let b = TagVector::from_bools([true, false, false, true]);
+        a.intersect(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.get(0) && a.get(3));
+    }
+
+    #[test]
+    fn first_index_is_priority_encoder() {
+        let mut t = TagVector::zeros(200);
+        assert_eq!(t.first_index(), None);
+        t.set(130, true);
+        t.set(70, true);
+        assert_eq!(t.first_index(), Some(70));
+    }
+
+    #[test]
+    fn iter_set_yields_tagged_rows() {
+        let t = TagVector::from_bools([false, true, false, true, true]);
+        assert_eq!(t.iter_set().collect::<Vec<_>>(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        TagVector::zeros(4).get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accumulate_length_mismatch_panics() {
+        TagVector::zeros(4).accumulate(&TagVector::zeros(5));
+    }
+}

@@ -1,0 +1,367 @@
+//! Rodinia-style kernels (§VI-A1 second benchmark set, Fig 18).
+//!
+//! Each kernel is the per-element computation of its Rodinia counterpart,
+//! written in the C-like source language and compiled by the full framework
+//! (floating point converted to fixed point, as the paper does for the IMP
+//! comparison). One SIMD slot processes one element; stencil/DP kernels
+//! receive their neighborhood as inputs (the compiler lays data out so
+//! neighbors arrive over the §IV-B local interface; its cost is accounted
+//! via the per-kernel `transfers` estimate).
+//!
+//! Native data sets are replaced by seeded synthetic generators of the same
+//! shape (DESIGN.md §2.3).
+
+use hyperap_baselines::imp::KernelOps;
+use hyperap_compiler::{compile, CompileOptions, CompiledKernel};
+use hyperap_compiler::dfg::{Dfg, DfgOp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One benchmark kernel.
+pub struct Kernel {
+    /// Kernel name (Rodinia counterpart).
+    pub name: &'static str,
+    /// C-like source.
+    pub source: &'static str,
+    /// Scalar reference: per-element outputs from per-element inputs.
+    pub reference: fn(&[u64]) -> Vec<u64>,
+    /// Estimated inter-slot transfers per element (neighborhood traffic).
+    pub transfers: f64,
+}
+
+impl Kernel {
+    /// Compile with default (RRAM) options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled source fails to compile (a repository bug).
+    pub fn compile(&self) -> CompiledKernel {
+        compile(self.source, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("kernel {}: {e}", self.name))
+    }
+
+    /// Generate `n` random input tuples (seeded, within declared widths).
+    pub fn generate_inputs(&self, kernel: &CompiledKernel, n: usize, seed: u64) -> Vec<Vec<u64>> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD00D);
+        let widths = &kernel.dfg.input_widths;
+        (0..n)
+            .map(|_| {
+                widths
+                    .iter()
+                    .map(|&w| rng.random::<u64>() & (((1u128 << w) - 1) as u64))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Architecture-neutral op tallies (for the IMP/GPU analytical models).
+    pub fn kernel_ops(&self, kernel: &CompiledKernel) -> KernelOps {
+        let mut ops = kernel_ops_from_dfg(&kernel.dfg);
+        ops.transfers = self.transfers;
+        ops
+    }
+}
+
+/// Count DFG operations into architecture-neutral tallies.
+pub fn kernel_ops_from_dfg(dfg: &Dfg) -> KernelOps {
+    let mut ops = KernelOps::default();
+    for n in &dfg.nodes {
+        match n.op {
+            DfgOp::Add
+            | DfgOp::Sub
+            | DfgOp::Neg
+            | DfgOp::And
+            | DfgOp::Or
+            | DfgOp::Xor
+            | DfgOp::Not
+            | DfgOp::Eq
+            | DfgOp::Ne
+            | DfgOp::Lt
+            | DfgOp::Le
+            | DfgOp::Gt
+            | DfgOp::Ge
+            | DfgOp::Select => ops.adds += 1.0,
+            DfgOp::Mul => ops.muls += 1.0,
+            DfgOp::Div | DfgOp::Rem => ops.divs += 1.0,
+            DfgOp::Sqrt => ops.sqrts += 1.0,
+            DfgOp::Exp { .. } => ops.exps += 1.0,
+            _ => {}
+        }
+    }
+    ops
+}
+
+fn mask(w: u32) -> u64 {
+    (1u64 << w) - 1
+}
+
+/// backprop: one hidden-unit forward pass (4 synapses, Q4.4 weights).
+fn backprop_ref(x: &[u64]) -> Vec<u64> {
+    let mut acc = 0u64;
+    for i in 0..4 {
+        acc = acc.wrapping_add(x[i].wrapping_mul(x[4 + i]));
+    }
+    vec![(acc >> 4) & mask(16)]
+}
+
+/// kmeans: nearest of four embedded 2-D centroids (6-bit feature space —
+/// the paper's fixed-point conversion narrows features similarly, and the
+/// flexible-precision support is exactly Hyper-AP's advantage here).
+fn kmeans_ref(x: &[u64]) -> Vec<u64> {
+    const C: [(i64, i64); 4] = [(8, 10), (50, 15), (22, 45), (40, 55)];
+    let (px, py) = (x[0] as i64, x[1] as i64);
+    let mut best = 0u64;
+    let mut best_d = i64::MAX;
+    for (i, (cx, cy)) in C.iter().enumerate() {
+        let d = (px - cx) * (px - cx) + (py - cy) * (py - cy);
+        if d < best_d {
+            best_d = d;
+            best = i as u64;
+        }
+    }
+    vec![best]
+}
+
+/// hotspot: 5-point stencil temperature update (fixed point).
+fn hotspot_ref(x: &[u64]) -> Vec<u64> {
+    let (t, n, s, e, w, p) = (
+        x[0] as i64, x[1] as i64, x[2] as i64, x[3] as i64, x[4] as i64, x[5] as i64,
+    );
+    let delta = n + s + e + w - 4 * t;
+    let out = t + (delta >> 3) + p;
+    vec![(out as u64) & mask(16)]
+}
+
+/// pathfinder: DP step — cost plus the cheapest of three predecessors.
+fn pathfinder_ref(x: &[u64]) -> Vec<u64> {
+    vec![(x[0] + x[1].min(x[2]).min(x[3])) & mask(13)]
+}
+
+/// nw: Needleman-Wunsch cell update (affine-free, penalty 4 embedded).
+fn nw_ref(x: &[u64]) -> Vec<u64> {
+    let (diag, up, left, score) = (x[0] as i64, x[1] as i64, x[2] as i64, x[3] as i64);
+    let a = diag + score - 8; // score in 0..16, centered at 8
+    let b = up.max(left) - 4;
+    vec![(a.max(b) as u64) & mask(12)]
+}
+
+/// srad: simplified diffusion coefficient, fixed-point division.
+fn srad_ref(x: &[u64]) -> Vec<u64> {
+    let (g, l) = (x[0], x[1]);
+    vec![((g << 8) / (g + l + 1)) & mask(17)]
+}
+
+/// streamcluster: weighted squared Euclidean distance (2-D).
+fn streamcluster_ref(x: &[u64]) -> Vec<u64> {
+    let dx = x[0].abs_diff(x[2]);
+    let dy = x[1].abs_diff(x[3]);
+    let d = dx * dx + dy * dy;
+    vec![(d * x[4]) & mask(19)]
+}
+
+/// gaussian: elimination row update `a - ((l * p) >> 8)`.
+fn gaussian_ref(x: &[u64]) -> Vec<u64> {
+    vec![x[0].wrapping_sub((x[1] * x[2]) >> 8) & mask(16)]
+}
+
+/// All bundled kernels.
+pub fn all_kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "backprop",
+            source: "
+                unsigned int (16) main(
+                    unsigned int (8) x0, unsigned int (8) x1,
+                    unsigned int (8) x2, unsigned int (8) x3,
+                    unsigned int (8) w0, unsigned int (8) w1,
+                    unsigned int (8) w2, unsigned int (8) w3
+                ) {
+                    unsigned int (18) acc;
+                    acc = x0 * w0;
+                    acc = acc + x1 * w1;
+                    acc = acc + x2 * w2;
+                    acc = acc + x3 * w3;
+                    return acc >> 4;
+                }",
+            reference: backprop_ref,
+            transfers: 0.0,
+        },
+        Kernel {
+            name: "kmeans",
+            source: "
+                unsigned int (2) main(unsigned int (6) x, unsigned int (6) y) {
+                    unsigned int (6) dx; unsigned int (6) dy;
+                    unsigned int (13) d0; unsigned int (13) d1;
+                    unsigned int (13) d2; unsigned int (13) d3;
+                    unsigned int (13) best; unsigned int (2) idx;
+
+                    dx = max(x, 8) - min(x, 8); dy = max(y, 10) - min(y, 10);
+                    d0 = dx * dx + dy * dy;
+                    dx = max(x, 50) - min(x, 50); dy = max(y, 15) - min(y, 15);
+                    d1 = dx * dx + dy * dy;
+                    dx = max(x, 22) - min(x, 22); dy = max(y, 45) - min(y, 45);
+                    d2 = dx * dx + dy * dy;
+                    dx = max(x, 40) - min(x, 40); dy = max(y, 55) - min(y, 55);
+                    d3 = dx * dx + dy * dy;
+
+                    best = d0; idx = 0;
+                    if (d1 < best) { best = d1; idx = 1; }
+                    if (d2 < best) { best = d2; idx = 2; }
+                    if (d3 < best) { best = d3; idx = 3; }
+                    return idx;
+                }",
+            reference: kmeans_ref,
+            transfers: 0.0,
+        },
+        Kernel {
+            name: "hotspot",
+            source: "
+                unsigned int (16) main(
+                    unsigned int (12) t, unsigned int (12) n, unsigned int (12) s,
+                    unsigned int (12) e, unsigned int (12) w, unsigned int (12) p
+                ) {
+                    int (16) sum4;
+                    int (16) t4;
+                    int (16) delta;
+                    int (18) out;
+                    sum4 = n + s + e + w;
+                    t4 = t << 2;
+                    delta = sum4 - t4;
+                    out = t + (delta >> 3) + p;
+                    return out;
+                }",
+            reference: hotspot_ref,
+            transfers: 4.0,
+        },
+        Kernel {
+            name: "pathfinder",
+            source: "
+                unsigned int (13) main(
+                    unsigned int (12) cost, unsigned int (12) a,
+                    unsigned int (12) b, unsigned int (12) c
+                ) {
+                    return cost + min(a, min(b, c));
+                }",
+            reference: pathfinder_ref,
+            transfers: 2.0,
+        },
+        Kernel {
+            name: "nw",
+            source: "
+                unsigned int (12) main(
+                    unsigned int (10) diag, unsigned int (10) up,
+                    unsigned int (10) left, unsigned int (4) score
+                ) {
+                    int (13) a; int (13) b;
+                    a = diag + score;
+                    a = a - 8;
+                    b = max(up, left);
+                    b = b - 4;
+                    return max(a, b);
+                }",
+            reference: nw_ref,
+            transfers: 3.0,
+        },
+        Kernel {
+            name: "srad",
+            source: "
+                unsigned int (17) main(unsigned int (8) g, unsigned int (8) l) {
+                    unsigned int (17) num;
+                    unsigned int (10) den;
+                    num = g << 8;
+                    den = g + l + 1;
+                    return num / den;
+                }",
+            reference: srad_ref,
+            transfers: 4.0,
+        },
+        Kernel {
+            name: "streamcluster",
+            source: "
+                unsigned int (19) main(
+                    unsigned int (6) x1, unsigned int (6) y1,
+                    unsigned int (6) x2, unsigned int (6) y2,
+                    unsigned int (6) wgt
+                ) {
+                    unsigned int (6) dx; unsigned int (6) dy;
+                    unsigned int (13) d;
+                    dx = max(x1, x2) - min(x1, x2);
+                    dy = max(y1, y2) - min(y1, y2);
+                    d = dx * dx + dy * dy;
+                    return d * wgt;
+                }",
+            reference: streamcluster_ref,
+            transfers: 1.0,
+        },
+        Kernel {
+            name: "gaussian",
+            source: "
+                unsigned int (16) main(
+                    unsigned int (16) a, unsigned int (8) l, unsigned int (8) p
+                ) {
+                    return a - ((l * p) >> 8);
+                }",
+            reference: gaussian_ref,
+            transfers: 1.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_compiles_and_matches_its_reference() {
+        for kernel in all_kernels() {
+            let compiled = kernel.compile();
+            let rows = kernel.generate_inputs(&compiled, 8, 7);
+            let refs: Vec<&[u64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let got = compiled
+                .run_rows_multi(&refs)
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            for (tuple, out) in rows.iter().zip(&got) {
+                let expect = (kernel.reference)(tuple);
+                assert_eq!(out, &expect, "{} inputs {tuple:?}", kernel.name);
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_also_match_the_dfg_interpreter() {
+        for kernel in all_kernels() {
+            let compiled = kernel.compile();
+            let rows = kernel.generate_inputs(&compiled, 4, 99);
+            for tuple in &rows {
+                let expect = compiled.dfg.eval(tuple);
+                let got = (kernel.reference)(tuple);
+                assert_eq!(got, expect, "{} inputs {tuple:?}", kernel.name);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_ops_count_expensive_operations() {
+        let kernels = all_kernels();
+        let kmeans = kernels.iter().find(|k| k.name == "kmeans").unwrap();
+        let compiled = kmeans.compile();
+        let ops = kmeans.kernel_ops(&compiled);
+        assert_eq!(ops.muls, 8.0, "four centroids, two squares each");
+        let srad = kernels.iter().find(|k| k.name == "srad").unwrap();
+        let ops = srad.kernel_ops(&srad.compile());
+        assert_eq!(ops.divs, 1.0);
+    }
+
+    #[test]
+    fn kernels_fit_one_pe() {
+        for kernel in all_kernels() {
+            let compiled = kernel.compile();
+            assert!(
+                compiled.columns() <= 256,
+                "{} uses {} columns",
+                kernel.name,
+                compiled.columns()
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Classic associative-memory usage on the raw machine model: exact-match
+//! and ternary search over stored records, plus the Count/Index reduction
+//! tree (Fig 1 / Fig 4) and the Fig 5d multi-pattern search keys.
+
+use hyper_ap::core::machine::HyperPe;
+use hyper_ap::tcam::SearchKey;
+
+fn main() {
+    // Store a tiny "database" of 16-bit records: [id:8 | flags:8].
+    let mut pe = HyperPe::new(8, 64);
+    let records: [(u64, u64); 8] = [
+        (0x11, 0b0001), (0x22, 0b0011), (0x33, 0b0100), (0x44, 0b0001),
+        (0x55, 0b1011), (0x66, 0b0000), (0x77, 0b0111), (0x88, 0b0011),
+    ];
+    for (row, &(id, flags)) in records.iter().enumerate() {
+        for b in 0..8 {
+            pe.load_bit(row, b, id >> b & 1 == 1);
+            pe.load_bit(row, 8 + b, flags >> b & 1 == 1);
+        }
+    }
+
+    // Exact match: which record has id 0x55? One search, O(1).
+    let mut key = SearchKey::masked(64);
+    key.set_field(0, 8, 0x55);
+    pe.search(&key, false);
+    println!("id == 0x55      -> row {:?}", pe.index());
+
+    // Ternary match: flags bit0 set, bit2 clear — bit selectivity via the
+    // mask register (Fig 1b).
+    let key = SearchKey::masked(64)
+        .with_bit(8, hyperap_tcam::KeyBit::One)
+        .with_bit(10, hyperap_tcam::KeyBit::Zero);
+    pe.search(&key, false);
+    println!("flag0 & !flag2  -> {} records match", pe.count());
+
+    // Multi-pattern search (Single-Search-Multi-Pattern): accumulate two
+    // patterns into the tags before acting — the Hyper-AP execution model.
+    let mut k1 = SearchKey::masked(64);
+    k1.set_field(0, 8, 0x11);
+    let mut k2 = SearchKey::masked(64);
+    k2.set_field(0, 8, 0x44);
+    pe.search(&k1, false);
+    pe.search(&k2, true); // OR into tags (accumulation unit, Fig 4c)
+    println!("id in {{0x11,0x44}} -> {} records (via accumulation unit)", pe.count());
+    let ops = pe.op_counts();
+    println!("total machine ops: {} searches, {} reductions", ops.searches, ops.counts + ops.indexes);
+}

@@ -1,0 +1,173 @@
+//! Cross-crate integration: source program → compiler → ISA lowering →
+//! hierarchical architecture simulator, validated against both the DFG
+//! interpreter and scalar references.
+
+use hyperap_arch::{ApMachine, ArchConfig};
+use hyperap_compiler::{compile, CompileOptions};
+use hyperap_isa::{lower, stream_cycles, stream_op_counts};
+use hyperap_model::TechParams;
+
+/// Compile a kernel, lower it to the Table-I ISA, execute it on the
+/// hierarchical machine, and read the outputs back per row.
+fn run_on_machine(src: &str, rows: &[Vec<u64>]) -> Vec<u64> {
+    let kernel = compile(src, &CompileOptions::default()).unwrap();
+    let stream = lower(kernel.program());
+    let mut machine = ApMachine::new(ArchConfig::single_pe(rows.len().max(1)));
+    for (row, tuple) in rows.iter().enumerate() {
+        for (field, &v) in kernel.input_fields().iter().zip(tuple) {
+            field.store(machine.pe_mut(0), row, v);
+        }
+    }
+    machine.run(&[stream]);
+    let pe = machine.pe(0);
+    rows.iter()
+        .enumerate()
+        .map(|(row, _)| kernel.output_fields()[0].read(pe, row))
+        .collect()
+}
+
+#[test]
+fn compiled_kernel_runs_identically_on_the_arch_simulator() {
+    let src = "unsigned int (9) main(unsigned int (8) a, unsigned int (8) b) {
+        unsigned int (9) s;
+        s = a + b;
+        if (s > 300) { s = 300; }
+        return s;
+    }";
+    let rows: Vec<Vec<u64>> = vec![vec![200, 150], vec![1, 2], vec![255, 255], vec![0, 0]];
+    let got = run_on_machine(src, &rows);
+    let kernel = compile(src, &CompileOptions::default()).unwrap();
+    for (tuple, out) in rows.iter().zip(&got) {
+        assert_eq!(*out, kernel.dfg.eval(tuple)[0], "inputs {tuple:?}");
+    }
+}
+
+#[test]
+fn isa_cycle_count_matches_analytical_model_within_setkey_slack() {
+    // The analytical OpCounts model charges one SetKey per search; the
+    // lowered stream may skip repeated keys and adds SetKeys before writes,
+    // plus WriteR/SetTag pairs for tag initialization. The two accountings
+    // must agree within that slack.
+    let src = "unsigned int (6) main(unsigned int (5) a, unsigned int (5) b) { return a + b; }";
+    let kernel = compile(src, &CompileOptions::default()).unwrap();
+    let rram = TechParams::rram();
+    let analytical = kernel.op_counts().cycles(&rram);
+    let stream = lower(kernel.program());
+    let lowered = stream_cycles(&stream, &rram);
+    let ratio = lowered as f64 / analytical as f64;
+    assert!((0.8..1.6).contains(&ratio), "lowered {lowered} vs analytical {analytical}");
+    // Search/write counts must match exactly.
+    let sc = stream_op_counts(&stream);
+    let ac = kernel.op_counts();
+    assert_eq!(sc.searches, ac.searches);
+    assert_eq!(sc.writes_single + sc.writes_encoded, ac.writes());
+}
+
+#[test]
+fn word_parallelism_is_free_on_the_machine() {
+    // Same program, 1 row vs 12 rows: identical instruction stream and
+    // cycle count — the SIMD promise of AP.
+    let src = "unsigned int (5) main(unsigned int (4) a) { return a + 3; }";
+    let kernel = compile(src, &CompileOptions::default()).unwrap();
+    let stream = lower(kernel.program());
+    let mut m1 = ApMachine::new(ArchConfig::single_pe(1));
+    let mut m12 = ApMachine::new(ArchConfig::single_pe(12));
+    let s1 = m1.run(&[stream.clone()]);
+    let s12 = m12.run(&[stream]);
+    assert_eq!(s1.group_cycles, s12.group_cycles);
+}
+
+#[test]
+fn two_groups_run_different_kernels_concurrently() {
+    // MIMD across groups (§IV-B): group 0 adds, group 1 subtracts.
+    let add = compile(
+        "unsigned int (9) main(unsigned int (8) a, unsigned int (8) b) { return a + b; }",
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let sub = compile(
+        "unsigned int (8) main(unsigned int (8) a, unsigned int (8) b) { return a - b; }",
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let mut machine = ApMachine::new(ArchConfig {
+        groups: 2,
+        banks_per_group: 1,
+        subarrays_per_bank: 1,
+        pes_per_subarray: 1,
+        rows: 4,
+        cols: 256,
+        tech: TechParams::rram(),
+        mesh: None,
+    });
+    // Group 0 = PE 0, group 1 = PE 1.
+    for (field, v) in add.input_fields().iter().zip([100u64, 55]) {
+        field.store(machine.pe_mut(0), 0, v);
+    }
+    for (field, v) in sub.input_fields().iter().zip([100u64, 55]) {
+        field.store(machine.pe_mut(1), 0, v);
+    }
+    machine.run(&[lower(add.program()), lower(sub.program())]);
+    assert_eq!(add.output_fields()[0].read(machine.pe(0), 0), 155);
+    assert_eq!(sub.output_fields()[0].read(machine.pe(1), 0), 45);
+}
+
+#[test]
+fn microcode_and_compiler_agree_on_arithmetic() {
+    // The same operation through the expert microcode and through the
+    // compiled language must produce identical results.
+    use hyperap_core::machine::HyperPe;
+    use hyperap_core::microcode::Microcode;
+    let mut mc = Microcode::new(256);
+    let a = mc.alloc_plain_input("a", 8);
+    let b = mc.alloc_plain_input("b", 8);
+    let (q, _r) = mc.div_rem_fused(&a, &b);
+    let mut pe = HyperPe::new(3, 256);
+    let cases = [(100u64, 7u64), (255, 3), (44, 44)];
+    for (row, &(va, vb)) in cases.iter().enumerate() {
+        a.store(&mut pe, row, va);
+        b.store(&mut pe, row, vb);
+    }
+    mc.program().run(&mut pe);
+
+    let kernel = compile(
+        "unsigned int (8) main(unsigned int (8) a, unsigned int (8) b) { return a / b; }",
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    for (row, &(va, vb)) in cases.iter().enumerate() {
+        let compiled = kernel.run_rows(&[&[va, vb]]).unwrap()[0];
+        assert_eq!(q.read(&pe, row), compiled, "{va}/{vb}");
+        assert_eq!(compiled, va / vb);
+    }
+}
+
+#[test]
+fn mul_full_agrees_between_interpreter_and_machine() {
+    // Regression: standalone Latch ops (mul_full's zero-initialized upper
+    // accumulator pairs) must survive ISA lowering — the machine path used
+    // to see a stale encoder latch there.
+    use hyperap_core::machine::HyperPe;
+    use hyperap_core::microcode::Microcode;
+    let mut mc = Microcode::new(256);
+    let a = mc.alloc_plain_input("a", 6);
+    let b = mc.alloc_plain_input("b", 6);
+    let out = mc.mul_full(&a, &b);
+    let prog = mc.into_program();
+    let cases = [(63u64, 63u64), (17, 40), (1, 62), (0, 9)];
+
+    let mut pe = HyperPe::new(cases.len(), 256);
+    let mut machine = ApMachine::new(ArchConfig::single_pe(cases.len()));
+    for (row, &(va, vb)) in cases.iter().enumerate() {
+        a.store(&mut pe, row, va);
+        b.store(&mut pe, row, vb);
+        a.store(machine.pe_mut(0), row, va);
+        b.store(machine.pe_mut(0), row, vb);
+    }
+    prog.run(&mut pe);
+    machine.run(&[lower(&prog)]);
+    for (row, &(va, vb)) in cases.iter().enumerate() {
+        assert_eq!(out.read(&pe, row), va * vb, "interpreter {va}*{vb}");
+        assert_eq!(out.read(machine.pe(0), row), va * vb, "machine {va}*{vb}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Executable paper figures: the hand-written instruction sequences from
+//! the paper's figures run on the simulated machine and produce the
+//! documented results.
+
+use hyperap_arch::{ApMachine, ArchConfig};
+use hyperap_isa::{asm, Instruction};
+
+/// Fig 5d: the 6-operation Hyper-AP 1-bit addition, written exactly as in
+/// the paper (A,B two-bit-encoded in columns 0-1, Cin plain in column 2,
+/// Sum in column 3, Cout in column 4), executed for all eight input
+/// combinations simultaneously — one per SIMD slot.
+#[test]
+fn fig5d_assembly_runs_on_the_machine() {
+    let program = asm::parse(
+        "
+        # Sum: patterns {100, 010} then {001, 111}   (A,B encoded; Cin plain)
+        setkey 010
+        search
+        setkey 101
+        search acc
+        setkey ---1
+        write 3
+        # Cout: patterns {011, 101, 111} then {110}
+        setkey -11
+        search
+        setkey 1Z0
+        search acc
+        setkey ----1
+        write 4
+        ",
+    )
+    .unwrap();
+    assert_eq!(
+        program
+            .iter()
+            .filter(|i| matches!(i, Instruction::Search { .. } | Instruction::Write { .. }))
+            .count(),
+        6,
+        "Fig 5d: six operations"
+    );
+
+    let mut machine = ApMachine::new(ArchConfig {
+        groups: 1,
+        banks_per_group: 1,
+        subarrays_per_bank: 1,
+        pes_per_subarray: 1,
+        rows: 8,
+        cols: 8,
+        tech: hyperap_model::TechParams::rram(),
+        mesh: None,
+    });
+    for v in 0u64..8 {
+        let (a, b, cin) = (v & 1 == 1, v & 2 != 0, v & 4 != 0);
+        machine.pe_mut(0).load_encoded_pair(v as usize, 0, a, b);
+        machine.pe_mut(0).load_bit(v as usize, 2, cin);
+    }
+    machine.run(&[program]);
+    for v in 0u64..8 {
+        let total = (v & 1) + (v >> 1 & 1) + (v >> 2 & 1);
+        let pe = machine.pe(0);
+        assert_eq!(
+            pe.read_bit(v as usize, 3),
+            Some(total & 1 == 1),
+            "Sum for minterm {v:03b}"
+        );
+        assert_eq!(
+            pe.read_bit(v as usize, 4),
+            Some(total >= 2),
+            "Cout for minterm {v:03b}"
+        );
+    }
+}
+
+/// §IV-A12: Wait-based synchronization between groups. Group 0 computes a
+/// column and pushes it across the mesh; group 1 waits the statically known
+/// cycle count before consuming it.
+#[test]
+fn wait_synchronizes_producer_and_consumer_groups() {
+    use hyperap_isa::Direction;
+    use hyperap_model::TechParams;
+    use hyperap_tcam::{KeyBit, SearchKey};
+
+    let config = ArchConfig {
+        groups: 2,
+        banks_per_group: 1,
+        subarrays_per_bank: 1,
+        pes_per_subarray: 1,
+        rows: 4,
+        cols: 16,
+        tech: TechParams::rram(),
+        mesh: Some((1, 2)),
+    };
+    let mut machine = ApMachine::new(config);
+    machine.pe_mut(0).load_bit(1, 0, true);
+    machine.pe_mut(0).load_bit(3, 0, true);
+
+    // Producer (group 0 = PE 0): tags <- column 0, data reg <- tags,
+    // shove it right to PE 1.
+    let producer = vec![
+        Instruction::SetKey { key: SearchKey::masked(16).with_bit(0, KeyBit::One) },
+        Instruction::Search { acc: false, encode: false },
+        Instruction::ReadTag,
+        Instruction::MovR { dir: Direction::Right },
+    ];
+    let rram = TechParams::rram();
+    let producer_cycles: u64 = producer.iter().map(|i| i.cycles(&rram)).sum();
+
+    // Consumer (group 1 = PE 1): wait out the producer, then commit the
+    // received register into storage.
+    let consumer = vec![
+        Instruction::Wait { cycles: producer_cycles as u8 },
+        Instruction::SetTag,
+        Instruction::SetKey { key: SearchKey::masked(16).with_bit(5, KeyBit::One) },
+        Instruction::Write { col: 5, encode: false },
+    ];
+    let stats = machine.run(&[producer, consumer]);
+    assert_eq!(machine.pe(1).read_bit(1, 5), Some(true));
+    assert_eq!(machine.pe(1).read_bit(3, 5), Some(true));
+    assert_eq!(machine.pe(1).read_bit(0, 5), Some(false));
+    // The consumer stalled at least as long as the producer ran.
+    assert!(stats.group_cycles[1] >= producer_cycles);
+}
+
+/// Fig 19 grounding: the ripple adder executes *functionally* under the
+/// traditional execution model too — same results, ~2.3x the operations.
+#[test]
+fn traditional_execution_model_computes_the_same_addition() {
+    use hyperap_core::lut::{full_adder_lut, full_adder_lut_plain, ExecutionModel};
+    use hyperap_core::machine::{HyperPe, TraditionalPe};
+
+    // 1-bit full adder, all 8 minterms, both machines.
+    let hyper_prog = full_adder_lut().lower(ExecutionModel::Hyper);
+    let trad_prog = full_adder_lut_plain().lower(ExecutionModel::Traditional);
+    let mut hyper = HyperPe::new(8, 8);
+    let mut trad = TraditionalPe::new(8, 8);
+    for v in 0u64..8 {
+        let (a, b, cin) = (v & 1 == 1, v & 2 != 0, v & 4 != 0);
+        hyper.load_encoded_pair(v as usize, 0, a, b);
+        hyper.load_bit(v as usize, 2, cin);
+        trad.load_bit(v as usize, 0, a);
+        trad.load_bit(v as usize, 1, b);
+        trad.load_bit(v as usize, 2, cin);
+    }
+    hyper_prog.run(&mut hyper);
+    trad_prog.run_traditional(&mut trad);
+    for v in 0usize..8 {
+        assert_eq!(hyper.read_bit(v, 3), trad.read_bit(v, 3), "Sum row {v}");
+        assert_eq!(hyper.read_bit(v, 4), trad.read_bit(v, 4), "Cout row {v}");
+    }
+    // And the op-count ratio is the Fig 5d claim.
+    let h = hyper.op_counts();
+    let t = trad.op_counts();
+    assert_eq!(t.search_write_ops(), 14);
+    assert_eq!(h.search_write_ops(), 6);
+}
+
+/// The classic associative application: global min via bit-serial
+/// tournament search (MSB down), using only Search/Count — O(width), not
+/// O(n log n).
+#[test]
+fn associative_minimum_search() {
+    use hyperap_core::machine::HyperPe;
+    use hyperap_tcam::{KeyBit, SearchKey};
+
+    let values: [u64; 8] = [212, 45, 190, 45, 99, 254, 47, 130];
+    let width = 8usize;
+    let mut pe = HyperPe::new(values.len(), 16);
+    for (row, &v) in values.iter().enumerate() {
+        for b in 0..width {
+            pe.load_bit(row, b, v >> b & 1 == 1);
+        }
+    }
+    // Walk bits MSB→LSB, narrowing the candidate prefix.
+    let mut prefix = SearchKey::masked(16);
+    for bit in (0..width).rev() {
+        let mut trial = prefix.clone();
+        trial.set_bit(bit, KeyBit::Zero);
+        pe.search(&trial, false);
+        if pe.count() > 0 {
+            prefix = trial; // some candidate has a 0 here: keep it
+        } else {
+            prefix.set_bit(bit, KeyBit::One);
+        }
+    }
+    pe.search(&prefix, false);
+    let min_row = pe.index().expect("min exists");
+    assert_eq!(values[min_row], 45);
+    // O(width) searches + final: 8 probes + 1.
+    assert_eq!(pe.op_counts().searches, 9);
+}

@@ -1,0 +1,101 @@
+//! Property-based cross-crate tests: randomly generated straight-line
+//! programs compile and execute identically to the DFG interpreter (which
+//! is itself unit-tested against Rust semantics).
+
+use hyperap_compiler::{compile, CompileOptions};
+use proptest::prelude::*;
+
+/// Build a random expression source over two inputs with the cheap
+/// (LUT-mapped) operators.
+fn expr(depth: u32, rng: &mut impl Iterator<Item = u8>) -> String {
+    if depth == 0 {
+        return match rng.next().unwrap() % 3 {
+            0 => "a".to_string(),
+            1 => "b".to_string(),
+            _ => format!("{}", rng.next().unwrap() % 16),
+        };
+    }
+    let lhs = expr(depth - 1, rng);
+    let rhs = expr(depth - 1, rng);
+    let op = match rng.next().unwrap() % 7 {
+        0 => "+",
+        1 => "-",
+        2 => "&",
+        3 => "|",
+        4 => "^",
+        5 => ">>",
+        _ => "<<",
+    };
+    if op == ">>" || op == "<<" {
+        format!("(({lhs}) {op} {})", rng.next().unwrap() % 3)
+    } else {
+        format!("(({lhs}) {op} ({rhs}))")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn random_programs_match_the_interpreter(
+        seed in prop::collection::vec(any::<u8>(), 64),
+        inputs in prop::collection::vec((0u64..256, 0u64..256), 3),
+    ) {
+        let mut it = seed.into_iter().cycle();
+        let body = expr(3, &mut it);
+        let src = format!(
+            "unsigned int (8) main(unsigned int (8) a, unsigned int (8) b) {{ return {body}; }}"
+        );
+        let kernel = compile(&src, &CompileOptions::default()).unwrap();
+        for &(a, b) in &inputs {
+            let expected = kernel.dfg.eval(&[a, b])[0];
+            let got = kernel.run_rows(&[&[a, b]]).unwrap()[0];
+            prop_assert_eq!(got, expected, "src: {}, a={}, b={}", src, a, b);
+        }
+    }
+
+    #[test]
+    fn merging_and_embedding_preserve_semantics(
+        a in 0u64..256, b in 0u64..256, k in 0u64..64,
+    ) {
+        let src = format!(
+            "unsigned int (9) main(unsigned int (8) a, unsigned int (8) b) {{
+                 unsigned int (9) t;
+                 t = (a & b) + (a ^ b) + {k};
+                 return t;
+             }}"
+        );
+        for opts in [
+            CompileOptions::default(),
+            CompileOptions { enable_merging: false, ..Default::default() },
+            CompileOptions { enable_embedding: false, ..Default::default() },
+            CompileOptions { pair_inputs: false, ..Default::default() },
+            CompileOptions::cmos(),
+        ] {
+            let kernel = compile(&src, &opts).unwrap();
+            let got = kernel.run_rows(&[&[a, b]]).unwrap()[0];
+            prop_assert_eq!(got, ((a & b) + (a ^ b) + k) & 0x1FF);
+        }
+    }
+
+    #[test]
+    fn microcode_arithmetic_matches_u64(
+        a in 0u64..65536, b in 1u64..65536,
+    ) {
+        use hyperap_core::machine::HyperPe;
+        use hyperap_core::microcode::Microcode;
+        let mut mc = Microcode::new(256);
+        let fa = mc.alloc_plain_input("a", 16);
+        let fb = mc.alloc_plain_input("b", 16);
+        let sum = mc.add(&fa, &fb);
+        let (q, r) = mc.div_rem_fused(&fa, &fb);
+        let sq = mc.isqrt(&fa);
+        let mut pe = HyperPe::new(1, 256);
+        fa.store(&mut pe, 0, a);
+        fb.store(&mut pe, 0, b);
+        mc.program().run(&mut pe);
+        prop_assert_eq!(sum.read(&pe, 0), a + b);
+        prop_assert_eq!(q.read(&pe, 0), a / b);
+        prop_assert_eq!(r.read(&pe, 0), a % b);
+        prop_assert_eq!(sq.read(&pe, 0), (a as f64).sqrt().floor() as u64);
+    }
+}
