@@ -1,0 +1,157 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements `Criterion::bench_function` / `Bencher::iter` with a simple
+//! warmup-then-sample wall-clock harness: each benchmark is calibrated to a
+//! target sample duration, several samples are taken, and the median
+//! ns/iteration is printed in a `cargo bench`-like format. Good enough to
+//! track relative perf between commits on one machine; not a statistics
+//! engine.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers compile.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub id: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+}
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    warmup: Duration,
+    sample_target: Duration,
+    samples: usize,
+    /// Results of every bench run through this driver, in order.
+    pub results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(60),
+            sample_target: Duration::from_millis(60),
+            samples: 7,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Shrink warmup/sample budgets (used by smoke tests).
+    pub fn quick() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(2),
+            sample_target: Duration::from_millis(2),
+            samples: 3,
+            results: Vec::new(),
+        }
+    }
+
+    /// Run one benchmark; prints `id  time: <median> ns/iter`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            sample_target: self.sample_target,
+            samples: self.samples,
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{id:<40} time: {:>12.1} ns/iter", b.median_ns);
+        self.results.push(Sample {
+            id: id.to_string(),
+            median_ns: b.median_ns,
+        });
+        self
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    warmup: Duration,
+    sample_target: Duration,
+    samples: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine`, called repeatedly; the return value is black-boxed
+    /// so the optimizer cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and calibration: find an iteration count whose batch lands
+        // near the sample target.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch =
+            ((self.sample_target.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 32);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let total = start.elapsed().as_secs_f64() * 1e9;
+            samples_ns.push(total / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+
+    /// Median nanoseconds per iteration from the last [`iter`](Self::iter).
+    pub fn median_ns(&self) -> f64 {
+        self.median_ns
+    }
+}
+
+/// Group benchmark functions into a runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); the shim
+            // has no CLI, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_positive_median() {
+        let mut c = Criterion::quick();
+        c.bench_function("noop_add", |b| b.iter(|| std::hint::black_box(1u64 + 2)));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].median_ns >= 0.0);
+        assert_eq!(c.results[0].id, "noop_add");
+    }
+}

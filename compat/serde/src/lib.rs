@@ -1,0 +1,18 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The workspace must build with no registry access, and the real `serde` is
+//! only used for `#[derive(Serialize, Deserialize)]` markers — nothing in the
+//! repo serializes anything yet. This shim provides the two trait names and
+//! re-exports no-op derive macros so the annotations compile unchanged. When
+//! a future PR needs real serialization, swap the path dependency back to the
+//! registry crate; the source code will not need to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; never implemented by
+/// the no-op derive).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; never implemented by
+/// the no-op derive).
+pub trait Deserialize<'de> {}

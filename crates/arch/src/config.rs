@@ -3,6 +3,48 @@
 use hyperap_model::tech::TechParams;
 use serde::{Deserialize, Serialize};
 
+/// Engine threading policy: how the per-group PE fan-out executes.
+///
+/// Sequential and parallel execution are bit-identical by construction —
+/// per-PE work is independent and reduction results are collected in
+/// ascending PE order — so this knob trades wall-clock only, never results
+/// (property-tested in `tests/engine_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Thread a dispatch only when the active slice is large enough to
+    /// amortize fork-join overhead; otherwise run inline.
+    #[default]
+    Auto,
+    /// Always run the fan-out inline on the calling thread.
+    Sequential,
+    /// Always thread, with at least two workers so the threaded path is
+    /// exercised even on single-CPU hosts.
+    Parallel,
+}
+
+impl ExecMode {
+    /// Number of OS threads the engine fans out to under this mode.
+    ///
+    /// Host width comes from the `HYPERAP_THREADS` environment variable
+    /// when set to a positive integer, else from
+    /// [`std::thread::available_parallelism`].
+    pub fn threads(self) -> usize {
+        if self == ExecMode::Sequential {
+            return 1;
+        }
+        let host = std::env::var("HYPERAP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        match self {
+            ExecMode::Sequential => 1,
+            ExecMode::Auto => host,
+            ExecMode::Parallel => host.max(2),
+        }
+    }
+}
+
 /// Geometry and technology of a simulated Hyper-AP machine.
 ///
 /// The paper's full chip (131,072 PEs) is impractical to simulate
@@ -30,6 +72,9 @@ pub struct ArchConfig {
     /// Optional explicit PE-mesh shape for `MovR` (rows, cols); when unset
     /// the PEs form a near-square grid.
     pub mesh: Option<(usize, usize)>,
+    /// Execution-engine threading policy (results are identical under every
+    /// mode; see [`ExecMode`]).
+    pub exec: ExecMode,
 }
 
 impl ArchConfig {
@@ -45,6 +90,7 @@ impl ArchConfig {
             cols: 64,
             tech: TechParams::rram(),
             mesh: None,
+            exec: ExecMode::Auto,
         }
     }
 
@@ -62,6 +108,7 @@ impl ArchConfig {
             cols: 256,
             tech: TechParams::rram(),
             mesh: None,
+            exec: ExecMode::Auto,
         }
     }
 
@@ -78,6 +125,7 @@ impl ArchConfig {
             cols: 256,
             tech: TechParams::rram(),
             mesh: None,
+            exec: ExecMode::Auto,
         }
     }
 

@@ -41,9 +41,10 @@
 
 pub mod config;
 pub mod machine;
+pub mod par;
 pub mod stats;
 pub mod transfer;
 
-pub use config::ArchConfig;
+pub use config::{ArchConfig, ExecMode};
 pub use machine::ApMachine;
 pub use stats::RunStats;

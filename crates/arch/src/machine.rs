@@ -1,10 +1,23 @@
 //! The event-stepped machine executing per-group instruction streams.
+//!
+//! # Execution engine
+//!
+//! Per-group instruction dispatch fans the SIMD arms (`Search`, `Write`,
+//! `Count`, `Index`, tag transfers) out over the group's PE slice. The
+//! fan-out is data-parallel — every PE's work is independent — and runs on
+//! scoped threads ([`crate::par`]) when [`ExecMode`] and the dispatch size
+//! warrant it. The steady-state path performs no heap allocation: active-PE
+//! sets are cached per group and invalidated only by `Broadcast`, searches
+//! reuse each PE's tag storage, reductions land in a preallocated scratch
+//! slice, and `MovR` snapshots into reusable register buffers.
 
-use crate::config::ArchConfig;
+use crate::config::{ArchConfig, ExecMode};
+use crate::par;
 use crate::stats::RunStats;
 use hyperap_core::machine::HyperPe;
 use hyperap_isa::{Direction, Instruction};
 use hyperap_model::timing::OpCounts;
+use hyperap_tcam::bit::KeyBit;
 use hyperap_tcam::key::SearchKey;
 use hyperap_tcam::tags::TagVector;
 
@@ -12,17 +25,68 @@ use hyperap_tcam::tags::TagVector;
 /// the all-ones 17-bit address target every PE of the issuing group.
 pub use hyperap_isa::lower::BROADCAST_ADDR;
 
+/// `Auto` mode threads a dispatch only when `active_pes * rows` meets this
+/// floor; below it fork-join overhead dominates the per-PE work.
+const AUTO_PAR_MIN_SLOTS: usize = 16384;
+
+/// A group's cached active-PE set (the bank-mask filter evaluated once, not
+/// once per instruction). Only `Broadcast` rewrites the bank mask, so only
+/// `Broadcast` invalidates.
+#[derive(Debug, Clone, Default)]
+struct ActiveSet {
+    /// One flag per PE of the group, indexed relative to the group base.
+    mask: Vec<bool>,
+    /// Number of set flags.
+    count: usize,
+    /// False until (re)computed; cleared by `Broadcast`.
+    valid: bool,
+}
+
+/// Borrowed view of one group's execution state, with the fan-out width
+/// already resolved for the current dispatch.
+struct GroupCtx<'a> {
+    /// Absolute PE id of the group's first PE.
+    base: usize,
+    /// The group's PEs.
+    pes: &'a mut [HyperPe],
+    /// The group's data registers (same indexing as `pes`).
+    regs: &'a mut [TagVector],
+    /// Per-PE reduction scratch (same indexing as `pes`).
+    scratch: &'a mut [u64],
+    /// Active flags (same indexing as `pes`).
+    mask: &'a [bool],
+    /// The group's key register.
+    key: &'a SearchKey,
+    /// The key's precompiled active-column plan (rebuilt on `SetKey`).
+    plan: &'a [(usize, KeyBit)],
+    /// Worker threads for this dispatch (1 = inline).
+    threads: usize,
+}
+
 /// A simulated Hyper-AP machine.
 #[derive(Debug, Clone)]
 pub struct ApMachine {
     config: ArchConfig,
+    /// Resolved host fan-out width for `config.exec`.
+    threads: usize,
     pes: Vec<HyperPe>,
     data_regs: Vec<TagVector>,
     /// Per-group controller state: current key and bank-enable mask.
     keys: Vec<SearchKey>,
+    /// Per-group precompiled key plans: the key's unmasked `(column, bit)`
+    /// pairs, scanned once per `SetKey` instead of per PE per search.
+    key_plans: Vec<Vec<(usize, KeyBit)>>,
     bank_masks: Vec<u8>,
     /// Controller data buffer (last `ReadR` result per group).
     pub data_buffers: Vec<TagVector>,
+    /// Per-group cached active-PE sets.
+    active: Vec<ActiveSet>,
+    /// `Count`/`Index` fan-out results (one slot per PE of a group).
+    reduce_scratch: Vec<u64>,
+    /// `MovR` snapshot registers (lazily sized to one group).
+    mov_scratch: Vec<TagVector>,
+    /// Decoded `WriteR` immediate.
+    imm_scratch: TagVector,
 }
 
 impl ApMachine {
@@ -30,11 +94,19 @@ impl ApMachine {
     pub fn new(config: ArchConfig) -> Self {
         let n = config.total_pes();
         ApMachine {
-            pes: (0..n).map(|_| HyperPe::new(config.rows, config.cols)).collect(),
+            threads: config.exec.threads(),
+            pes: (0..n)
+                .map(|_| HyperPe::new(config.rows, config.cols))
+                .collect(),
             data_regs: vec![TagVector::zeros(config.rows); n],
             keys: vec![SearchKey::masked(config.cols); config.groups],
+            key_plans: vec![Vec::new(); config.groups],
             bank_masks: vec![0xFF; config.groups],
             data_buffers: vec![TagVector::zeros(config.rows); config.groups],
+            active: vec![ActiveSet::default(); config.groups],
+            reduce_scratch: vec![0; config.pes_per_group()],
+            mov_scratch: Vec::new(),
+            imm_scratch: TagVector::zeros(config.rows),
             config,
         }
     }
@@ -42,6 +114,13 @@ impl ApMachine {
     /// The machine geometry.
     pub fn config(&self) -> &ArchConfig {
         &self.config
+    }
+
+    /// Switch the engine's threading policy in place (results are identical
+    /// under every mode; see [`ExecMode`]).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.config.exec = mode;
+        self.threads = mode.threads();
     }
 
     /// Read access to a PE.
@@ -59,17 +138,55 @@ impl ApMachine {
         &self.data_regs[id]
     }
 
-    /// The PE ids belonging to `group` whose banks are enabled by the
-    /// group's current bank mask.
-    fn active_pes(&self, group: usize) -> Vec<usize> {
-        let per_group = self.config.pes_per_group();
-        let base = group * per_group;
-        (base..base + per_group)
-            .filter(|&pe| {
-                let bank = self.config.bank_of(pe);
-                bank >= 8 || self.bank_masks[group] >> bank & 1 == 1
-            })
-            .collect()
+    /// Recompute the group's active-PE set if a `Broadcast` invalidated it.
+    fn refresh_active(&mut self, group: usize) {
+        if self.active[group].valid {
+            return;
+        }
+        let per = self.config.pes_per_group();
+        let base = group * per;
+        let bank_mask = self.bank_masks[group];
+        let cache = &mut self.active[group];
+        cache.mask.clear();
+        cache.mask.resize(per, false);
+        cache.count = 0;
+        for i in 0..per {
+            let bank = self.config.bank_of(base + i);
+            let on = bank >= 8 || bank_mask >> bank & 1 == 1;
+            cache.mask[i] = on;
+            cache.count += usize::from(on);
+        }
+        cache.valid = true;
+    }
+
+    /// Borrow the group's execution state, active set refreshed and fan-out
+    /// width resolved for `active_count` PEs under the configured mode.
+    fn group_ctx(&mut self, group: usize) -> GroupCtx<'_> {
+        self.refresh_active(group);
+        let per = self.config.pes_per_group();
+        let base = group * per;
+        let cache = &self.active[group];
+        let threads = match self.config.exec {
+            ExecMode::Sequential => 1,
+            ExecMode::Parallel => self.threads,
+            ExecMode::Auto => {
+                if cache.count >= 2 && cache.count * self.config.rows >= AUTO_PAR_MIN_SLOTS {
+                    self.threads
+                } else {
+                    1
+                }
+            }
+        };
+        GroupCtx {
+            base,
+            pes: &mut self.pes[base..base + per],
+            regs: &mut self.data_regs[base..base + per],
+            scratch: &mut self.reduce_scratch[..per],
+            mask: &cache.mask,
+            key: &self.keys[group],
+            plan: &self.key_plans[group],
+            threads,
+        }
     }
 
     /// Run one instruction stream per group to completion (streams beyond
@@ -78,7 +195,10 @@ impl ApMachine {
     /// Returns cycle counts, SIMD-level operation counts, and reduction
     /// results. Timing is event-stepped: each group issues its next
     /// instruction when its previous one retires; `Wait` stalls implement
-    /// compile-time synchronization (§IV-A12).
+    /// compile-time synchronization (§IV-A12). The result is bit-identical
+    /// under every [`ExecMode`]: the event order is fixed by the clocks, and
+    /// within a dispatch each PE's work is independent with reduction
+    /// results collected in ascending PE order.
     pub fn run(&mut self, streams: &[Vec<Instruction>]) -> RunStats {
         let groups = self.config.groups;
         let mut stats = RunStats {
@@ -98,10 +218,10 @@ impl ApMachine {
                 .filter(|&g| streams.get(g).is_some_and(|s| pcs[g] < s.len()))
                 .min_by_key(|&g| (clocks[g], g));
             let Some(g) = next else { break };
-            let inst = streams[g][pcs[g]].clone();
+            let inst = &streams[g][pcs[g]];
             pcs[g] += 1;
             clocks[g] += inst.cycles(&self.config.tech);
-            self.execute(g, &inst, &mut stats);
+            self.execute(g, inst, &mut stats);
         }
         stats.group_cycles = clocks;
         stats
@@ -111,51 +231,110 @@ impl ApMachine {
         let ops = &mut stats.group_ops[group];
         match inst {
             Instruction::SetKey { key } => {
-                self.keys[group] = key.clone();
+                self.keys[group].copy_from(key);
+                let plan = &mut self.key_plans[group];
+                plan.clear();
+                plan.extend(key.active_bits());
                 ops.set_keys += 1;
             }
             Instruction::Search { acc, encode } => {
-                let key = self.keys[group].clone();
-                for pe in self.active_pes(group) {
-                    self.pes[pe].search(&key, *acc);
-                    if *encode {
-                        self.pes[pe].latch_tags();
+                let (acc, encode) = (*acc, *encode);
+                let GroupCtx {
+                    pes,
+                    mask,
+                    plan,
+                    threads,
+                    ..
+                } = self.group_ctx(group);
+                par::for_each_chunk(threads, pes, |off, pes| {
+                    for (i, pe) in pes.iter_mut().enumerate() {
+                        if mask[off + i] {
+                            pe.search_planned(plan, acc);
+                            if encode {
+                                pe.latch_tags();
+                            }
+                        }
                     }
-                }
+                });
                 ops.searches += 1;
             }
             Instruction::Write { col, encode } => {
-                let key = self.keys[group].clone();
-                for pe in self.active_pes(group) {
-                    if *encode {
-                        self.pes[pe].write_encoded(*col as usize);
-                    } else {
-                        let value = key.bit(*col as usize);
-                        if value.write_value().is_some() {
-                            self.pes[pe].write(*col as usize, value);
+                let (col, encode) = (*col as usize, *encode);
+                let GroupCtx {
+                    pes,
+                    mask,
+                    key,
+                    threads,
+                    ..
+                } = self.group_ctx(group);
+                let value = key.bit(col);
+                let store = value.write_value().is_some();
+                par::for_each_chunk(threads, pes, |off, pes| {
+                    for (i, pe) in pes.iter_mut().enumerate() {
+                        if mask[off + i] {
+                            if encode {
+                                pe.write_encoded(col);
+                            } else if store {
+                                pe.write(col, value);
+                            }
                         }
                     }
-                }
-                if *encode {
+                });
+                if encode {
                     ops.writes_encoded += 1;
                 } else {
                     ops.writes_single += 1;
                 }
             }
             Instruction::Count => {
-                let mut results = Vec::new();
-                for pe in self.active_pes(group) {
-                    results.push((pe, self.pes[pe].count()));
+                let GroupCtx {
+                    base,
+                    pes,
+                    scratch,
+                    mask,
+                    threads,
+                    ..
+                } = self.group_ctx(group);
+                par::for_each_chunk_zip(threads, pes, &mut *scratch, |off, pes, out| {
+                    for (i, pe) in pes.iter_mut().enumerate() {
+                        if mask[off + i] {
+                            out[i] = pe.count() as u64;
+                        }
+                    }
+                });
+                let results = &mut stats.count_results[group];
+                for (i, &on) in mask.iter().enumerate() {
+                    if on {
+                        results.push((base + i, scratch[i] as usize));
+                    }
                 }
-                stats.count_results[group].extend(results);
                 stats.group_ops[group].counts += 1;
             }
             Instruction::Index => {
-                let mut results = Vec::new();
-                for pe in self.active_pes(group) {
-                    results.push((pe, self.pes[pe].index()));
+                let GroupCtx {
+                    base,
+                    pes,
+                    scratch,
+                    mask,
+                    threads,
+                    ..
+                } = self.group_ctx(group);
+                // Option<usize> packed as value + 1 (0 = None) so the
+                // scratch slice stays plain u64.
+                par::for_each_chunk_zip(threads, pes, &mut *scratch, |off, pes, out| {
+                    for (i, pe) in pes.iter_mut().enumerate() {
+                        if mask[off + i] {
+                            out[i] = pe.index().map_or(0, |v| v as u64 + 1);
+                        }
+                    }
+                });
+                let results = &mut stats.index_results[group];
+                for (i, &on) in mask.iter().enumerate() {
+                    if on {
+                        let idx = scratch[i];
+                        results.push((base + i, (idx > 0).then(|| idx as usize - 1)));
+                    }
                 }
-                stats.index_results[group].extend(results);
                 stats.group_ops[group].indexes += 1;
             }
             Instruction::MovR { dir } => {
@@ -164,34 +343,63 @@ impl ApMachine {
             }
             Instruction::ReadR { addr } => {
                 let pe = (*addr as usize).min(self.pes.len() - 1);
-                self.data_buffers[group] = self.data_regs[pe].clone();
+                self.data_buffers[group].copy_from(&self.data_regs[pe]);
             }
             Instruction::WriteR { addr, imm } => {
-                let value = Self::reg_from_bytes(imm, self.config.rows);
+                Self::decode_reg(imm, &mut self.imm_scratch);
                 if *addr == BROADCAST_ADDR {
-                    for pe in self.active_pes(group) {
-                        self.data_regs[pe] = value.clone();
+                    self.refresh_active(group);
+                    let per = self.config.pes_per_group();
+                    let base = group * per;
+                    let mask = &self.active[group].mask;
+                    let imm = &self.imm_scratch;
+                    for (i, reg) in self.data_regs[base..base + per].iter_mut().enumerate() {
+                        if mask[i] {
+                            reg.copy_from(imm);
+                        }
                     }
                 } else {
                     let pe = (*addr as usize).min(self.pes.len() - 1);
-                    self.data_regs[pe] = value;
+                    self.data_regs[pe].copy_from(&self.imm_scratch);
                 }
             }
             Instruction::SetTag => {
-                for pe in self.active_pes(group) {
-                    let reg = self.data_regs[pe].clone();
-                    self.pes[pe].set_tags(reg);
-                }
+                let GroupCtx {
+                    pes,
+                    regs,
+                    mask,
+                    threads,
+                    ..
+                } = self.group_ctx(group);
+                par::for_each_chunk_zip(threads, pes, regs, |off, pes, regs| {
+                    for (i, pe) in pes.iter_mut().enumerate() {
+                        if mask[off + i] {
+                            pe.set_tags_from(&regs[i]);
+                        }
+                    }
+                });
                 ops.tag_ops += 1;
             }
             Instruction::ReadTag => {
-                for pe in self.active_pes(group) {
-                    self.data_regs[pe] = self.pes[pe].tags().clone();
-                }
+                let GroupCtx {
+                    pes,
+                    regs,
+                    mask,
+                    threads,
+                    ..
+                } = self.group_ctx(group);
+                par::for_each_chunk_zip(threads, pes, regs, |off, pes, regs| {
+                    for (i, pe) in pes.iter_mut().enumerate() {
+                        if mask[off + i] {
+                            regs[i].copy_from(pe.tags());
+                        }
+                    }
+                });
                 ops.tag_ops += 1;
             }
             Instruction::Broadcast { group_mask } => {
                 self.bank_masks[group] = *group_mask;
+                self.active[group].valid = false;
                 ops.broadcasts += 1;
             }
             Instruction::Wait { cycles } => {
@@ -209,14 +417,26 @@ impl ApMachine {
     /// hardware shift chain; snapshot semantics throughout.
     fn mov_r(&mut self, group: usize, dir: Direction) {
         let (h, w) = self.config.mesh_dims();
-        let active = self.active_pes(group);
-        let active_set: std::collections::HashSet<usize> = active.iter().copied().collect();
-        let snapshot: Vec<(usize, TagVector)> = active
-            .iter()
-            .map(|&pe| (pe, self.data_regs[pe].clone()))
-            .collect();
+        let per = self.config.pes_per_group();
+        let base = group * per;
+        self.refresh_active(group);
+        if self.mov_scratch.len() < per {
+            let rows = self.config.rows;
+            self.mov_scratch.resize_with(per, || TagVector::zeros(rows));
+        }
+        let mask = &self.active[group].mask;
+        // Snapshot the pushing registers into the reusable buffer.
+        for (i, &on) in mask.iter().enumerate() {
+            if on {
+                self.mov_scratch[i].copy_from(&self.data_regs[base + i]);
+            }
+        }
         // Active PEs with no pushing upstream receive zeros…
-        for &pe in &active {
+        for i in 0..per {
+            if !mask[i] {
+                continue;
+            }
+            let pe = base + i;
             let (r, c) = (pe / w, pe % w);
             let upstream = match dir {
                 Direction::Up => (r + 1 < h).then(|| pe + w),
@@ -224,12 +444,17 @@ impl ApMachine {
                 Direction::Left => (c + 1 < w).then(|| pe + 1),
                 Direction::Right => (c > 0).then(|| pe - 1),
             };
-            if upstream.map(|u| !active_set.contains(&u)).unwrap_or(true) {
-                self.data_regs[pe] = TagVector::zeros(self.config.rows);
+            let pushing = upstream.is_some_and(|u| u >= base && u < base + per && mask[u - base]);
+            if !pushing {
+                self.data_regs[pe].clear();
             }
         }
         // …then pushes land (possibly into other groups' PEs).
-        for (pe, value) in snapshot {
+        for (i, &on) in mask.iter().enumerate() {
+            if !on {
+                continue;
+            }
+            let pe = base + i;
             let (r, c) = (pe / w, pe % w);
             let dest = match dir {
                 Direction::Up => (r > 0).then(|| pe - w),
@@ -239,21 +464,22 @@ impl ApMachine {
             };
             if let Some(d) = dest {
                 if d < self.data_regs.len() {
-                    self.data_regs[d] = value;
+                    self.data_regs[d].copy_from(&self.mov_scratch[i]);
                 }
             }
         }
     }
 
-    fn reg_from_bytes(bytes: &[u8], rows: usize) -> TagVector {
-        let mut t = TagVector::zeros(rows);
-        for row in 0..rows {
+    /// Decode a `WriteR` immediate (little-endian byte image) into `out`;
+    /// rows beyond the image read as zero.
+    fn decode_reg(bytes: &[u8], out: &mut TagVector) {
+        out.clear();
+        for row in 0..out.len() {
             let byte = bytes.get(row / 8).copied().unwrap_or(0);
             if byte >> (row % 8) & 1 == 1 {
-                t.set(row, true);
+                out.set(row, true);
             }
         }
-        t
     }
 }
 
@@ -276,7 +502,10 @@ mod tests {
         m.pe_mut(2).load_bit(2, 0, true);
         let stats = m.run(&[vec![
             search_key("1"),
-            Instruction::Search { acc: false, encode: false },
+            Instruction::Search {
+                acc: false,
+                encode: false,
+            },
             Instruction::Count,
         ]]);
         let counts: Vec<usize> = stats.count_results[0].iter().map(|&(_, c)| c).collect();
@@ -290,12 +519,18 @@ mod tests {
         m.pe_mut(4).load_bit(0, 1, true); // group 1
         let g0 = vec![
             search_key("1"),
-            Instruction::Search { acc: false, encode: false },
+            Instruction::Search {
+                acc: false,
+                encode: false,
+            },
             Instruction::Count,
         ];
         let g1 = vec![
             search_key("-1"),
-            Instruction::Search { acc: false, encode: false },
+            Instruction::Search {
+                acc: false,
+                encode: false,
+            },
             Instruction::Count,
             Instruction::Wait { cycles: 50 },
         ];
@@ -313,11 +548,17 @@ mod tests {
         m.pe_mut(1).load_bit(5, 0, true);
         m.run(&[vec![
             search_key("1"),
-            Instruction::Search { acc: false, encode: false },
+            Instruction::Search {
+                acc: false,
+                encode: false,
+            },
             Instruction::SetKey {
                 key: SearchKey::masked(64).with_bit(3, KeyBit::One),
             },
-            Instruction::Write { col: 3, encode: false },
+            Instruction::Write {
+                col: 3,
+                encode: false,
+            },
         ]]);
         assert_eq!(m.pe(1).read_bit(5, 3), Some(true));
         assert_eq!(m.pe(1).read_bit(4, 3), Some(false));
@@ -332,10 +573,71 @@ mod tests {
         let stats = m.run(&[vec![
             Instruction::Broadcast { group_mask: 0 }, // all banks off
             search_key("1"),
-            Instruction::Search { acc: false, encode: false },
+            Instruction::Search {
+                acc: false,
+                encode: false,
+            },
             Instruction::Count,
         ]]);
         assert!(stats.count_results[0].is_empty(), "no active PEs");
+    }
+
+    #[test]
+    fn broadcast_invalidates_cached_active_set() {
+        // Regression: the active-PE cache must be recomputed after each
+        // Broadcast, in both directions (on -> off -> on).
+        let mut m = ApMachine::new(ArchConfig::tiny());
+        m.pe_mut(0).load_bit(0, 0, true);
+        let stats = m.run(&[vec![
+            search_key("1"),
+            Instruction::Search {
+                acc: false,
+                encode: false,
+            },
+            Instruction::Count, // bank on: 4 results
+            Instruction::Broadcast { group_mask: 0 },
+            Instruction::Count, // bank off: no results
+            Instruction::Broadcast { group_mask: 0xFF },
+            Instruction::Count, // bank back on: 4 more results
+        ]]);
+        assert_eq!(stats.count_results[0].len(), 8);
+        assert_eq!(stats.count_results[0][0], (0, 1));
+        assert_eq!(stats.count_results[0][4], (0, 1));
+        assert_eq!(stats.group_ops[0].counts, 3);
+    }
+
+    #[test]
+    fn exec_modes_agree_bitwise() {
+        let stream = vec![
+            search_key("1"),
+            Instruction::Search {
+                acc: false,
+                encode: false,
+            },
+            Instruction::ReadTag,
+            Instruction::MovR {
+                dir: Direction::Right,
+            },
+            Instruction::SetTag,
+            Instruction::Count,
+            Instruction::Index,
+        ];
+        let run = |mode: ExecMode| {
+            let mut cfg = ArchConfig::tiny();
+            cfg.exec = mode;
+            let mut m = ApMachine::new(cfg);
+            m.pe_mut(0).load_bit(3, 0, true);
+            m.pe_mut(2).load_bit(7, 0, true);
+            let stats = m.run(std::slice::from_ref(&stream));
+            (stats, m)
+        };
+        let (seq_stats, seq_m) = run(ExecMode::Sequential);
+        let (par_stats, par_m) = run(ExecMode::Parallel);
+        assert_eq!(seq_stats, par_stats);
+        for pe in 0..seq_m.config().total_pes() {
+            assert_eq!(seq_m.pe(pe), par_m.pe(pe), "PE {pe} state diverged");
+            assert_eq!(seq_m.data_reg(pe), par_m.data_reg(pe));
+        }
     }
 
     #[test]
@@ -343,8 +645,13 @@ mod tests {
         let mut m = ApMachine::new(ArchConfig::tiny());
         // Put a pattern in PE 0's data register via WriteR, then MovR right.
         let stats = m.run(&[vec![
-            Instruction::WriteR { addr: 0, imm: vec![0b101] },
-            Instruction::MovR { dir: Direction::Right },
+            Instruction::WriteR {
+                addr: 0,
+                imm: vec![0b101],
+            },
+            Instruction::MovR {
+                dir: Direction::Right,
+            },
         ]]);
         assert_eq!(stats.group_ops[0].mov_rs, 1);
         assert!(m.data_reg(1).get(0));
@@ -360,14 +667,22 @@ mod tests {
         m.pe_mut(0).load_bit(7, 0, true);
         m.run(&[vec![
             search_key("1"),
-            Instruction::Search { acc: false, encode: false },
+            Instruction::Search {
+                acc: false,
+                encode: false,
+            },
             Instruction::ReadTag,
-            Instruction::MovR { dir: Direction::Right },
+            Instruction::MovR {
+                dir: Direction::Right,
+            },
             Instruction::SetTag,
             Instruction::SetKey {
                 key: SearchKey::masked(64).with_bit(1, KeyBit::One),
             },
-            Instruction::Write { col: 1, encode: false },
+            Instruction::Write {
+                col: 1,
+                encode: false,
+            },
         ]]);
         assert_eq!(m.pe(1).read_bit(7, 1), Some(true), "transferred to PE 1");
         assert_eq!(m.pe(1).read_bit(6, 1), Some(false));
@@ -377,14 +692,20 @@ mod tests {
     fn broadcast_writer_loads_all_data_registers() {
         let mut m = ApMachine::new(ArchConfig::tiny());
         m.run(&[vec![
-            Instruction::WriteR { addr: BROADCAST_ADDR, imm: vec![0xFF; 64] },
+            Instruction::WriteR {
+                addr: BROADCAST_ADDR,
+                imm: vec![0xFF; 64],
+            },
             Instruction::SetTag,
             Instruction::Count,
         ]]);
         // All group-0 PEs count all rows tagged.
         let mut mm = ApMachine::new(ArchConfig::tiny());
         let stats = mm.run(&[vec![
-            Instruction::WriteR { addr: BROADCAST_ADDR, imm: vec![0xFF; 64] },
+            Instruction::WriteR {
+                addr: BROADCAST_ADDR,
+                imm: vec![0xFF; 64],
+            },
             Instruction::SetTag,
             Instruction::Count,
         ]]);
@@ -398,11 +719,17 @@ mod tests {
         let mut m = ApMachine::new(ArchConfig::tiny());
         let stream = vec![
             search_key("1"),
-            Instruction::Search { acc: false, encode: false },
+            Instruction::Search {
+                acc: false,
+                encode: false,
+            },
             Instruction::SetKey {
                 key: SearchKey::masked(64).with_bit(2, KeyBit::One),
             },
-            Instruction::Write { col: 2, encode: false },
+            Instruction::Write {
+                col: 2,
+                encode: false,
+            },
         ];
         let stats = m.run(&[stream]);
         // 1 + 1 + 1 + 12 = 15 cycles.

@@ -1,0 +1,141 @@
+//! Fork-join helpers for the execution engine.
+//!
+//! The engine's only parallel shape is a fan-out over disjoint chunks of a
+//! per-group PE slice. `rayon` is not available in the offline build, so
+//! these helpers provide the same shape with [`std::thread::scope`]: the
+//! slice is split into near-equal contiguous chunks, one scoped thread per
+//! chunk, and the scope joins them all before returning. With one thread
+//! (or a trivially small slice) the call degrades to a plain loop on the
+//! caller's thread — no spawn, no synchronization, no allocation.
+//!
+//! Determinism: chunks are disjoint, each element is touched by exactly one
+//! thread, and callers receive the chunk's starting offset so any results
+//! land at fixed positions — the outcome is independent of thread
+//! scheduling by construction.
+
+/// Run `f(offset, chunk)` over up to `threads` near-equal contiguous chunks
+/// of `data`, where `offset` is the chunk's starting index in `data`.
+///
+/// `threads <= 1` or `data.len() < 2` runs `f(0, data)` inline.
+pub fn for_each_chunk<T, F>(threads: usize, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if threads <= 1 || n < 2 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(threads.min(n));
+    std::thread::scope(|scope| {
+        let mut chunks = data.chunks_mut(chunk);
+        let first = chunks.next();
+        for (i, part) in chunks.enumerate() {
+            let f = &f;
+            scope.spawn(move || f((i + 1) * chunk, part));
+        }
+        // The caller works the first chunk instead of idling at the join.
+        if let Some(part) = first {
+            f(0, part);
+        }
+    });
+}
+
+/// Like [`for_each_chunk`], but hands each chunk the matching chunk of
+/// `out` (identical offsets), for fan-outs producing per-element results.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn for_each_chunk_zip<T, U, F>(threads: usize, data: &mut [T], out: &mut [U], f: F)
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut [U]) + Sync,
+{
+    assert_eq!(data.len(), out.len(), "zip length mismatch");
+    let n = data.len();
+    if threads <= 1 || n < 2 {
+        f(0, data, out);
+        return;
+    }
+    let chunk = n.div_ceil(threads.min(n));
+    std::thread::scope(|scope| {
+        let mut chunks = data.chunks_mut(chunk).zip(out.chunks_mut(chunk));
+        let first = chunks.next();
+        for (i, (a, b)) in chunks.enumerate() {
+            let f = &f;
+            scope.spawn(move || f((i + 1) * chunk, a, b));
+        }
+        if let Some((a, b)) = first {
+            f(0, a, b);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_element_visited_exactly_once() {
+        for threads in [1, 2, 3, 7, 64] {
+            let mut data = vec![0u32; 100];
+            for_each_chunk(threads, &mut data, |_, chunk| {
+                for x in chunk {
+                    *x += 1;
+                }
+            });
+            assert!(data.iter().all(|&x| x == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn offsets_match_global_indices() {
+        let mut data: Vec<usize> = (0..37).collect();
+        for_each_chunk(4, &mut data, |off, chunk| {
+            for (i, x) in chunk.iter().enumerate() {
+                assert_eq!(*x, off + i);
+            }
+        });
+    }
+
+    #[test]
+    fn zip_chunks_stay_aligned() {
+        for threads in [1, 3, 5] {
+            let mut data: Vec<usize> = (0..41).collect();
+            let mut out = vec![0usize; 41];
+            for_each_chunk_zip(threads, &mut data, &mut out, |off, a, b| {
+                assert_eq!(a.len(), b.len());
+                for i in 0..a.len() {
+                    b[i] = a[i] * 2 + off - off;
+                }
+            });
+            for (i, x) in out.iter().enumerate() {
+                assert_eq!(*x, i * 2, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let calls = AtomicUsize::new(0);
+        let caller = std::thread::current().id();
+        let mut data = vec![0u8; 10];
+        for_each_chunk(1, &mut data, |_, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(std::thread::current().id(), caller);
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zip length mismatch")]
+    fn zip_length_mismatch_panics() {
+        let mut a = vec![0u8; 3];
+        let mut b = vec![0u8; 4];
+        for_each_chunk_zip(2, &mut a, &mut b, |_, _, _| {});
+    }
+}

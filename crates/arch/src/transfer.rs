@@ -31,16 +31,25 @@ pub fn column_transfer(src_col: u8, dst_col: u8, dir: Direction, cols: usize) ->
         },
         Instruction::SetTag,
         Instruction::SetKey { key: dst_zero },
-        Instruction::Write { col: dst_col, encode: false },
+        Instruction::Write {
+            col: dst_col,
+            encode: false,
+        },
         // Tags ← source column; move; tags at the destination PE.
         Instruction::SetKey { key: key_one },
-        Instruction::Search { acc: false, encode: false },
+        Instruction::Search {
+            acc: false,
+            encode: false,
+        },
         Instruction::ReadTag,
         Instruction::MovR { dir },
         Instruction::SetTag,
         // Destination ← 1 where tagged.
         Instruction::SetKey { key: dst_one },
-        Instruction::Write { col: dst_col, encode: false },
+        Instruction::Write {
+            col: dst_col,
+            encode: false,
+        },
     ]
 }
 

@@ -1,0 +1,133 @@
+//! Property tests for the execution-engine determinism guarantee: random
+//! instruction streams produce bit-identical machine state and `RunStats`
+//! whether the per-group PE fan-out runs sequentially or threaded.
+
+use hyperap_arch::machine::BROADCAST_ADDR;
+use hyperap_arch::{ApMachine, ArchConfig, ExecMode};
+use hyperap_isa::{Direction, Instruction};
+use hyperap_tcam::KeyBit;
+use proptest::prelude::*;
+
+/// Geometry under test: `tiny()` is 2 groups x 4 PEs of 16x64.
+const PES: usize = 8;
+const ROWS: usize = 16;
+const COLS: usize = 64;
+
+fn inst_strategy() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        prop::collection::vec(0u8..4, COLS).prop_map(|bits| Instruction::SetKey {
+            key: bits
+                .iter()
+                .map(|b| match b {
+                    0 => KeyBit::Zero,
+                    1 => KeyBit::One,
+                    2 => KeyBit::Z,
+                    _ => KeyBit::Masked,
+                })
+                .collect(),
+        }),
+        (any::<bool>(), any::<bool>())
+            .prop_map(|(acc, encode)| Instruction::Search { acc, encode }),
+        // `encode` needs two adjacent columns, so stop one short.
+        (0u8..(COLS as u8 - 1), any::<bool>())
+            .prop_map(|(col, encode)| Instruction::Write { col, encode }),
+        Just(Instruction::Count),
+        Just(Instruction::Index),
+        (0u8..4).prop_map(|d| Instruction::MovR {
+            dir: match d {
+                0 => Direction::Up,
+                1 => Direction::Down,
+                2 => Direction::Left,
+                _ => Direction::Right,
+            },
+        }),
+        (0u32..PES as u32).prop_map(|addr| Instruction::ReadR { addr }),
+        (0u32..=PES as u32, prop::collection::vec(any::<u8>(), 0..4)).prop_map(|(a, imm)| {
+            Instruction::WriteR {
+                addr: if a == PES as u32 { BROADCAST_ADDR } else { a },
+                imm,
+            }
+        }),
+        Just(Instruction::SetTag),
+        Just(Instruction::ReadTag),
+        any::<u8>().prop_map(|m| Instruction::Broadcast { group_mask: m }),
+        (0u8..10).prop_map(|cycles| Instruction::Wait { cycles }),
+    ]
+}
+
+type Load = (usize, usize, usize, bool);
+
+fn loads_strategy() -> impl Strategy<Value = Vec<Load>> {
+    prop::collection::vec(
+        (0usize..PES, 0usize..ROWS, 0usize..COLS, any::<bool>()),
+        0..64,
+    )
+}
+
+fn build(mode: ExecMode, loads: &[Load]) -> ApMachine {
+    let mut cfg = ArchConfig::tiny();
+    cfg.exec = mode;
+    let mut m = ApMachine::new(cfg);
+    for &(pe, row, col, v) in loads {
+        m.pe_mut(pe).load_bit(row, col, v);
+    }
+    m
+}
+
+fn assert_machines_identical(a: &ApMachine, b: &ApMachine) {
+    for pe in 0..PES {
+        assert_eq!(a.pe(pe), b.pe(pe), "PE {pe} state diverged");
+        assert_eq!(
+            a.data_reg(pe),
+            b.data_reg(pe),
+            "PE {pe} data register diverged"
+        );
+    }
+    assert_eq!(
+        a.data_buffers, b.data_buffers,
+        "controller data buffers diverged"
+    );
+}
+
+proptest! {
+    #[test]
+    fn sequential_and_parallel_runs_are_bit_identical(
+        loads in loads_strategy(),
+        s0 in prop::collection::vec(inst_strategy(), 0..40),
+        s1 in prop::collection::vec(inst_strategy(), 0..40),
+    ) {
+        let streams = vec![s0, s1];
+        let mut seq = build(ExecMode::Sequential, &loads);
+        let mut par = build(ExecMode::Parallel, &loads);
+        let mut auto = build(ExecMode::Auto, &loads);
+        let seq_stats = seq.run(&streams);
+        let par_stats = par.run(&streams);
+        let auto_stats = auto.run(&streams);
+        prop_assert_eq!(&seq_stats, &par_stats);
+        prop_assert_eq!(&seq_stats, &auto_stats);
+        assert_machines_identical(&seq, &par);
+        assert_machines_identical(&seq, &auto);
+    }
+
+    #[test]
+    fn broadcast_invalidation_matches_uncached_semantics(
+        masks in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        // Interleave Broadcast instructions with Counts; the cached
+        // active-PE set must track every mask change in both modes.
+        let mut stream = Vec::new();
+        for m in &masks {
+            stream.push(Instruction::Broadcast { group_mask: *m });
+            stream.push(Instruction::Count);
+        }
+        let streams = vec![stream];
+        let mut seq = build(ExecMode::Sequential, &[]);
+        let mut par = build(ExecMode::Parallel, &[]);
+        let seq_stats = seq.run(&streams);
+        let par_stats = par.run(&streams);
+        // tiny() has one bank (bank 0) per group: mask bit 0 gates all PEs.
+        let expected: usize = masks.iter().map(|m| if m & 1 == 1 { 4 } else { 0 }).sum();
+        prop_assert_eq!(seq_stats.count_results[0].len(), expected);
+        prop_assert_eq!(&seq_stats, &par_stats);
+    }
+}

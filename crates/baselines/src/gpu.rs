@@ -102,17 +102,13 @@ mod tests {
     #[test]
     fn add_is_bandwidth_bound() {
         let g = GpuModel::default();
-        assert!(
-            g.streaming_throughput_gops(OpKind::Add) < g.compute_throughput_gops(OpKind::Add)
-        );
+        assert!(g.streaming_throughput_gops(OpKind::Add) < g.compute_throughput_gops(OpKind::Add));
     }
 
     #[test]
     fn div_is_slower_than_add() {
         let g = GpuModel::default();
-        assert!(
-            g.compute_throughput_gops(OpKind::Div) < g.compute_throughput_gops(OpKind::Add)
-        );
+        assert!(g.compute_throughput_gops(OpKind::Div) < g.compute_throughput_gops(OpKind::Add));
         assert!(g.record(OpKind::Div).latency_ns > g.record(OpKind::Add).latency_ns);
     }
 
@@ -129,8 +125,14 @@ mod tests {
         let g = GpuModel::default();
         // A div-heavy kernel is compute-bound; a copy-like kernel is
         // bandwidth-bound.
-        let divs = KernelOps { divs: 50.0, ..KernelOps::default() };
-        let adds = KernelOps { adds: 1.0, ..KernelOps::default() };
+        let divs = KernelOps {
+            divs: 50.0,
+            ..KernelOps::default()
+        };
+        let adds = KernelOps {
+            adds: 1.0,
+            ..KernelOps::default()
+        };
         let n = 10_000_000;
         assert!(g.kernel_time_s(&divs, n) > g.kernel_time_s(&adds, n));
     }

@@ -66,48 +66,186 @@ pub struct OpRecord {
 
 /// Fig 15: Hyper-AP on 32-bit unsigned integers (paper-reported).
 pub const FIG15_HYPER_AP: [OpRecord; 5] = [
-    OpRecord { op: OpKind::Add, latency_ns: 592.0, throughput_gops: 56_680.0, power_eff: 233.0, area_eff: 126.0 },
-    OpRecord { op: OpKind::Mul, latency_ns: 7_196.0, throughput_gops: 4_663.0, power_eff: 14.0, area_eff: 10.0 },
-    OpRecord { op: OpKind::Div, latency_ns: 20_928.0, throughput_gops: 1_603.0, power_eff: 4.8, area_eff: 3.5 },
-    OpRecord { op: OpKind::Sqrt, latency_ns: 58_661.0, throughput_gops: 572.0, power_eff: 1.7, area_eff: 1.3 },
-    OpRecord { op: OpKind::Exp, latency_ns: 25_760.0, throughput_gops: 1_303.0, power_eff: 3.8, area_eff: 2.9 },
+    OpRecord {
+        op: OpKind::Add,
+        latency_ns: 592.0,
+        throughput_gops: 56_680.0,
+        power_eff: 233.0,
+        area_eff: 126.0,
+    },
+    OpRecord {
+        op: OpKind::Mul,
+        latency_ns: 7_196.0,
+        throughput_gops: 4_663.0,
+        power_eff: 14.0,
+        area_eff: 10.0,
+    },
+    OpRecord {
+        op: OpKind::Div,
+        latency_ns: 20_928.0,
+        throughput_gops: 1_603.0,
+        power_eff: 4.8,
+        area_eff: 3.5,
+    },
+    OpRecord {
+        op: OpKind::Sqrt,
+        latency_ns: 58_661.0,
+        throughput_gops: 572.0,
+        power_eff: 1.7,
+        area_eff: 1.3,
+    },
+    OpRecord {
+        op: OpKind::Exp,
+        latency_ns: 25_760.0,
+        throughput_gops: 1_303.0,
+        power_eff: 3.8,
+        area_eff: 2.9,
+    },
 ];
 
 /// Fig 15: IMP (derived: Hyper-AP value ∘ reported improvement factor —
 /// latency ×, others ÷).
 pub const FIG15_IMP: [OpRecord; 5] = [
-    OpRecord { op: OpKind::Add, latency_ns: 2_309.0, throughput_gops: 13_824.0, power_eff: 97.0, area_eff: 28.6 },
-    OpRecord { op: OpKind::Mul, latency_ns: 57_568.0, throughput_gops: 2_332.0, power_eff: 10.0, area_eff: 4.5 },
-    OpRecord { op: OpKind::Div, latency_ns: 142_310.0, throughput_gops: 668.0, power_eff: 0.089, area_eff: 1.4 },
-    OpRecord { op: OpKind::Sqrt, latency_ns: 586_610.0, throughput_gops: 358.0, power_eff: 0.089, area_eff: 0.76 },
-    OpRecord { op: OpKind::Exp, latency_ns: 115_920.0, throughput_gops: 383.0, power_eff: 0.070, area_eff: 0.78 },
+    OpRecord {
+        op: OpKind::Add,
+        latency_ns: 2_309.0,
+        throughput_gops: 13_824.0,
+        power_eff: 97.0,
+        area_eff: 28.6,
+    },
+    OpRecord {
+        op: OpKind::Mul,
+        latency_ns: 57_568.0,
+        throughput_gops: 2_332.0,
+        power_eff: 10.0,
+        area_eff: 4.5,
+    },
+    OpRecord {
+        op: OpKind::Div,
+        latency_ns: 142_310.0,
+        throughput_gops: 668.0,
+        power_eff: 0.089,
+        area_eff: 1.4,
+    },
+    OpRecord {
+        op: OpKind::Sqrt,
+        latency_ns: 586_610.0,
+        throughput_gops: 358.0,
+        power_eff: 0.089,
+        area_eff: 0.76,
+    },
+    OpRecord {
+        op: OpKind::Exp,
+        latency_ns: 115_920.0,
+        throughput_gops: 383.0,
+        power_eff: 0.070,
+        area_eff: 0.78,
+    },
 ];
 
 /// Fig 16: Hyper-AP on 16-bit unsigned integers (paper-reported).
 pub const FIG16_HYPER_AP: [OpRecord; 5] = [
-    OpRecord { op: OpKind::Add, latency_ns: 292.0, throughput_gops: 114_910.0, power_eff: 473.0, area_eff: 254.0 },
-    OpRecord { op: OpKind::Mul, latency_ns: 1_698.0, throughput_gops: 19_761.0, power_eff: 58.0, area_eff: 44.0 },
-    OpRecord { op: OpKind::Div, latency_ns: 5_264.0, throughput_gops: 6_374.0, power_eff: 19.0, area_eff: 14.0 },
-    OpRecord { op: OpKind::Sqrt, latency_ns: 13_689.0, throughput_gops: 2_451.0, power_eff: 7.3, area_eff: 5.4 },
-    OpRecord { op: OpKind::Exp, latency_ns: 6_416.0, throughput_gops: 5_230.0, power_eff: 15.6, area_eff: 11.6 },
+    OpRecord {
+        op: OpKind::Add,
+        latency_ns: 292.0,
+        throughput_gops: 114_910.0,
+        power_eff: 473.0,
+        area_eff: 254.0,
+    },
+    OpRecord {
+        op: OpKind::Mul,
+        latency_ns: 1_698.0,
+        throughput_gops: 19_761.0,
+        power_eff: 58.0,
+        area_eff: 44.0,
+    },
+    OpRecord {
+        op: OpKind::Div,
+        latency_ns: 5_264.0,
+        throughput_gops: 6_374.0,
+        power_eff: 19.0,
+        area_eff: 14.0,
+    },
+    OpRecord {
+        op: OpKind::Sqrt,
+        latency_ns: 13_689.0,
+        throughput_gops: 2_451.0,
+        power_eff: 7.3,
+        area_eff: 5.4,
+    },
+    OpRecord {
+        op: OpKind::Exp,
+        latency_ns: 6_416.0,
+        throughput_gops: 5_230.0,
+        power_eff: 15.6,
+        area_eff: 11.6,
+    },
 ];
 
 /// Fig 17: Hyper-AP on merged additions and immediate-operand operations
 /// (32-bit, paper-reported). `Multi_Add` throughput counts three additions
 /// per pass.
 pub const FIG17_HYPER_AP: [OpRecord; 4] = [
-    OpRecord { op: OpKind::MultiAdd, latency_ns: 1_322.0, throughput_gops: 76_145.0, power_eff: 422.0, area_eff: 168.0 },
-    OpRecord { op: OpKind::AddImm, latency_ns: 493.0, throughput_gops: 68_062.0, power_eff: 291.0, area_eff: 151.0 },
-    OpRecord { op: OpKind::MulImm, latency_ns: 3_324.0, throughput_gops: 10_095.0, power_eff: 30.0, area_eff: 22.0 },
-    OpRecord { op: OpKind::DivImm, latency_ns: 17_248.0, throughput_gops: 1_945.0, power_eff: 5.8, area_eff: 4.3 },
+    OpRecord {
+        op: OpKind::MultiAdd,
+        latency_ns: 1_322.0,
+        throughput_gops: 76_145.0,
+        power_eff: 422.0,
+        area_eff: 168.0,
+    },
+    OpRecord {
+        op: OpKind::AddImm,
+        latency_ns: 493.0,
+        throughput_gops: 68_062.0,
+        power_eff: 291.0,
+        area_eff: 151.0,
+    },
+    OpRecord {
+        op: OpKind::MulImm,
+        latency_ns: 3_324.0,
+        throughput_gops: 10_095.0,
+        power_eff: 30.0,
+        area_eff: 22.0,
+    },
+    OpRecord {
+        op: OpKind::DivImm,
+        latency_ns: 17_248.0,
+        throughput_gops: 1_945.0,
+        power_eff: 5.8,
+        area_eff: 4.3,
+    },
 ];
 
 /// Fig 17: IMP (derived from the reported factors).
 pub const FIG17_IMP: [OpRecord; 4] = [
-    OpRecord { op: OpKind::MultiAdd, latency_ns: 11_634.0, throughput_gops: 42_303.0, power_eff: 146.0, area_eff: 84.0 },
-    OpRecord { op: OpKind::AddImm, latency_ns: 1_627.0, throughput_gops: 13_890.0, power_eff: 97.0, area_eff: 28.5 },
-    OpRecord { op: OpKind::MulImm, latency_ns: 12_299.0, throughput_gops: 2_348.0, power_eff: 10.0, area_eff: 4.7 },
-    OpRecord { op: OpKind::DivImm, latency_ns: 96_589.0, throughput_gops: 671.0, power_eff: 0.089, area_eff: 1.4 },
+    OpRecord {
+        op: OpKind::MultiAdd,
+        latency_ns: 11_634.0,
+        throughput_gops: 42_303.0,
+        power_eff: 146.0,
+        area_eff: 84.0,
+    },
+    OpRecord {
+        op: OpKind::AddImm,
+        latency_ns: 1_627.0,
+        throughput_gops: 13_890.0,
+        power_eff: 97.0,
+        area_eff: 28.5,
+    },
+    OpRecord {
+        op: OpKind::MulImm,
+        latency_ns: 12_299.0,
+        throughput_gops: 2_348.0,
+        power_eff: 10.0,
+        area_eff: 4.7,
+    },
+    OpRecord {
+        op: OpKind::DivImm,
+        latency_ns: 96_589.0,
+        throughput_gops: 671.0,
+        power_eff: 0.089,
+        area_eff: 1.4,
+    },
 ];
 
 /// Fig 19a paper values for the 32-bit-addition AP comparison.
@@ -147,7 +285,12 @@ mod tests {
         for r in FIG15_HYPER_AP.iter().chain(&FIG16_HYPER_AP) {
             let derived = 33_554_432.0 / r.latency_ns;
             let rel = (derived - r.throughput_gops).abs() / r.throughput_gops;
-            assert!(rel < 0.02, "{}: derived {derived} vs {}", r.op, r.throughput_gops);
+            assert!(
+                rel < 0.02,
+                "{}: derived {derived} vs {}",
+                r.op,
+                r.throughput_gops
+            );
         }
     }
 

@@ -1,12 +1,15 @@
 //! Criterion micro-benchmarks for the simulator substrate and the compiler.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use hyperap_arch::{ApMachine, ArchConfig, ExecMode};
 use hyperap_compiler::{compile, CompileOptions};
 use hyperap_core::machine::HyperPe;
 use hyperap_core::microcode::Microcode;
+use hyperap_isa::lower::lower;
 use hyperap_tcam::array::TcamArray;
 use hyperap_tcam::key::SearchKey;
 use hyperap_tcam::mvsop::{minimize, Cover, PosKind};
+use hyperap_tcam::tags::TagVector;
 use std::hint::black_box;
 
 fn bench_tcam_search(c: &mut Criterion) {
@@ -19,6 +22,44 @@ fn bench_tcam_search(c: &mut Criterion) {
     c.bench_function("tcam_search_256x256", |b| {
         b.iter(|| black_box(array.search(black_box(&key))))
     });
+}
+
+fn bench_tcam_search_into(c: &mut Criterion) {
+    // Same workload as `tcam_search_256x256`, but through the
+    // buffer-reusing API — the steady-state engine path.
+    let mut array = TcamArray::pe_sized();
+    for row in 0..256 {
+        array.store_field(row, 0, 64, row as u64 * 0x9E37_79B9);
+    }
+    let mut key = SearchKey::masked(256);
+    key.set_field(0, 12, 0xABC);
+    let mut tags = TagVector::zeros(256);
+    c.bench_function("tcam_search_into_256x256", |b| {
+        b.iter(|| {
+            array.search_into(black_box(&key), &mut tags);
+            black_box(tags.blocks()[0])
+        })
+    });
+}
+
+fn bench_group_run(c: &mut Criterion) {
+    // Group-level engine fan-out: add32 on every PE of a 4-group machine,
+    // sequential vs threaded dispatch.
+    let mut mc = Microcode::new(256);
+    let (x, y) = mc.alloc_paired_inputs("a", "b", 32);
+    let _ = mc.add(&x, &y);
+    let stream = lower(&mc.into_program());
+    for (id, mode) in [
+        ("group_run_add32_seq", ExecMode::Sequential),
+        ("group_run_add32_par", ExecMode::Parallel),
+    ] {
+        let mut cfg = ArchConfig::paper_scaled(64);
+        cfg.groups = 4;
+        cfg.exec = mode;
+        let streams: Vec<_> = (0..cfg.groups).map(|_| stream.clone()).collect();
+        let mut m = ApMachine::new(cfg);
+        c.bench_function(id, |b| b.iter(|| black_box(m.run(&streams))));
+    }
 }
 
 fn bench_mvsop(c: &mut Criterion) {
@@ -67,9 +108,11 @@ fn bench_compile(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_tcam_search,
+    bench_tcam_search_into,
     bench_mvsop,
     bench_microcode_add,
     bench_machine_run,
+    bench_group_run,
     bench_compile
 );
 criterion_main!(benches);

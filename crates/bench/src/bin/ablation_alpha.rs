@@ -14,9 +14,20 @@ fn main() {
     }";
     header("Eq. 2 cost-function ablation (merged logic + adds, 8-bit)");
     for (name, alpha) in [("RRAM  (alpha = 10)", 10.0), ("CMOS  (alpha = 1)", 1.0)] {
-        let kernel = compile(src, &CompileOptions { alpha, ..Default::default() }).unwrap();
+        let kernel = compile(
+            src,
+            &CompileOptions {
+                alpha,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let c = kernel.op_counts();
-        let tech = if alpha > 1.0 { TechParams::rram() } else { TechParams::cmos() };
+        let tech = if alpha > 1.0 {
+            TechParams::rram()
+        } else {
+            TechParams::cmos()
+        };
         println!(
             "  {name}: {:>4} searches {:>3} writes -> {:>5} cycles on its target",
             c.searches,
@@ -28,12 +39,33 @@ fn main() {
     header("Per-optimization ablation (same program)");
     let variants: [(&str, CompileOptions); 4] = [
         ("all optimizations", CompileOptions::default()),
-        ("no operation merging", CompileOptions { enable_merging: false, ..Default::default() }),
-        ("no operand embedding", CompileOptions { enable_embedding: false, ..Default::default() }),
-        ("no input pairing", CompileOptions { pair_inputs: false, ..Default::default() }),
+        (
+            "no operation merging",
+            CompileOptions {
+                enable_merging: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no operand embedding",
+            CompileOptions {
+                enable_embedding: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no input pairing",
+            CompileOptions {
+                pair_inputs: false,
+                ..Default::default()
+            },
+        ),
     ];
     let rram = TechParams::rram();
-    let base = compile(src, &variants[0].1).unwrap().op_counts().cycles(&rram);
+    let base = compile(src, &variants[0].1)
+        .unwrap()
+        .op_counts()
+        .cycles(&rram);
     for (name, opts) in variants {
         let c = compile(src, &opts).unwrap().op_counts();
         let cycles = c.cycles(&rram);

@@ -1,0 +1,312 @@
+//! Engine benchmark: measures the cycle simulator's execution engine and
+//! emits machine-readable `BENCH_SIM.json`.
+//!
+//! Three comparisons:
+//!
+//! 1. **Kernel**: `TcamArray::search` (allocates a fresh `TagVector` per
+//!    call) vs `TcamArray::search_into` (reuses the caller's buffer) — the
+//!    steady-state engine path.
+//! 2. **Engine threading**: `ApMachine::run` of the same streams under
+//!    `ExecMode::Sequential` vs `ExecMode::Parallel` (bit-identical results;
+//!    wall-clock only). On a single-CPU host the threaded run cannot win —
+//!    the host core count is recorded in the JSON so readers can interpret
+//!    the ratio.
+//! 3. **Allocation hygiene**: the optimized engine vs a faithful emulation
+//!    of the pre-optimization engine (fresh active-PE vector and cloned
+//!    instruction/key per step, a fresh `TagVector` per search, a full-width
+//!    single-bit `SearchKey` per write, cloned registers on every tag
+//!    transfer). Identical compute, seed-era allocation behavior.
+//!
+//! Workload: the lowered 32-bit adder stream on every PE of a
+//! 16-group x 64-PE machine (1024 PEs of 256x256), the paper's bread-and-
+//! butter arithmetic kernel (§V).
+
+use hyperap_arch::machine::BROADCAST_ADDR;
+use hyperap_arch::{ApMachine, ArchConfig, ExecMode};
+use hyperap_core::machine::HyperPe;
+use hyperap_core::microcode::Microcode;
+use hyperap_isa::lower::lower;
+use hyperap_isa::Instruction;
+use hyperap_tcam::array::TcamArray;
+use hyperap_tcam::key::SearchKey;
+use hyperap_tcam::tags::TagVector;
+use std::hint::black_box;
+use std::time::Instant;
+
+const ROWS: usize = 256;
+const COLS: usize = 256;
+const GROUPS: usize = 16;
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Median ns/call of `f`, batch-calibrated to ~50 ms samples.
+fn ns_per_call<F: FnMut()>(mut f: F) -> f64 {
+    let calib = Instant::now();
+    let mut warm = 0u64;
+    while calib.elapsed().as_secs_f64() < 0.05 {
+        f();
+        warm += 1;
+    }
+    let batch = warm.max(1);
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t.elapsed().as_secs_f64() * 1e9 / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// One group of the pre-optimization engine, reproduced through the same
+/// public PE APIs: compute is identical to the optimized engine (so final
+/// machine state matches), but every per-step allocation of the seed —
+/// fresh active-PE vector, cloned instruction and key, a fresh `TagVector`
+/// per search, a full-width key per write, cloned registers on tag
+/// transfers — is paid.
+struct SeedStyleGroup {
+    pes: Vec<HyperPe>,
+    data_regs: Vec<TagVector>,
+    key: SearchKey,
+    bank_mask: u8,
+    pes_per_bank: usize,
+}
+
+impl SeedStyleGroup {
+    fn new(pes: usize, pes_per_bank: usize) -> Self {
+        SeedStyleGroup {
+            pes: (0..pes).map(|_| HyperPe::new(ROWS, COLS)).collect(),
+            data_regs: vec![TagVector::zeros(ROWS); pes],
+            key: SearchKey::masked(COLS),
+            bank_mask: 0xFF,
+            pes_per_bank,
+        }
+    }
+
+    fn active(&self) -> Vec<usize> {
+        (0..self.pes.len())
+            .filter(|&pe| {
+                let bank = pe / self.pes_per_bank;
+                bank >= 8 || self.bank_mask >> bank & 1 == 1
+            })
+            .collect()
+    }
+
+    fn execute(&mut self, inst: &Instruction) {
+        let inst = inst.clone(); // the seed run loop cloned each step
+        match &inst {
+            Instruction::SetKey { key } => self.key = key.clone(),
+            Instruction::Search { acc, encode } => {
+                let key = self.key.clone();
+                for pe in self.active() {
+                    black_box(TagVector::zeros(ROWS)); // seed: fresh result buffer
+                    self.pes[pe].search(&key, *acc);
+                    if *encode {
+                        black_box(self.pes[pe].tags().clone()); // seed: latch clone
+                        self.pes[pe].latch_tags();
+                    }
+                }
+            }
+            Instruction::Write { col, encode } => {
+                let key = self.key.clone();
+                let col = *col as usize;
+                for pe in self.active() {
+                    if *encode {
+                        self.pes[pe].write_encoded(col);
+                    } else {
+                        let value = key.bit(col);
+                        if value.write_value().is_some() {
+                            // seed: one full-width single-bit key per write,
+                            // scanned column by column by the write driver
+                            let k = SearchKey::masked(COLS).with_bit(col, value);
+                            black_box(k.active_count());
+                            self.pes[pe].write(col, value);
+                        }
+                    }
+                }
+            }
+            Instruction::Count => {
+                let mut results = Vec::new();
+                for pe in self.active() {
+                    results.push((pe, self.pes[pe].count()));
+                }
+                black_box(results);
+            }
+            Instruction::Index => {
+                let mut results = Vec::new();
+                for pe in self.active() {
+                    results.push((pe, self.pes[pe].index()));
+                }
+                black_box(results);
+            }
+            Instruction::WriteR { addr, imm } => {
+                let value = reg_from_bytes(imm);
+                if *addr == BROADCAST_ADDR {
+                    for pe in self.active() {
+                        self.data_regs[pe] = value.clone();
+                    }
+                } else {
+                    let pe = (*addr as usize).min(self.pes.len() - 1);
+                    self.data_regs[pe] = value;
+                }
+            }
+            Instruction::SetTag => {
+                for pe in self.active() {
+                    let reg = self.data_regs[pe].clone();
+                    self.pes[pe].set_tags(reg);
+                }
+            }
+            Instruction::ReadTag => {
+                for pe in self.active() {
+                    self.data_regs[pe] = self.pes[pe].tags().clone();
+                }
+            }
+            Instruction::Broadcast { group_mask } => self.bank_mask = *group_mask,
+            Instruction::MovR { .. } | Instruction::ReadR { .. } | Instruction::Wait { .. } => {}
+        }
+    }
+}
+
+fn reg_from_bytes(bytes: &[u8]) -> TagVector {
+    let mut t = TagVector::zeros(ROWS);
+    for row in 0..ROWS {
+        if bytes.get(row / 8).copied().unwrap_or(0) >> (row % 8) & 1 == 1 {
+            t.set(row, true);
+        }
+    }
+    t
+}
+
+fn add32_stream() -> Vec<Instruction> {
+    let mut mc = Microcode::new(COLS);
+    let (x, y) = mc.alloc_paired_inputs("a", "b", 32);
+    let _ = mc.add(&x, &y);
+    lower(&mc.into_program())
+}
+
+fn engine_config(exec: ExecMode) -> ArchConfig {
+    let mut cfg = ArchConfig::paper_scaled(ROWS);
+    cfg.groups = GROUPS;
+    cfg.exec = exec;
+    cfg
+}
+
+fn seed_machine(m: &mut ApMachine) {
+    for pe in 0..m.config().total_pes() {
+        for row in 0..8 {
+            m.pe_mut(pe)
+                .load_encoded_pair(row, 0, row & 1 == 1, pe & 1 == 1);
+        }
+    }
+}
+
+fn main() {
+    let reps: usize = std::env::var("HYPERAP_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // 1. Kernel: allocating vs buffer-reusing search.
+    let mut array = TcamArray::pe_sized();
+    for row in 0..ROWS {
+        array.store_field(row, 0, 64, row as u64 * 0x9E37_79B9);
+    }
+    let mut key = SearchKey::masked(COLS);
+    key.set_field(0, 12, 0xABC);
+    let ns_search = ns_per_call(|| {
+        black_box(array.search(black_box(&key)));
+    });
+    let mut tags = TagVector::zeros(ROWS);
+    let ns_search_into = ns_per_call(|| {
+        array.search_into(black_box(&key), &mut tags);
+        black_box(tags.blocks()[0]);
+    });
+
+    // 2 & 3. Engine runs: same streams everywhere.
+    let stream = add32_stream();
+    let streams: Vec<Vec<Instruction>> = (0..GROUPS).map(|_| stream.clone()).collect();
+    let total_instructions = (GROUPS * stream.len()) as f64;
+
+    let run_mode = |mode: ExecMode| {
+        let mut m = ApMachine::new(engine_config(mode));
+        seed_machine(&mut m);
+        best_secs(reps, || {
+            black_box(m.run(&streams));
+        })
+    };
+    let seq_s = run_mode(ExecMode::Sequential);
+    let par_s = run_mode(ExecMode::Parallel);
+    let auto_s = run_mode(ExecMode::Auto);
+
+    let cfg = engine_config(ExecMode::Sequential);
+    let per_group = cfg.pes_per_group();
+    let mut seed_groups: Vec<SeedStyleGroup> = (0..GROUPS)
+        .map(|_| SeedStyleGroup::new(per_group, cfg.pes_per_bank()))
+        .collect();
+    let seed_style_s = best_secs(reps, || {
+        for (g, stream) in streams.iter().enumerate() {
+            for inst in stream {
+                seed_groups[g].execute(inst);
+            }
+        }
+    });
+
+    let parallel_threads = ExecMode::Parallel.threads();
+    let json = format!(
+        r#"{{
+  "host": {{
+    "cpus": {host_cpus},
+    "parallel_threads": {parallel_threads}
+  }},
+  "geometry": {{
+    "groups": {GROUPS},
+    "total_pes": {total_pes},
+    "rows": {ROWS},
+    "cols": {COLS}
+  }},
+  "workload": {{
+    "kernel": "add32",
+    "stream_instructions": {stream_len},
+    "total_instructions": {total_instructions}
+  }},
+  "kernel": {{
+    "ns_per_search_alloc": {ns_search:.1},
+    "ns_per_search_into": {ns_search_into:.1},
+    "speedup_search_into": {kernel_speedup:.2}
+  }},
+  "engine": {{
+    "sequential_s": {seq_s:.4},
+    "parallel_s": {par_s:.4},
+    "auto_s": {auto_s:.4},
+    "seed_style_s": {seed_style_s:.4},
+    "instructions_per_sec_sequential": {ips_seq:.0},
+    "instructions_per_sec_parallel": {ips_par:.0},
+    "speedup_parallel_vs_sequential": {sp_par:.2},
+    "speedup_optimized_vs_seed_style": {sp_seed:.2}
+  }}
+}}
+"#,
+        total_pes = cfg.total_pes(),
+        stream_len = stream.len(),
+        kernel_speedup = ns_search / ns_search_into,
+        ips_seq = total_instructions / seq_s,
+        ips_par = total_instructions / par_s,
+        sp_par = seq_s / par_s,
+        sp_seed = seed_style_s / seq_s,
+    );
+    std::fs::write("BENCH_SIM.json", &json).expect("write BENCH_SIM.json");
+    print!("{json}");
+}

@@ -3,28 +3,44 @@
 //! Traditional AP needs 14 operations (7 searches + 7 writes, Fig 2c);
 //! Hyper-AP needs 6 (4 searches + 2 writes, Fig 5d).
 
-use hyperap_core::lut::{full_adder_lut, ExecutionModel};
 use hyperap_bench::header;
+use hyperap_core::lut::{full_adder_lut, ExecutionModel};
 
 fn main() {
     header("Fig 2 / Fig 5d: 1-bit addition with carry");
     let lut = full_adder_lut();
     let t = lut.op_counts(ExecutionModel::Traditional);
     let h = lut.op_counts(ExecutionModel::Hyper);
-    println!("  traditional AP : {} searches + {} writes = {} operations (paper: 14)",
-             t.searches, t.writes(), t.search_write_ops());
-    println!("  Hyper-AP       : {} searches + {} writes = {} operations (paper: 6)",
-             h.searches, h.writes(), h.search_write_ops());
-    println!("  search reduction {:.2}x (paper 1.8x), write reduction {:.2}x (paper 3.5x)",
-             t.searches as f64 / h.searches as f64,
-             t.writes() as f64 / h.writes() as f64);
+    println!(
+        "  traditional AP : {} searches + {} writes = {} operations (paper: 14)",
+        t.searches,
+        t.writes(),
+        t.search_write_ops()
+    );
+    println!(
+        "  Hyper-AP       : {} searches + {} writes = {} operations (paper: 6)",
+        h.searches,
+        h.writes(),
+        h.search_write_ops()
+    );
+    println!(
+        "  search reduction {:.2}x (paper 1.8x), write reduction {:.2}x (paper 3.5x)",
+        t.searches as f64 / h.searches as f64,
+        t.writes() as f64 / h.writes() as f64
+    );
 
     // §III: larger reductions for wider additions.
     for w in [8usize, 16, 32] {
         let tw = hyperap_baselines::traditional::add_cost(
-            hyperap_baselines::ApVariant::Traditional, w, hyperap_model::tech::Technology::Rram);
+            hyperap_baselines::ApVariant::Traditional,
+            w,
+            hyperap_model::tech::Technology::Rram,
+        );
         let hw = hyperap_baselines::traditional::add_cost(
-            hyperap_baselines::ApVariant::HyperAp, w, hyperap_model::tech::Technology::Rram);
+            hyperap_baselines::ApVariant::HyperAp,
+            w,
+            hyperap_model::tech::Technology::Rram,
+        );
         println!("  {w:>2}-bit add: searches {}->{} ({:.1}x), writes {}->{} ({:.1}x)  [paper @32: 5.3x / 25.5x]",
                  tw.ops.searches, hw.ops.searches,
                  tw.ops.searches as f64 / hw.ops.searches as f64,

@@ -8,14 +8,22 @@ fn main() {
     // The paper's example table (inputs A..D, minterm bit i = input i).
     let on = vec![0b1000u16, 0b0100, 0b1011, 0b0111];
     let choice = choose_pairing(4, &on);
-    println!("  best pairing   : {} searches (paper: 1, pairing A-B / C-D)", choice.best_searches);
-    println!("  worst pairing  : {} searches (paper: 4, pairing A-C / B-D)", choice.worst_searches);
+    println!(
+        "  best pairing   : {} searches (paper: 1, pairing A-B / C-D)",
+        choice.best_searches
+    );
+    println!(
+        "  worst pairing  : {} searches (paper: 4, pairing A-C / B-D)",
+        choice.worst_searches
+    );
     println!("  unpaired       : {} searches", choice.unpaired_searches);
     println!("  chosen pairs   : {:?}", choice.pairing.pairs);
 
     // Pairing quality on the full-adder outputs (Fig 5d layout).
     let sum = vec![0b001u16, 0b010, 0b100, 0b111];
     let c = choose_pairing(3, &sum);
-    println!("  full-adder Sum : best {} / unpaired {} (paper: 2 vs 4)",
-             c.best_searches, c.unpaired_searches);
+    println!(
+        "  full-adder Sum : best {} / unpaired {} (paper: 2 vs 4)",
+        c.best_searches, c.unpaired_searches
+    );
 }

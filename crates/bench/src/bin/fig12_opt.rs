@@ -13,22 +13,49 @@ fn main() {
         e = a + b; f = c + d; g = e + f;
         return g;
     }";
-    let merged = compile(src, &CompileOptions::default()).unwrap().op_counts();
-    let unmerged = compile(src, &CompileOptions { enable_merging: false, ..Default::default() })
-        .unwrap().op_counts();
-    println!("  without merging: {} searches, {} writes (paper: 8S, 7W)",
-             unmerged.searches, unmerged.writes());
-    println!("  with merging   : {} searches, {} writes (paper: 6S, 3W)",
-             merged.searches, merged.writes());
+    let merged = compile(src, &CompileOptions::default())
+        .unwrap()
+        .op_counts();
+    let unmerged = compile(
+        src,
+        &CompileOptions {
+            enable_merging: false,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .op_counts();
+    println!(
+        "  without merging: {} searches, {} writes (paper: 8S, 7W)",
+        unmerged.searches,
+        unmerged.writes()
+    );
+    println!(
+        "  with merging   : {} searches, {} writes (paper: 6S, 3W)",
+        merged.searches,
+        merged.writes()
+    );
 
     header("Fig 12b: operand embedding (2-bit a + immediate 2)");
     let src = "unsigned int (3) main(unsigned int (2) a) {
         unsigned int (2) b; unsigned int (3) c;
         b = 2; c = a + b; return c;
     }";
-    let embedded = compile(src, &CompileOptions::default()).unwrap().op_counts();
-    let mat = compile(src, &CompileOptions { enable_embedding: false, ..Default::default() })
-        .unwrap().op_counts();
+    let embedded = compile(src, &CompileOptions::default())
+        .unwrap()
+        .op_counts();
+    let mat = compile(
+        src,
+        &CompileOptions {
+            enable_embedding: false,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .op_counts();
     println!("  without embedding: {} searches (paper: 5)", mat.searches);
-    println!("  with embedding   : {} searches (paper: 3)", embedded.searches);
+    println!(
+        "  with embedding   : {} searches (paper: 3)",
+        embedded.searches
+    );
 }

@@ -12,9 +12,14 @@ fn main() {
              unsigned int (3) c; c = a + b; return c;
          }",
         &CompileOptions::default(),
-    ).unwrap();
+    )
+    .unwrap();
     let c = k.op_counts();
-    println!("  {} searches, {} writes (paper's limit-3 example: 6S, 4W)", c.searches, c.writes());
+    println!(
+        "  {} searches, {} writes (paper's limit-3 example: 6S, 4W)",
+        c.searches,
+        c.writes()
+    );
     println!("  instruction stream:");
     let stream = lower(k.program());
     for line in asm::format(&stream).lines().take(24) {
@@ -32,7 +37,12 @@ fn main() {
              return b;
          }",
         &CompileOptions::default(),
-    ).unwrap();
+    )
+    .unwrap();
     let c = k.op_counts();
-    println!("  {} searches, {} writes; both branches evaluated, predicated select", c.searches, c.writes());
+    println!(
+        "  {} searches, {} writes; both branches evaluated, predicated select",
+        c.searches,
+        c.writes()
+    );
 }

@@ -9,7 +9,13 @@ use hyperap_workloads::perf::synthetic_metrics;
 fn main() {
     header("Fig 15: representative arithmetic operations, 32-bit unsigned");
     let gpu = GpuModel::default();
-    for op in [OpKind::Add, OpKind::Mul, OpKind::Div, OpKind::Sqrt, OpKind::Exp] {
+    for op in [
+        OpKind::Add,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Sqrt,
+        OpKind::Exp,
+    ] {
         let m = synthetic_metrics(op, 32);
         let paper = record(&FIG15_HYPER_AP, op).unwrap();
         metric_block(&op.to_string(), &m, &paper);

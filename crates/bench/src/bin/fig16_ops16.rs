@@ -7,7 +7,13 @@ use hyperap_workloads::perf::synthetic_metrics;
 
 fn main() {
     header("Fig 16: representative arithmetic operations, 16-bit unsigned");
-    for op in [OpKind::Add, OpKind::Mul, OpKind::Div, OpKind::Sqrt, OpKind::Exp] {
+    for op in [
+        OpKind::Add,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Sqrt,
+        OpKind::Exp,
+    ] {
         let m16 = synthetic_metrics(op, 16);
         let m32 = synthetic_metrics(op, 32);
         let paper = record(&FIG16_HYPER_AP, op).unwrap();

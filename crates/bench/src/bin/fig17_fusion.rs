@@ -6,7 +6,12 @@ use hyperap_workloads::perf::synthetic_metrics;
 
 fn main() {
     header("Fig 17: operation merging (Multi_Add) and operand embedding (*_i), 32-bit");
-    for op in [OpKind::MultiAdd, OpKind::AddImm, OpKind::MulImm, OpKind::DivImm] {
+    for op in [
+        OpKind::MultiAdd,
+        OpKind::AddImm,
+        OpKind::MulImm,
+        OpKind::DivImm,
+    ] {
         // Div_i at 32 bits is slow to simulate yet identical in structure;
         // measure it at its native width.
         let m = synthetic_metrics(op, 32);

@@ -9,22 +9,75 @@ fn main() {
     header("Table I: Hyper-AP ISA (cycles @ RRAM, length in bytes)");
     let rram = TechParams::rram();
     let rows: Vec<(&str, Instruction, &str)> = vec![
-        ("Search", Instruction::Search { acc: true, encode: false }, "1"),
-        ("Write (1 cell)", Instruction::Write { col: 0, encode: false }, "12"),
-        ("Write (2 cells)", Instruction::Write { col: 0, encode: true }, "23"),
-        ("SetKey", Instruction::SetKey { key: SearchKey::masked(256) }, "1"),
+        (
+            "Search",
+            Instruction::Search {
+                acc: true,
+                encode: false,
+            },
+            "1",
+        ),
+        (
+            "Write (1 cell)",
+            Instruction::Write {
+                col: 0,
+                encode: false,
+            },
+            "12",
+        ),
+        (
+            "Write (2 cells)",
+            Instruction::Write {
+                col: 0,
+                encode: true,
+            },
+            "23",
+        ),
+        (
+            "SetKey",
+            Instruction::SetKey {
+                key: SearchKey::masked(256),
+            },
+            "1",
+        ),
         ("Count", Instruction::Count, "4"),
         ("Index", Instruction::Index, "4"),
-        ("MovR", Instruction::MovR { dir: hyperap_isa::Direction::Left }, "5"),
+        (
+            "MovR",
+            Instruction::MovR {
+                dir: hyperap_isa::Direction::Left,
+            },
+            "5",
+        ),
         ("ReadR", Instruction::ReadR { addr: 0 }, "variable"),
-        ("WriteR", Instruction::WriteR { addr: 0, imm: vec![0; 64] }, "variable"),
+        (
+            "WriteR",
+            Instruction::WriteR {
+                addr: 0,
+                imm: vec![0; 64],
+            },
+            "variable",
+        ),
         ("SetTag", Instruction::SetTag, "1"),
         ("ReadTag", Instruction::ReadTag, "1"),
-        ("Broadcast", Instruction::Broadcast { group_mask: 0xFF }, "1"),
+        (
+            "Broadcast",
+            Instruction::Broadcast { group_mask: 0xFF },
+            "1",
+        ),
         ("Wait", Instruction::Wait { cycles: 8 }, "variable"),
     ];
-    println!("  {:<16} {:>8} {:>8}   paper-cycles", "instruction", "cycles", "bytes");
+    println!(
+        "  {:<16} {:>8} {:>8}   paper-cycles",
+        "instruction", "cycles", "bytes"
+    );
     for (name, inst, paper) in rows {
-        println!("  {:<16} {:>8} {:>8}   {}", name, inst.cycles(&rram), inst.length(), paper);
+        println!(
+            "  {:<16} {:>8} {:>8}   {}",
+            name,
+            inst.cycles(&rram),
+            inst.length(),
+            paper
+        );
     }
 }

@@ -7,17 +7,31 @@ use hyperap_model::{SystemConfig, GPU_TITAN_XP, IMP_SYSTEM};
 fn main() {
     header("Table II: GPU / IMP / Hyper-AP configuration");
     let hp = SystemConfig::hyper_ap();
-    println!("  {:<12} {:>14} {:>10} {:>10} {:>8}  memory", "system", "SIMD slots", "freq GHz", "area mm2", "TDP W");
+    println!(
+        "  {:<12} {:>14} {:>10} {:>10} {:>8}  memory",
+        "system", "SIMD slots", "freq GHz", "area mm2", "TDP W"
+    );
     for c in [&GPU_TITAN_XP, &IMP_SYSTEM, &hp] {
-        println!("  {:<12} {:>14} {:>10.2} {:>10.0} {:>8.0}  {}",
-                 c.name, c.simd_slots, c.frequency_ghz, c.area_mm2, c.tdp_w, c.memory);
+        println!(
+            "  {:<12} {:>14} {:>10.2} {:>10.0} {:>8.0}  {}",
+            c.name, c.simd_slots, c.frequency_ghz, c.area_mm2, c.tdp_w, c.memory
+        );
     }
-    println!("\n  paper Hyper-AP slots: 33,554,432 (ours: {}; 16x IMP = {})",
-             hp.simd_slots, hp.simd_slots as f64 / IMP_SYSTEM.simd_slots as f64);
+    println!(
+        "\n  paper Hyper-AP slots: 33,554,432 (ours: {}; 16x IMP = {})",
+        hp.simd_slots,
+        hp.simd_slots as f64 / IMP_SYSTEM.simd_slots as f64
+    );
 
     header("Fig 14: PE physical design (32 nm)");
     let a = AreaModel::rram();
-    println!("  PE: {PE_WIDTH_UM} x {PE_HEIGHT_UM} um2 = {:.0} um2 (paper: 53.12 x 49.72)", a.pe_area_um2);
-    println!("  PEs per chip: {} | capacity: {:.2} GB (paper: 1 GB RRAM)",
-             a.pe_count(), a.capacity_bytes() as f64 / 1e9);
+    println!(
+        "  PE: {PE_WIDTH_UM} x {PE_HEIGHT_UM} um2 = {:.0} um2 (paper: 53.12 x 49.72)",
+        a.pe_area_um2
+    );
+    println!(
+        "  PEs per chip: {} | capacity: {:.2} GB (paper: 1 GB RRAM)",
+        a.pe_count(),
+        a.capacity_bytes() as f64 / 1e9
+    );
 }

@@ -35,7 +35,12 @@ pub fn row(name: &str, measured: f64, paper: f64, unit: &str) {
 pub fn metric_block(op: &str, m: &Metrics, paper: &hyperap_baselines::OpRecord) {
     println!("  -- {op} --");
     row("latency", m.latency_ns, paper.latency_ns, "ns");
-    row("throughput", m.throughput_gops, paper.throughput_gops, "GOPS");
+    row(
+        "throughput",
+        m.throughput_gops,
+        paper.throughput_gops,
+        "GOPS",
+    );
     row("power eff", m.power_eff_gops_w, paper.power_eff, "GOPS/W");
     row("area eff", m.area_eff_gops_mm2, paper.area_eff, "GOPS/mm2");
 }

@@ -199,8 +199,7 @@ impl Aig {
     pub fn cone(&self, roots: &[Lit]) -> Vec<u32> {
         let mut seen = vec![false; self.nodes.len()];
         let mut order = Vec::new();
-        let mut stack: Vec<(u32, bool)> =
-            roots.iter().map(|&l| (lit_node(l), false)).collect();
+        let mut stack: Vec<(u32, bool)> = roots.iter().map(|&l| (lit_node(l), false)).collect();
         while let Some((id, expanded)) = stack.pop() {
             if expanded {
                 order.push(id);

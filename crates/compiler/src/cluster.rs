@@ -30,7 +30,7 @@ fn node_cols(dfg: &Dfg, id: usize) -> usize {
     match n.op {
         DfgOp::Input { .. } | DfgOp::Const { .. } => n.width,
         DfgOp::Shl { .. } | DfgOp::Shr { .. } | DfgOp::Resize => 0, // renames
-        DfgOp::Mul => 4 * n.width,  // carry-save pairs + operand copies
+        DfgOp::Mul => 4 * n.width, // carry-save pairs + operand copies
         DfgOp::Div | DfgOp::Rem => 3 * n.width,
         DfgOp::Sqrt | DfgOp::Exp { .. } => 4 * n.width,
         _ => 2 * n.width, // result + ripple scratch
@@ -52,12 +52,8 @@ pub fn cluster(dfg: &Dfg, capacity: usize) -> Clustering {
     for id in 0..n {
         let need = node_cols(dfg, id);
         // Candidate clusters: those of the node's inputs.
-        let mut candidates: Vec<usize> = dfg
-            .node(id)
-            .inputs
-            .iter()
-            .map(|&i| assignment[i])
-            .collect();
+        let mut candidates: Vec<usize> =
+            dfg.node(id).inputs.iter().map(|&i| assignment[i]).collect();
         candidates.sort_unstable();
         candidates.dedup();
         // Pick the candidate minimizing added cut edges (Eq. 1's

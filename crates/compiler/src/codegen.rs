@@ -95,7 +95,12 @@ impl CompiledKernel {
                 .collect::<Vec<_>>()
                 .join(", ")
         );
-        let _ = writeln!(out, "  columns: {} of {}", self.max_column_used() + 1, self.cols);
+        let _ = writeln!(
+            out,
+            "  columns: {} of {}",
+            self.max_column_used() + 1,
+            self.cols
+        );
         let _ = writeln!(
             out,
             "  ops    : {} searches, {} writes ({} encoded), {} tag ops",
@@ -121,9 +126,7 @@ impl CompiledKernel {
             match op {
                 ApOp::Write { col, .. } => max = max.max(*col),
                 ApOp::WriteEncoded { col } => max = max.max(col + 1),
-                ApOp::Search { key, .. } => {
-                    max = max.max(key.active_columns().max().unwrap_or(0))
-                }
+                ApOp::Search { key, .. } => max = max.max(key.active_columns().max().unwrap_or(0)),
                 _ => {}
             }
         }
@@ -318,9 +321,9 @@ impl Gen {
             match partner[i] {
                 Some(j) if j > i => {
                     let w = self.dfg.input_widths[i];
-                    let (hi, lo) = self
-                        .mc
-                        .alloc_paired_inputs(format!("in{i}"), format!("in{j}"), w);
+                    let (hi, lo) =
+                        self.mc
+                            .alloc_paired_inputs(format!("in{i}"), format!("in{j}"), w);
                     fields[i] = Some(hi);
                     fields[j] = Some(lo);
                 }
@@ -377,7 +380,11 @@ impl Gen {
         Ok(())
     }
 
-    fn emit_mappable(&mut self, _id: usize, node: &crate::dfg::DfgNode) -> Result<Vec<Lit>, CompileError> {
+    fn emit_mappable(
+        &mut self,
+        _id: usize,
+        node: &crate::dfg::DfgNode,
+    ) -> Result<Vec<Lit>, CompileError> {
         let w = node.width;
         let in_bits: Vec<Vec<Lit>> = node
             .inputs
@@ -499,9 +506,7 @@ impl Gen {
     fn bits_of(&mut self, id: usize) -> Result<Vec<Lit>, CompileError> {
         match self.vals[id].clone() {
             Some(NodeVal::Bits(b)) => Ok(b),
-            Some(NodeVal::Field(f)) => {
-                Ok(f.slots.iter().map(|&s| self.lit_for_slot(s)).collect())
-            }
+            Some(NodeVal::Field(f)) => Ok(f.slots.iter().map(|&s| self.lit_for_slot(s)).collect()),
             None => Err(CompileError::Internal(format!("node {id} not yet emitted"))),
         }
     }
@@ -535,8 +540,7 @@ impl Gen {
         let mut roots: Vec<Lit> = Vec::new();
         for &l in bits {
             let n = lit_node(l);
-            if matches!(self.aig.node(n), AigNode::And(..)) && !self.materialized.contains_key(&n)
-            {
+            if matches!(self.aig.node(n), AigNode::And(..)) && !self.materialized.contains_key(&n) {
                 let pos = crate::aig::lit(n, false);
                 if !roots.contains(&pos) {
                     roots.push(pos);
@@ -639,8 +643,7 @@ impl Gen {
                 continue;
             }
             if let Some(NodeVal::Field(f)) = self.vals[id].clone() {
-                let cols: Vec<usize> =
-                    f.slots.iter().flat_map(|s| s.columns()).collect();
+                let cols: Vec<usize> = f.slots.iter().flat_map(|s| s.columns()).collect();
                 if cols.iter().any(|c| live_cols.contains(c)) {
                     continue; // aliases a live field (e.g. shift views)
                 }

@@ -120,7 +120,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
                 i += 1;
             }
-            let digits = if radix == 10 { &src[start..i] } else { &src[digit_start..i] };
+            let digits = if radix == 10 {
+                &src[start..i]
+            } else {
+                &src[digit_start..i]
+            };
             let value = u64::from_str_radix(digits, radix).map_err(|e| LexError {
                 line,
                 message: format!("bad integer literal `{}`: {e}", &src[start..i]),
@@ -191,7 +195,10 @@ mod tests {
 
     #[test]
     fn lexes_hex_and_binary() {
-        assert_eq!(toks("0xFF 0b101 42"), vec![Token::Int(255), Token::Int(5), Token::Int(42)]);
+        assert_eq!(
+            toks("0xFF 0b101 42"),
+            vec![Token::Int(255), Token::Int(5), Token::Int(42)]
+        );
     }
 
     #[test]

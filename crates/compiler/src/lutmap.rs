@@ -64,12 +64,15 @@ impl Mapping {
     /// Total estimated searches (Σ N_patterns over LUTs, single-bit
     /// positions — the pairing step may reduce this further).
     pub fn total_patterns(&self) -> usize {
-        self.luts.iter().map(|l| estimate_patterns_exact(l)).sum()
+        self.luts.iter().map(estimate_patterns_exact).sum()
     }
 }
 
 fn estimate_patterns_exact(l: &MappedLut) -> usize {
-    let cover = Cover::new(vec![PosKind::Single; l.leaves.len()], min_to_vecs(&l.on_set, l.leaves.len()));
+    let cover = Cover::new(
+        vec![PosKind::Single; l.leaves.len()],
+        min_to_vecs(&l.on_set, l.leaves.len()),
+    );
     minimize(&cover).num_searches()
 }
 
@@ -150,12 +153,8 @@ pub fn map(g: &Aig, outputs: &[Lit], extra_leaves: &HashSet<u32>, opts: &MapOpti
         let cb = with_trivial(nb, &cuts, &best_cost);
         for a in &ca {
             for b in &cb {
-                let mut leaves: Vec<u32> = a
-                    .leaves
-                    .iter()
-                    .chain(b.leaves.iter())
-                    .copied()
-                    .collect();
+                let mut leaves: Vec<u32> =
+                    a.leaves.iter().chain(b.leaves.iter()).copied().collect();
                 leaves.sort_unstable();
                 leaves.dedup();
                 if leaves.len() > opts.max_inputs {
@@ -165,7 +164,10 @@ pub fn map(g: &Aig, outputs: &[Lit], extra_leaves: &HashSet<u32>, opts: &MapOpti
                     continue;
                 }
                 let patterns = n_patterns(g, id, &leaves, &mut pattern_memo);
-                let leaf_cost: f64 = leaves.iter().map(|l| *best_cost.get(l).unwrap_or(&0.0)).sum();
+                let leaf_cost: f64 = leaves
+                    .iter()
+                    .map(|l| *best_cost.get(l).unwrap_or(&0.0))
+                    .sum();
                 pool.push(Cut {
                     cost: leaf_cost + patterns as f64 + opts.alpha,
                     leaves,
@@ -345,7 +347,11 @@ mod tests {
         // The xor literal is complemented: the underlying node is an XNOR.
         let (tt, k) = truth_table(&g, lit_node(x), &[lit_node(a), lit_node(b)]);
         assert_eq!(k, 2);
-        let expect = if crate::aig::lit_inverted(x) { 0b1001 } else { 0b0110 };
+        let expect = if crate::aig::lit_inverted(x) {
+            0b1001
+        } else {
+            0b0110
+        };
         assert_eq!(tt[0] & 0xF, expect);
     }
 

@@ -125,8 +125,10 @@ impl Parser {
             // `struct Name {` starts a definition; `struct Name ident(`
             // is a struct-returning function.
             let is_struct_def = self.check_ident("struct")
-                && matches!(self.tokens.get(self.pos + 2).map(|t| &t.token),
-                            Some(Token::Punct("{")));
+                && matches!(
+                    self.tokens.get(self.pos + 2).map(|t| &t.token),
+                    Some(Token::Punct("{"))
+                );
             if is_struct_def {
                 prog.structs.push(self.struct_def()?);
             } else {
@@ -361,8 +363,7 @@ impl Parser {
 
     fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.unary()?;
-        loop {
-            let Some(Token::Punct(p)) = self.peek() else { break };
+        while let Some(Token::Punct(p)) = self.peek() {
             let Some((op, prec)) = bin_op(p) else { break };
             if prec < min_prec {
                 break;
@@ -474,8 +475,8 @@ mod tests {
 
     #[test]
     fn parses_precedence() {
-        let prog = parse("unsigned int (8) main(unsigned int (8) a) { return a + a * a; }")
-            .unwrap();
+        let prog =
+            parse("unsigned int (8) main(unsigned int (8) a) { return a + a * a; }").unwrap();
         let Stmt::Return(Expr::Bin(BinOp::Add, _, rhs)) = &prog.functions[0].body[0] else {
             panic!("expected a + (a * a)");
         };
@@ -495,7 +496,14 @@ mod tests {
                 return s;
             }";
         let prog = parse(src).unwrap();
-        assert!(matches!(prog.functions[0].body[2], Stmt::For { start: 0, end: 4, .. }));
+        assert!(matches!(
+            prog.functions[0].body[2],
+            Stmt::For {
+                start: 0,
+                end: 4,
+                ..
+            }
+        ));
         assert!(matches!(prog.functions[0].body[3], Stmt::If { .. }));
     }
 
@@ -511,14 +519,17 @@ mod tests {
         assert_eq!(prog.structs[0].fields.len(), 2);
         assert!(matches!(
             prog.functions[0].body[0],
-            Stmt::Assign { target: LValue::Member(..), .. }
+            Stmt::Assign {
+                target: LValue::Member(..),
+                ..
+            }
         ));
     }
 
     #[test]
     fn desugars_compound_assignment() {
-        let prog = parse("unsigned int (8) main(unsigned int (8) a) { a += 3; return a; }")
-            .unwrap();
+        let prog =
+            parse("unsigned int (8) main(unsigned int (8) a) { a += 3; return a; }").unwrap();
         let Stmt::Assign { value, .. } = &prog.functions[0].body[0] else {
             panic!();
         };
@@ -538,8 +549,7 @@ mod tests {
 
     #[test]
     fn parses_builtin_calls() {
-        let prog =
-            parse("unsigned int (8) main(unsigned int (16) a) { return sqrt(a); }").unwrap();
+        let prog = parse("unsigned int (8) main(unsigned int (16) a) { return sqrt(a); }").unwrap();
         let Stmt::Return(Expr::Call(name, args)) = &prog.functions[0].body[0] else {
             panic!();
         };

@@ -99,12 +99,7 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<CompiledKernel, Compi
     // columns) surfaces as a panic deep in the allocator; report it as a
     // compile error rather than unwinding through the public API.
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        codegen::generate(
-            lowered.dfg,
-            lowered.input_names,
-            lowered.output_names,
-            opts,
-        )
+        codegen::generate(lowered.dfg, lowered.input_names, lowered.output_names, opts)
     }));
     match result {
         Ok(r) => r,
@@ -139,10 +134,7 @@ mod tests {
             c = a + b;
             return c;
         }";
-        assert_eq!(
-            run1(src, &[&[7, 21], &[31, 31], &[0, 0]]),
-            vec![28, 62, 0]
-        );
+        assert_eq!(run1(src, &[&[7, 21], &[31, 31], &[0, 0]]), vec![28, 62, 0]);
     }
 
     #[test]
@@ -191,7 +183,11 @@ mod tests {
             "merged {mc:?} vs unmerged {uc:?}"
         );
         // Both still correct.
-        for (inputs, want) in [([1u64, 1, 1, 1], 4u64), ([1, 0, 0, 1], 2), ([0, 0, 0, 0], 0)] {
+        for (inputs, want) in [
+            ([1u64, 1, 1, 1], 4u64),
+            ([1, 0, 0, 1], 2),
+            ([0, 0, 0, 0], 0),
+        ] {
             assert_eq!(merged.run_rows(&[&inputs]).unwrap(), vec![want]);
             assert_eq!(unmerged.run_rows(&[&inputs]).unwrap(), vec![want]);
         }
@@ -254,7 +250,8 @@ mod tests {
 
     #[test]
     fn conditional_statement_fig13b() {
-        let src = "unsigned int (1) main(unsigned int (1) a, unsigned int (4) x, unsigned int (4) y) {
+        let src =
+            "unsigned int (1) main(unsigned int (1) a, unsigned int (4) x, unsigned int (4) y) {
             unsigned int (1) b;
             if (a == 1) { b = x > y; } else { b = x < y; }
             return b;

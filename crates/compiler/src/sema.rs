@@ -161,7 +161,8 @@ impl<'a> Ctx<'a> {
                         width: w,
                         signed: fty.is_signed(),
                     });
-                    self.var_types.insert(format!("{name}.{fname}"), (w, fty.is_signed()));
+                    self.var_types
+                        .insert(format!("{name}.{fname}"), (w, fty.is_signed()));
                     fields.insert(fname.clone(), node);
                 }
                 self.env.insert(name.to_string(), Value::Struct(fields));
@@ -177,7 +178,8 @@ impl<'a> Ctx<'a> {
                     width: w,
                     signed: scalar.is_signed(),
                 });
-                self.var_types.insert(name.to_string(), (w, scalar.is_signed()));
+                self.var_types
+                    .insert(name.to_string(), (w, scalar.is_signed()));
                 self.env.insert(name.to_string(), Value::Scalar(node));
             }
         }
@@ -186,7 +188,9 @@ impl<'a> Ctx<'a> {
 
     fn constant(&mut self, value: u64, width: usize) -> NodeId {
         self.dfg.push(DfgNode {
-            op: DfgOp::Const { value: value & mask(width) },
+            op: DfgOp::Const {
+                value: value & mask(width),
+            },
             inputs: vec![],
             width,
             signed: false,
@@ -264,8 +268,7 @@ impl<'a> Ctx<'a> {
                             }
                             None => self.constant(0, w),
                         };
-                        self.var_types
-                            .insert(name.clone(), (w, scalar.is_signed()));
+                        self.var_types.insert(name.clone(), (w, scalar.is_signed()));
                         Value::Scalar(node)
                     }
                 };
@@ -554,7 +557,18 @@ impl<'a> Ctx<'a> {
         } else {
             (a, b)
         };
-        let result_signed = signed && !matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::LAnd | BinOp::LOr);
+        let result_signed = signed
+            && !matches!(
+                op,
+                BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::Lt
+                    | BinOp::Le
+                    | BinOp::Gt
+                    | BinOp::Ge
+                    | BinOp::LAnd
+                    | BinOp::LOr
+            );
         Ok(Value::Scalar(self.dfg.push(DfgNode {
             op: dop,
             inputs: vec![a, b],
@@ -597,7 +611,9 @@ impl<'a> Ctx<'a> {
                     return Err(err("exp() needs at least one integer bit"));
                 }
                 Ok(Value::Scalar(self.dfg.push(DfgNode {
-                    op: DfgOp::Exp { frac_bits: f as u32 },
+                    op: DfgOp::Exp {
+                        frac_bits: f as u32,
+                    },
                     inputs: vec![a],
                     width: w,
                     signed: false,
@@ -669,12 +685,12 @@ fn fold_bin(op: BinOp, a: u64, b: u64, wa: usize, wb: usize) -> Option<(u64, usi
         BinOp::Add => (a.wrapping_add(b), w + 1),
         BinOp::Sub => (a.wrapping_sub(b) & mask(w), w),
         BinOp::Mul => (a.wrapping_mul(b), (wa + wb).min(64)),
-        BinOp::Div => (if b == 0 { mask(wa) } else { a / b }, wa),
+        BinOp::Div => (a.checked_div(b).unwrap_or(mask(wa)), wa),
         BinOp::Rem => (if b == 0 { a } else { a % b }, wb.max(1)),
         BinOp::And => (a & b, w),
         BinOp::Or => (a | b, w),
         BinOp::Xor => (a ^ b, w),
-        BinOp::Shl => ((a << b.min(63)).min(u64::MAX), (wa + b as usize).min(64)),
+        BinOp::Shl => (a << b.min(63), (wa + b as usize).min(64)),
         BinOp::Shr => (a >> b.min(63), wa),
         BinOp::Eq => ((a == b) as u64, 1),
         BinOp::Ne => ((a != b) as u64, 1),
@@ -783,10 +799,12 @@ mod tests {
 
     #[test]
     fn rejects_variable_shift() {
-        let e = lower(&parse(
-            "unsigned int (8) main(unsigned int (8) a, unsigned int (3) k) { return a << k; }",
+        let e = lower(
+            &parse(
+                "unsigned int (8) main(unsigned int (8) a, unsigned int (3) k) { return a << k; }",
+            )
+            .unwrap(),
         )
-        .unwrap())
         .unwrap_err();
         assert!(e.to_string().contains("compile-time"));
     }

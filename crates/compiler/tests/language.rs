@@ -13,7 +13,8 @@ fn run(src: &str, inputs: &[&[u64]]) -> Vec<u64> {
 
 #[test]
 fn every_binary_operator_small_width_exhaustive() {
-    let cases: &[(&str, fn(u64, u64) -> u64, usize)] = &[
+    type BinRef = fn(u64, u64) -> u64;
+    let cases: &[(&str, BinRef, usize)] = &[
         ("a + b", |a, b| (a + b) & 0x1F, 5),
         ("a - b", |a, b| a.wrapping_sub(b) & 0xF, 4),
         ("a & b", |a, b| a & b, 4),
@@ -71,10 +72,7 @@ fn unary_operators() {
         vec![0b0101]
     );
     assert_eq!(
-        run(
-            "int (5) main(int (5) a) { return -a; }",
-            &[&[3]]
-        ),
+        run("int (5) main(int (5) a) { return -a; }", &[&[3]]),
         vec![(-3i64 & 0x1F) as u64]
     );
     assert_eq!(
@@ -95,7 +93,11 @@ fn logical_operators_on_bools() {
     for a in 0..16u64 {
         for b in 0..16u64 {
             let expect = ((a > 4) && (b < 4) || (a == b)) as u64;
-            assert_eq!(kernel.run_rows(&[&[a, b]]).unwrap()[0], expect, "a={a} b={b}");
+            assert_eq!(
+                kernel.run_rows(&[&[a, b]]).unwrap()[0],
+                expect,
+                "a={a} b={b}"
+            );
         }
     }
 }
@@ -161,7 +163,10 @@ fn signed_arithmetic_and_shifts() {
     }";
     let kernel = compile(src, &CompileOptions::default()).unwrap();
     // a = 20: t = -80; arithmetic shift: -20.
-    assert_eq!(kernel.run_rows(&[&[20]]).unwrap()[0], (-20i64 & 0xFF) as u64);
+    assert_eq!(
+        kernel.run_rows(&[&[20]]).unwrap()[0],
+        (-20i64 & 0xFF) as u64
+    );
     // a = 120: t = 20; 20 >> 2 = 5.
     assert_eq!(kernel.run_rows(&[&[120]]).unwrap()[0], 5);
 }
@@ -215,9 +220,18 @@ fn width_truncation_on_assignment() {
 fn useful_error_messages() {
     let errs = [
         ("unsigned int (4) main() { return x; }", "undeclared"),
-        ("unsigned int (4) main(unsigned int (4) a) { return a << a; }", "compile-time"),
-        ("unsigned int (4) main(unsigned int (4) a) { a; }", "expected"),
-        ("int (8) main(int (8) a) { return a / a; }", "signed division"),
+        (
+            "unsigned int (4) main(unsigned int (4) a) { return a << a; }",
+            "compile-time",
+        ),
+        (
+            "unsigned int (4) main(unsigned int (4) a) { a; }",
+            "expected",
+        ),
+        (
+            "int (8) main(int (8) a) { return a / a; }",
+            "signed division",
+        ),
     ];
     for (src, needle) in errs {
         let err = compile(src, &CompileOptions::default()).unwrap_err();

@@ -260,10 +260,7 @@ impl FieldAllocator {
             self.next_fresh += 2;
             return (c, false);
         }
-        panic!(
-            "PE out of adjacent column pairs ({} columns)",
-            self.n_cols
-        );
+        panic!("PE out of adjacent column pairs ({} columns)", self.n_cols);
     }
 
     /// Return a field's columns to the free pool (as dirty).

@@ -422,7 +422,10 @@ pub fn full_adder_lut() -> Lut {
             Slot::Single { col: 2 },
         ],
         outputs: vec![
-            LutOutput::Plain { col: 3, on_set: sum },
+            LutOutput::Plain {
+                col: 3,
+                on_set: sum,
+            },
             LutOutput::Plain {
                 col: 4,
                 on_set: cout,
@@ -479,10 +482,7 @@ mod tests {
         pe.load_encoded_pair(0, 0, a, b);
         pe.load_bit(0, 2, cin);
         full_adder_lut().lower_hyper().run(&mut pe);
-        (
-            pe.read_bit(0, 3).unwrap(),
-            pe.read_bit(0, 4).unwrap(),
-        )
+        (pe.read_bit(0, 3).unwrap(), pe.read_bit(0, 4).unwrap())
     }
 
     #[test]

@@ -15,14 +15,29 @@ use serde::{Deserialize, Serialize};
 /// One instance models one PE (§IV-B); the default geometry is the paper's
 /// 256 words × 256 bits, but tests may use smaller arrays (operation counts
 /// are row-count independent).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HyperPe {
     array: TcamArray,
     tags: TagVector,
     /// Encoder DFF stage (Fig 7): the latched previous search result used by
     /// encoded writes.
     latch: TagVector,
+    /// Sense-amplifier scratch: holds the raw search result while the
+    /// accumulation unit ORs it into the tags. Not architectural state —
+    /// excluded from [`PartialEq`].
+    scratch: TagVector,
     ops: OpCounts,
+}
+
+/// Equality over architectural state only (array, tags, latch, op counts);
+/// the sense-amplifier scratch buffer is a simulation artifact.
+impl PartialEq for HyperPe {
+    fn eq(&self, other: &Self) -> bool {
+        self.array == other.array
+            && self.tags == other.tags
+            && self.latch == other.latch
+            && self.ops == other.ops
+    }
 }
 
 impl HyperPe {
@@ -32,6 +47,7 @@ impl HyperPe {
             array: TcamArray::new(rows, cols),
             tags: TagVector::zeros(rows),
             latch: TagVector::zeros(rows),
+            scratch: TagVector::zeros(rows),
             ops: OpCounts::default(),
         }
     }
@@ -84,11 +100,26 @@ impl HyperPe {
     /// tags through the accumulation unit (Fig 4c); otherwise the tags are
     /// overwritten. Counts one search plus one `SetKey`.
     pub fn search(&mut self, key: &SearchKey, accumulate: bool) {
-        let result = self.array.search(key);
         if accumulate {
-            self.tags.accumulate(&result);
+            self.array.search_into(key, &mut self.scratch);
+            self.tags.accumulate(&self.scratch);
         } else {
-            self.tags = result;
+            self.array.search_into(key, &mut self.tags);
+        }
+        self.ops.searches += 1;
+        self.ops.set_keys += 1;
+    }
+
+    /// [`search`](Self::search) with a precompiled `(column, bit)` plan —
+    /// the engine hot path, where the group's key is scanned once per
+    /// `SetKey` instead of once per PE per search. Counts one search plus
+    /// one `SetKey`, exactly like [`search`](Self::search).
+    pub fn search_planned(&mut self, plan: &[(usize, KeyBit)], accumulate: bool) {
+        if accumulate {
+            self.array.search_plan_into(plan, &mut self.scratch);
+            self.tags.accumulate(&self.scratch);
+        } else {
+            self.array.search_plan_into(plan, &mut self.tags);
         }
         self.ops.searches += 1;
         self.ops.set_keys += 1;
@@ -97,7 +128,7 @@ impl HyperPe {
     /// Latch the current tags into the encoder DFF stage (Fig 7's SA→DFF
     /// chain feeding the two-bit encoder). Free: happens as part of sensing.
     pub fn latch_tags(&mut self) {
-        self.latch = self.tags.clone();
+        self.latch.copy_from(&self.tags);
     }
 
     /// `Write` instruction (`<encode>` = 0): program `value` into column
@@ -108,8 +139,9 @@ impl HyperPe {
     /// Panics if `col` is out of range.
     pub fn write(&mut self, col: usize, value: KeyBit) {
         assert!(col < self.cols(), "write column {col} out of range");
-        let key = SearchKey::masked(self.cols()).with_bit(col, value);
-        self.array.write(&key, &self.tags);
+        if let Some(v) = value.write_value() {
+            self.array.write_column(col, v, &self.tags);
+        }
         self.ops.writes_single += 1;
     }
 
@@ -157,6 +189,16 @@ impl HyperPe {
     pub fn set_tags(&mut self, tags: TagVector) {
         assert_eq!(tags.len(), self.rows(), "tag length mismatch");
         self.tags = tags;
+    }
+
+    /// Borrowing variant of [`set_tags`](Self::set_tags): copies into the
+    /// existing tag storage without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tags.len()` differs from the row count.
+    pub fn set_tags_from(&mut self, tags: &TagVector) {
+        self.tags.copy_from(tags);
     }
 
     /// Set all tags (models `WriteR` of ones + `SetTag`; counted as one tag
@@ -274,7 +316,8 @@ impl TraditionalPe {
             key.bits().iter().all(|b| *b != KeyBit::Z),
             "traditional AP key register has no Z state"
         );
-        self.tags = self.array.search(key);
+        let (array, tags) = (&self.array, &mut self.tags);
+        array.search_into(key, tags);
         self.ops.searches += 1;
         self.ops.set_keys += 1;
     }
@@ -287,8 +330,9 @@ impl TraditionalPe {
     pub fn write(&mut self, col: usize, value: KeyBit) {
         assert!(value != KeyBit::Z, "traditional AP cannot store X");
         assert!(col < self.cols(), "write column {col} out of range");
-        let key = SearchKey::masked(self.cols()).with_bit(col, value);
-        self.array.write(&key, &self.tags);
+        if let Some(v) = value.write_value() {
+            self.array.write_column(col, v, &self.tags);
+        }
         self.ops.writes_single += 1;
     }
 

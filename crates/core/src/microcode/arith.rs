@@ -430,9 +430,7 @@ mod tests {
         a.store(&mut pe, 1, 10);
         b.store(&mut pe, 1, 9);
         mc.program().run(&mut pe);
-        let read = |pe: &HyperPe, row: usize| {
-            Field::new("brw", vec![borrow]).read(pe, row)
-        };
+        let read = |pe: &HyperPe, row: usize| Field::new("brw", vec![borrow]).read(pe, row);
         assert_eq!(read(&pe, 0), 1, "9 - 10 borrows");
         assert_eq!(read(&pe, 1), 0, "10 - 9 does not");
     }

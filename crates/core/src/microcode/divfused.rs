@@ -27,7 +27,7 @@ impl Microcode {
         let w = a.width();
         let bw = b.width();
         let cap = bw; // R < B after every select
-        // R pairs: (r_i, b_i); scratch pairs: (diff_i, borrow_i).
+                      // R pairs: (r_i, b_i); scratch pairs: (diff_i, borrow_i).
         let (r_hi, r_lo, _d) = self.alloc.alloc_paired("divf.r", "divf.b", cap);
         let (d_hi, d_lo, _d2) = self.alloc.alloc_paired("divf.d", "divf.brw", cap + 1);
         let mut q_slots: Vec<Slot> = vec![Slot::Single { col: usize::MAX }; w];
@@ -36,7 +36,7 @@ impl Microcode {
         for step in 0..w {
             let i = w - 1 - step;
             let w2 = (prev_w + 1).min(cap + 1); // width of R2 = 2R | a_i
-            // Logical R2 bit k: k = 0 -> a_i; else r_{k-1} (pair hi).
+                                                // Logical R2 bit k: k = 0 -> a_i; else r_{k-1} (pair hi).
             let r2_bit = |k: usize| -> Slot {
                 if k == 0 {
                     a.slot(i)
@@ -104,13 +104,7 @@ impl Microcode {
             for k in (0..new_w).rev() {
                 let p = pred.slot(0);
                 let inputs = vec![p, d_hi.slot(k), r2_bit(k)];
-                self.lut_search_series(inputs, |m| {
-                    if bit(m, 0) {
-                        bit(m, 1)
-                    } else {
-                        bit(m, 2)
-                    }
-                });
+                self.lut_search_series(inputs, |m| if bit(m, 0) { bit(m, 1) } else { bit(m, 2) });
                 self.prog.push(ApOp::Latch);
                 // Re-derive the divisor bit for the pair's low half.
                 if let Some(s) = b_bit(k) {
@@ -165,14 +159,24 @@ mod tests {
 
     #[test]
     fn fused_div_8bit_cases() {
-        check(8, &[(100, 7), (255, 1), (255, 255), (0, 5), (13, 13), (250, 3), (7, 9), (9, 0)]);
+        check(
+            8,
+            &[
+                (100, 7),
+                (255, 1),
+                (255, 255),
+                (0, 5),
+                (13, 13),
+                (250, 3),
+                (7, 9),
+                (9, 0),
+            ],
+        );
     }
 
     #[test]
     fn fused_div_4bit_exhaustive() {
-        let cases: Vec<(u64, u64)> = (0..16)
-            .flat_map(|a| (0..16).map(move |b| (a, b)))
-            .collect();
+        let cases: Vec<(u64, u64)> = (0..16).flat_map(|a| (0..16).map(move |b| (a, b))).collect();
         check(4, &cases);
     }
 

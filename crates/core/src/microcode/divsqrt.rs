@@ -38,7 +38,7 @@ impl Microcode {
         let mut q_slots: Vec<Slot> = vec![Slot::Single { col: usize::MAX }; w];
         for step in 0..w {
             let i = w - 1 - step; // dividend bit index, MSB first
-            // R = (R << 1) | a_i — free renames, zero-padded to cap width.
+                                  // R = (R << 1) | a_i — free renames, zero-padded to cap width.
             let mut slots = vec![a.slot(i)];
             slots.extend(r.slots.iter().copied());
             while slots.len() < cap {
@@ -190,9 +190,7 @@ mod tests {
 
     #[test]
     fn div_exhaustive_4bit() {
-        let cases: Vec<(u64, u64)> = (0..16)
-            .flat_map(|a| (1..16).map(move |b| (a, b)))
-            .collect();
+        let cases: Vec<(u64, u64)> = (0..16).flat_map(|a| (1..16).map(move |b| (a, b))).collect();
         let qs = run_binary_plain(4, &cases, |mc, a, b| mc.div(a, b));
         for ((a, b), q) in cases.iter().zip(&qs) {
             assert_eq!(*q, a / b, "{a} / {b}");

@@ -115,12 +115,8 @@ impl Microcode {
                     |m| if bit(m, 0) { bit(m, 1) } else { bit(m, 2) },
                     col,
                 ),
-                (Some(st), None) => {
-                    self.lut1_into(vec![p, st], |m| bit(m, 0) && bit(m, 1), col)
-                }
-                (None, Some(sf)) => {
-                    self.lut1_into(vec![p, sf], |m| !bit(m, 0) && bit(m, 1), col)
-                }
+                (Some(st), None) => self.lut1_into(vec![p, st], |m| bit(m, 0) && bit(m, 1), col),
+                (None, Some(sf)) => self.lut1_into(vec![p, sf], |m| !bit(m, 0) && bit(m, 1), col),
                 (None, None) => unreachable!(),
             }
         }

@@ -116,7 +116,9 @@ impl Microcode {
         let name = name.into();
         let mut slots = Vec::with_capacity(width);
         for _ in 0..width / 2 {
-            let (hi, lo, _d) = self.alloc.alloc_paired(format!("{name}.h"), format!("{name}.l"), 1);
+            let (hi, lo, _d) = self
+                .alloc
+                .alloc_paired(format!("{name}.h"), format!("{name}.l"), 1);
             slots.push(lo.slot(0));
             slots.push(hi.slot(0));
         }
@@ -175,12 +177,7 @@ impl Microcode {
     /// Apply a LUT with the given inputs and one plain output computed by
     /// `f` over logical minterms; returns the (freshly allocated) output
     /// bit slot.
-    pub(crate) fn lut1(
-        &mut self,
-        inputs: Vec<Slot>,
-        f: impl Fn(u16) -> bool,
-        name: &str,
-    ) -> Slot {
+    pub(crate) fn lut1(&mut self, inputs: Vec<Slot>, f: impl Fn(u16) -> bool, name: &str) -> Slot {
         let out = self.alloc_plain(name, 1);
         let slot = out.slot(0);
         self.lut1_into(inputs, f, slot.base_col());

@@ -38,8 +38,7 @@ impl Microcode {
         let w = a.width();
         // Redundant accumulator: position i holds the encoded pair
         // (s_i, c_i); invariant: acc value = Σ (s_i + c_i)·2^i.
-        let (s_field, c_field, _dirty) =
-            self.alloc.alloc_paired("mul.s", "mul.c", out_width);
+        let (s_field, c_field, _dirty) = self.alloc.alloc_paired("mul.s", "mul.c", out_width);
 
         // Iteration j = 0 initializes every pair: s_i = a_i & b_0, c_i = 0.
         // (write_encoded covers all rows, so no pre-zeroing is needed.)
@@ -76,7 +75,7 @@ impl Microcode {
             let hi = out_width.min(j + w + 1);
             for i in (j..hi).rev() {
                 let pair_i = s_field.slot(i); // PairHi covers (s_i, c_i)
-                // s'_i = s_i ⊕ c_i ⊕ (a_{i-j}·b_j)
+                                              // s'_i = s_i ⊕ c_i ⊕ (a_{i-j}·b_j)
                 {
                     let s_has_pp = i - j < w;
                     let mut inputs = vec![pair_i, c_field.slot(i)];
@@ -98,7 +97,7 @@ impl Microcode {
                     self.prog.push(ApOp::TagNone);
                 } else {
                     let pm1 = s_field.slot(i - 1);
-                    let has_pp = i - 1 >= j && i - 1 - j < w;
+                    let has_pp = i > j && i - 1 - j < w;
                     let mut inputs = vec![pm1, c_field.slot(i - 1)];
                     if has_pp {
                         inputs.push(a.slot(i - 1 - j));
@@ -153,9 +152,7 @@ impl Microcode {
         let lowered = lut.lower_hyper();
         for op in lowered.ops() {
             match op {
-                ApOp::Search { key, accumulate } => {
-                    self.prog.search(key.clone(), *accumulate)
-                }
+                ApOp::Search { key, accumulate } => self.prog.search(key.clone(), *accumulate),
                 ApOp::Write { .. } => {} // the sentinel write: dropped
                 other => self.prog.push(other.clone()),
             }
@@ -189,7 +186,7 @@ mod tests {
             (1u128 << width) - 1
         };
         for (row, &(va, vb)) in cases.iter().enumerate() {
-            let expect = (va as u128 * vb as u128 & mask) as u64;
+            let expect = ((va as u128 * vb as u128) & mask) as u64;
             assert_eq!(out.read(&pe, row), expect, "{va} * {vb} (w={width})");
         }
     }
@@ -257,8 +254,7 @@ impl Microcode {
         if k & (((1u128 << w) - 1) as u64) == 0 {
             return self.zero_field(w);
         }
-        let (s_field, c_field, _dirty) =
-            self.alloc.alloc_paired("muli.s", "muli.c", out_width);
+        let (s_field, c_field, _dirty) = self.alloc.alloc_paired("muli.s", "muli.c", out_width);
         let set_bits: Vec<usize> = (0..w).filter(|&j| k >> j & 1 == 1).collect();
         let j0 = set_bits[0];
         // First set bit initializes: s_i = a_{i-j0} for i >= j0, else 0.
@@ -295,7 +291,7 @@ impl Microcode {
                 if i == j {
                     self.prog.push(ApOp::TagNone);
                 } else {
-                    let has_pp = i - 1 >= j && i - 1 - j < w;
+                    let has_pp = i > j && i - 1 - j < w;
                     let mut inputs = vec![s_field.slot(i - 1), c_field.slot(i - 1)];
                     if has_pp {
                         inputs.push(a.slot(i - 1 - j));
@@ -376,8 +372,7 @@ impl Microcode {
         // 3a = a + 2a (plain, width w + 2).
         let a2 = self.shl(a, 1, w + 1);
         let t3 = self.add(&a2, a); // width w + 2
-        let (s_field, c_field, _dirty) =
-            self.alloc.alloc_paired("mul4.s", "mul4.c", out_width);
+        let (s_field, c_field, _dirty) = self.alloc.alloc_paired("mul4.s", "mul4.c", out_width);
 
         // pp bit k for digit d: 0 | a_k | (2a)_k = a_{k-1} | (3a)_k = t3_k.
         // Builds the LUT input list for one (position, digit) and returns
@@ -438,7 +433,7 @@ impl Microcode {
                     inputs.extend(srcs.iter().map(|&(s, _)| s));
                     let rl = roles.clone();
                     self.lut_search_series(inputs, move |m| {
-                        let d = (bit(m, 0) as u8) | (has_hi && bit(m, 1)) as u8 * 2;
+                        let d = (bit(m, 0) as u8) | (((has_hi && bit(m, 1)) as u8) * 2);
                         eval_pp(m, base, &rl, d)
                     });
                     self.prog.push(ApOp::Latch);
@@ -464,7 +459,7 @@ impl Microcode {
                     inputs.extend(srcs.iter().map(|&(s, _)| s));
                     let rl = roles.clone();
                     self.lut_search_series(inputs, move |m| {
-                        let d = (bit(m, 2) as u8) | (has_hi && bit(m, 3)) as u8 * 2;
+                        let d = (bit(m, 2) as u8) | (((has_hi && bit(m, 3)) as u8) * 2);
                         bit(m, 0) ^ bit(m, 1) ^ eval_pp(m, base, &rl, d)
                     });
                 }
@@ -484,7 +479,7 @@ impl Microcode {
                     inputs.extend(srcs.iter().map(|&(s, _)| s));
                     let rl = roles.clone();
                     self.lut_search_series(inputs, move |m| {
-                        let d = (bit(m, 2) as u8) | (has_hi && bit(m, 3)) as u8 * 2;
+                        let d = (bit(m, 2) as u8) | (((has_hi && bit(m, 3)) as u8) * 2);
                         let pp = eval_pp(m, base, &rl, d);
                         (bit(m, 0) as u8 + bit(m, 1) as u8 + pp as u8) >= 2
                     });
@@ -534,7 +529,14 @@ mod radix4_tests {
 
     #[test]
     fn radix4_8bit_is_correct() {
-        let cases = [(0u64, 0u64), (255, 255), (13, 19), (200, 100), (1, 254), (85, 3)];
+        let cases = [
+            (0u64, 0u64),
+            (255, 255),
+            (13, 19),
+            (200, 100),
+            (1, 254),
+            (85, 3),
+        ];
         check_r4(8, true, &cases);
         check_r4(8, false, &cases);
     }

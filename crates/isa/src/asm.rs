@@ -116,8 +116,7 @@ pub fn parse(text: &str) -> Result<Vec<Instruction>, ParseAsmError> {
                     None => (s, 10),
                 },
             };
-            u64::from_str_radix(digits, radix)
-                .map_err(|e| err(&std::format!("bad {what}: {e}")))
+            u64::from_str_radix(digits, radix).map_err(|e| err(&std::format!("bad {what}: {e}")))
         };
         let inst = match mnemonic {
             "search" => {
@@ -229,12 +228,23 @@ write 4             # Cout = 1
             Instruction::SetKey {
                 key: SearchKey::parse("1Z0-").unwrap(),
             },
-            Instruction::Search { acc: true, encode: false },
-            Instruction::Write { col: 9, encode: true },
-            Instruction::MovR { dir: Direction::Down },
+            Instruction::Search {
+                acc: true,
+                encode: false,
+            },
+            Instruction::Write {
+                col: 9,
+                encode: true,
+            },
+            Instruction::MovR {
+                dir: Direction::Down,
+            },
             Instruction::Broadcast { group_mask: 0xA5 },
             Instruction::Wait { cycles: 12 },
-            Instruction::WriteR { addr: 0x1F, imm: vec![1, 2, 3] },
+            Instruction::WriteR {
+                addr: 0x1F,
+                imm: vec![1, 2, 3],
+            },
         ];
         let text = format(&stream);
         let parsed = parse(&text).unwrap();

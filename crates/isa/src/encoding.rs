@@ -211,7 +211,12 @@ pub fn decode_stream(mut bytes: &[u8]) -> Result<Vec<Instruction>, DecodeError> 
                     cycles: bytes.get_u8(),
                 }
             }
-            other => return Err(DecodeError::UnknownOpcode { opcode: other, offset }),
+            other => {
+                return Err(DecodeError::UnknownOpcode {
+                    opcode: other,
+                    offset,
+                })
+            }
         };
         out.push(inst);
     }
@@ -226,18 +231,37 @@ mod tests {
         let key = SearchKey::parse("10Z-").unwrap();
         vec![
             Instruction::SetKey { key },
-            Instruction::Search { acc: false, encode: false },
-            Instruction::Search { acc: true, encode: true },
-            Instruction::Write { col: 200, encode: false },
-            Instruction::Write { col: 7, encode: true },
+            Instruction::Search {
+                acc: false,
+                encode: false,
+            },
+            Instruction::Search {
+                acc: true,
+                encode: true,
+            },
+            Instruction::Write {
+                col: 200,
+                encode: false,
+            },
+            Instruction::Write {
+                col: 7,
+                encode: true,
+            },
             Instruction::Count,
             Instruction::Index,
-            Instruction::MovR { dir: Direction::Right },
+            Instruction::MovR {
+                dir: Direction::Right,
+            },
             Instruction::ReadR { addr: 0x1ABCD },
-            Instruction::WriteR { addr: 0x0FF00, imm: (0..64).collect() },
+            Instruction::WriteR {
+                addr: 0x0FF00,
+                imm: (0..64).collect(),
+            },
             Instruction::SetTag,
             Instruction::ReadTag,
-            Instruction::Broadcast { group_mask: 0b1010_0101 },
+            Instruction::Broadcast {
+                group_mask: 0b1010_0101,
+            },
             Instruction::Wait { cycles: 99 },
         ]
     }
@@ -284,7 +308,10 @@ mod tests {
 
     #[test]
     fn truncated_stream_errors() {
-        let bytes = encode(&[Instruction::Write { col: 3, encode: false }]);
+        let bytes = encode(&[Instruction::Write {
+            col: 3,
+            encode: false,
+        }]);
         let err = decode_stream(&bytes[..1]).unwrap_err();
         assert!(matches!(err, DecodeError::Truncated { offset: 0 }));
     }
@@ -292,7 +319,10 @@ mod tests {
     #[test]
     fn unknown_opcode_errors() {
         let err = decode_stream(&[0xF0]).unwrap_err();
-        assert!(matches!(err, DecodeError::UnknownOpcode { opcode: 0xF, .. }));
+        assert!(matches!(
+            err,
+            DecodeError::UnknownOpcode { opcode: 0xF, .. }
+        ));
         assert!(err.to_string().contains("unknown opcode"));
     }
 

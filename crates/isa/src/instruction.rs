@@ -180,14 +180,35 @@ mod tests {
     fn table1_lengths() {
         use Instruction as I;
         let key = SearchKey::masked(KEY_COLUMNS);
-        assert_eq!(I::Search { acc: false, encode: false }.length(), 1);
-        assert_eq!(I::Write { col: 0, encode: false }.length(), 2);
+        assert_eq!(
+            I::Search {
+                acc: false,
+                encode: false
+            }
+            .length(),
+            1
+        );
+        assert_eq!(
+            I::Write {
+                col: 0,
+                encode: false
+            }
+            .length(),
+            2
+        );
         assert_eq!(I::SetKey { key }.length(), 65);
         assert_eq!(I::Count.length(), 1);
         assert_eq!(I::Index.length(), 1);
         assert_eq!(I::MovR { dir: Direction::Up }.length(), 1);
         assert_eq!(I::ReadR { addr: 0 }.length(), 3);
-        assert_eq!(I::WriteR { addr: 0, imm: vec![0; 64] }.length(), 67);
+        assert_eq!(
+            I::WriteR {
+                addr: 0,
+                imm: vec![0; 64]
+            }
+            .length(),
+            67
+        );
         assert_eq!(I::SetTag.length(), 1);
         assert_eq!(I::ReadTag.length(), 1);
         assert_eq!(I::Broadcast { group_mask: 0 }.length(), 2);
@@ -198,13 +219,46 @@ mod tests {
     fn table1_cycles_rram() {
         use Instruction as I;
         let rram = TechParams::rram();
-        assert_eq!(I::Search { acc: true, encode: false }.cycles(&rram), 1);
-        assert_eq!(I::Write { col: 3, encode: false }.cycles(&rram), 12);
-        assert_eq!(I::Write { col: 3, encode: true }.cycles(&rram), 23);
-        assert_eq!(I::SetKey { key: SearchKey::masked(4) }.cycles(&rram), 1);
+        assert_eq!(
+            I::Search {
+                acc: true,
+                encode: false
+            }
+            .cycles(&rram),
+            1
+        );
+        assert_eq!(
+            I::Write {
+                col: 3,
+                encode: false
+            }
+            .cycles(&rram),
+            12
+        );
+        assert_eq!(
+            I::Write {
+                col: 3,
+                encode: true
+            }
+            .cycles(&rram),
+            23
+        );
+        assert_eq!(
+            I::SetKey {
+                key: SearchKey::masked(4)
+            }
+            .cycles(&rram),
+            1
+        );
         assert_eq!(I::Count.cycles(&rram), 4);
         assert_eq!(I::Index.cycles(&rram), 4);
-        assert_eq!(I::MovR { dir: Direction::Left }.cycles(&rram), 5);
+        assert_eq!(
+            I::MovR {
+                dir: Direction::Left
+            }
+            .cycles(&rram),
+            5
+        );
         assert_eq!(I::SetTag.cycles(&rram), 1);
         assert_eq!(I::ReadTag.cycles(&rram), 1);
         assert_eq!(I::Broadcast { group_mask: 1 }.cycles(&rram), 1);
@@ -215,14 +269,23 @@ mod tests {
     fn cmos_write_is_cheap() {
         let cmos = TechParams::cmos();
         assert_eq!(
-            Instruction::Write { col: 0, encode: false }.cycles(&cmos),
+            Instruction::Write {
+                col: 0,
+                encode: false
+            }
+            .cycles(&cmos),
             3
         );
     }
 
     #[test]
     fn direction_codes_round_trip() {
-        for d in [Direction::Up, Direction::Left, Direction::Right, Direction::Down] {
+        for d in [
+            Direction::Up,
+            Direction::Left,
+            Direction::Right,
+            Direction::Down,
+        ] {
             assert_eq!(Direction::from_code(d.code()), d);
         }
     }

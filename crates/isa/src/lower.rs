@@ -58,8 +58,7 @@ pub fn lower(program: &Program) -> Vec<Instruction> {
                 // sense amplifiers continuously, Fig 7).
             }
             ApOp::Write { col, value } => {
-                let key = SearchKey::masked(crate::instruction::KEY_COLUMNS)
-                    .with_bit(*col, *value);
+                let key = SearchKey::masked(crate::instruction::KEY_COLUMNS).with_bit(*col, *value);
                 set_key(&mut out, &key, &mut current_key);
                 out.push(Instruction::Write {
                     col: *col as u8,
@@ -136,7 +135,10 @@ mod tests {
         assert!(matches!(stream[0], Instruction::SetKey { .. }));
         assert!(matches!(
             stream[1],
-            Instruction::Search { acc: false, encode: false }
+            Instruction::Search {
+                acc: false,
+                encode: false
+            }
         ));
     }
 

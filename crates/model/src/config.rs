@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn for_technology_dispatches() {
-        assert_eq!(SystemConfig::for_technology(Technology::Rram).name, "Hyper-AP");
+        assert_eq!(
+            SystemConfig::for_technology(Technology::Rram).name,
+            "Hyper-AP"
+        );
         assert_eq!(
             SystemConfig::for_technology(Technology::Cmos).name,
             "Hyper-AP (CMOS)"

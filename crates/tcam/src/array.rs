@@ -158,38 +158,76 @@ impl TcamArray {
     ///
     /// Fig 4 semantics: key `0` matches stored {0, X}, key `1` matches
     /// {1, X}, key `Z` matches {X}, masked columns match everything.
+    ///
+    /// Allocates the result vector; hot paths should reuse a buffer via
+    /// [`search_into`](Self::search_into).
     pub fn search(&self, key: &SearchKey) -> TagVector {
-        let mut acc = self.row_mask.clone();
+        let mut tags = TagVector::zeros(self.rows);
+        self.search_into(key, &mut tags);
+        tags
+    }
+
+    /// [`search`](Self::search) into a caller-provided tag buffer: the
+    /// zero-allocation kernel of the simulator's hot loop. `out` is fully
+    /// overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rows`.
+    pub fn search_into(&self, key: &SearchKey, out: &mut TagVector) {
+        assert_eq!(out.len(), self.rows, "tag/row count mismatch");
+        let acc = out.blocks_mut();
+        acc.copy_from_slice(&self.row_mask);
         for col in key.active_columns() {
             if col >= self.cols {
                 continue;
             }
-            let c = &self.columns[col];
-            match key.bit(col) {
-                KeyBit::Zero => {
-                    for (a, one) in acc.iter_mut().zip(&c.is_one) {
-                        *a &= !one;
-                    }
-                }
-                KeyBit::One => {
-                    for (a, zero) in acc.iter_mut().zip(&c.is_zero) {
-                        *a &= !zero;
-                    }
-                }
-                KeyBit::Z => {
-                    for ((a, zero), one) in acc.iter_mut().zip(&c.is_zero).zip(&c.is_one) {
-                        *a &= !(zero | one);
-                    }
-                }
-                KeyBit::Masked => unreachable!("active_columns yields unmasked only"),
+            self.search_col_step(acc, col, key.bit(col));
+        }
+    }
+
+    /// [`search_into`](Self::search_into) with a precompiled
+    /// `(column, key-bit)` plan: the key scan is hoisted out of the hot
+    /// loop, done once per key change instead of once per array per search.
+    /// Equivalent to searching a key whose unmasked bits are exactly `plan`
+    /// (masked or out-of-range plan entries are skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the row count.
+    pub fn search_plan_into(&self, plan: &[(usize, KeyBit)], out: &mut TagVector) {
+        assert_eq!(out.len(), self.rows, "tag/row count mismatch");
+        let acc = out.blocks_mut();
+        acc.copy_from_slice(&self.row_mask);
+        for &(col, bit) in plan {
+            if col >= self.cols || bit == KeyBit::Masked {
+                continue;
             }
+            self.search_col_step(acc, col, bit);
         }
-        for (a, m) in acc.iter_mut().zip(&self.row_mask) {
-            *a &= m;
+    }
+
+    /// Narrow `acc` to the rows matching `bit` at `col`.
+    fn search_col_step(&self, acc: &mut [u64], col: usize, bit: KeyBit) {
+        let c = &self.columns[col];
+        match bit {
+            KeyBit::Zero => {
+                for (a, one) in acc.iter_mut().zip(&c.is_one) {
+                    *a &= !one;
+                }
+            }
+            KeyBit::One => {
+                for (a, zero) in acc.iter_mut().zip(&c.is_zero) {
+                    *a &= !zero;
+                }
+            }
+            KeyBit::Z => {
+                for ((a, zero), one) in acc.iter_mut().zip(&c.is_zero).zip(&c.is_one) {
+                    *a &= !(zero | one);
+                }
+            }
+            KeyBit::Masked => unreachable!("masked bits are filtered by the callers"),
         }
-        let mut tags = TagVector::zeros(self.rows);
-        tags.blocks_mut().copy_from_slice(&acc);
-        tags
     }
 
     /// Associative write: program every unmasked column of every tagged row
@@ -200,38 +238,49 @@ impl TcamArray {
     /// Panics if `tags.len() != rows`.
     pub fn write(&mut self, key: &SearchKey, tags: &TagVector) {
         assert_eq!(tags.len(), self.rows, "tag/row count mismatch");
-        let tag_blocks = tags.blocks();
         for col in key.active_columns() {
             if col >= self.cols {
                 continue;
             }
-            self.wear[col] += 1;
             let value = key
                 .bit(col)
                 .write_value()
                 .expect("active column has a write value");
-            let c = &mut self.columns[col];
-            match value {
-                TernaryBit::Zero => {
-                    for ((zero, one), t) in c.is_zero.iter_mut().zip(&mut c.is_one).zip(tag_blocks)
-                    {
-                        *zero |= t;
-                        *one &= !t;
-                    }
+            self.write_column(col, value, tags);
+        }
+    }
+
+    /// Associative write of a single column: program `value` into column
+    /// `col` of every tagged row. The allocation-free write kernel — callers
+    /// with a single-column write (the `Write` instruction's common case)
+    /// avoid building a full-width [`SearchKey`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range or `tags.len() != rows`.
+    pub fn write_column(&mut self, col: usize, value: TernaryBit, tags: &TagVector) {
+        assert!(col < self.cols, "column out of range");
+        assert_eq!(tags.len(), self.rows, "tag/row count mismatch");
+        let tag_blocks = tags.blocks();
+        self.wear[col] += 1;
+        let c = &mut self.columns[col];
+        match value {
+            TernaryBit::Zero => {
+                for ((zero, one), t) in c.is_zero.iter_mut().zip(&mut c.is_one).zip(tag_blocks) {
+                    *zero |= t;
+                    *one &= !t;
                 }
-                TernaryBit::One => {
-                    for ((zero, one), t) in c.is_zero.iter_mut().zip(&mut c.is_one).zip(tag_blocks)
-                    {
-                        *one |= t;
-                        *zero &= !t;
-                    }
+            }
+            TernaryBit::One => {
+                for ((zero, one), t) in c.is_zero.iter_mut().zip(&mut c.is_one).zip(tag_blocks) {
+                    *one |= t;
+                    *zero &= !t;
                 }
-                TernaryBit::X => {
-                    for ((zero, one), t) in c.is_zero.iter_mut().zip(&mut c.is_one).zip(tag_blocks)
-                    {
-                        *zero &= !t;
-                        *one &= !t;
-                    }
+            }
+            TernaryBit::X => {
+                for ((zero, one), t) in c.is_zero.iter_mut().zip(&mut c.is_one).zip(tag_blocks) {
+                    *zero &= !t;
+                    *one &= !t;
                 }
             }
         }
@@ -279,8 +328,17 @@ impl TcamArray {
         if src == dst {
             return;
         }
-        let s = self.columns[src].clone();
-        self.columns[dst] = s;
+        // Split the column table so source and destination can be borrowed
+        // simultaneously, then `clone_from` to reuse the destination's
+        // existing block storage instead of allocating a fresh column.
+        let (lo, hi) = self.columns.split_at_mut(src.max(dst));
+        let (s, d) = if src < dst {
+            (&lo[src], &mut hi[0])
+        } else {
+            (&hi[0], &mut lo[dst])
+        };
+        d.is_zero.clone_from(&s.is_zero);
+        d.is_one.clone_from(&s.is_one);
     }
 }
 
@@ -394,6 +452,73 @@ mod tests {
         a.copy_column(0, 2);
         assert_eq!(a.cell(0, 2), TernaryBit::One);
         assert_eq!(a.cell(1, 2), TernaryBit::Zero);
+    }
+
+    #[test]
+    fn copy_column_works_in_both_directions_and_reuses_storage() {
+        let mut a = array_with(&["10X", "01X", "1X0"]);
+        let ptr = a.columns[0].is_zero.as_ptr();
+        a.copy_column(2, 0); // src > dst
+        assert_eq!(a.columns[0].is_zero.as_ptr(), ptr, "no reallocation");
+        for r in 0..3 {
+            assert_eq!(a.cell(r, 0), a.cell(r, 2));
+        }
+        a.copy_column(0, 1); // src < dst
+        for r in 0..3 {
+            assert_eq!(a.cell(r, 1), a.cell(r, 0));
+        }
+        a.copy_column(1, 1); // no-op
+        assert_eq!(a.cell(2, 1), TernaryBit::Zero);
+    }
+
+    #[test]
+    fn search_into_matches_search_and_reuses_buffer() {
+        let a = array_with(&["10110", "10011", "11100", "10111", "00011"]);
+        let key = SearchKey::parse("101--").unwrap();
+        let mut out = TagVector::ones(5); // stale contents must be overwritten
+        let ptr = out.blocks().as_ptr();
+        a.search_into(&key, &mut out);
+        assert_eq!(out, a.search(&key));
+        assert_eq!(out.blocks().as_ptr(), ptr, "no reallocation");
+    }
+
+    #[test]
+    fn search_plan_into_matches_search() {
+        let a = array_with(&["10110", "10011", "11100", "10111", "00011"]);
+        for key in ["101--", "-----", "1Z0--", "00000"] {
+            let key = SearchKey::parse(key).unwrap();
+            let plan: Vec<(usize, KeyBit)> = key.active_bits().collect();
+            let mut out = TagVector::ones(5);
+            a.search_plan_into(&plan, &mut out);
+            assert_eq!(out, a.search(&key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn search_plan_into_skips_out_of_range_and_masked_entries() {
+        let a = array_with(&["10", "01"]);
+        let mut out = TagVector::zeros(2);
+        a.search_plan_into(&[(7, KeyBit::One), (0, KeyBit::Masked)], &mut out);
+        assert_eq!(out.count(), 2, "no-op plan entries match everything");
+    }
+
+    #[test]
+    #[should_panic(expected = "tag/row count mismatch")]
+    fn search_into_rejects_wrong_buffer_size() {
+        let a = TcamArray::new(4, 4);
+        let mut out = TagVector::zeros(5);
+        a.search_into(&SearchKey::masked(4), &mut out);
+    }
+
+    #[test]
+    fn write_column_matches_keyed_write() {
+        let mut a = array_with(&["0000", "0000", "0000"]);
+        let mut b = a.clone();
+        let tags = TagVector::from_bools([true, false, true]);
+        a.write(&SearchKey::parse("-1--").unwrap(), &tags);
+        b.write_column(1, TernaryBit::One, &tags);
+        assert_eq!(a, b);
+        assert_eq!(b.column_wear(), &[0, 1, 0, 0]);
     }
 
     #[test]

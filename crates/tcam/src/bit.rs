@@ -98,13 +98,13 @@ impl KeyBit {
     /// | `1` |   | ✓ |   | ✓ |
     /// | `X` | ✓ | ✓ | ✓ | ✓ |
     pub fn matches(self, stored: TernaryBit) -> bool {
-        match (self, stored) {
-            (KeyBit::Masked, _) => true,
-            (_, TernaryBit::X) => true,
-            (KeyBit::Zero, TernaryBit::Zero) => true,
-            (KeyBit::One, TernaryBit::One) => true,
-            _ => false,
-        }
+        matches!(
+            (self, stored),
+            (KeyBit::Masked, _)
+                | (_, TernaryBit::X)
+                | (KeyBit::Zero, TernaryBit::Zero)
+                | (KeyBit::One, TernaryBit::One)
+        )
     }
 
     /// The stored value this key bit writes, or `None` if masked.

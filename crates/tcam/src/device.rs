@@ -78,8 +78,7 @@ impl CrossbarArray {
             .map(|r| {
                 (0..self.cols)
                     .filter(|&c| {
-                        matches!(drives[c], SlDrive::Low)
-                            && self.cell(r, c) == Resistance::Low
+                        matches!(drives[c], SlDrive::Low) && self.cell(r, c) == Resistance::Low
                     })
                     .count() as u32
             })

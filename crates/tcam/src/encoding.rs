@@ -279,7 +279,10 @@ mod tests {
     #[test]
     fn full_subset_uses_masked_pair() {
         use KeyBit as K;
-        assert_eq!(key_for_subset(PairSubset::FULL), Some([K::Masked, K::Masked]));
+        assert_eq!(
+            key_for_subset(PairSubset::FULL),
+            Some([K::Masked, K::Masked])
+        );
     }
 
     #[test]

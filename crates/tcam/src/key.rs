@@ -90,6 +90,12 @@ impl SearchKey {
         }
     }
 
+    /// Overwrite this key with the contents of `src`, reusing the existing
+    /// bit storage (the hot-path alternative to `*self = src.clone()`).
+    pub fn copy_from(&mut self, src: &SearchKey) {
+        self.bits.clone_from(&src.bits);
+    }
+
     /// Indices of the unmasked (active) columns.
     pub fn active_columns(&self) -> impl Iterator<Item = usize> + '_ {
         self.bits
@@ -97,6 +103,17 @@ impl SearchKey {
             .enumerate()
             .filter(|(_, b)| **b != KeyBit::Masked)
             .map(|(i, _)| i)
+    }
+
+    /// `(column, bit)` pairs of the unmasked columns, in ascending column
+    /// order — the input to a precompiled search plan
+    /// (`TcamArray::search_plan_into`).
+    pub fn active_bits(&self) -> impl Iterator<Item = (usize, KeyBit)> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b != KeyBit::Masked)
+            .map(|(i, b)| (i, *b))
     }
 
     /// Number of unmasked columns.
@@ -165,6 +182,16 @@ mod tests {
         assert_eq!(k.active_count(), 2);
         assert!(!k.is_fully_masked());
         assert!(SearchKey::masked(4).is_fully_masked());
+    }
+
+    #[test]
+    fn copy_from_reuses_storage_when_widths_match() {
+        let mut dst = SearchKey::masked(8);
+        let src = SearchKey::parse("10Z-10Z-").unwrap();
+        let ptr = dst.bits().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.bits().as_ptr(), ptr, "no reallocation");
     }
 
     #[test]

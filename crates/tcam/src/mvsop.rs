@@ -63,10 +63,7 @@ impl Term {
 
     /// Does this term cover the minterm `values`?
     pub fn covers(&self, values: &[u8]) -> bool {
-        self.subsets
-            .iter()
-            .zip(values)
-            .all(|(s, &v)| s.contains(v))
+        self.subsets.iter().zip(values).all(|(s, &v)| s.contains(v))
     }
 
     /// Is `self` contained in `other` (every minterm of self covered by
@@ -103,10 +100,7 @@ impl Cover {
 
     /// Total number of minterms in the input space.
     pub fn space_size(&self) -> usize {
-        self.positions
-            .iter()
-            .map(|p| p.arity() as usize)
-            .product()
+        self.positions.iter().map(|p| p.arity() as usize).product()
     }
 
     /// Enumerate the OFF-set: all minterms not in ON ∪ DC.
@@ -159,11 +153,7 @@ impl Solution {
 /// Panics if any minterm's length differs from the number of positions.
 pub fn minimize(cover: &Cover) -> Solution {
     for m in cover.on_set.iter().chain(&cover.dc_set) {
-        assert_eq!(
-            m.len(),
-            cover.positions.len(),
-            "minterm arity mismatch"
-        );
+        assert_eq!(m.len(), cover.positions.len(), "minterm arity mismatch");
     }
     if cover.on_set.is_empty() {
         return Solution { terms: Vec::new() };
@@ -418,7 +408,9 @@ mod tests {
 
     #[test]
     fn full_space_is_one_masked_search() {
-        let on: Vec<Vec<u8>> = (0..4).flat_map(|p| (0..2).map(move |s| vec![p, s])).collect();
+        let on: Vec<Vec<u8>> = (0..4)
+            .flat_map(|p| (0..2).map(move |s| vec![p, s]))
+            .collect();
         let cover = Cover::new(vec![PosKind::Pair, PosKind::Single], on);
         let sol = minimize(&cover);
         verify(&cover, &sol);
@@ -461,12 +453,7 @@ mod tests {
         // Majority of three single bits: classic 3-term SOP... but MV subsets
         // over single bits are just {0},{1},{0,1}, so the result matches
         // binary prime implicants: ab + ac + bc -> 3 terms.
-        let on = vec![
-            vec![1, 1, 0],
-            vec![1, 0, 1],
-            vec![0, 1, 1],
-            vec![1, 1, 1],
-        ];
+        let on = vec![vec![1, 1, 0], vec![1, 0, 1], vec![0, 1, 1], vec![1, 1, 1]];
         let cover = Cover::new(vec![PosKind::Single; 3], on);
         let sol = minimize(&cover);
         verify(&cover, &sol);

@@ -135,6 +135,17 @@ impl TagVector {
         (0..self.len).filter(move |&i| self.get(i))
     }
 
+    /// Overwrite this vector with the contents of `src` without allocating
+    /// (the hot-path alternative to `*self = src.clone()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn copy_from(&mut self, src: &TagVector) {
+        assert_eq!(self.len, src.len, "tag length mismatch");
+        self.blocks.copy_from_slice(&src.blocks);
+    }
+
     /// Clear all tags.
     pub fn clear(&mut self) {
         for b in &mut self.blocks {
@@ -226,6 +237,22 @@ mod tests {
     fn iter_set_yields_tagged_rows() {
         let t = TagVector::from_bools([false, true, false, true, true]);
         assert_eq!(t.iter_set().collect::<Vec<_>>(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn copy_from_reuses_storage() {
+        let mut dst = TagVector::ones(100);
+        let src = TagVector::from_bools((0..100).map(|i| i % 3 == 0));
+        let ptr = dst.blocks().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.blocks().as_ptr(), ptr, "no reallocation");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn copy_from_length_mismatch_panics() {
+        TagVector::zeros(4).copy_from(&TagVector::zeros(5));
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! shape (DESIGN.md §2.3).
 
 use hyperap_baselines::imp::KernelOps;
-use hyperap_compiler::{compile, CompileOptions, CompiledKernel};
 use hyperap_compiler::dfg::{Dfg, DfgOp};
+use hyperap_compiler::{compile, CompileOptions, CompiledKernel};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -125,7 +125,12 @@ fn kmeans_ref(x: &[u64]) -> Vec<u64> {
 /// hotspot: 5-point stencil temperature update (fixed point).
 fn hotspot_ref(x: &[u64]) -> Vec<u64> {
     let (t, n, s, e, w, p) = (
-        x[0] as i64, x[1] as i64, x[2] as i64, x[3] as i64, x[4] as i64, x[5] as i64,
+        x[0] as i64,
+        x[1] as i64,
+        x[2] as i64,
+        x[3] as i64,
+        x[4] as i64,
+        x[5] as i64,
     );
     let delta = n + s + e + w - 4 * t;
     let out = t + (delta >> 3) + p;

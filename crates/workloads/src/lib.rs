@@ -18,8 +18,8 @@
 #![warn(missing_docs)]
 
 pub mod kernels;
-pub mod scaleout;
 pub mod perf;
+pub mod scaleout;
 pub mod synthetic;
 
 pub use kernels::{all_kernels, Kernel};

@@ -131,7 +131,13 @@ mod tests {
     fn hyper_ap_beats_imp_on_every_synthetic_op() {
         // The Fig 15 "who wins": Hyper-AP must beat IMP on latency for all
         // five operations at 32 bits.
-        for op in [OpKind::Add, OpKind::Mul, OpKind::Div, OpKind::Sqrt, OpKind::Exp] {
+        for op in [
+            OpKind::Add,
+            OpKind::Mul,
+            OpKind::Div,
+            OpKind::Sqrt,
+            OpKind::Exp,
+        ] {
             let m = synthetic_metrics(op, 32);
             let imp = record(&FIG15_IMP, op).unwrap();
             assert!(
@@ -165,7 +171,10 @@ mod tests {
             let rram = synthetic_metrics_tech(op, 32, Technology::Rram);
             let cmos = synthetic_metrics_tech(op, 32, Technology::Cmos);
             assert!(cmos.latency_ns < rram.latency_ns, "{op} latency");
-            assert!(cmos.throughput_gops < rram.throughput_gops, "{op} throughput");
+            assert!(
+                cmos.throughput_gops < rram.throughput_gops,
+                "{op} throughput"
+            );
         }
     }
 

@@ -39,7 +39,11 @@ pub fn run_elementwise(
 ) -> ScaleOutRun {
     let rows = config.rows;
     let slots = config.total_pes() * rows;
-    assert!(elements.len() <= slots, "{} elements > {slots} slots", elements.len());
+    assert!(
+        elements.len() <= slots,
+        "{} elements > {slots} slots",
+        elements.len()
+    );
     let mut machine = ApMachine::new(config);
     for (e, tuple) in elements.iter().enumerate() {
         let (pe, row) = (e / rows, e % rows);
@@ -82,6 +86,7 @@ pub fn stencil_1d(values: &[u64], width: u8) -> ScaleOutRun {
         cols: 64,
         tech: hyperap_model::TechParams::rram(),
         mesh: Some((1, n)), // a 1-D chain of PEs
+        exec: Default::default(),
     };
     let mut machine = ApMachine::new(config);
     let w = width as usize;
@@ -98,8 +103,18 @@ pub fn stencil_1d(values: &[u64], width: u8) -> ScaleOutRun {
     let (_, mesh_w) = machine.config().mesh_dims();
     assert!(mesh_w >= n, "1-D stencil expects a single mesh row");
     for b in 0..w {
-        stream.extend(column_transfer(b as u8, (w + b) as u8, Direction::Right, 64));
-        stream.extend(column_transfer(b as u8, (2 * w + b) as u8, Direction::Left, 64));
+        stream.extend(column_transfer(
+            b as u8,
+            (w + b) as u8,
+            Direction::Right,
+            64,
+        ));
+        stream.extend(column_transfer(
+            b as u8,
+            (2 * w + b) as u8,
+            Direction::Left,
+            64,
+        ));
     }
     // Compute stream: out = (left + 2*center + right) >> 2, built by the
     // microcode on a matching layout.
@@ -118,9 +133,7 @@ pub fn stencil_1d(values: &[u64], width: u8) -> ScaleOutRun {
     let prog = mc.into_program();
     stream.extend(lower(&prog));
     let stats = machine.run(&[stream]);
-    let outputs = (0..n)
-        .map(|pe| out.read(machine.pe(pe), 0))
-        .collect();
+    let outputs = (0..n).map(|pe| out.read(machine.pe(pe), 0)).collect();
     ScaleOutRun {
         outputs,
         cycles: stats.makespan(),
@@ -133,7 +146,11 @@ pub fn stencil_1d_reference(values: &[u64]) -> Vec<u64> {
     (0..values.len())
         .map(|i| {
             let left = if i > 0 { values[i - 1] } else { 0 };
-            let right = if i + 1 < values.len() { values[i + 1] } else { 0 };
+            let right = if i + 1 < values.len() {
+                values[i + 1]
+            } else {
+                0
+            };
             (left + 2 * values[i] + right) >> 2
         })
         .collect()
@@ -153,7 +170,7 @@ mod tests {
         )
         .unwrap();
         let elements: Vec<Vec<u64>> = (0..48u64).map(|i| vec![i * 5 % 256, i * 9 % 256]).collect();
-        let run = run_elementwise(&kernel, ArchConfig::tiny(), &elements[..32].to_vec());
+        let run = run_elementwise(&kernel, ArchConfig::tiny(), &elements[..32]);
         for (tuple, out) in elements[..32].iter().zip(&run.outputs) {
             assert_eq!(*out, tuple[0] + tuple[1]);
         }
@@ -195,9 +212,8 @@ mod tests {
         // to computation.
         let values: Vec<u64> = (0..6).map(|i| i * 31 % 256).collect();
         let run = stencil_1d(&values, 8);
-        let transfer_cycles = 16 * hyperap_arch::transfer::column_transfer_cycles(
-            &hyperap_model::TechParams::rram(),
-        );
+        let transfer_cycles =
+            16 * hyperap_arch::transfer::column_transfer_cycles(&hyperap_model::TechParams::rram());
         assert!(
             transfer_cycles < run.cycles / 2,
             "transfers {} of {} total",

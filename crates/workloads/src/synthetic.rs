@@ -47,108 +47,100 @@ fn imm(width: usize) -> u64 {
 pub fn build(op: SyntheticOp, width: usize) -> SyntheticBench {
     let mut mc = Microcode::new(256);
     let w = width;
-    let (inputs, output, reference, ops_per_pass): (Vec<Field>, Field, fn(&[u64], usize) -> u64, u64) =
-        match op {
-            OpKind::Add => {
-                let (a, b) = mc.alloc_paired_inputs("a", "b", w);
-                let out = mc.add(&a, &b);
-                fn r(x: &[u64], _w: usize) -> u64 {
-                    x[0] + x[1]
-                }
-                (vec![a, b], out, r, 1)
+    type RefFn = fn(&[u64], usize) -> u64;
+    let (inputs, output, reference, ops_per_pass): (Vec<Field>, Field, RefFn, u64) = match op {
+        OpKind::Add => {
+            let (a, b) = mc.alloc_paired_inputs("a", "b", w);
+            let out = mc.add(&a, &b);
+            fn r(x: &[u64], _w: usize) -> u64 {
+                x[0] + x[1]
             }
-            OpKind::Mul => {
-                let a = mc.alloc_plain_input("a", w);
-                let b = mc.alloc_self_paired_input("b", w);
-                let out = mc.mul_radix4_wrapping(&a, &b);
-                fn r(x: &[u64], w: usize) -> u64 {
-                    (x[0] as u128 * x[1] as u128 & ((1u128 << w) - 1)) as u64
-                }
-                (vec![a, b], out, r, 1)
+            (vec![a, b], out, r, 1)
+        }
+        OpKind::Mul => {
+            let a = mc.alloc_plain_input("a", w);
+            let b = mc.alloc_self_paired_input("b", w);
+            let out = mc.mul_radix4_wrapping(&a, &b);
+            fn r(x: &[u64], w: usize) -> u64 {
+                ((x[0] as u128 * x[1] as u128) & ((1u128 << w) - 1)) as u64
             }
-            OpKind::Div => {
-                let a = mc.alloc_plain_input("a", w);
-                let b = mc.alloc_plain_input("b", w);
-                let (out, _rem) = mc.div_rem_fused(&a, &b);
-                fn r(x: &[u64], w: usize) -> u64 {
-                    if x[1] == 0 {
-                        ((1u128 << w) - 1) as u64
-                    } else {
-                        x[0] / x[1]
-                    }
-                }
-                (vec![a, b], out, r, 1)
+            (vec![a, b], out, r, 1)
+        }
+        OpKind::Div => {
+            let a = mc.alloc_plain_input("a", w);
+            let b = mc.alloc_plain_input("b", w);
+            let (out, _rem) = mc.div_rem_fused(&a, &b);
+            fn r(x: &[u64], w: usize) -> u64 {
+                x[0].checked_div(x[1]).unwrap_or(((1u128 << w) - 1) as u64)
             }
-            OpKind::Sqrt => {
-                let a = mc.alloc_plain_input("a", w);
-                let out = mc.isqrt(&a);
-                fn r(x: &[u64], _w: usize) -> u64 {
-                    (x[0] as f64).sqrt().floor() as u64
-                }
-                (vec![a], out, r, 1)
+            (vec![a, b], out, r, 1)
+        }
+        OpKind::Sqrt => {
+            let a = mc.alloc_plain_input("a", w);
+            let out = mc.isqrt(&a);
+            fn r(x: &[u64], _w: usize) -> u64 {
+                (x[0] as f64).sqrt().floor() as u64
             }
-            OpKind::Exp => {
-                // Qw/2 fixed point, like the paper's fixed-point conversion.
-                let a = mc.alloc_plain_input("a", w);
-                let out = mc.exp_fixed(&a, (w / 2) as u32);
-                fn r(x: &[u64], w: usize) -> u64 {
-                    let f = (w / 2) as u32;
-                    let xv = x[0] as f64 / (1u64 << f) as f64;
-                    let y = (xv.exp() * (1u64 << f) as f64) as u128;
-                    (y & ((1u128 << w) - 1)) as u64
-                }
-                (vec![a], out, r, 1)
+            (vec![a], out, r, 1)
+        }
+        OpKind::Exp => {
+            // Qw/2 fixed point, like the paper's fixed-point conversion.
+            let a = mc.alloc_plain_input("a", w);
+            let out = mc.exp_fixed(&a, (w / 2) as u32);
+            fn r(x: &[u64], w: usize) -> u64 {
+                let f = (w / 2) as u32;
+                let xv = x[0] as f64 / (1u64 << f) as f64;
+                let y = (xv.exp() * (1u64 << f) as f64) as u128;
+                (y & ((1u128 << w) - 1)) as u64
             }
-            OpKind::MultiAdd => {
-                // Three consecutive additions (Fig 17): s = a + b + c + d,
-                // wrapping at width.
-                let (a, b) = mc.alloc_paired_inputs("a", "b", w);
-                let (c, d) = mc.alloc_paired_inputs("c", "d", w);
-                let s1 = mc.add(&a, &b);
-                let s2 = mc.add(&c, &d);
-                let s3 = mc.add(&s1, &s2);
-                let out = s3.bits(0..w);
-                mc.free(&s1);
-                mc.free(&s2);
-                fn r(x: &[u64], w: usize) -> u64 {
-                    (x[0] + x[1] + x[2] + x[3]) & (((1u128 << w) - 1) as u64)
-                }
-                (vec![a, b, c, d], out, r, 3)
+            (vec![a], out, r, 1)
+        }
+        OpKind::MultiAdd => {
+            // Three consecutive additions (Fig 17): s = a + b + c + d,
+            // wrapping at width.
+            let (a, b) = mc.alloc_paired_inputs("a", "b", w);
+            let (c, d) = mc.alloc_paired_inputs("c", "d", w);
+            let s1 = mc.add(&a, &b);
+            let s2 = mc.add(&c, &d);
+            let s3 = mc.add(&s1, &s2);
+            let out = s3.bits(0..w);
+            mc.free(&s1);
+            mc.free(&s2);
+            fn r(x: &[u64], w: usize) -> u64 {
+                (x[0] + x[1] + x[2] + x[3]) & (((1u128 << w) - 1) as u64)
             }
-            OpKind::AddImm => {
-                let a = mc.alloc_plain_input("a", w);
-                let out = mc.add_imm(&a, imm(w));
-                fn r(x: &[u64], w: usize) -> u64 {
-                    x[0] + (IMMEDIATE & ((1u128 << w) - 1) as u64)
-                }
-                (vec![a], out, r, 1)
+            (vec![a, b, c, d], out, r, 3)
+        }
+        OpKind::AddImm => {
+            let a = mc.alloc_plain_input("a", w);
+            let out = mc.add_imm(&a, imm(w));
+            fn r(x: &[u64], w: usize) -> u64 {
+                x[0] + (IMMEDIATE & ((1u128 << w) - 1) as u64)
             }
-            OpKind::MulImm => {
-                // Immediate multiplication: the CSA multiplier with the
-                // constant embedded — only popcount(imm) partial-product
-                // rows survive (operand embedding, §V-B4c).
-                let a = mc.alloc_plain_input("a", w);
-                let out = mc.mul_imm_wrapping(&a, imm(w));
-                fn r(x: &[u64], w: usize) -> u64 {
-                    let k = IMMEDIATE & ((1u128 << w) - 1) as u64;
-                    (x[0] as u128 * k as u128 & ((1u128 << w) - 1)) as u64
-                }
-                (vec![a], out, r, 1)
+            (vec![a], out, r, 1)
+        }
+        OpKind::MulImm => {
+            // Immediate multiplication: the CSA multiplier with the
+            // constant embedded — only popcount(imm) partial-product
+            // rows survive (operand embedding, §V-B4c).
+            let a = mc.alloc_plain_input("a", w);
+            let out = mc.mul_imm_wrapping(&a, imm(w));
+            fn r(x: &[u64], w: usize) -> u64 {
+                let k = IMMEDIATE & ((1u128 << w) - 1) as u64;
+                ((x[0] as u128 * k as u128) & ((1u128 << w) - 1)) as u64
             }
-            OpKind::DivImm => {
-                let a = mc.alloc_plain_input("a", w);
-                let (out, _rem) = mc.div_rem_imm(&a, imm(w) >> (w / 2));
-                fn r(x: &[u64], w: usize) -> u64 {
-                    let k = (IMMEDIATE & ((1u128 << w) - 1) as u64) >> (w / 2);
-                    if k == 0 {
-                        ((1u128 << w) - 1) as u64
-                    } else {
-                        x[0] / k
-                    }
-                }
-                (vec![a], out, r, 1)
+            (vec![a], out, r, 1)
+        }
+        OpKind::DivImm => {
+            let a = mc.alloc_plain_input("a", w);
+            let (out, _rem) = mc.div_rem_imm(&a, imm(w) >> (w / 2));
+            fn r(x: &[u64], w: usize) -> u64 {
+                let k = (IMMEDIATE & ((1u128 << w) - 1) as u64) >> (w / 2);
+                x[0].checked_div(k).unwrap_or(((1u128 << w) - 1) as u64)
             }
-        };
+            (vec![a], out, r, 1)
+        }
+    };
     SyntheticBench {
         op,
         width,
@@ -227,8 +219,9 @@ mod tests {
         }
         // Exp domain: keep x small enough that e^x fits.
         if matches!(op, OpKind::Exp) {
-            let limit = ((width / 2) as f64 * std::f64::consts::LN_2 * 0.9
-                * (1u64 << (width / 2)) as f64) as u64;
+            let limit =
+                ((width / 2) as f64 * std::f64::consts::LN_2 * 0.9 * (1u64 << (width / 2)) as f64)
+                    as u64;
             for r in &mut rows {
                 r[0] = r[0].min(limit);
             }
@@ -293,7 +286,11 @@ mod tests {
         let rram = hyperap_model::TechParams::rram();
         let add32 = measure_op(OpKind::Add, 32).cycles(&rram) as f64;
         let add16 = measure_op(OpKind::Add, 16).cycles(&rram) as f64;
-        assert!(add32 / add16 > 1.7 && add32 / add16 < 2.3, "{}", add32 / add16);
+        assert!(
+            add32 / add16 > 1.7 && add32 / add16 < 2.3,
+            "{}",
+            add32 / add16
+        );
         let mul32 = measure_op(OpKind::Mul, 32).cycles(&rram) as f64;
         let mul16 = measure_op(OpKind::Mul, 16).cycles(&rram) as f64;
         assert!(mul32 / mul16 > 3.0, "{}", mul32 / mul16);

@@ -9,8 +9,14 @@ fn main() {
     // Store a tiny "database" of 16-bit records: [id:8 | flags:8].
     let mut pe = HyperPe::new(8, 64);
     let records: [(u64, u64); 8] = [
-        (0x11, 0b0001), (0x22, 0b0011), (0x33, 0b0100), (0x44, 0b0001),
-        (0x55, 0b1011), (0x66, 0b0000), (0x77, 0b0111), (0x88, 0b0011),
+        (0x11, 0b0001),
+        (0x22, 0b0011),
+        (0x33, 0b0100),
+        (0x44, 0b0001),
+        (0x55, 0b1011),
+        (0x66, 0b0000),
+        (0x77, 0b0111),
+        (0x88, 0b0011),
     ];
     for (row, &(id, flags)) in records.iter().enumerate() {
         for b in 0..8 {
@@ -41,7 +47,14 @@ fn main() {
     k2.set_field(0, 8, 0x44);
     pe.search(&k1, false);
     pe.search(&k2, true); // OR into tags (accumulation unit, Fig 4c)
-    println!("id in {{0x11,0x44}} -> {} records (via accumulation unit)", pe.count());
+    println!(
+        "id in {{0x11,0x44}} -> {} records (via accumulation unit)",
+        pe.count()
+    );
     let ops = pe.op_counts();
-    println!("total machine ops: {} searches, {} reductions", ops.searches, ops.counts + ops.indexes);
+    println!(
+        "total machine ops: {} searches, {} reductions",
+        ops.searches,
+        ops.counts + ops.indexes
+    );
 }

@@ -6,13 +6,22 @@ use hyper_ap::workloads::kernels::all_kernels;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernels = all_kernels();
-    let kmeans = kernels.iter().find(|k| k.name == "kmeans").expect("bundled");
+    let kmeans = kernels
+        .iter()
+        .find(|k| k.name == "kmeans")
+        .expect("bundled");
     let compiled = kmeans.compile();
 
     // A small synthetic point cloud around the four embedded centroids.
     let points: Vec<Vec<u64>> = vec![
-        vec![9, 11], vec![48, 16], vec![21, 44], vec![41, 54],
-        vec![5, 8], vec![55, 13], vec![25, 47], vec![38, 60],
+        vec![9, 11],
+        vec![48, 16],
+        vec![21, 44],
+        vec![41, 54],
+        vec![5, 8],
+        vec![55, 13],
+        vec![25, 47],
+        vec![38, 60],
     ];
     let refs: Vec<&[u64]> = points.iter().map(|p| p.as_slice()).collect();
     let assignments = compiled.run_rows(&refs)?;

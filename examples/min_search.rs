@@ -38,5 +38,8 @@ fn main() {
         pe.op_counts().searches
     );
     assert_eq!(values[row], *values.iter().min().unwrap());
-    println!("searches scale with bit-width (8), not with element count ({})", values.len());
+    println!(
+        "searches scale with bit-width (8), not with element count ({})",
+        values.len()
+    );
 }

@@ -55,7 +55,10 @@ fn isa_cycle_count_matches_analytical_model_within_setkey_slack() {
     let stream = lower(kernel.program());
     let lowered = stream_cycles(&stream, &rram);
     let ratio = lowered as f64 / analytical as f64;
-    assert!((0.8..1.6).contains(&ratio), "lowered {lowered} vs analytical {analytical}");
+    assert!(
+        (0.8..1.6).contains(&ratio),
+        "lowered {lowered} vs analytical {analytical}"
+    );
     // Search/write counts must match exactly.
     let sc = stream_op_counts(&stream);
     let ac = kernel.op_counts();
@@ -72,7 +75,7 @@ fn word_parallelism_is_free_on_the_machine() {
     let stream = lower(kernel.program());
     let mut m1 = ApMachine::new(ArchConfig::single_pe(1));
     let mut m12 = ApMachine::new(ArchConfig::single_pe(12));
-    let s1 = m1.run(&[stream.clone()]);
+    let s1 = m1.run(std::slice::from_ref(&stream));
     let s12 = m12.run(&[stream]);
     assert_eq!(s1.group_cycles, s12.group_cycles);
 }
@@ -99,6 +102,7 @@ fn two_groups_run_different_kernels_concurrently() {
         cols: 256,
         tech: TechParams::rram(),
         mesh: None,
+        exec: Default::default(),
     });
     // Group 0 = PE 0, group 1 = PE 1.
     for (field, v) in add.input_fields().iter().zip([100u64, 55]) {

@@ -48,6 +48,7 @@ fn fig5d_assembly_runs_on_the_machine() {
         cols: 8,
         tech: hyperap_model::TechParams::rram(),
         mesh: None,
+        exec: Default::default(),
     });
     for v in 0u64..8 {
         let (a, b, cin) = (v & 1 == 1, v & 2 != 0, v & 4 != 0);
@@ -89,6 +90,7 @@ fn wait_synchronizes_producer_and_consumer_groups() {
         cols: 16,
         tech: TechParams::rram(),
         mesh: Some((1, 2)),
+        exec: Default::default(),
     };
     let mut machine = ApMachine::new(config);
     machine.pe_mut(0).load_bit(1, 0, true);
@@ -97,10 +99,17 @@ fn wait_synchronizes_producer_and_consumer_groups() {
     // Producer (group 0 = PE 0): tags <- column 0, data reg <- tags,
     // shove it right to PE 1.
     let producer = vec![
-        Instruction::SetKey { key: SearchKey::masked(16).with_bit(0, KeyBit::One) },
-        Instruction::Search { acc: false, encode: false },
+        Instruction::SetKey {
+            key: SearchKey::masked(16).with_bit(0, KeyBit::One),
+        },
+        Instruction::Search {
+            acc: false,
+            encode: false,
+        },
         Instruction::ReadTag,
-        Instruction::MovR { dir: Direction::Right },
+        Instruction::MovR {
+            dir: Direction::Right,
+        },
     ];
     let rram = TechParams::rram();
     let producer_cycles: u64 = producer.iter().map(|i| i.cycles(&rram)).sum();
@@ -108,10 +117,17 @@ fn wait_synchronizes_producer_and_consumer_groups() {
     // Consumer (group 1 = PE 1): wait out the producer, then commit the
     // received register into storage.
     let consumer = vec![
-        Instruction::Wait { cycles: producer_cycles as u8 },
+        Instruction::Wait {
+            cycles: producer_cycles as u8,
+        },
         Instruction::SetTag,
-        Instruction::SetKey { key: SearchKey::masked(16).with_bit(5, KeyBit::One) },
-        Instruction::Write { col: 5, encode: false },
+        Instruction::SetKey {
+            key: SearchKey::masked(16).with_bit(5, KeyBit::One),
+        },
+        Instruction::Write {
+            col: 5,
+            encode: false,
+        },
     ];
     let stats = machine.run(&[producer, consumer]);
     assert_eq!(machine.pe(1).read_bit(1, 5), Some(true));
