@@ -11,8 +11,11 @@ use serde::{Deserialize, Serialize};
 /// (property-tested in `tests/engine_equivalence.rs`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ExecMode {
-    /// Thread a dispatch only when the active slice is large enough to
-    /// amortize fork-join overhead; otherwise run inline.
+    /// Thread a dispatch only when its estimated work clears a calibrated
+    /// fork-join break-even point ([`crate::par::forkjoin_overhead_ns`]
+    /// measures a short dispatch both ways once per process); otherwise run
+    /// inline, so Auto never picks a losing mode on small dispatches or
+    /// single-CPU hosts.
     #[default]
     Auto,
     /// Always run the fan-out inline on the calling thread.
@@ -22,25 +25,86 @@ pub enum ExecMode {
     Parallel,
 }
 
+/// Auto threads a dispatch only when its conservative work estimate is at
+/// least this multiple of the fork-join cost of the extra workers — the
+/// estimate prices a slot-op at ~1 ns, which undercounts real search/write
+/// work, so the margin keeps Auto inline everywhere threading could lose.
+const AUTO_BREAK_EVEN_MARGIN: u64 = 8;
+
 impl ExecMode {
     /// Number of OS threads the engine fans out to under this mode.
     ///
     /// Host width comes from the `HYPERAP_THREADS` environment variable
     /// when set to a positive integer, else from
-    /// [`std::thread::available_parallelism`].
+    /// [`std::thread::available_parallelism`]. `HYPERAP_THREADS=1` means
+    /// "no worker threads, period": it forces 1 under *every* mode,
+    /// including `Parallel`'s two-worker floor.
     pub fn threads(self) -> usize {
-        if self == ExecMode::Sequential {
-            return 1;
-        }
-        let host = std::env::var("HYPERAP_THREADS")
+        let env = std::env::var("HYPERAP_THREADS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+            .filter(|&n| n > 0);
+        if env == Some(1) || self == ExecMode::Sequential {
+            return 1;
+        }
+        let host =
+            env.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         match self {
             ExecMode::Sequential => 1,
             ExecMode::Auto => host,
             ExecMode::Parallel => host.max(2),
+        }
+    }
+
+    /// Fan-out width for one dispatch of `ops` per-PE micro-ops over
+    /// `slots` active SIMD slots, given the `host` width resolved by
+    /// [`threads`](Self::threads).
+    ///
+    /// `Sequential` and `Parallel` are unconditional; `Auto` applies the
+    /// calibrated break-even rule
+    /// ([`dispatch_threads_calibrated`](Self::dispatch_threads_calibrated)),
+    /// deferring the (once-per-process) calibration until a dispatch could
+    /// actually thread.
+    pub fn dispatch_threads(self, host: usize, slots: u64, ops: u64) -> usize {
+        match self {
+            ExecMode::Sequential => 1,
+            ExecMode::Parallel => host,
+            ExecMode::Auto => {
+                if host < 2 {
+                    1
+                } else {
+                    Self::dispatch_threads_calibrated(
+                        host,
+                        slots,
+                        ops,
+                        crate::par::forkjoin_overhead_ns(),
+                    )
+                }
+            }
+        }
+    }
+
+    /// The pure decision rule behind `Auto`: thread to `host` workers only
+    /// when the dispatch's conservative work estimate (`slots * ops`
+    /// nanoseconds) is at least [`AUTO_BREAK_EVEN_MARGIN`]× the measured
+    /// fork-join cost of the `host - 1` extra workers.
+    ///
+    /// Exposed separately from [`dispatch_threads`](Self::dispatch_threads)
+    /// so tests can pin `forkjoin_ns` instead of depending on the host's
+    /// calibration.
+    pub fn dispatch_threads_calibrated(
+        host: usize,
+        slots: u64,
+        ops: u64,
+        forkjoin_ns: u64,
+    ) -> usize {
+        let work_ns = slots.saturating_mul(ops.max(1));
+        let break_even =
+            AUTO_BREAK_EVEN_MARGIN.saturating_mul(forkjoin_ns.saturating_mul(host as u64 - 1));
+        if work_ns >= break_even {
+            host
+        } else {
+            1
         }
     }
 }
@@ -189,6 +253,50 @@ mod tests {
         let c = ArchConfig::paper_scaled(16);
         let (h, w) = c.mesh_dims();
         assert!(h * w >= c.total_pes());
+    }
+
+    #[test]
+    fn hyperap_threads_one_forces_sequential_in_every_mode() {
+        // Other tests in this binary only *read* the variable (thread
+        // counts never change results), so the brief mutation is benign.
+        std::env::set_var("HYPERAP_THREADS", "1");
+        assert_eq!(ExecMode::Sequential.threads(), 1);
+        assert_eq!(ExecMode::Auto.threads(), 1);
+        assert_eq!(
+            ExecMode::Parallel.threads(),
+            1,
+            "overrides the 2-worker floor"
+        );
+        std::env::set_var("HYPERAP_THREADS", "3");
+        assert_eq!(ExecMode::Sequential.threads(), 1);
+        assert_eq!(ExecMode::Auto.threads(), 3);
+        assert_eq!(ExecMode::Parallel.threads(), 3);
+        std::env::remove_var("HYPERAP_THREADS");
+    }
+
+    #[test]
+    fn auto_break_even_rule() {
+        let fj = 2_000; // the par::forkjoin_overhead_ns floor
+                        // Tiny interpreter dispatch (tiny() geometry, one instruction):
+                        // 64 slots × 1 op is far below break-even — Auto stays inline.
+        assert_eq!(ExecMode::dispatch_threads_calibrated(2, 64, 1, fj), 1);
+        // A full add32 segment on one paper-scaled group: 64 PEs × 256
+        // rows × 380 micro-ops clears it easily.
+        assert_eq!(
+            ExecMode::dispatch_threads_calibrated(2, 64 * 256, 380, fj),
+            2
+        );
+        // More workers raise the bar proportionally.
+        assert_eq!(
+            ExecMode::dispatch_threads_calibrated(16, 64 * 256, 380, fj),
+            16
+        );
+        assert_eq!(ExecMode::dispatch_threads_calibrated(16, 4096, 4, fj), 1);
+        // Sequential/Parallel ignore the estimate entirely.
+        assert_eq!(ExecMode::Sequential.dispatch_threads(8, u64::MAX, 1), 1);
+        assert_eq!(ExecMode::Parallel.dispatch_threads(8, 0, 0), 8);
+        // Auto on a single-CPU host never forks.
+        assert_eq!(ExecMode::Auto.dispatch_threads(1, u64::MAX, u64::MAX), 1);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! an event-stepped loop with `Wait`-based synchronization, exactly the
 //! compile-time synchronization scheme of §IV-A12.
 //!
+//! Execution trace-compiles each stream ([`trace`]) into per-PE segment
+//! traces bounded by cross-PE synchronization points, paying one fork-join
+//! per segment; the instruction-at-a-time interpreter remains as the
+//! bit-identical reference engine
+//! ([`ApMachine::run_interpreted`](machine::ApMachine::run_interpreted)).
+//!
 //! # Example
 //!
 //! ```
@@ -43,8 +49,10 @@ pub mod config;
 pub mod machine;
 pub mod par;
 pub mod stats;
+pub mod trace;
 pub mod transfer;
 
 pub use config::{ArchConfig, ExecMode};
 pub use machine::ApMachine;
 pub use stats::RunStats;
+pub use trace::CompiledTrace;

@@ -2,18 +2,29 @@
 //!
 //! # Execution engine
 //!
-//! Per-group instruction dispatch fans the SIMD arms (`Search`, `Write`,
-//! `Count`, `Index`, tag transfers) out over the group's PE slice. The
-//! fan-out is data-parallel — every PE's work is independent — and runs on
-//! scoped threads ([`crate::par`]) when [`ExecMode`] and the dispatch size
-//! warrant it. The steady-state path performs no heap allocation: active-PE
-//! sets are cached per group and invalidated only by `Broadcast`, searches
-//! reuse each PE's tag storage, reductions land in a preallocated scratch
-//! slice, and `MovR` snapshots into reusable register buffers.
+//! The default [`ApMachine::run`] path **trace-compiles** each stream
+//! ([`crate::trace`]): instructions are decoded once into resolved
+//! micro-ops and split into segments at cross-PE synchronization points.
+//! Each segment executes with a single fork-join — every worker runs its
+//! PE chunk through the *entire* segment before joining — so decode,
+//! search-plan construction, and thread fan-out are amortized over whole
+//! traces and each PE's columns stay cache-resident across a segment.
+//! [`ApMachine::run_interpreted`] keeps the instruction-at-a-time engine
+//! as the bit-identical reference (property-tested in
+//! `tests/engine_equivalence.rs`).
+//!
+//! In both engines the fan-out is data-parallel — every PE's work is
+//! independent — and runs on scoped threads ([`crate::par`]) when
+//! [`ExecMode`] and the dispatch size warrant it. The steady-state path
+//! performs no heap allocation: active-PE sets are cached per group and
+//! invalidated only by `Broadcast`, searches reuse each PE's tag storage,
+//! reductions land in a preallocated scratch slice, and `MovR` snapshots
+//! into reusable register buffers.
 
 use crate::config::{ArchConfig, ExecMode};
 use crate::par;
 use crate::stats::RunStats;
+use crate::trace::{self, CompiledTrace, MicroOp, PlanRef, Segment, StepKind};
 use hyperap_core::machine::HyperPe;
 use hyperap_isa::{Direction, Instruction};
 use hyperap_model::timing::OpCounts;
@@ -25,9 +36,10 @@ use hyperap_tcam::tags::TagVector;
 /// the all-ones 17-bit address target every PE of the issuing group.
 pub use hyperap_isa::lower::BROADCAST_ADDR;
 
-/// `Auto` mode threads a dispatch only when `active_pes * rows` meets this
-/// floor; below it fork-join overhead dominates the per-PE work.
-const AUTO_PAR_MIN_SLOTS: usize = 16384;
+/// A group's key-register state snapshotted at trace-run entry: the key
+/// plus its precompiled active-column plan (consumed by `PlanRef::Entry`
+/// micro-ops).
+type KeySnapshot = (SearchKey, Vec<(usize, KeyBit)>);
 
 /// A group's cached active-PE set (the bank-mask filter evaluated once, not
 /// once per instruction). Only `Broadcast` rewrites the bank mask, so only
@@ -160,22 +172,22 @@ impl ApMachine {
     }
 
     /// Borrow the group's execution state, active set refreshed and fan-out
-    /// width resolved for `active_count` PEs under the configured mode.
-    fn group_ctx(&mut self, group: usize) -> GroupCtx<'_> {
+    /// width resolved for a dispatch of `ops` per-PE micro-ops (1 for the
+    /// interpreter's per-instruction dispatches, the segment length for
+    /// trace execution) under the configured mode.
+    fn group_ctx(&mut self, group: usize, ops: usize) -> GroupCtx<'_> {
         self.refresh_active(group);
         let per = self.config.pes_per_group();
         let base = group * per;
         let cache = &self.active[group];
-        let threads = match self.config.exec {
-            ExecMode::Sequential => 1,
-            ExecMode::Parallel => self.threads,
-            ExecMode::Auto => {
-                if cache.count >= 2 && cache.count * self.config.rows >= AUTO_PAR_MIN_SLOTS {
-                    self.threads
-                } else {
-                    1
-                }
-            }
+        let threads = if cache.count < 2 {
+            1
+        } else {
+            self.config.exec.dispatch_threads(
+                self.threads,
+                (cache.count * self.config.rows) as u64,
+                ops as u64,
+            )
         };
         GroupCtx {
             base,
@@ -199,7 +211,22 @@ impl ApMachine {
     /// under every [`ExecMode`]: the event order is fixed by the clocks, and
     /// within a dispatch each PE's work is independent with reduction
     /// results collected in ascending PE order.
+    ///
+    /// This is the trace-compiled engine: streams are precompiled into
+    /// per-PE segment traces ([`crate::trace`]) and executed with one
+    /// fork-join per segment. It is bit-identical to
+    /// [`run_interpreted`](Self::run_interpreted) — including `RunStats`,
+    /// per-PE operation counts, and wear accounting (property-tested in
+    /// `tests/engine_equivalence.rs`).
     pub fn run(&mut self, streams: &[Vec<Instruction>]) -> RunStats {
+        let traces = trace::compile_streams(streams, &self.config);
+        self.run_compiled(&traces)
+    }
+
+    /// The instruction-at-a-time reference engine: identical semantics to
+    /// [`run`](Self::run), dispatching every instruction per group per step
+    /// with no trace compilation.
+    pub fn run_interpreted(&mut self, streams: &[Vec<Instruction>]) -> RunStats {
         let groups = self.config.groups;
         let mut stats = RunStats {
             group_cycles: vec![0; groups],
@@ -227,14 +254,131 @@ impl ApMachine {
         stats
     }
 
+    /// Run precompiled traces ([`trace::compile_streams`]) — the hot path
+    /// behind [`run`](Self::run), reusable when the same streams execute
+    /// many times.
+    ///
+    /// The event loop schedules whole *steps* (segments or single
+    /// synchronization points) by the interpreter's `(issue cycle, group)`
+    /// key. Segment-internal micro-ops touch only group-private state, so
+    /// running a segment as one block commutes with every other group's
+    /// work; synchronization points retire in exactly the interpreter's
+    /// order because all cycle costs are static.
+    pub fn run_compiled(&mut self, traces: &[CompiledTrace]) -> RunStats {
+        let groups = self.config.groups;
+        let mut stats = RunStats {
+            group_cycles: vec![0; groups],
+            group_ops: vec![OpCounts::default(); groups],
+            count_results: vec![Vec::new(); groups],
+            index_results: vec![Vec::new(); groups],
+        };
+        let n = groups.min(traces.len());
+        // Snapshot each group's entry key state where the trace needs it (a
+        // stream that searches or writes before its first SetKey inherits
+        // whatever the key register held when the run started).
+        let entries: Vec<Option<KeySnapshot>> = (0..n)
+            .map(|g| {
+                traces[g]
+                    .uses_entry_key
+                    .then(|| (self.keys[g].clone(), self.key_plans[g].clone()))
+            })
+            .collect();
+        let mut steps = vec![0usize; n];
+        let mut clocks = vec![0u64; groups];
+        loop {
+            let next = (0..n)
+                .filter(|&g| steps[g] < traces[g].steps.len())
+                .min_by_key(|&g| (clocks[g], g));
+            let Some(g) = next else { break };
+            let step = &traces[g].steps[steps[g]];
+            steps[g] += 1;
+            clocks[g] += step.cycles;
+            match &step.kind {
+                StepKind::Segment(si) => {
+                    let seg = &traces[g].segments[*si];
+                    self.exec_segment(g, seg, &traces[g].plans, entries[g].as_ref());
+                    stats.group_ops[g].add(&seg.ops_delta);
+                }
+                StepKind::Sync(inst) => self.execute(g, inst, &mut stats),
+            }
+        }
+        // Leave the controller key registers exactly as the interpreter
+        // would: the last SetKey of each stream wins.
+        for (g, t) in traces.iter().enumerate().take(n) {
+            if let Some(key) = &t.final_key {
+                self.keys[g].copy_from(key);
+                let plan = t.plans.last().expect("a final key implies a plan");
+                self.key_plans[g].clear();
+                self.key_plans[g].extend_from_slice(plan);
+            }
+        }
+        stats.group_cycles = clocks;
+        stats
+    }
+
+    /// Execute one segment: a single fan-out where each worker runs its PE
+    /// chunk through the entire micro-op list (the loop inversion that
+    /// keeps a PE's columns cache-resident and pays one fork-join per
+    /// segment).
+    fn exec_segment(
+        &mut self,
+        group: usize,
+        seg: &Segment,
+        plans: &[Vec<(usize, KeyBit)>],
+        entry: Option<&KeySnapshot>,
+    ) {
+        if seg.ops.is_empty() {
+            return; // bookkeeping-only segment (SetKey/Wait runs)
+        }
+        let GroupCtx {
+            pes,
+            regs,
+            mask,
+            threads,
+            ..
+        } = self.group_ctx(group, seg.ops.len());
+        par::for_each_chunk_zip(threads, pes, regs, |off, pes, regs| {
+            for (i, pe) in pes.iter_mut().enumerate() {
+                if !mask[off + i] {
+                    continue;
+                }
+                let reg = &mut regs[i];
+                for op in &seg.ops {
+                    match op {
+                        MicroOp::Search { plan, acc, encode } => {
+                            let plan = match plan {
+                                PlanRef::Entry => {
+                                    entry.expect("entry key snapshotted").1.as_slice()
+                                }
+                                PlanRef::Compiled(p) => plans[*p].as_slice(),
+                            };
+                            pe.search_planned(plan, *acc);
+                            if *encode {
+                                pe.latch_tags();
+                            }
+                        }
+                        MicroOp::Write { col, value } => pe.write(*col as usize, *value),
+                        MicroOp::WriteEntry { col } => {
+                            let value = entry.expect("entry key snapshotted").0.bit(*col as usize);
+                            if value.write_value().is_some() {
+                                pe.write(*col as usize, value);
+                            }
+                        }
+                        MicroOp::WriteEncoded { col } => pe.write_encoded(*col as usize),
+                        MicroOp::SetTag => pe.set_tags_from(reg),
+                        MicroOp::ReadTag => reg.copy_from(pe.tags()),
+                    }
+                }
+            }
+        });
+    }
+
     fn execute(&mut self, group: usize, inst: &Instruction, stats: &mut RunStats) {
         let ops = &mut stats.group_ops[group];
         match inst {
             Instruction::SetKey { key } => {
                 self.keys[group].copy_from(key);
-                let plan = &mut self.key_plans[group];
-                plan.clear();
-                plan.extend(key.active_bits());
+                key.plan_into(&mut self.key_plans[group]);
                 ops.set_keys += 1;
             }
             Instruction::Search { acc, encode } => {
@@ -245,7 +389,7 @@ impl ApMachine {
                     plan,
                     threads,
                     ..
-                } = self.group_ctx(group);
+                } = self.group_ctx(group, 1);
                 par::for_each_chunk(threads, pes, |off, pes| {
                     for (i, pe) in pes.iter_mut().enumerate() {
                         if mask[off + i] {
@@ -266,7 +410,7 @@ impl ApMachine {
                     key,
                     threads,
                     ..
-                } = self.group_ctx(group);
+                } = self.group_ctx(group, 1);
                 let value = key.bit(col);
                 let store = value.write_value().is_some();
                 par::for_each_chunk(threads, pes, |off, pes| {
@@ -294,7 +438,7 @@ impl ApMachine {
                     mask,
                     threads,
                     ..
-                } = self.group_ctx(group);
+                } = self.group_ctx(group, 1);
                 par::for_each_chunk_zip(threads, pes, &mut *scratch, |off, pes, out| {
                     for (i, pe) in pes.iter_mut().enumerate() {
                         if mask[off + i] {
@@ -318,7 +462,7 @@ impl ApMachine {
                     mask,
                     threads,
                     ..
-                } = self.group_ctx(group);
+                } = self.group_ctx(group, 1);
                 // Option<usize> packed as value + 1 (0 = None) so the
                 // scratch slice stays plain u64.
                 par::for_each_chunk_zip(threads, pes, &mut *scratch, |off, pes, out| {
@@ -370,7 +514,7 @@ impl ApMachine {
                     mask,
                     threads,
                     ..
-                } = self.group_ctx(group);
+                } = self.group_ctx(group, 1);
                 par::for_each_chunk_zip(threads, pes, regs, |off, pes, regs| {
                     for (i, pe) in pes.iter_mut().enumerate() {
                         if mask[off + i] {
@@ -387,7 +531,7 @@ impl ApMachine {
                     mask,
                     threads,
                     ..
-                } = self.group_ctx(group);
+                } = self.group_ctx(group, 1);
                 par::for_each_chunk_zip(threads, pes, regs, |off, pes, regs| {
                     for (i, pe) in pes.iter_mut().enumerate() {
                         if mask[off + i] {

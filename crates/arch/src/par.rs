@@ -13,6 +13,43 @@
 //! land at fixed positions — the outcome is independent of thread
 //! scheduling by construction.
 
+/// Measured cost in nanoseconds of one two-worker fork-join over running
+/// the same trivial dispatch inline — calibrated once per process on first
+/// use (a short dispatch timed both ways) and cached.
+///
+/// `ExecMode::Auto` compares this against a conservative estimate of a
+/// dispatch's work to decide whether fanning out can possibly win. The
+/// result is floored at 2 µs so Auto never threads tiny dispatches even on
+/// hosts where the measurement comes out spuriously cheap (e.g. under a
+/// coarse clock).
+pub fn forkjoin_overhead_ns() -> u64 {
+    static OVERHEAD: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *OVERHEAD.get_or_init(|| {
+        const REPS: u32 = 24;
+        let touch = |_: usize, chunk: &mut [u8]| {
+            for x in chunk {
+                *x = x.wrapping_add(1);
+            }
+        };
+        let mut buf = [0u8; 2];
+        // Warm the spawn path so first-thread setup cost isn't billed to
+        // the steady-state measurement.
+        for_each_chunk(2, &mut buf, touch);
+        let start = std::time::Instant::now();
+        for _ in 0..REPS {
+            for_each_chunk(2, &mut buf, touch);
+        }
+        let forked = start.elapsed();
+        let start = std::time::Instant::now();
+        for _ in 0..REPS {
+            for_each_chunk(1, &mut buf, touch);
+        }
+        let inline = start.elapsed();
+        let per_join = forked.saturating_sub(inline).as_nanos() as u64 / u64::from(REPS);
+        per_join.max(2_000)
+    })
+}
+
 /// Run `f(offset, chunk)` over up to `threads` near-equal contiguous chunks
 /// of `data`, where `offset` is the chunk's starting index in `data`.
 ///
@@ -129,6 +166,13 @@ mod tests {
             assert_eq!(std::thread::current().id(), caller);
         });
         assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn forkjoin_overhead_is_floored_and_stable() {
+        let a = forkjoin_overhead_ns();
+        assert!(a >= 2_000, "floor keeps Auto honest on coarse clocks");
+        assert_eq!(a, forkjoin_overhead_ns(), "calibrated once, then cached");
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! Trace compilation: precompiled per-PE segment traces.
+//!
+//! The interpreter ([`crate::ApMachine::run_interpreted`]) re-decodes every
+//! [`Instruction`] per group per step and — in threaded modes — forks and
+//! joins worker threads once *per instruction*. Hyper-AP programs are
+//! bit-serial loops (the lowered 32-bit adder is 380 stream instructions of
+//! repeating `SetKey`/`Search`/`Write` shapes), so almost all of that work
+//! can be hoisted out of the hot loop and paid once per stream instead of
+//! once per instruction per PE.
+//!
+//! [`CompiledTrace::compile`] turns an `&[Instruction]` stream into:
+//!
+//! * **Resolved micro-ops** ([`MicroOp`]): every `SetKey` is folded into a
+//!   precompiled `(column, bit)` search plan (shared by all PEs of the
+//!   group), every `Write` is resolved to its store value at compile time,
+//!   and the per-instruction bookkeeping (`OpCounts` deltas, Table-I
+//!   cycles) is pre-aggregated per segment.
+//! * **Segments** split at cross-PE synchronization points (`Count`,
+//!   `Index`, `MovR`, `ReadR`/`WriteR` host transfers, `Broadcast`; see
+//!   [`SyncClass`]). Within a segment every PE is independent, so execution
+//!   inverts the loop: each worker runs its PE chunk through the *entire
+//!   segment* before joining — one fork-join per segment instead of one per
+//!   instruction, and each PE's columns stay cache-resident across the
+//!   whole segment.
+//!
+//! # Equivalence guarantee
+//!
+//! Trace execution is bit-identical to the interpreter (property-tested in
+//! `tests/engine_equivalence.rs`, including `RunStats`, per-PE `OpCounts`
+//! and wear accounting) because:
+//!
+//! * Segment-internal micro-ops touch only PE-private state (TCAM cells,
+//!   tags, latch) — no other group can observe them, so executing a whole
+//!   segment as one block commutes with every other group's work.
+//! * `SetTag`/`ReadTag` touch the group's data registers, which *are*
+//!   remotely writable (`MovR`/`ReadR`/`WriteR`). They stay segment-internal
+//!   only when no **other** stream contains a remote-register instruction
+//!   ([`Instruction::touches_remote_regs`]); otherwise the compiler demotes
+//!   them to synchronization points, restoring instruction-granular order.
+//! * Synchronization points execute through the interpreter's own
+//!   instruction path, and the event loop schedules *steps* by the same
+//!   `(issue cycle, group)` key the interpreter uses for instructions — all
+//!   cycle costs are static (Table I), so sync points from different groups
+//!   retire in exactly the interpreter's order.
+
+use crate::config::ArchConfig;
+use hyperap_isa::{Instruction, SyncClass};
+use hyperap_model::timing::OpCounts;
+use hyperap_tcam::bit::KeyBit;
+use hyperap_tcam::key::SearchKey;
+
+/// Which precompiled search plan a micro-op uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanRef {
+    /// The key register's contents when the trace run starts (a stream may
+    /// `Search` before its first `SetKey`, inheriting machine state).
+    Entry,
+    /// The plan compiled from the n-th `SetKey` of the stream.
+    Compiled(usize),
+}
+
+/// One resolved per-PE operation of a segment. Everything a micro-op needs
+/// beyond PE state is precomputed: plans are indices into the trace's plan
+/// table, write values are resolved `KeyBit`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MicroOp {
+    /// `Search`: apply a precompiled plan; optionally latch into the
+    /// encoder DFF stage.
+    Search {
+        /// The plan to apply.
+        plan: PlanRef,
+        /// OR into the tags through the accumulation unit.
+        acc: bool,
+        /// Latch the result for a later encoded write.
+        encode: bool,
+    },
+    /// Single-column `Write` whose store value was resolved at compile time
+    /// (emitted only when the key bit actually stores — a masked bit is a
+    /// no-op on PE state and folds into the segment's `OpCounts` delta).
+    Write {
+        /// Target column.
+        col: u8,
+        /// Resolved key-register value (never `Masked`).
+        value: KeyBit,
+    },
+    /// Single-column `Write` issued before the stream's first `SetKey`: the
+    /// value comes from the entry key register at run time.
+    WriteEntry {
+        /// Target column.
+        col: u8,
+    },
+    /// Encoded two-column `Write` through the two-bit encoder.
+    WriteEncoded {
+        /// First of the two target columns.
+        col: u8,
+    },
+    /// Copy the PE's data register into its tags.
+    SetTag,
+    /// Copy the PE's tags into its data register.
+    ReadTag,
+}
+
+/// A maximal run of instructions between synchronization points: per-PE
+/// micro-ops plus the pre-aggregated group-level bookkeeping of every
+/// instruction folded into it (including ops with no PE-state effect, e.g.
+/// `SetKey` and `Wait`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Segment {
+    /// Per-PE operations, in program order.
+    pub ops: Vec<MicroOp>,
+    /// Group-level `RunStats` delta for the folded instructions.
+    pub ops_delta: OpCounts,
+    /// Number of stream instructions folded into this segment.
+    pub instructions: usize,
+}
+
+/// One schedulable step of a compiled trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepKind {
+    /// Run a whole segment (index into [`CompiledTrace::segments`]) with a
+    /// single fork-join.
+    Segment(usize),
+    /// Execute one synchronization-point instruction through the
+    /// interpreter path.
+    Sync(Instruction),
+}
+
+/// A step plus its total Table-I cycle cost (a segment's cost is the sum of
+/// its folded instructions'), so the cross-group event loop can schedule
+/// steps by the same `(issue cycle, group)` key the interpreter uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Cycle cost of the whole step.
+    pub cycles: u64,
+    /// What the step does.
+    pub kind: StepKind,
+}
+
+/// A stream precompiled for segment execution. Compile once, run on any
+/// machine with the geometry it was compiled for ([`crate::ApMachine::run_compiled`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompiledTrace {
+    /// Scheduling steps in program order.
+    pub steps: Vec<Step>,
+    /// Segment bodies referenced by [`StepKind::Segment`].
+    pub segments: Vec<Segment>,
+    /// Precompiled search plans, one per `SetKey` in stream order.
+    pub plans: Vec<Vec<(usize, KeyBit)>>,
+    /// The last `SetKey`'s key — restored into the group's key register
+    /// when the trace finishes, so a later run sees the same machine state
+    /// the interpreter would leave.
+    pub final_key: Option<SearchKey>,
+    /// True if any micro-op reads the entry key/plan (the machine snapshots
+    /// the group's key state at run start only when needed).
+    pub uses_entry_key: bool,
+}
+
+impl CompiledTrace {
+    /// Compile one stream. `reg_sync` demotes `SetTag`/`ReadTag` to
+    /// synchronization points — required when another group's stream can
+    /// touch this group's data registers (see [`compile_streams`], which
+    /// derives the flag; pass `false` for a single-stream machine).
+    pub fn compile(stream: &[Instruction], config: &ArchConfig, reg_sync: bool) -> Self {
+        let mut trace = CompiledTrace::default();
+        let mut seg = Segment::default();
+        let mut seg_cycles = 0u64;
+        // The current key as a compile-time value: `None` until the first
+        // SetKey (searches/writes before it resolve against the entry key).
+        let mut cur_key: Option<&SearchKey> = None;
+        let mut cur_plan = PlanRef::Entry;
+        let flush = |trace: &mut CompiledTrace, seg: &mut Segment, seg_cycles: &mut u64| {
+            if seg.instructions > 0 {
+                trace.steps.push(Step {
+                    cycles: *seg_cycles,
+                    kind: StepKind::Segment(trace.segments.len()),
+                });
+                trace.segments.push(std::mem::take(seg));
+            }
+            *seg_cycles = 0;
+        };
+        for inst in stream {
+            let sync = match inst.sync_class() {
+                SyncClass::PeLocal => false,
+                SyncClass::DataReg => reg_sync,
+                SyncClass::SyncPoint => true,
+            };
+            if sync {
+                flush(&mut trace, &mut seg, &mut seg_cycles);
+                trace.steps.push(Step {
+                    cycles: inst.cycles(&config.tech),
+                    kind: StepKind::Sync(inst.clone()),
+                });
+                continue;
+            }
+            seg_cycles += inst.cycles(&config.tech);
+            seg.instructions += 1;
+            let delta = &mut seg.ops_delta;
+            match inst {
+                Instruction::SetKey { key } => {
+                    trace.plans.push(key.compile_plan());
+                    cur_plan = PlanRef::Compiled(trace.plans.len() - 1);
+                    cur_key = Some(key);
+                    delta.set_keys += 1;
+                }
+                Instruction::Search { acc, encode } => {
+                    seg.ops.push(MicroOp::Search {
+                        plan: cur_plan,
+                        acc: *acc,
+                        encode: *encode,
+                    });
+                    trace.uses_entry_key |= cur_plan == PlanRef::Entry;
+                    delta.searches += 1;
+                }
+                Instruction::Write { col, encode } => {
+                    if *encode {
+                        seg.ops.push(MicroOp::WriteEncoded { col: *col });
+                        delta.writes_encoded += 1;
+                    } else {
+                        delta.writes_single += 1;
+                        match cur_key {
+                            Some(key) => {
+                                let value = key.bit(*col as usize);
+                                if value.write_value().is_some() {
+                                    seg.ops.push(MicroOp::Write { col: *col, value });
+                                }
+                                // A masked value stores nothing: no micro-op.
+                            }
+                            None => {
+                                seg.ops.push(MicroOp::WriteEntry { col: *col });
+                                trace.uses_entry_key = true;
+                            }
+                        }
+                    }
+                }
+                Instruction::SetTag => {
+                    seg.ops.push(MicroOp::SetTag);
+                    delta.tag_ops += 1;
+                }
+                Instruction::ReadTag => {
+                    seg.ops.push(MicroOp::ReadTag);
+                    delta.tag_ops += 1;
+                }
+                Instruction::Wait { cycles } => {
+                    delta.wait_cycles += *cycles as u64;
+                }
+                // SyncPoint instructions never reach this arm.
+                _ => unreachable!("sync points are flushed above"),
+            }
+        }
+        flush(&mut trace, &mut seg, &mut seg_cycles);
+        trace.final_key = cur_key.cloned();
+        trace
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of synchronization-point steps.
+    pub fn sync_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::Sync(_)))
+            .count()
+    }
+
+    /// Total stream instructions represented (segments + sync points).
+    pub fn instruction_count(&self) -> usize {
+        self.segments.iter().map(|s| s.instructions).sum::<usize>() + self.sync_count()
+    }
+}
+
+/// Compile every stream of a multi-group program, deriving each stream's
+/// `reg_sync` flag: a stream's `SetTag`/`ReadTag` stay segment-internal
+/// only if no *other* stream contains an instruction that can touch remote
+/// data registers ([`Instruction::touches_remote_regs`]).
+pub fn compile_streams(streams: &[Vec<Instruction>], config: &ArchConfig) -> Vec<CompiledTrace> {
+    let remote: Vec<bool> = streams
+        .iter()
+        .map(|s| s.iter().any(Instruction::touches_remote_regs))
+        .collect();
+    streams
+        .iter()
+        .enumerate()
+        .map(|(g, stream)| {
+            let reg_sync = remote
+                .iter()
+                .enumerate()
+                .any(|(other, &touches)| other != g && touches);
+            CompiledTrace::compile(stream, config, reg_sync)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperap_isa::Direction;
+
+    fn cfg() -> ArchConfig {
+        ArchConfig::tiny()
+    }
+
+    fn setkey(s: &str) -> Instruction {
+        Instruction::SetKey {
+            key: SearchKey::parse(s).unwrap(),
+        }
+    }
+
+    const SEARCH: Instruction = Instruction::Search {
+        acc: false,
+        encode: false,
+    };
+
+    #[test]
+    fn local_run_compiles_to_one_segment() {
+        let stream = vec![
+            setkey("1-"),
+            SEARCH,
+            setkey("-1"),
+            Instruction::Write {
+                col: 1,
+                encode: false,
+            },
+            Instruction::Wait { cycles: 7 },
+        ];
+        let t = CompiledTrace::compile(&stream, &cfg(), false);
+        assert_eq!(t.segment_count(), 1);
+        assert_eq!(t.sync_count(), 0);
+        assert_eq!(t.instruction_count(), 5);
+        let seg = &t.segments[0];
+        // SetKey and Wait fold into bookkeeping; Search and Write remain.
+        assert_eq!(seg.ops.len(), 2);
+        assert_eq!(seg.ops_delta.set_keys, 2);
+        assert_eq!(seg.ops_delta.searches, 1);
+        assert_eq!(seg.ops_delta.writes_single, 1);
+        assert_eq!(seg.ops_delta.wait_cycles, 7);
+        // Cycles: 1 + 1 + 1 + 12 + 7.
+        assert_eq!(t.steps[0].cycles, 22);
+        assert_eq!(t.final_key, Some(SearchKey::parse("-1").unwrap()));
+    }
+
+    #[test]
+    fn sync_points_split_segments() {
+        let stream = vec![
+            setkey("1-"),
+            SEARCH,
+            Instruction::Count,
+            SEARCH,
+            Instruction::Index,
+            Instruction::MovR {
+                dir: Direction::Right,
+            },
+            SEARCH,
+        ];
+        let t = CompiledTrace::compile(&stream, &cfg(), false);
+        assert_eq!(t.segment_count(), 3);
+        assert_eq!(t.sync_count(), 3);
+        assert_eq!(t.steps.len(), 6);
+        assert!(matches!(
+            t.steps[1].kind,
+            StepKind::Sync(Instruction::Count)
+        ));
+        // The searches after Count/MovR reuse the same compiled plan.
+        assert_eq!(t.plans.len(), 1);
+        for seg in &t.segments[1..] {
+            assert_eq!(
+                seg.ops,
+                vec![MicroOp::Search {
+                    plan: PlanRef::Compiled(0),
+                    acc: false,
+                    encode: false
+                }]
+            );
+        }
+    }
+
+    #[test]
+    fn write_values_resolve_at_compile_time() {
+        let stream = vec![
+            setkey("1Z"),
+            Instruction::Write {
+                col: 0,
+                encode: false,
+            },
+            Instruction::Write {
+                col: 1,
+                encode: false,
+            },
+            Instruction::Write {
+                col: 3, // masked in the key: no store, delta only
+                encode: false,
+            },
+        ];
+        let t = CompiledTrace::compile(&stream, &cfg(), false);
+        let seg = &t.segments[0];
+        assert_eq!(
+            seg.ops,
+            vec![
+                MicroOp::Write {
+                    col: 0,
+                    value: KeyBit::One
+                },
+                MicroOp::Write {
+                    col: 1,
+                    value: KeyBit::Z
+                },
+            ]
+        );
+        assert_eq!(seg.ops_delta.writes_single, 3, "masked write still counts");
+    }
+
+    #[test]
+    fn pre_setkey_ops_reference_entry_state() {
+        let stream = vec![
+            SEARCH,
+            Instruction::Write {
+                col: 2,
+                encode: false,
+            },
+            setkey("1"),
+            SEARCH,
+        ];
+        let t = CompiledTrace::compile(&stream, &cfg(), false);
+        assert!(t.uses_entry_key);
+        let seg = &t.segments[0];
+        assert_eq!(
+            seg.ops[0],
+            MicroOp::Search {
+                plan: PlanRef::Entry,
+                acc: false,
+                encode: false
+            }
+        );
+        assert_eq!(seg.ops[1], MicroOp::WriteEntry { col: 2 });
+        // SetKey folds into the plan table without emitting a micro-op, so
+        // the post-SetKey search is the third op.
+        assert_eq!(
+            seg.ops[2],
+            MicroOp::Search {
+                plan: PlanRef::Compiled(0),
+                acc: false,
+                encode: false
+            }
+        );
+    }
+
+    #[test]
+    fn reg_sync_demotes_tag_transfers() {
+        let stream = vec![SEARCH, Instruction::ReadTag, Instruction::SetTag, SEARCH];
+        let local = CompiledTrace::compile(&stream, &cfg(), false);
+        assert_eq!(local.segment_count(), 1);
+        assert_eq!(local.sync_count(), 0);
+        let synced = CompiledTrace::compile(&stream, &cfg(), true);
+        assert_eq!(synced.segment_count(), 2);
+        assert_eq!(synced.sync_count(), 2);
+        assert_eq!(synced.instruction_count(), local.instruction_count());
+    }
+
+    #[test]
+    fn compile_streams_derives_reg_sync_from_other_streams() {
+        let tags = vec![Instruction::ReadTag, Instruction::SetTag];
+        let mover = vec![Instruction::MovR {
+            dir: Direction::Left,
+        }];
+        // Alone: tag transfers stay inside the segment.
+        let solo = compile_streams(std::slice::from_ref(&tags), &cfg());
+        assert_eq!(solo[0].sync_count(), 0);
+        // Next to a stream that can push into our data registers: demoted.
+        let multi = compile_streams(&[tags.clone(), mover.clone()], &cfg());
+        assert_eq!(multi[0].sync_count(), 2);
+        // The mover itself is unaffected by its own remote ops.
+        assert_eq!(multi[1].sync_count(), 1);
+        // Two tag-only streams: neither forces the other to sync.
+        let quiet = compile_streams(&[tags.clone(), tags], &cfg());
+        assert_eq!(quiet[0].sync_count(), 0);
+        assert_eq!(quiet[1].sync_count(), 0);
+    }
+
+    #[test]
+    fn empty_stream_compiles_to_nothing() {
+        let t = CompiledTrace::compile(&[], &cfg(), false);
+        assert!(t.steps.is_empty());
+        assert_eq!(t.instruction_count(), 0);
+        assert_eq!(t.final_key, None);
+        assert!(!t.uses_entry_key);
+    }
+}

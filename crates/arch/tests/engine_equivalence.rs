@@ -1,6 +1,10 @@
 //! Property tests for the execution-engine determinism guarantee: random
 //! instruction streams produce bit-identical machine state and `RunStats`
-//! whether the per-group PE fan-out runs sequentially or threaded.
+//! whether the per-group PE fan-out runs sequentially or threaded, and
+//! whether execution goes through the instruction-at-a-time interpreter
+//! (`run_interpreted`) or the trace-compiled engine (`run`) — including
+//! per-PE operation counts, `Count`/`Index` reduction results, per-column
+//! wear, and key-register state carried across runs.
 
 use hyperap_arch::machine::BROADCAST_ADDR;
 use hyperap_arch::{ApMachine, ArchConfig, ExecMode};
@@ -77,6 +81,14 @@ fn build(mode: ExecMode, loads: &[Load]) -> ApMachine {
 fn assert_machines_identical(a: &ApMachine, b: &ApMachine) {
     for pe in 0..PES {
         assert_eq!(a.pe(pe), b.pe(pe), "PE {pe} state diverged");
+        // PE equality already covers wear (it's part of `TcamArray`'s
+        // `Eq`), but assert it separately so a wear divergence names
+        // itself instead of surfacing as a generic state mismatch.
+        assert_eq!(
+            a.pe(pe).column_wear(),
+            b.pe(pe).column_wear(),
+            "PE {pe} wear accounting diverged"
+        );
         assert_eq!(
             a.data_reg(pe),
             b.data_reg(pe),
@@ -107,6 +119,48 @@ proptest! {
         prop_assert_eq!(&seq_stats, &auto_stats);
         assert_machines_identical(&seq, &par);
         assert_machines_identical(&seq, &auto);
+    }
+
+    #[test]
+    fn interpreter_and_trace_engines_are_bit_identical(
+        loads in loads_strategy(),
+        s0 in prop::collection::vec(inst_strategy(), 0..40),
+        s1 in prop::collection::vec(inst_strategy(), 0..40),
+    ) {
+        // The instruction-at-a-time interpreter is the reference; the
+        // trace-compiled engine must match it bit-for-bit under every
+        // threading mode — machine state, wear, stats (op counts and
+        // Count/Index reductions included).
+        let streams = vec![s0, s1];
+        let mut reference = build(ExecMode::Sequential, &loads);
+        let ref_stats = reference.run_interpreted(&streams);
+        for mode in [ExecMode::Sequential, ExecMode::Parallel, ExecMode::Auto] {
+            let mut traced = build(mode, &loads);
+            let trace_stats = traced.run(&streams);
+            prop_assert_eq!(&ref_stats, &trace_stats, "stats diverged under {:?}", mode);
+            assert_machines_identical(&reference, &traced);
+        }
+    }
+
+    #[test]
+    fn engines_agree_across_consecutive_runs(
+        loads in loads_strategy(),
+        first in prop::collection::vec(inst_strategy(), 0..25),
+        second in prop::collection::vec(inst_strategy(), 0..25),
+    ) {
+        // Key-register state must carry across runs identically: a stream
+        // that searches before its first SetKey picks up whatever key the
+        // previous run left behind (the trace engine's entry-key snapshot
+        // and final-key restore paths).
+        let mut interp = build(ExecMode::Sequential, &loads);
+        let mut traced = build(ExecMode::Sequential, &loads);
+        let a0 = interp.run_interpreted(std::slice::from_ref(&first));
+        let b0 = traced.run(std::slice::from_ref(&first));
+        prop_assert_eq!(&a0, &b0);
+        let a1 = interp.run_interpreted(std::slice::from_ref(&second));
+        let b1 = traced.run(std::slice::from_ref(&second));
+        prop_assert_eq!(&a1, &b1, "second run diverged: key state not carried");
+        assert_machines_identical(&interp, &traced);
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Benchmark regression guard: re-measures the execution engine and fails
+//! (exit 1) if throughput regressed against the checked-in `BENCH_SIM.json`.
+//!
+//! Two modes:
+//!
+//! * **Full** (default): runs the same add32 workload as `bench_sim`
+//!   (16 groups × 64 PEs of 256×256) through the default trace engine,
+//!   sequentially, and requires the fresh `instructions_per_sec_sequential`
+//!   to be at least 75% of the checked-in number (>25% regression fails).
+//! * **`--smoke`**: a small-geometry sanity pass for CI — validates that
+//!   the checked-in JSON parses and carries the trace-engine entry, runs
+//!   interpreter and trace engines on a scaled-down machine, checks they
+//!   produce identical stats, and requires the trace engine to stay within
+//!   25% of the interpreter (the trace engine exists to be *faster*; this
+//!   loose bound only catches pathological regressions without being
+//!   flaky on loaded CI hosts).
+//!
+//! No JSON dependency is available offline, so numbers are read with a
+//! small key scanner over the known single-number-per-key layout that
+//! `bench_sim` emits.
+
+use hyperap_arch::{ApMachine, ArchConfig, ExecMode};
+use hyperap_core::microcode::Microcode;
+use hyperap_isa::lower::lower;
+use hyperap_isa::Instruction;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Maximum tolerated throughput regression (fraction of the baseline).
+const FLOOR: f64 = 0.75;
+
+fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Scan `src` for `"key": <number>` and parse the number. The bench JSON
+/// has unique keys and one scalar per line, so a plain substring scan is
+/// unambiguous.
+fn json_number(src: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = src.find(&pat)? + pat.len();
+    let rest = src[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Find the checked-in baseline next to the workspace (cwd first, then
+/// walking up — `cargo run` leaves cwd at the invocation directory).
+fn load_baseline() -> Option<(std::path::PathBuf, String)> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let p = dir.join("BENCH_SIM.json");
+        if let Ok(s) = std::fs::read_to_string(&p) {
+            return Some((p, s));
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn add32_streams(cols: usize, groups: usize) -> Vec<Vec<Instruction>> {
+    let mut mc = Microcode::new(cols);
+    let (x, y) = mc.alloc_paired_inputs("a", "b", 32);
+    let _ = mc.add(&x, &y);
+    let stream = lower(&mc.into_program());
+    (0..groups).map(|_| stream.clone()).collect()
+}
+
+fn seed_machine(m: &mut ApMachine) {
+    for pe in 0..m.config().total_pes() {
+        for row in 0..8.min(m.config().rows) {
+            m.pe_mut(pe)
+                .load_encoded_pair(row, 0, row & 1 == 1, pe & 1 == 1);
+        }
+    }
+}
+
+fn smoke() -> i32 {
+    // Baseline sanity: the checked-in JSON must parse and must carry the
+    // trace-engine entry bench_sim now emits.
+    let Some((path, baseline)) = load_baseline() else {
+        eprintln!("bench_guard: BENCH_SIM.json not found");
+        return 1;
+    };
+    let mut failed = false;
+    for key in [
+        "instructions_per_sec_sequential",
+        "speedup_trace_vs_interpreter_sequential",
+        "speedup_parallel_vs_sequential",
+    ] {
+        match json_number(&baseline, key) {
+            Some(v) if v.is_finite() && v > 0.0 => {
+                println!("bench_guard: baseline {key} = {v}");
+            }
+            other => {
+                eprintln!(
+                    "bench_guard: baseline {} lacks usable {key} ({other:?})",
+                    path.display()
+                );
+                failed = true;
+            }
+        }
+    }
+
+    // Small geometry: 4 groups × 16 PEs of 64×256 keeps the smoke under a
+    // second even in debug builds.
+    let mut cfg = ArchConfig::paper_scaled(64);
+    cfg.groups = 4;
+    cfg.subarrays_per_bank = 4;
+    cfg.pes_per_subarray = 4;
+    let streams = add32_streams(cfg.cols, cfg.groups);
+
+    let mut interp = ApMachine::new(ArchConfig {
+        exec: ExecMode::Sequential,
+        ..cfg.clone()
+    });
+    let mut traced = ApMachine::new(ArchConfig {
+        exec: ExecMode::Sequential,
+        ..cfg.clone()
+    });
+    seed_machine(&mut interp);
+    seed_machine(&mut traced);
+    let interp_stats = interp.run_interpreted(&streams);
+    let trace_stats = traced.run(&streams);
+    if interp_stats != trace_stats {
+        eprintln!("bench_guard: interpreter and trace engines disagree on smoke workload");
+        failed = true;
+    } else {
+        println!("bench_guard: engines bit-identical on smoke workload");
+    }
+
+    let reps = 5;
+    let interp_s = best_secs(reps, || {
+        black_box(interp.run_interpreted(&streams));
+    });
+    let trace_s = best_secs(reps, || {
+        black_box(traced.run(&streams));
+    });
+    let ratio = interp_s / trace_s;
+    println!(
+        "bench_guard: smoke interp {interp_s:.4}s, trace {trace_s:.4}s, trace speedup {ratio:.2}x"
+    );
+    if ratio < FLOOR {
+        eprintln!("bench_guard: trace engine slower than {FLOOR}x interpreter — regression");
+        failed = true;
+    }
+    i32::from(failed)
+}
+
+fn full() -> i32 {
+    let Some((path, baseline)) = load_baseline() else {
+        eprintln!("bench_guard: BENCH_SIM.json not found");
+        return 1;
+    };
+    let Some(base_ips) = json_number(&baseline, "instructions_per_sec_sequential") else {
+        eprintln!(
+            "bench_guard: {} lacks instructions_per_sec_sequential",
+            path.display()
+        );
+        return 1;
+    };
+
+    // The bench_sim engine workload, re-measured: add32 on every PE of a
+    // 16-group × 64-PE machine of 256×256, default (trace) engine,
+    // sequential.
+    let mut cfg = ArchConfig::paper_scaled(256);
+    cfg.groups = 16;
+    cfg.exec = ExecMode::Sequential;
+    let streams = add32_streams(cfg.cols, cfg.groups);
+    let total_instructions: usize = streams.iter().map(Vec::len).sum();
+    let mut m = ApMachine::new(cfg);
+    seed_machine(&mut m);
+    let secs = best_secs(3, || {
+        black_box(m.run(&streams));
+    });
+    let ips = total_instructions as f64 / secs;
+    let ratio = ips / base_ips;
+    println!(
+        "bench_guard: sequential engine {ips:.0} inst/s vs baseline {base_ips:.0} ({ratio:.2}x)"
+    );
+    if ratio < FLOOR {
+        eprintln!(
+            "bench_guard: >{:.0}% throughput regression against {}",
+            (1.0 - FLOOR) * 100.0,
+            path.display()
+        );
+        return 1;
+    }
+    0
+}
+
+fn main() {
+    let smoke_mode = std::env::args().any(|a| a == "--smoke");
+    std::process::exit(if smoke_mode { smoke() } else { full() });
+}

@@ -1,17 +1,20 @@
 //! Engine benchmark: measures the cycle simulator's execution engine and
 //! emits machine-readable `BENCH_SIM.json`.
 //!
-//! Three comparisons:
+//! Four comparisons:
 //!
 //! 1. **Kernel**: `TcamArray::search` (allocates a fresh `TagVector` per
 //!    call) vs `TcamArray::search_into` (reuses the caller's buffer) — the
 //!    steady-state engine path.
-//! 2. **Engine threading**: `ApMachine::run` of the same streams under
-//!    `ExecMode::Sequential` vs `ExecMode::Parallel` (bit-identical results;
-//!    wall-clock only). On a single-CPU host the threaded run cannot win —
-//!    the host core count is recorded in the JSON so readers can interpret
-//!    the ratio.
-//! 3. **Allocation hygiene**: the optimized engine vs a faithful emulation
+//! 2. **Engine**: the instruction-at-a-time interpreter
+//!    (`ApMachine::run_interpreted`) vs the trace-compiled engine
+//!    (`ApMachine::run`, compile included, plus `run_compiled` with the
+//!    compile hoisted out) — bit-identical results, wall-clock only.
+//! 3. **Engine threading**: the trace engine under `ExecMode::Sequential`
+//!    vs `ExecMode::Parallel` vs `ExecMode::Auto`. On a single-CPU host the
+//!    threaded run cannot win — the host core count is recorded in the JSON
+//!    so readers can interpret the ratio.
+//! 4. **Allocation hygiene**: the optimized engine vs a faithful emulation
 //!    of the pre-optimization engine (fresh active-PE vector and cloned
 //!    instruction/key per step, a fresh `TagVector` per search, a full-width
 //!    single-bit `SearchKey` per write, cloned registers on every tag
@@ -240,16 +243,32 @@ fn main() {
     let streams: Vec<Vec<Instruction>> = (0..GROUPS).map(|_| stream.clone()).collect();
     let total_instructions = (GROUPS * stream.len()) as f64;
 
-    let run_mode = |mode: ExecMode| {
+    let run_mode = |mode: ExecMode, interpreted: bool| {
         let mut m = ApMachine::new(engine_config(mode));
         seed_machine(&mut m);
         best_secs(reps, || {
-            black_box(m.run(&streams));
+            if interpreted {
+                black_box(m.run_interpreted(&streams));
+            } else {
+                black_box(m.run(&streams));
+            }
         })
     };
-    let seq_s = run_mode(ExecMode::Sequential);
-    let par_s = run_mode(ExecMode::Parallel);
-    let auto_s = run_mode(ExecMode::Auto);
+    let interp_seq_s = run_mode(ExecMode::Sequential, true);
+    let interp_par_s = run_mode(ExecMode::Parallel, true);
+    let seq_s = run_mode(ExecMode::Sequential, false);
+    let par_s = run_mode(ExecMode::Parallel, false);
+    let auto_s = run_mode(ExecMode::Auto, false);
+    // Trace reuse: compile once, run the compiled traces repeatedly (the
+    // steady state of a workload that executes the same kernel many times).
+    let precompiled_s = {
+        let mut m = ApMachine::new(engine_config(ExecMode::Sequential));
+        seed_machine(&mut m);
+        let traces = hyperap_arch::trace::compile_streams(&streams, m.config());
+        best_secs(reps, || {
+            black_box(m.run_compiled(&traces));
+        })
+    };
 
     let cfg = engine_config(ExecMode::Sequential);
     let per_group = cfg.pes_per_group();
@@ -288,12 +307,20 @@ fn main() {
     "speedup_search_into": {kernel_speedup:.2}
   }},
   "engine": {{
-    "sequential_s": {seq_s:.4},
-    "parallel_s": {par_s:.4},
-    "auto_s": {auto_s:.4},
+    "interpreter": {{
+      "sequential_s": {interp_seq_s:.4},
+      "parallel_s": {interp_par_s:.4}
+    }},
+    "trace": {{
+      "sequential_s": {seq_s:.4},
+      "parallel_s": {par_s:.4},
+      "auto_s": {auto_s:.4},
+      "precompiled_sequential_s": {precompiled_s:.4}
+    }},
     "seed_style_s": {seed_style_s:.4},
     "instructions_per_sec_sequential": {ips_seq:.0},
     "instructions_per_sec_parallel": {ips_par:.0},
+    "speedup_trace_vs_interpreter_sequential": {sp_trace:.2},
     "speedup_parallel_vs_sequential": {sp_par:.2},
     "speedup_optimized_vs_seed_style": {sp_seed:.2}
   }}
@@ -304,6 +331,7 @@ fn main() {
         kernel_speedup = ns_search / ns_search_into,
         ips_seq = total_instructions / seq_s,
         ips_par = total_instructions / par_s,
+        sp_trace = interp_seq_s / seq_s,
         sp_par = seq_s / par_s,
         sp_seed = seed_style_s / seq_s,
     );

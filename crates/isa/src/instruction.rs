@@ -42,6 +42,33 @@ impl Direction {
     }
 }
 
+/// How an instruction interacts with state outside its own PE — the
+/// classification that drives trace segmentation (`hyperap_arch::trace`).
+///
+/// Within a group, instructions touch three kinds of state:
+///
+/// * **PE-private** state (TCAM cells, tags, encoder latch) and the group's
+///   own key register — invisible to every other group, so these
+///   instructions commute freely with other groups' work.
+/// * The per-PE **data registers** — the cross-PE transport medium: another
+///   group's `MovR` push or a global `ReadR`/`WriteR` can read or write
+///   them, so their ordering against those instructions matters.
+/// * **Cross-PE / controller** state: reductions, mesh shifts, global data
+///   path, the bank-enable mask. These are hard synchronization points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncClass {
+    /// `Search`, `Write`, `SetKey`, `Wait`: strictly PE-/group-private;
+    /// always safe inside a trace segment.
+    PeLocal,
+    /// `SetTag`, `ReadTag`: read/write the issuing group's data registers.
+    /// Safe inside a segment unless another group's stream can touch those
+    /// registers remotely (`MovR`/`ReadR`/`WriteR`).
+    DataReg,
+    /// `Count`, `Index`, `MovR`, `ReadR`, `WriteR`, `Broadcast`: cross-PE
+    /// synchronization points; always a segment boundary.
+    SyncPoint,
+}
+
 /// One Hyper-AP instruction (Table I).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Instruction {
@@ -151,6 +178,41 @@ impl Instruction {
             Instruction::Broadcast { .. } => 1,
             Instruction::Wait { cycles } => *cycles as u64,
         }
+    }
+
+    /// The instruction's [`SyncClass`] — how it interacts with state
+    /// outside its own PE (drives trace segmentation).
+    pub fn sync_class(&self) -> SyncClass {
+        match self {
+            Instruction::Search { .. }
+            | Instruction::Write { .. }
+            | Instruction::SetKey { .. }
+            | Instruction::Wait { .. } => SyncClass::PeLocal,
+            Instruction::SetTag | Instruction::ReadTag => SyncClass::DataReg,
+            Instruction::Count
+            | Instruction::Index
+            | Instruction::MovR { .. }
+            | Instruction::ReadR { .. }
+            | Instruction::WriteR { .. }
+            | Instruction::Broadcast { .. } => SyncClass::SyncPoint,
+        }
+    }
+
+    /// True for unconditional segment boundaries ([`SyncClass::SyncPoint`]).
+    pub fn is_sync_point(&self) -> bool {
+        self.sync_class() == SyncClass::SyncPoint
+    }
+
+    /// True if this instruction can read or write the data register of a PE
+    /// **outside the issuing group**: `MovR` pushes across group borders,
+    /// `ReadR`/`WriteR` address the global data path. A stream containing
+    /// any of these forces other streams' [`SyncClass::DataReg`]
+    /// instructions to segment boundaries.
+    pub fn touches_remote_regs(&self) -> bool {
+        matches!(
+            self,
+            Instruction::MovR { .. } | Instruction::ReadR { .. } | Instruction::WriteR { .. }
+        )
     }
 
     /// Mnemonic for assembly listings.
@@ -276,6 +338,67 @@ mod tests {
             .cycles(&cmos),
             3
         );
+    }
+
+    #[test]
+    fn sync_classification_covers_all_instructions() {
+        use Instruction as I;
+        let cases: Vec<(I, SyncClass)> = vec![
+            (
+                I::Search {
+                    acc: false,
+                    encode: false,
+                },
+                SyncClass::PeLocal,
+            ),
+            (
+                I::Write {
+                    col: 0,
+                    encode: true,
+                },
+                SyncClass::PeLocal,
+            ),
+            (
+                I::SetKey {
+                    key: SearchKey::masked(4),
+                },
+                SyncClass::PeLocal,
+            ),
+            (I::Wait { cycles: 3 }, SyncClass::PeLocal),
+            (I::SetTag, SyncClass::DataReg),
+            (I::ReadTag, SyncClass::DataReg),
+            (I::Count, SyncClass::SyncPoint),
+            (I::Index, SyncClass::SyncPoint),
+            (I::MovR { dir: Direction::Up }, SyncClass::SyncPoint),
+            (I::ReadR { addr: 0 }, SyncClass::SyncPoint),
+            (
+                I::WriteR {
+                    addr: 0,
+                    imm: vec![],
+                },
+                SyncClass::SyncPoint,
+            ),
+            (I::Broadcast { group_mask: 1 }, SyncClass::SyncPoint),
+        ];
+        for (inst, class) in cases {
+            assert_eq!(inst.sync_class(), class, "{}", inst.mnemonic());
+            assert_eq!(inst.is_sync_point(), class == SyncClass::SyncPoint);
+        }
+    }
+
+    #[test]
+    fn remote_reg_instructions_are_the_cross_group_ones() {
+        use Instruction as I;
+        assert!(I::MovR { dir: Direction::Up }.touches_remote_regs());
+        assert!(I::ReadR { addr: 3 }.touches_remote_regs());
+        assert!(I::WriteR {
+            addr: 3,
+            imm: vec![]
+        }
+        .touches_remote_regs());
+        assert!(!I::SetTag.touches_remote_regs());
+        assert!(!I::ReadTag.touches_remote_regs());
+        assert!(!I::Count.touches_remote_regs());
     }
 
     #[test]

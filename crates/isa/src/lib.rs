@@ -34,5 +34,5 @@ pub mod instruction;
 pub mod lower;
 
 pub use encoding::{decode_stream, encode};
-pub use instruction::{Direction, Instruction, KEY_COLUMNS};
+pub use instruction::{Direction, Instruction, SyncClass, KEY_COLUMNS};
 pub use lower::{lower, stream_cycles, stream_op_counts};

@@ -534,6 +534,26 @@ mod tests {
     }
 
     #[test]
+    fn write_column_wears_once_per_pulse_but_set_cell_never() {
+        // The endurance model bills associative write pulses (the column
+        // driver fires once per write_column call, whatever the tags say),
+        // while host-side set_cell loads go through the peripheral port and
+        // are not billed.
+        let mut a = TcamArray::new(4, 4);
+        let empty = TagVector::zeros(4);
+        a.write_column(2, TernaryBit::One, &empty);
+        a.write_column(2, TernaryBit::Zero, &TagVector::ones(4));
+        a.write_column(0, TernaryBit::X, &TagVector::ones(4));
+        assert_eq!(a.column_wear(), &[1, 0, 2, 0]);
+        for row in 0..4 {
+            a.set_cell(row, 2, TernaryBit::One);
+            a.set_cell(row, 3, TernaryBit::X);
+        }
+        assert_eq!(a.column_wear(), &[1, 0, 2, 0], "set_cell adds no wear");
+        assert_eq!(a.max_wear(), Some((2, 2)));
+    }
+
+    #[test]
     fn pe_sized_is_256x256() {
         let a = TcamArray::pe_sized();
         assert_eq!((a.rows(), a.cols()), (256, 256));

@@ -116,6 +116,21 @@ impl SearchKey {
             .map(|(i, b)| (i, *b))
     }
 
+    /// Collect the unmasked `(column, bit)` pairs into `out` (cleared
+    /// first), reusing its storage — the plan-cache refill path shared by
+    /// the interpreter's per-`SetKey` cache and the trace compiler
+    /// (`TcamArray::search_plan_into` consumes the result).
+    pub fn plan_into(&self, out: &mut Vec<(usize, KeyBit)>) {
+        out.clear();
+        out.extend(self.active_bits());
+    }
+
+    /// Allocating variant of [`plan_into`](Self::plan_into): build a fresh
+    /// precompiled search plan for this key.
+    pub fn compile_plan(&self) -> Vec<(usize, KeyBit)> {
+        self.active_bits().collect()
+    }
+
     /// Number of unmasked columns.
     pub fn active_count(&self) -> usize {
         self.active_columns().count()
@@ -192,6 +207,28 @@ mod tests {
         dst.copy_from(&src);
         assert_eq!(dst, src);
         assert_eq!(dst.bits().as_ptr(), ptr, "no reallocation");
+    }
+
+    #[test]
+    fn plan_into_matches_compile_plan_and_reuses_storage() {
+        let k = SearchKey::parse("1-Z0--1-").unwrap();
+        let plan = k.compile_plan();
+        assert_eq!(
+            plan,
+            vec![
+                (0, KeyBit::One),
+                (2, KeyBit::Z),
+                (3, KeyBit::Zero),
+                (6, KeyBit::One)
+            ]
+        );
+        let mut reused = Vec::with_capacity(8);
+        let ptr = reused.as_ptr();
+        k.plan_into(&mut reused);
+        assert_eq!(reused, plan);
+        assert_eq!(reused.as_ptr(), ptr, "no reallocation within capacity");
+        SearchKey::masked(4).plan_into(&mut reused);
+        assert!(reused.is_empty(), "fully-masked key compiles to no steps");
     }
 
     #[test]

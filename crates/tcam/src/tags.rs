@@ -192,6 +192,47 @@ mod tests {
     }
 
     #[test]
+    fn tail_block_semantics_for_non_multiple_of_64_rows() {
+        // Row counts that leave a partial final 64-bit block: the reduction
+        // tree (count), priority encoder (first_index), and ones() must all
+        // treat the padding bits as nonexistent.
+        for len in [1usize, 63, 65, 100, 127, 130] {
+            let o = TagVector::ones(len);
+            assert_eq!(o.count(), len, "ones({len}).count()");
+            assert_eq!(o.first_index(), Some(0), "ones({len}).first_index()");
+            let last = *o.blocks().last().unwrap();
+            if len % 64 != 0 {
+                assert_eq!(
+                    last,
+                    (1u64 << (len % 64)) - 1,
+                    "ones({len}) padding bits must stay zero"
+                );
+            }
+            // Priority-encode a tag in the tail block specifically.
+            let mut t = TagVector::zeros(len);
+            t.set(len - 1, true);
+            assert_eq!(t.first_index(), Some(len - 1), "tail row of len {len}");
+            assert_eq!(t.count(), 1);
+            assert!(t.any());
+            t.set(len - 1, false);
+            assert_eq!(t.count(), 0, "clearing the tail row empties len {len}");
+            assert_eq!(t.first_index(), None);
+        }
+    }
+
+    #[test]
+    fn tail_block_accumulate_and_intersect_preserve_padding() {
+        let mut a = TagVector::ones(70);
+        let b = TagVector::ones(70);
+        a.accumulate(&b);
+        assert_eq!(a.count(), 70);
+        assert_eq!(a.blocks()[1], (1u64 << 6) - 1, "OR left padding zero");
+        a.intersect(&b);
+        assert_eq!(a.count(), 70);
+        assert_eq!(a.iter_set().last(), Some(69));
+    }
+
+    #[test]
     fn set_get_round_trip() {
         let mut t = TagVector::zeros(100);
         t.set(63, true);
