@@ -231,7 +231,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bound for [`vec`]: an exact size or a range.
+    /// Length bound for [`vec()`]: an exact size or a range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: u64,
@@ -275,7 +275,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -86,7 +86,7 @@ impl ExecMode {
 
     /// The pure decision rule behind `Auto`: thread to `host` workers only
     /// when the dispatch's conservative work estimate (`slots * ops`
-    /// nanoseconds) is at least [`AUTO_BREAK_EVEN_MARGIN`]× the measured
+    /// nanoseconds) is at least `AUTO_BREAK_EVEN_MARGIN`× the measured
     /// fork-join cost of the `host - 1` extra workers.
     ///
     /// Exposed separately from [`dispatch_threads`](Self::dispatch_threads)

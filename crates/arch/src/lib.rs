@@ -24,6 +24,11 @@
 //! per segment; the instruction-at-a-time interpreter remains as the
 //! bit-identical reference engine
 //! ([`ApMachine::run_interpreted`](machine::ApMachine::run_interpreted)).
+//! [`SlabMachine`] ([`slab`]) runs the same compiled traces over contiguous
+//! multi-PE [`hyperap_tcam::slab::TcamSlab`] arenas — each micro-op executes
+//! once per chunk as a fused linear sweep instead of once per PE — and is
+//! bit-identical to [`ApMachine`] (property-tested in
+//! `tests/slab_engine_equivalence.rs`).
 //!
 //! # Example
 //!
@@ -48,11 +53,13 @@
 pub mod config;
 pub mod machine;
 pub mod par;
+pub mod slab;
 pub mod stats;
 pub mod trace;
 pub mod transfer;
 
 pub use config::{ArchConfig, ExecMode};
 pub use machine::ApMachine;
+pub use slab::SlabMachine;
 pub use stats::RunStats;
 pub use trace::CompiledTrace;

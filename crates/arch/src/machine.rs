@@ -39,19 +39,40 @@ pub use hyperap_isa::lower::BROADCAST_ADDR;
 /// A group's key-register state snapshotted at trace-run entry: the key
 /// plus its precompiled active-column plan (consumed by `PlanRef::Entry`
 /// micro-ops).
-type KeySnapshot = (SearchKey, Vec<(usize, KeyBit)>);
+pub(crate) type KeySnapshot = (SearchKey, Vec<(usize, KeyBit)>);
 
 /// A group's cached active-PE set (the bank-mask filter evaluated once, not
 /// once per instruction). Only `Broadcast` rewrites the bank mask, so only
-/// `Broadcast` invalidates.
+/// `Broadcast` invalidates. Shared with the slab engine ([`crate::slab`]).
 #[derive(Debug, Clone, Default)]
-struct ActiveSet {
+pub(crate) struct ActiveSet {
     /// One flag per PE of the group, indexed relative to the group base.
-    mask: Vec<bool>,
+    pub(crate) mask: Vec<bool>,
     /// Number of set flags.
-    count: usize,
+    pub(crate) count: usize,
     /// False until (re)computed; cleared by `Broadcast`.
-    valid: bool,
+    pub(crate) valid: bool,
+}
+
+impl ActiveSet {
+    /// Recompute the flags for one group if a `Broadcast` invalidated them.
+    pub(crate) fn refresh(&mut self, config: &ArchConfig, group: usize, bank_mask: u8) {
+        if self.valid {
+            return;
+        }
+        let per = config.pes_per_group();
+        let base = group * per;
+        self.mask.clear();
+        self.mask.resize(per, false);
+        self.count = 0;
+        for i in 0..per {
+            let bank = config.bank_of(base + i);
+            let on = bank >= 8 || bank_mask >> bank & 1 == 1;
+            self.mask[i] = on;
+            self.count += usize::from(on);
+        }
+        self.valid = true;
+    }
 }
 
 /// Borrowed view of one group's execution state, with the fan-out width
@@ -152,23 +173,7 @@ impl ApMachine {
 
     /// Recompute the group's active-PE set if a `Broadcast` invalidated it.
     fn refresh_active(&mut self, group: usize) {
-        if self.active[group].valid {
-            return;
-        }
-        let per = self.config.pes_per_group();
-        let base = group * per;
-        let bank_mask = self.bank_masks[group];
-        let cache = &mut self.active[group];
-        cache.mask.clear();
-        cache.mask.resize(per, false);
-        cache.count = 0;
-        for i in 0..per {
-            let bank = self.config.bank_of(base + i);
-            let on = bank >= 8 || bank_mask >> bank & 1 == 1;
-            cache.mask[i] = on;
-            cache.count += usize::from(on);
-        }
-        cache.valid = true;
+        self.active[group].refresh(&self.config, group, self.bank_masks[group]);
     }
 
     /// Borrow the group's execution state, active set refreshed and fan-out
@@ -283,25 +288,14 @@ impl ApMachine {
                     .then(|| (self.keys[g].clone(), self.key_plans[g].clone()))
             })
             .collect();
-        let mut steps = vec![0usize; n];
-        let mut clocks = vec![0u64; groups];
-        loop {
-            let next = (0..n)
-                .filter(|&g| steps[g] < traces[g].steps.len())
-                .min_by_key(|&g| (clocks[g], g));
-            let Some(g) = next else { break };
-            let step = &traces[g].steps[steps[g]];
-            steps[g] += 1;
-            clocks[g] += step.cycles;
-            match &step.kind {
-                StepKind::Segment(si) => {
-                    let seg = &traces[g].segments[*si];
-                    self.exec_segment(g, seg, &traces[g].plans, entries[g].as_ref());
-                    stats.group_ops[g].add(&seg.ops_delta);
-                }
-                StepKind::Sync(inst) => self.execute(g, inst, &mut stats),
+        let clocks = trace::drive_steps(traces, groups, |g, step| match &step.kind {
+            StepKind::Segment(si) => {
+                let seg = &traces[g].segments[*si];
+                self.exec_segment(g, seg, &traces[g].plans, entries[g].as_ref());
+                stats.group_ops[g].add(&seg.ops_delta);
             }
-        }
+            StepKind::Sync(inst) => self.execute(g, inst, &mut stats),
+        });
         // Leave the controller key registers exactly as the interpreter
         // would: the last SetKey of each stream wins.
         for (g, t) in traces.iter().enumerate().take(n) {
@@ -615,8 +609,8 @@ impl ApMachine {
     }
 
     /// Decode a `WriteR` immediate (little-endian byte image) into `out`;
-    /// rows beyond the image read as zero.
-    fn decode_reg(bytes: &[u8], out: &mut TagVector) {
+    /// rows beyond the image read as zero. Shared with the slab engine.
+    pub(crate) fn decode_reg(bytes: &[u8], out: &mut TagVector) {
         out.clear();
         for row in 0..out.len() {
             let byte = bytes.get(row / 8).copied().unwrap_or(0);

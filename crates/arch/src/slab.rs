@@ -1,0 +1,734 @@
+//! The slab execution engine: trace segments over contiguous multi-PE
+//! arenas.
+//!
+//! [`crate::ApMachine`] stores each PE as its own [`HyperPe`] — per-column
+//! `Vec<u64>` pairs whose scattered layout defeats the cache and forces
+//! every micro-op to be dispatched once per PE. [`SlabMachine`] executes
+//! the same compiled traces ([`crate::trace`]) over [`TcamSlab`] arenas
+//! instead: each group's PEs are partitioned into a few chunks, and a
+//! segment micro-op runs
+//! **once per chunk** as a fused kernel sweeping a contiguous slice that
+//! covers every PE of the chunk ([`TcamSlab::search_plan_multi_into`] and
+//! friends). Threaded modes fork-join over whole chunks — the chunk is both
+//! the storage arena and the unit of parallelism, so no two workers ever
+//! share an allocation.
+//!
+//! # Equivalence guarantee
+//!
+//! The engine is bit-identical to [`crate::ApMachine`] — PE state (cells,
+//! tags, latch, per-PE op counts, wear), data registers, `RunStats`, and
+//! cross-run key-register state all match (property-tested in
+//! `tests/slab_engine_equivalence.rs`):
+//!
+//! * The fused kernels are property-tested against the per-PE
+//!   [`hyperap_tcam::array::TcamArray`] operations (tcam's
+//!   `tests/slab_properties.rs`).
+//! * Segments execute micro-ops in program order; within one micro-op the
+//!   PEs are independent, so sweeping PEs per op commutes with the per-PE
+//!   engine's op-per-PE order.
+//! * Synchronization points reimplement the interpreter's instruction
+//!   semantics over the slab, in the same ascending-PE order, driven by the
+//!   same event loop (`trace::drive_steps`).
+
+use crate::config::{ArchConfig, ExecMode};
+use crate::machine::{ActiveSet, ApMachine, KeySnapshot, BROADCAST_ADDR};
+use crate::par;
+use crate::stats::RunStats;
+use crate::trace::{self, CompiledTrace, MicroOp, PlanRef, Segment, StepKind};
+use hyperap_core::machine::HyperPe;
+use hyperap_isa::{Direction, Instruction};
+use hyperap_model::timing::OpCounts;
+use hyperap_tcam::bit::KeyBit;
+use hyperap_tcam::encoding::encode_pair;
+use hyperap_tcam::key::SearchKey;
+use hyperap_tcam::slab::{TagSlab, TcamSlab};
+use hyperap_tcam::tags::TagVector;
+
+/// Default PEs per slab chunk: large enough that fused sweeps amortize the
+/// per-column setup, small enough that a paper-scaled group (64 PEs) still
+/// splits into several fork-join units.
+pub const DEFAULT_CHUNK_PES: usize = 16;
+
+/// One contiguous arena covering a sub-range of a group's PEs, with every
+/// per-PE register file the engine needs in matching multi-PE layout. The
+/// fork-join unit of the slab engine: workers own whole chunks, never
+/// slices of one.
+#[derive(Debug, Clone)]
+struct SlabChunk {
+    /// Group-relative index of the chunk's first PE.
+    base: usize,
+    /// PEs in this chunk (the last chunk of a group may be short).
+    pes: usize,
+    /// TCAM cell state + wear.
+    storage: TcamSlab,
+    /// Tag registers.
+    tags: TagSlab,
+    /// Encoder DFF stage (latched search results).
+    latch: TagSlab,
+    /// Sense-amplifier scratch for accumulating searches.
+    scratch: TagSlab,
+    /// Data registers.
+    regs: TagSlab,
+    /// Per-PE operation counters (chunk-relative indexing).
+    ops: Vec<OpCounts>,
+    /// Chunk-relative `[lo, hi)` runs of active PEs, refreshed per segment
+    /// (reused allocation).
+    runs: Vec<(usize, usize)>,
+}
+
+impl SlabChunk {
+    fn new(base: usize, pes: usize, rows: usize, cols: usize) -> Self {
+        SlabChunk {
+            base,
+            pes,
+            storage: TcamSlab::new(pes, rows, cols),
+            tags: TagSlab::zeros(pes, rows),
+            latch: TagSlab::zeros(pes, rows),
+            scratch: TagSlab::zeros(pes, rows),
+            regs: TagSlab::zeros(pes, rows),
+            ops: vec![OpCounts::default(); pes],
+            runs: Vec::new(),
+        }
+    }
+
+    /// Recompute the chunk's contiguous active-PE runs from the group mask.
+    fn refresh_runs(&mut self, group_mask: &[bool]) {
+        self.runs.clear();
+        let mut i = 0;
+        while i < self.pes {
+            if group_mask[self.base + i] {
+                let lo = i;
+                while i < self.pes && group_mask[self.base + i] {
+                    i += 1;
+                }
+                self.runs.push((lo, i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Run a whole segment over this chunk: each micro-op executes once per
+    /// active run as a fused kernel, and the segment's per-PE `OpCounts`
+    /// delta lands in one `add` per active PE.
+    fn exec_segment(
+        &mut self,
+        seg: &Segment,
+        plans: &[Vec<(usize, KeyBit)>],
+        entry: Option<&KeySnapshot>,
+        pe_delta: &OpCounts,
+        group_mask: &[bool],
+    ) {
+        self.refresh_runs(group_mask);
+        if self.runs.is_empty() {
+            return;
+        }
+        let Self {
+            storage,
+            tags,
+            latch,
+            scratch,
+            regs,
+            ops,
+            runs,
+            ..
+        } = self;
+        for op in &seg.ops {
+            match op {
+                MicroOp::Search { plan, acc, encode } => {
+                    let plan = match plan {
+                        PlanRef::Entry => entry.expect("entry key snapshotted").1.as_slice(),
+                        PlanRef::Compiled(p) => plans[*p].as_slice(),
+                    };
+                    for &(lo, hi) in runs.iter() {
+                        if *acc {
+                            storage.search_plan_multi_into(plan, lo, hi, scratch.range_mut(lo, hi));
+                            tags.accumulate_range_from(scratch, lo, hi);
+                        } else {
+                            storage.search_plan_multi_into(plan, lo, hi, tags.range_mut(lo, hi));
+                        }
+                        if *encode {
+                            latch.copy_range_from(tags, lo, hi);
+                        }
+                    }
+                }
+                MicroOp::Write { col, value } => {
+                    let v = value.write_value().expect("compiler emits storing writes");
+                    for &(lo, hi) in runs.iter() {
+                        storage.write_column_multi(*col as usize, v, tags.range(lo, hi), lo, hi);
+                    }
+                }
+                MicroOp::WriteEntry { col } => {
+                    let value = entry.expect("entry key snapshotted").0.bit(*col as usize);
+                    if let Some(v) = value.write_value() {
+                        for &(lo, hi) in runs.iter() {
+                            storage.write_column_multi(
+                                *col as usize,
+                                v,
+                                tags.range(lo, hi),
+                                lo,
+                                hi,
+                            );
+                        }
+                    }
+                }
+                MicroOp::WriteEncoded { col } => {
+                    for &(lo, hi) in runs.iter() {
+                        storage.write_encoded_multi(
+                            *col as usize,
+                            latch.range(lo, hi),
+                            tags.range(lo, hi),
+                            lo,
+                            hi,
+                        );
+                    }
+                }
+                MicroOp::SetTag => {
+                    for &(lo, hi) in runs.iter() {
+                        tags.copy_range_from(regs, lo, hi);
+                    }
+                }
+                MicroOp::ReadTag => {
+                    for &(lo, hi) in runs.iter() {
+                        regs.copy_range_from(tags, lo, hi);
+                    }
+                }
+            }
+        }
+        for &(lo, hi) in runs.iter() {
+            for pe_ops in &mut ops[lo..hi] {
+                pe_ops.add(pe_delta);
+            }
+        }
+    }
+}
+
+/// A simulated Hyper-AP machine backed by slab storage — the fast engine,
+/// bit-identical to [`ApMachine`] (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct SlabMachine {
+    config: ArchConfig,
+    /// Resolved host fan-out width for `config.exec`.
+    threads: usize,
+    /// PEs per chunk (the last chunk of each group may be short).
+    chunk_pes: usize,
+    /// Chunks per group.
+    chunks_per_group: usize,
+    /// All chunks, group-major (`group * chunks_per_group + chunk`).
+    chunks: Vec<SlabChunk>,
+    keys: Vec<SearchKey>,
+    key_plans: Vec<Vec<(usize, KeyBit)>>,
+    bank_masks: Vec<u8>,
+    /// Controller data buffer (last `ReadR` result per group).
+    pub data_buffers: Vec<TagVector>,
+    active: Vec<ActiveSet>,
+    /// `MovR` snapshot of one group's pushing registers (`[pe][block]`).
+    mov_scratch: Vec<u64>,
+    /// Decoded `WriteR` immediate.
+    imm_scratch: TagVector,
+}
+
+impl SlabMachine {
+    /// Build a machine with the given geometry; all cells zero.
+    pub fn new(config: ArchConfig) -> Self {
+        Self::with_chunk_pes(config, DEFAULT_CHUNK_PES)
+    }
+
+    /// [`new`](Self::new) with an explicit chunk width (tests sweep odd
+    /// widths to exercise short tail chunks; `chunk_pes >= pes_per_group`
+    /// gives one chunk per group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_pes` is zero.
+    pub fn with_chunk_pes(config: ArchConfig, chunk_pes: usize) -> Self {
+        assert!(chunk_pes > 0, "chunk width must be non-zero");
+        let per = config.pes_per_group();
+        let cpg = per.div_ceil(chunk_pes);
+        let mut chunks = Vec::with_capacity(config.groups * cpg);
+        for _ in 0..config.groups {
+            for c in 0..cpg {
+                let base = c * chunk_pes;
+                chunks.push(SlabChunk::new(
+                    base,
+                    chunk_pes.min(per - base),
+                    config.rows,
+                    config.cols,
+                ));
+            }
+        }
+        SlabMachine {
+            threads: config.exec.threads(),
+            chunk_pes,
+            chunks_per_group: cpg,
+            chunks,
+            keys: vec![SearchKey::masked(config.cols); config.groups],
+            key_plans: vec![Vec::new(); config.groups],
+            bank_masks: vec![0xFF; config.groups],
+            data_buffers: vec![TagVector::zeros(config.rows); config.groups],
+            active: vec![ActiveSet::default(); config.groups],
+            mov_scratch: Vec::new(),
+            imm_scratch: TagVector::zeros(config.rows),
+            config,
+        }
+    }
+
+    /// The machine geometry.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// PEs per slab chunk.
+    pub fn chunk_pes(&self) -> usize {
+        self.chunk_pes
+    }
+
+    /// Switch the engine's threading policy in place (results are identical
+    /// under every mode; see [`ExecMode`]).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.config.exec = mode;
+        self.threads = mode.threads();
+    }
+
+    /// Locate a PE: `(chunk index, chunk-relative slot)`.
+    fn chunk_of(&self, pe: usize) -> (usize, usize) {
+        let per = self.config.pes_per_group();
+        let (group, rel) = (pe / per, pe % per);
+        (
+            group * self.chunks_per_group + rel / self.chunk_pes,
+            rel % self.chunk_pes,
+        )
+    }
+
+    /// Snapshot one PE as a standalone [`HyperPe`] (cells, wear, tags,
+    /// latch, per-PE op counts) — the comparison/readout path; costs a
+    /// conversion, so not for hot loops.
+    pub fn pe_snapshot(&self, pe: usize) -> HyperPe {
+        let (c, s) = self.chunk_of(pe);
+        let chunk = &self.chunks[c];
+        HyperPe::from_parts(
+            chunk.storage.to_array(s),
+            chunk.tags.to_tagvector(s),
+            chunk.latch.to_tagvector(s),
+            chunk.ops[s],
+        )
+    }
+
+    /// A PE's data register (copied out).
+    pub fn data_reg(&self, pe: usize) -> TagVector {
+        let (c, s) = self.chunk_of(pe);
+        self.chunks[c].regs.to_tagvector(s)
+    }
+
+    /// A group's controller data buffer.
+    pub fn data_buffer(&self, group: usize) -> &TagVector {
+        &self.data_buffers[group]
+    }
+
+    // ----- host data-load path (mirrors `HyperPe`'s; free) -----
+
+    /// Host load: store a plain bit in one PE.
+    pub fn load_bit(&mut self, pe: usize, row: usize, col: usize, value: bool) {
+        let (c, s) = self.chunk_of(pe);
+        self.chunks[c].storage.set_cell(
+            s,
+            row,
+            col,
+            hyperap_tcam::bit::TernaryBit::from_bool(value),
+        );
+    }
+
+    /// Host load: store a logical bit pair `(hi, lo)` in two-bit-encoded
+    /// form at columns `col`, `col + 1` of one PE.
+    pub fn load_encoded_pair(&mut self, pe: usize, row: usize, col: usize, hi: bool, lo: bool) {
+        let (c, s) = self.chunk_of(pe);
+        let cells = encode_pair(hi, lo);
+        self.chunks[c].storage.set_cell(s, row, col, cells[0]);
+        self.chunks[c].storage.set_cell(s, row, col + 1, cells[1]);
+    }
+
+    /// Host read: a plain bit (`None` if the cell stores `X`).
+    pub fn read_bit(&self, pe: usize, row: usize, col: usize) -> Option<bool> {
+        let (c, s) = self.chunk_of(pe);
+        self.chunks[c].storage.cell(s, row, col).to_bool()
+    }
+
+    /// Host read: decode the encoded pair at columns `col`, `col + 1` of
+    /// one PE into `(hi, lo)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cells do not hold a valid two-bit code.
+    pub fn read_encoded_pair(&self, pe: usize, row: usize, col: usize) -> (bool, bool) {
+        let (c, s) = self.chunk_of(pe);
+        let v = hyperap_tcam::encoding::decode_pair([
+            self.chunks[c].storage.cell(s, row, col),
+            self.chunks[c].storage.cell(s, row, col + 1),
+        ])
+        .expect("valid two-bit code");
+        (v & 0b10 != 0, v & 0b01 != 0)
+    }
+
+    /// Run one instruction stream per group to completion — identical
+    /// contract to [`ApMachine::run`], compiled through the same
+    /// [`crate::trace`] pipeline.
+    pub fn run(&mut self, streams: &[Vec<Instruction>]) -> RunStats {
+        let traces = trace::compile_streams(streams, &self.config);
+        self.run_compiled(&traces)
+    }
+
+    /// Run precompiled traces — identical contract (and results) to
+    /// [`ApMachine::run_compiled`], with segments executed as fused slab
+    /// kernels instead of per-PE loops.
+    pub fn run_compiled(&mut self, traces: &[CompiledTrace]) -> RunStats {
+        let groups = self.config.groups;
+        let mut stats = RunStats {
+            group_cycles: vec![0; groups],
+            group_ops: vec![OpCounts::default(); groups],
+            count_results: vec![Vec::new(); groups],
+            index_results: vec![Vec::new(); groups],
+        };
+        let n = groups.min(traces.len());
+        let entries: Vec<Option<KeySnapshot>> = (0..n)
+            .map(|g| {
+                traces[g]
+                    .uses_entry_key
+                    .then(|| (self.keys[g].clone(), self.key_plans[g].clone()))
+            })
+            .collect();
+        let clocks = trace::drive_steps(traces, groups, |g, step| match &step.kind {
+            StepKind::Segment(si) => {
+                let seg = &traces[g].segments[*si];
+                self.exec_segment(g, seg, &traces[g].plans, entries[g].as_ref());
+                stats.group_ops[g].add(&seg.ops_delta);
+            }
+            StepKind::Sync(inst) => self.execute_sync(g, inst, &mut stats),
+        });
+        for (g, t) in traces.iter().enumerate().take(n) {
+            if let Some(key) = &t.final_key {
+                self.keys[g].copy_from(key);
+                let plan = t.plans.last().expect("a final key implies a plan");
+                self.key_plans[g].clear();
+                self.key_plans[g].extend_from_slice(plan);
+            }
+        }
+        stats.group_cycles = clocks;
+        stats
+    }
+
+    fn refresh_active(&mut self, group: usize) {
+        self.active[group].refresh(&self.config, group, self.bank_masks[group]);
+    }
+
+    /// Execute one segment: fork-join over the group's chunks, each worker
+    /// running its chunks through the entire micro-op list as fused sweeps.
+    fn exec_segment(
+        &mut self,
+        group: usize,
+        seg: &Segment,
+        plans: &[Vec<(usize, KeyBit)>],
+        entry: Option<&KeySnapshot>,
+    ) {
+        if seg.ops.is_empty() {
+            return; // bookkeeping-only segment (SetKey/Wait runs)
+        }
+        self.refresh_active(group);
+        let cache = &self.active[group];
+        if cache.count == 0 {
+            return;
+        }
+        let threads = if cache.count < 2 {
+            1
+        } else {
+            self.config.exec.dispatch_threads(
+                self.threads,
+                (cache.count * self.config.rows) as u64,
+                seg.ops.len() as u64,
+            )
+        };
+        let pe_delta = seg.pe_ops_delta(entry.map(|e| &e.0));
+        let cpg = self.chunks_per_group;
+        let mask = &cache.mask;
+        let chunks = &mut self.chunks[group * cpg..(group + 1) * cpg];
+        par::for_each_chunk(threads, chunks, |_, chunks| {
+            for chunk in chunks {
+                chunk.exec_segment(seg, plans, entry, &pe_delta, mask);
+            }
+        });
+    }
+
+    /// Execute a synchronization-point step: the interpreter's instruction
+    /// semantics, reimplemented over the slab. Only instructions the trace
+    /// compiler can emit as sync steps appear here (`SyncClass::SyncPoint`,
+    /// plus `SetTag`/`ReadTag` when demoted by `reg_sync`).
+    fn execute_sync(&mut self, group: usize, inst: &Instruction, stats: &mut RunStats) {
+        let per = self.config.pes_per_group();
+        let base = group * per;
+        match inst {
+            Instruction::Count => {
+                self.refresh_active(group);
+                for i in 0..per {
+                    if !self.active[group].mask[i] {
+                        continue;
+                    }
+                    let (c, s) = self.chunk_of(base + i);
+                    let chunk = &mut self.chunks[c];
+                    chunk.ops[s].counts += 1;
+                    let count = chunk.tags.count(s);
+                    stats.count_results[group].push((base + i, count));
+                }
+                stats.group_ops[group].counts += 1;
+            }
+            Instruction::Index => {
+                self.refresh_active(group);
+                for i in 0..per {
+                    if !self.active[group].mask[i] {
+                        continue;
+                    }
+                    let (c, s) = self.chunk_of(base + i);
+                    let chunk = &mut self.chunks[c];
+                    chunk.ops[s].indexes += 1;
+                    let index = chunk.tags.first_index(s);
+                    stats.index_results[group].push((base + i, index));
+                }
+                stats.group_ops[group].indexes += 1;
+            }
+            Instruction::MovR { dir } => {
+                self.mov_r(group, *dir);
+                stats.group_ops[group].mov_rs += 1;
+            }
+            Instruction::ReadR { addr } => {
+                let pe = (*addr as usize).min(self.config.total_pes() - 1);
+                let (c, s) = self.chunk_of(pe);
+                self.data_buffers[group]
+                    .blocks_mut()
+                    .copy_from_slice(self.chunks[c].regs.pe(s));
+            }
+            Instruction::WriteR { addr, imm } => {
+                ApMachine::decode_reg(imm, &mut self.imm_scratch);
+                if *addr == BROADCAST_ADDR {
+                    self.refresh_active(group);
+                    for i in 0..per {
+                        if !self.active[group].mask[i] {
+                            continue;
+                        }
+                        let (c, s) = self.chunk_of(base + i);
+                        self.chunks[c]
+                            .regs
+                            .pe_mut(s)
+                            .copy_from_slice(self.imm_scratch.blocks());
+                    }
+                } else {
+                    let pe = (*addr as usize).min(self.config.total_pes() - 1);
+                    let (c, s) = self.chunk_of(pe);
+                    self.chunks[c]
+                        .regs
+                        .pe_mut(s)
+                        .copy_from_slice(self.imm_scratch.blocks());
+                }
+            }
+            Instruction::SetTag | Instruction::ReadTag => {
+                self.refresh_active(group);
+                let cpg = self.chunks_per_group;
+                let Self { chunks, active, .. } = self;
+                let mask = &active[group].mask;
+                for chunk in &mut chunks[group * cpg..(group + 1) * cpg] {
+                    chunk.refresh_runs(mask);
+                    let SlabChunk {
+                        tags, regs, runs, ..
+                    } = chunk;
+                    for &(lo, hi) in runs.iter() {
+                        if matches!(inst, Instruction::SetTag) {
+                            tags.copy_range_from(regs, lo, hi);
+                        } else {
+                            regs.copy_range_from(tags, lo, hi);
+                        }
+                    }
+                }
+                stats.group_ops[group].tag_ops += 1;
+            }
+            Instruction::Broadcast { group_mask } => {
+                self.bank_masks[group] = *group_mask;
+                self.active[group].valid = false;
+                stats.group_ops[group].broadcasts += 1;
+            }
+            Instruction::SetKey { .. }
+            | Instruction::Search { .. }
+            | Instruction::Write { .. }
+            | Instruction::Wait { .. } => {
+                unreachable!("PE-local instructions always fold into segments")
+            }
+        }
+    }
+
+    /// `MovR` over the slab — exactly [`ApMachine`]'s semantics: every
+    /// active PE pushes its data register to the mesh neighbor in `dir`
+    /// (possibly across groups); active PEs with no pushing in-group
+    /// upstream shift zeros in. Snapshot semantics via `mov_scratch`.
+    fn mov_r(&mut self, group: usize, dir: Direction) {
+        let (h, w) = self.config.mesh_dims();
+        let per = self.config.pes_per_group();
+        let base = group * per;
+        let bpp = self.config.rows.div_ceil(64);
+        self.refresh_active(group);
+        if self.mov_scratch.len() < per * bpp {
+            self.mov_scratch.resize(per * bpp, 0);
+        }
+        // Snapshot the pushing registers.
+        for i in 0..per {
+            if !self.active[group].mask[i] {
+                continue;
+            }
+            let (c, s) = self.chunk_of(base + i);
+            self.mov_scratch[i * bpp..(i + 1) * bpp].copy_from_slice(self.chunks[c].regs.pe(s));
+        }
+        // Active PEs with no pushing upstream receive zeros…
+        for i in 0..per {
+            if !self.active[group].mask[i] {
+                continue;
+            }
+            let pe = base + i;
+            let (r, c) = (pe / w, pe % w);
+            let upstream = match dir {
+                Direction::Up => (r + 1 < h).then(|| pe + w),
+                Direction::Down => (r > 0).then(|| pe - w),
+                Direction::Left => (c + 1 < w).then(|| pe + 1),
+                Direction::Right => (c > 0).then(|| pe - 1),
+            };
+            let pushing = upstream
+                .is_some_and(|u| u >= base && u < base + per && self.active[group].mask[u - base]);
+            if !pushing {
+                let (ci, s) = self.chunk_of(pe);
+                self.chunks[ci].regs.pe_mut(s).fill(0);
+            }
+        }
+        // …then pushes land (possibly into other groups' PEs).
+        for i in 0..per {
+            if !self.active[group].mask[i] {
+                continue;
+            }
+            let pe = base + i;
+            let (r, c) = (pe / w, pe % w);
+            let dest = match dir {
+                Direction::Up => (r > 0).then(|| pe - w),
+                Direction::Down => (r + 1 < h).then(|| pe + w),
+                Direction::Left => (c > 0).then(|| pe - 1),
+                Direction::Right => (c + 1 < w).then(|| pe + 1),
+            };
+            if let Some(d) = dest {
+                if d < self.config.total_pes() {
+                    let (ci, s) = self.chunk_of(d);
+                    self.chunks[ci]
+                        .regs
+                        .pe_mut(s)
+                        .copy_from_slice(&self.mov_scratch[i * bpp..(i + 1) * bpp]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn search_key(s: &str) -> Instruction {
+        Instruction::SetKey {
+            key: SearchKey::parse(s).unwrap(),
+        }
+    }
+
+    const SEARCH: Instruction = Instruction::Search {
+        acc: false,
+        encode: false,
+    };
+
+    #[test]
+    fn simd_search_applies_to_all_pes_in_group() {
+        let mut m = SlabMachine::new(ArchConfig::tiny());
+        m.load_bit(0, 2, 0, true);
+        m.load_bit(2, 2, 0, true);
+        let stats = m.run(&[vec![search_key("1"), SEARCH, Instruction::Count]]);
+        let counts: Vec<usize> = stats.count_results[0].iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn matches_ap_machine_on_a_small_program() {
+        let stream = vec![
+            search_key("1"),
+            SEARCH,
+            Instruction::ReadTag,
+            Instruction::MovR {
+                dir: Direction::Right,
+            },
+            Instruction::SetTag,
+            Instruction::Count,
+            Instruction::Index,
+        ];
+        let mut reference = ApMachine::new(ArchConfig::tiny());
+        let mut slab = SlabMachine::with_chunk_pes(ArchConfig::tiny(), 3);
+        for pe in [0, 2, 5] {
+            reference.pe_mut(pe).load_bit(3, 0, true);
+            slab.load_bit(pe, 3, 0, true);
+        }
+        let a = reference.run(std::slice::from_ref(&stream));
+        let b = slab.run(std::slice::from_ref(&stream));
+        assert_eq!(a, b);
+        for pe in 0..reference.config().total_pes() {
+            assert_eq!(reference.pe(pe), &slab.pe_snapshot(pe), "PE {pe}");
+            assert_eq!(reference.data_reg(pe), &slab.data_reg(pe), "reg {pe}");
+        }
+    }
+
+    #[test]
+    fn short_tail_chunks_cover_every_pe() {
+        // tiny(): 4 PEs per group; chunk width 3 gives chunks of 3 and 1.
+        let m = SlabMachine::with_chunk_pes(ArchConfig::tiny(), 3);
+        assert_eq!(m.chunks_per_group, 2);
+        assert_eq!(m.chunks[0].pes, 3);
+        assert_eq!(m.chunks[1].pes, 1);
+        let pes: usize = m.chunks[..2].iter().map(|c| c.pes).sum();
+        assert_eq!(pes, m.config.pes_per_group());
+        assert_eq!(m.chunk_of(3), (1, 0));
+        assert_eq!(m.chunk_of(4), (2, 0), "group 1 starts a new chunk row");
+    }
+
+    #[test]
+    fn exec_modes_agree_bitwise() {
+        let stream = vec![
+            search_key("1"),
+            SEARCH,
+            Instruction::Write {
+                col: 2,
+                encode: false,
+            },
+            Instruction::Count,
+        ];
+        let run = |mode: ExecMode| {
+            let mut cfg = ArchConfig::tiny();
+            cfg.exec = mode;
+            let mut m = SlabMachine::with_chunk_pes(cfg, 2);
+            m.load_bit(0, 3, 0, true);
+            m.load_bit(2, 7, 0, true);
+            let stats = m.run(std::slice::from_ref(&stream));
+            (stats, m)
+        };
+        let (seq_stats, seq_m) = run(ExecMode::Sequential);
+        let (par_stats, par_m) = run(ExecMode::Parallel);
+        assert_eq!(seq_stats, par_stats);
+        for pe in 0..seq_m.config().total_pes() {
+            assert_eq!(seq_m.pe_snapshot(pe), par_m.pe_snapshot(pe), "PE {pe}");
+        }
+    }
+
+    #[test]
+    fn encoded_round_trip_through_host_paths() {
+        let mut m = SlabMachine::new(ArchConfig::tiny());
+        m.load_encoded_pair(1, 4, 10, true, false);
+        assert_eq!(m.read_encoded_pair(1, 4, 10), (true, false));
+        m.load_bit(1, 4, 20, true);
+        assert_eq!(m.read_bit(1, 4, 20), Some(true));
+        assert_eq!(m.read_bit(1, 4, 21), Some(false));
+    }
+}

@@ -114,6 +114,44 @@ pub struct Segment {
     pub instructions: usize,
 }
 
+impl Segment {
+    /// The `OpCounts` delta one *active PE* accrues executing this segment —
+    /// what the per-PE engine adds per micro-op, pre-aggregated so a slab
+    /// engine can account a whole segment with one `add` per active PE.
+    ///
+    /// `entry` is the group's entry-key snapshot; it decides whether a
+    /// `WriteEntry` actually stores (a masked entry bit is a no-op the
+    /// per-PE path never reaches [`hyperap_core::machine::HyperPe::write`]
+    /// for).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment contains a `WriteEntry` and `entry` is `None`.
+    pub fn pe_ops_delta(&self, entry: Option<&SearchKey>) -> OpCounts {
+        let mut d = OpCounts::default();
+        for op in &self.ops {
+            match op {
+                // search_planned counts one search plus one SetKey.
+                MicroOp::Search { .. } => {
+                    d.searches += 1;
+                    d.set_keys += 1;
+                }
+                MicroOp::Write { .. } => d.writes_single += 1,
+                MicroOp::WriteEntry { col } => {
+                    let value = entry.expect("entry key snapshotted").bit(*col as usize);
+                    if value.write_value().is_some() {
+                        d.writes_single += 1;
+                    }
+                }
+                MicroOp::WriteEncoded { .. } => d.writes_encoded += 1,
+                // Tag transfers are counted at group level only.
+                MicroOp::SetTag | MicroOp::ReadTag => {}
+            }
+        }
+        d
+    }
+}
+
 /// One schedulable step of a compiled trace.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StepKind {
@@ -269,6 +307,32 @@ impl CompiledTrace {
     pub fn instruction_count(&self) -> usize {
         self.segments.iter().map(|s| s.instructions).sum::<usize>() + self.sync_count()
     }
+}
+
+/// The cross-group event loop shared by every trace-executing engine
+/// ([`crate::ApMachine::run_compiled`], [`crate::SlabMachine::run_compiled`]):
+/// repeatedly pick the group whose local clock is earliest (ties broken by
+/// group index — the interpreter's `(issue cycle, group)` key), advance its
+/// clock by the step's cycle cost, and hand the step to `f`. Returns the
+/// final per-group clocks (groups beyond `traces.len()` idle at zero).
+pub(crate) fn drive_steps<F>(traces: &[CompiledTrace], groups: usize, mut f: F) -> Vec<u64>
+where
+    F: FnMut(usize, &Step),
+{
+    let n = groups.min(traces.len());
+    let mut steps = vec![0usize; n];
+    let mut clocks = vec![0u64; groups];
+    loop {
+        let next = (0..n)
+            .filter(|&g| steps[g] < traces[g].steps.len())
+            .min_by_key(|&g| (clocks[g], g));
+        let Some(g) = next else { break };
+        let step = &traces[g].steps[steps[g]];
+        steps[g] += 1;
+        clocks[g] += step.cycles;
+        f(g, step);
+    }
+    clocks
 }
 
 /// Compile every stream of a multi-group program, deriving each stream's

@@ -1,0 +1,207 @@
+//! Property tests for the slab engine's equivalence guarantee: random
+//! instruction streams produce bit-identical PE state (cells, tags, latch,
+//! per-PE operation counts, per-column wear), data registers, controller
+//! buffers, `RunStats`, and cross-run key-register state whether execution
+//! goes through the per-PE reference engine ([`ApMachine`]) or the
+//! slab-backed engine ([`SlabMachine`]) — under every [`ExecMode`] and over
+//! chunk widths that exercise single-PE chunks, short tail chunks, and
+//! one-chunk-per-group layouts.
+
+use hyperap_arch::machine::BROADCAST_ADDR;
+use hyperap_arch::{ApMachine, ArchConfig, ExecMode, SlabMachine};
+use hyperap_isa::{Direction, Instruction};
+use hyperap_tcam::KeyBit;
+use proptest::prelude::*;
+
+/// Geometry under test: `tiny()` is 2 groups x 4 PEs of 16x64.
+const PES: usize = 8;
+const ROWS: usize = 16;
+const COLS: usize = 64;
+
+/// Chunk widths under test: single-PE chunks, a short tail chunk (4 PEs per
+/// group in chunks of 3), and one chunk covering the whole group.
+const CHUNK_WIDTHS: [usize; 3] = [1, 3, 4];
+
+fn inst_strategy() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        prop::collection::vec(0u8..4, COLS).prop_map(|bits| Instruction::SetKey {
+            key: bits
+                .iter()
+                .map(|b| match b {
+                    0 => KeyBit::Zero,
+                    1 => KeyBit::One,
+                    2 => KeyBit::Z,
+                    _ => KeyBit::Masked,
+                })
+                .collect(),
+        }),
+        (any::<bool>(), any::<bool>())
+            .prop_map(|(acc, encode)| Instruction::Search { acc, encode }),
+        // `encode` needs two adjacent columns, so stop one short.
+        (0u8..(COLS as u8 - 1), any::<bool>())
+            .prop_map(|(col, encode)| Instruction::Write { col, encode }),
+        Just(Instruction::Count),
+        Just(Instruction::Index),
+        (0u8..4).prop_map(|d| Instruction::MovR {
+            dir: match d {
+                0 => Direction::Up,
+                1 => Direction::Down,
+                2 => Direction::Left,
+                _ => Direction::Right,
+            },
+        }),
+        (0u32..PES as u32).prop_map(|addr| Instruction::ReadR { addr }),
+        (0u32..=PES as u32, prop::collection::vec(any::<u8>(), 0..4)).prop_map(|(a, imm)| {
+            Instruction::WriteR {
+                addr: if a == PES as u32 { BROADCAST_ADDR } else { a },
+                imm,
+            }
+        }),
+        Just(Instruction::SetTag),
+        Just(Instruction::ReadTag),
+        any::<u8>().prop_map(|m| Instruction::Broadcast { group_mask: m }),
+        (0u8..10).prop_map(|cycles| Instruction::Wait { cycles }),
+    ]
+}
+
+type Load = (usize, usize, usize, bool);
+
+fn loads_strategy() -> impl Strategy<Value = Vec<Load>> {
+    prop::collection::vec(
+        (0usize..PES, 0usize..ROWS, 0usize..COLS, any::<bool>()),
+        0..64,
+    )
+}
+
+fn build_reference(loads: &[Load]) -> ApMachine {
+    let mut cfg = ArchConfig::tiny();
+    cfg.exec = ExecMode::Sequential;
+    let mut m = ApMachine::new(cfg);
+    for &(pe, row, col, v) in loads {
+        m.pe_mut(pe).load_bit(row, col, v);
+    }
+    m
+}
+
+fn build_slab(mode: ExecMode, chunk_pes: usize, loads: &[Load]) -> SlabMachine {
+    let mut cfg = ArchConfig::tiny();
+    cfg.exec = mode;
+    let mut m = SlabMachine::with_chunk_pes(cfg, chunk_pes);
+    for &(pe, row, col, v) in loads {
+        m.load_bit(pe, row, col, v);
+    }
+    m
+}
+
+fn assert_machines_identical(reference: &ApMachine, slab: &SlabMachine) {
+    for pe in 0..PES {
+        let snapshot = slab.pe_snapshot(pe);
+        assert_eq!(reference.pe(pe), &snapshot, "PE {pe} state diverged");
+        // PE equality already covers wear (part of `TcamArray`'s `Eq`), but
+        // assert it separately so a wear divergence names itself.
+        assert_eq!(
+            reference.pe(pe).column_wear(),
+            snapshot.column_wear(),
+            "PE {pe} wear accounting diverged"
+        );
+        assert_eq!(
+            reference.data_reg(pe),
+            &slab.data_reg(pe),
+            "PE {pe} data register diverged"
+        );
+    }
+    assert_eq!(
+        reference.data_buffers, slab.data_buffers,
+        "controller data buffers diverged"
+    );
+}
+
+proptest! {
+    /// The per-PE engine is the reference; the slab engine must match it
+    /// bit-for-bit under every threading mode and chunk width — machine
+    /// state, wear, per-PE op counts, and stats (Count/Index reductions
+    /// included).
+    #[test]
+    fn slab_engine_equals_per_pe_reference(
+        loads in loads_strategy(),
+        s0 in prop::collection::vec(inst_strategy(), 0..40),
+        s1 in prop::collection::vec(inst_strategy(), 0..40),
+    ) {
+        let streams = vec![s0, s1];
+        let mut reference = build_reference(&loads);
+        let ref_stats = reference.run(&streams);
+        for mode in [ExecMode::Sequential, ExecMode::Parallel, ExecMode::Auto] {
+            for chunk_pes in CHUNK_WIDTHS {
+                let mut slab = build_slab(mode, chunk_pes, &loads);
+                let slab_stats = slab.run(&streams);
+                prop_assert_eq!(
+                    &ref_stats, &slab_stats,
+                    "stats diverged under {:?} with {}-PE chunks", mode, chunk_pes
+                );
+                assert_machines_identical(&reference, &slab);
+            }
+        }
+    }
+
+    /// Key-register state must carry across runs identically: a stream that
+    /// searches before its first SetKey picks up whatever key the previous
+    /// run left behind (entry-key snapshot and final-key restore paths).
+    #[test]
+    fn engines_agree_across_consecutive_runs(
+        loads in loads_strategy(),
+        first in prop::collection::vec(inst_strategy(), 0..25),
+        second in prop::collection::vec(inst_strategy(), 0..25),
+    ) {
+        let mut reference = build_reference(&loads);
+        let mut slab = build_slab(ExecMode::Sequential, 3, &loads);
+        let a0 = reference.run(std::slice::from_ref(&first));
+        let b0 = slab.run(std::slice::from_ref(&first));
+        prop_assert_eq!(&a0, &b0);
+        let a1 = reference.run(std::slice::from_ref(&second));
+        let b1 = slab.run(std::slice::from_ref(&second));
+        prop_assert_eq!(&a1, &b1, "second run diverged: key state not carried");
+        assert_machines_identical(&reference, &slab);
+    }
+
+    /// Precompiled traces reused across both engines give the same results
+    /// as engine-local compilation (the `run_compiled` entry point the
+    /// benchmarks use).
+    #[test]
+    fn precompiled_traces_agree(
+        loads in loads_strategy(),
+        s0 in prop::collection::vec(inst_strategy(), 0..30),
+    ) {
+        let streams = vec![s0];
+        let cfg = ArchConfig::tiny();
+        let traces = hyperap_arch::trace::compile_streams(&streams, &cfg);
+        let mut reference = build_reference(&loads);
+        let mut slab = build_slab(ExecMode::Sequential, 4, &loads);
+        let a = reference.run_compiled(&traces);
+        let b = slab.run_compiled(&traces);
+        prop_assert_eq!(&a, &b);
+        assert_machines_identical(&reference, &slab);
+    }
+
+    /// Bank gating: the slab engine's active-run computation must track
+    /// every Broadcast mask change exactly like the reference's cached
+    /// active sets.
+    #[test]
+    fn broadcast_gating_matches_reference(
+        masks in prop::collection::vec(any::<u8>(), 1..8),
+        loads in loads_strategy(),
+    ) {
+        let mut stream = Vec::new();
+        for m in &masks {
+            stream.push(Instruction::Broadcast { group_mask: *m });
+            stream.push(Instruction::Search { acc: false, encode: false });
+            stream.push(Instruction::Count);
+        }
+        let streams = vec![stream];
+        let mut reference = build_reference(&loads);
+        let mut slab = build_slab(ExecMode::Sequential, 3, &loads);
+        let a = reference.run(&streams);
+        let b = slab.run(&streams);
+        prop_assert_eq!(&a, &b);
+        assert_machines_identical(&reference, &slab);
+    }
+}

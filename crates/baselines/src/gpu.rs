@@ -1,6 +1,6 @@
 //! Nvidia Titan XP reference model (Table II).
 //!
-//! The paper obtains GPU results from [21] and [4]; its reported GPU
+//! The paper obtains GPU results from \[21\] and \[4\]; its reported GPU
 //! latency "contains the off-chip memory access time and the latency of
 //! arithmetic operations" (Fig 15 caption). These figures are
 //! *reconstructed* from device characteristics (3840 CUDA cores at
@@ -33,7 +33,7 @@ impl Default for GpuModel {
 impl GpuModel {
     /// Instruction issue cycles per operation (SM-level throughput cost;
     /// int32 add ≈ 1, mul ≈ 1, div/sqrt/exp via multi-instruction
-    /// sequences, cf. [4]).
+    /// sequences, cf. \[4\]).
     fn op_cycles(op: OpKind) -> f64 {
         match op {
             OpKind::Add | OpKind::AddImm => 1.0,

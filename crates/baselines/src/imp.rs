@@ -1,4 +1,4 @@
-//! Analytical model of IMP (Fujiki et al., ASPLOS 2018 [21]), the paper's
+//! Analytical model of IMP (Fujiki et al., ASPLOS 2018 \[21\]), the paper's
 //! primary baseline: a general-purpose PIM built on the dot-product
 //! capability of RRAM crossbars, computing in the analog domain with
 //! ADC/DAC.

@@ -4,14 +4,15 @@
 //!   RRAM and CMOS, including the intermediate ablation variants used by
 //!   Fig 19b (accumulation unit only, dual-crossbar array only, full
 //!   Hyper-AP).
-//! * [`imp`] — the IMP baseline [21]: Table II configuration plus the
+//! * [`imp`] — the IMP baseline \[21\]: Table II configuration plus the
 //!   paper-reported per-operation performance (Fig 15-17), and an
 //!   analytical kernel-time model for the Fig 18 comparison.
 //! * [`gpu`] — Nvidia Titan XP reference data (Table II; per-operation
 //!   figures reconstructed from device characteristics, since the paper
-//!   takes them from [21]/[4]).
-//! * [`reference`] — the paper-reported Hyper-AP series themselves, used by
-//!   the benchmark harness to print paper-vs-measured tables.
+//!   takes them from \[21\]/\[4\]).
+//! * [`reference`](mod@reference) — the paper-reported Hyper-AP series
+//!   themselves, used by the benchmark harness to print paper-vs-measured
+//!   tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -5,7 +5,7 @@
 //!
 //! 1. [`ApVariant::Traditional`] — Single-Search-Single-Pattern +
 //!    Single-Search-Single-Write, monolithic TCAM array (prior work
-//!    [56][39]).
+//!    \[56\]\[39\]).
 //! 2. [`ApVariant::WithAccumulation`] — adds the accumulation unit:
 //!    Multi-Search-Single-Write, but still single-pattern searches.
 //! 3. [`ApVariant::WithDualArray`] — adds the logical-unified-physical-

@@ -1,7 +1,7 @@
 //! Engine benchmark: measures the cycle simulator's execution engine and
 //! emits machine-readable `BENCH_SIM.json`.
 //!
-//! Four comparisons:
+//! Five comparisons:
 //!
 //! 1. **Kernel**: `TcamArray::search` (allocates a fresh `TagVector` per
 //!    call) vs `TcamArray::search_into` (reuses the caller's buffer) — the
@@ -14,7 +14,11 @@
 //!    vs `ExecMode::Parallel` vs `ExecMode::Auto`. On a single-CPU host the
 //!    threaded run cannot win — the host core count is recorded in the JSON
 //!    so readers can interpret the ratio.
-//! 4. **Allocation hygiene**: the optimized engine vs a faithful emulation
+//! 4. **Storage layout**: the trace engine over per-PE `TcamArray` objects
+//!    (`ApMachine`) vs the slab engine (`SlabMachine`) running the same
+//!    compiled traces over contiguous multi-PE arenas with fused kernels —
+//!    bit-identical results, wall-clock only.
+//! 5. **Allocation hygiene**: the optimized engine vs a faithful emulation
 //!    of the pre-optimization engine (fresh active-PE vector and cloned
 //!    instruction/key per step, a fresh `TagVector` per search, a full-width
 //!    single-bit `SearchKey` per write, cloned registers on every tag
@@ -25,7 +29,7 @@
 //! butter arithmetic kernel (§V).
 
 use hyperap_arch::machine::BROADCAST_ADDR;
-use hyperap_arch::{ApMachine, ArchConfig, ExecMode};
+use hyperap_arch::{ApMachine, ArchConfig, ExecMode, SlabMachine};
 use hyperap_core::machine::HyperPe;
 use hyperap_core::microcode::Microcode;
 use hyperap_isa::lower::lower;
@@ -215,6 +219,14 @@ fn seed_machine(m: &mut ApMachine) {
     }
 }
 
+fn seed_slab(m: &mut SlabMachine) {
+    for pe in 0..m.config().total_pes() {
+        for row in 0..8 {
+            m.load_encoded_pair(pe, row, 0, row & 1 == 1, pe & 1 == 1);
+        }
+    }
+}
+
 fn main() {
     let reps: usize = std::env::var("HYPERAP_BENCH_REPS")
         .ok()
@@ -270,6 +282,26 @@ fn main() {
         })
     };
 
+    // 4. Slab engine: same compiled traces over contiguous multi-PE arenas.
+    let run_slab = |mode: ExecMode| {
+        let mut m = SlabMachine::new(engine_config(mode));
+        seed_slab(&mut m);
+        best_secs(reps, || {
+            black_box(m.run(&streams));
+        })
+    };
+    let slab_seq_s = run_slab(ExecMode::Sequential);
+    let slab_par_s = run_slab(ExecMode::Parallel);
+    let slab_auto_s = run_slab(ExecMode::Auto);
+    let slab_precompiled_s = {
+        let mut m = SlabMachine::new(engine_config(ExecMode::Sequential));
+        seed_slab(&mut m);
+        let traces = hyperap_arch::trace::compile_streams(&streams, m.config());
+        best_secs(reps, || {
+            black_box(m.run_compiled(&traces));
+        })
+    };
+
     let cfg = engine_config(ExecMode::Sequential);
     let per_group = cfg.pes_per_group();
     let mut seed_groups: Vec<SeedStyleGroup> = (0..GROUPS)
@@ -317,11 +349,21 @@ fn main() {
       "auto_s": {auto_s:.4},
       "precompiled_sequential_s": {precompiled_s:.4}
     }},
+    "slab": {{
+      "sequential_s": {slab_seq_s:.4},
+      "parallel_s": {slab_par_s:.4},
+      "auto_s": {slab_auto_s:.4},
+      "precompiled_sequential_s": {slab_precompiled_s:.4}
+    }},
     "seed_style_s": {seed_style_s:.4},
     "instructions_per_sec_sequential": {ips_seq:.0},
     "instructions_per_sec_parallel": {ips_par:.0},
+    "instructions_per_sec_slab_sequential": {ips_slab_seq:.0},
+    "instructions_per_sec_slab_parallel": {ips_slab_par:.0},
     "speedup_trace_vs_interpreter_sequential": {sp_trace:.2},
     "speedup_parallel_vs_sequential": {sp_par:.2},
+    "speedup_slab_vs_trace_sequential": {sp_slab:.2},
+    "speedup_slab_parallel_vs_sequential": {sp_slab_par:.2},
     "speedup_optimized_vs_seed_style": {sp_seed:.2}
   }}
 }}
@@ -331,8 +373,12 @@ fn main() {
         kernel_speedup = ns_search / ns_search_into,
         ips_seq = total_instructions / seq_s,
         ips_par = total_instructions / par_s,
+        ips_slab_seq = total_instructions / slab_seq_s,
+        ips_slab_par = total_instructions / slab_par_s,
         sp_trace = interp_seq_s / seq_s,
         sp_par = seq_s / par_s,
+        sp_slab = seq_s / slab_seq_s,
+        sp_slab_par = slab_seq_s / slab_par_s,
         sp_seed = seed_style_s / seq_s,
     );
     std::fs::write("BENCH_SIM.json", &json).expect("write BENCH_SIM.json");

@@ -2,7 +2,7 @@
 //! which executes in one SIMD slot, minimizing inter-cluster edges (data
 //! copies between SIMD slots — slow on RRAM because of the write latency).
 //!
-//! The heuristic adapts the priority-cuts clustering [42] with the paper's
+//! The heuristic adapts the priority-cuts clustering \[42\] with the paper's
 //! cost function (Eq. 1):
 //!
 //! ```text

@@ -16,7 +16,7 @@
 //! * [`sema`] — type checking, width inference, loop unrolling, branch
 //!   flattening, constant folding.
 //! * [`dfg`] — the dataflow graph; [`cluster`] implements the Eq. 1
-//!   clustering heuristic adapted from priority cuts [42].
+//!   clustering heuristic adapted from priority cuts \[42\].
 //! * [`aig`] / [`rtl`] — and-inverter graphs and the expert RTL library
 //!   (ripple adders, comparators, muxes) with function overloading by
 //!   operand type/width (§V-B3); `*`, `/`, `%`, `sqrt`, `exp` dispatch to

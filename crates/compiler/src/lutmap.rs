@@ -1,6 +1,6 @@
 //! LUT generation (§V-B4): cut-based technology mapping of an AIG into
 //! lookup tables of at most `max_inputs` inputs, adapted from the priority-
-//! cuts algorithm [42] with the paper's cost function (Eq. 2):
+//! cuts algorithm \[42\] with the paper's cost function (Eq. 2):
 //!
 //! ```text
 //! Cost1[i] = Σ Cost1[j]  +  N_patterns  +  α        (j: input clusters)

@@ -6,7 +6,7 @@
 //! widths and signedness, like C++ overloads. Complex operators (`*`, `/`,
 //! `%`, `sqrt`, `exp`) have *iterative* expert implementations in
 //! [`hyperap_core::microcode`] and are not built as combinational netlists
-//! (the paper uses "simple iterative methods [51] [46] [26]" for them).
+//! (the paper uses "simple iterative methods \[51\] \[46\] \[26\]" for them).
 
 use crate::aig::{lit_not, Aig, Lit, FALSE};
 use crate::dfg::DfgOp;

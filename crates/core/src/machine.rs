@@ -57,6 +57,26 @@ impl HyperPe {
         Self::new(256, 256)
     }
 
+    /// Reassemble a PE from externally held architectural state (the slab
+    /// engine's snapshot path). The sense-amplifier scratch starts clear —
+    /// it is a simulation artifact excluded from equality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag or latch length differs from the array's row count.
+    pub fn from_parts(array: TcamArray, tags: TagVector, latch: TagVector, ops: OpCounts) -> Self {
+        let rows = array.rows();
+        assert_eq!(tags.len(), rows, "tag length mismatch");
+        assert_eq!(latch.len(), rows, "latch length mismatch");
+        HyperPe {
+            array,
+            tags,
+            latch,
+            scratch: TagVector::zeros(rows),
+            ops,
+        }
+    }
+
     /// Number of word rows (SIMD slots).
     pub fn rows(&self) -> usize {
         self.array.rows()
@@ -81,6 +101,11 @@ impl HyperPe {
     /// Current tag register contents.
     pub fn tags(&self) -> &TagVector {
         &self.tags
+    }
+
+    /// Encoder DFF stage contents (the latched previous search result).
+    pub fn latch(&self) -> &TagVector {
+        &self.latch
     }
 
     /// Accumulated operation counts since construction or the last

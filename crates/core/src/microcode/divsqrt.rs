@@ -1,6 +1,6 @@
 //! Division, remainder, and integer square root via the iterative methods
-//! the paper cites: restoring long division [51] and the abacus ("Mr. Woo")
-//! square-root algorithm [26].
+//! the paper cites: restoring long division \[51\] and the abacus ("Mr. Woo")
+//! square-root algorithm \[26\].
 //!
 //! Shifts inside the loops are free layout renames; each iteration costs a
 //! compare chain plus a predicated subtract, and the quotient / root bits

@@ -1,5 +1,5 @@
 //! Fixed-point exponential via the multiplication-free shift-and-add method
-//! the paper cites [46] (quinapalus.com "Calculate exp() and log() Without
+//! the paper cites \[46\] (quinapalus.com "Calculate exp() and log() Without
 //! Multiplications").
 //!
 //! Values are unsigned fixed point Q(w−f).f. The algorithm factors

@@ -5,8 +5,8 @@
 //! ([`crate::lut::Lut`]) and therefore executes under the Hyper-AP execution
 //! model: multi-pattern searches accumulated into the tags, one write per
 //! output column. The complex operations use the iterative methods the paper
-//! cites: long division [51], the abacus integer square root [26], and the
-//! shift-and-add exponential [46].
+//! cites: long division \[51\], the abacus integer square root \[26\], and the
+//! shift-and-add exponential \[46\].
 //!
 //! Routines are *word-parallel*: one call computes the operation for every
 //! row of the PE simultaneously, and the returned [`Field`] describes where

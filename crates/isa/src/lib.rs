@@ -12,7 +12,7 @@
 //! encoding with the exact byte lengths of Table I ([`encode`]), the cycle
 //! model ([`Instruction::cycles`]), a text assembler/disassembler
 //! ([`asm`]), and the lowering from the portable associative-operation IR
-//! of [`hyperap_core`] to instruction streams ([`lower`]).
+//! of [`hyperap_core`] to instruction streams ([`lower`](mod@lower)).
 //!
 //! # Example
 //!

@@ -21,7 +21,7 @@ pub struct SystemConfig {
     pub memory: &'static str,
 }
 
-/// Table II, GPU column: Nvidia Titan XP (paper-reported, from [21]).
+/// Table II, GPU column: Nvidia Titan XP (paper-reported, from \[21\]).
 pub const GPU_TITAN_XP: SystemConfig = SystemConfig {
     name: "GPU (Titan XP)",
     simd_slots: 3840,
@@ -31,7 +31,7 @@ pub const GPU_TITAN_XP: SystemConfig = SystemConfig {
     memory: "3MB L2 + 12GB DRAM",
 };
 
-/// Table II, IMP column (paper-reported, from [21]).
+/// Table II, IMP column (paper-reported, from \[21\]).
 pub const IMP_SYSTEM: SystemConfig = SystemConfig {
     name: "IMP",
     simd_slots: 2_097_152,

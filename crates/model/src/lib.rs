@@ -3,7 +3,7 @@
 //! The paper evaluates Hyper-AP with HSPICE circuit simulation (32 nm PTM) and
 //! then computes performance analytically from compilation results, because
 //! "instruction latency is deterministic". This crate captures those device- and
-//! chip-level constants so that the architecture simulator ([`hyperap-arch`]) and
+//! chip-level constants so that the architecture simulator (`hyperap-arch`) and
 //! the benchmark harness can turn *operation counts* into latency, throughput,
 //! power efficiency and area efficiency, exactly as §VI of the paper does.
 //!

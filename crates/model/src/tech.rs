@@ -51,7 +51,7 @@ pub struct TechParams {
     ///
     /// `true` for Hyper-AP's logical-unified-physical-separated dual-crossbar
     /// design (§IV-B); `false` for the monolithic array of prior work
-    /// ([56][39]), which must write the two cells sequentially.
+    /// (\[56\]\[39\]), which must write the two cells sequentially.
     pub parallel_bit_write: bool,
     /// Energy of one search operation over a full PE, in picojoules.
     pub e_search_pj: f64,
@@ -114,7 +114,7 @@ impl TechParams {
     }
 
     /// RRAM parameters for the *monolithic* single-crossbar TCAM of prior
-    /// work ([56][39]): the two 1D1R cells of one TCAM bit share a write
+    /// work (\[56\]\[39\]): the two 1D1R cells of one TCAM bit share a write
     /// circuit and must be written sequentially, doubling write latency
     /// (§IV-B). Used by the Fig 19b ablation.
     pub fn rram_monolithic() -> Self {

@@ -317,6 +317,25 @@ impl TcamArray {
             .filter(|&(_, w)| w > 0)
     }
 
+    /// Raw row-blocks of one column, `(is_zero, is_one)` — the
+    /// [`crate::slab`] conversion path.
+    pub(crate) fn column_bits(&self, col: usize) -> (&[u64], &[u64]) {
+        let c = &self.columns[col];
+        (&c.is_zero, &c.is_one)
+    }
+
+    /// Overwrite one column's row-blocks from raw slices (slab conversion).
+    pub(crate) fn set_column_bits(&mut self, col: usize, zeros: &[u64], ones: &[u64]) {
+        let c = &mut self.columns[col];
+        c.is_zero.copy_from_slice(zeros);
+        c.is_one.copy_from_slice(ones);
+    }
+
+    /// Mutable wear counters (slab conversion restores accounted wear).
+    pub(crate) fn wear_mut(&mut self) -> &mut [u64] {
+        &mut self.wear
+    }
+
     /// Copy the cells of column `src` into column `dst` for all rows (used by
     /// data-movement helpers in higher layers).
     ///

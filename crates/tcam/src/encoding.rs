@@ -1,6 +1,6 @@
 //! The extended two-bit encoding technique (Fig 5).
 //!
-//! The original technique of Li et al. [39] encodes a pair of data bits into
+//! The original technique of Li et al. \[39\] encodes a pair of data bits into
 //! a pair of TCAM cells (Fig 5a) so that the four original values map to the
 //! ternary codes `X0`, `X1`, `0X`, `1X`. Its search keys (Fig 5b) still match
 //! exactly one original value per pair. The paper's extension (Fig 5c) adds
@@ -136,7 +136,7 @@ pub fn key_coverage(key: [KeyBit; 2]) -> PairSubset {
 /// This is the constructive form of the paper's Fig 5b+5c tables: with the
 /// `Z` input and per-bit masking, **every** non-empty subset of
 /// {00, 01, 10, 11} has exactly one covering key (see
-/// [`tests::all_15_subsets_reachable`]). `FULL` maps to a fully masked pair.
+/// the `all_15_subsets_reachable` test). `FULL` maps to a fully masked pair.
 pub fn key_for_subset(subset: PairSubset) -> Option<[KeyBit; 2]> {
     use KeyBit as K;
     // k1 controls {10, 11} membership and can forbid both via Z;

@@ -7,16 +7,20 @@
 //! * [`bit`] / [`key`] / [`tags`] — the ternary state space of Fig 4: stored
 //!   bits in {0, 1, X}, key bits in {0, 1, Z, masked}, and the tag bit-vector
 //!   with its accumulation (OR) mode.
-//! * [`array`] — a fast, bit-parallel functional TCAM array (column-major
+//! * [`array`](mod@array) — a fast, bit-parallel functional TCAM array (column-major
 //!   bitmask representation; a 256-row search is a handful of 64-bit ops per
 //!   active column).
 //! * [`device`] — a device-level 2D2R crossbar model (Fig 3/7): 1D1R cells
 //!   with explicit resistance states, match-line discharge evaluation, and
-//!   the V/3 write scheme. Property tests prove it equivalent to [`array`].
+//!   the V/3 write scheme. Property tests prove it equivalent to [`array`](mod@array).
 //! * [`encoding`] — the extended two-bit encoding of Fig 5: the pair encoding
 //!   00/01/10/11 ↦ X0/X1/0X/1X and the complete coverage algebra showing
 //!   every non-empty subset of original pair values is reachable by exactly
 //!   one encoded search key.
+//! * [`slab`] — slab-backed multi-PE storage: one contiguous
+//!   column-major-across-PEs arena per chunk of PEs with fused search/write
+//!   kernels, bit-identical to a `Vec` of per-PE [`array`](mod@array)s but swept
+//!   linearly like the banked hardware.
 //!
 //! # Example
 //!
@@ -41,9 +45,11 @@ pub mod device;
 pub mod encoding;
 pub mod key;
 pub mod mvsop;
+pub mod slab;
 pub mod tags;
 
 pub use array::TcamArray;
 pub use bit::{KeyBit, TernaryBit};
 pub use key::SearchKey;
+pub use slab::{TagSlab, TcamSlab};
 pub use tags::TagVector;

@@ -1,0 +1,931 @@
+//! Slab-backed TCAM storage: one contiguous arena for a whole chunk of PEs.
+//!
+//! [`crate::array::TcamArray`] keeps each column's `is_zero`/`is_one`
+//! row-blocks in their own `Vec<u64>`, so a machine of 1024 PEs × 256
+//! columns owns ~half a million tiny heap allocations and a search-plan
+//! column step pays a pointer chase per column per PE. Real CAM
+//! accelerators are banked arrays swept in lockstep; [`TcamSlab`] gives the
+//! simulator the same structure-of-arrays shape:
+//!
+//! * Cell state lives in two flat arenas indexed `[col][pe][block]` — a
+//!   given column's blocks for **all** PEs of the chunk are adjacent, so
+//!   one search-plan column step is a single linear sweep over one
+//!   contiguous slice covering the whole chunk.
+//! * Tags (and the encoder latch, sense scratch, data registers of higher
+//!   layers) live in a matching [`TagSlab`] bitset indexed `[pe][block]` —
+//!   exactly the layout of one column's slice, so search output lands with
+//!   a straight `zip` and no per-PE dispatch.
+//! * Wear is a flat `[col][pe]` table, so the per-column write pulse
+//!   accounting of a multi-PE write is one contiguous increment sweep.
+//!
+//! The fused kernels ([`TcamSlab::search_plan_multi_into`],
+//! [`write_column_multi`](TcamSlab::write_column_multi),
+//! [`copy_column_multi`](TcamSlab::copy_column_multi),
+//! [`write_encoded_multi`](TcamSlab::write_encoded_multi)) are bit-identical
+//! to looping the corresponding [`TcamArray`] kernel over per-PE objects
+//! (property-tested in `tests/slab_equivalence.rs`), and
+//! [`from_arrays`](TcamSlab::from_arrays) / [`to_arrays`](TcamSlab::to_arrays)
+//! convert losslessly in both directions, wear included.
+
+use crate::array::TcamArray;
+use crate::bit::{KeyBit, TernaryBit};
+use crate::tags::TagVector;
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous multi-PE tag bitset: the slab counterpart of one
+/// [`TagVector`] per PE.
+///
+/// Blocks are laid out `[pe][block]`, matching the per-column slices of
+/// [`TcamSlab`], so slab search kernels write straight into a PE range of
+/// this arena. Bits at row positions `>= rows` in a PE's last block are
+/// always zero (same invariant as [`TagVector`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagSlab {
+    pes: usize,
+    rows: usize,
+    /// 64-row blocks per PE.
+    bpp: usize,
+    blocks: Vec<u64>,
+}
+
+impl TagSlab {
+    /// All-clear tags for `pes` PEs of `rows` rows each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(pes: usize, rows: usize) -> Self {
+        assert!(pes > 0 && rows > 0, "tag slab dimensions must be non-zero");
+        let bpp = rows.div_ceil(64);
+        TagSlab {
+            pes,
+            rows,
+            bpp,
+            blocks: vec![0; pes * bpp],
+        }
+    }
+
+    /// Number of PEs in the slab.
+    pub fn pes(&self) -> usize {
+        self.pes
+    }
+
+    /// Rows per PE.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// 64-row blocks per PE.
+    pub fn blocks_per_pe(&self) -> usize {
+        self.bpp
+    }
+
+    /// One PE's blocks.
+    pub fn pe(&self, pe: usize) -> &[u64] {
+        &self.blocks[pe * self.bpp..(pe + 1) * self.bpp]
+    }
+
+    /// One PE's blocks, mutable. Padding bits must be left zero.
+    pub fn pe_mut(&mut self, pe: usize) -> &mut [u64] {
+        &mut self.blocks[pe * self.bpp..(pe + 1) * self.bpp]
+    }
+
+    /// The contiguous blocks of PEs `lo..hi`.
+    pub fn range(&self, lo: usize, hi: usize) -> &[u64] {
+        &self.blocks[lo * self.bpp..hi * self.bpp]
+    }
+
+    /// Mutable blocks of PEs `lo..hi`. Padding bits must be left zero.
+    pub fn range_mut(&mut self, lo: usize, hi: usize) -> &mut [u64] {
+        &mut self.blocks[lo * self.bpp..hi * self.bpp]
+    }
+
+    /// Multi-PE accumulate: OR `other`'s blocks for PEs `lo..hi` into this
+    /// slab (the accumulation unit of every PE in the range, fused into one
+    /// linear sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slabs' geometries differ.
+    pub fn accumulate_range_from(&mut self, other: &TagSlab, lo: usize, hi: usize) {
+        assert_eq!(
+            (self.pes, self.rows),
+            (other.pes, other.rows),
+            "tag slab geometry mismatch"
+        );
+        for (a, b) in self.range_mut(lo, hi).iter_mut().zip(other.range(lo, hi)) {
+            *a |= b;
+        }
+    }
+
+    /// Multi-PE latch/copy: overwrite this slab's blocks for PEs `lo..hi`
+    /// with `other`'s (one `memcpy` for the whole range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slabs' geometries differ.
+    pub fn copy_range_from(&mut self, other: &TagSlab, lo: usize, hi: usize) {
+        assert_eq!(
+            (self.pes, self.rows),
+            (other.pes, other.rows),
+            "tag slab geometry mismatch"
+        );
+        self.range_mut(lo, hi).copy_from_slice(other.range(lo, hi));
+    }
+
+    /// Population count of one PE's tags (the `Count` reduction).
+    pub fn count(&self, pe: usize) -> usize {
+        self.pe(pe).iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// First tagged row of one PE (the `Index` priority encoder).
+    pub fn first_index(&self, pe: usize) -> Option<usize> {
+        for (i, b) in self.pe(pe).iter().enumerate() {
+            if *b != 0 {
+                return Some(i * 64 + b.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Copy one PE's tags out as a standalone [`TagVector`].
+    pub fn to_tagvector(&self, pe: usize) -> TagVector {
+        let mut t = TagVector::zeros(self.rows);
+        t.blocks_mut().copy_from_slice(self.pe(pe));
+        t
+    }
+
+    /// Overwrite one PE's tags from a [`TagVector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector's length differs from the slab's row count.
+    pub fn set_pe(&mut self, pe: usize, tags: &TagVector) {
+        assert_eq!(tags.len(), self.rows, "tag length mismatch");
+        self.pe_mut(pe).copy_from_slice(tags.blocks());
+    }
+}
+
+/// Failure modes of [`TcamSlab::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlabDecodeError {
+    /// The buffer is shorter than the header or the payload its header
+    /// promises.
+    Truncated,
+    /// The version byte is not [`TcamSlab::FORMAT_VERSION`].
+    BadVersion(u8),
+    /// A header dimension is zero.
+    BadGeometry,
+    /// Bytes remain after the payload.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for SlabDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlabDecodeError::Truncated => write!(f, "slab image truncated"),
+            SlabDecodeError::BadVersion(v) => write!(f, "unknown slab format version {v}"),
+            SlabDecodeError::BadGeometry => write!(f, "slab header has a zero dimension"),
+            SlabDecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after slab image"),
+        }
+    }
+}
+
+impl std::error::Error for SlabDecodeError {}
+
+/// One contiguous arena holding the `is_zero`/`is_one` row-blocks of every
+/// PE in a chunk, laid out column-major-across-PEs (`[col][pe][block]`).
+///
+/// All cells initialize to `0`, matching [`TcamArray::new`]. See the
+/// [module docs](self) for the layout rationale.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcamSlab {
+    pes: usize,
+    rows: usize,
+    cols: usize,
+    /// 64-row blocks per PE.
+    bpp: usize,
+    /// Rows storing `0`, indexed `[col][pe][block]`.
+    zeros: Vec<u64>,
+    /// Rows storing `1`, indexed `[col][pe][block]`.
+    ones: Vec<u64>,
+    /// Valid-row mask, indexed `[pe][block]` (every PE's copy is identical;
+    /// the replication keeps kernel sweeps a straight `zip` with any
+    /// per-column slice).
+    row_mask: Vec<u64>,
+    /// Associative-write pulses, indexed `[col][pe]`.
+    wear: Vec<u64>,
+}
+
+impl TcamSlab {
+    /// Version byte of the [`to_bytes`](Self::to_bytes) image format.
+    pub const FORMAT_VERSION: u8 = 1;
+
+    /// A slab of `pes` arrays of `rows` × `cols`, all cells `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(pes: usize, rows: usize, cols: usize) -> Self {
+        assert!(
+            pes > 0 && rows > 0 && cols > 0,
+            "slab dimensions must be non-zero"
+        );
+        let bpp = rows.div_ceil(64);
+        let mut pe_mask = vec![u64::MAX; bpp];
+        let tail = rows % 64;
+        if tail != 0 {
+            pe_mask[bpp - 1] = (1u64 << tail) - 1;
+        }
+        let mut row_mask = Vec::with_capacity(pes * bpp);
+        for _ in 0..pes {
+            row_mask.extend_from_slice(&pe_mask);
+        }
+        let mut zeros = Vec::with_capacity(cols * pes * bpp);
+        for _ in 0..cols {
+            zeros.extend_from_slice(&row_mask);
+        }
+        TcamSlab {
+            pes,
+            rows,
+            cols,
+            bpp,
+            ones: vec![0; cols * pes * bpp],
+            zeros,
+            row_mask,
+            wear: vec![0; cols * pes],
+        }
+    }
+
+    /// Number of PEs in the slab.
+    pub fn pes(&self) -> usize {
+        self.pes
+    }
+
+    /// Rows per PE.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns per PE.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// 64-row blocks per PE.
+    pub fn blocks_per_pe(&self) -> usize {
+        self.bpp
+    }
+
+    /// Arena offset of `(col, pe)`'s first block.
+    fn at(&self, col: usize, pe: usize) -> usize {
+        (col * self.pes + pe) * self.bpp
+    }
+
+    /// Read one cell of one PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn cell(&self, pe: usize, row: usize, col: usize) -> TernaryBit {
+        assert!(
+            pe < self.pes && row < self.rows && col < self.cols,
+            "cell out of range"
+        );
+        let (b, m) = (self.at(col, pe) + row / 64, 1u64 << (row % 64));
+        if self.zeros[b] & m != 0 {
+            TernaryBit::Zero
+        } else if self.ones[b] & m != 0 {
+            TernaryBit::One
+        } else {
+            TernaryBit::X
+        }
+    }
+
+    /// Write one cell directly (host data-load path; no wear).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set_cell(&mut self, pe: usize, row: usize, col: usize, value: TernaryBit) {
+        assert!(
+            pe < self.pes && row < self.rows && col < self.cols,
+            "cell out of range"
+        );
+        let (b, m) = (self.at(col, pe) + row / 64, 1u64 << (row % 64));
+        self.zeros[b] &= !m;
+        self.ones[b] &= !m;
+        match value {
+            TernaryBit::Zero => self.zeros[b] |= m,
+            TernaryBit::One => self.ones[b] |= m,
+            TernaryBit::X => {}
+        }
+    }
+
+    /// Fused search over PEs `lo..hi`: apply a precompiled `(column, bit)`
+    /// plan to every PE of the range in one pass per column, narrowing
+    /// `out` (layout `[pe][block]`, e.g. a [`TagSlab::range_mut`] slice).
+    /// `out` is fully overwritten. Masked or out-of-range plan entries are
+    /// skipped — identical semantics to [`TcamArray::search_plan_into`]
+    /// per PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the range's block count.
+    pub fn search_plan_multi_into(
+        &self,
+        plan: &[(usize, KeyBit)],
+        lo: usize,
+        hi: usize,
+        out: &mut [u64],
+    ) {
+        let (a, b) = (lo * self.bpp, hi * self.bpp);
+        assert_eq!(out.len(), b - a, "output/range block count mismatch");
+        out.copy_from_slice(&self.row_mask[a..b]);
+        for &(col, bit) in plan {
+            if col >= self.cols || bit == KeyBit::Masked {
+                continue;
+            }
+            let base = col * self.pes * self.bpp;
+            let zero = &self.zeros[base + a..base + b];
+            let one = &self.ones[base + a..base + b];
+            match bit {
+                KeyBit::Zero => {
+                    for (acc, o) in out.iter_mut().zip(one) {
+                        *acc &= !o;
+                    }
+                }
+                KeyBit::One => {
+                    for (acc, z) in out.iter_mut().zip(zero) {
+                        *acc &= !z;
+                    }
+                }
+                KeyBit::Z => {
+                    for ((acc, z), o) in out.iter_mut().zip(zero).zip(one) {
+                        *acc &= !(z | o);
+                    }
+                }
+                KeyBit::Masked => unreachable!("masked bits are filtered above"),
+            }
+        }
+    }
+
+    /// Fused associative write over PEs `lo..hi`: program `value` into
+    /// column `col` of every tagged row of every PE in the range, in one
+    /// linear sweep. `tags` has layout `[pe][block]` for the range. Each
+    /// PE's column takes one wear pulse (the column driver fires per PE per
+    /// write, whatever the tags say — identical to
+    /// [`TcamArray::write_column`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range or `tags` has the wrong length.
+    pub fn write_column_multi(
+        &mut self,
+        col: usize,
+        value: TernaryBit,
+        tags: &[u64],
+        lo: usize,
+        hi: usize,
+    ) {
+        assert!(col < self.cols, "column out of range");
+        let (a, b) = (lo * self.bpp, hi * self.bpp);
+        assert_eq!(tags.len(), b - a, "tag/range block count mismatch");
+        for w in &mut self.wear[col * self.pes + lo..col * self.pes + hi] {
+            *w += 1;
+        }
+        let base = col * self.pes * self.bpp;
+        let zeros = &mut self.zeros[base + a..base + b];
+        let ones = &mut self.ones[base + a..base + b];
+        match value {
+            TernaryBit::Zero => {
+                for ((z, o), t) in zeros.iter_mut().zip(ones).zip(tags) {
+                    *z |= t;
+                    *o &= !t;
+                }
+            }
+            TernaryBit::One => {
+                for ((z, o), t) in zeros.iter_mut().zip(ones).zip(tags) {
+                    *o |= t;
+                    *z &= !t;
+                }
+            }
+            TernaryBit::X => {
+                for ((z, o), t) in zeros.iter_mut().zip(ones).zip(tags) {
+                    *z &= !t;
+                    *o &= !t;
+                }
+            }
+        }
+    }
+
+    /// Fused column copy over PEs `lo..hi`: duplicate column `src` into
+    /// column `dst` for every row of every PE in the range (two
+    /// `copy_within` calls on the arenas; no wear, like
+    /// [`TcamArray::copy_column`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either column is out of range.
+    pub fn copy_column_multi(&mut self, src: usize, dst: usize, lo: usize, hi: usize) {
+        assert!(src < self.cols && dst < self.cols, "column out of range");
+        if src == dst {
+            return;
+        }
+        let (a, b) = (lo * self.bpp, hi * self.bpp);
+        let cs = self.pes * self.bpp;
+        self.zeros
+            .copy_within(src * cs + a..src * cs + b, dst * cs + a);
+        self.ones
+            .copy_within(src * cs + a..src * cs + b, dst * cs + a);
+    }
+
+    /// Fused encoded write over PEs `lo..hi`: for **every** row of every PE
+    /// in the range, program the two cells at `col`, `col + 1` with the
+    /// two-bit encoding of the pair `(latch bit, tag bit)` — the Fig 7
+    /// encoder path of [`crate::encoding::encode_pair`], evaluated 64 rows
+    /// at a time:
+    ///
+    /// the first cell is `0`/`1` when the latch bit is set (value = tag
+    /// bit) and `X` otherwise; the second cell mirrors it for a clear latch
+    /// bit. `latch` and `tags` have layout `[pe][block]` for the range.
+    /// Both columns take one wear pulse per PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col + 1` is out of range or the inputs have the wrong
+    /// length.
+    pub fn write_encoded_multi(
+        &mut self,
+        col: usize,
+        latch: &[u64],
+        tags: &[u64],
+        lo: usize,
+        hi: usize,
+    ) {
+        assert!(col + 1 < self.cols, "encoded write needs two columns");
+        let (a, b) = (lo * self.bpp, hi * self.bpp);
+        assert_eq!(latch.len(), b - a, "latch/range block count mismatch");
+        assert_eq!(tags.len(), b - a, "tag/range block count mismatch");
+        let cs = self.pes * self.bpp;
+        let mask = &self.row_mask[a..b];
+        // First column: stored value is the tag bit where the latch bit is
+        // set, X elsewhere (00->X., 01->X., 10->0., 11->1.).
+        {
+            let zeros = &mut self.zeros[col * cs + a..col * cs + b];
+            let ones = &mut self.ones[col * cs + a..col * cs + b];
+            for (i, (z, o)) in zeros.iter_mut().zip(ones.iter_mut()).enumerate() {
+                let (h, t, m) = (latch[i], tags[i], mask[i]);
+                *z = h & !t & m;
+                *o = h & t & m;
+            }
+        }
+        // Second column: the complementary half (00->.0, 01->.1, 10->.X,
+        // 11->.X).
+        {
+            let c1 = col + 1;
+            let zeros = &mut self.zeros[c1 * cs + a..c1 * cs + b];
+            let ones = &mut self.ones[c1 * cs + a..c1 * cs + b];
+            for (i, (z, o)) in zeros.iter_mut().zip(ones.iter_mut()).enumerate() {
+                let (h, t, m) = (latch[i], tags[i], mask[i]);
+                *z = !h & !t & m;
+                *o = !h & t & m;
+            }
+        }
+        for c in [col, col + 1] {
+            for w in &mut self.wear[c * self.pes + lo..c * self.pes + hi] {
+                *w += 1;
+            }
+        }
+    }
+
+    /// One PE's associative-write pulse counts, gathered per column (the
+    /// endurance profile [`TcamArray::column_wear`] reports).
+    pub fn pe_wear(&self, pe: usize) -> Vec<u64> {
+        (0..self.cols)
+            .map(|c| self.wear[c * self.pes + pe])
+            .collect()
+    }
+
+    /// Build a slab from per-PE arrays (wear included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrays` is empty or geometries differ.
+    pub fn from_arrays(arrays: &[TcamArray]) -> Self {
+        let first = arrays.first().expect("at least one array");
+        let (rows, cols) = (first.rows(), first.cols());
+        assert!(
+            arrays.iter().all(|a| a.rows() == rows && a.cols() == cols),
+            "array geometry mismatch"
+        );
+        let mut slab = TcamSlab::new(arrays.len(), rows, cols);
+        for col in 0..cols {
+            for (pe, array) in arrays.iter().enumerate() {
+                let (zeros, ones) = array.column_bits(col);
+                let at = slab.at(col, pe);
+                slab.zeros[at..at + slab.bpp].copy_from_slice(zeros);
+                slab.ones[at..at + slab.bpp].copy_from_slice(ones);
+                slab.wear[col * slab.pes + pe] = array.column_wear()[col];
+            }
+        }
+        slab
+    }
+
+    /// Extract one PE as a standalone [`TcamArray`] (wear included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    pub fn to_array(&self, pe: usize) -> TcamArray {
+        assert!(pe < self.pes, "PE out of range");
+        let mut array = TcamArray::new(self.rows, self.cols);
+        for col in 0..self.cols {
+            let at = self.at(col, pe);
+            array.set_column_bits(
+                col,
+                &self.zeros[at..at + self.bpp],
+                &self.ones[at..at + self.bpp],
+            );
+        }
+        for (col, w) in array.wear_mut().iter_mut().enumerate() {
+            *w = self.wear[col * self.pes + pe];
+        }
+        array
+    }
+
+    /// Extract every PE as standalone arrays — the inverse of
+    /// [`from_arrays`](Self::from_arrays).
+    pub fn to_arrays(&self) -> Vec<TcamArray> {
+        (0..self.pes).map(|pe| self.to_array(pe)).collect()
+    }
+
+    /// Serialize to the versioned byte image (header + `zeros`, `ones`,
+    /// `wear` arenas as big-endian words). The offline `serde` shim cannot
+    /// produce real bytes, so snapshots go through the `bytes` buffer
+    /// directly, like the ISA's instruction encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension exceeds `u16::MAX` (the paper-scale geometry
+    /// is 256×256 with small chunks).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        for dim in [self.pes, self.rows, self.cols] {
+            assert!(dim <= u16::MAX as usize, "dimension exceeds image format");
+        }
+        let words = self.zeros.len() + self.ones.len() + self.wear.len();
+        let mut buf = BytesMut::with_capacity(7 + words * 8);
+        buf.put_u8(Self::FORMAT_VERSION);
+        buf.put_u16(self.pes as u16);
+        buf.put_u16(self.rows as u16);
+        buf.put_u16(self.cols as u16);
+        for arena in [&self.zeros, &self.ones, &self.wear] {
+            for w in arena {
+                buf.put_slice(&w.to_be_bytes());
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Deserialize a [`to_bytes`](Self::to_bytes) image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SlabDecodeError`] on truncation, version or geometry
+    /// problems, or trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SlabDecodeError> {
+        let mut buf = bytes;
+        if buf.remaining() < 7 {
+            return Err(SlabDecodeError::Truncated);
+        }
+        let version = buf.get_u8();
+        if version != Self::FORMAT_VERSION {
+            return Err(SlabDecodeError::BadVersion(version));
+        }
+        let pes = buf.get_u16() as usize;
+        let rows = buf.get_u16() as usize;
+        let cols = buf.get_u16() as usize;
+        if pes == 0 || rows == 0 || cols == 0 {
+            return Err(SlabDecodeError::BadGeometry);
+        }
+        let bpp = rows.div_ceil(64);
+        let arena = cols * pes * bpp;
+        let words = 2 * arena + cols * pes;
+        if buf.remaining() < words * 8 {
+            return Err(SlabDecodeError::Truncated);
+        }
+        let mut read_words = |n: usize| {
+            let mut v = Vec::with_capacity(n);
+            let mut word = [0u8; 8];
+            for _ in 0..n {
+                buf.copy_to_slice(&mut word);
+                v.push(u64::from_be_bytes(word));
+            }
+            v
+        };
+        let zeros = read_words(arena);
+        let ones = read_words(arena);
+        let wear = read_words(cols * pes);
+        if buf.has_remaining() {
+            return Err(SlabDecodeError::TrailingBytes(buf.remaining()));
+        }
+        let mut slab = TcamSlab::new(pes, rows, cols);
+        slab.zeros = zeros;
+        slab.ones = ones;
+        slab.wear = wear;
+        Ok(slab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::SearchKey;
+
+    /// A small slab + the equivalent per-PE arrays, with a mixed cell
+    /// pattern loaded into both.
+    fn seeded(pes: usize, rows: usize, cols: usize) -> (TcamSlab, Vec<TcamArray>) {
+        let mut arrays: Vec<TcamArray> = (0..pes).map(|_| TcamArray::new(rows, cols)).collect();
+        for (pe, array) in arrays.iter_mut().enumerate() {
+            for row in 0..rows {
+                for col in 0..cols {
+                    let v = match (pe + 3 * row + 7 * col) % 3 {
+                        0 => TernaryBit::Zero,
+                        1 => TernaryBit::One,
+                        _ => TernaryBit::X,
+                    };
+                    array.set_cell(row, col, v);
+                }
+            }
+        }
+        (TcamSlab::from_arrays(&arrays), arrays)
+    }
+
+    fn tag_pattern(slab: &TcamSlab, salt: usize) -> TagSlab {
+        let mut t = TagSlab::zeros(slab.pes(), slab.rows());
+        for pe in 0..slab.pes() {
+            let tv =
+                TagVector::from_bools((0..slab.rows()).map(|r| (r + pe + salt).is_multiple_of(3)));
+            t.set_pe(pe, &tv);
+        }
+        t
+    }
+
+    #[test]
+    fn new_slab_is_all_zero() {
+        let s = TcamSlab::new(3, 70, 5);
+        for pe in 0..3 {
+            for row in 0..70 {
+                for col in 0..5 {
+                    assert_eq!(s.cell(pe, row, col), TernaryBit::Zero);
+                }
+            }
+        }
+        assert_eq!(
+            s,
+            TcamSlab::from_arrays(&[
+                TcamArray::new(70, 5),
+                TcamArray::new(70, 5),
+                TcamArray::new(70, 5)
+            ])
+        );
+    }
+
+    #[test]
+    fn set_cell_round_trips_and_matches_array() {
+        let mut s = TcamSlab::new(2, 66, 3);
+        s.set_cell(1, 65, 2, TernaryBit::X);
+        s.set_cell(0, 0, 0, TernaryBit::One);
+        assert_eq!(s.cell(1, 65, 2), TernaryBit::X);
+        assert_eq!(s.cell(0, 0, 0), TernaryBit::One);
+        assert_eq!(s.cell(1, 64, 2), TernaryBit::Zero, "neighbor untouched");
+        let arrays = s.to_arrays();
+        assert_eq!(arrays[1].cell(65, 2), TernaryBit::X);
+        assert_eq!(arrays[0].cell(0, 0), TernaryBit::One);
+    }
+
+    #[test]
+    fn search_plan_multi_matches_per_array_search() {
+        let (slab, arrays) = seeded(4, 70, 9);
+        for key in ["10-1Z----", "---------", "ZZZZZZZZZ", "001-1-0Z1"] {
+            let key = SearchKey::parse(key).unwrap();
+            let plan = key.compile_plan();
+            let mut out = TagSlab::zeros(4, 70);
+            slab.search_plan_multi_into(&plan, 0, 4, out.range_mut(0, 4));
+            for (pe, array) in arrays.iter().enumerate() {
+                assert_eq!(
+                    out.to_tagvector(pe),
+                    array.search(&key),
+                    "pe {pe} key {key}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn search_plan_multi_respects_pe_subranges() {
+        let (slab, arrays) = seeded(5, 33, 6);
+        let key = SearchKey::parse("1-0Z--").unwrap();
+        let plan = key.compile_plan();
+        let mut out = TagSlab::zeros(5, 33);
+        slab.search_plan_multi_into(&plan, 1, 4, out.range_mut(1, 4));
+        for (pe, array) in arrays.iter().enumerate().take(4).skip(1) {
+            assert_eq!(out.to_tagvector(pe), array.search(&key));
+        }
+        assert_eq!(out.count(0), 0, "PE 0 outside the range stays clear");
+        assert_eq!(out.count(4), 0, "PE 4 outside the range stays clear");
+    }
+
+    #[test]
+    fn search_plan_multi_skips_masked_and_out_of_range_entries() {
+        let (slab, _) = seeded(2, 16, 4);
+        let mut out = TagSlab::zeros(2, 16);
+        slab.search_plan_multi_into(
+            &[(9, KeyBit::One), (0, KeyBit::Masked)],
+            0,
+            2,
+            out.range_mut(0, 2),
+        );
+        assert_eq!(out.count(0) + out.count(1), 32, "no-op plan matches all");
+    }
+
+    #[test]
+    fn write_column_multi_matches_per_array_write() {
+        for value in [TernaryBit::Zero, TernaryBit::One, TernaryBit::X] {
+            let (mut slab, mut arrays) = seeded(4, 70, 5);
+            let tags = tag_pattern(&slab, 1);
+            slab.write_column_multi(3, value, tags.range(1, 4), 1, 4);
+            for (pe, array) in arrays.iter_mut().enumerate().skip(1) {
+                array.write_column(3, value, &tags.to_tagvector(pe));
+            }
+            assert_eq!(slab.to_arrays(), arrays, "value {value:?}");
+            assert_eq!(slab.pe_wear(0)[3], 0, "PE outside the range unworn");
+            assert_eq!(slab.pe_wear(2)[3], 1);
+        }
+    }
+
+    #[test]
+    fn write_column_multi_wears_even_with_empty_tags() {
+        let (mut slab, _) = seeded(2, 16, 4);
+        let empty = TagSlab::zeros(2, 16);
+        slab.write_column_multi(1, TernaryBit::One, empty.range(0, 2), 0, 2);
+        assert_eq!(slab.pe_wear(0)[1], 1);
+        assert_eq!(slab.pe_wear(1)[1], 1);
+    }
+
+    #[test]
+    fn copy_column_multi_matches_per_array_copy() {
+        let (mut slab, mut arrays) = seeded(3, 66, 7);
+        slab.copy_column_multi(2, 5, 0, 3);
+        for array in &mut arrays {
+            array.copy_column(2, 5);
+        }
+        assert_eq!(slab.to_arrays(), arrays);
+        slab.copy_column_multi(4, 4, 0, 3); // src == dst: no-op
+        assert_eq!(slab.to_arrays(), arrays);
+    }
+
+    #[test]
+    fn copy_column_multi_respects_pe_subranges() {
+        let (mut slab, arrays) = seeded(3, 20, 4);
+        slab.copy_column_multi(0, 3, 1, 2);
+        for row in 0..20 {
+            assert_eq!(slab.cell(1, row, 3), arrays[1].cell(row, 0));
+            assert_eq!(
+                slab.cell(0, row, 3),
+                arrays[0].cell(row, 3),
+                "PE 0 untouched"
+            );
+            assert_eq!(
+                slab.cell(2, row, 3),
+                arrays[2].cell(row, 3),
+                "PE 2 untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn write_encoded_multi_matches_cell_by_cell_encoder() {
+        let (mut slab, arrays) = seeded(3, 70, 6);
+        let latch = tag_pattern(&slab, 0);
+        let tags = tag_pattern(&slab, 5);
+        slab.write_encoded_multi(2, latch.range(0, 3), tags.range(0, 3), 0, 3);
+        // Reference: the per-row encoder of HyperPe::write_encoded.
+        for (pe, array) in arrays.iter().enumerate() {
+            let mut expect = array.clone();
+            for row in 0..70 {
+                let cells = crate::encoding::encode_pair(
+                    latch.to_tagvector(pe).get(row),
+                    tags.to_tagvector(pe).get(row),
+                );
+                expect.set_cell(row, 2, cells[0]);
+                expect.set_cell(row, 3, cells[1]);
+            }
+            expect.note_write(2);
+            expect.note_write(3);
+            assert_eq!(slab.to_array(pe), expect, "pe {pe}");
+        }
+    }
+
+    #[test]
+    fn conversion_round_trips_with_wear() {
+        let (mut slab, _) = seeded(4, 33, 5);
+        let tags = tag_pattern(&slab, 2);
+        slab.write_column_multi(0, TernaryBit::One, tags.range(0, 4), 0, 4);
+        slab.write_column_multi(0, TernaryBit::X, tags.range(2, 3), 2, 3);
+        let arrays = slab.to_arrays();
+        assert_eq!(arrays[0].column_wear()[0], 1);
+        assert_eq!(arrays[2].column_wear()[0], 2);
+        assert_eq!(TcamSlab::from_arrays(&arrays), slab);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let (mut slab, _) = seeded(3, 70, 4);
+        let tags = tag_pattern(&slab, 3);
+        slab.write_column_multi(1, TernaryBit::Zero, tags.range(0, 3), 0, 3);
+        let bytes = slab.to_bytes();
+        assert_eq!(TcamSlab::from_bytes(&bytes), Ok(slab));
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_images() {
+        let slab = TcamSlab::new(2, 16, 3);
+        let bytes = slab.to_bytes();
+        assert_eq!(
+            TcamSlab::from_bytes(&bytes[..3]),
+            Err(SlabDecodeError::Truncated)
+        );
+        assert_eq!(
+            TcamSlab::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(SlabDecodeError::Truncated)
+        );
+        let mut versioned = bytes.clone();
+        versioned[0] = 9;
+        assert_eq!(
+            TcamSlab::from_bytes(&versioned),
+            Err(SlabDecodeError::BadVersion(9))
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            TcamSlab::from_bytes(&trailing),
+            Err(SlabDecodeError::TrailingBytes(1))
+        );
+        let mut zeroed = bytes;
+        zeroed[1] = 0;
+        zeroed[2] = 0;
+        assert_eq!(
+            TcamSlab::from_bytes(&zeroed),
+            Err(SlabDecodeError::BadGeometry)
+        );
+    }
+
+    #[test]
+    fn tag_slab_reductions_match_tagvector() {
+        let slab = TcamSlab::new(3, 70, 2);
+        let tags = tag_pattern(&slab, 4);
+        for pe in 0..3 {
+            let tv = tags.to_tagvector(pe);
+            assert_eq!(tags.count(pe), tv.count());
+            assert_eq!(tags.first_index(pe), tv.first_index());
+        }
+        let empty = TagSlab::zeros(3, 70);
+        assert_eq!(empty.first_index(1), None);
+    }
+
+    #[test]
+    fn tag_slab_accumulate_and_copy_ranges() {
+        let slab = TcamSlab::new(4, 40, 2);
+        let a0 = tag_pattern(&slab, 0);
+        let b = tag_pattern(&slab, 1);
+        let mut acc = a0.clone();
+        acc.accumulate_range_from(&b, 1, 3);
+        for pe in [1, 2] {
+            let mut expect = a0.to_tagvector(pe);
+            expect.accumulate(&b.to_tagvector(pe));
+            assert_eq!(acc.to_tagvector(pe), expect);
+        }
+        assert_eq!(acc.to_tagvector(0), a0.to_tagvector(0), "outside range");
+        assert_eq!(acc.to_tagvector(3), a0.to_tagvector(3), "outside range");
+        let mut copy = a0.clone();
+        copy.copy_range_from(&b, 0, 2);
+        assert_eq!(copy.to_tagvector(0), b.to_tagvector(0));
+        assert_eq!(copy.to_tagvector(2), a0.to_tagvector(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "block count mismatch")]
+    fn search_output_size_mismatch_panics() {
+        let slab = TcamSlab::new(2, 16, 2);
+        let mut out = vec![0u64; 1];
+        slab.search_plan_multi_into(&[], 0, 2, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn from_arrays_rejects_mixed_geometry() {
+        TcamSlab::from_arrays(&[TcamArray::new(4, 4), TcamArray::new(4, 5)]);
+    }
+}

@@ -37,16 +37,29 @@ impl TagVector {
         t
     }
 
-    /// Build from an iterator of booleans.
+    /// Build from an iterator of booleans, packing 64-row blocks directly
+    /// as the iterator is drained (no intermediate `Vec<bool>`, no
+    /// bit-at-a-time `set` calls).
     pub fn from_bools<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        let bools: Vec<bool> = iter.into_iter().collect();
-        let mut t = Self::zeros(bools.len());
-        for (i, b) in bools.iter().enumerate() {
-            if *b {
-                t.set(i, true);
+        let iter = iter.into_iter();
+        let (lo, _) = iter.size_hint();
+        let mut blocks = Vec::with_capacity(lo.div_ceil(64));
+        let mut len = 0usize;
+        let mut cur = 0u64;
+        for b in iter {
+            if b {
+                cur |= 1u64 << (len % 64);
+            }
+            len += 1;
+            if len.is_multiple_of(64) {
+                blocks.push(cur);
+                cur = 0;
             }
         }
-        t
+        if !len.is_multiple_of(64) {
+            blocks.push(cur);
+        }
+        TagVector { blocks, len }
     }
 
     /// Number of rows.
@@ -230,6 +243,20 @@ mod tests {
         a.intersect(&b);
         assert_eq!(a.count(), 70);
         assert_eq!(a.iter_set().last(), Some(69));
+    }
+
+    #[test]
+    fn from_bools_packs_blocks_directly() {
+        let t = TagVector::from_bools((0..130).map(|i| i % 2 == 0));
+        assert_eq!(t.len(), 130);
+        assert_eq!(t.count(), 65);
+        assert_eq!(t.blocks().len(), 3);
+        assert_eq!(t.blocks()[0], 0x5555_5555_5555_5555);
+        assert_eq!(t.blocks()[2] >> 2, 0, "padding bits stay zero");
+        assert_eq!(t, (0..130).map(|i| i % 2 == 0).collect::<TagVector>());
+        let empty = TagVector::from_bools(std::iter::empty());
+        assert!(empty.is_empty());
+        assert!(empty.blocks().is_empty());
     }
 
     #[test]

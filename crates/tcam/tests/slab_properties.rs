@@ -1,0 +1,230 @@
+//! Property-based tests: the slab arena with its fused multi-PE kernels is
+//! observationally equivalent to a `Vec` of per-PE [`TcamArray`]s driven one
+//! at a time, and the conversion / byte-image paths round-trip losslessly.
+
+use hyperap_tcam::array::TcamArray;
+use hyperap_tcam::bit::{KeyBit, TernaryBit};
+use hyperap_tcam::key::SearchKey;
+use hyperap_tcam::slab::{TagSlab, TcamSlab};
+use proptest::prelude::*;
+
+const PES: usize = 5;
+const ROWS: usize = 70; // spans a partial tail block
+const COLS: usize = 8;
+
+fn ternary_bit() -> impl Strategy<Value = TernaryBit> {
+    prop_oneof![
+        Just(TernaryBit::Zero),
+        Just(TernaryBit::One),
+        Just(TernaryBit::X)
+    ]
+}
+
+fn key_bit() -> impl Strategy<Value = KeyBit> {
+    prop_oneof![
+        Just(KeyBit::Zero),
+        Just(KeyBit::One),
+        Just(KeyBit::Z),
+        Just(KeyBit::Masked)
+    ]
+}
+
+/// One random kernel invocation against the slab.
+#[derive(Debug, Clone)]
+enum SlabOp {
+    Search {
+        bits: Vec<KeyBit>,
+        lo: usize,
+        hi: usize,
+    },
+    Write {
+        col: usize,
+        value: TernaryBit,
+        tags: Vec<bool>,
+        lo: usize,
+        hi: usize,
+    },
+    Copy {
+        src: usize,
+        dst: usize,
+        lo: usize,
+        hi: usize,
+    },
+    Encoded {
+        col: usize,
+        latch: Vec<bool>,
+        tags: Vec<bool>,
+        lo: usize,
+        hi: usize,
+    },
+    SetCell {
+        pe: usize,
+        row: usize,
+        col: usize,
+        value: TernaryBit,
+    },
+}
+
+fn pe_range() -> impl Strategy<Value = (usize, usize)> {
+    (0..PES, 0..PES).prop_map(|(a, b)| (a.min(b), a.max(b) + 1))
+}
+
+fn slab_op() -> impl Strategy<Value = SlabOp> {
+    prop_oneof![
+        (prop::collection::vec(key_bit(), COLS), pe_range())
+            .prop_map(|(bits, (lo, hi))| SlabOp::Search { bits, lo, hi }),
+        (
+            0..COLS,
+            ternary_bit(),
+            prop::collection::vec(any::<bool>(), ROWS),
+            pe_range()
+        )
+            .prop_map(|(col, value, tags, (lo, hi))| SlabOp::Write {
+                col,
+                value,
+                tags,
+                lo,
+                hi
+            }),
+        (0..COLS, 0..COLS, pe_range()).prop_map(|(src, dst, (lo, hi))| SlabOp::Copy {
+            src,
+            dst,
+            lo,
+            hi
+        }),
+        (
+            0..COLS - 1,
+            prop::collection::vec(any::<bool>(), ROWS),
+            prop::collection::vec(any::<bool>(), ROWS),
+            pe_range()
+        )
+            .prop_map(|(col, latch, tags, (lo, hi))| SlabOp::Encoded {
+                col,
+                latch,
+                tags,
+                lo,
+                hi
+            }),
+        (0..PES, 0..ROWS, 0..COLS, ternary_bit()).prop_map(|(pe, row, col, value)| {
+            SlabOp::SetCell {
+                pe,
+                row,
+                col,
+                value,
+            }
+        }),
+    ]
+}
+
+fn tag_slab_from(bools: &[bool], lo: usize, hi: usize) -> TagSlab {
+    let mut t = TagSlab::zeros(PES, ROWS);
+    for pe in lo..hi {
+        let tv = bools
+            .iter()
+            .enumerate()
+            .map(|(r, &b)| b ^ (pe % 2 == 0 && r % 5 == 0))
+            .collect();
+        t.set_pe(pe, &tv);
+    }
+    t
+}
+
+proptest! {
+    /// Replay a random kernel stream against both the slab and a vector of
+    /// per-PE reference arrays; state (cells and wear) must stay identical
+    /// and every search must produce the per-array result for each PE.
+    #[test]
+    fn slab_kernels_equal_per_array_ops(
+        ops in prop::collection::vec(slab_op(), 1..25),
+    ) {
+        let mut slab = TcamSlab::new(PES, ROWS, COLS);
+        let mut arrays: Vec<TcamArray> = (0..PES).map(|_| TcamArray::new(ROWS, COLS)).collect();
+        for op in &ops {
+            match op {
+                SlabOp::Search { bits, lo, hi } => {
+                    let key = SearchKey::from_bits(bits.clone());
+                    let plan = key.compile_plan();
+                    let mut out = TagSlab::zeros(PES, ROWS);
+                    slab.search_plan_multi_into(&plan, *lo, *hi, out.range_mut(*lo, *hi));
+                    for (pe, array) in arrays.iter().enumerate().take(*hi).skip(*lo) {
+                        prop_assert_eq!(out.to_tagvector(pe), array.search(&key), "pe {}", pe);
+                    }
+                }
+                SlabOp::Write { col, value, tags, lo, hi } => {
+                    let t = tag_slab_from(tags, *lo, *hi);
+                    slab.write_column_multi(*col, *value, t.range(*lo, *hi), *lo, *hi);
+                    for (pe, array) in arrays.iter_mut().enumerate().take(*hi).skip(*lo) {
+                        array.write_column(*col, *value, &t.to_tagvector(pe));
+                    }
+                }
+                SlabOp::Copy { src, dst, lo, hi } => {
+                    slab.copy_column_multi(*src, *dst, *lo, *hi);
+                    for array in arrays.iter_mut().take(*hi).skip(*lo) {
+                        array.copy_column(*src, *dst);
+                    }
+                }
+                SlabOp::Encoded { col, latch, tags, lo, hi } => {
+                    let h = tag_slab_from(latch, *lo, *hi);
+                    let t = tag_slab_from(tags, *lo, *hi);
+                    slab.write_encoded_multi(*col, h.range(*lo, *hi), t.range(*lo, *hi), *lo, *hi);
+                    for (pe, array) in arrays.iter_mut().enumerate().take(*hi).skip(*lo) {
+                        let (hv, tv) = (h.to_tagvector(pe), t.to_tagvector(pe));
+                        for row in 0..ROWS {
+                            let cells =
+                                hyperap_tcam::encoding::encode_pair(hv.get(row), tv.get(row));
+                            array.set_cell(row, *col, cells[0]);
+                            array.set_cell(row, *col + 1, cells[1]);
+                        }
+                        array.note_write(*col);
+                        array.note_write(*col + 1);
+                    }
+                }
+                SlabOp::SetCell { pe, row, col, value } => {
+                    slab.set_cell(*pe, *row, *col, *value);
+                    arrays[*pe].set_cell(*row, *col, *value);
+                }
+            }
+        }
+        prop_assert_eq!(slab.to_arrays(), arrays.clone());
+        prop_assert_eq!(TcamSlab::from_arrays(&arrays), slab);
+    }
+
+    /// `from_arrays` ⇄ `to_arrays` is lossless for arbitrary cell contents
+    /// and wear profiles.
+    #[test]
+    fn conversion_round_trips(
+        cells in prop::collection::vec(
+            prop::collection::vec(ternary_bit(), ROWS * COLS), PES),
+        wear_writes in prop::collection::vec((0..COLS, any::<bool>()), 0..12),
+    ) {
+        let mut arrays: Vec<TcamArray> = (0..PES).map(|_| TcamArray::new(ROWS, COLS)).collect();
+        for (pe, flat) in cells.iter().enumerate() {
+            for (i, v) in flat.iter().enumerate() {
+                arrays[pe].set_cell(i / COLS, i % COLS, *v);
+            }
+        }
+        for (col, upper_half) in &wear_writes {
+            let lo = if *upper_half { PES / 2 } else { 0 };
+            for array in &mut arrays[lo..] {
+                array.note_write(*col);
+            }
+        }
+        let slab = TcamSlab::from_arrays(&arrays);
+        prop_assert_eq!(slab.to_arrays(), arrays);
+    }
+
+    /// The versioned byte image round-trips, including wear state.
+    #[test]
+    fn byte_image_round_trips(
+        cells in prop::collection::vec(ternary_bit(), PES * ROWS),
+        worn_col in 0..COLS,
+    ) {
+        let mut slab = TcamSlab::new(PES, ROWS, COLS);
+        for (i, v) in cells.iter().enumerate() {
+            slab.set_cell(i / ROWS, i % ROWS, (i * 3) % COLS, *v);
+        }
+        let tags = TagSlab::zeros(PES, ROWS);
+        slab.write_column_multi(worn_col, TernaryBit::X, tags.range(0, PES), 0, PES);
+        prop_assert_eq!(TcamSlab::from_bytes(&slab.to_bytes()), Ok(slab));
+    }
+}
