@@ -1,0 +1,94 @@
+//! Ad-hoc timing probe for `compile_streams` (not part of the benchmark
+//! suite; run with `cargo run --release -p hyperap-arch --example
+//! compile_cost`).
+
+use hyperap_arch::trace::MicroOp;
+use hyperap_arch::{trace, ArchConfig};
+use hyperap_core::microcode::Microcode;
+use hyperap_isa::lower::lower;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let mut mc = Microcode::new(256);
+    let (x, y) = mc.alloc_paired_inputs("a", "b", 32);
+    let _ = mc.add(&x, &y);
+    let stream = lower(&mc.into_program());
+    let streams: Vec<_> = (0..16).map(|_| stream.clone()).collect();
+    let mut cfg = ArchConfig::paper_scaled(256);
+    cfg.groups = 16;
+    for label in ["fused", "unfused"] {
+        let mut best = f64::INFINITY;
+        for _ in 0..20 {
+            let t = Instant::now();
+            let tr = if label == "fused" {
+                trace::compile_streams(&streams, &cfg)
+            } else {
+                trace::compile_streams_unfused(&streams, &cfg)
+            };
+            black_box(&tr);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        println!("{label}: {best:.6}s for 16 groups");
+    }
+    let mut best_one = f64::INFINITY;
+    for _ in 0..20 {
+        let t = Instant::now();
+        black_box(trace::compile_streams(std::slice::from_ref(&stream), &cfg));
+        best_one = best_one.min(t.elapsed().as_secs_f64());
+    }
+    println!("single compile: {best_one:.6}s");
+    let one = trace::compile_streams(std::slice::from_ref(&stream), &cfg);
+    let mut best_clone = f64::INFINITY;
+    for _ in 0..20 {
+        let t = Instant::now();
+        black_box(one[0].clone());
+        best_clone = best_clone.min(t.elapsed().as_secs_f64());
+    }
+    println!("single clone: {best_clone:.6}s");
+
+    // Fused op mix of the add32 trace.
+    let mut counts = std::collections::BTreeMap::new();
+    let mut chain_lens = Vec::new();
+    let mut write_lens = Vec::new();
+    for seg in &one[0].segments {
+        for op in &seg.ops {
+            let name = match op {
+                MicroOp::Search { .. } => "Search",
+                MicroOp::Write { .. } => "Write",
+                MicroOp::WriteEntry { .. } => "WriteEntry",
+                MicroOp::WriteEncoded { .. } => "WriteEncoded",
+                MicroOp::SetTag => "SetTag",
+                MicroOp::ReadTag => "ReadTag",
+                MicroOp::SearchWrite { .. } => "SearchWrite",
+                MicroOp::SearchWriteMulti { plans, writes, .. } => {
+                    chain_lens.push(plans.len());
+                    write_lens.push(writes.len());
+                    "SearchWriteMulti"
+                }
+                MicroOp::WriteMulti { .. } => "WriteMulti",
+                MicroOp::SearchDelta { .. } => "SearchDelta",
+            };
+            *counts.entry(name).or_insert(0usize) += 1;
+        }
+    }
+    println!("fused op mix: {counts:?}");
+    println!("chain lens: {chain_lens:?}");
+    println!("write lens: {write_lens:?}");
+    let mut plan_lens = std::collections::BTreeMap::new();
+    let mut plan_bits = std::collections::BTreeMap::new();
+    for plan in &one[0].plans {
+        *plan_lens.entry(plan.len()).or_insert(0usize) += 1;
+        for &(_, bit) in plan {
+            *plan_bits.entry(format!("{bit:?}")).or_insert(0usize) += 1;
+        }
+    }
+    println!("plan lens: {plan_lens:?}");
+    println!("plan bits: {plan_bits:?}");
+    let unf = trace::compile_streams_unfused(std::slice::from_ref(&stream), &cfg);
+    println!(
+        "ops: unfused {} -> fused {}",
+        unf[0].segments.iter().map(|s| s.ops.len()).sum::<usize>(),
+        one[0].segments.iter().map(|s| s.ops.len()).sum::<usize>()
+    );
+}

@@ -1,0 +1,71 @@
+//! Ad-hoc timing probe for the slab engine's execute path (not part of the
+//! benchmark suite; run with `cargo run --release -p hyperap-arch --example
+//! slab_exec_cost`).
+
+use hyperap_arch::{trace, ApMachine, ArchConfig, ExecMode, SlabMachine};
+use hyperap_core::microcode::Microcode;
+use hyperap_isa::lower::lower;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let mut mc = Microcode::new(256);
+    let (x, y) = mc.alloc_paired_inputs("a", "b", 32);
+    let _ = mc.add(&x, &y);
+    let stream = lower(&mc.into_program());
+    let streams: Vec<_> = (0..16).map(|_| stream.clone()).collect();
+    let mut cfg = ArchConfig::paper_scaled(256);
+    cfg.groups = 16;
+    cfg.exec = ExecMode::Sequential;
+
+    let mut m = SlabMachine::new(cfg.clone());
+    let traces = trace::compile_streams(&streams, &cfg);
+    let iters: usize = std::env::var("ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(m.run_compiled(&traces));
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    println!("slab run_compiled: {:.1}us", best * 1e6);
+
+    let unfused = trace::compile_streams_unfused(&streams, &cfg);
+    let mut best_u = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(m.run_compiled(&unfused));
+        }
+        best_u = best_u.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    println!("slab run_compiled (unfused): {:.1}us", best_u * 1e6);
+
+    if std::env::var("SLAB_ONLY").is_err() {
+        let only = std::env::var("TRACE_ONLY").ok();
+        let mut a = ApMachine::new(cfg.clone());
+        for (label, tr) in [("fused", &traces), ("unfused", &unfused)] {
+            if only.as_deref().is_some_and(|o| o != label) {
+                continue;
+            }
+            let mut best_a = f64::INFINITY;
+            for _ in 0..3 {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(a.run_compiled(tr));
+                }
+                best_a = best_a.min(t.elapsed().as_secs_f64() / iters as f64);
+            }
+            println!("trace run_compiled ({label}): {:.1}us", best_a * 1e6);
+        }
+    }
+
+    let one = &traces[0];
+    println!(
+        "steps {}  segments {}  ops {}",
+        one.steps.len(),
+        one.segments.len(),
+        one.segments.iter().map(|s| s.ops.len()).sum::<usize>()
+    );
+}

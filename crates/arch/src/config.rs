@@ -31,24 +31,34 @@ pub enum ExecMode {
 /// work, so the margin keeps Auto inline everywhere threading could lose.
 const AUTO_BREAK_EVEN_MARGIN: u64 = 8;
 
+/// The `HYPERAP_THREADS` override, when set to a positive integer.
+fn env_threads() -> Option<usize> {
+    std::env::var("HYPERAP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The host's worker width: `HYPERAP_THREADS` when set to a positive
+/// integer, else [`std::thread::available_parallelism`]. Every
+/// [`ExecMode`] resolves its fan-out against this, and the slab engine
+/// aligns its default chunk count to it ([`crate::SlabMachine::new`]) so
+/// threaded dispatches split into exactly one chunk per worker.
+pub fn host_width() -> usize {
+    env_threads().unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 impl ExecMode {
     /// Number of OS threads the engine fans out to under this mode.
     ///
-    /// Host width comes from the `HYPERAP_THREADS` environment variable
-    /// when set to a positive integer, else from
-    /// [`std::thread::available_parallelism`]. `HYPERAP_THREADS=1` means
+    /// Host width comes from [`host_width`]. `HYPERAP_THREADS=1` means
     /// "no worker threads, period": it forces 1 under *every* mode,
     /// including `Parallel`'s two-worker floor.
     pub fn threads(self) -> usize {
-        let env = std::env::var("HYPERAP_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0);
-        if env == Some(1) || self == ExecMode::Sequential {
+        if env_threads() == Some(1) || self == ExecMode::Sequential {
             return 1;
         }
-        let host =
-            env.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let host = host_width();
         match self {
             ExecMode::Sequential => 1,
             ExecMode::Auto => host,
@@ -268,10 +278,12 @@ mod tests {
             "overrides the 2-worker floor"
         );
         std::env::set_var("HYPERAP_THREADS", "3");
+        assert_eq!(host_width(), 3);
         assert_eq!(ExecMode::Sequential.threads(), 1);
         assert_eq!(ExecMode::Auto.threads(), 3);
         assert_eq!(ExecMode::Parallel.threads(), 3);
         std::env::remove_var("HYPERAP_THREADS");
+        assert!(host_width() >= 1);
     }
 
     #[test]

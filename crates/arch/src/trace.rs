@@ -22,6 +22,18 @@
 //!   segment* before joining — one fork-join per segment instead of one per
 //!   instruction, and each PE's columns stay cache-resident across the
 //!   whole segment.
+//! * **Fused micro-ops** from the peephole pass ([`CompiledTrace::peephole`],
+//!   applied by [`compile`](CompiledTrace::compile) and skipped by
+//!   [`compile_unfused`](CompiledTrace::compile_unfused)): the canonical AP
+//!   rhythm `Search → [Search acc]* → Write…` collapses into
+//!   [`MicroOp::SearchWrite`] / [`MicroOp::SearchWriteMulti`], consecutive
+//!   writes batch into [`MicroOp::WriteMulti`], dead and redundant searches
+//!   are elided (billed through [`Segment::elided`] so per-PE `OpCounts`
+//!   stay architecturally unfused), and a search whose plan extends the
+//!   previous one narrows the live tags incrementally via
+//!   [`MicroOp::SearchDelta`]. The fused ops execute as single-sweep slab
+//!   kernels ([`hyperap_tcam::slab::TcamSlab::search_write_multi`]) that
+//!   never materialize intermediate tag vectors.
 //!
 //! # Equivalence guarantee
 //!
@@ -48,6 +60,13 @@ use hyperap_isa::{Instruction, SyncClass};
 use hyperap_model::timing::OpCounts;
 use hyperap_tcam::bit::KeyBit;
 use hyperap_tcam::key::SearchKey;
+
+/// Maximum number of search plans or write columns folded into one fused
+/// micro-op ([`MicroOp::SearchWriteMulti`], [`MicroOp::WriteMulti`]), so
+/// engines can resolve them into fixed-size stack buffers instead of
+/// allocating per dispatch. Longer chains split; the continuation chain
+/// starts with `acc = true` and excess writes trail as their own batch.
+pub const MAX_FUSED: usize = 8;
 
 /// Which precompiled search plan a micro-op uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +117,56 @@ pub enum MicroOp {
     SetTag,
     /// Copy the PE's tags into its data register.
     ReadTag,
+    /// Peephole-fused `Search` followed by a single-column `Write`: one
+    /// linear pass computes the tags and conditionally stores, without
+    /// materializing the tag vector between the two architectural ops.
+    SearchWrite {
+        /// The plan to apply.
+        plan: PlanRef,
+        /// OR into the tags through the accumulation unit.
+        acc: bool,
+        /// Latch the search result for a later encoded write.
+        encode: bool,
+        /// Target column of the fused write.
+        col: u8,
+        /// Resolved key-register value (never `Masked`).
+        value: KeyBit,
+    },
+    /// Peephole-fused chain of searches (first with `acc` as given, the
+    /// rest accumulating: `tags = (acc ? tags : 0) | match(plan₀) | …`)
+    /// followed by zero or more single-column writes under the final tags.
+    /// At most [`MAX_FUSED`] plans and writes each; writes apply in order,
+    /// so repeated columns behave like the unfused sequence.
+    SearchWriteMulti {
+        /// Plans of the fused search chain, in program order.
+        plans: Vec<PlanRef>,
+        /// Whether the *first* search accumulates into the incoming tags.
+        acc: bool,
+        /// Latch the final tags for a later encoded write (only the last
+        /// search of a fused chain may carry the encode flag).
+        encode: bool,
+        /// Fused `(column, resolved value)` writes, in program order.
+        writes: Vec<(u8, KeyBit)>,
+    },
+    /// Peephole-batched run of consecutive single-column writes under the
+    /// same tags (at most [`MAX_FUSED`], applied in order).
+    WriteMulti {
+        /// `(column, resolved value)` writes, in program order.
+        writes: Vec<(u8, KeyBit)>,
+    },
+    /// Incremental search: the previous search's plan is a subset of this
+    /// one and its columns are unwritten since, so the live tags already
+    /// hold the common prefix — narrow them by the extra `(column, bit)`
+    /// entries only, skipping the row-mask re-initialization. `plan`
+    /// indexes [`CompiledTrace::plans`] (delta plans are appended there by
+    /// the peephole pass). Architecturally this is still one full
+    /// `SetKey`+`Search`, and is counted as such.
+    SearchDelta {
+        /// Index of the delta plan in the trace's plan table.
+        plan: usize,
+        /// Latch the result for a later encoded write.
+        encode: bool,
+    },
 }
 
 /// A maximal run of instructions between synchronization points: per-PE
@@ -112,6 +181,12 @@ pub struct Segment {
     pub ops_delta: OpCounts,
     /// Number of stream instructions folded into this segment.
     pub instructions: usize,
+    /// Architectural per-PE ops the peephole pass elided (dead and
+    /// redundant searches). The engines skip the work but every active PE
+    /// is still billed these counts, so `OpCounts` — and with it the
+    /// paper-facing cycle numbers — report the *unfused* instruction
+    /// stream.
+    pub elided: OpCounts,
 }
 
 impl Segment {
@@ -146,8 +221,25 @@ impl Segment {
                 MicroOp::WriteEncoded { .. } => d.writes_encoded += 1,
                 // Tag transfers are counted at group level only.
                 MicroOp::SetTag | MicroOp::ReadTag => {}
+                // Fused ops bill their unfused architectural constituents.
+                MicroOp::SearchWrite { .. } => {
+                    d.searches += 1;
+                    d.set_keys += 1;
+                    d.writes_single += 1;
+                }
+                MicroOp::SearchWriteMulti { plans, writes, .. } => {
+                    d.searches += plans.len() as u64;
+                    d.set_keys += plans.len() as u64;
+                    d.writes_single += writes.len() as u64;
+                }
+                MicroOp::WriteMulti { writes } => d.writes_single += writes.len() as u64,
+                MicroOp::SearchDelta { .. } => {
+                    d.searches += 1;
+                    d.set_keys += 1;
+                }
             }
         }
+        d.add(&self.elided);
         d
     }
 }
@@ -188,17 +280,33 @@ pub struct CompiledTrace {
     /// when the trace finishes, so a later run sees the same machine state
     /// the interpreter would leave.
     pub final_key: Option<SearchKey>,
+    /// Plan-table index of [`final_key`](Self::final_key)'s compiled plan
+    /// (`Some` iff `final_key` is). The peephole pass appends delta plans
+    /// to [`plans`](Self::plans), so "the last plan" is not "the last
+    /// `SetKey`'s plan" — engines restore through this index.
+    pub final_plan: Option<usize>,
     /// True if any micro-op reads the entry key/plan (the machine snapshots
     /// the group's key state at run start only when needed).
     pub uses_entry_key: bool,
 }
 
 impl CompiledTrace {
-    /// Compile one stream. `reg_sync` demotes `SetTag`/`ReadTag` to
+    /// Compile one stream and apply the [`peephole`](Self::peephole)
+    /// fusion pass. `reg_sync` demotes `SetTag`/`ReadTag` to
     /// synchronization points — required when another group's stream can
     /// touch this group's data registers (see [`compile_streams`], which
     /// derives the flag; pass `false` for a single-stream machine).
     pub fn compile(stream: &[Instruction], config: &ArchConfig, reg_sync: bool) -> Self {
+        let mut trace = Self::compile_unfused(stream, config, reg_sync);
+        trace.peephole();
+        trace
+    }
+
+    /// Compile one stream without the peephole pass: every segment holds
+    /// exactly the unfused micro-ops of its instructions. This is the
+    /// reference the equivalence suites pin the fused engines against, and
+    /// the baseline the benchmarks compare fusion to.
+    pub fn compile_unfused(stream: &[Instruction], config: &ArchConfig, reg_sync: bool) -> Self {
         let mut trace = CompiledTrace::default();
         let mut seg = Segment::default();
         let mut seg_cycles = 0u64;
@@ -287,7 +395,40 @@ impl CompiledTrace {
         }
         flush(&mut trace, &mut seg, &mut seg_cycles);
         trace.final_key = cur_key.cloned();
+        trace.final_plan = match cur_plan {
+            PlanRef::Compiled(i) => Some(i),
+            PlanRef::Entry => None,
+        };
         trace
+    }
+
+    /// Rewrite every segment's micro-ops through the fusion peephole, in
+    /// four passes per segment:
+    ///
+    /// 1. **Dead-search elimination** — a non-latching `Search` whose tags
+    ///    are overwritten (`SetTag` or a non-accumulating `Search`) before
+    ///    anything reads them is removed.
+    /// 2. **Redundant / incremental searches** — a search identical to the
+    ///    still-valid previous one is elided; one whose plan extends the
+    ///    previous becomes a [`MicroOp::SearchDelta`] over the extra
+    ///    entries only.
+    /// 3. **Write batching** — consecutive `Write`s collapse into
+    ///    [`MicroOp::WriteMulti`].
+    /// 4. **Search→write fusion** — a maximal `Search → [Search acc]*`
+    ///    chain plus an optional trailing write batch becomes one
+    ///    [`MicroOp::SearchWrite`] / [`MicroOp::SearchWriteMulti`].
+    ///
+    /// Elided searches are billed through [`Segment::elided`]; fused ops
+    /// bill their unfused constituents in [`Segment::pe_ops_delta`] — the
+    /// pass never changes any `OpCounts` or cycle number, only the number
+    /// of arena sweeps the engines perform.
+    pub fn peephole(&mut self) {
+        for seg in &mut self.segments {
+            peephole::eliminate_dead_searches(seg);
+            peephole::narrow_repeated_searches(seg, &mut self.plans);
+            peephole::batch_writes(seg);
+            peephole::fuse_search_writes(seg);
+        }
     }
 
     /// Number of segments.
@@ -306,6 +447,256 @@ impl CompiledTrace {
     /// Total stream instructions represented (segments + sync points).
     pub fn instruction_count(&self) -> usize {
         self.segments.iter().map(|s| s.instructions).sum::<usize>() + self.sync_count()
+    }
+}
+
+/// The segment-local rewrite passes behind [`CompiledTrace::peephole`].
+mod peephole {
+    use super::{KeyBit, MicroOp, PlanRef, Segment, MAX_FUSED};
+
+    /// Remove searches whose tags nothing ever observes: every micro-op
+    /// either reads the tags (`Write*`, `ReadTag`, an accumulating
+    /// `Search`) or overwrites them (`SetTag`, a non-accumulating
+    /// `Search`), so a non-latching search is dead exactly when the *next*
+    /// op overwrites. Looping handles cascades (a chain of overwritten
+    /// searches dies back to front). Tags are live at segment end — a sync
+    /// point or a later run may read them.
+    pub(super) fn eliminate_dead_searches(seg: &mut Segment) {
+        loop {
+            let dead = (0..seg.ops.len()).find(|&i| {
+                matches!(seg.ops[i], MicroOp::Search { encode: false, .. })
+                    && matches!(
+                        seg.ops.get(i + 1),
+                        Some(MicroOp::SetTag | MicroOp::Search { acc: false, .. })
+                    )
+            });
+            let Some(i) = dead else { break };
+            seg.ops.remove(i);
+            seg.elided.searches += 1;
+            seg.elided.set_keys += 1;
+        }
+    }
+
+    /// What pass 2 does with a repeated search.
+    enum Rewrite {
+        /// Tags already hold exactly this result: drop the op.
+        Elide,
+        /// Narrow the live tags by a delta plan (appended to the table).
+        Delta(usize),
+        /// No relation to the previous search: keep it as-is.
+        Keep,
+    }
+
+    /// Elide searches identical to the still-valid previous one and turn
+    /// plan-extension searches into incremental [`MicroOp::SearchDelta`]s.
+    ///
+    /// Validity: the tags hold `match(prev)` *as of the defining search*,
+    /// so any rewrite requires that no column of `prev`'s plan has been
+    /// written since (writes to the delta's extra columns are fine — the
+    /// delta re-reads them). An `Entry` plan has unknown columns, so it
+    /// only ever elides an identical `Entry` search with no intervening
+    /// writes at all.
+    pub(super) fn narrow_repeated_searches(
+        seg: &mut Segment,
+        plans: &mut Vec<Vec<(usize, KeyBit)>>,
+    ) {
+        let mut out = Vec::with_capacity(seg.ops.len());
+        // Tags == match of this plan, computed when it was pushed…
+        let mut known: Option<PlanRef> = None;
+        // …modulo writes to these columns since then.
+        let mut written: Vec<usize> = Vec::new();
+        for op in std::mem::take(&mut seg.ops) {
+            match op {
+                MicroOp::Search {
+                    plan,
+                    acc: false,
+                    encode,
+                } => {
+                    let rewrite = match (known, plan) {
+                        (Some(PlanRef::Compiled(prev)), PlanRef::Compiled(next)) => {
+                            rewrite_compiled(prev, next, &written, encode, plans)
+                        }
+                        (Some(PlanRef::Entry), PlanRef::Entry)
+                            if written.is_empty() && !encode =>
+                        {
+                            Rewrite::Elide
+                        }
+                        _ => Rewrite::Keep,
+                    };
+                    match rewrite {
+                        Rewrite::Elide => {
+                            // Tags unchanged: `known`/`written` stand.
+                            seg.elided.searches += 1;
+                            seg.elided.set_keys += 1;
+                        }
+                        Rewrite::Delta(delta) => {
+                            out.push(MicroOp::SearchDelta {
+                                plan: delta,
+                                encode,
+                            });
+                            known = Some(plan);
+                            written.clear();
+                        }
+                        Rewrite::Keep => {
+                            out.push(MicroOp::Search {
+                                plan,
+                                acc: false,
+                                encode,
+                            });
+                            known = Some(plan);
+                            written.clear();
+                        }
+                    }
+                }
+                other => {
+                    match &other {
+                        // Accumulation mixes old tags in; a register load
+                        // replaces them: either way no single plan
+                        // describes the result any more.
+                        MicroOp::Search { .. } | MicroOp::SetTag => {
+                            known = None;
+                            written.clear();
+                        }
+                        MicroOp::Write { col, .. } | MicroOp::WriteEntry { col } => {
+                            written.push(*col as usize);
+                        }
+                        MicroOp::WriteEncoded { col } => {
+                            written.push(*col as usize);
+                            written.push(*col as usize + 1);
+                        }
+                        MicroOp::ReadTag => {}
+                        // Fused ops only exist after the later passes.
+                        _ => {
+                            known = None;
+                            written.clear();
+                        }
+                    }
+                    out.push(other);
+                }
+            }
+        }
+        seg.ops = out;
+    }
+
+    /// Decide between eliding, delta-narrowing, or keeping a compiled
+    /// search whose predecessor's plan is `plans[prev]`.
+    fn rewrite_compiled(
+        prev: usize,
+        next: usize,
+        written: &[usize],
+        encode: bool,
+        plans: &mut Vec<Vec<(usize, KeyBit)>>,
+    ) -> Rewrite {
+        let (p, n) = (&plans[prev], &plans[next]);
+        let prev_clobbered = written
+            .iter()
+            .any(|&c| p.iter().any(|&(pc, _)| pc == c));
+        if prev_clobbered || !p.iter().all(|e| n.contains(e)) {
+            return Rewrite::Keep;
+        }
+        let delta: Vec<(usize, KeyBit)> =
+            n.iter().filter(|e| !p.contains(e)).copied().collect();
+        if delta.is_empty() && !encode {
+            return Rewrite::Elide;
+        }
+        // An identical-but-latching search keeps an empty delta: the
+        // engine skips the narrowing sweep and just latches the tags.
+        plans.push(delta);
+        Rewrite::Delta(plans.len() - 1)
+    }
+
+    /// Collapse runs of consecutive `Write`s into [`MicroOp::WriteMulti`]
+    /// batches of at most [`MAX_FUSED`] (order is preserved, so repeated
+    /// columns behave exactly like the unfused sequence).
+    pub(super) fn batch_writes(seg: &mut Segment) {
+        let mut out = Vec::with_capacity(seg.ops.len());
+        let mut run: Vec<(u8, KeyBit)> = Vec::new();
+        fn flush(out: &mut Vec<MicroOp>, run: &mut Vec<(u8, KeyBit)>) {
+            for chunk in run.chunks(MAX_FUSED) {
+                if let [(col, value)] = *chunk {
+                    out.push(MicroOp::Write { col, value });
+                } else {
+                    out.push(MicroOp::WriteMulti {
+                        writes: chunk.to_vec(),
+                    });
+                }
+            }
+            run.clear();
+        }
+        for op in std::mem::take(&mut seg.ops) {
+            if let MicroOp::Write { col, value } = op {
+                run.push((col, value));
+            } else {
+                flush(&mut out, &mut run);
+                out.push(op);
+            }
+        }
+        flush(&mut out, &mut run);
+        seg.ops = out;
+    }
+
+    /// Fuse each maximal `Search → [Search acc]*` chain plus an optional
+    /// trailing write batch into one fused micro-op. A latching search
+    /// ends its chain (the fused kernels latch the *final* tags, so only
+    /// the last search of a chain may carry `encode`); chains longer than
+    /// [`MAX_FUSED`] split, the continuation accumulating into the tags
+    /// the previous fused op left behind.
+    pub(super) fn fuse_search_writes(seg: &mut Segment) {
+        let ops = std::mem::take(&mut seg.ops);
+        let mut out = Vec::with_capacity(ops.len());
+        let mut i = 0;
+        while i < ops.len() {
+            let MicroOp::Search { plan, acc, encode } = ops[i] else {
+                out.push(ops[i].clone());
+                i += 1;
+                continue;
+            };
+            let mut plans = vec![plan];
+            let mut chain_encode = encode;
+            let mut j = i + 1;
+            while !chain_encode && plans.len() < MAX_FUSED {
+                let Some(MicroOp::Search {
+                    plan: p,
+                    acc: true,
+                    encode: e,
+                }) = ops.get(j)
+                else {
+                    break;
+                };
+                plans.push(*p);
+                chain_encode = *e;
+                j += 1;
+            }
+            let writes: Vec<(u8, KeyBit)> = match ops.get(j) {
+                Some(&MicroOp::Write { col, value }) => {
+                    j += 1;
+                    vec![(col, value)]
+                }
+                Some(MicroOp::WriteMulti { writes }) => {
+                    j += 1;
+                    writes.clone()
+                }
+                _ => Vec::new(),
+            };
+            out.push(match (plans.len(), writes.len()) {
+                (1, 0) => MicroOp::Search { plan, acc, encode },
+                (1, 1) => MicroOp::SearchWrite {
+                    plan,
+                    acc,
+                    encode: chain_encode,
+                    col: writes[0].0,
+                    value: writes[0].1,
+                },
+                _ => MicroOp::SearchWriteMulti {
+                    plans,
+                    acc,
+                    encode: chain_encode,
+                    writes,
+                },
+            });
+            i = j;
+        }
+        seg.ops = out;
     }
 }
 
@@ -340,21 +731,48 @@ where
 /// only if no *other* stream contains an instruction that can touch remote
 /// data registers ([`Instruction::touches_remote_regs`]).
 pub fn compile_streams(streams: &[Vec<Instruction>], config: &ArchConfig) -> Vec<CompiledTrace> {
+    compile_streams_with(streams, config, CompiledTrace::compile)
+}
+
+/// [`compile_streams`] without the peephole pass — the unfused baseline for
+/// the equivalence suites and the fusion benchmarks.
+pub fn compile_streams_unfused(
+    streams: &[Vec<Instruction>],
+    config: &ArchConfig,
+) -> Vec<CompiledTrace> {
+    compile_streams_with(streams, config, CompiledTrace::compile_unfused)
+}
+
+fn compile_streams_with(
+    streams: &[Vec<Instruction>],
+    config: &ArchConfig,
+    compile: fn(&[Instruction], &ArchConfig, bool) -> CompiledTrace,
+) -> Vec<CompiledTrace> {
     let remote: Vec<bool> = streams
         .iter()
         .map(|s| s.iter().any(Instruction::touches_remote_regs))
         .collect();
-    streams
-        .iter()
-        .enumerate()
-        .map(|(g, stream)| {
-            let reg_sync = remote
+    let reg_syncs: Vec<bool> = (0..streams.len())
+        .map(|g| {
+            remote
                 .iter()
                 .enumerate()
-                .any(|(other, &touches)| other != g && touches);
-            CompiledTrace::compile(stream, config, reg_sync)
+                .any(|(other, &touches)| other != g && touches)
         })
-        .collect()
+        .collect();
+    // SPMD programs run the same stream on every group; compiling (and
+    // peephole-optimizing) each copy separately would multiply the compile
+    // cost by the group count, so identical (stream, reg_sync) inputs share
+    // one compilation via clone.
+    let mut traces: Vec<CompiledTrace> = Vec::with_capacity(streams.len());
+    for (g, stream) in streams.iter().enumerate() {
+        let dup = (0..g).find(|&p| reg_syncs[p] == reg_syncs[g] && streams[p] == *stream);
+        traces.push(match dup {
+            Some(p) => traces[p].clone(),
+            None => compile(stream, config, reg_syncs[g]),
+        });
+    }
+    traces
 }
 
 #[cfg(test)]
@@ -394,8 +812,18 @@ mod tests {
         assert_eq!(t.sync_count(), 0);
         assert_eq!(t.instruction_count(), 5);
         let seg = &t.segments[0];
-        // SetKey and Wait fold into bookkeeping; Search and Write remain.
-        assert_eq!(seg.ops.len(), 2);
+        // SetKey and Wait fold into bookkeeping; the Search and Write fuse
+        // into one single-sweep micro-op.
+        assert_eq!(
+            seg.ops,
+            vec![MicroOp::SearchWrite {
+                plan: PlanRef::Compiled(0),
+                acc: false,
+                encode: false,
+                col: 1,
+                value: KeyBit::One,
+            }]
+        );
         assert_eq!(seg.ops_delta.set_keys, 2);
         assert_eq!(seg.ops_delta.searches, 1);
         assert_eq!(seg.ops_delta.writes_single, 1);
@@ -403,6 +831,13 @@ mod tests {
         // Cycles: 1 + 1 + 1 + 12 + 7.
         assert_eq!(t.steps[0].cycles, 22);
         assert_eq!(t.final_key, Some(SearchKey::parse("-1").unwrap()));
+        assert_eq!(t.final_plan, Some(1));
+        // The unfused compile keeps the two micro-ops separate, with the
+        // same bookkeeping.
+        let u = CompiledTrace::compile_unfused(&stream, &cfg(), false);
+        assert_eq!(u.segments[0].ops.len(), 2);
+        assert_eq!(u.segments[0].ops_delta, seg.ops_delta);
+        assert_eq!(u.segments[0].pe_ops_delta(None), seg.pe_ops_delta(None));
     }
 
     #[test]
@@ -459,8 +894,19 @@ mod tests {
         ];
         let t = CompiledTrace::compile(&stream, &cfg(), false);
         let seg = &t.segments[0];
+        // The two storing writes batch into one multi-write; the masked
+        // write emits no micro-op at all.
         assert_eq!(
             seg.ops,
+            vec![MicroOp::WriteMulti {
+                writes: vec![(0, KeyBit::One), (1, KeyBit::Z)],
+            }]
+        );
+        assert_eq!(seg.ops_delta.writes_single, 3, "masked write still counts");
+        assert_eq!(seg.pe_ops_delta(None).writes_single, 2);
+        let u = CompiledTrace::compile_unfused(&stream, &cfg(), false);
+        assert_eq!(
+            u.segments[0].ops,
             vec![
                 MicroOp::Write {
                     col: 0,
@@ -472,7 +918,6 @@ mod tests {
                 },
             ]
         );
-        assert_eq!(seg.ops_delta.writes_single, 3, "masked write still counts");
     }
 
     #[test]
@@ -548,6 +993,190 @@ mod tests {
         assert!(t.steps.is_empty());
         assert_eq!(t.instruction_count(), 0);
         assert_eq!(t.final_key, None);
+        assert_eq!(t.final_plan, None);
         assert!(!t.uses_entry_key);
+    }
+
+    const SEARCH_ACC: Instruction = Instruction::Search {
+        acc: true,
+        encode: false,
+    };
+
+    /// The add32 inner-loop shape: a fresh search, accumulating searches,
+    /// then a conditional write — one fused single-sweep micro-op.
+    #[test]
+    fn fuses_search_chains_with_trailing_writes() {
+        let stream = vec![
+            setkey("1-"),
+            SEARCH,
+            setkey("-1"),
+            SEARCH_ACC,
+            Instruction::Write {
+                col: 1,
+                encode: false,
+            },
+        ];
+        let t = CompiledTrace::compile(&stream, &cfg(), false);
+        let seg = &t.segments[0];
+        assert_eq!(
+            seg.ops,
+            vec![MicroOp::SearchWriteMulti {
+                plans: vec![PlanRef::Compiled(0), PlanRef::Compiled(1)],
+                acc: false,
+                encode: false,
+                writes: vec![(1, KeyBit::One)],
+            }]
+        );
+        // Per-PE counts are the unfused architectural ones.
+        let d = seg.pe_ops_delta(None);
+        assert_eq!((d.searches, d.set_keys, d.writes_single), (2, 2, 1));
+        let u = CompiledTrace::compile_unfused(&stream, &cfg(), false);
+        assert_eq!(u.segments[0].pe_ops_delta(None), d);
+        assert_eq!(u.segments[0].ops.len(), 3);
+    }
+
+    /// A latching search must end its fused chain — the kernels latch the
+    /// final tags, which would be wrong for an intermediate encode.
+    #[test]
+    fn latching_search_ends_the_fused_chain() {
+        let stream = vec![
+            setkey("1-"),
+            Instruction::Search {
+                acc: false,
+                encode: true,
+            },
+            setkey("-1"),
+            SEARCH_ACC,
+        ];
+        let t = CompiledTrace::compile(&stream, &cfg(), false);
+        assert_eq!(t.segments[0].ops.len(), 2, "no fusion across the latch");
+        // With the encode on the *last* search the whole chain fuses.
+        let stream = vec![
+            setkey("1-"),
+            SEARCH,
+            setkey("-1"),
+            Instruction::Search {
+                acc: true,
+                encode: true,
+            },
+        ];
+        let t = CompiledTrace::compile(&stream, &cfg(), false);
+        assert_eq!(
+            t.segments[0].ops,
+            vec![MicroOp::SearchWriteMulti {
+                plans: vec![PlanRef::Compiled(0), PlanRef::Compiled(1)],
+                acc: false,
+                encode: true,
+                writes: vec![],
+            }]
+        );
+    }
+
+    /// A search overwritten before anything reads its tags is removed from
+    /// the ops but still billed to every active PE via `Segment::elided`.
+    #[test]
+    fn dead_searches_are_elided_but_billed() {
+        let stream = vec![setkey("1"), SEARCH, Instruction::SetTag, SEARCH];
+        let t = CompiledTrace::compile(&stream, &cfg(), false);
+        let seg = &t.segments[0];
+        assert_eq!(
+            seg.ops,
+            vec![
+                MicroOp::SetTag,
+                MicroOp::Search {
+                    plan: PlanRef::Compiled(0),
+                    acc: false,
+                    encode: false
+                }
+            ]
+        );
+        assert_eq!(seg.elided.searches, 1);
+        let u = CompiledTrace::compile_unfused(&stream, &cfg(), false);
+        assert_eq!(u.segments[0].pe_ops_delta(None), seg.pe_ops_delta(None));
+        assert_eq!(u.segments[0].ops_delta, seg.ops_delta);
+    }
+
+    /// Re-searching the same still-valid key is elided entirely; searching
+    /// an *extension* of it narrows the live tags with a delta plan.
+    #[test]
+    fn repeated_and_extension_searches_are_narrowed() {
+        let same = vec![setkey("1"), SEARCH, Instruction::ReadTag, SEARCH];
+        let t = CompiledTrace::compile(&same, &cfg(), false);
+        assert_eq!(t.segments[0].ops.len(), 2, "identical re-search elided");
+        assert_eq!(t.segments[0].elided.searches, 1);
+        assert_eq!(
+            t.segments[0].pe_ops_delta(None),
+            CompiledTrace::compile_unfused(&same, &cfg(), false).segments[0].pe_ops_delta(None)
+        );
+
+        let extend = vec![setkey("1-"), SEARCH, Instruction::ReadTag, setkey("11"), SEARCH];
+        let t = CompiledTrace::compile(&extend, &cfg(), false);
+        let seg = &t.segments[0];
+        assert_eq!(
+            seg.ops[2],
+            MicroOp::SearchDelta {
+                plan: 2,
+                encode: false
+            }
+        );
+        assert_eq!(t.plans[2], vec![(1, KeyBit::One)]);
+        // The delta is still a full SetKey+Search architecturally.
+        assert_eq!(seg.pe_ops_delta(None).searches, 2);
+        // `final_plan` still resolves the last SetKey even though the
+        // delta plan now sits at the end of the plan table.
+        assert_eq!(t.final_plan, Some(1));
+        assert_eq!(t.final_key, Some(SearchKey::parse("11").unwrap()));
+
+        // A write clobbering the previous plan's column blocks both
+        // rewrites: the tags no longer reflect the current cell contents.
+        let clobbered = vec![
+            setkey("1-"),
+            SEARCH,
+            Instruction::Write {
+                col: 0,
+                encode: false,
+            },
+            setkey("11"),
+            SEARCH,
+        ];
+        let t = CompiledTrace::compile(&clobbered, &cfg(), false);
+        assert!(t.segments[0]
+            .ops
+            .iter()
+            .all(|op| !matches!(op, MicroOp::SearchDelta { .. })));
+        assert_eq!(t.segments[0].elided, OpCounts::default());
+    }
+
+    /// Chains and write runs longer than `MAX_FUSED` split, with the
+    /// continuation chain accumulating into the previous fused tags.
+    #[test]
+    fn fusion_caps_split_long_chains() {
+        let mut stream = vec![setkey("1"), SEARCH];
+        for _ in 0..9 {
+            stream.push(setkey("1"));
+            stream.push(SEARCH_ACC);
+        }
+        let t = CompiledTrace::compile(&stream, &cfg(), false);
+        let seg = &t.segments[0];
+        assert_eq!(seg.ops.len(), 2);
+        let (MicroOp::SearchWriteMulti { plans: a, acc: false, .. },
+             MicroOp::SearchWriteMulti { plans: b, acc: true, .. }) =
+            (&seg.ops[0], &seg.ops[1])
+        else {
+            panic!("expected two fused chains, got {:?}", seg.ops);
+        };
+        assert_eq!((a.len(), b.len()), (MAX_FUSED, 2));
+        assert_eq!(seg.pe_ops_delta(None).searches, 10);
+
+        let mut stream = vec![setkey("1111111111")];
+        for col in 0..10 {
+            stream.push(Instruction::Write { col, encode: false });
+        }
+        let t = CompiledTrace::compile(&stream, &cfg(), false);
+        let seg = &t.segments[0];
+        assert_eq!(seg.ops.len(), 2);
+        assert!(matches!(&seg.ops[0], MicroOp::WriteMulti { writes } if writes.len() == MAX_FUSED));
+        assert!(matches!(&seg.ops[1], MicroOp::WriteMulti { writes } if writes.len() == 2));
+        assert_eq!(seg.pe_ops_delta(None).writes_single, 10);
     }
 }

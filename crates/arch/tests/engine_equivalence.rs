@@ -143,6 +143,34 @@ proptest! {
     }
 
     #[test]
+    fn peephole_fusion_preserves_interpreter_semantics(
+        loads in loads_strategy(),
+        s0 in prop::collection::vec(inst_strategy(), 0..40),
+        s1 in prop::collection::vec(inst_strategy(), 0..40),
+    ) {
+        // Three-way pin: the instruction-at-a-time interpreter, the
+        // unfused compiled trace, and the peephole-fused trace must agree
+        // bit-for-bit — state, wear, per-PE op counts (fused ops bill their
+        // unfused constituents), and Count/Index reductions.
+        let streams = vec![s0, s1];
+        let cfg = ArchConfig::tiny();
+        let mut interp = build(ExecMode::Sequential, &loads);
+        let interp_stats = interp.run_interpreted(&streams);
+        let unfused = hyperap_arch::trace::compile_streams_unfused(&streams, &cfg);
+        let mut raw = build(ExecMode::Sequential, &loads);
+        let raw_stats = raw.run_compiled(&unfused);
+        prop_assert_eq!(&interp_stats, &raw_stats, "unfused trace diverged from interpreter");
+        assert_machines_identical(&interp, &raw);
+        let fused = hyperap_arch::trace::compile_streams(&streams, &cfg);
+        for mode in [ExecMode::Sequential, ExecMode::Parallel, ExecMode::Auto] {
+            let mut m = build(mode, &loads);
+            let s = m.run_compiled(&fused);
+            prop_assert_eq!(&interp_stats, &s, "fused trace diverged under {:?}", mode);
+            assert_machines_identical(&interp, &m);
+        }
+    }
+
+    #[test]
     fn engines_agree_across_consecutive_runs(
         loads in loads_strategy(),
         first in prop::collection::vec(inst_strategy(), 0..25),
@@ -160,6 +188,13 @@ proptest! {
         let a1 = interp.run_interpreted(std::slice::from_ref(&second));
         let b1 = traced.run(std::slice::from_ref(&second));
         prop_assert_eq!(&a1, &b1, "second run diverged: key state not carried");
+        // Rerunning the first stream exercises the trace cache's
+        // invalidate-then-refill path: `second` evicted `first`'s traces,
+        // so this must recompile (not reuse stale traces) and still match
+        // the uncached interpreter.
+        let a2 = interp.run_interpreted(std::slice::from_ref(&first));
+        let b2 = traced.run(std::slice::from_ref(&first));
+        prop_assert_eq!(&a2, &b2, "rerun diverged: stale trace cache");
         assert_machines_identical(&interp, &traced);
     }
 

@@ -143,6 +143,40 @@ proptest! {
         }
     }
 
+    /// The fused slab engine against the unfused oracle: the
+    /// instruction-at-a-time interpreter (no traces, no fusion) must match
+    /// the slab engine bit-for-bit whether the slab executes
+    /// peephole-fused or unfused traces — across every threading mode and
+    /// chunk width. Covers cells, tags, latch, wear, data registers,
+    /// per-PE op counts, cycles, and Count/Index reductions.
+    #[test]
+    fn fused_slab_engine_matches_unfused_interpreter(
+        loads in loads_strategy(),
+        s0 in prop::collection::vec(inst_strategy(), 0..30),
+        s1 in prop::collection::vec(inst_strategy(), 0..30),
+    ) {
+        let streams = vec![s0, s1];
+        let cfg = ArchConfig::tiny();
+        let mut oracle = build_reference(&loads);
+        let oracle_stats = oracle.run_interpreted(&streams);
+        let fused = hyperap_arch::trace::compile_streams(&streams, &cfg);
+        let unfused = hyperap_arch::trace::compile_streams_unfused(&streams, &cfg);
+        for mode in [ExecMode::Sequential, ExecMode::Parallel, ExecMode::Auto] {
+            for chunk_pes in CHUNK_WIDTHS {
+                for (kind, traces) in [("fused", &fused), ("unfused", &unfused)] {
+                    let mut slab = build_slab(mode, chunk_pes, &loads);
+                    let slab_stats = slab.run_compiled(traces);
+                    prop_assert_eq!(
+                        &oracle_stats, &slab_stats,
+                        "{} stats diverged from interpreter under {:?} with {}-PE chunks",
+                        kind, mode, chunk_pes
+                    );
+                    assert_machines_identical(&oracle, &slab);
+                }
+            }
+        }
+    }
+
     /// Key-register state must carry across runs identically: a stream that
     /// searches before its first SetKey picks up whatever key the previous
     /// run left behind (entry-key snapshot and final-key restore paths).
@@ -160,6 +194,13 @@ proptest! {
         let a1 = reference.run(std::slice::from_ref(&second));
         let b1 = slab.run(std::slice::from_ref(&second));
         prop_assert_eq!(&a1, &b1, "second run diverged: key state not carried");
+        // Rerunning the first stream exercises both engines' trace caches:
+        // `second` evicted `first`'s traces, so stale reuse here would
+        // surface as a divergence between the engines or from the
+        // interpreter-checked state.
+        let a2 = reference.run(std::slice::from_ref(&first));
+        let b2 = slab.run(std::slice::from_ref(&first));
+        prop_assert_eq!(&a2, &b2, "rerun diverged: stale trace cache");
         assert_machines_identical(&reference, &slab);
     }
 

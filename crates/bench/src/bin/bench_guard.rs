@@ -4,19 +4,22 @@
 //! Two modes:
 //!
 //! * **Full** (default): runs the same add32 workload as `bench_sim`
-//!   (16 groups × 64 PEs of 256×256) and guards **three** throughput
+//!   (16 groups × 64 PEs of 256×256) and guards **four** throughput
 //!   columns against the checked-in numbers — the trace engine sequential
 //!   (`instructions_per_sec_sequential`) and parallel
 //!   (`instructions_per_sec_parallel`), and the slab engine sequential
-//!   (`instructions_per_sec_slab_sequential`). Each must come in at no less
+//!   (`instructions_per_sec_slab_sequential`) and parallel
+//!   (`instructions_per_sec_slab_parallel`). Each must come in at no less
 //!   than 75% of its baseline (>25% regression fails).
 //! * **`--smoke`**: a small-geometry sanity pass for CI — validates that
-//!   the checked-in JSON parses and carries the trace- and slab-engine
-//!   entries, runs interpreter, trace, and slab engines on a scaled-down
-//!   machine, checks all three produce identical stats, and requires the
-//!   trace and slab engines to stay within 25% of the interpreter (both
-//!   exist to be *faster*; this loose bound only catches pathological
-//!   regressions without being flaky on loaded CI hosts).
+//!   the checked-in JSON parses and carries the trace-, slab-, and
+//!   fusion-comparison entries, runs interpreter, trace, and slab engines
+//!   on a scaled-down machine (the trace and slab engines on the default
+//!   *fused* pipeline, the slab engine additionally on unfused traces),
+//!   checks all runs produce identical stats, and requires the trace and
+//!   slab engines to stay within 25% of the interpreter (both exist to be
+//!   *faster*; this loose bound only catches pathological regressions
+//!   without being flaky on loaded CI hosts).
 //!
 //! No JSON dependency is available offline, so numbers are read with a
 //! small key scanner over the known single-number-per-key layout that
@@ -107,9 +110,12 @@ fn smoke() -> i32 {
         "instructions_per_sec_sequential",
         "instructions_per_sec_parallel",
         "instructions_per_sec_slab_sequential",
+        "instructions_per_sec_slab_parallel",
         "speedup_trace_vs_interpreter_sequential",
         "speedup_parallel_vs_sequential",
         "speedup_slab_vs_trace_sequential",
+        "speedup_trace_fused_vs_unfused",
+        "speedup_slab_fused_vs_unfused",
     ] {
         match json_number(&baseline, key) {
             Some(v) if v.is_finite() && v > 0.0 => {
@@ -148,17 +154,30 @@ fn smoke() -> i32 {
     seed_machine(&mut interp);
     seed_machine(&mut traced);
     seed_slab(&mut slab);
+    let mut slab_unfused = SlabMachine::new(ArchConfig {
+        exec: ExecMode::Sequential,
+        ..cfg.clone()
+    });
+    seed_slab(&mut slab_unfused);
     let interp_stats = interp.run_interpreted(&streams);
     let trace_stats = traced.run(&streams);
     let slab_stats = slab.run(&streams);
+    // The fused peephole pipeline (the default) must be observationally
+    // identical to unfused compilation — including architectural op/cycle
+    // counts, which bill fused micro-ops as their unfused constituents.
+    let unfused = hyperap_arch::trace::compile_streams_unfused(&streams, slab_unfused.config());
+    let slab_unfused_stats = slab_unfused.run_compiled(&unfused);
     if interp_stats != trace_stats {
         eprintln!("bench_guard: interpreter and trace engines disagree on smoke workload");
         failed = true;
     } else if interp_stats != slab_stats {
         eprintln!("bench_guard: interpreter and slab engines disagree on smoke workload");
         failed = true;
+    } else if interp_stats != slab_unfused_stats {
+        eprintln!("bench_guard: fused and unfused slab runs disagree on smoke workload");
+        failed = true;
     } else {
-        println!("bench_guard: all three engines bit-identical on smoke workload");
+        println!("bench_guard: all engines (fused and unfused) bit-identical on smoke workload");
     }
 
     let reps = 5;
@@ -215,8 +234,8 @@ fn full() -> i32 {
     };
 
     // The bench_sim engine workload, re-measured: add32 on every PE of a
-    // 16-group × 64-PE machine of 256×256. Three guarded columns: trace
-    // engine sequential and parallel, slab engine sequential.
+    // 16-group × 64-PE machine of 256×256. Four guarded columns: trace
+    // engine sequential and parallel, slab engine sequential and parallel.
     let mut cfg = ArchConfig::paper_scaled(256);
     cfg.groups = 16;
     let streams = add32_streams(cfg.cols, cfg.groups);
@@ -271,6 +290,13 @@ fn full() -> i32 {
         "slab sequential",
         "instructions_per_sec_slab_sequential",
         slab_ips(ExecMode::Sequential),
+        &baseline,
+        &path,
+    );
+    failed |= guard_column(
+        "slab parallel",
+        "instructions_per_sec_slab_parallel",
+        slab_ips(ExecMode::Parallel),
         &baseline,
         &path,
     );

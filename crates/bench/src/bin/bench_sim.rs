@@ -23,10 +23,24 @@
 //!    instruction/key per step, a fresh `TagVector` per search, a full-width
 //!    single-bit `SearchKey` per write, cloned registers on every tag
 //!    transfer). Identical compute, seed-era allocation behavior.
+//! 6. **Peephole fusion**: both engines running precompiled *fused* traces
+//!    (the default `compile_streams` pipeline, which collapses
+//!    Search→SetTag→Write chains into single-sweep micro-ops) vs the same
+//!    streams compiled with `compile_streams_unfused` — bit-identical
+//!    results and identical architectural cycle counts, wall-clock only.
+//!
+//! The `run`-based columns include trace compilation; both machines keep a
+//! content-addressed trace cache, so steady-state reps pay one stream
+//! comparison instead of a recompile (the first, uncached call is warmup).
 //!
 //! Workload: the lowered 32-bit adder stream on every PE of a
 //! 16-group x 64-PE machine (1024 PEs of 256x256), the paper's bread-and-
 //! butter arithmetic kernel (§V).
+//!
+//! The emitted JSON carries a `meta` block stamping the measurement with
+//! the producing git revision and an FNV-1a hash of the machine geometry,
+//! so a checked-in baseline can be traced to the commit and geometry that
+//! produced it.
 
 use hyperap_arch::machine::BROADCAST_ADDR;
 use hyperap_arch::{ApMachine, ArchConfig, ExecMode, SlabMachine};
@@ -43,6 +57,33 @@ use std::time::Instant;
 const ROWS: usize = 256;
 const COLS: usize = 256;
 const GROUPS: usize = 16;
+
+/// Short git revision of the working tree producing this measurement, or
+/// `"unknown"` outside a git checkout.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// FNV-1a over little-endian words — stamps the geometry so a baseline
+/// can't be silently compared across machine shapes.
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
 
 /// Best-of-`reps` wall time of `f`, in seconds.
 fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -273,13 +314,25 @@ fn main() {
     let auto_s = run_mode(ExecMode::Auto, false);
     // Trace reuse: compile once, run the compiled traces repeatedly (the
     // steady state of a workload that executes the same kernel many times).
-    let precompiled_s = {
+    // 6 (measured here). Peephole fusion: precompiled fused vs unfused
+    // traces, run on the *same* machine instance — the per-PE machine is
+    // half a million small allocations, so two separately allocated
+    // machines can land in different heap layouts and skew the ratio.
+    let unfused_traces = {
+        let cfg = engine_config(ExecMode::Sequential);
+        hyperap_arch::trace::compile_streams_unfused(&streams, &cfg)
+    };
+    let (precompiled_s, precompiled_unfused_s) = {
         let mut m = ApMachine::new(engine_config(ExecMode::Sequential));
         seed_machine(&mut m);
         let traces = hyperap_arch::trace::compile_streams(&streams, m.config());
-        best_secs(reps, || {
+        let fused = best_secs(reps, || {
             black_box(m.run_compiled(&traces));
-        })
+        });
+        let unfused = best_secs(reps, || {
+            black_box(m.run_compiled(&unfused_traces));
+        });
+        (fused, unfused)
     };
 
     // 4. Slab engine: same compiled traces over contiguous multi-PE arenas.
@@ -293,13 +346,17 @@ fn main() {
     let slab_seq_s = run_slab(ExecMode::Sequential);
     let slab_par_s = run_slab(ExecMode::Parallel);
     let slab_auto_s = run_slab(ExecMode::Auto);
-    let slab_precompiled_s = {
+    let (slab_precompiled_s, slab_precompiled_unfused_s) = {
         let mut m = SlabMachine::new(engine_config(ExecMode::Sequential));
         seed_slab(&mut m);
         let traces = hyperap_arch::trace::compile_streams(&streams, m.config());
-        best_secs(reps, || {
+        let fused = best_secs(reps, || {
             black_box(m.run_compiled(&traces));
-        })
+        });
+        let unfused = best_secs(reps, || {
+            black_box(m.run_compiled(&unfused_traces));
+        });
+        (fused, unfused)
     };
 
     let cfg = engine_config(ExecMode::Sequential);
@@ -316,8 +373,22 @@ fn main() {
     });
 
     let parallel_threads = ExecMode::Parallel.threads();
+    let git_revision = git_revision();
+    let geometry_hash = format!(
+        "{:016x}",
+        fnv1a(&[
+            GROUPS as u64,
+            cfg.total_pes() as u64,
+            ROWS as u64,
+            COLS as u64,
+        ])
+    );
     let json = format!(
         r#"{{
+  "meta": {{
+    "git_revision": "{git_revision}",
+    "geometry_hash": "{geometry_hash}"
+  }},
   "host": {{
     "cpus": {host_cpus},
     "parallel_threads": {parallel_threads}
@@ -347,13 +418,15 @@ fn main() {
       "sequential_s": {seq_s:.4},
       "parallel_s": {par_s:.4},
       "auto_s": {auto_s:.4},
-      "precompiled_sequential_s": {precompiled_s:.4}
+      "precompiled_sequential_s": {precompiled_s:.4},
+      "precompiled_unfused_s": {precompiled_unfused_s:.4}
     }},
     "slab": {{
       "sequential_s": {slab_seq_s:.4},
       "parallel_s": {slab_par_s:.4},
       "auto_s": {slab_auto_s:.4},
-      "precompiled_sequential_s": {slab_precompiled_s:.4}
+      "precompiled_sequential_s": {slab_precompiled_s:.4},
+      "precompiled_unfused_s": {slab_precompiled_unfused_s:.4}
     }},
     "seed_style_s": {seed_style_s:.4},
     "instructions_per_sec_sequential": {ips_seq:.0},
@@ -364,6 +437,8 @@ fn main() {
     "speedup_parallel_vs_sequential": {sp_par:.2},
     "speedup_slab_vs_trace_sequential": {sp_slab:.2},
     "speedup_slab_parallel_vs_sequential": {sp_slab_par:.2},
+    "speedup_trace_fused_vs_unfused": {sp_trace_fused:.2},
+    "speedup_slab_fused_vs_unfused": {sp_slab_fused:.2},
     "speedup_optimized_vs_seed_style": {sp_seed:.2}
   }}
 }}
@@ -379,6 +454,8 @@ fn main() {
         sp_par = seq_s / par_s,
         sp_slab = seq_s / slab_seq_s,
         sp_slab_par = slab_seq_s / slab_par_s,
+        sp_trace_fused = precompiled_unfused_s / precompiled_s,
+        sp_slab_fused = slab_precompiled_unfused_s / slab_precompiled_s,
         sp_seed = seed_style_s / seq_s,
     );
     std::fs::write("BENCH_SIM.json", &json).expect("write BENCH_SIM.json");

@@ -46,6 +46,7 @@ pub mod encoding;
 pub mod key;
 pub mod mvsop;
 pub mod slab;
+mod sweep;
 pub mod tags;
 
 pub use array::TcamArray;

@@ -21,7 +21,11 @@
 //! The fused kernels ([`TcamSlab::search_plan_multi_into`],
 //! [`write_column_multi`](TcamSlab::write_column_multi),
 //! [`copy_column_multi`](TcamSlab::copy_column_multi),
-//! [`write_encoded_multi`](TcamSlab::write_encoded_multi)) are bit-identical
+//! [`write_encoded_multi`](TcamSlab::write_encoded_multi), and the
+//! single-sweep search→write kernels
+//! [`search_write_multi`](TcamSlab::search_write_multi) /
+//! [`search_narrow_multi`](TcamSlab::search_narrow_multi) behind the trace
+//! peephole's fused micro-ops) are bit-identical
 //! to looping the corresponding [`TcamArray`] kernel over per-PE objects
 //! (property-tested in `tests/slab_equivalence.rs`), and
 //! [`from_arrays`](TcamSlab::from_arrays) / [`to_arrays`](TcamSlab::to_arrays)
@@ -29,6 +33,7 @@
 
 use crate::array::TcamArray;
 use crate::bit::{KeyBit, TernaryBit};
+use crate::sweep;
 use crate::tags::TagVector;
 use bytes::{Buf, BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
@@ -165,9 +170,85 @@ impl TagSlab {
         assert_eq!(tags.len(), self.rows, "tag length mismatch");
         self.pe_mut(pe).copy_from_slice(tags.blocks());
     }
+
+    /// Version byte of the [`to_bytes`](Self::to_bytes) image format.
+    pub const FORMAT_VERSION: u8 = 1;
+
+    /// Serialize to a versioned byte image (header + blocks as big-endian
+    /// words) — the [`TagSlab`] counterpart of [`TcamSlab::to_bytes`], so
+    /// snapshots of an engine's tag/latch/register state round-trip the
+    /// same way its cell state does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension exceeds `u16::MAX`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        for dim in [self.pes, self.rows] {
+            assert!(dim <= u16::MAX as usize, "dimension exceeds image format");
+        }
+        let mut buf = BytesMut::with_capacity(5 + self.blocks.len() * 8);
+        buf.put_u8(Self::FORMAT_VERSION);
+        buf.put_u16(self.pes as u16);
+        buf.put_u16(self.rows as u16);
+        for w in &self.blocks {
+            buf.put_slice(&w.to_be_bytes());
+        }
+        buf.to_vec()
+    }
+
+    /// Deserialize a [`to_bytes`](Self::to_bytes) image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SlabDecodeError`] on truncation, version or geometry
+    /// problems, trailing bytes, or set bits in a PE's row padding (the
+    /// always-zero invariant the kernels rely on).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SlabDecodeError> {
+        let mut buf = bytes;
+        if buf.remaining() < 5 {
+            return Err(SlabDecodeError::Truncated);
+        }
+        let version = buf.get_u8();
+        if version != Self::FORMAT_VERSION {
+            return Err(SlabDecodeError::BadVersion(version));
+        }
+        let pes = buf.get_u16() as usize;
+        let rows = buf.get_u16() as usize;
+        if pes == 0 || rows == 0 {
+            return Err(SlabDecodeError::BadGeometry);
+        }
+        let bpp = rows.div_ceil(64);
+        if buf.remaining() < pes * bpp * 8 {
+            return Err(SlabDecodeError::Truncated);
+        }
+        let mut blocks = Vec::with_capacity(pes * bpp);
+        let mut word = [0u8; 8];
+        for _ in 0..pes * bpp {
+            buf.copy_to_slice(&mut word);
+            blocks.push(u64::from_be_bytes(word));
+        }
+        if buf.has_remaining() {
+            return Err(SlabDecodeError::TrailingBytes(buf.remaining()));
+        }
+        let tail = rows % 64;
+        if tail != 0 {
+            let pad = !((1u64 << tail) - 1);
+            for pe in 0..pes {
+                if blocks[pe * bpp + bpp - 1] & pad != 0 {
+                    return Err(SlabDecodeError::BadGeometry);
+                }
+            }
+        }
+        Ok(TagSlab {
+            pes,
+            rows,
+            bpp,
+            blocks,
+        })
+    }
 }
 
-/// Failure modes of [`TcamSlab::from_bytes`].
+/// Failure modes of [`TcamSlab::from_bytes`] and [`TagSlab::from_bytes`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SlabDecodeError {
     /// The buffer is shorter than the header or the payload its header
@@ -496,6 +577,158 @@ impl TcamSlab {
         for c in [col, col + 1] {
             for w in &mut self.wear[c * self.pes + lo..c * self.pes + hi] {
                 *w += 1;
+            }
+        }
+    }
+
+    /// Fused search chain plus conditional writes over PEs `lo..hi` in
+    /// **one linear pass** over the arena — the slab kernel behind the
+    /// trace engine's `SearchWrite`/`SearchWriteMulti` micro-ops.
+    ///
+    /// Per block: `t = (acc ? tags : 0) | match(plans[0]) | …` (each match
+    /// starting from the row mask and narrowing per plan entry), store `t`
+    /// back into `tags`, then program every `(column, value)` of `writes`
+    /// in order under `t`. No intermediate tag vector is materialized.
+    /// Reads happen before writes within each block and blocks are
+    /// independent, so the result is bit-identical to the unfused kernel
+    /// sequence even when a write column appears in a plan. Each write
+    /// column takes one wear pulse per PE of the range, exactly like
+    /// [`write_column_multi`](Self::write_column_multi).
+    ///
+    /// `tags` has layout `[pe][block]` for the range (e.g. a
+    /// [`TagSlab::range_mut`] slice). Masked or out-of-range plan entries
+    /// are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write column is out of range or `tags` has the wrong
+    /// length.
+    pub fn search_write_multi(
+        &mut self,
+        plans: &[&[(usize, KeyBit)]],
+        acc: bool,
+        writes: &[(usize, TernaryBit)],
+        tags: &mut [u64],
+        lo: usize,
+        hi: usize,
+    ) {
+        let (a, b) = (lo * self.bpp, hi * self.bpp);
+        assert_eq!(tags.len(), b - a, "tag/range block count mismatch");
+        for &(col, _) in writes {
+            assert!(col < self.cols, "column out of range");
+            for w in &mut self.wear[col * self.pes + lo..col * self.pes + hi] {
+                *w += 1;
+            }
+        }
+        let cs = self.pes * self.bpp;
+        // Tile the block range so the whole chain — plan narrows, the
+        // OR-accumulate, and all the writes — runs over a stack-resident
+        // window. Plan entries are consumed two per pass with the `match`
+        // on the bit kinds hoisted out of the word loop, a non-accumulating
+        // chain evaluates its first plan directly in the tags window, and
+        // the OR-accumulate folds into the final narrowing pass of each
+        // later plan — a two-entry plan is one sweep end to end. When every
+        // row is live (`rows % 64 == 0`) the row-mask AND disappears
+        // entirely. Tiles are independent because a tile's searches read
+        // only its own offsets, so writes landing in earlier tiles never
+        // alias a later tile's reads. 256 blocks (2 KiB of tags plus a
+        // 2 KiB scratch tile) keeps per-tile loop overhead negligible
+        // while every per-pass slice still fits in L1.
+        let full = self.rows.is_multiple_of(64);
+        const TILE: usize = 256;
+        let mut s = [0u64; TILE];
+        let mut base = 0;
+        while base < b - a {
+            let n = TILE.min(b - a - base);
+            let at0 = a + base;
+            let t = &mut tags[base..base + n];
+            let mask = (!full).then(|| &self.row_mask[at0..at0 + n]);
+            if !acc && plans.is_empty() {
+                t.fill(0);
+            }
+            let (zeros, ones) = (&self.zeros, &self.ones);
+            let col = |c: usize| {
+                let off = c * cs + at0;
+                (&zeros[off..off + n], &ones[off..off + n])
+            };
+            for (pi, plan) in plans.iter().enumerate() {
+                if pi == 0 && !acc {
+                    sweep::plan_and_into(t, plan, self.cols, &col, mask);
+                } else {
+                    sweep::plan_or_into(t, &mut s[..n], plan, self.cols, &col, mask);
+                }
+            }
+            for &(col, value) in writes {
+                let off = col * cs + at0;
+                let zero = &mut self.zeros[off..off + n];
+                let one = &mut self.ones[off..off + n];
+                match value {
+                    TernaryBit::Zero => {
+                        for ((z, o), tw) in zero.iter_mut().zip(one.iter_mut()).zip(t.iter()) {
+                            *z |= tw;
+                            *o &= !tw;
+                        }
+                    }
+                    TernaryBit::One => {
+                        for ((z, o), tw) in zero.iter_mut().zip(one.iter_mut()).zip(t.iter()) {
+                            *o |= tw;
+                            *z &= !tw;
+                        }
+                    }
+                    TernaryBit::X => {
+                        for ((z, o), tw) in zero.iter_mut().zip(one.iter_mut()).zip(t.iter()) {
+                            *z &= !tw;
+                            *o &= !tw;
+                        }
+                    }
+                }
+            }
+            base += n;
+        }
+    }
+
+    /// Incremental search over PEs `lo..hi`: narrow `out`'s existing
+    /// contents by `plan` without the row-mask re-initialization of
+    /// [`search_plan_multi_into`](Self::search_plan_multi_into) — the slab
+    /// kernel behind the trace engine's `SearchDelta` micro-op, sound when
+    /// `out` already holds the match of a still-valid plan prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the range's block count.
+    pub fn search_narrow_multi(
+        &self,
+        plan: &[(usize, KeyBit)],
+        lo: usize,
+        hi: usize,
+        out: &mut [u64],
+    ) {
+        let (a, b) = (lo * self.bpp, hi * self.bpp);
+        assert_eq!(out.len(), b - a, "output/range block count mismatch");
+        for &(col, bit) in plan {
+            if col >= self.cols || bit == KeyBit::Masked {
+                continue;
+            }
+            let base = col * self.pes * self.bpp;
+            let zero = &self.zeros[base + a..base + b];
+            let one = &self.ones[base + a..base + b];
+            match bit {
+                KeyBit::Zero => {
+                    for (acc, o) in out.iter_mut().zip(one) {
+                        *acc &= !o;
+                    }
+                }
+                KeyBit::One => {
+                    for (acc, z) in out.iter_mut().zip(zero) {
+                        *acc &= !z;
+                    }
+                }
+                KeyBit::Z => {
+                    for ((acc, z), o) in out.iter_mut().zip(zero).zip(one) {
+                        *acc &= !(z | o);
+                    }
+                }
+                KeyBit::Masked => unreachable!("masked bits are filtered above"),
             }
         }
     }
@@ -878,6 +1111,127 @@ mod tests {
         zeroed[2] = 0;
         assert_eq!(
             TcamSlab::from_bytes(&zeroed),
+            Err(SlabDecodeError::BadGeometry)
+        );
+    }
+
+    /// The single-sweep fused kernel must equal the unfused composition:
+    /// searches (first overwriting, rest accumulating), then per-column
+    /// writes — state, tags, and wear.
+    #[test]
+    fn search_write_multi_matches_unfused_kernel_sequence() {
+        for acc in [false, true] {
+            let (mut fused, _) = seeded(4, 70, 9);
+            let mut unfused = fused.clone();
+            let k1 = SearchKey::parse("10-1Z----").unwrap().compile_plan();
+            let k2 = SearchKey::parse("-----01--").unwrap().compile_plan();
+            let writes = [(2usize, TernaryBit::One), (7usize, TernaryBit::X)];
+            let mut tags = tag_pattern(&fused, 1);
+            let mut expect_tags = tags.clone();
+
+            fused.search_write_multi(&[&k1, &k2], acc, &writes, tags.range_mut(1, 4), 1, 4);
+
+            let mut scratch = TagSlab::zeros(4, 70);
+            unfused.search_plan_multi_into(&k1, 1, 4, scratch.range_mut(1, 4));
+            if acc {
+                expect_tags.accumulate_range_from(&scratch, 1, 4);
+            } else {
+                expect_tags.copy_range_from(&scratch, 1, 4);
+            }
+            unfused.search_plan_multi_into(&k2, 1, 4, scratch.range_mut(1, 4));
+            expect_tags.accumulate_range_from(&scratch, 1, 4);
+            for (col, value) in writes {
+                unfused.write_column_multi(col, value, expect_tags.range(1, 4), 1, 4);
+            }
+            assert_eq!(tags, expect_tags, "acc {acc}");
+            assert_eq!(fused, unfused, "acc {acc}");
+            assert_eq!(fused.pe_wear(2)[2], 1);
+            assert_eq!(fused.pe_wear(0)[2], 0, "outside the PE range");
+        }
+    }
+
+    /// A write column that also appears in a plan must behave like the
+    /// unfused sequence (search completes before the store).
+    #[test]
+    fn search_write_multi_handles_write_column_in_plan() {
+        let (mut fused, _) = seeded(3, 33, 5);
+        let mut unfused = fused.clone();
+        let plan = vec![(1usize, KeyBit::Zero), (3usize, KeyBit::One)];
+        let mut tags = TagSlab::zeros(3, 33);
+        fused.search_write_multi(
+            &[&plan],
+            false,
+            &[(1, TernaryBit::One)],
+            tags.range_mut(0, 3),
+            0,
+            3,
+        );
+        let mut expect = TagSlab::zeros(3, 33);
+        unfused.search_plan_multi_into(&plan, 0, 3, expect.range_mut(0, 3));
+        unfused.write_column_multi(1, TernaryBit::One, expect.range(0, 3), 0, 3);
+        assert_eq!(tags, expect);
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn search_narrow_multi_equals_init_free_plan_search() {
+        let (slab, _) = seeded(3, 70, 6);
+        let full = SearchKey::parse("1-0Z--").unwrap().compile_plan();
+        let (prefix, rest) = full.split_at(1);
+        let mut whole = TagSlab::zeros(3, 70);
+        slab.search_plan_multi_into(&full, 0, 3, whole.range_mut(0, 3));
+        let mut narrowed = TagSlab::zeros(3, 70);
+        slab.search_plan_multi_into(prefix, 0, 3, narrowed.range_mut(0, 3));
+        slab.search_narrow_multi(rest, 0, 3, narrowed.range_mut(0, 3));
+        assert_eq!(narrowed, whole);
+    }
+
+    #[test]
+    fn tag_slab_bytes_round_trip() {
+        let slab = TcamSlab::new(3, 70, 2);
+        let tags = tag_pattern(&slab, 6);
+        assert_eq!(TagSlab::from_bytes(&tags.to_bytes()), Ok(tags));
+    }
+
+    #[test]
+    fn tag_slab_from_bytes_rejects_malformed_images() {
+        let slab = TcamSlab::new(2, 70, 2);
+        let tags = tag_pattern(&slab, 0);
+        let bytes = tags.to_bytes();
+        assert_eq!(
+            TagSlab::from_bytes(&bytes[..2]),
+            Err(SlabDecodeError::Truncated)
+        );
+        assert_eq!(
+            TagSlab::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(SlabDecodeError::Truncated)
+        );
+        let mut versioned = bytes.clone();
+        versioned[0] = 7;
+        assert_eq!(
+            TagSlab::from_bytes(&versioned),
+            Err(SlabDecodeError::BadVersion(7))
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(1);
+        assert_eq!(
+            TagSlab::from_bytes(&trailing),
+            Err(SlabDecodeError::TrailingBytes(1))
+        );
+        let mut zeroed = bytes.clone();
+        zeroed[1] = 0;
+        zeroed[2] = 0;
+        assert_eq!(
+            TagSlab::from_bytes(&zeroed),
+            Err(SlabDecodeError::BadGeometry)
+        );
+        // 70 rows → the last 58 bits of each PE's second block are padding
+        // and must decode as zero.
+        let mut padded = bytes;
+        let last = padded.len() - 1;
+        padded[last] |= 0x80;
+        assert_eq!(
+            TagSlab::from_bytes(&padded),
             Err(SlabDecodeError::BadGeometry)
         );
     }

@@ -6,6 +6,7 @@ use hyperap_tcam::array::TcamArray;
 use hyperap_tcam::bit::{KeyBit, TernaryBit};
 use hyperap_tcam::key::SearchKey;
 use hyperap_tcam::slab::{TagSlab, TcamSlab};
+use hyperap_tcam::tags::TagVector;
 use proptest::prelude::*;
 
 const PES: usize = 5;
@@ -63,6 +64,17 @@ enum SlabOp {
         col: usize,
         value: TernaryBit,
     },
+    /// Single-sweep fused search chain + conditional writes
+    /// (`search_write_multi`), checked against the unfused per-array
+    /// sequence: searches, OR-accumulation, then column writes.
+    Fused {
+        keys: Vec<Vec<KeyBit>>,
+        acc: bool,
+        writes: Vec<(usize, TernaryBit)>,
+        tags: Vec<bool>,
+        lo: usize,
+        hi: usize,
+    },
 }
 
 fn pe_range() -> impl Strategy<Value = (usize, usize)> {
@@ -113,6 +125,21 @@ fn slab_op() -> impl Strategy<Value = SlabOp> {
                 value,
             }
         }),
+        (
+            prop::collection::vec(prop::collection::vec(key_bit(), COLS), 0..3),
+            any::<bool>(),
+            prop::collection::vec((0..COLS, ternary_bit()), 0..3),
+            prop::collection::vec(any::<bool>(), ROWS),
+            pe_range()
+        )
+            .prop_map(|(keys, acc, writes, tags, (lo, hi))| SlabOp::Fused {
+                keys,
+                acc,
+                writes,
+                tags,
+                lo,
+                hi
+            }),
     ]
 }
 
@@ -183,6 +210,36 @@ proptest! {
                     slab.set_cell(*pe, *row, *col, *value);
                     arrays[*pe].set_cell(*row, *col, *value);
                 }
+                SlabOp::Fused { keys, acc, writes, tags, lo, hi } => {
+                    let plans: Vec<Vec<(usize, KeyBit)>> = keys
+                        .iter()
+                        .map(|bits| SearchKey::from_bits(bits.clone()).compile_plan())
+                        .collect();
+                    let refs: Vec<&[(usize, KeyBit)]> =
+                        plans.iter().map(|p| p.as_slice()).collect();
+                    let mut t = tag_slab_from(tags, *lo, *hi);
+                    slab.search_write_multi(&refs, *acc, writes, t.range_mut(*lo, *hi), *lo, *hi);
+                    let init = tag_slab_from(tags, *lo, *hi);
+                    for (pe, array) in arrays.iter_mut().enumerate().take(*hi).skip(*lo) {
+                        // Unfused reference: search every plan, OR into the
+                        // (kept or cleared) tags, then write the columns.
+                        let mut expected = if *acc {
+                            init.to_tagvector(pe)
+                        } else {
+                            TagVector::zeros(ROWS)
+                        };
+                        for bits in keys {
+                            let m = array.search(&SearchKey::from_bits(bits.clone()));
+                            for (a, b) in expected.blocks_mut().iter_mut().zip(m.blocks()) {
+                                *a |= b;
+                            }
+                        }
+                        for &(col, value) in writes {
+                            array.write_column(col, value, &expected);
+                        }
+                        prop_assert_eq!(t.to_tagvector(pe), expected, "fused tags, pe {}", pe);
+                    }
+                }
             }
         }
         prop_assert_eq!(slab.to_arrays(), arrays.clone());
@@ -226,5 +283,29 @@ proptest! {
         let tags = TagSlab::zeros(PES, ROWS);
         slab.write_column_multi(worn_col, TernaryBit::X, tags.range(0, PES), 0, PES);
         prop_assert_eq!(TcamSlab::from_bytes(&slab.to_bytes()), Ok(slab));
+    }
+
+    /// The tag-register byte image round-trips for arbitrary contents.
+    /// Tags, the encoder latch, and the data registers all share the
+    /// `TagSlab` format, so one register file is exercised directly and a
+    /// second through the engine's latch path (`copy_range_from`).
+    #[test]
+    fn tag_byte_image_round_trips(
+        bits in prop::collection::vec(prop::collection::vec(any::<bool>(), ROWS), PES),
+        salt in 0usize..7,
+    ) {
+        let mut tags = TagSlab::zeros(PES, ROWS);
+        for (pe, bools) in bits.iter().enumerate() {
+            let tv = bools
+                .iter()
+                .enumerate()
+                .map(|(r, &b)| b ^ ((r + salt) % 3 == 0))
+                .collect();
+            tags.set_pe(pe, &tv);
+        }
+        let mut latch = TagSlab::zeros(PES, ROWS);
+        latch.copy_range_from(&tags, 0, PES);
+        prop_assert_eq!(TagSlab::from_bytes(&tags.to_bytes()), Ok(tags));
+        prop_assert_eq!(TagSlab::from_bytes(&latch.to_bytes()), Ok(latch));
     }
 }
