@@ -26,6 +26,20 @@ pub trait Buf {
     /// Panics if fewer than two bytes remain.
     fn get_u16(&mut self) -> u16;
 
+    /// Read a big-endian `u32` and advance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain.
+    fn get_u32(&mut self) -> u32;
+
+    /// Read a big-endian `u64` and advance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than eight bytes remain.
+    fn get_u64(&mut self) -> u64;
+
     /// Fill `dst` from the buffer and advance.
     ///
     /// # Panics
@@ -58,6 +72,20 @@ impl Buf for &[u8] {
         v
     }
 
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self[..4]);
+        *self = &self[4..];
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self[..8]);
+        *self = &self[8..];
+        u64::from_be_bytes(b)
+    }
+
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
         dst.copy_from_slice(&self[..dst.len()]);
         *self = &self[dst.len()..];
@@ -75,6 +103,12 @@ pub trait BufMut {
 
     /// Append a big-endian `u16`.
     fn put_u16(&mut self, v: u16);
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
 
     /// Append a slice.
     fn put_slice(&mut self, src: &[u8]);
@@ -124,6 +158,14 @@ impl BufMut for BytesMut {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
     fn put_slice(&mut self, src: &[u8]) {
         self.buf.extend_from_slice(src);
     }
@@ -167,6 +209,21 @@ mod tests {
         let mut w = BytesMut::new();
         w.put_u16(0x0102);
         assert_eq!(w.as_ref(), &[0x01, 0x02]);
+    }
+
+    #[test]
+    fn wide_integers_round_trip_big_endian() {
+        let mut w = BytesMut::new();
+        w.put_u32(0x0102_0304);
+        w.put_u64(0x0506_0708_090A_0B0C);
+        assert_eq!(
+            w.as_ref(),
+            &[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C]
+        );
+        let mut r: &[u8] = w.as_ref();
+        assert_eq!(r.get_u32(), 0x0102_0304);
+        assert_eq!(r.get_u64(), 0x0506_0708_090A_0B0C);
+        assert!(!r.has_remaining());
     }
 
     #[test]

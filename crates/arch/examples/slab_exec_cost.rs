@@ -20,7 +20,10 @@ fn main() {
 
     let mut m = SlabMachine::new(cfg.clone());
     let traces = trace::compile_streams(&streams, &cfg);
-    let iters: usize = std::env::var("ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    let iters: usize = std::env::var("ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
     let mut best = f64::INFINITY;
     for _ in 0..5 {
         let t = Instant::now();

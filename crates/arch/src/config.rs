@@ -1,6 +1,7 @@
 //! Machine geometry configuration.
 
 use hyperap_model::tech::TechParams;
+use hyperap_tcam::FaultModel;
 use serde::{Deserialize, Serialize};
 
 /// Engine threading policy: how the per-group PE fan-out executes.
@@ -119,6 +120,74 @@ impl ExecMode {
     }
 }
 
+/// Fault-injection policy for a machine: the deterministic cell/search
+/// fault model plus the column-sparing budget every PE reserves.
+///
+/// The default (no faults, no spares) compiles the engines down to
+/// exactly the fault-free kernels — `bench_guard` holds the zero-fault
+/// path to the fault-free baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seeded fault model shared by every PE (each PE derives its own
+    /// faults from its global id).
+    pub model: FaultModel,
+    /// Spare columns each PE reserves for endurance-driven retirement.
+    pub spare_cols: usize,
+}
+
+impl FaultConfig {
+    /// True when any fault mechanism can fire; false means the machines
+    /// skip fault bookkeeping entirely.
+    pub fn is_active(&self) -> bool {
+        self.model.is_active()
+    }
+}
+
+/// The `HYPERAP_FAULTS` override: a comma-separated
+/// `seed=42,stuck=100,miss=50,limit=1000,spares=4` list (all fields
+/// optional; unknown keys and malformed values are ignored). Returns
+/// `None` when the variable is unset or names no fault mechanism, so the
+/// zero-fault fast path stays on by default.
+pub fn env_faults() -> Option<FaultConfig> {
+    let raw = std::env::var("HYPERAP_FAULTS").ok()?;
+    let mut cfg = FaultConfig::default();
+    for item in raw.split(',') {
+        let Some((key, value)) = item.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "seed" => {
+                if let Ok(v) = value.parse() {
+                    cfg.model.seed = v;
+                }
+            }
+            "stuck" => {
+                if let Ok(v) = value.parse() {
+                    cfg.model.stuck_per_million = v;
+                }
+            }
+            "miss" => {
+                if let Ok(v) = value.parse() {
+                    cfg.model.miss_per_million = v;
+                }
+            }
+            "limit" => {
+                if let Ok(v) = value.parse() {
+                    cfg.model.endurance_limit = Some(v);
+                }
+            }
+            "spares" => {
+                if let Ok(v) = value.parse() {
+                    cfg.spare_cols = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    cfg.is_active().then_some(cfg)
+}
+
 /// Geometry and technology of a simulated Hyper-AP machine.
 ///
 /// The paper's full chip (131,072 PEs) is impractical to simulate
@@ -149,6 +218,13 @@ pub struct ArchConfig {
     /// Execution-engine threading policy (results are identical under every
     /// mode; see [`ExecMode`]).
     pub exec: ExecMode,
+    /// Fault-injection policy; the default injects nothing and keeps the
+    /// engines on their fault-free kernels. The named constructors
+    /// ([`tiny`](Self::tiny), [`single_pe`](Self::single_pe),
+    /// [`paper_scaled`](Self::paper_scaled)) honor the `HYPERAP_FAULTS`
+    /// override (see [`env_faults`]), so any example or benchmark binary
+    /// can be rerun under a seeded fault model without code changes.
+    pub faults: FaultConfig,
 }
 
 impl ArchConfig {
@@ -165,6 +241,7 @@ impl ArchConfig {
             tech: TechParams::rram(),
             mesh: None,
             exec: ExecMode::Auto,
+            faults: env_faults().unwrap_or_default(),
         }
     }
 
@@ -183,6 +260,7 @@ impl ArchConfig {
             tech: TechParams::rram(),
             mesh: None,
             exec: ExecMode::Auto,
+            faults: env_faults().unwrap_or_default(),
         }
     }
 
@@ -200,6 +278,7 @@ impl ArchConfig {
             tech: TechParams::rram(),
             mesh: None,
             exec: ExecMode::Auto,
+            faults: env_faults().unwrap_or_default(),
         }
     }
 

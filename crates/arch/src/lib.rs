@@ -58,8 +58,9 @@ pub mod stats;
 pub mod trace;
 pub mod transfer;
 
-pub use config::{ArchConfig, ExecMode};
+pub use config::{env_faults, ArchConfig, ExecMode, FaultConfig};
+pub use hyperap_tcam::{FaultError, FaultModel};
 pub use machine::ApMachine;
 pub use slab::SlabMachine;
-pub use stats::RunStats;
+pub use stats::{PeHealth, RunStats};
 pub use trace::CompiledTrace;

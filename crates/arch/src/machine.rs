@@ -23,7 +23,7 @@
 
 use crate::config::{ArchConfig, ExecMode};
 use crate::par;
-use crate::stats::RunStats;
+use crate::stats::{PeHealth, RunStats};
 use crate::trace::{self, CompiledTrace, MicroOp, PlanRef, Segment, StepKind};
 use hyperap_core::machine::HyperPe;
 use hyperap_isa::{Direction, Instruction};
@@ -31,6 +31,7 @@ use hyperap_model::timing::OpCounts;
 use hyperap_tcam::bit::{KeyBit, TernaryBit};
 use hyperap_tcam::key::SearchKey;
 use hyperap_tcam::tags::TagVector;
+use hyperap_tcam::FaultError;
 
 /// Broadcast PE address (re-exported from the ISA): `ReadR`/`WriteR` with
 /// the all-ones 17-bit address target every PE of the issuing group.
@@ -128,14 +129,23 @@ pub struct ApMachine {
 }
 
 impl ApMachine {
-    /// Build a machine with the given geometry; all cells zero.
+    /// Build a machine with the given geometry; all cells zero. When
+    /// [`ArchConfig::faults`] is active, every PE gets the shared fault
+    /// model attached under its global id (so each PE derives its own
+    /// stuck cells / misses) plus the configured spare-column budget.
     pub fn new(config: ArchConfig) -> Self {
         let n = config.total_pes();
+        let mut pes: Vec<HyperPe> = (0..n)
+            .map(|_| HyperPe::new(config.rows, config.cols))
+            .collect();
+        if config.faults.is_active() {
+            for (i, pe) in pes.iter_mut().enumerate() {
+                pe.attach_fault(config.faults.model, config.faults.spare_cols, i);
+            }
+        }
         ApMachine {
             threads: config.exec.threads(),
-            pes: (0..n)
-                .map(|_| HyperPe::new(config.rows, config.cols))
-                .collect(),
+            pes,
             data_regs: vec![TagVector::zeros(config.rows); n],
             keys: vec![SearchKey::masked(config.cols); config.groups],
             key_plans: vec![Vec::new(); config.groups],
@@ -235,6 +245,16 @@ impl ApMachine {
     /// recompilation entirely. Caching is invisible in the results —
     /// identical streams compile to identical traces.
     pub fn run(&mut self, streams: &[Vec<Instruction>]) -> RunStats {
+        self.try_run(streams)
+            .unwrap_or_else(|e| panic!("fault degradation: {e}"))
+    }
+
+    /// [`run`](Self::run) surfacing fault degradation as a typed error
+    /// instead of a panic: a PE exhausting its spare columns aborts with
+    /// [`FaultError::SparesExhausted`], and every later run fails fast on
+    /// the latched failure. Identical to [`run`](Self::run) when no fault
+    /// model is configured (it cannot fail then).
+    pub fn try_run(&mut self, streams: &[Vec<Instruction>]) -> Result<RunStats, FaultError> {
         let cached = self
             .trace_cache
             .take()
@@ -246,21 +266,83 @@ impl ApMachine {
                 trace::compile_streams(streams, &self.config),
             ),
         };
-        let stats = self.run_compiled(&traces);
+        let stats = self.try_run_compiled(&traces);
         self.trace_cache = Some((key, traces));
         stats
+    }
+
+    /// Fail fast on a latched spare-exhaustion failure, then open a new
+    /// run epoch (re-deriving every PE's transient search-miss set).
+    /// No-op without an active fault model.
+    fn begin_run(&mut self) -> Result<(), FaultError> {
+        if !self.config.faults.is_active() {
+            return Ok(());
+        }
+        for pe in &self.pes {
+            if let Some(f) = pe.fault() {
+                if let Some((col, wear)) = f.failed {
+                    return Err(FaultError::SparesExhausted {
+                        pe: f.pe,
+                        col,
+                        wear,
+                    });
+                }
+            }
+        }
+        for pe in &mut self.pes {
+            pe.advance_epoch();
+        }
+        Ok(())
+    }
+
+    /// End-of-run endurance service: retire worn columns onto spares in
+    /// global ascending PE order (columns ascending within a PE), stopping
+    /// at the first exhaustion, then report per-PE degradation in
+    /// [`RunStats::pe_health`]. No-op without an active fault model.
+    fn finish_run(&mut self, stats: &mut RunStats) -> Result<(), FaultError> {
+        if !self.config.faults.is_active() {
+            return Ok(());
+        }
+        for pe in &mut self.pes {
+            pe.service_endurance()?;
+        }
+        stats.pe_health = self
+            .pes
+            .iter()
+            .filter_map(|pe| {
+                let f = pe.fault()?;
+                (!f.retired.is_empty()).then(|| PeHealth {
+                    pe: f.pe,
+                    retired: f.retired.clone(),
+                    spares_left: f.spares_left(),
+                })
+            })
+            .collect();
+        Ok(())
     }
 
     /// The instruction-at-a-time reference engine: identical semantics to
     /// [`run`](Self::run), dispatching every instruction per group per step
     /// with no trace compilation.
     pub fn run_interpreted(&mut self, streams: &[Vec<Instruction>]) -> RunStats {
+        self.try_run_interpreted(streams)
+            .unwrap_or_else(|e| panic!("fault degradation: {e}"))
+    }
+
+    /// [`run_interpreted`](Self::run_interpreted) surfacing fault
+    /// degradation as a typed error (see [`try_run`](Self::try_run)).
+    pub fn try_run_interpreted(
+        &mut self,
+        streams: &[Vec<Instruction>],
+    ) -> Result<RunStats, FaultError> {
+        self.begin_run()?;
         let groups = self.config.groups;
         let mut stats = RunStats {
             group_cycles: vec![0; groups],
             group_ops: vec![OpCounts::default(); groups],
             count_results: vec![Vec::new(); groups],
             index_results: vec![Vec::new(); groups],
+            pe_health: Vec::new(),
         };
         // Event-driven: always step the group whose local clock is
         // earliest, so `Wait`-based synchronization orders cross-group
@@ -279,7 +361,8 @@ impl ApMachine {
             self.execute(g, inst, &mut stats);
         }
         stats.group_cycles = clocks;
-        stats
+        self.finish_run(&mut stats)?;
+        Ok(stats)
     }
 
     /// Run precompiled traces ([`trace::compile_streams`]) — the hot path
@@ -293,12 +376,21 @@ impl ApMachine {
     /// work; synchronization points retire in exactly the interpreter's
     /// order because all cycle costs are static.
     pub fn run_compiled(&mut self, traces: &[CompiledTrace]) -> RunStats {
+        self.try_run_compiled(traces)
+            .unwrap_or_else(|e| panic!("fault degradation: {e}"))
+    }
+
+    /// [`run_compiled`](Self::run_compiled) surfacing fault degradation as
+    /// a typed error (see [`try_run`](Self::try_run)).
+    pub fn try_run_compiled(&mut self, traces: &[CompiledTrace]) -> Result<RunStats, FaultError> {
+        self.begin_run()?;
         let groups = self.config.groups;
         let mut stats = RunStats {
             group_cycles: vec![0; groups],
             group_ops: vec![OpCounts::default(); groups],
             count_results: vec![Vec::new(); groups],
             index_results: vec![Vec::new(); groups],
+            pe_health: Vec::new(),
         };
         let n = groups.min(traces.len());
         // Snapshot each group's entry key state where the trace needs it (a
@@ -330,7 +422,8 @@ impl ApMachine {
             }
         }
         stats.group_cycles = clocks;
-        stats
+        self.finish_run(&mut stats)?;
+        Ok(stats)
     }
 
     /// Execute one segment: a single fan-out where each worker runs its PE

@@ -33,7 +33,7 @@
 use crate::config::{ArchConfig, ExecMode};
 use crate::machine::{ActiveSet, ApMachine, KeySnapshot, BROADCAST_ADDR};
 use crate::par;
-use crate::stats::RunStats;
+use crate::stats::{PeHealth, RunStats};
 use crate::trace::{self, CompiledTrace, MicroOp, PlanRef, Segment, StepKind};
 use hyperap_core::machine::HyperPe;
 use hyperap_isa::{Direction, Instruction};
@@ -43,6 +43,7 @@ use hyperap_tcam::encoding::encode_pair;
 use hyperap_tcam::key::SearchKey;
 use hyperap_tcam::slab::{TagSlab, TcamSlab};
 use hyperap_tcam::tags::TagVector;
+use hyperap_tcam::FaultError;
 
 /// One contiguous arena covering a sub-range of a group's PEs, with every
 /// per-PE register file the engine needs in matching multi-PE layout. The
@@ -339,15 +340,22 @@ impl SlabMachine {
         let per = config.pes_per_group();
         let cpg = per.div_ceil(chunk_pes);
         let mut chunks = Vec::with_capacity(config.groups * cpg);
-        for _ in 0..config.groups {
+        for g in 0..config.groups {
             for c in 0..cpg {
                 let base = c * chunk_pes;
-                chunks.push(SlabChunk::new(
-                    base,
-                    chunk_pes.min(per - base),
-                    config.rows,
-                    config.cols,
-                ));
+                let mut chunk =
+                    SlabChunk::new(base, chunk_pes.min(per - base), config.rows, config.cols);
+                if config.faults.is_active() {
+                    // Seed each chunk's fault state at its first PE's
+                    // *global* id, so every PE derives exactly the faults
+                    // `ApMachine` gives it regardless of chunking.
+                    chunk.storage.attach_fault(
+                        config.faults.model,
+                        config.faults.spare_cols,
+                        g * per + base,
+                    );
+                }
+                chunks.push(chunk);
             }
         }
         SlabMachine {
@@ -472,6 +480,14 @@ impl SlabMachine {
     /// recompilation entirely. Caching is invisible in the results —
     /// identical streams compile to identical traces.
     pub fn run(&mut self, streams: &[Vec<Instruction>]) -> RunStats {
+        self.try_run(streams)
+            .unwrap_or_else(|e| panic!("fault degradation: {e}"))
+    }
+
+    /// [`run`](Self::run) surfacing fault degradation as a typed error
+    /// instead of a panic — identical contract (including the exact error)
+    /// to [`ApMachine::try_run`].
+    pub fn try_run(&mut self, streams: &[Vec<Instruction>]) -> Result<RunStats, FaultError> {
         let cached = self
             .trace_cache
             .take()
@@ -483,21 +499,84 @@ impl SlabMachine {
                 trace::compile_streams(streams, &self.config),
             ),
         };
-        let stats = self.run_compiled(&traces);
+        let stats = self.try_run_compiled(&traces);
         self.trace_cache = Some((key, traces));
         stats
+    }
+
+    /// Fail fast on a latched spare-exhaustion failure (scanning chunks in
+    /// global PE order — chunk construction is group-major, so vector
+    /// order IS ascending global order), then open a new run epoch.
+    fn begin_run(&mut self) -> Result<(), FaultError> {
+        if !self.config.faults.is_active() {
+            return Ok(());
+        }
+        for chunk in &self.chunks {
+            if let Some(f) = chunk.storage.fault() {
+                for (pe, failed) in f.failed.iter().enumerate() {
+                    if let Some((col, wear)) = *failed {
+                        return Err(FaultError::SparesExhausted {
+                            pe: f.pe0 + pe,
+                            col,
+                            wear,
+                        });
+                    }
+                }
+            }
+        }
+        for chunk in &mut self.chunks {
+            chunk.storage.advance_epoch();
+        }
+        Ok(())
+    }
+
+    /// End-of-run endurance service in global ascending PE order (chunks
+    /// in vector order, PEs ascending within each chunk — exactly
+    /// `ApMachine`'s order), stopping at the first exhaustion, then report
+    /// per-PE degradation in [`RunStats::pe_health`].
+    fn finish_run(&mut self, stats: &mut RunStats) -> Result<(), FaultError> {
+        if !self.config.faults.is_active() {
+            return Ok(());
+        }
+        for chunk in &mut self.chunks {
+            chunk.storage.service_endurance()?;
+        }
+        for chunk in &self.chunks {
+            let Some(f) = chunk.storage.fault() else {
+                continue;
+            };
+            for (pe, retired) in f.retired.iter().enumerate() {
+                if !retired.is_empty() {
+                    stats.pe_health.push(PeHealth {
+                        pe: f.pe0 + pe,
+                        retired: retired.clone(),
+                        spares_left: f.spares_left(pe),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Run precompiled traces — identical contract (and results) to
     /// [`ApMachine::run_compiled`], with segments executed as fused slab
     /// kernels instead of per-PE loops.
     pub fn run_compiled(&mut self, traces: &[CompiledTrace]) -> RunStats {
+        self.try_run_compiled(traces)
+            .unwrap_or_else(|e| panic!("fault degradation: {e}"))
+    }
+
+    /// [`run_compiled`](Self::run_compiled) surfacing fault degradation as
+    /// a typed error (see [`try_run`](Self::try_run)).
+    pub fn try_run_compiled(&mut self, traces: &[CompiledTrace]) -> Result<RunStats, FaultError> {
+        self.begin_run()?;
         let groups = self.config.groups;
         let mut stats = RunStats {
             group_cycles: vec![0; groups],
             group_ops: vec![OpCounts::default(); groups],
             count_results: vec![Vec::new(); groups],
             index_results: vec![Vec::new(); groups],
+            pe_health: Vec::new(),
         };
         let n = groups.min(traces.len());
         let entries: Vec<Option<KeySnapshot>> = (0..n)
@@ -524,7 +603,8 @@ impl SlabMachine {
             }
         }
         stats.group_cycles = clocks;
-        stats
+        self.finish_run(&mut stats)?;
+        Ok(stats)
     }
 
     fn refresh_active(&mut self, group: usize) {

@@ -4,6 +4,21 @@ use hyperap_model::tech::TechParams;
 use hyperap_model::timing::OpCounts;
 use serde::{Deserialize, Serialize};
 
+/// Degradation report for one PE that has retired columns onto spares.
+///
+/// Emitted by the end-of-run endurance service (see
+/// `ArchConfig::faults`); PEs with an empty retirement log are omitted
+/// from [`RunStats::pe_health`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeHealth {
+    /// Global PE id.
+    pub pe: usize,
+    /// Retirement log in order: `(logical column, spare device id)`.
+    pub retired: Vec<(u16, u16)>,
+    /// Spare columns this PE still has available.
+    pub spares_left: u16,
+}
+
 /// Results of one [`crate::ApMachine::run`].
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
@@ -16,6 +31,9 @@ pub struct RunStats {
     pub count_results: Vec<Vec<(usize, usize)>>,
     /// `Index` results per group: `(pe_id, first_index)` pairs.
     pub index_results: Vec<Vec<(usize, Option<usize>)>>,
+    /// Per-PE fault degradation, ascending by PE id; empty when no fault
+    /// model is active or no PE has retired a column yet.
+    pub pe_health: Vec<PeHealth>,
 }
 
 impl RunStats {

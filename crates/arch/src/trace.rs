@@ -54,6 +54,28 @@
 //!   `(issue cycle, group)` key the interpreter uses for instructions — all
 //!   cycle costs are static (Table I), so sync points from different groups
 //!   retire in exactly the interpreter's order.
+//!
+//! # Fault-model soundness
+//!
+//! The peephole pass stays bit-identical under an active
+//! [`hyperap_tcam::FaultModel`] (`tests/fault_equivalence.rs`) because
+//! every fault mechanism is invariant under the rewrites it performs:
+//!
+//! * **Stuck cells** are a property of the *storage*, enforced idempotently
+//!   after every write path. Fusing a search→write chain changes when the
+//!   enforcement pass runs (once per written column at kernel end instead
+//!   of per write), never what it computes — the fused kernel's tiles are
+//!   disjoint and read before they write, so re-clamping a column at the
+//!   end equals clamping after each store.
+//! * **Transient search misses** are a pure function of `(PE, row, run
+//!   epoch)`, static for an entire run. Eliding a dead or redundant search,
+//!   or narrowing incrementally via [`MicroOp::SearchDelta`], is sound
+//!   because the repeated/extended search would have masked exactly the
+//!   same rows; the epoch only advances between runs, never inside one.
+//! * **Endurance retirement** is serviced at run end, in global PE order,
+//!   from wear counters the fused kernels maintain identically to the
+//!   unfused ops — so remap tables and spare exhaustion cannot depend on
+//!   fusion decisions.
 
 use crate::config::ArchConfig;
 use hyperap_isa::{Instruction, SyncClass};
@@ -516,9 +538,7 @@ mod peephole {
                         (Some(PlanRef::Compiled(prev)), PlanRef::Compiled(next)) => {
                             rewrite_compiled(prev, next, &written, encode, plans)
                         }
-                        (Some(PlanRef::Entry), PlanRef::Entry)
-                            if written.is_empty() && !encode =>
-                        {
+                        (Some(PlanRef::Entry), PlanRef::Entry) if written.is_empty() && !encode => {
                             Rewrite::Elide
                         }
                         _ => Rewrite::Keep,
@@ -588,14 +608,11 @@ mod peephole {
         plans: &mut Vec<Vec<(usize, KeyBit)>>,
     ) -> Rewrite {
         let (p, n) = (&plans[prev], &plans[next]);
-        let prev_clobbered = written
-            .iter()
-            .any(|&c| p.iter().any(|&(pc, _)| pc == c));
+        let prev_clobbered = written.iter().any(|&c| p.iter().any(|&(pc, _)| pc == c));
         if prev_clobbered || !p.iter().all(|e| n.contains(e)) {
             return Rewrite::Keep;
         }
-        let delta: Vec<(usize, KeyBit)> =
-            n.iter().filter(|e| !p.contains(e)).copied().collect();
+        let delta: Vec<(usize, KeyBit)> = n.iter().filter(|e| !p.contains(e)).copied().collect();
         if delta.is_empty() && !encode {
             return Rewrite::Elide;
         }
@@ -1109,7 +1126,13 @@ mod tests {
             CompiledTrace::compile_unfused(&same, &cfg(), false).segments[0].pe_ops_delta(None)
         );
 
-        let extend = vec![setkey("1-"), SEARCH, Instruction::ReadTag, setkey("11"), SEARCH];
+        let extend = vec![
+            setkey("1-"),
+            SEARCH,
+            Instruction::ReadTag,
+            setkey("11"),
+            SEARCH,
+        ];
         let t = CompiledTrace::compile(&extend, &cfg(), false);
         let seg = &t.segments[0];
         assert_eq!(
@@ -1159,9 +1182,18 @@ mod tests {
         let t = CompiledTrace::compile(&stream, &cfg(), false);
         let seg = &t.segments[0];
         assert_eq!(seg.ops.len(), 2);
-        let (MicroOp::SearchWriteMulti { plans: a, acc: false, .. },
-             MicroOp::SearchWriteMulti { plans: b, acc: true, .. }) =
-            (&seg.ops[0], &seg.ops[1])
+        let (
+            MicroOp::SearchWriteMulti {
+                plans: a,
+                acc: false,
+                ..
+            },
+            MicroOp::SearchWriteMulti {
+                plans: b,
+                acc: true,
+                ..
+            },
+        ) = (&seg.ops[0], &seg.ops[1])
         else {
             panic!("expected two fused chains, got {:?}", seg.ops);
         };

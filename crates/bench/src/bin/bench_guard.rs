@@ -180,6 +180,40 @@ fn smoke() -> i32 {
         println!("bench_guard: all engines (fused and unfused) bit-identical on smoke workload");
     }
 
+    // Fault cross-check: the same workload under a dense seeded fault model
+    // (stuck cells, transient misses, endurance sparing) must stay
+    // bit-identical across all three engines. This is the cheap CI-side
+    // sentinel for the full differential suite in
+    // `crates/arch/tests/fault_equivalence.rs`.
+    let fault_cfg = ArchConfig {
+        exec: ExecMode::Sequential,
+        faults: hyperap_arch::FaultConfig {
+            model: hyperap_arch::FaultModel {
+                seed: 0xB16_F417,
+                stuck_per_million: 20_000,
+                miss_per_million: 10_000,
+                endurance_limit: Some(50),
+            },
+            spare_cols: 4,
+        },
+        ..cfg.clone()
+    };
+    let mut f_interp = ApMachine::new(fault_cfg.clone());
+    let mut f_traced = ApMachine::new(fault_cfg.clone());
+    let mut f_slab = SlabMachine::new(fault_cfg);
+    seed_machine(&mut f_interp);
+    seed_machine(&mut f_traced);
+    seed_slab(&mut f_slab);
+    let fi = f_interp.try_run_interpreted(&streams);
+    let ft = f_traced.try_run(&streams);
+    let fs = f_slab.try_run(&streams);
+    if fi != ft || fi != fs {
+        eprintln!("bench_guard: engines disagree on the seeded-fault smoke workload");
+        failed = true;
+    } else {
+        println!("bench_guard: all engines bit-identical under the seeded fault model");
+    }
+
     let reps = 5;
     let interp_s = best_secs(reps, || {
         black_box(interp.run_interpreted(&streams));

@@ -1,0 +1,388 @@
+//! Differential fuzzer for the three execution engines: random Table-I
+//! instruction streams (plus synthetic-arithmetic kernel streams from
+//! [`hyperap_workloads::synthetic`]) run on the instruction-at-a-time
+//! interpreter, the trace-compiled engine, and the slab engine — with and
+//! without a seeded fault model — and any divergence in the run `Result`
+//! (stats, `pe_health`, typed fault errors) or the post-run machine state
+//! is shrunk to a minimized repro before the fuzzer exits non-zero.
+//!
+//! Usage: `diff_fuzz [--smoke] [--seed N] [--iters N] [--case N]`
+//!
+//! * `--smoke` — a short deterministic pass for CI (few iterations).
+//! * `--seed N` — base seed; every iteration derives its own case seed.
+//! * `--iters N` — number of fuzz cases.
+//! * `--case N` — re-run exactly one case seed (the repro header prints
+//!   the value to pass here).
+//!
+//! The RNG is a self-contained splitmix64 so repros are stable across
+//! hosts and toolchains.
+
+use hyperap_arch::machine::BROADCAST_ADDR;
+use hyperap_arch::{ApMachine, ArchConfig, ExecMode, FaultConfig, SlabMachine};
+use hyperap_baselines::reference::OpKind;
+use hyperap_isa::{Direction, Instruction};
+use hyperap_tcam::{FaultModel, KeyBit, SearchKey};
+use hyperap_workloads::synthetic;
+
+/// Geometry under test: `tiny()` is 2 groups x 4 PEs.
+const PES: usize = 8;
+const GROUPS: usize = 2;
+const ROWS: usize = 16;
+
+/// Slab chunk widths exercised per case: single-PE chunks, a short tail
+/// chunk, one chunk per group.
+const CHUNK_WIDTHS: [usize; 3] = [1, 3, 4];
+
+/// Deterministic splitmix64 — the fuzzer's only entropy source.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0; modulo bias is irrelevant for fuzzing).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn flag(&mut self) -> bool {
+        self.below(2) == 0
+    }
+}
+
+type Load = (usize, usize, usize, bool);
+
+/// One fuzz case: a machine geometry, initial cell loads, a per-group
+/// instruction stream, and a (possibly inactive) fault configuration.
+struct Case {
+    cols: usize,
+    loads: Vec<Load>,
+    streams: Vec<Vec<Instruction>>,
+    faults: FaultConfig,
+}
+
+fn random_key(rng: &mut Rng, cols: usize) -> SearchKey {
+    (0..cols)
+        .map(|_| match rng.below(4) {
+            0 => KeyBit::Zero,
+            1 => KeyBit::One,
+            2 => KeyBit::Z,
+            _ => KeyBit::Masked,
+        })
+        .collect()
+}
+
+fn random_instruction(rng: &mut Rng, cols: usize) -> Instruction {
+    match rng.below(12) {
+        0 => Instruction::SetKey {
+            key: random_key(rng, cols),
+        },
+        1 => Instruction::Search {
+            acc: rng.flag(),
+            encode: rng.flag(),
+        },
+        // `encode` needs two adjacent columns, so stop one short.
+        2 => Instruction::Write {
+            col: rng.below(cols as u64 - 1) as u8,
+            encode: rng.flag(),
+        },
+        3 => Instruction::Count,
+        4 => Instruction::Index,
+        5 => Instruction::MovR {
+            dir: match rng.below(4) {
+                0 => Direction::Up,
+                1 => Direction::Down,
+                2 => Direction::Left,
+                _ => Direction::Right,
+            },
+        },
+        6 => Instruction::ReadR {
+            addr: rng.below(PES as u64) as u32,
+        },
+        7 => Instruction::WriteR {
+            addr: if rng.flag() {
+                BROADCAST_ADDR
+            } else {
+                rng.below(PES as u64) as u32
+            },
+            imm: (0..rng.below(4)).map(|_| rng.next() as u8).collect(),
+        },
+        8 => Instruction::SetTag,
+        9 => Instruction::ReadTag,
+        10 => Instruction::Broadcast {
+            group_mask: rng.next() as u8,
+        },
+        _ => Instruction::Wait {
+            cycles: rng.below(10) as u8,
+        },
+    }
+}
+
+fn random_stream(rng: &mut Rng, cols: usize, max_len: u64) -> Vec<Instruction> {
+    (0..rng.below(max_len))
+        .map(|_| random_instruction(rng, cols))
+        .collect()
+}
+
+fn random_faults(rng: &mut Rng) -> FaultConfig {
+    // Half the cases run fault-free: the fuzzer differentially tests the
+    // zero-fault path (must match today's engines) as much as the faulty
+    // one.
+    if rng.flag() {
+        return FaultConfig::default();
+    }
+    FaultConfig {
+        model: FaultModel {
+            seed: rng.next(),
+            stuck_per_million: rng.below(60_000) as u32,
+            miss_per_million: rng.below(40_000) as u32,
+            endurance_limit: rng.flag().then(|| 2 + rng.below(28)),
+        },
+        spare_cols: rng.below(3) as usize,
+    }
+}
+
+/// Synthetic-arithmetic kernels mixed into the case pool — their microcode
+/// streams are long chains of SetKey/Search/Write with realistic structure
+/// random generation never produces.
+const KERNELS: [(OpKind, usize); 4] = [
+    (OpKind::Add, 16),
+    (OpKind::AddImm, 16),
+    (OpKind::MultiAdd, 8),
+    (OpKind::Mul, 8),
+];
+
+fn generate_case(case_seed: u64) -> Case {
+    let mut rng = Rng(case_seed);
+    // One case in four runs a synthetic kernel stream (on the 256-column
+    // geometry its microcode targets); the rest are random Table-I streams
+    // on the tiny 64-column geometry.
+    let kernel = rng.below(4) == 0;
+    let cols = if kernel { 256 } else { 64 };
+    let loads = (0..rng.below(64))
+        .map(|_| {
+            (
+                rng.below(PES as u64) as usize,
+                rng.below(ROWS as u64) as usize,
+                rng.below(cols as u64) as usize,
+                rng.flag(),
+            )
+        })
+        .collect();
+    let mut streams: Vec<Vec<Instruction>> = if kernel {
+        let (op, width) = KERNELS[rng.below(KERNELS.len() as u64) as usize];
+        let bench = synthetic::build(op, width);
+        vec![bench.stream(), random_stream(&mut rng, cols, 12)]
+    } else {
+        (0..GROUPS)
+            .map(|_| random_stream(&mut rng, cols, 30))
+            .collect()
+    };
+    streams.truncate(GROUPS);
+    Case {
+        cols,
+        loads,
+        streams,
+        faults: random_faults(&mut rng),
+    }
+}
+
+fn config(case: &Case, mode: ExecMode) -> ArchConfig {
+    let mut cfg = ArchConfig::tiny();
+    cfg.cols = case.cols;
+    cfg.exec = mode;
+    cfg.faults = case.faults;
+    cfg
+}
+
+fn build_reference(case: &Case) -> ApMachine {
+    let mut m = ApMachine::new(config(case, ExecMode::Sequential));
+    for &(pe, row, col, v) in &case.loads {
+        m.pe_mut(pe).load_bit(row, col, v);
+    }
+    m
+}
+
+fn build_slab(case: &Case, mode: ExecMode, chunk_pes: usize) -> SlabMachine {
+    let mut m = SlabMachine::with_chunk_pes(config(case, mode), chunk_pes);
+    for &(pe, row, col, v) in &case.loads {
+        m.load_bit(pe, row, col, v);
+    }
+    m
+}
+
+/// First state component on which `b` disagrees with the reference, if any.
+fn ap_state_divergence(reference: &ApMachine, b: &ApMachine) -> Option<String> {
+    for pe in 0..PES {
+        if reference.pe(pe) != b.pe(pe) {
+            return Some(format!("PE {pe} state (cells/tags/wear/fault bookkeeping)"));
+        }
+        if reference.data_reg(pe) != b.data_reg(pe) {
+            return Some(format!("PE {pe} data register"));
+        }
+    }
+    (reference.data_buffers != b.data_buffers).then(|| "controller data buffers".to_string())
+}
+
+fn slab_state_divergence(reference: &ApMachine, b: &SlabMachine) -> Option<String> {
+    for pe in 0..PES {
+        if *reference.pe(pe) != b.pe_snapshot(pe) {
+            return Some(format!("PE {pe} state (cells/tags/wear/fault bookkeeping)"));
+        }
+        if *reference.data_reg(pe) != b.data_reg(pe) {
+            return Some(format!("PE {pe} data register"));
+        }
+    }
+    (reference.data_buffers != b.data_buffers).then(|| "controller data buffers".to_string())
+}
+
+/// Run the full engine matrix on `case`; `Some(description)` on the first
+/// divergence from the interpreted reference.
+fn check(case: &Case) -> Option<String> {
+    let mut reference = build_reference(case);
+    let ref_result = reference.try_run_interpreted(&case.streams);
+    for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+        let mut traced = ApMachine::new(config(case, mode));
+        for &(pe, row, col, v) in &case.loads {
+            traced.pe_mut(pe).load_bit(row, col, v);
+        }
+        let got = traced.try_run(&case.streams);
+        if got != ref_result {
+            return Some(format!(
+                "trace engine ({mode:?}) result diverged:\n  reference: {ref_result:?}\n  trace:     {got:?}"
+            ));
+        }
+        if let Some(what) = ap_state_divergence(&reference, &traced) {
+            return Some(format!("trace engine ({mode:?}) diverged on {what}"));
+        }
+        for chunk_pes in CHUNK_WIDTHS {
+            let mut slab = build_slab(case, mode, chunk_pes);
+            let got = slab.try_run(&case.streams);
+            if got != ref_result {
+                return Some(format!(
+                    "slab engine ({mode:?}, {chunk_pes}-PE chunks) result diverged:\n  reference: {ref_result:?}\n  slab:      {got:?}"
+                ));
+            }
+            if let Some(what) = slab_state_divergence(&reference, &slab) {
+                return Some(format!(
+                    "slab engine ({mode:?}, {chunk_pes}-PE chunks) diverged on {what}"
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Greedy delta-debugging: repeatedly drop single instructions and loads
+/// while the divergence persists, until a fixpoint.
+fn minimize(case: &mut Case) {
+    loop {
+        let mut shrunk = false;
+        for g in 0..case.streams.len() {
+            let mut i = 0;
+            while i < case.streams[g].len() {
+                let removed = case.streams[g].remove(i);
+                if check(case).is_some() {
+                    shrunk = true;
+                } else {
+                    case.streams[g].insert(i, removed);
+                    i += 1;
+                }
+            }
+        }
+        let mut i = 0;
+        while i < case.loads.len() {
+            let removed = case.loads.remove(i);
+            if check(case).is_some() {
+                shrunk = true;
+            } else {
+                case.loads.insert(i, removed);
+                i += 1;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+}
+
+fn report(case_seed: u64, iteration: u64, case: &Case, divergence: &str) {
+    eprintln!("diff_fuzz: DIVERGENCE at iteration {iteration} (case seed {case_seed})");
+    eprintln!("diff_fuzz: re-run just this case with: diff_fuzz --case {case_seed}");
+    eprintln!("diff_fuzz: minimized repro ({} columns):", case.cols);
+    eprintln!("  faults: {:?}", case.faults);
+    eprintln!("  loads (pe, row, col, value): {:?}", case.loads);
+    for (g, s) in case.streams.iter().enumerate() {
+        eprintln!("  group {g} stream ({} instructions): {s:?}", s.len());
+    }
+    eprintln!("diff_fuzz: {divergence}");
+}
+
+/// Run one case end to end; `true` when a divergence was found (already
+/// minimized and reported).
+fn run_case(case_seed: u64, iteration: u64) -> bool {
+    let mut case = generate_case(case_seed);
+    let Some(_) = check(&case) else {
+        return false;
+    };
+    minimize(&mut case);
+    let divergence = check(&case).unwrap_or_else(|| "divergence vanished while shrinking".into());
+    report(case_seed, iteration, &case, &divergence);
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 0xD1FF_F027;
+    let mut iters: u64 = 256;
+    let mut single_case: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => iters = 24,
+            "--seed" | "--iters" | "--case" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("diff_fuzz: {} needs an integer argument", args[i]);
+                    std::process::exit(2);
+                };
+                match args[i].as_str() {
+                    "--seed" => seed = v,
+                    "--iters" => iters = v,
+                    _ => single_case = Some(v),
+                }
+                i += 1;
+            }
+            other => {
+                eprintln!("diff_fuzz: unknown argument {other}");
+                eprintln!("usage: diff_fuzz [--smoke] [--seed N] [--iters N] [--case N]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(case_seed) = single_case {
+        let failed = run_case(case_seed, 0);
+        if !failed {
+            println!("diff_fuzz: case {case_seed} is clean — all engines bit-identical");
+        }
+        std::process::exit(i32::from(failed));
+    }
+
+    let mut derive = Rng(seed);
+    for iteration in 0..iters {
+        let case_seed = derive.next();
+        if run_case(case_seed, iteration) {
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "diff_fuzz: {iters} cases clean — interpreter, trace, and slab engines bit-identical \
+         (with and without faults)"
+    );
+}

@@ -4,6 +4,7 @@ use hyperap_model::timing::OpCounts;
 use hyperap_tcam::array::TcamArray;
 use hyperap_tcam::bit::{KeyBit, TernaryBit};
 use hyperap_tcam::encoding::encode_pair;
+use hyperap_tcam::fault::{FaultError, FaultModel, FaultState};
 use hyperap_tcam::key::SearchKey;
 use hyperap_tcam::tags::TagVector;
 use serde::{Deserialize, Serialize};
@@ -96,6 +97,29 @@ impl HyperPe {
     /// writes count once per touched column).
     pub fn column_wear(&self) -> &[u64] {
         self.array.column_wear()
+    }
+
+    /// Attach a fault model to this PE's array (see
+    /// [`TcamArray::attach_fault`]); `pe` is the PE's global index, which
+    /// seeds its fault derivations.
+    pub fn attach_fault(&mut self, model: FaultModel, spares: usize, pe: usize) {
+        self.array.attach_fault(model, spares, pe);
+    }
+
+    /// Fault bookkeeping, if a model is attached.
+    pub fn fault(&self) -> Option<&FaultState> {
+        self.array.fault()
+    }
+
+    /// Start a new run epoch (re-derives the transient search-miss set).
+    pub fn advance_epoch(&mut self) {
+        self.array.advance_epoch();
+    }
+
+    /// Retire columns whose wear crossed the endurance limit onto spares;
+    /// errors when a column fails with no spares left.
+    pub fn service_endurance(&mut self) -> Result<(), FaultError> {
+        self.array.service_endurance()
     }
 
     /// Current tag register contents.

@@ -1,0 +1,371 @@
+//! Golden-vector conformance: `tests/golden/instructions.json` freezes the
+//! exact byte image, Table-I byte length, and RRAM/CMOS cycle cost of every
+//! instruction. Any encoding or timing drift fails here **naming the exact
+//! instruction**, instead of surfacing as a distant downstream stats mismatch.
+//!
+//! The JSON is read with a minimal recursive-descent parser — the workspace
+//! vendors no JSON dependency, and the golden file is the only JSON these
+//! tests consume.
+
+use hyperap_isa::{decode_stream, encode, Direction, Instruction, KEY_COLUMNS};
+use hyperap_model::TechParams;
+use hyperap_tcam::bit::KeyBit;
+use hyperap_tcam::key::SearchKey;
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (objects, arrays, strings, integers).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(BTreeMap<String, Json>),
+    Array(Vec<Json>),
+    String(String),
+    Number(i64),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Object(m) => m.get(key).unwrap_or_else(|| panic!("missing key {key:?}")),
+            other => panic!("expected object with {key:?}, got {other:?}"),
+        }
+    }
+
+    fn str(&self, key: &str) -> &str {
+        match self.get(key) {
+            Json::String(s) => s,
+            other => panic!("key {key:?} is not a string: {other:?}"),
+        }
+    }
+
+    fn num(&self, key: &str) -> i64 {
+        match self.get(key) {
+            Json::Number(n) => *n,
+            other => panic!("key {key:?} is not a number: {other:?}"),
+        }
+    }
+
+    fn array(&self, key: &str) -> &[Json] {
+        match self.get(key) {
+            Json::Array(v) => v,
+            other => panic!("key {key:?} is not an array: {other:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        *self.src.get(self.pos).expect("unexpected end of JSON")
+    }
+
+    fn expect(&mut self, b: u8) {
+        let got = self.peek();
+        assert_eq!(got as char, b as char, "at byte {}", self.pos);
+        self.pos += 1;
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::String(self.string()),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.expect(b'{');
+        let mut map = BTreeMap::new();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Json::Object(map);
+        }
+        loop {
+            let key = self.string();
+            self.expect(b':');
+            map.insert(key, self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Json::Object(map);
+                }
+                other => panic!("expected ',' or '}}', got {:?}", other as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.expect(b'[');
+        let mut out = Vec::new();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Json::Array(out);
+        }
+        loop {
+            out.push(self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Json::Array(out);
+                }
+                other => panic!("expected ',' or ']', got {:?}", other as char),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let start = self.pos;
+        while self.src[self.pos] != b'"' {
+            assert_ne!(self.src[self.pos], b'\\', "escapes not used in golden file");
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("golden file is UTF-8")
+            .to_string();
+        self.pos += 1;
+        s
+    }
+
+    fn number(&mut self) -> Json {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_digit() || self.src[self.pos] == b'-')
+        {
+            self.pos += 1;
+        }
+        Json::Number(
+            std::str::from_utf8(&self.src[start..self.pos])
+                .unwrap()
+                .parse()
+                .expect("integer"),
+        )
+    }
+}
+
+fn parse_json(src: &str) -> Json {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value();
+    p.skip_ws();
+    assert_eq!(p.pos, p.src.len(), "trailing bytes after JSON document");
+    v
+}
+
+fn parse_hex(s: &str) -> Vec<u8> {
+    assert!(s.len().is_multiple_of(2), "odd-length hex string {s:?}");
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("hex byte"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The instruction each named vector freezes.
+// ---------------------------------------------------------------------------
+
+fn vector_instruction(name: &str) -> Instruction {
+    match name {
+        "search_plain" => Instruction::Search {
+            acc: false,
+            encode: false,
+        },
+        "search_acc_enc" => Instruction::Search {
+            acc: true,
+            encode: true,
+        },
+        "write_plain" => Instruction::Write {
+            col: 7,
+            encode: false,
+        },
+        "write_encoded" => Instruction::Write {
+            col: 200,
+            encode: true,
+        },
+        "setkey" => {
+            // Column 0 = 1, column 1 = 0, column 2 = Z, the rest masked.
+            let mut key = SearchKey::masked(KEY_COLUMNS);
+            key.set_bit(0, KeyBit::One);
+            key.set_bit(1, KeyBit::Zero);
+            key.set_bit(2, KeyBit::Z);
+            Instruction::SetKey { key }
+        }
+        "count" => Instruction::Count,
+        "index" => Instruction::Index,
+        "movr_right" => Instruction::MovR {
+            dir: Direction::Right,
+        },
+        "readr_high_addr" => Instruction::ReadR { addr: 0x1ABCD },
+        "writer_imm" => Instruction::WriteR {
+            addr: 0x0FF00,
+            imm: (0..64).collect(),
+        },
+        "settag" => Instruction::SetTag,
+        "readtag" => Instruction::ReadTag,
+        "broadcast" => Instruction::Broadcast {
+            group_mask: 0b1010_0101,
+        },
+        "wait_99" => Instruction::Wait { cycles: 99 },
+        other => panic!("golden vector {other:?} has no instruction constructor"),
+    }
+}
+
+fn instructions_equal(a: &Instruction, b: &Instruction) -> bool {
+    match (a, b) {
+        (Instruction::SetKey { key: ka }, Instruction::SetKey { key: kb }) => {
+            (0..KEY_COLUMNS).all(|c| ka.bit(c) == kb.bit(c))
+        }
+        _ => a == b,
+    }
+}
+
+fn load_vectors() -> Vec<(String, Instruction, Vec<u8>, usize, u64, u64)> {
+    let src = include_str!("golden/instructions.json");
+    let doc = parse_json(src);
+    doc.array("vectors")
+        .iter()
+        .map(|v| {
+            (
+                v.str("name").to_string(),
+                vector_instruction(v.str("name")),
+                parse_hex(v.str("bytes")),
+                v.num("length") as usize,
+                v.num("cycles_rram") as u64,
+                v.num("cycles_cmos") as u64,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn golden_file_covers_every_mnemonic() {
+    let vectors = load_vectors();
+    assert!(vectors.len() >= 14, "vector list shrank");
+    let mut mnemonics: Vec<&'static str> = vectors.iter().map(|(_, i, ..)| i.mnemonic()).collect();
+    mnemonics.sort_unstable();
+    mnemonics.dedup();
+    assert_eq!(
+        mnemonics,
+        vec![
+            "broadcast",
+            "count",
+            "index",
+            "movr",
+            "readr",
+            "readtag",
+            "search",
+            "setkey",
+            "settag",
+            "wait",
+            "write",
+            "writer",
+        ],
+        "every Table I mnemonic must appear in the golden file"
+    );
+    // The JSON-declared mnemonic must agree with the constructed one.
+    let src = include_str!("golden/instructions.json");
+    let doc = parse_json(src);
+    for v in doc.array("vectors") {
+        assert_eq!(
+            vector_instruction(v.str("name")).mnemonic(),
+            v.str("mnemonic"),
+            "vector {} declares the wrong mnemonic",
+            v.str("name")
+        );
+    }
+}
+
+#[test]
+fn encoding_matches_golden_bytes() {
+    for (name, inst, bytes, length, _, _) in load_vectors() {
+        let got = encode(std::slice::from_ref(&inst));
+        assert_eq!(
+            got,
+            bytes,
+            "`{}` vector {name}: encoding drifted",
+            inst.mnemonic()
+        );
+        assert_eq!(
+            inst.length(),
+            length,
+            "`{}` vector {name}: Table I length drifted",
+            inst.mnemonic()
+        );
+        assert_eq!(
+            got.len(),
+            length,
+            "`{}` vector {name}: encoded size disagrees with Table I length",
+            inst.mnemonic()
+        );
+    }
+}
+
+#[test]
+fn decoding_matches_golden_bytes() {
+    for (name, inst, bytes, _, _, _) in load_vectors() {
+        let decoded = decode_stream(&bytes)
+            .unwrap_or_else(|e| panic!("`{}` vector {name}: {e}", inst.mnemonic()));
+        assert_eq!(decoded.len(), 1, "`{}` vector {name}", inst.mnemonic());
+        assert!(
+            instructions_equal(&decoded[0], &inst),
+            "`{}` vector {name}: decode drifted: {:?}",
+            inst.mnemonic(),
+            decoded[0]
+        );
+    }
+}
+
+#[test]
+fn cycle_costs_match_golden_table1() {
+    let rram = TechParams::rram();
+    let cmos = TechParams::cmos();
+    for (name, inst, _, _, cycles_rram, cycles_cmos) in load_vectors() {
+        assert_eq!(
+            inst.cycles(&rram),
+            cycles_rram,
+            "`{}` vector {name}: RRAM cycle cost drifted",
+            inst.mnemonic()
+        );
+        assert_eq!(
+            inst.cycles(&cmos),
+            cycles_cmos,
+            "`{}` vector {name}: CMOS cycle cost drifted",
+            inst.mnemonic()
+        );
+    }
+}
+
+#[test]
+fn golden_stream_concatenation_round_trips() {
+    // All vectors concatenated decode as one stream — offsets stay aligned
+    // across variable-length instructions.
+    let vectors = load_vectors();
+    let all_bytes: Vec<u8> = vectors.iter().flat_map(|(_, _, b, ..)| b.clone()).collect();
+    let decoded = decode_stream(&all_bytes).expect("concatenated golden stream decodes");
+    assert_eq!(decoded.len(), vectors.len());
+    for (d, (name, inst, ..)) in decoded.iter().zip(&vectors) {
+        assert!(
+            instructions_equal(d, inst),
+            "`{}` vector {name} misdecoded in stream context",
+            inst.mnemonic()
+        );
+    }
+}

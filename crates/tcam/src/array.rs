@@ -7,6 +7,7 @@
 //! the hardware at software speed.
 
 use crate::bit::{KeyBit, TernaryBit};
+use crate::fault::{FaultError, FaultModel, FaultState};
 use crate::key::SearchKey;
 use crate::sweep;
 use crate::tags::TagVector;
@@ -33,6 +34,9 @@ pub struct TcamArray {
     /// Associative-write pulses per column (RRAM endurance accounting; host
     /// loads are not counted).
     wear: Vec<u64>,
+    /// Device-fault bookkeeping; `None` (the default) is the ideal array and
+    /// keeps every kernel on its zero-fault path.
+    fault: Option<Box<FaultState>>,
 }
 
 impl TcamArray {
@@ -62,6 +66,86 @@ impl TcamArray {
             ],
             row_mask,
             wear: vec![0; cols],
+            fault: None,
+        }
+    }
+
+    /// Attach a device-fault model: this array becomes global PE `pe` with
+    /// `spares` spare column devices. Stuck bits of the initial devices are
+    /// enforced on the (all-zero or pre-loaded) storage immediately.
+    pub fn attach_fault(&mut self, model: FaultModel, spares: usize, pe: usize) {
+        self.fault = Some(Box::new(FaultState::new(
+            model, pe, spares, self.rows, self.cols,
+        )));
+        for col in 0..self.cols {
+            self.enforce_stuck_col(col);
+        }
+    }
+
+    /// The fault bookkeeping, if a model is attached.
+    pub fn fault(&self) -> Option<&FaultState> {
+        self.fault.as_deref()
+    }
+
+    /// Restore fault bookkeeping verbatim (slab ⇄ array conversion path).
+    /// Storage is *not* re-enforced: the source storage already reflects the
+    /// stuck bits.
+    pub(crate) fn set_fault(&mut self, fault: Option<Box<FaultState>>) {
+        self.fault = fault;
+    }
+
+    /// Start a new run epoch (re-derives the transient search-miss set).
+    /// No-op without an attached fault model.
+    pub fn advance_epoch(&mut self) {
+        if let Some(f) = &mut self.fault {
+            f.advance_epoch();
+        }
+    }
+
+    /// End-of-run endurance service: retire every column whose wear counter
+    /// reached the model's limit onto a spare device (columns in ascending
+    /// order). Retirement resets the column's wear — the spare is a fresh
+    /// device — and enforces the new device's stuck bits on the copied data.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::SparesExhausted`] at the first column that cannot be
+    /// retired; the failure is also latched in [`fault`](Self::fault) so
+    /// later runs can fail fast.
+    pub fn service_endurance(&mut self) -> Result<(), FaultError> {
+        let Some(limit) = self.fault.as_ref().and_then(|f| f.model.endurance_limit) else {
+            return Ok(());
+        };
+        for col in 0..self.cols {
+            let w = self.wear[col];
+            if w >= limit {
+                self.fault
+                    .as_mut()
+                    .expect("fault state present")
+                    .retire(col, w)?;
+                self.wear[col] = 0;
+                self.enforce_stuck_col(col);
+            }
+        }
+        Ok(())
+    }
+
+    /// The block mask searches initialize from: the row mask, minus this
+    /// epoch's transient misses when a fault model is attached.
+    fn search_base(&self) -> &[u64] {
+        match &self.fault {
+            Some(f) => &f.search_mask,
+            None => &self.row_mask,
+        }
+    }
+
+    /// Force column `col`'s storage to agree with its backing device's
+    /// stuck bits. Idempotent; no-op without a fault model.
+    fn enforce_stuck_col(&mut self, col: usize) {
+        if let Some(f) = &self.fault {
+            let (s0, s1) = f.stuck_col(col);
+            let c = &mut self.columns[col];
+            sweep::enforce_stuck(&mut c.is_zero, &mut c.is_one, s0, s1);
         }
     }
 
@@ -113,6 +197,17 @@ impl TcamArray {
             TernaryBit::Zero => c.is_zero[b] |= m,
             TernaryBit::One => c.is_one[b] |= m,
             TernaryBit::X => {}
+        }
+        if let Some(f) = &self.fault {
+            let (s0, s1) = f.stuck_col(col);
+            let c = &mut self.columns[col];
+            if s0[b] & m != 0 {
+                c.is_zero[b] |= m;
+                c.is_one[b] &= !m;
+            } else if s1[b] & m != 0 {
+                c.is_one[b] |= m;
+                c.is_zero[b] &= !m;
+            }
         }
     }
 
@@ -178,7 +273,7 @@ impl TcamArray {
     pub fn search_into(&self, key: &SearchKey, out: &mut TagVector) {
         assert_eq!(out.len(), self.rows, "tag/row count mismatch");
         let acc = out.blocks_mut();
-        acc.copy_from_slice(&self.row_mask);
+        acc.copy_from_slice(self.search_base());
         for col in key.active_columns() {
             if col >= self.cols {
                 continue;
@@ -199,7 +294,7 @@ impl TcamArray {
     pub fn search_plan_into(&self, plan: &[(usize, KeyBit)], out: &mut TagVector) {
         assert_eq!(out.len(), self.rows, "tag/row count mismatch");
         let acc = out.blocks_mut();
-        acc.copy_from_slice(&self.row_mask);
+        acc.copy_from_slice(self.search_base());
         for &(col, bit) in plan {
             if col >= self.cols || bit == KeyBit::Masked {
                 continue;
@@ -276,7 +371,13 @@ impl TcamArray {
         while base < blocks {
             let n = TILE.min(blocks - base);
             let t = &mut tag_blocks[base..base + n];
-            let mask = (!full).then(|| &self.row_mask[base..base + n]);
+            let mask = match &self.fault {
+                // Under faults the effective mask also excludes this
+                // epoch's transient misses, so it applies even when the row
+                // count fills every block.
+                Some(f) => Some(&f.search_mask[base..base + n]),
+                None => (!full).then(|| &self.row_mask[base..base + n]),
+            };
             if !acc && plans.is_empty() {
                 t.fill(0);
             }
@@ -318,6 +419,15 @@ impl TcamArray {
                 }
             }
             base += n;
+        }
+        if self.fault.is_some() {
+            // Stuck enforcement is idempotent and tiles touch disjoint row
+            // blocks with reads preceding writes, so enforcing once per
+            // written column at kernel end equals enforcing after every
+            // store — the invariant the unfused engines maintain.
+            for &(col, _) in writes {
+                self.enforce_stuck_col(col);
+            }
         }
     }
 
@@ -398,6 +508,7 @@ impl TcamArray {
                 }
             }
         }
+        self.enforce_stuck_col(col);
     }
 
     /// Associative-write pulse count per column — the endurance profile of
@@ -472,6 +583,7 @@ impl TcamArray {
         };
         d.is_zero.clone_from(&s.is_zero);
         d.is_one.clone_from(&s.is_one);
+        self.enforce_stuck_col(dst);
     }
 }
 
@@ -690,6 +802,101 @@ mod tests {
     fn pe_sized_is_256x256() {
         let a = TcamArray::pe_sized();
         assert_eq!((a.rows(), a.cols()), (256, 256));
+    }
+
+    #[test]
+    fn stuck_cells_override_host_and_associative_writes() {
+        use crate::fault::FaultModel;
+        let model = FaultModel {
+            seed: 7,
+            stuck_per_million: 200_000,
+            miss_per_million: 0,
+            endurance_limit: None,
+        };
+        let mut a = TcamArray::new(64, 8);
+        a.attach_fault(model, 0, 3);
+        for col in 0..8 {
+            for row in 0..64 {
+                a.set_cell(row, col, TernaryBit::One);
+            }
+        }
+        a.write_column(5, TernaryBit::Zero, &TagVector::ones(64));
+        for col in 0..8 {
+            for row in 0..64 {
+                let expect = match model.stuck_at(3, col, row) {
+                    Some(true) => TernaryBit::One,
+                    Some(false) => TernaryBit::Zero,
+                    None if col == 5 => TernaryBit::Zero,
+                    None => TernaryBit::One,
+                };
+                assert_eq!(a.cell(row, col), expect, "row {row} col {col}");
+            }
+        }
+    }
+
+    #[test]
+    fn transient_misses_gate_searches_per_epoch() {
+        use crate::fault::FaultModel;
+        let model = FaultModel {
+            seed: 9,
+            stuck_per_million: 0,
+            miss_per_million: 400_000,
+            endurance_limit: None,
+        };
+        let mut a = TcamArray::new(70, 4);
+        a.attach_fault(model, 0, 2);
+        for epoch in 0..2 {
+            let t = a.search(&SearchKey::masked(4));
+            for row in 0..70 {
+                assert_eq!(t.get(row), !model.misses(2, row, epoch), "row {row}");
+            }
+            assert_eq!(t.blocks()[1] >> 6, 0, "padding stays clear");
+            a.advance_epoch();
+        }
+    }
+
+    #[test]
+    fn endurance_service_retires_then_exhausts_spares() {
+        use crate::fault::{FaultError, FaultModel};
+        let model = FaultModel {
+            seed: 1,
+            stuck_per_million: 0,
+            miss_per_million: 0,
+            endurance_limit: Some(2),
+        };
+        let mut a = TcamArray::new(8, 4);
+        a.attach_fault(model, 1, 0);
+        let tags = TagVector::ones(8);
+        a.write_column(1, TernaryBit::One, &tags);
+        a.write_column(1, TernaryBit::One, &tags);
+        a.service_endurance().unwrap();
+        assert_eq!(a.column_wear(), &[0, 0, 0, 0], "spare is a fresh device");
+        assert_eq!(a.fault().unwrap().retired, vec![(1, 4)]);
+        a.write_column(1, TernaryBit::One, &tags);
+        a.write_column(1, TernaryBit::One, &tags);
+        let err = a.service_endurance().unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::SparesExhausted {
+                pe: 0,
+                col: 1,
+                wear: 2
+            }
+        );
+        assert_eq!(a.fault().unwrap().failed, Some((1, 2)));
+    }
+
+    #[test]
+    fn zero_fault_model_attached_changes_nothing() {
+        use crate::fault::FaultModel;
+        let reference = array_with(&["10110", "10011", "11100", "10111", "00011"]);
+        let mut a = reference.clone();
+        a.attach_fault(FaultModel::none(), 0, 1);
+        let key = SearchKey::parse("101--").unwrap();
+        assert_eq!(a.search(&key), reference.search(&key));
+        for r in 0..5 {
+            assert_eq!(a.read_word(r), reference.read_word(r));
+        }
     }
 
     #[test]

@@ -105,6 +105,10 @@ pub struct DeviceTcam {
     array1: CrossbarArray,
     device: RramDevice,
     cell_writes: u64,
+    /// Per-bit stuck faults (row-major): `Some(v)` freezes the RRAM pair so
+    /// the bit permanently reads `v`; programming pulses still count toward
+    /// [`cell_writes`](Self::cell_writes) but no longer change resistance.
+    stuck: Vec<Option<bool>>,
 }
 
 impl DeviceTcam {
@@ -117,6 +121,7 @@ impl DeviceTcam {
             array1: CrossbarArray::new(rows, cols),
             device: RramDevice::default(),
             cell_writes: 0,
+            stuck: vec![None; rows * cols],
         };
         for r in 0..rows {
             for c in 0..cols {
@@ -152,7 +157,30 @@ impl DeviceTcam {
         self.cell_writes
     }
 
+    /// Freeze a bit at `value` (forming failure / oxide breakdown): the pair
+    /// is reprogrammed one last time to read `value`, and every later
+    /// programming pulse leaves the resistance unchanged. This is the
+    /// device-level realization of [`crate::fault::FaultModel`]'s stuck-at
+    /// cells; the equivalence test below pins the two models together.
+    pub fn mark_stuck(&mut self, row: usize, col: usize, value: bool) {
+        self.stuck[row * self.cols + col] = None;
+        let bit = if value {
+            TernaryBit::One
+        } else {
+            TernaryBit::Zero
+        };
+        self.program_bit(row, col, bit);
+        self.cell_writes -= 2;
+        self.stuck[row * self.cols + col] = Some(value);
+    }
+
     fn program_bit(&mut self, row: usize, col: usize, value: TernaryBit) {
+        // A stuck pair still receives the pulses (the write driver cannot
+        // tell), but its resistance no longer moves.
+        self.cell_writes += 2;
+        if self.stuck[row * self.cols + col].is_some() {
+            return;
+        }
         let (a0, a1) = match value {
             TernaryBit::Zero => (Resistance::Low, Resistance::High),
             TernaryBit::One => (Resistance::High, Resistance::Low),
@@ -160,7 +188,6 @@ impl DeviceTcam {
         };
         self.array0.program(row, col, a0);
         self.array1.program(row, col, a1);
-        self.cell_writes += 2;
     }
 
     /// Read back the stored ternary value of a bit.
@@ -323,6 +350,81 @@ mod tests {
         let t = DeviceTcam::new(256, 256);
         assert_eq!(t.half_selected_cells(1), 255 + 255);
         assert!(t.half_selected_cells(256) > t.half_selected_cells(1));
+    }
+
+    #[test]
+    fn stuck_bits_ignore_programming_but_count_pulses() {
+        let mut t = DeviceTcam::new(2, 2);
+        t.mark_stuck(0, 1, true);
+        assert_eq!(t.read_bit(0, 1), TernaryBit::One);
+        let pulses = t.cell_writes();
+        t.store_word(0, &word_from_str("XX").unwrap());
+        assert_eq!(t.read_bit(0, 0), TernaryBit::X, "healthy bit programs");
+        assert_eq!(t.read_bit(0, 1), TernaryBit::One, "stuck bit does not");
+        assert_eq!(t.cell_writes(), pulses + 4, "pulses are still issued");
+    }
+
+    /// The device overlay and the functional [`FaultModel`] describe the
+    /// same silicon: seeding the overlay from `stuck_at` makes the two
+    /// models agree bit-for-bit through host loads, associative writes,
+    /// and searches.
+    #[test]
+    fn stuck_overlay_matches_functional_fault_model() {
+        use crate::fault::FaultModel;
+
+        let model = FaultModel {
+            seed: 7,
+            stuck_per_million: 120_000,
+            miss_per_million: 0,
+            endurance_limit: None,
+        };
+        let (rows, cols, pe) = (9, 7, 3);
+        let mut dev = DeviceTcam::new(rows, cols);
+        let mut fun = TcamArray::new(rows, cols);
+        fun.attach_fault(model, 0, pe);
+        let mut any = false;
+        for row in 0..rows {
+            for col in 0..cols {
+                if let Some(v) = model.stuck_at(pe, col, row) {
+                    dev.mark_stuck(row, col, v);
+                    any = true;
+                }
+            }
+        }
+        assert!(any, "12% stuck rate must hit a 9x7 array");
+        let check = |dev: &DeviceTcam, fun: &TcamArray, when: &str| {
+            for row in 0..rows {
+                for col in 0..cols {
+                    assert_eq!(
+                        dev.read_bit(row, col),
+                        fun.cell(row, col),
+                        "({row},{col}) {when}"
+                    );
+                }
+            }
+        };
+        check(&dev, &fun, "after attach");
+        for row in 0..rows {
+            let word: Vec<TernaryBit> = (0..cols)
+                .map(|c| match (row + 2 * c) % 3 {
+                    0 => TernaryBit::Zero,
+                    1 => TernaryBit::One,
+                    _ => TernaryBit::X,
+                })
+                .collect();
+            dev.store_word(row, &word);
+            for (c, b) in word.iter().enumerate() {
+                fun.set_cell(row, c, *b);
+            }
+        }
+        check(&dev, &fun, "after host load");
+        let key = SearchKey::parse("10-1Z--").unwrap();
+        assert_eq!(dev.search(&key), fun.search(&key), "search under faults");
+        let wkey = SearchKey::parse("-01----").unwrap();
+        let tags = fun.search(&key);
+        dev.write(&wkey, &tags);
+        fun.write(&wkey, &tags);
+        check(&dev, &fun, "after associative write");
     }
 
     #[test]

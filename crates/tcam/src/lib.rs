@@ -43,6 +43,7 @@ pub mod array;
 pub mod bit;
 pub mod device;
 pub mod encoding;
+pub mod fault;
 pub mod key;
 pub mod mvsop;
 pub mod slab;
@@ -51,6 +52,7 @@ pub mod tags;
 
 pub use array::TcamArray;
 pub use bit::{KeyBit, TernaryBit};
+pub use fault::{FaultError, FaultModel};
 pub use key::SearchKey;
 pub use slab::{TagSlab, TcamSlab};
 pub use tags::TagVector;

@@ -33,6 +33,7 @@
 
 use crate::array::TcamArray;
 use crate::bit::{KeyBit, TernaryBit};
+use crate::fault::{FaultError, FaultModel, FaultState, SlabFaultState};
 use crate::sweep;
 use crate::tags::TagVector;
 use bytes::{Buf, BufMut, BytesMut};
@@ -297,11 +298,19 @@ pub struct TcamSlab {
     row_mask: Vec<u64>,
     /// Associative-write pulses, indexed `[col][pe]`.
     wear: Vec<u64>,
+    /// Device-fault bookkeeping; `None` (the default) is the ideal slab and
+    /// keeps every kernel on its zero-fault path.
+    fault: Option<Box<SlabFaultState>>,
 }
 
 impl TcamSlab {
-    /// Version byte of the [`to_bytes`](Self::to_bytes) image format.
+    /// Version byte of the [`to_bytes`](Self::to_bytes) image format
+    /// without fault state (the original format, still decoded).
     pub const FORMAT_VERSION: u8 = 1;
+
+    /// Version byte of the [`to_bytes`](Self::to_bytes) image format with
+    /// a fault-bookkeeping payload appended.
+    pub const FORMAT_VERSION_FAULT: u8 = 2;
 
     /// A slab of `pes` arrays of `rows` × `cols`, all cells `0`.
     ///
@@ -336,6 +345,82 @@ impl TcamSlab {
             zeros,
             row_mask,
             wear: vec![0; cols * pes],
+            fault: None,
+        }
+    }
+
+    /// Attach a device-fault model: slot `s` of this slab becomes global
+    /// PE `pe0 + s`, each with `spares` spare column devices. Stuck bits of
+    /// the initial devices are enforced on the storage immediately.
+    pub fn attach_fault(&mut self, model: FaultModel, spares: usize, pe0: usize) {
+        self.fault = Some(Box::new(SlabFaultState::new(
+            model, pe0, spares, self.pes, self.rows, self.cols,
+        )));
+        for col in 0..self.cols {
+            self.enforce_stuck_col_range(col, 0, self.pes);
+        }
+    }
+
+    /// The fault bookkeeping, if a model is attached.
+    pub fn fault(&self) -> Option<&SlabFaultState> {
+        self.fault.as_deref()
+    }
+
+    /// Start a new run epoch across every PE (re-derives the transient
+    /// search-miss sets). No-op without an attached fault model.
+    pub fn advance_epoch(&mut self) {
+        if let Some(f) = &mut self.fault {
+            f.advance_epoch();
+        }
+    }
+
+    /// End-of-run endurance service for every PE of the slab, slots in
+    /// ascending order and columns in ascending order within a slot — the
+    /// same global order [`TcamArray::service_endurance`] produces when
+    /// driven per PE. Retirement resets the column's wear and enforces the
+    /// spare device's stuck bits on the copied data.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::SparesExhausted`] at the first column that cannot be
+    /// retired (global PE index); the failure is latched for fail-fast.
+    pub fn service_endurance(&mut self) -> Result<(), FaultError> {
+        let Some(limit) = self.fault.as_ref().and_then(|f| f.model.endurance_limit) else {
+            return Ok(());
+        };
+        for pe in 0..self.pes {
+            for col in 0..self.cols {
+                let w = self.wear[col * self.pes + pe];
+                if w >= limit {
+                    self.fault
+                        .as_mut()
+                        .expect("fault state present")
+                        .retire(pe, col, w)?;
+                    self.wear[col * self.pes + pe] = 0;
+                    self.enforce_stuck_col_range(col, pe, pe + 1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The `[pe][block]` mask searches initialize from: the row mask,
+    /// minus this epoch's transient misses when a fault model is attached.
+    fn search_base(&self) -> &[u64] {
+        match &self.fault {
+            Some(f) => &f.search_mask,
+            None => &self.row_mask,
+        }
+    }
+
+    /// Force column `col`'s storage over PEs `lo..hi` to agree with the
+    /// backing devices' stuck bits. Idempotent; no-op without faults.
+    fn enforce_stuck_col_range(&mut self, col: usize, lo: usize, hi: usize) {
+        if let Some(f) = &self.fault {
+            let (s0, s1) = f.stuck_range(col, lo, hi);
+            let a = (col * self.pes + lo) * self.bpp;
+            let b = (col * self.pes + hi) * self.bpp;
+            sweep::enforce_stuck(&mut self.zeros[a..b], &mut self.ones[a..b], s0, s1);
         }
     }
 
@@ -402,6 +487,17 @@ impl TcamSlab {
             TernaryBit::One => self.ones[b] |= m,
             TernaryBit::X => {}
         }
+        if let Some(f) = &self.fault {
+            let (s0, s1) = f.stuck_range(col, pe, pe + 1);
+            let (i, m) = (row / 64, 1u64 << (row % 64));
+            if s0[i] & m != 0 {
+                self.zeros[b] |= m;
+                self.ones[b] &= !m;
+            } else if s1[i] & m != 0 {
+                self.ones[b] |= m;
+                self.zeros[b] &= !m;
+            }
+        }
     }
 
     /// Fused search over PEs `lo..hi`: apply a precompiled `(column, bit)`
@@ -423,7 +519,7 @@ impl TcamSlab {
     ) {
         let (a, b) = (lo * self.bpp, hi * self.bpp);
         assert_eq!(out.len(), b - a, "output/range block count mismatch");
-        out.copy_from_slice(&self.row_mask[a..b]);
+        out.copy_from_slice(&self.search_base()[a..b]);
         for &(col, bit) in plan {
             if col >= self.cols || bit == KeyBit::Masked {
                 continue;
@@ -499,6 +595,7 @@ impl TcamSlab {
                 }
             }
         }
+        self.enforce_stuck_col_range(col, lo, hi);
     }
 
     /// Fused column copy over PEs `lo..hi`: duplicate column `src` into
@@ -520,6 +617,7 @@ impl TcamSlab {
             .copy_within(src * cs + a..src * cs + b, dst * cs + a);
         self.ones
             .copy_within(src * cs + a..src * cs + b, dst * cs + a);
+        self.enforce_stuck_col_range(dst, lo, hi);
     }
 
     /// Fused encoded write over PEs `lo..hi`: for **every** row of every PE
@@ -578,6 +676,7 @@ impl TcamSlab {
             for w in &mut self.wear[c * self.pes + lo..c * self.pes + hi] {
                 *w += 1;
             }
+            self.enforce_stuck_col_range(c, lo, hi);
         }
     }
 
@@ -642,7 +741,13 @@ impl TcamSlab {
             let n = TILE.min(b - a - base);
             let at0 = a + base;
             let t = &mut tags[base..base + n];
-            let mask = (!full).then(|| &self.row_mask[at0..at0 + n]);
+            let mask = match &self.fault {
+                // Under faults the effective mask also excludes this
+                // epoch's transient misses, so it applies even when the row
+                // count fills every block.
+                Some(f) => Some(&f.search_mask[at0..at0 + n]),
+                None => (!full).then(|| &self.row_mask[at0..at0 + n]),
+            };
             if !acc && plans.is_empty() {
                 t.fill(0);
             }
@@ -684,6 +789,15 @@ impl TcamSlab {
                 }
             }
             base += n;
+        }
+        if self.fault.is_some() {
+            // Stuck enforcement is idempotent and tiles touch disjoint row
+            // blocks with reads preceding writes, so enforcing once per
+            // written column at kernel end equals enforcing after every
+            // store — the invariant the unfused engines maintain.
+            for &(col, _) in writes {
+                self.enforce_stuck_col_range(col, lo, hi);
+            }
         }
     }
 
@@ -743,25 +857,60 @@ impl TcamSlab {
 
     /// Build a slab from per-PE arrays (wear included).
     ///
+    /// Arrays may have heterogeneous column counts: the slab is as wide as
+    /// the widest array, each array's cells **and wear** are copied over
+    /// its own width (not the narrowest), and a narrow PE's absent columns
+    /// hold the all-`0`, zero-wear state of a fresh [`TcamArray`] — so
+    /// [`to_array`](Self::to_array) widens narrow PEs accordingly.
+    ///
     /// # Panics
     ///
-    /// Panics if `arrays` is empty or geometries differ.
+    /// Panics if `arrays` is empty, row counts differ, or only some arrays
+    /// carry fault state (fault state also requires uniform widths, since
+    /// the remap tables are per-column).
     pub fn from_arrays(arrays: &[TcamArray]) -> Self {
         let first = arrays.first().expect("at least one array");
-        let (rows, cols) = (first.rows(), first.cols());
+        let rows = first.rows();
         assert!(
-            arrays.iter().all(|a| a.rows() == rows && a.cols() == cols),
+            arrays.iter().all(|a| a.rows() == rows),
             "array geometry mismatch"
         );
+        let cols = arrays
+            .iter()
+            .map(TcamArray::cols)
+            .max()
+            .expect("at least one array");
         let mut slab = TcamSlab::new(arrays.len(), rows, cols);
         for col in 0..cols {
             for (pe, array) in arrays.iter().enumerate() {
+                // Copy bounds follow each array's own width; columns beyond
+                // it keep the fresh all-zero cells and zero wear.
+                if col >= array.cols() {
+                    continue;
+                }
                 let (zeros, ones) = array.column_bits(col);
                 let at = slab.at(col, pe);
                 slab.zeros[at..at + slab.bpp].copy_from_slice(zeros);
                 slab.ones[at..at + slab.bpp].copy_from_slice(ones);
                 slab.wear[col * slab.pes + pe] = array.column_wear()[col];
             }
+        }
+        let faulted = arrays.iter().filter(|a| a.fault().is_some()).count();
+        if faulted > 0 {
+            assert_eq!(
+                faulted,
+                arrays.len(),
+                "fault state must be attached to all arrays or none"
+            );
+            assert!(
+                arrays.iter().all(|a| a.cols() == cols),
+                "fault state requires uniform column counts"
+            );
+            let states: Vec<&FaultState> = arrays
+                .iter()
+                .map(|a| a.fault().expect("checked above"))
+                .collect();
+            slab.fault = Some(Box::new(SlabFaultState::from_arrays(&states)));
         }
         slab
     }
@@ -785,6 +934,9 @@ impl TcamSlab {
         for (col, w) in array.wear_mut().iter_mut().enumerate() {
             *w = self.wear[col * self.pes + pe];
         }
+        if let Some(f) = &self.fault {
+            array.set_fault(Some(Box::new(f.to_array(pe))));
+        }
         array
     }
 
@@ -799,6 +951,13 @@ impl TcamSlab {
     /// produce real bytes, so snapshots go through the `bytes` buffer
     /// directly, like the ISA's instruction encoding.
     ///
+    /// A fault-free slab emits [`FORMAT_VERSION`](Self::FORMAT_VERSION)
+    /// (byte-identical to the original format); with fault state attached
+    /// the image is [`FORMAT_VERSION_FAULT`](Self::FORMAT_VERSION_FAULT)
+    /// and appends the fault *bookkeeping* (model, remap tables, counters —
+    /// stuck and search masks are recomputed on decode, since they are pure
+    /// functions of the bookkeeping).
+    ///
     /// # Panics
     ///
     /// Panics if a dimension exceeds `u16::MAX` (the paper-scale geometry
@@ -809,13 +968,54 @@ impl TcamSlab {
         }
         let words = self.zeros.len() + self.ones.len() + self.wear.len();
         let mut buf = BytesMut::with_capacity(7 + words * 8);
-        buf.put_u8(Self::FORMAT_VERSION);
+        buf.put_u8(match self.fault {
+            Some(_) => Self::FORMAT_VERSION_FAULT,
+            None => Self::FORMAT_VERSION,
+        });
         buf.put_u16(self.pes as u16);
         buf.put_u16(self.rows as u16);
         buf.put_u16(self.cols as u16);
         for arena in [&self.zeros, &self.ones, &self.wear] {
             for w in arena {
                 buf.put_slice(&w.to_be_bytes());
+            }
+        }
+        if let Some(f) = &self.fault {
+            assert!(
+                f.spares <= u16::MAX as usize,
+                "spare count exceeds image format"
+            );
+            buf.put_u64(f.model.seed);
+            buf.put_u32(f.model.stuck_per_million);
+            buf.put_u32(f.model.miss_per_million);
+            match f.model.endurance_limit {
+                Some(limit) => {
+                    buf.put_u8(1);
+                    buf.put_u64(limit);
+                }
+                None => buf.put_u8(0),
+            }
+            buf.put_u64(f.pe0 as u64);
+            buf.put_u16(f.spares as u16);
+            buf.put_u64(f.epoch);
+            for pe in 0..self.pes {
+                buf.put_u16(f.next_spare[pe]);
+                match f.failed[pe] {
+                    Some((col, wear)) => {
+                        buf.put_u8(1);
+                        buf.put_u16(col);
+                        buf.put_u64(wear);
+                    }
+                    None => buf.put_u8(0),
+                }
+                for &r in &f.remap[pe * self.cols..(pe + 1) * self.cols] {
+                    buf.put_u16(r);
+                }
+                buf.put_u16(f.retired[pe].len() as u16);
+                for &(col, phys) in &f.retired[pe] {
+                    buf.put_u16(col);
+                    buf.put_u16(phys);
+                }
             }
         }
         buf.to_vec()
@@ -833,7 +1033,7 @@ impl TcamSlab {
             return Err(SlabDecodeError::Truncated);
         }
         let version = buf.get_u8();
-        if version != Self::FORMAT_VERSION {
+        if version != Self::FORMAT_VERSION && version != Self::FORMAT_VERSION_FAULT {
             return Err(SlabDecodeError::BadVersion(version));
         }
         let pes = buf.get_u16() as usize;
@@ -860,6 +1060,77 @@ impl TcamSlab {
         let zeros = read_words(arena);
         let ones = read_words(arena);
         let wear = read_words(cols * pes);
+        let fault = if version == Self::FORMAT_VERSION_FAULT {
+            // Fixed part: seed + rates + limit flag + pe0 + spares + epoch.
+            if buf.remaining() < 8 + 4 + 4 + 1 {
+                return Err(SlabDecodeError::Truncated);
+            }
+            let seed = buf.get_u64();
+            let stuck_per_million = buf.get_u32();
+            let miss_per_million = buf.get_u32();
+            let endurance_limit = match buf.get_u8() {
+                0 => None,
+                _ => {
+                    if buf.remaining() < 8 {
+                        return Err(SlabDecodeError::Truncated);
+                    }
+                    Some(buf.get_u64())
+                }
+            };
+            if buf.remaining() < 8 + 2 + 8 {
+                return Err(SlabDecodeError::Truncated);
+            }
+            let pe0 = buf.get_u64() as usize;
+            let spares = buf.get_u16() as usize;
+            let epoch = buf.get_u64();
+            let mut next_spare = Vec::with_capacity(pes);
+            let mut failed = Vec::with_capacity(pes);
+            let mut remap = Vec::with_capacity(pes * cols);
+            let mut retired = Vec::with_capacity(pes);
+            for _ in 0..pes {
+                if buf.remaining() < 2 + 1 {
+                    return Err(SlabDecodeError::Truncated);
+                }
+                next_spare.push(buf.get_u16());
+                failed.push(match buf.get_u8() {
+                    0 => None,
+                    _ => {
+                        if buf.remaining() < 2 + 8 {
+                            return Err(SlabDecodeError::Truncated);
+                        }
+                        Some((buf.get_u16(), buf.get_u64()))
+                    }
+                });
+                if buf.remaining() < cols * 2 + 2 {
+                    return Err(SlabDecodeError::Truncated);
+                }
+                for _ in 0..cols {
+                    remap.push(buf.get_u16());
+                }
+                let n = buf.get_u16() as usize;
+                if buf.remaining() < n * 4 {
+                    return Err(SlabDecodeError::Truncated);
+                }
+                let mut log = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let col = buf.get_u16();
+                    let phys = buf.get_u16();
+                    log.push((col, phys));
+                }
+                retired.push(log);
+            }
+            let model = FaultModel {
+                seed,
+                stuck_per_million,
+                miss_per_million,
+                endurance_limit,
+            };
+            Some(Box::new(SlabFaultState::restore(
+                model, pe0, spares, pes, rows, cols, epoch, next_spare, remap, retired, failed,
+            )))
+        } else {
+            None
+        };
         if buf.has_remaining() {
             return Err(SlabDecodeError::TrailingBytes(buf.remaining()));
         }
@@ -867,6 +1138,7 @@ impl TcamSlab {
         slab.zeros = zeros;
         slab.ones = ones;
         slab.wear = wear;
+        slab.fault = fault;
         Ok(slab)
     }
 }
@@ -1279,7 +1551,140 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "geometry mismatch")]
-    fn from_arrays_rejects_mixed_geometry() {
-        TcamSlab::from_arrays(&[TcamArray::new(4, 4), TcamArray::new(4, 5)]);
+    fn from_arrays_rejects_mixed_rows() {
+        TcamSlab::from_arrays(&[TcamArray::new(4, 4), TcamArray::new(5, 4)]);
+    }
+
+    /// Regression: converting heterogeneous-width arrays into a slab used
+    /// to clamp every PE's wear copy to the narrowest width, silently
+    /// dropping wear (and cells) beyond it on the wider PEs.
+    #[test]
+    fn from_arrays_keeps_wear_beyond_the_narrowest_pe() {
+        let mut narrow = TcamArray::new(40, 4);
+        let mut wide = TcamArray::new(40, 6);
+        narrow.set_cell(3, 3, TernaryBit::One);
+        wide.set_cell(7, 5, TernaryBit::X);
+        narrow.note_write(3);
+        for _ in 0..5 {
+            wide.note_write(5);
+        }
+        let slab = TcamSlab::from_arrays(&[narrow.clone(), wide.clone()]);
+        assert_eq!(slab.cols(), 6, "slab width is the widest PE");
+        assert_eq!(slab.pe_wear(0)[3], 1);
+        assert_eq!(slab.pe_wear(1)[5], 5, "wear beyond the narrow PE survives");
+        assert_eq!(slab.cell(1, 7, 5), TernaryBit::X);
+        let back = slab.to_arrays();
+        assert_eq!(back[1], wide);
+        // The narrow PE comes back widened; its original columns are intact
+        // and the padding columns are fresh.
+        assert_eq!(back[0].cols(), 6);
+        assert_eq!(back[0].cell(3, 3), TernaryBit::One);
+        assert_eq!(back[0].column_wear()[3], 1);
+        assert_eq!(back[0].column_wear()[4], 0);
+        assert_eq!(back[0].cell(0, 5), TernaryBit::Zero);
+        assert_eq!(TcamSlab::from_arrays(&back), slab, "round trip is stable");
+    }
+
+    /// A faulty model attached at matching PE offsets must leave the slab
+    /// kernels bit-identical to the per-array kernels: same cells, same
+    /// tags, same wear, same remap bookkeeping after endurance service.
+    #[test]
+    fn fault_kernels_match_per_array_fault_kernels() {
+        let model = FaultModel {
+            seed: 0xFA111,
+            stuck_per_million: 40_000,
+            miss_per_million: 30_000,
+            endurance_limit: Some(2),
+        };
+        let (mut slab, mut arrays) = seeded(3, 70, 6);
+        slab.attach_fault(model, 2, 0);
+        for (pe, array) in arrays.iter_mut().enumerate() {
+            array.attach_fault(model, 2, pe);
+        }
+        assert_eq!(slab.to_arrays(), arrays, "attachment alone is identical");
+
+        let key = SearchKey::parse("10-1Z-").unwrap();
+        let plan = key.compile_plan();
+        let mut tags = TagSlab::zeros(3, 70);
+        slab.search_plan_multi_into(&plan, 0, 3, tags.range_mut(0, 3));
+        for (pe, array) in arrays.iter().enumerate() {
+            assert_eq!(tags.to_tagvector(pe), array.search(&key), "pe {pe}");
+        }
+
+        slab.write_column_multi(2, TernaryBit::One, tags.range(0, 3), 0, 3);
+        slab.search_write_multi(
+            &[&plan],
+            false,
+            &[(4, TernaryBit::Zero)],
+            tags.range_mut(0, 3),
+            0,
+            3,
+        );
+        for (pe, array) in arrays.iter_mut().enumerate() {
+            let tv = tags.to_tagvector(pe);
+            let mut search = array.search(&key);
+            array.write_column(2, TernaryBit::One, &search);
+            array.search_write_multi(&[&plan], false, &[(4, TernaryBit::Zero)], &mut search);
+            assert_eq!(tv, search, "pe {pe} fused tags");
+        }
+        assert_eq!(slab.to_arrays(), arrays, "after fault-gated kernels");
+
+        // New epoch re-derives the transient miss set on both backends.
+        slab.advance_epoch();
+        for array in &mut arrays {
+            array.advance_epoch();
+        }
+        let mut tags2 = TagSlab::zeros(3, 70);
+        slab.search_plan_multi_into(&plan, 0, 3, tags2.range_mut(0, 3));
+        for (pe, array) in arrays.iter().enumerate() {
+            assert_eq!(
+                tags2.to_tagvector(pe),
+                array.search(&key),
+                "pe {pe} epoch 1"
+            );
+        }
+
+        // Endurance service retires worn columns identically.
+        let slab_res = slab.service_endurance();
+        let mut array_res = Ok(());
+        for array in &mut arrays {
+            if let Err(e) = array.service_endurance() {
+                array_res = Err(e);
+                break;
+            }
+        }
+        assert_eq!(slab_res, array_res);
+        assert_eq!(slab.to_arrays(), arrays, "after endurance service");
+    }
+
+    #[test]
+    fn fault_bytes_round_trip_uses_version_two() {
+        let (mut slab, _) = seeded(2, 70, 4);
+        assert_eq!(slab.to_bytes()[0], TcamSlab::FORMAT_VERSION);
+        slab.attach_fault(
+            FaultModel {
+                seed: 99,
+                stuck_per_million: 25_000,
+                miss_per_million: 10_000,
+                endurance_limit: Some(1),
+            },
+            1,
+            5,
+        );
+        let tags = tag_pattern(&slab, 2);
+        slab.write_column_multi(1, TernaryBit::One, tags.range(0, 2), 0, 2);
+        slab.service_endurance().expect("one spare per PE");
+        assert!(
+            slab.fault().unwrap().retired.iter().any(|r| !r.is_empty()),
+            "the write plus limit 1 must retire a column"
+        );
+        let bytes = slab.to_bytes();
+        assert_eq!(bytes[0], TcamSlab::FORMAT_VERSION_FAULT);
+        assert_eq!(TcamSlab::from_bytes(&bytes), Ok(slab));
+        // A truncated fault payload is rejected, not misread.
+        assert_eq!(
+            TcamSlab::from_bytes(&bytes[..bytes.len() - 3]),
+            Err(SlabDecodeError::Truncated)
+        );
     }
 }

@@ -75,7 +75,14 @@ fn fill_words(dst: &mut [u64], mode: FillMode, mask: Option<&[u64]>, f: impl Fn(
 /// Match words of a single plan entry, dispatched once per pass (never
 /// per word): a cell matches unless the opposing bit-line is programmed.
 #[inline(always)]
-fn fill_entry(dst: &mut [u64], mode: FillMode, mask: Option<&[u64]>, bit: KeyBit, z: &[u64], o: &[u64]) {
+fn fill_entry(
+    dst: &mut [u64],
+    mode: FillMode,
+    mask: Option<&[u64]>,
+    bit: KeyBit,
+    z: &[u64],
+    o: &[u64],
+) {
     let n = dst.len();
     let (z, o) = (&z[..n], &o[..n]);
     match bit {
@@ -162,6 +169,22 @@ pub(crate) fn plan_and_into<'a>(
             Some(m) => dst.copy_from_slice(&m[..n]),
             None => dst.fill(!0),
         }
+    }
+}
+
+/// Force a column's bit-lines to agree with its backing device's stuck
+/// masks: stuck-at-0 cells read `0` (`is_zero` set), stuck-at-1 cells read
+/// `1` (`is_one` set), whatever was last written. One pass over the
+/// window, shared by both storage backends; idempotent, so fused kernels
+/// may run it once per written column at kernel end.
+#[inline]
+pub(crate) fn enforce_stuck(zero: &mut [u64], one: &mut [u64], s0: &[u64], s1: &[u64]) {
+    let n = zero.len();
+    let (s0, s1) = (&s0[..n], &s1[..n]);
+    for i in 0..n {
+        let s = s0[i] | s1[i];
+        zero[i] = (zero[i] & !s) | s0[i];
+        one[i] = (one[i] & !s) | s1[i];
     }
 }
 

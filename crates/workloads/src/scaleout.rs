@@ -87,6 +87,7 @@ pub fn stencil_1d(values: &[u64], width: u8) -> ScaleOutRun {
         tech: hyperap_model::TechParams::rram(),
         mesh: Some((1, n)), // a 1-D chain of PEs
         exec: Default::default(),
+        faults: Default::default(),
     };
     let mut machine = ApMachine::new(config);
     let w = width as usize;

@@ -1,0 +1,71 @@
+//! Kernel-level golden counts: the add32 and mul16 synthetic kernels'
+//! per-pass operation mixes and Table-I cycle totals are frozen here.
+//! Microcode, peephole, or timing changes that shift these numbers are
+//! fine only when intentional — update the constants alongside the
+//! EXPERIMENTS.md figures they feed.
+
+use hyperap_baselines::reference::OpKind;
+use hyperap_model::TechParams;
+use hyperap_workloads::synthetic::measure_op;
+
+#[test]
+fn add32_op_mix_and_cycles_are_frozen() {
+    let c = measure_op(OpKind::Add, 32);
+    assert_eq!(c.searches, 126, "add32 searches drifted");
+    assert_eq!(c.set_keys, 126, "add32 set_keys drifted");
+    assert_eq!(c.writes_single, 64, "add32 single writes drifted");
+    assert_eq!(c.writes_encoded, 0, "add32 encoded writes drifted");
+    assert_eq!(c.tag_ops, 0, "add32 tag ops drifted");
+    assert_eq!(
+        c.cycles(&TechParams::rram()),
+        1020,
+        "add32 RRAM cycles drifted"
+    );
+    assert_eq!(
+        c.cycles(&TechParams::cmos()),
+        444,
+        "add32 CMOS cycles drifted"
+    );
+}
+
+#[test]
+fn mul16_op_mix_and_cycles_are_frozen() {
+    let c = measure_op(OpKind::Mul, 16);
+    assert_eq!(c.searches, 787, "mul16 searches drifted");
+    assert_eq!(c.set_keys, 787, "mul16 set_keys drifted");
+    assert_eq!(c.writes_single, 66, "mul16 single writes drifted");
+    assert_eq!(c.writes_encoded, 72, "mul16 encoded writes drifted");
+    assert_eq!(c.tag_ops, 23, "mul16 tag ops drifted");
+    assert_eq!(
+        c.cycles(&TechParams::rram()),
+        4045,
+        "mul16 RRAM cycles drifted"
+    );
+    assert_eq!(
+        c.cycles(&TechParams::cmos()),
+        2155,
+        "mul16 CMOS cycles drifted"
+    );
+}
+
+#[test]
+fn kernel_streams_bill_exactly_their_op_counts() {
+    // The lowered Table-I stream must carry the same instruction mix the
+    // microcode reports — the golden counts above then also pin the
+    // architectural engines' per-PE op accounting.
+    for (op, width) in [(OpKind::Add, 32), (OpKind::Mul, 16)] {
+        let bench = hyperap_workloads::synthetic::build(op, width);
+        let counts = bench.op_counts();
+        let stream = bench.stream();
+        let searches = stream
+            .iter()
+            .filter(|i| matches!(i, hyperap_isa::Instruction::Search { .. }))
+            .count() as u64;
+        let writes = stream
+            .iter()
+            .filter(|i| matches!(i, hyperap_isa::Instruction::Write { .. }))
+            .count() as u64;
+        assert_eq!(searches, counts.searches, "{op:?}{width} stream searches");
+        assert_eq!(writes, counts.writes(), "{op:?}{width} stream writes");
+    }
+}

@@ -103,6 +103,7 @@ fn two_groups_run_different_kernels_concurrently() {
         tech: TechParams::rram(),
         mesh: None,
         exec: Default::default(),
+        faults: Default::default(),
     });
     // Group 0 = PE 0, group 1 = PE 1.
     for (field, v) in add.input_fields().iter().zip([100u64, 55]) {

@@ -49,6 +49,7 @@ fn fig5d_assembly_runs_on_the_machine() {
         tech: hyperap_model::TechParams::rram(),
         mesh: None,
         exec: Default::default(),
+        faults: Default::default(),
     });
     for v in 0u64..8 {
         let (a, b, cin) = (v & 1 == 1, v & 2 != 0, v & 4 != 0);
@@ -91,6 +92,7 @@ fn wait_synchronizes_producer_and_consumer_groups() {
         tech: TechParams::rram(),
         mesh: Some((1, 2)),
         exec: Default::default(),
+        faults: Default::default(),
     };
     let mut machine = ApMachine::new(config);
     machine.pe_mut(0).load_bit(1, 0, true);
