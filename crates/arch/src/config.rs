@@ -49,6 +49,14 @@ pub fn host_width() -> usize {
     env_threads().unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
+/// Default slab chunk width for a group of `per` PEs: split the group into
+/// (at most) [`host_width`] chunks, then round the width up to a whole
+/// number of 64-PE words so every kernel sweep processes full `u64` PE
+/// words with no tail masking inside a group's interior chunks.
+pub fn default_chunk_pes(per: usize) -> usize {
+    per.div_ceil(host_width()).max(1).next_multiple_of(64)
+}
+
 impl ExecMode {
     /// Number of OS threads the engine fans out to under this mode.
     ///

@@ -343,6 +343,7 @@ impl ApMachine {
             count_results: vec![Vec::new(); groups],
             index_results: vec![Vec::new(); groups],
             pe_health: Vec::new(),
+            geometry: None,
         };
         // Event-driven: always step the group whose local clock is
         // earliest, so `Wait`-based synchronization orders cross-group
@@ -391,6 +392,7 @@ impl ApMachine {
             count_results: vec![Vec::new(); groups],
             index_results: vec![Vec::new(); groups],
             pe_health: Vec::new(),
+            geometry: None,
         };
         let n = groups.min(traces.len());
         // Snapshot each group's entry key state where the trace needs it (a

@@ -5,11 +5,13 @@
 //! `Vec<u64>` pairs whose scattered layout defeats the cache and forces
 //! every micro-op to be dispatched once per PE. [`SlabMachine`] executes
 //! the same compiled traces ([`crate::trace`]) over [`TcamSlab`] arenas
-//! instead: each group's PEs are partitioned into a few chunks, and a
-//! segment micro-op runs
-//! **once per chunk** as a fused kernel sweeping a contiguous slice that
-//! covers every PE of the chunk ([`TcamSlab::search_plan_multi_into`] and
-//! friends). Threaded modes fork-join over whole chunks — the chunk is both
+//! instead: each group's PEs are partitioned into a few 64-aligned chunks,
+//! and a segment micro-op runs **once per chunk** as a fused bit-plane
+//! kernel — each 64-bit ALU op processes the same cell position across 64
+//! PEs at once ([`TcamSlab::search_plan_multi_into`] and friends), with
+//! partially-active chunks driven through a word-granular selection mask
+//! instead of per-PE loops. Threaded modes fork-join over whole chunks —
+//! the chunk is both
 //! the storage arena and the unit of parallelism, so no two workers ever
 //! share an allocation.
 //!
@@ -33,7 +35,7 @@
 use crate::config::{ArchConfig, ExecMode};
 use crate::machine::{ActiveSet, ApMachine, KeySnapshot, BROADCAST_ADDR};
 use crate::par;
-use crate::stats::{PeHealth, RunStats};
+use crate::stats::{PeHealth, RunGeometry, RunStats};
 use crate::trace::{self, CompiledTrace, MicroOp, PlanRef, Segment, StepKind};
 use hyperap_core::machine::HyperPe;
 use hyperap_isa::{Direction, Instruction};
@@ -41,7 +43,7 @@ use hyperap_model::timing::OpCounts;
 use hyperap_tcam::bit::{KeyBit, TernaryBit};
 use hyperap_tcam::encoding::encode_pair;
 use hyperap_tcam::key::SearchKey;
-use hyperap_tcam::slab::{TagSlab, TcamSlab};
+use hyperap_tcam::slab::{SweepOp, TagSlab, TcamSlab};
 use hyperap_tcam::tags::TagVector;
 use hyperap_tcam::FaultError;
 
@@ -61,15 +63,20 @@ struct SlabChunk {
     tags: TagSlab,
     /// Encoder DFF stage (latched search results).
     latch: TagSlab,
-    /// Sense-amplifier scratch for accumulating searches.
-    scratch: TagSlab,
     /// Data registers.
     regs: TagSlab,
     /// Per-PE operation counters (chunk-relative indexing).
     ops: Vec<OpCounts>,
-    /// Chunk-relative `[lo, hi)` runs of active PEs, refreshed per segment
-    /// (reused allocation).
-    runs: Vec<(usize, usize)>,
+    /// Word-granular active-PE selection mask (`pes.div_ceil(64)` words,
+    /// bit `p` = chunk-relative PE `p` active), refreshed per dispatch.
+    /// Ragged broadcasts cost the same as contiguous ones: every kernel
+    /// takes the whole mask in one sweep.
+    active: Vec<u64>,
+    /// Cached summary of `active`: every chunk PE is active (kernels get
+    /// `sel = None`, the mask-free fast path).
+    all_active: bool,
+    /// Cached summary of `active`: at least one chunk PE is active.
+    any_active: bool,
 }
 
 impl SlabChunk {
@@ -80,33 +87,33 @@ impl SlabChunk {
             storage: TcamSlab::new(pes, rows, cols),
             tags: TagSlab::zeros(pes, rows),
             latch: TagSlab::zeros(pes, rows),
-            scratch: TagSlab::zeros(pes, rows),
             regs: TagSlab::zeros(pes, rows),
             ops: vec![OpCounts::default(); pes],
-            runs: Vec::new(),
+            active: vec![0; pes.div_ceil(64)],
+            all_active: false,
+            any_active: false,
         }
     }
 
-    /// Recompute the chunk's contiguous active-PE runs from the group mask.
-    fn refresh_runs(&mut self, group_mask: &[bool]) {
-        self.runs.clear();
-        let mut i = 0;
-        while i < self.pes {
+    /// Recompute the chunk's word-granular active-PE mask from the group
+    /// mask.
+    fn refresh_active(&mut self, group_mask: &[bool]) {
+        self.active.fill(0);
+        let mut count = 0usize;
+        for i in 0..self.pes {
             if group_mask[self.base + i] {
-                let lo = i;
-                while i < self.pes && group_mask[self.base + i] {
-                    i += 1;
-                }
-                self.runs.push((lo, i));
-            } else {
-                i += 1;
+                self.active[i / 64] |= 1u64 << (i % 64);
+                count += 1;
             }
         }
+        self.any_active = count > 0;
+        self.all_active = count == self.pes;
     }
 
-    /// Run a whole segment over this chunk: each micro-op executes once per
-    /// active run as a fused kernel, and the segment's per-PE `OpCounts`
-    /// delta lands in one `add` per active PE.
+    /// Run a whole segment over this chunk: each micro-op executes **once**
+    /// as a fused kernel sweeping the entire chunk under the active-PE
+    /// selection mask, and the segment's per-PE `OpCounts` delta lands in
+    /// one `add` per active PE.
     fn exec_segment(
         &mut self,
         seg: &Segment,
@@ -115,20 +122,26 @@ impl SlabChunk {
         pe_delta: &OpCounts,
         group_mask: &[bool],
     ) {
-        self.refresh_runs(group_mask);
-        if self.runs.is_empty() {
+        self.refresh_active(group_mask);
+        if !self.any_active {
             return;
         }
+        let base = self.base;
         let Self {
             storage,
             tags,
             latch,
-            scratch,
             regs,
             ops,
-            runs,
+            active,
+            all_active,
             ..
         } = self;
+        let sel: Option<&[u64]> = if *all_active {
+            None
+        } else {
+            Some(active.as_slice())
+        };
         let resolve = |plan: &PlanRef| -> &[(usize, KeyBit)] {
             match plan {
                 PlanRef::Entry => entry.expect("entry key snapshotted").1.as_slice(),
@@ -138,62 +151,72 @@ impl SlabChunk {
         let store = |value: KeyBit| -> TernaryBit {
             value.write_value().expect("compiler emits storing writes")
         };
+        // Batch every run of search/write micro-ops into one
+        // [`TcamSlab::sweep_program`] call so the whole run executes tile by
+        // tile over cache-resident windows instead of one full-arena sweep
+        // per op. Ops that touch the latch, registers, or the narrow path
+        // (`encode`, `SetTag`/`ReadTag`, `WriteEncoded`, `SearchDelta`)
+        // flush the pending batch first and run as before — they need the
+        // tags exactly as the batch leaves them.
+        let mut plan_arena: Vec<&[(usize, KeyBit)]> = Vec::with_capacity(seg.ops.len() * 2);
+        let mut write_arena: Vec<(usize, TernaryBit)> = Vec::with_capacity(seg.ops.len());
+        // (plan range, acc, write range) into the arenas, one per batched op.
+        let mut pend: Vec<(std::ops::Range<usize>, bool, std::ops::Range<usize>)> =
+            Vec::with_capacity(seg.ops.len());
+        macro_rules! flush {
+            () => {
+                if !pend.is_empty() {
+                    let sweep_ops: Vec<SweepOp<'_>> = pend
+                        .drain(..)
+                        .map(|(pr, acc, wr)| SweepOp {
+                            plans: &plan_arena[pr],
+                            acc,
+                            writes: &write_arena[wr],
+                        })
+                        .collect();
+                    storage.sweep_program(&sweep_ops, tags.words_mut(), sel);
+                    drop(sweep_ops);
+                    plan_arena.clear();
+                    write_arena.clear();
+                }
+            };
+        }
         for op in &seg.ops {
             match op {
                 MicroOp::Search { plan, acc, encode } => {
-                    let plan = resolve(plan);
-                    for &(lo, hi) in runs.iter() {
-                        if *acc {
-                            storage.search_plan_multi_into(plan, lo, hi, scratch.range_mut(lo, hi));
-                            tags.accumulate_range_from(scratch, lo, hi);
-                        } else {
-                            storage.search_plan_multi_into(plan, lo, hi, tags.range_mut(lo, hi));
-                        }
-                        if *encode {
-                            latch.copy_range_from(tags, lo, hi);
-                        }
+                    let p0 = plan_arena.len();
+                    plan_arena.push(resolve(plan));
+                    let w = write_arena.len();
+                    pend.push((p0..p0 + 1, *acc, w..w));
+                    if *encode {
+                        flush!();
+                        latch.copy_from_masked(tags, sel);
                     }
                 }
                 MicroOp::Write { col, value } => {
-                    let v = store(*value);
-                    for &(lo, hi) in runs.iter() {
-                        storage.write_column_multi(*col as usize, v, tags.range(lo, hi), lo, hi);
-                    }
+                    let (p, w0) = (plan_arena.len(), write_arena.len());
+                    write_arena.push((*col as usize, store(*value)));
+                    pend.push((p..p, true, w0..w0 + 1));
                 }
                 MicroOp::WriteEntry { col } => {
                     let value = entry.expect("entry key snapshotted").0.bit(*col as usize);
                     if let Some(v) = value.write_value() {
-                        for &(lo, hi) in runs.iter() {
-                            storage.write_column_multi(
-                                *col as usize,
-                                v,
-                                tags.range(lo, hi),
-                                lo,
-                                hi,
-                            );
-                        }
+                        let (p, w0) = (plan_arena.len(), write_arena.len());
+                        write_arena.push((*col as usize, v));
+                        pend.push((p..p, true, w0..w0 + 1));
                     }
                 }
                 MicroOp::WriteEncoded { col } => {
-                    for &(lo, hi) in runs.iter() {
-                        storage.write_encoded_multi(
-                            *col as usize,
-                            latch.range(lo, hi),
-                            tags.range(lo, hi),
-                            lo,
-                            hi,
-                        );
-                    }
+                    flush!();
+                    storage.write_encoded_multi(*col as usize, latch.words(), tags.words(), sel);
                 }
                 MicroOp::SetTag => {
-                    for &(lo, hi) in runs.iter() {
-                        tags.copy_range_from(regs, lo, hi);
-                    }
+                    flush!();
+                    tags.copy_from_masked(regs, sel);
                 }
                 MicroOp::ReadTag => {
-                    for &(lo, hi) in runs.iter() {
-                        regs.copy_range_from(tags, lo, hi);
-                    }
+                    flush!();
+                    regs.copy_from_masked(tags, sel);
                 }
                 MicroOp::SearchWrite {
                     plan,
@@ -202,20 +225,13 @@ impl SlabChunk {
                     col,
                     value,
                 } => {
-                    let plan = resolve(plan);
-                    let writes = [(*col as usize, store(*value))];
-                    for &(lo, hi) in runs.iter() {
-                        storage.search_write_multi(
-                            &[plan],
-                            *acc,
-                            &writes,
-                            tags.range_mut(lo, hi),
-                            lo,
-                            hi,
-                        );
-                        if *encode {
-                            latch.copy_range_from(tags, lo, hi);
-                        }
+                    let (p0, w0) = (plan_arena.len(), write_arena.len());
+                    plan_arena.push(resolve(plan));
+                    write_arena.push((*col as usize, store(*value)));
+                    pend.push((p0..p0 + 1, *acc, w0..w0 + 1));
+                    if *encode {
+                        flush!();
+                        latch.copy_from_masked(tags, sel);
                     }
                 }
                 MicroOp::SearchWriteMulti {
@@ -224,59 +240,42 @@ impl SlabChunk {
                     encode,
                     writes,
                 } => {
-                    let mut pbuf: [&[(usize, KeyBit)]; trace::MAX_FUSED] = [&[]; trace::MAX_FUSED];
-                    for (slot, p) in pbuf.iter_mut().zip(chain) {
-                        *slot = resolve(p);
-                    }
-                    let mut wbuf = [(0usize, TernaryBit::X); trace::MAX_FUSED];
-                    for (slot, &(col, value)) in wbuf.iter_mut().zip(writes) {
-                        *slot = (col as usize, store(value));
-                    }
-                    for &(lo, hi) in runs.iter() {
-                        storage.search_write_multi(
-                            &pbuf[..chain.len()],
-                            *acc,
-                            &wbuf[..writes.len()],
-                            tags.range_mut(lo, hi),
-                            lo,
-                            hi,
-                        );
-                        if *encode {
-                            latch.copy_range_from(tags, lo, hi);
-                        }
+                    let (p0, w0) = (plan_arena.len(), write_arena.len());
+                    plan_arena.extend(chain.iter().map(&resolve));
+                    write_arena.extend(
+                        writes
+                            .iter()
+                            .map(|&(col, value)| (col as usize, store(value))),
+                    );
+                    pend.push((p0..p0 + chain.len(), *acc, w0..w0 + writes.len()));
+                    if *encode {
+                        flush!();
+                        latch.copy_from_masked(tags, sel);
                     }
                 }
                 MicroOp::WriteMulti { writes } => {
                     // An empty-chain fused sweep: `acc` keeps the tags, so the
                     // kernel degenerates to "apply every write in one pass".
-                    let mut wbuf = [(0usize, TernaryBit::X); trace::MAX_FUSED];
-                    for (slot, &(col, value)) in wbuf.iter_mut().zip(writes) {
-                        *slot = (col as usize, store(value));
-                    }
-                    for &(lo, hi) in runs.iter() {
-                        storage.search_write_multi(
-                            &[],
-                            true,
-                            &wbuf[..writes.len()],
-                            tags.range_mut(lo, hi),
-                            lo,
-                            hi,
-                        );
-                    }
+                    let (p0, w0) = (plan_arena.len(), write_arena.len());
+                    write_arena.extend(
+                        writes
+                            .iter()
+                            .map(|&(col, value)| (col as usize, store(value))),
+                    );
+                    pend.push((p0..p0, true, w0..w0 + writes.len()));
                 }
                 MicroOp::SearchDelta { plan, encode } => {
-                    let plan = plans[*plan].as_slice();
-                    for &(lo, hi) in runs.iter() {
-                        storage.search_narrow_multi(plan, lo, hi, tags.range_mut(lo, hi));
-                        if *encode {
-                            latch.copy_range_from(tags, lo, hi);
-                        }
+                    flush!();
+                    storage.search_narrow_multi(plans[*plan].as_slice(), sel, tags.words_mut());
+                    if *encode {
+                        latch.copy_from_masked(tags, sel);
                     }
                 }
             }
         }
-        for &(lo, hi) in runs.iter() {
-            for pe_ops in &mut ops[lo..hi] {
+        flush!();
+        for (i, pe_ops) in ops.iter_mut().enumerate() {
+            if group_mask[base + i] {
                 pe_ops.add(pe_delta);
             }
         }
@@ -316,15 +315,15 @@ pub struct SlabMachine {
 impl SlabMachine {
     /// Build a machine with the given geometry; all cells zero.
     ///
-    /// The chunk width is sized so each group splits into exactly
-    /// [`crate::config::host_width`] chunks (capped at one PE per chunk):
-    /// threaded dispatches get one chunk per worker with no remainder, and
-    /// on a single-CPU host every group is one maximal arena, so both the
-    /// sequential sweep and the (inlined) parallel path run at full fusion
-    /// width instead of paying per-chunk dispatch overhead.
+    /// The chunk width comes from [`crate::config::default_chunk_pes`]:
+    /// each group splits into (at most) [`crate::config::host_width`]
+    /// chunks, rounded up to whole 64-PE words. Threaded dispatches get one
+    /// chunk per worker, on a single-CPU host every group is one maximal
+    /// arena, and either way every kernel sweep processes full `u64` PE
+    /// words. The resolved geometry is logged in
+    /// [`crate::stats::RunStats::geometry`].
     pub fn new(config: ArchConfig) -> Self {
-        let per = config.pes_per_group();
-        let width = per.div_ceil(crate::config::host_width()).max(1);
+        let width = crate::config::default_chunk_pes(config.pes_per_group());
         Self::with_chunk_pes(config, width)
     }
 
@@ -577,6 +576,12 @@ impl SlabMachine {
             count_results: vec![Vec::new(); groups],
             index_results: vec![Vec::new(); groups],
             pe_health: Vec::new(),
+            geometry: Some(RunGeometry {
+                chunk_pes: self.chunk_pes,
+                chunks_per_group: self.chunks_per_group,
+                pe_words: self.chunk_pes.div_ceil(64),
+                threads: self.threads,
+            }),
         };
         let n = groups.min(traces.len());
         let entries: Vec<Option<KeySnapshot>> = (0..n)
@@ -691,31 +696,48 @@ impl SlabMachine {
             Instruction::ReadR { addr } => {
                 let pe = (*addr as usize).min(self.config.total_pes() - 1);
                 let (c, s) = self.chunk_of(pe);
-                self.data_buffers[group]
-                    .blocks_mut()
-                    .copy_from_slice(self.chunks[c].regs.pe(s));
+                self.chunks[c]
+                    .regs
+                    .pe_blocks_into(s, self.data_buffers[group].blocks_mut());
             }
             Instruction::WriteR { addr, imm } => {
                 ApMachine::decode_reg(imm, &mut self.imm_scratch);
                 if *addr == BROADCAST_ADDR {
+                    // Word-parallel broadcast: one masked fill per chunk
+                    // instead of a copy per active PE.
                     self.refresh_active(group);
-                    for i in 0..per {
-                        if !self.active[group].mask[i] {
+                    let cpg = self.chunks_per_group;
+                    let Self {
+                        chunks,
+                        active,
+                        imm_scratch,
+                        ..
+                    } = self;
+                    let mask = &active[group].mask;
+                    for chunk in &mut chunks[group * cpg..(group + 1) * cpg] {
+                        chunk.refresh_active(mask);
+                        if !chunk.any_active {
                             continue;
                         }
-                        let (c, s) = self.chunk_of(base + i);
-                        self.chunks[c]
-                            .regs
-                            .pe_mut(s)
-                            .copy_from_slice(self.imm_scratch.blocks());
+                        let SlabChunk {
+                            regs,
+                            active,
+                            all_active,
+                            ..
+                        } = chunk;
+                        let sel = if *all_active {
+                            None
+                        } else {
+                            Some(active.as_slice())
+                        };
+                        regs.broadcast(imm_scratch, sel);
                     }
                 } else {
                     let pe = (*addr as usize).min(self.config.total_pes() - 1);
                     let (c, s) = self.chunk_of(pe);
                     self.chunks[c]
                         .regs
-                        .pe_mut(s)
-                        .copy_from_slice(self.imm_scratch.blocks());
+                        .set_pe_blocks(s, self.imm_scratch.blocks());
                 }
             }
             Instruction::SetTag | Instruction::ReadTag => {
@@ -724,16 +746,26 @@ impl SlabMachine {
                 let Self { chunks, active, .. } = self;
                 let mask = &active[group].mask;
                 for chunk in &mut chunks[group * cpg..(group + 1) * cpg] {
-                    chunk.refresh_runs(mask);
+                    chunk.refresh_active(mask);
+                    if !chunk.any_active {
+                        continue;
+                    }
                     let SlabChunk {
-                        tags, regs, runs, ..
+                        tags,
+                        regs,
+                        active,
+                        all_active,
+                        ..
                     } = chunk;
-                    for &(lo, hi) in runs.iter() {
-                        if matches!(inst, Instruction::SetTag) {
-                            tags.copy_range_from(regs, lo, hi);
-                        } else {
-                            regs.copy_range_from(tags, lo, hi);
-                        }
+                    let sel = if *all_active {
+                        None
+                    } else {
+                        Some(active.as_slice())
+                    };
+                    if matches!(inst, Instruction::SetTag) {
+                        tags.copy_from_masked(regs, sel);
+                    } else {
+                        regs.copy_from_masked(tags, sel);
                     }
                 }
                 stats.group_ops[group].tag_ops += 1;
@@ -771,9 +803,12 @@ impl SlabMachine {
                 continue;
             }
             let (c, s) = self.chunk_of(base + i);
-            self.mov_scratch[i * bpp..(i + 1) * bpp].copy_from_slice(self.chunks[c].regs.pe(s));
+            self.chunks[c]
+                .regs
+                .pe_blocks_into(s, &mut self.mov_scratch[i * bpp..(i + 1) * bpp]);
         }
         // Active PEs with no pushing upstream receive zeros…
+        let zeros = vec![0u64; bpp];
         for i in 0..per {
             if !self.active[group].mask[i] {
                 continue;
@@ -790,7 +825,7 @@ impl SlabMachine {
                 .is_some_and(|u| u >= base && u < base + per && self.active[group].mask[u - base]);
             if !pushing {
                 let (ci, s) = self.chunk_of(pe);
-                self.chunks[ci].regs.pe_mut(s).fill(0);
+                self.chunks[ci].regs.set_pe_blocks(s, &zeros);
             }
         }
         // …then pushes land (possibly into other groups' PEs).
@@ -811,8 +846,7 @@ impl SlabMachine {
                     let (ci, s) = self.chunk_of(d);
                     self.chunks[ci]
                         .regs
-                        .pe_mut(s)
-                        .copy_from_slice(&self.mov_scratch[i * bpp..(i + 1) * bpp]);
+                        .set_pe_blocks(s, &self.mov_scratch[i * bpp..(i + 1) * bpp]);
                 }
             }
         }

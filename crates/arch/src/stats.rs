@@ -19,8 +19,24 @@ pub struct PeHealth {
     pub spares_left: u16,
 }
 
+/// The slab engine's resolved execution geometry for one run — a
+/// diagnostic record of how the word-parallel kernels were shaped, logged
+/// in [`RunStats::geometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunGeometry {
+    /// PEs per slab chunk (64-aligned by default so every chunk sweeps
+    /// whole PE words).
+    pub chunk_pes: usize,
+    /// Chunks per group.
+    pub chunks_per_group: usize,
+    /// 64-bit PE words per chunk plane row (`chunk_pes.div_ceil(64)`).
+    pub pe_words: usize,
+    /// Resolved host fan-out width.
+    pub threads: usize,
+}
+
 /// Results of one [`crate::ApMachine::run`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunStats {
     /// Cycle at which each group finished its stream.
     pub group_cycles: Vec<u64>,
@@ -34,6 +50,23 @@ pub struct RunStats {
     /// Per-PE fault degradation, ascending by PE id; empty when no fault
     /// model is active or no PE has retired a column yet.
     pub pe_health: Vec<PeHealth>,
+    /// Execution-geometry log (slab engine only; `None` from the per-PE
+    /// engine). Diagnostic — excluded from `PartialEq`, so cross-engine
+    /// result comparisons are unaffected.
+    pub geometry: Option<RunGeometry>,
+}
+
+/// Architectural results only: `geometry` is an engine diagnostic, not a
+/// result, so two engines that computed identical answers compare equal
+/// regardless of how their kernels were chunked.
+impl PartialEq for RunStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.group_cycles == other.group_cycles
+            && self.group_ops == other.group_ops
+            && self.count_results == other.count_results
+            && self.index_results == other.index_results
+            && self.pe_health == other.pe_health
+    }
 }
 
 impl RunStats {

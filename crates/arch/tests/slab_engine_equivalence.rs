@@ -116,6 +116,133 @@ fn assert_machines_identical(reference: &ApMachine, slab: &SlabMachine) {
     );
 }
 
+/// Ragged bank gating at word scale: a 96-PE group (6 banks × 16 PEs)
+/// where Broadcast masks carve the group into active runs that start and
+/// end mid-word, driven through chunk widths that are a whole group (96),
+/// exactly one PE word (64), and a deliberately 64-misaligned width (40).
+/// Seeded faults keep the stuck-mask and search-miss planes live so the
+/// masked fault paths see partial words too.
+#[test]
+fn ragged_bank_broadcast_agrees_at_word_scale() {
+    use hyperap_tcam::FaultModel;
+
+    let mut cfg = ArchConfig::tiny();
+    cfg.groups = 2;
+    cfg.banks_per_group = 6;
+    cfg.subarrays_per_bank = 4;
+    cfg.pes_per_subarray = 4; // 96 PEs per group, 16 per bank
+    cfg.exec = ExecMode::Sequential;
+    cfg.faults = hyperap_arch::FaultConfig {
+        model: FaultModel {
+            seed: 0x96BA_2C57,
+            stuck_per_million: 40_000,
+            miss_per_million: 25_000,
+            endurance_limit: Some(4),
+        },
+        spare_cols: 2,
+    };
+    let pes = cfg.total_pes();
+
+    // `Z` would only match unprogrammed cells and every fixture cell is
+    // loaded 0/1, so the key sticks to 0/1/masked bits.
+    let key = "10-1"
+        .chars()
+        .map(|c| match c {
+            '0' => KeyBit::Zero,
+            '1' => KeyBit::One,
+            'Z' => KeyBit::Z,
+            _ => KeyBit::Masked,
+        })
+        .chain(std::iter::repeat(KeyBit::Masked))
+        .take(COLS)
+        .collect();
+    let mut stream = vec![Instruction::SetKey { key }];
+    // Masks chosen so active PE runs start/end mid-word: bank 16-PE
+    // granularity means 0b010110 activates PEs 16..32, 64..80 — word 0
+    // upper quarter plus word 1 lower quarter.
+    for (i, mask) in [0b010110u8, 0b101001, 0b000111, 0b111000, 0b111111, 0b100000]
+        .into_iter()
+        .enumerate()
+    {
+        stream.push(Instruction::Broadcast { group_mask: mask });
+        stream.push(Instruction::Search {
+            acc: i % 2 == 0,
+            encode: i == 2,
+        });
+        stream.push(Instruction::Write {
+            col: 3 + i as u8,
+            encode: i == 2,
+        });
+        stream.push(Instruction::SetTag);
+        stream.push(Instruction::WriteR {
+            addr: BROADCAST_ADDR,
+            imm: vec![0xA5u8.wrapping_add(i as u8), i as u8],
+        });
+        stream.push(Instruction::Count);
+        stream.push(Instruction::Index);
+        stream.push(Instruction::ReadTag);
+    }
+    stream.push(Instruction::Broadcast {
+        group_mask: 0b111111,
+    });
+    stream.push(Instruction::Search {
+        acc: false,
+        encode: false,
+    });
+    stream.push(Instruction::Count);
+    let streams = vec![stream.clone(), stream];
+
+    let mut reference = ApMachine::new(cfg.clone());
+    for pe in 0..pes {
+        for row in 0..ROWS {
+            for col in 0..8 {
+                reference
+                    .pe_mut(pe)
+                    .load_bit(row, col, (pe + 3 * row + 7 * col) % 3 == 0);
+            }
+        }
+    }
+    let ref_stats = reference.run(&streams);
+    assert!(
+        ref_stats
+            .count_results
+            .iter()
+            .flatten()
+            .any(|&(_, c)| c > 0),
+        "degenerate fixture: no PE ever matched"
+    );
+
+    for chunk_pes in [96usize, 64, 40] {
+        let mut slab = SlabMachine::with_chunk_pes(cfg.clone(), chunk_pes);
+        for pe in 0..pes {
+            for row in 0..ROWS {
+                for col in 0..8 {
+                    slab.load_bit(pe, row, col, (pe + 3 * row + 7 * col) % 3 == 0);
+                }
+            }
+        }
+        let slab_stats = slab.run(&streams);
+        assert_eq!(
+            ref_stats, slab_stats,
+            "stats diverged with {chunk_pes}-PE chunks"
+        );
+        for pe in 0..pes {
+            let snapshot = slab.pe_snapshot(pe);
+            assert_eq!(
+                reference.pe(pe),
+                &snapshot,
+                "PE {pe} diverged with {chunk_pes}-PE chunks"
+            );
+            assert_eq!(
+                reference.data_reg(pe),
+                &slab.data_reg(pe),
+                "PE {pe} data register diverged with {chunk_pes}-PE chunks"
+            );
+        }
+        assert_eq!(reference.data_buffers, slab.data_buffers);
+    }
+}
+
 proptest! {
     /// The per-PE engine is the reference; the slab engine must match it
     /// bit-for-bit under every threading mode and chunk width — machine

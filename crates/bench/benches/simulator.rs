@@ -42,6 +42,58 @@ fn bench_tcam_search_into(c: &mut Criterion) {
     });
 }
 
+fn bench_slab_word_kernels(c: &mut Criterion) {
+    use hyperap_tcam::bit::TernaryBit;
+    use hyperap_tcam::slab::{pe_range_mask, TagSlab, TcamSlab};
+    use hyperap_tcam::KeyBit;
+
+    // 1024 PEs × 256 rows (16 PE words per plane row): each plan entry is a
+    // straight AND/OR sweep over rows × pe_words = 4096 words, the
+    // innermost loop of every slab search.
+    let (pes, rows, cols) = (1024usize, 256usize, 16usize);
+    let mut slab = TcamSlab::new(pes, rows, cols);
+    for pe in 0..pes {
+        for row in 0..rows {
+            for col in 0..cols {
+                let v = match (pe + 3 * row + 7 * col) % 3 {
+                    0 => TernaryBit::Zero,
+                    1 => TernaryBit::One,
+                    _ => TernaryBit::X,
+                };
+                slab.set_cell(pe, row, col, v);
+            }
+        }
+    }
+    let plane = slab.plane_words();
+    let plan = [(0usize, KeyBit::One), (3, KeyBit::Zero)];
+    let mut out = vec![0u64; plane];
+    c.bench_function("slab_word_search_1024pe_2entry", |b| {
+        b.iter(|| {
+            slab.search_plan_multi_into(black_box(&plan), None, &mut out);
+            black_box(&out);
+        })
+    });
+
+    // Masked word store: a column write gated by a selection mask whose
+    // active range starts and ends mid-word — the ragged-broadcast path.
+    let tags = {
+        let mut t = TagSlab::zeros(pes, rows);
+        for pe in 0..pes {
+            let tv =
+                hyperap_tcam::tags::TagVector::from_bools((0..rows).map(|row| (pe + row) % 3 == 0));
+            t.set_pe(pe, &tv);
+        }
+        t
+    };
+    let sel = pe_range_mask(pes, 40, 1000);
+    c.bench_function("slab_masked_word_store_1024pe", |b| {
+        b.iter(|| {
+            slab.write_column_multi(5, TernaryBit::One, black_box(tags.words()), Some(&sel));
+            black_box(slab.pe_words());
+        })
+    });
+}
+
 fn bench_group_run(c: &mut Criterion) {
     // Group-level engine fan-out: add32 on every PE of a 4-group machine,
     // sequential vs threaded dispatch.
@@ -109,6 +161,7 @@ criterion_group!(
     benches,
     bench_tcam_search,
     bench_tcam_search_into,
+    bench_slab_word_kernels,
     bench_mvsop,
     bench_microcode_add,
     bench_machine_run,

@@ -10,7 +10,10 @@
 //!   (`instructions_per_sec_parallel`), and the slab engine sequential
 //!   (`instructions_per_sec_slab_sequential`) and parallel
 //!   (`instructions_per_sec_slab_parallel`). Each must come in at no less
-//!   than 75% of its baseline (>25% regression fails).
+//!   than 75% of its baseline (>25% regression fails). The slab sequential
+//!   column is additionally held to an **absolute** floor
+//!   ([`SLAB_SEQ_FLOOR_IPS`]) in release builds, so the bit-plane kernel
+//!   win can't erode across regenerated baselines.
 //! * **`--smoke`**: a small-geometry sanity pass for CI — validates that
 //!   the checked-in JSON parses and carries the trace-, slab-, and
 //!   fusion-comparison entries, runs interpreter, trace, and slab engines
@@ -34,6 +37,16 @@ use std::time::Instant;
 
 /// Maximum tolerated throughput regression (fraction of the baseline).
 const FLOOR: f64 = 0.75;
+
+/// Absolute floor for the slab engine's sequential throughput, in
+/// instructions per second. The bit-plane arena rework (word-parallel
+/// kernels, 64 PEs per ALU op) took `instructions_per_sec_slab_sequential`
+/// from 8.07M to well past 3× that; this floor pins the win so a later
+/// change can't quietly land a layout or kernel regression that a
+/// relative-to-baseline check would absorb once the baseline is
+/// regenerated. Applied to the *checked-in* baseline in both modes and to
+/// the fresh release-build measurement in full mode.
+const SLAB_SEQ_FLOOR_IPS: f64 = 24_200_000.0;
 
 fn best_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
@@ -130,6 +143,7 @@ fn smoke() -> i32 {
             }
         }
     }
+    failed |= baseline_below_slab_floor(&baseline, &path);
 
     // Small geometry: 4 groups × 16 PEs of 64×256 keeps the smoke under a
     // second even in debug builds.
@@ -241,6 +255,30 @@ fn smoke() -> i32 {
     i32::from(failed)
 }
 
+/// Check the checked-in baseline's slab-sequential column against the
+/// absolute [`SLAB_SEQ_FLOOR_IPS`] floor; returns `true` on failure. This
+/// catches a regression that sneaks in *with* a regenerated baseline —
+/// the relative guard can't.
+fn baseline_below_slab_floor(baseline: &str, path: &std::path::Path) -> bool {
+    let key = "instructions_per_sec_slab_sequential";
+    let Some(v) = json_number(baseline, key) else {
+        eprintln!("bench_guard: {} lacks {key}", path.display());
+        return true;
+    };
+    if v < SLAB_SEQ_FLOOR_IPS {
+        eprintln!(
+            "bench_guard: baseline {key} = {v:.0} below the absolute floor \
+             {SLAB_SEQ_FLOOR_IPS:.0} ({})",
+            path.display()
+        );
+        return true;
+    }
+    println!(
+        "bench_guard: baseline {key} = {v:.0} clears the absolute floor {SLAB_SEQ_FLOOR_IPS:.0}"
+    );
+    false
+}
+
 /// Compare a freshly measured throughput column against its baseline key;
 /// returns `true` when it regressed below [`FLOOR`].
 fn guard_column(label: &str, key: &str, ips: f64, baseline: &str, path: &std::path::Path) -> bool {
@@ -320,13 +358,29 @@ fn full() -> i32 {
         &baseline,
         &path,
     );
+    let slab_seq = slab_ips(ExecMode::Sequential);
     failed |= guard_column(
         "slab sequential",
         "instructions_per_sec_slab_sequential",
-        slab_ips(ExecMode::Sequential),
+        slab_seq,
         &baseline,
         &path,
     );
+    failed |= baseline_below_slab_floor(&baseline, &path);
+    if cfg!(debug_assertions) {
+        println!("bench_guard: debug build — skipping the absolute floor on the fresh measurement");
+    } else if slab_seq < SLAB_SEQ_FLOOR_IPS {
+        eprintln!(
+            "bench_guard: measured slab sequential {slab_seq:.0} inst/s below the absolute \
+             floor {SLAB_SEQ_FLOOR_IPS:.0}"
+        );
+        failed = true;
+    } else {
+        println!(
+            "bench_guard: measured slab sequential {slab_seq:.0} inst/s clears the absolute \
+             floor {SLAB_SEQ_FLOOR_IPS:.0}"
+        );
+    }
     failed |= guard_column(
         "slab parallel",
         "instructions_per_sec_slab_parallel",

@@ -275,21 +275,57 @@ fn main() {
         .unwrap_or(3);
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    // 1. Kernel: allocating vs buffer-reusing search.
+    // 1. Kernel: allocating vs buffer-reusing search. The two loops must
+    // differ only in where the result lands, so the key is laundered
+    // through `black_box` once (outside the timed loops — an in-loop
+    // `black_box(&key)` forces a reload of the key through a clobbered
+    // pointer on every call and can dominate the measurement), and both
+    // consume the result the same way.
     let mut array = TcamArray::pe_sized();
     for row in 0..ROWS {
         array.store_field(row, 0, 64, row as u64 * 0x9E37_79B9);
     }
     let mut key = SearchKey::masked(COLS);
     key.set_field(0, 12, 0xABC);
+    let key = black_box(key);
     let ns_search = ns_per_call(|| {
-        black_box(array.search(black_box(&key)));
+        let tags = array.search(&key);
+        black_box(&tags);
     });
     let mut tags = TagVector::zeros(ROWS);
     let ns_search_into = ns_per_call(|| {
-        array.search_into(black_box(&key), &mut tags);
-        black_box(tags.blocks()[0]);
+        array.search_into(&key, &mut tags);
+        black_box(&tags);
     });
+
+    // Bit-plane word-kernel throughput: one plan entry over a 1024-PE slab
+    // is a straight sweep of rows × pe_words ANDs — report how many 64-PE
+    // plane words one nanosecond buys (each word is one ALU op covering
+    // 64 PEs).
+    let (slab_pes, slab_cols) = (1024usize, 16usize);
+    let mut wslab = hyperap_tcam::slab::TcamSlab::new(slab_pes, ROWS, slab_cols);
+    for pe in 0..slab_pes {
+        for row in 0..ROWS {
+            for col in 0..slab_cols {
+                let v = match (pe + 3 * row + 7 * col) % 3 {
+                    0 => hyperap_tcam::bit::TernaryBit::Zero,
+                    1 => hyperap_tcam::bit::TernaryBit::One,
+                    _ => hyperap_tcam::bit::TernaryBit::X,
+                };
+                wslab.set_cell(pe, row, col, v);
+            }
+        }
+    }
+    let plan = black_box([
+        (0usize, hyperap_tcam::KeyBit::One),
+        (3, hyperap_tcam::KeyBit::Zero),
+    ]);
+    let mut plan_out = vec![0u64; wslab.plane_words()];
+    let ns_word_search = ns_per_call(|| {
+        wslab.search_plan_multi_into(&plan, None, &mut plan_out);
+        black_box(&plan_out);
+    });
+    let words_per_ns = (plan.len() * wslab.plane_words()) as f64 / ns_word_search;
 
     // 2 & 3. Engine runs: same streams everywhere.
     let stream = add32_stream();
@@ -407,7 +443,9 @@ fn main() {
   "kernel": {{
     "ns_per_search_alloc": {ns_search:.1},
     "ns_per_search_into": {ns_search_into:.1},
-    "speedup_search_into": {kernel_speedup:.2}
+    "speedup_search_into": {kernel_speedup:.2},
+    "ns_per_word_search_1024pe": {ns_word_search:.1},
+    "words_per_ns": {words_per_ns:.2}
   }},
   "engine": {{
     "interpreter": {{

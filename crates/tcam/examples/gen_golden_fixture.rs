@@ -1,0 +1,75 @@
+//! One-shot generator for the frozen slab byte-image fixtures in
+//! `tests/golden/` (run manually; the golden test rebuilds the same state
+//! through the public API and asserts byte identity in both directions).
+
+use hyperap_tcam::bit::TernaryBit;
+use hyperap_tcam::slab::{TagSlab, TcamSlab};
+use hyperap_tcam::tags::TagVector;
+use hyperap_tcam::FaultModel;
+
+fn cell_pattern(pe: usize, row: usize, col: usize) -> TernaryBit {
+    match (pe + 3 * row + 7 * col) % 3 {
+        0 => TernaryBit::Zero,
+        1 => TernaryBit::One,
+        _ => TernaryBit::X,
+    }
+}
+
+fn tag_pattern(pes: usize, rows: usize, salt: usize) -> TagSlab {
+    let mut t = TagSlab::zeros(pes, rows);
+    for pe in 0..pes {
+        let tv = TagVector::from_bools((0..rows).map(|r| (r + pe + salt).is_multiple_of(3)));
+        t.set_pe(pe, &tv);
+    }
+    t
+}
+
+fn main() {
+    let dir = std::path::Path::new("crates/tcam/tests/golden");
+    std::fs::create_dir_all(dir).unwrap();
+
+    // v1 (fault-free) image: odd geometry so row tails are exercised.
+    let mut plain = TcamSlab::new(4, 66, 7);
+    for pe in 0..4 {
+        for row in 0..66 {
+            for col in 0..7 {
+                plain.set_cell(pe, row, col, cell_pattern(pe, row, col));
+            }
+        }
+    }
+    let tags = tag_pattern(4, 66, 1);
+    plain.write_column_multi(2, TernaryBit::One, tags.words(), None);
+    plain.write_column_multi(5, TernaryBit::Zero, tags.words(), None);
+    std::fs::write(dir.join("slab_v1.bin"), plain.to_bytes()).unwrap();
+
+    // v2 (fault-attached) image: seeded stuck/miss model, endurance limit
+    // low enough that serviced wear retires a column onto a spare per PE.
+    let model = FaultModel {
+        seed: 0x60_1D_F1_5E,
+        stuck_per_million: 60_000,
+        miss_per_million: 30_000,
+        endurance_limit: Some(3),
+    };
+    let mut slab = TcamSlab::new(5, 70, 9);
+    for pe in 0..5 {
+        for row in 0..70 {
+            for col in 0..9 {
+                slab.set_cell(pe, row, col, cell_pattern(pe, row, col));
+            }
+        }
+    }
+    slab.attach_fault(model, 2, 3);
+    let tags = tag_pattern(5, 70, 2);
+    slab.write_column_multi(2, TernaryBit::One, tags.words(), None);
+    slab.write_column_multi(2, TernaryBit::Zero, tags.words(), None);
+    slab.write_column_multi(2, TernaryBit::One, tags.words(), None);
+    slab.write_column_multi(4, TernaryBit::X, tags.words(), None);
+    slab.advance_epoch();
+    slab.service_endurance().unwrap();
+    std::fs::write(dir.join("slab_v2.bin"), slab.to_bytes()).unwrap();
+
+    // TagSlab image.
+    std::fs::write(dir.join("tags_v1.bin"), tag_pattern(5, 70, 2).to_bytes()).unwrap();
+
+    println!("fixtures written to {}", dir.display());
+}

@@ -385,11 +385,15 @@ pub struct SlabFaultState {
     pub remap: Vec<u16>,
     /// Per-PE retirement logs.
     pub retired: Vec<Vec<(u16, u16)>>,
-    /// Stuck-at-0 masks in arena layout: `[(col * pes + pe) * bpp + block]`.
+    /// Stuck-at-0 masks in the slab's bit-plane layout: word
+    /// `[col * rows * pw + row * pw + pe / 64]`, bit `pe % 64`, where
+    /// `pw = pes.div_ceil(64)`. Bits at PE positions `>= pes` stay zero.
     pub stuck0: Vec<u64>,
-    /// Stuck-at-1 masks in arena layout.
+    /// Stuck-at-1 masks in bit-plane layout.
     pub stuck1: Vec<u64>,
-    /// Effective search masks in row-mask layout: `[pe * bpp + block]`.
+    /// Effective search masks in bit-plane layout: word
+    /// `[row * pw + pe / 64]`, bit `pe % 64` set when the row is live
+    /// (in range and not missing this epoch) for that PE.
     pub search_mask: Vec<u64>,
     /// Current run epoch.
     pub epoch: u64,
@@ -408,7 +412,7 @@ impl SlabFaultState {
         rows: usize,
         cols: usize,
     ) -> Self {
-        let bpp = rows.div_ceil(64);
+        let pw = pes.div_ceil(64);
         let mut state = SlabFaultState {
             model,
             pe0,
@@ -419,9 +423,9 @@ impl SlabFaultState {
             next_spare: vec![0; pes],
             remap: (0..pes).flat_map(|_| 0..cols as u16).collect(),
             retired: vec![Vec::new(); pes],
-            stuck0: vec![0; cols * pes * bpp],
-            stuck1: vec![0; cols * pes * bpp],
-            search_mask: vec![0; pes * bpp],
+            stuck0: vec![0; cols * rows * pw],
+            stuck1: vec![0; cols * rows * pw],
+            search_mask: vec![0; rows * pw],
             epoch: 0,
             failed: vec![None; pes],
         };
@@ -444,48 +448,55 @@ impl SlabFaultState {
         self.spares as u16 - self.next_spare[pe]
     }
 
-    /// Stuck-at-0 / stuck-at-1 masks for column `col` over the contiguous
-    /// PE range `lo..hi`, in arena layout.
-    pub fn stuck_range(&self, col: usize, lo: usize, hi: usize) -> (&[u64], &[u64]) {
-        let bpp = self.blocks();
-        let a = (col * self.pes + lo) * bpp;
-        let b = (col * self.pes + hi) * bpp;
-        (&self.stuck0[a..b], &self.stuck1[a..b])
+    /// Words per plane row (`pes.div_ceil(64)`).
+    pub fn pe_words(&self) -> usize {
+        self.pes.div_ceil(64)
     }
 
-    /// Effective search masks for the PE range `lo..hi`, in row-mask
-    /// layout.
-    pub fn search_range(&self, lo: usize, hi: usize) -> &[u64] {
-        let bpp = self.blocks();
-        &self.search_mask[lo * bpp..hi * bpp]
+    /// Words per column plane (`rows * pe_words`).
+    pub fn plane_words(&self) -> usize {
+        self.rows * self.pe_words()
     }
 
     /// Recompute the cached stuck masks of `(pe, col)` from the current
-    /// backing device.
+    /// backing device: derive the per-row-block masks, then scatter them
+    /// into that PE's bit lane of the column's plane.
     fn refresh_stuck(&mut self, pe: usize, col: usize) {
         let bpp = self.blocks();
+        let pw = self.pe_words();
         let phys = self.remap[pe * self.cols + col] as usize;
-        let base = (col * self.pes + pe) * bpp;
         let (global_pe, rows, model) = (self.pe0 + pe, self.rows, self.model);
-        // Split disjoint borrows of the two arenas.
-        let s0 = &mut self.stuck0[base..base + bpp];
         let mut tmp0 = vec![0u64; bpp];
         let mut tmp1 = vec![0u64; bpp];
         model.stuck_masks_into(global_pe, phys, rows, &mut tmp0, &mut tmp1);
-        s0.copy_from_slice(&tmp0);
-        self.stuck1[base..base + bpp].copy_from_slice(&tmp1);
+        let base = col * rows * pw + pe / 64;
+        let lane = 1u64 << (pe % 64);
+        for row in 0..rows {
+            let idx = base + row * pw;
+            let (rw, rs) = (row / 64, row % 64);
+            self.stuck0[idx] = self.stuck0[idx] & !lane | (tmp0[rw] >> rs & 1) << (pe % 64);
+            self.stuck1[idx] = self.stuck1[idx] & !lane | (tmp1[rw] >> rs & 1) << (pe % 64);
+        }
     }
 
-    /// Recompute slot `pe`'s effective search mask for the current epoch.
+    /// Recompute slot `pe`'s effective search mask for the current epoch
+    /// and scatter it into that PE's bit lane of the mask plane.
     fn refresh_search_mask(&mut self, pe: usize) {
         let bpp = self.blocks();
+        let pw = self.pe_words();
         let (global_pe, rows, epoch, model) = (self.pe0 + pe, self.rows, self.epoch, self.model);
         let mut miss = vec![0u64; bpp];
         model.miss_mask_into(global_pe, rows, epoch, &mut miss);
-        let dst = &mut self.search_mask[pe * bpp..(pe + 1) * bpp];
-        full_row_mask_into(rows, dst);
-        for (m, miss) in dst.iter_mut().zip(&miss) {
+        let mut eff = vec![0u64; bpp];
+        full_row_mask_into(rows, &mut eff);
+        for (m, miss) in eff.iter_mut().zip(&miss) {
             *m &= !miss;
+        }
+        let lane = 1u64 << (pe % 64);
+        for row in 0..rows {
+            let idx = row * pw + pe / 64;
+            let bit = (eff[row / 64] >> (row % 64) & 1) << (pe % 64);
+            self.search_mask[idx] = self.search_mask[idx] & !lane | bit;
         }
     }
 
@@ -570,12 +581,20 @@ impl SlabFaultState {
     /// on the same global PE would hold after the same history.
     pub fn to_array(&self, pe: usize) -> FaultState {
         let bpp = self.blocks();
-        let mut stuck0 = Vec::with_capacity(self.cols * bpp);
-        let mut stuck1 = Vec::with_capacity(self.cols * bpp);
+        let pw = self.pe_words();
+        let (w, s) = (pe / 64, pe % 64);
+        let mut stuck0 = vec![0u64; self.cols * bpp];
+        let mut stuck1 = vec![0u64; self.cols * bpp];
         for col in 0..self.cols {
-            let base = (col * self.pes + pe) * bpp;
-            stuck0.extend_from_slice(&self.stuck0[base..base + bpp]);
-            stuck1.extend_from_slice(&self.stuck1[base..base + bpp]);
+            for row in 0..self.rows {
+                let idx = (col * self.rows + row) * pw + w;
+                stuck0[col * bpp + row / 64] |= (self.stuck0[idx] >> s & 1) << (row % 64);
+                stuck1[col * bpp + row / 64] |= (self.stuck1[idx] >> s & 1) << (row % 64);
+            }
+        }
+        let mut search_mask = vec![0u64; bpp];
+        for row in 0..self.rows {
+            search_mask[row / 64] |= (self.search_mask[row * pw + w] >> s & 1) << (row % 64);
         }
         FaultState {
             model: self.model,
@@ -587,7 +606,7 @@ impl SlabFaultState {
             retired: self.retired[pe].clone(),
             stuck0,
             stuck1,
-            search_mask: self.search_mask[pe * bpp..(pe + 1) * bpp].to_vec(),
+            search_mask,
             epoch: self.epoch,
             failed: self.failed[pe],
         }
@@ -604,6 +623,7 @@ impl SlabFaultState {
         let (rows, cols) = (first.rows, first.cols());
         let bpp = first.blocks();
         let pes = states.len();
+        let pw = pes.div_ceil(64);
         let mut slab = SlabFaultState {
             model: first.model,
             pe0: first.pe,
@@ -614,9 +634,9 @@ impl SlabFaultState {
             next_spare: Vec::with_capacity(pes),
             remap: vec![0; pes * cols],
             retired: Vec::with_capacity(pes),
-            stuck0: vec![0; cols * pes * bpp],
-            stuck1: vec![0; cols * pes * bpp],
-            search_mask: vec![0; pes * bpp],
+            stuck0: vec![0; cols * rows * pw],
+            stuck1: vec![0; cols * rows * pw],
+            search_mask: vec![0; rows * pw],
             epoch: first.epoch,
             failed: Vec::with_capacity(pes),
         };
@@ -631,13 +651,23 @@ impl SlabFaultState {
             slab.retired.push(st.retired.clone());
             slab.failed.push(st.failed);
             slab.remap[i * cols..(i + 1) * cols].copy_from_slice(&st.remap);
+            let lane = 1u64 << (i % 64);
             for col in 0..cols {
-                let dst = (col * pes + i) * bpp;
-                let src = col * bpp;
-                slab.stuck0[dst..dst + bpp].copy_from_slice(&st.stuck0[src..src + bpp]);
-                slab.stuck1[dst..dst + bpp].copy_from_slice(&st.stuck1[src..src + bpp]);
+                for row in 0..rows {
+                    let idx = (col * rows + row) * pw + i / 64;
+                    if st.stuck0[col * bpp + row / 64] >> (row % 64) & 1 != 0 {
+                        slab.stuck0[idx] |= lane;
+                    }
+                    if st.stuck1[col * bpp + row / 64] >> (row % 64) & 1 != 0 {
+                        slab.stuck1[idx] |= lane;
+                    }
+                }
             }
-            slab.search_mask[i * bpp..(i + 1) * bpp].copy_from_slice(&st.search_mask);
+            for row in 0..rows {
+                if st.search_mask[row / 64] >> (row % 64) & 1 != 0 {
+                    slab.search_mask[row * pw + i / 64] |= lane;
+                }
+            }
         }
         slab
     }

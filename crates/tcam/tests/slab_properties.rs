@@ -5,8 +5,9 @@
 use hyperap_tcam::array::TcamArray;
 use hyperap_tcam::bit::{KeyBit, TernaryBit};
 use hyperap_tcam::key::SearchKey;
-use hyperap_tcam::slab::{TagSlab, TcamSlab};
+use hyperap_tcam::slab::{pe_range_mask, TagSlab, TcamSlab};
 use hyperap_tcam::tags::TagVector;
+use hyperap_tcam::FaultModel;
 use proptest::prelude::*;
 
 const PES: usize = 5;
@@ -79,6 +80,16 @@ enum SlabOp {
 
 fn pe_range() -> impl Strategy<Value = (usize, usize)> {
     (0..PES, 0..PES).prop_map(|(a, b)| (a.min(b), a.max(b) + 1))
+}
+
+/// PE-selection mask for the range `lo..hi` — `None` when the range covers
+/// every PE, mirroring how the architecture layer drives full chunks.
+fn sel_for(lo: usize, hi: usize) -> Option<Vec<u64>> {
+    if (lo, hi) == (0, PES) {
+        None
+    } else {
+        Some(pe_range_mask(PES, lo, hi))
+    }
 }
 
 fn slab_op() -> impl Strategy<Value = SlabOp> {
@@ -172,20 +183,23 @@ proptest! {
                     let key = SearchKey::from_bits(bits.clone());
                     let plan = key.compile_plan();
                     let mut out = TagSlab::zeros(PES, ROWS);
-                    slab.search_plan_multi_into(&plan, *lo, *hi, out.range_mut(*lo, *hi));
+                    let sel = sel_for(*lo, *hi);
+                    slab.search_plan_multi_into(&plan, sel.as_deref(), out.words_mut());
                     for (pe, array) in arrays.iter().enumerate().take(*hi).skip(*lo) {
                         prop_assert_eq!(out.to_tagvector(pe), array.search(&key), "pe {}", pe);
                     }
                 }
                 SlabOp::Write { col, value, tags, lo, hi } => {
                     let t = tag_slab_from(tags, *lo, *hi);
-                    slab.write_column_multi(*col, *value, t.range(*lo, *hi), *lo, *hi);
+                    let sel = sel_for(*lo, *hi);
+                    slab.write_column_multi(*col, *value, t.words(), sel.as_deref());
                     for (pe, array) in arrays.iter_mut().enumerate().take(*hi).skip(*lo) {
                         array.write_column(*col, *value, &t.to_tagvector(pe));
                     }
                 }
                 SlabOp::Copy { src, dst, lo, hi } => {
-                    slab.copy_column_multi(*src, *dst, *lo, *hi);
+                    let sel = sel_for(*lo, *hi);
+                    slab.copy_column_multi(*src, *dst, sel.as_deref());
                     for array in arrays.iter_mut().take(*hi).skip(*lo) {
                         array.copy_column(*src, *dst);
                     }
@@ -193,7 +207,8 @@ proptest! {
                 SlabOp::Encoded { col, latch, tags, lo, hi } => {
                     let h = tag_slab_from(latch, *lo, *hi);
                     let t = tag_slab_from(tags, *lo, *hi);
-                    slab.write_encoded_multi(*col, h.range(*lo, *hi), t.range(*lo, *hi), *lo, *hi);
+                    let sel = sel_for(*lo, *hi);
+                    slab.write_encoded_multi(*col, h.words(), t.words(), sel.as_deref());
                     for (pe, array) in arrays.iter_mut().enumerate().take(*hi).skip(*lo) {
                         let (hv, tv) = (h.to_tagvector(pe), t.to_tagvector(pe));
                         for row in 0..ROWS {
@@ -218,7 +233,8 @@ proptest! {
                     let refs: Vec<&[(usize, KeyBit)]> =
                         plans.iter().map(|p| p.as_slice()).collect();
                     let mut t = tag_slab_from(tags, *lo, *hi);
-                    slab.search_write_multi(&refs, *acc, writes, t.range_mut(*lo, *hi), *lo, *hi);
+                    let sel = sel_for(*lo, *hi);
+                    slab.search_write_multi(&refs, *acc, writes, t.words_mut(), sel.as_deref());
                     let init = tag_slab_from(tags, *lo, *hi);
                     for (pe, array) in arrays.iter_mut().enumerate().take(*hi).skip(*lo) {
                         // Unfused reference: search every plan, OR into the
@@ -281,14 +297,14 @@ proptest! {
             slab.set_cell(i / ROWS, i % ROWS, (i * 3) % COLS, *v);
         }
         let tags = TagSlab::zeros(PES, ROWS);
-        slab.write_column_multi(worn_col, TernaryBit::X, tags.range(0, PES), 0, PES);
+        slab.write_column_multi(worn_col, TernaryBit::X, tags.words(), None);
         prop_assert_eq!(TcamSlab::from_bytes(&slab.to_bytes()), Ok(slab));
     }
 
     /// The tag-register byte image round-trips for arbitrary contents.
     /// Tags, the encoder latch, and the data registers all share the
     /// `TagSlab` format, so one register file is exercised directly and a
-    /// second through the engine's latch path (`copy_range_from`).
+    /// second through the engine's latch path (`copy_from_masked`).
     #[test]
     fn tag_byte_image_round_trips(
         bits in prop::collection::vec(prop::collection::vec(any::<bool>(), ROWS), PES),
@@ -304,8 +320,117 @@ proptest! {
             tags.set_pe(pe, &tv);
         }
         let mut latch = TagSlab::zeros(PES, ROWS);
-        latch.copy_range_from(&tags, 0, PES);
+        latch.copy_from_masked(&tags, None);
         prop_assert_eq!(TagSlab::from_bytes(&tags.to_bytes()), Ok(tags));
         prop_assert_eq!(TagSlab::from_bytes(&latch.to_bytes()), Ok(latch));
+    }
+}
+
+/// Wider-than-one-word geometry (67 PEs), ragged non-contiguous selection
+/// masks, and an optional seeded fault model: the word-parallel kernels
+/// must still match the per-PE reference arrays bit for bit.
+mod wide {
+    use super::*;
+
+    const WPES: usize = 67; // spans a partial tail word
+    const WROWS: usize = 70;
+    const WCOLS: usize = 6;
+
+    /// A ragged selection: PE `p` is active when bit `p % 8` of `pattern`
+    /// is set. `pattern == 0xFF` means all PEs (kernel `sel = None`).
+    fn ragged_sel(pattern: u8) -> Option<Vec<u64>> {
+        if pattern == 0xFF {
+            return None;
+        }
+        let mut m = vec![0u64; WPES.div_ceil(64)];
+        for pe in 0..WPES {
+            if pattern >> (pe % 8) & 1 != 0 {
+                m[pe / 64] |= 1u64 << (pe % 64);
+            }
+        }
+        Some(m)
+    }
+
+    fn selected(pattern: u8, pe: usize) -> bool {
+        pattern == 0xFF || pattern >> (pe % 8) & 1 != 0
+    }
+
+    fn tag_slab_wide(bools: &[bool]) -> TagSlab {
+        let mut t = TagSlab::zeros(WPES, WROWS);
+        for pe in 0..WPES {
+            let tv = bools
+                .iter()
+                .enumerate()
+                .map(|(r, &b)| b ^ ((pe + r) % 3 == 0))
+                .collect();
+            t.set_pe(pe, &tv);
+        }
+        t
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn wide_slab_kernels_equal_per_array_ops(
+            faulty in any::<bool>(),
+            ops in prop::collection::vec(
+                (
+                    (
+                        prop::collection::vec(key_bit(), WCOLS),
+                        0..WCOLS,
+                        ternary_bit(),
+                    ),
+                    (
+                        prop::collection::vec(any::<bool>(), WROWS),
+                        any::<u8>(),
+                        any::<bool>(),
+                    ),
+                ),
+                1..8,
+            ),
+        ) {
+            let mut slab = TcamSlab::new(WPES, WROWS, WCOLS);
+            let mut arrays: Vec<TcamArray> =
+                (0..WPES).map(|_| TcamArray::new(WROWS, WCOLS)).collect();
+            if faulty {
+                let model = FaultModel {
+                    seed: 0x5EED_1234,
+                    stuck_per_million: 30_000,
+                    miss_per_million: 20_000,
+                    endurance_limit: None,
+                };
+                slab.attach_fault(model, 1, 0);
+                for (pe, array) in arrays.iter_mut().enumerate() {
+                    array.attach_fault(model, 1, pe);
+                }
+            }
+            for ((bits, col, value), (tags, pattern, fused)) in &ops {
+                let key = SearchKey::from_bits(bits.clone());
+                let plan = key.compile_plan();
+                let sel = ragged_sel(*pattern);
+                let mut t = tag_slab_wide(tags);
+                let init = t.clone();
+                if *fused {
+                    slab.search_write_multi(
+                        &[&plan], false, &[(*col, *value)], t.words_mut(), sel.as_deref());
+                } else {
+                    slab.search_plan_multi_into(&plan, sel.as_deref(), t.words_mut());
+                    slab.write_column_multi(*col, *value, t.words(), sel.as_deref());
+                }
+                for (pe, array) in arrays.iter_mut().enumerate() {
+                    if !selected(*pattern, pe) {
+                        prop_assert_eq!(
+                            t.to_tagvector(pe), init.to_tagvector(pe),
+                            "unselected pe {} tags changed", pe);
+                        continue;
+                    }
+                    let expected = array.search(&key);
+                    array.write_column(*col, *value, &expected);
+                    prop_assert_eq!(t.to_tagvector(pe), expected, "pe {}", pe);
+                }
+            }
+            prop_assert_eq!(slab.to_arrays(), arrays.clone());
+            prop_assert_eq!(TcamSlab::from_arrays(&arrays), slab);
+        }
     }
 }
