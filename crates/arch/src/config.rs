@@ -12,11 +12,14 @@ use serde::{Deserialize, Serialize};
 /// (property-tested in `tests/engine_equivalence.rs`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ExecMode {
-    /// Thread a dispatch only when its estimated work clears a calibrated
-    /// fork-join break-even point ([`crate::par::forkjoin_overhead_ns`]
-    /// measures a short dispatch both ways once per process); otherwise run
-    /// inline, so Auto never picks a losing mode on small dispatches or
-    /// single-CPU hosts.
+    /// Thread a dispatch only when the host can profit from forking at all
+    /// ([`crate::par::parallel_pays`] — false on a single-CPU host, where
+    /// `Parallel`'s two-worker floor measures 0.71×/0.77× of sequential in
+    /// `BENCH_SIM.json`) *and* the dispatch's estimated work clears a
+    /// calibrated fork-join break-even point
+    /// ([`crate::par::forkjoin_overhead_ns`] measures a short dispatch
+    /// both ways once per process); otherwise run inline, so Auto never
+    /// picks a losing mode on small dispatches or narrow hosts.
     #[default]
     Auto,
     /// Always run the fan-out inline on the calling thread.
@@ -89,7 +92,12 @@ impl ExecMode {
             ExecMode::Sequential => 1,
             ExecMode::Parallel => host,
             ExecMode::Auto => {
-                if host < 2 {
+                // Two gates, cheapest first: a host that can't profit from
+                // forking at all (one physical CPU, or an advertised width
+                // the scheduler won't deliver) stays inline no matter how
+                // large the dispatch is; otherwise the per-dispatch
+                // break-even estimate decides.
+                if host < 2 || !crate::par::parallel_pays() {
                     1
                 } else {
                     Self::dispatch_threads_calibrated(
@@ -396,6 +404,14 @@ mod tests {
         assert_eq!(ExecMode::Parallel.dispatch_threads(8, 0, 0), 8);
         // Auto on a single-CPU host never forks.
         assert_eq!(ExecMode::Auto.dispatch_threads(1, u64::MAX, u64::MAX), 1);
+        // And when the host-capability probe says forking can't win (one
+        // physical CPU behind any HYPERAP_THREADS width), Auto stays
+        // inline even for an arbitrarily large dispatch — the fix for the
+        // 0.71×/0.77× forced-Parallel columns in BENCH_SIM.json.
+        if !crate::par::parallel_pays() {
+            assert_eq!(ExecMode::Auto.dispatch_threads(2, u64::MAX, u64::MAX), 1);
+            assert_eq!(ExecMode::Auto.dispatch_threads(16, u64::MAX, u64::MAX), 1);
+        }
     }
 
     #[test]

@@ -50,6 +50,63 @@ pub fn forkjoin_overhead_ns() -> u64 {
     })
 }
 
+/// Whether forking can beat running inline on this host *at all* —
+/// decided once per process and cached.
+///
+/// A fork-join only wins when a second worker runs on a second core. On a
+/// single-CPU host (the checked-in bench baseline records `cpus: 1`) the
+/// workers time-slice one core, so every threaded dispatch pays spawn and
+/// join cost for zero overlap — `BENCH_SIM.json`'s forced-`Parallel`
+/// columns measure that loss directly (0.71×/0.77× of sequential).
+/// `ExecMode::Auto` consults this before its per-dispatch break-even rule
+/// so it can never follow `Parallel` down that path, even when
+/// `HYPERAP_THREADS` advertises a wider host than the hardware provides.
+///
+/// The decision is `available_parallelism() >= 2`, checked against the
+/// *physical* host (the `HYPERAP_THREADS` override caps fan-out width but
+/// cannot conjure cores). When the physical width passes, a measured
+/// sanity check confirms a two-worker compute-bound dispatch actually
+/// outruns the same work inline — containers sometimes report cores a
+/// cgroup quota won't deliver.
+pub fn parallel_pays() -> bool {
+    static PAYS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PAYS.get_or_init(|| {
+        let physical = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if physical < 2 {
+            return false;
+        }
+        // Compute-bound probe, sized so genuine two-core overlap dwarfs the
+        // fork-join overhead (~2 µs): ~256 µs of work per pass.
+        const N: usize = 1 << 16;
+        const REPS: u32 = 4;
+        let work = |_: usize, chunk: &mut [u32]| {
+            for x in chunk.iter_mut() {
+                *x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            }
+        };
+        let mut buf = vec![0u32; N];
+        let time = |threads: usize, buf: &mut Vec<u32>| {
+            for_each_chunk(threads, buf, work); // warm
+            let start = std::time::Instant::now();
+            for _ in 0..REPS {
+                for_each_chunk(threads, buf, work);
+            }
+            start.elapsed().as_nanos() as u64
+        };
+        let forked = time(2, &mut buf);
+        let inline = time(1, &mut buf);
+        std::hint::black_box(&buf);
+        two_workers_win(forked, inline)
+    })
+}
+
+/// The pure decision behind [`parallel_pays`]: two workers "win" only when
+/// the forked timing beats inline by at least 10%, so scheduler noise on a
+/// host with no real second core can't flip Auto into the losing mode.
+pub fn two_workers_win(forked_ns: u64, inline_ns: u64) -> bool {
+    forked_ns.saturating_mul(10) < inline_ns.saturating_mul(9)
+}
+
 /// Run `f(offset, chunk)` over up to `threads` near-equal contiguous chunks
 /// of `data`, where `offset` is the chunk's starting index in `data`.
 ///
@@ -166,6 +223,28 @@ mod tests {
             assert_eq!(std::thread::current().id(), caller);
         });
         assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn two_workers_win_requires_a_real_margin() {
+        // A genuine second core roughly halves the time — wins.
+        assert!(two_workers_win(520, 1000));
+        // Breaking even or losing (the 1-CPU time-slice case) never wins,
+        // and neither does a sub-10% "win" inside scheduler noise.
+        assert!(!two_workers_win(1000, 1000));
+        assert!(!two_workers_win(1400, 1000));
+        assert!(!two_workers_win(950, 1000));
+        // Saturating math: absurd timings can't overflow into a win.
+        assert!(!two_workers_win(u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn parallel_pays_is_stable_and_respects_physical_width() {
+        let pays = parallel_pays();
+        assert_eq!(pays, parallel_pays(), "probed once, then cached");
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) < 2 {
+            assert!(!pays, "one physical CPU can never profit from forking");
+        }
     }
 
     #[test]

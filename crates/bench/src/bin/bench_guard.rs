@@ -29,6 +29,7 @@
 //! `bench_sim` emits.
 
 use hyperap_arch::{ApMachine, ArchConfig, ExecMode, SlabMachine};
+use hyperap_compiler::{compile, opt, CompileOptions, OPT_LEVEL_MAX};
 use hyperap_core::microcode::Microcode;
 use hyperap_isa::lower::lower;
 use hyperap_isa::Instruction;
@@ -111,6 +112,121 @@ fn seed_slab(m: &mut SlabMachine) {
     }
 }
 
+/// Recompile the acceptance kernels at every opt level and fail when any
+/// level above 0 emits *more* counted micro-ops than the level-0 oracle —
+/// an optimizer must never pessimize. Also cross-checks the checked-in
+/// baseline's compiler columns against the fresh (deterministic) counts.
+fn guard_opt_levels(baseline: &str, path: &std::path::Path) -> bool {
+    let mut failed = false;
+    for (name, src) in [
+        (
+            "add32",
+            "unsigned int (32) main(unsigned int (32) a, unsigned int (32) b) { return a + b; }",
+        ),
+        (
+            "mul16",
+            "unsigned int (16) main(unsigned int (16) a, unsigned int (16) b) { return a * b; }",
+        ),
+    ] {
+        let ops_at = |level: u8| {
+            let opts = CompileOptions {
+                opt_level: level,
+                ..CompileOptions::default()
+            };
+            opt::counted_ops(
+                compile(src, &opts)
+                    .expect("guard kernel compiles")
+                    .program(),
+            )
+        };
+        let base = ops_at(0);
+        for level in 1..=OPT_LEVEL_MAX {
+            let ops = ops_at(level);
+            if ops > base {
+                eprintln!(
+                    "bench_guard: {name} at opt level {level} emits {ops} ops — MORE than \
+                     level 0's {base} (optimizer pessimized the stream)"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "bench_guard: {name} opt level {level}: {ops} ops vs {base} at level 0 \
+                     ({:.1}% saved)",
+                    100.0 * (base - ops) as f64 / base as f64
+                );
+            }
+            let key = format!("{name}_compiled_ops_level{level}");
+            match json_number(baseline, &key) {
+                Some(v) if v == ops as f64 => {}
+                Some(v) => {
+                    eprintln!(
+                        "bench_guard: baseline {} says {key} = {v}, fresh compile says {ops} — \
+                         regenerate BENCH_SIM.json",
+                        path.display()
+                    );
+                    failed = true;
+                }
+                None => {
+                    eprintln!("bench_guard: baseline {} lacks {key}", path.display());
+                    failed = true;
+                }
+            }
+        }
+    }
+    failed
+}
+
+/// Check that `ExecMode::Auto` never follows `Parallel` down a losing
+/// fork-join path in the checked-in baseline: for both the trace and slab
+/// engines, Auto's speedup over sequential must not sit below the worse of
+/// the forced-parallel speedup and 1.0 (less a small noise tolerance), and
+/// must never fall below an absolute 0.8× floor. On the 1-CPU baseline
+/// host (`speedup_parallel_vs_sequential: 0.71`) this pins the fix: Auto
+/// must measure ≈1.0× because it declines to fork at all.
+fn guard_auto_mode(baseline: &str, path: &std::path::Path) -> bool {
+    let mut failed = false;
+    for (engine, par_key, auto_key) in [
+        (
+            "trace",
+            "speedup_parallel_vs_sequential",
+            "speedup_auto_vs_sequential",
+        ),
+        (
+            "slab",
+            "speedup_slab_parallel_vs_sequential",
+            "speedup_slab_auto_vs_sequential",
+        ),
+    ] {
+        let (Some(par), Some(auto)) = (
+            json_number(baseline, par_key),
+            json_number(baseline, auto_key),
+        ) else {
+            eprintln!(
+                "bench_guard: baseline {} lacks {par_key}/{auto_key} — regenerate BENCH_SIM.json",
+                path.display()
+            );
+            failed = true;
+            continue;
+        };
+        // Auto may legitimately decline to thread (speedup ≈ 1.0) even when
+        // Parallel wins big, so the bar is min(parallel, 1.0), with 0.1 of
+        // measurement-noise headroom.
+        if auto + 0.1 < par.min(1.0) || auto < 0.8 {
+            eprintln!(
+                "bench_guard: {engine} Auto speedup {auto:.2}x vs forced-parallel {par:.2}x — \
+                 Auto picked a losing fork-join path"
+            );
+            failed = true;
+        } else {
+            println!(
+                "bench_guard: {engine} Auto speedup {auto:.2}x (forced parallel {par:.2}x) — \
+                 Auto avoids the losing path"
+            );
+        }
+    }
+    failed
+}
+
 fn smoke() -> i32 {
     // Baseline sanity: the checked-in JSON must parse and must carry the
     // trace-engine entry bench_sim now emits.
@@ -126,6 +242,8 @@ fn smoke() -> i32 {
         "instructions_per_sec_slab_parallel",
         "speedup_trace_vs_interpreter_sequential",
         "speedup_parallel_vs_sequential",
+        "speedup_auto_vs_sequential",
+        "speedup_slab_auto_vs_sequential",
         "speedup_slab_vs_trace_sequential",
         "speedup_trace_fused_vs_unfused",
         "speedup_slab_fused_vs_unfused",
@@ -144,6 +262,8 @@ fn smoke() -> i32 {
         }
     }
     failed |= baseline_below_slab_floor(&baseline, &path);
+    failed |= guard_opt_levels(&baseline, &path);
+    failed |= guard_auto_mode(&baseline, &path);
 
     // Small geometry: 4 groups × 16 PEs of 64×256 keeps the smoke under a
     // second even in debug builds.
@@ -367,6 +487,8 @@ fn full() -> i32 {
         &path,
     );
     failed |= baseline_below_slab_floor(&baseline, &path);
+    failed |= guard_opt_levels(&baseline, &path);
+    failed |= guard_auto_mode(&baseline, &path);
     if cfg!(debug_assertions) {
         println!("bench_guard: debug build — skipping the absolute floor on the fresh measurement");
     } else if slab_seq < SLAB_SEQ_FLOOR_IPS {

@@ -44,6 +44,7 @@
 
 use hyperap_arch::machine::BROADCAST_ADDR;
 use hyperap_arch::{ApMachine, ArchConfig, ExecMode, SlabMachine};
+use hyperap_compiler::{compile, opt, CompileOptions, OPT_LEVEL_MAX};
 use hyperap_core::machine::HyperPe;
 use hyperap_core::microcode::Microcode;
 use hyperap_isa::lower::lower;
@@ -237,6 +238,24 @@ fn reg_from_bytes(bytes: &[u8]) -> TagVector {
     t
 }
 
+/// Per-opt-level static cost of a compiler-built kernel:
+/// `(counted micro-ops, Table-I RRAM cycles)` for levels `0..=OPT_LEVEL_MAX`.
+fn compiler_columns(src: &str) -> Vec<(u64, u64)> {
+    (0..=OPT_LEVEL_MAX)
+        .map(|level| {
+            let opts = CompileOptions {
+                opt_level: level,
+                ..CompileOptions::default()
+            };
+            let k = compile(src, &opts).expect("bench kernel compiles");
+            (
+                opt::counted_ops(k.program()),
+                k.op_counts().cycles(&hyperap_model::TechParams::rram()),
+            )
+        })
+        .collect()
+}
+
 fn add32_stream() -> Vec<Instruction> {
     let mut mc = Microcode::new(COLS);
     let (x, y) = mc.alloc_paired_inputs("a", "b", 32);
@@ -408,6 +427,15 @@ fn main() {
         }
     });
 
+    // Compiler optimizer columns: static op/cycle costs per opt level for
+    // the two acceptance kernels. Deterministic — no timing involved.
+    let add32_cols = compiler_columns(
+        "unsigned int (32) main(unsigned int (32) a, unsigned int (32) b) { return a + b; }",
+    );
+    let mul16_cols = compiler_columns(
+        "unsigned int (16) main(unsigned int (16) a, unsigned int (16) b) { return a * b; }",
+    );
+
     let parallel_threads = ExecMode::Parallel.threads();
     let git_revision = git_revision();
     let geometry_hash = format!(
@@ -439,6 +467,20 @@ fn main() {
     "kernel": "add32",
     "stream_instructions": {stream_len},
     "total_instructions": {total_instructions}
+  }},
+  "compiler": {{
+    "add32_compiled_ops_level0": {add32_ops_0},
+    "add32_compiled_ops_level1": {add32_ops_1},
+    "add32_compiled_ops_level2": {add32_ops_2},
+    "add32_model_cycles_level0": {add32_cyc_0},
+    "add32_model_cycles_level1": {add32_cyc_1},
+    "add32_model_cycles_level2": {add32_cyc_2},
+    "mul16_compiled_ops_level0": {mul16_ops_0},
+    "mul16_compiled_ops_level1": {mul16_ops_1},
+    "mul16_compiled_ops_level2": {mul16_ops_2},
+    "mul16_model_cycles_level0": {mul16_cyc_0},
+    "mul16_model_cycles_level1": {mul16_cyc_1},
+    "mul16_model_cycles_level2": {mul16_cyc_2}
   }},
   "kernel": {{
     "ns_per_search_alloc": {ns_search:.1},
@@ -473,8 +515,10 @@ fn main() {
     "instructions_per_sec_slab_parallel": {ips_slab_par:.0},
     "speedup_trace_vs_interpreter_sequential": {sp_trace:.2},
     "speedup_parallel_vs_sequential": {sp_par:.2},
+    "speedup_auto_vs_sequential": {sp_auto:.2},
     "speedup_slab_vs_trace_sequential": {sp_slab:.2},
     "speedup_slab_parallel_vs_sequential": {sp_slab_par:.2},
+    "speedup_slab_auto_vs_sequential": {sp_slab_auto:.2},
     "speedup_trace_fused_vs_unfused": {sp_trace_fused:.2},
     "speedup_slab_fused_vs_unfused": {sp_slab_fused:.2},
     "speedup_optimized_vs_seed_style": {sp_seed:.2}
@@ -483,6 +527,18 @@ fn main() {
 "#,
         total_pes = cfg.total_pes(),
         stream_len = stream.len(),
+        add32_ops_0 = add32_cols[0].0,
+        add32_ops_1 = add32_cols[1].0,
+        add32_ops_2 = add32_cols[2].0,
+        add32_cyc_0 = add32_cols[0].1,
+        add32_cyc_1 = add32_cols[1].1,
+        add32_cyc_2 = add32_cols[2].1,
+        mul16_ops_0 = mul16_cols[0].0,
+        mul16_ops_1 = mul16_cols[1].0,
+        mul16_ops_2 = mul16_cols[2].0,
+        mul16_cyc_0 = mul16_cols[0].1,
+        mul16_cyc_1 = mul16_cols[1].1,
+        mul16_cyc_2 = mul16_cols[2].1,
         kernel_speedup = ns_search / ns_search_into,
         ips_seq = total_instructions / seq_s,
         ips_par = total_instructions / par_s,
@@ -490,8 +546,10 @@ fn main() {
         ips_slab_par = total_instructions / slab_par_s,
         sp_trace = interp_seq_s / seq_s,
         sp_par = seq_s / par_s,
+        sp_auto = seq_s / auto_s,
         sp_slab = seq_s / slab_seq_s,
         sp_slab_par = slab_seq_s / slab_par_s,
+        sp_slab_auto = slab_seq_s / slab_auto_s,
         sp_trace_fused = precompiled_unfused_s / precompiled_s,
         sp_slab_fused = slab_precompiled_unfused_s / slab_precompiled_s,
         sp_seed = seed_style_s / seq_s,

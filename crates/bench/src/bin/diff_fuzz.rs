@@ -6,13 +6,22 @@
 //! (stats, `pe_health`, typed fault errors) or the post-run machine state
 //! is shrunk to a minimized repro before the fuzzer exits non-zero.
 //!
-//! Usage: `diff_fuzz [--smoke] [--seed N] [--iters N] [--case N]`
+//! A second differential axis covers the compiler's optimizer: every
+//! fourth iteration also generates a random C-like kernel source, compiles
+//! it at `opt_level` 0 (the oracle) and at [`OPT_LEVEL_MAX`], and
+//! cross-checks the two builds row-by-row against each other and against
+//! the DFG reference evaluator. Divergences are shrunk by the same greedy
+//! delta-debugging loop the stream cases use, dropping whole statements
+//! and input rows until a fixpoint.
+//!
+//! Usage: `diff_fuzz [--smoke] [--seed N] [--iters N] [--case N] [--kernel-case N]`
 //!
 //! * `--smoke` — a short deterministic pass for CI (few iterations).
 //! * `--seed N` — base seed; every iteration derives its own case seed.
 //! * `--iters N` — number of fuzz cases.
 //! * `--case N` — re-run exactly one case seed (the repro header prints
 //!   the value to pass here).
+//! * `--kernel-case N` — re-run exactly one compiler-kernel case seed.
 //!
 //! The RNG is a self-contained splitmix64 so repros are stable across
 //! hosts and toolchains.
@@ -20,6 +29,7 @@
 use hyperap_arch::machine::BROADCAST_ADDR;
 use hyperap_arch::{ApMachine, ArchConfig, ExecMode, FaultConfig, SlabMachine};
 use hyperap_baselines::reference::OpKind;
+use hyperap_compiler::{compile, CompileOptions, OPT_LEVEL_MAX};
 use hyperap_isa::{Direction, Instruction};
 use hyperap_tcam::{FaultModel, KeyBit, SearchKey};
 use hyperap_workloads::synthetic;
@@ -323,6 +333,205 @@ fn report(case_seed: u64, iteration: u64, case: &Case, divergence: &str) {
     eprintln!("diff_fuzz: {divergence}");
 }
 
+/// One compiler-optimizer fuzz case: a random straight-line kernel source
+/// (as droppable statements) plus the input rows it runs on.
+struct KernelCase {
+    width: u32,
+    arity: usize,
+    /// Number of declared temporaries (fixed at generation so the
+    /// minimizer can drop any statement without undeclaring later temps).
+    n_temps: usize,
+    stmts: Vec<String>,
+    rows: Vec<Vec<u64>>,
+}
+
+impl KernelCase {
+    /// Assemble the C-like source. All temporaries are declared up front;
+    /// the return reads the last surviving assignment's target (or the
+    /// first input when every statement has been shrunk away).
+    fn source(&self) -> String {
+        let params: Vec<String> = (0..self.arity)
+            .map(|i| format!("unsigned int ({}) x{i}", self.width))
+            .collect();
+        let ret = self
+            .stmts
+            .iter()
+            .rev()
+            .find_map(|s| s.split('=').next().map(|l| l.trim().to_string()))
+            .map(|lhs| lhs.split_whitespace().last().unwrap().to_string())
+            .unwrap_or_else(|| "x0".into());
+        let decls: Vec<String> = (0..self.n_temps)
+            .map(|i| format!("    unsigned int ({}) t{i};", self.width))
+            .collect();
+        format!(
+            "unsigned int ({}) main({}) {{\n{}\n    {}\n    return {ret};\n}}",
+            self.width,
+            params.join(", "),
+            decls.join("\n"),
+            self.stmts.join("\n    "),
+        )
+    }
+}
+
+/// A random expression over the inputs and the temporaries assigned by
+/// earlier statements. Depth-bounded; shifts are by constants only
+/// (data-dependent shifts are unsupported by the target).
+fn random_expr(rng: &mut Rng, arity: usize, temps: usize, width: u32, depth: u32) -> String {
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(3) {
+            0 if temps > 0 => format!("t{}", rng.below(temps as u64)),
+            1 => format!("{}", rng.below(1 << width.min(16))),
+            _ => format!("x{}", rng.below(arity as u64)),
+        };
+    }
+    let a = random_expr(rng, arity, temps, width, depth - 1);
+    let b = random_expr(rng, arity, temps, width, depth - 1);
+    match rng.below(8) {
+        0 => format!("({a} + {b})"),
+        1 => format!("({a} - {b})"),
+        2 => format!("({a} * {b})"),
+        3 => format!("({a} & {b})"),
+        4 => format!("({a} | {b})"),
+        5 => format!("({a} ^ {b})"),
+        6 => format!("({a} << {})", rng.below(u64::from(width))),
+        _ => format!("({a} >> {})", rng.below(u64::from(width))),
+    }
+}
+
+fn generate_kernel_case(case_seed: u64) -> KernelCase {
+    let mut rng = Rng(case_seed ^ 0xC0DE_F00D);
+    // Small widths keep multiplier microcode expansions fast to compile.
+    let width = 3 + rng.below(6) as u32;
+    let arity = 1 + rng.below(3) as usize;
+    let n_stmts = 1 + rng.below(4) as usize;
+    let stmts = (0..n_stmts)
+        .map(|i| {
+            // A statement either assigns an expression or selects between
+            // two arms on a comparison (exercising predicated selects).
+            if rng.below(4) == 0 {
+                let c0 = random_expr(&mut rng, arity, i, width, 1);
+                let c1 = random_expr(&mut rng, arity, i, width, 1);
+                let e0 = random_expr(&mut rng, arity, i, width, 1);
+                let e1 = random_expr(&mut rng, arity, i, width, 1);
+                format!("if ({c0} > {c1}) {{ t{i} = {e0}; }} else {{ t{i} = {e1}; }}")
+            } else {
+                format!("t{i} = {};", random_expr(&mut rng, arity, i, width, 2))
+            }
+        })
+        .collect();
+    let mask = (1u64 << width) - 1;
+    let rows = (0..4 + rng.below(5))
+        .map(|_| (0..arity).map(|_| rng.next() & mask).collect())
+        .collect();
+    KernelCase {
+        width,
+        arity,
+        n_temps: n_stmts,
+        stmts,
+        rows,
+    }
+}
+
+/// Compile at level 0 and max and cross-check; `Some(description)` on the
+/// first divergence. A source both levels reject (e.g. a shrink broke a
+/// temp reference) is not a divergence — but *disagreeing* on
+/// compilability is.
+fn check_kernel(case: &KernelCase) -> Option<String> {
+    let src = case.source();
+    let oracle = compile(&src, &CompileOptions::default());
+    let optimized = compile(
+        &src,
+        &CompileOptions {
+            opt_level: OPT_LEVEL_MAX,
+            ..CompileOptions::default()
+        },
+    );
+    let (k0, kmax) = match (oracle, optimized) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(_), Err(_)) => return None,
+        (Ok(_), Err(e)) => {
+            return Some(format!(
+                "level {OPT_LEVEL_MAX} rejects what level 0 compiles: {e}"
+            ))
+        }
+        (Err(e), Ok(_)) => {
+            return Some(format!(
+                "level 0 rejects what level {OPT_LEVEL_MAX} compiles: {e}"
+            ))
+        }
+    };
+    let rows: Vec<&[u64]> = case.rows.iter().map(|r| r.as_slice()).collect();
+    let (got0, gotmax) = match (k0.run_rows(&rows), kmax.run_rows(&rows)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (a, b) => return Some(format!("run disagreement: level 0 {a:?}, max {b:?}")),
+    };
+    for (i, row) in case.rows.iter().enumerate() {
+        let want = k0.dfg.eval(row)[0];
+        if got0[i] != want {
+            return Some(format!(
+                "level 0 disagrees with the DFG reference on row {i} {row:?}: {} != {want}",
+                got0[i]
+            ));
+        }
+        if gotmax[i] != want {
+            return Some(format!(
+                "level {OPT_LEVEL_MAX} disagrees with level 0 on row {i} {row:?}: {} != {want}",
+                gotmax[i]
+            ));
+        }
+    }
+    None
+}
+
+/// Greedy delta-debugging over statements and rows, mirroring
+/// [`minimize`] for instruction streams.
+fn minimize_kernel(case: &mut KernelCase) {
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < case.stmts.len() {
+            let removed = case.stmts.remove(i);
+            if check_kernel(case).is_some() {
+                shrunk = true;
+            } else {
+                case.stmts.insert(i, removed);
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < case.rows.len() {
+            let removed = case.rows.remove(i);
+            if case.rows.is_empty() || check_kernel(case).is_none() {
+                case.rows.insert(i, removed);
+                i += 1;
+            } else {
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+}
+
+/// Run one compiler-kernel case end to end; `true` when a divergence was
+/// found (already minimized and reported).
+fn run_kernel_case(case_seed: u64, iteration: u64) -> bool {
+    let mut case = generate_kernel_case(case_seed);
+    if check_kernel(&case).is_none() {
+        return false;
+    }
+    minimize_kernel(&mut case);
+    let divergence =
+        check_kernel(&case).unwrap_or_else(|| "divergence vanished while shrinking".into());
+    eprintln!("diff_fuzz: OPTIMIZER DIVERGENCE at iteration {iteration} (case seed {case_seed})");
+    eprintln!("diff_fuzz: re-run just this case with: diff_fuzz --kernel-case {case_seed}");
+    eprintln!("diff_fuzz: minimized kernel source:\n{}", case.source());
+    eprintln!("diff_fuzz: rows: {:?}", case.rows);
+    eprintln!("diff_fuzz: {divergence}");
+    true
+}
+
 /// Run one case end to end; `true` when a divergence was found (already
 /// minimized and reported).
 fn run_case(case_seed: u64, iteration: u64) -> bool {
@@ -341,11 +550,12 @@ fn main() {
     let mut seed: u64 = 0xD1FF_F027;
     let mut iters: u64 = 256;
     let mut single_case: Option<u64> = None;
+    let mut single_kernel_case: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => iters = 24,
-            "--seed" | "--iters" | "--case" => {
+            "--seed" | "--iters" | "--case" | "--kernel-case" => {
                 let Some(v) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
                     eprintln!("diff_fuzz: {} needs an integer argument", args[i]);
                     std::process::exit(2);
@@ -353,13 +563,16 @@ fn main() {
                 match args[i].as_str() {
                     "--seed" => seed = v,
                     "--iters" => iters = v,
-                    _ => single_case = Some(v),
+                    "--case" => single_case = Some(v),
+                    _ => single_kernel_case = Some(v),
                 }
                 i += 1;
             }
             other => {
                 eprintln!("diff_fuzz: unknown argument {other}");
-                eprintln!("usage: diff_fuzz [--smoke] [--seed N] [--iters N] [--case N]");
+                eprintln!(
+                    "usage: diff_fuzz [--smoke] [--seed N] [--iters N] [--case N] [--kernel-case N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -373,16 +586,33 @@ fn main() {
         }
         std::process::exit(i32::from(failed));
     }
+    if let Some(case_seed) = single_kernel_case {
+        let failed = run_kernel_case(case_seed, 0);
+        if !failed {
+            println!("diff_fuzz: kernel case {case_seed} is clean — opt levels agree");
+        }
+        std::process::exit(i32::from(failed));
+    }
 
     let mut derive = Rng(seed);
+    let mut kernel_cases = 0u64;
     for iteration in 0..iters {
         let case_seed = derive.next();
         if run_case(case_seed, iteration) {
             std::process::exit(1);
         }
+        // Every fourth iteration also fuzzes the compiler's optimizer:
+        // opt level 0 vs max on a random kernel source.
+        if iteration % 4 == 0 {
+            kernel_cases += 1;
+            if run_kernel_case(case_seed, iteration) {
+                std::process::exit(1);
+            }
+        }
     }
     println!(
         "diff_fuzz: {iters} cases clean — interpreter, trace, and slab engines bit-identical \
-         (with and without faults)"
+         (with and without faults); {kernel_cases} compiler kernels agree at opt levels 0 and \
+         {OPT_LEVEL_MAX}"
     );
 }

@@ -217,6 +217,33 @@ impl Aig {
         }
         order
     }
+
+    /// Which polarity of each AND node do `bits` reference? Returns the
+    /// `(positive, negative)` node-id sets. An AND node appearing *only*
+    /// in the negative set is a candidate for inverted-literal absorption:
+    /// its root LUT can store the complemented function directly instead
+    /// of paying a separate inverter LUT per use.
+    pub fn polarity_uses(
+        &self,
+        bits: &[Lit],
+    ) -> (
+        std::collections::HashSet<u32>,
+        std::collections::HashSet<u32>,
+    ) {
+        let mut pos = std::collections::HashSet::new();
+        let mut neg = std::collections::HashSet::new();
+        for &l in bits {
+            let n = lit_node(l);
+            if matches!(self.node(n), AigNode::And(..)) {
+                if lit_inverted(l) {
+                    neg.insert(n);
+                } else {
+                    pos.insert(n);
+                }
+            }
+        }
+        (pos, neg)
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +270,20 @@ mod tests {
         let y = g.and(b, a);
         assert_eq!(x, y);
         assert_eq!(g.and_count(), 1);
+    }
+
+    #[test]
+    fn polarity_uses_splits_and_nodes_by_inversion() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let x = g.and(a, b); // used both ways
+        let y = g.or(a, b); // = ¬(¬a·¬b): the AND node is used inverted
+        let (pos, neg) = g.polarity_uses(&[x, lit_not(x), y, a]);
+        assert!(pos.contains(&lit_node(x)) && neg.contains(&lit_node(x)));
+        assert!(neg.contains(&lit_node(y)) && !pos.contains(&lit_node(y)));
+        // Inputs are not AND nodes and never appear.
+        assert!(!pos.contains(&lit_node(a)) && !neg.contains(&lit_node(a)));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use crate::aig::{lit_inverted, lit_node, Aig, AigNode, Lit, FALSE, TRUE};
 use crate::dfg::{Dfg, DfgOp};
-use crate::lutmap::{self, MapOptions};
+use crate::lutmap::{self, complement_on_set, flip_on_set_input, MapOptions};
+use crate::opt::{self, OptReport};
 use crate::pipeline::{CompileError, CompileOptions};
 use crate::rtl;
 use hyperap_core::field::{Field, Slot};
@@ -35,12 +36,18 @@ pub struct CompiledKernel {
     /// Flattened scalar output names.
     pub output_names: Vec<String>,
     cols: usize,
+    opt_report: OptReport,
 }
 
 impl CompiledKernel {
     /// The emitted associative-operation program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// What the `opt_level` pipeline did to the stream (all-zero at level 0).
+    pub fn opt_report(&self) -> &OptReport {
+        &self.opt_report
     }
 
     /// Input field layouts (one per flattened scalar input).
@@ -202,6 +209,9 @@ pub(crate) struct Gen {
     lit_of_slot: HashMap<Slot, Lit>,
     /// Storage slot of materialized AND nodes.
     materialized: HashMap<u32, Slot>,
+    /// Storage slot of AND nodes materialized *complemented* (inverted-
+    /// literal absorption, `opt_level ≥ 1`): the column stores ¬node.
+    materialized_neg: HashMap<u32, Slot>,
     /// Cached inverters / constants.
     inverter_cache: HashMap<Lit, Slot>,
     one_slot: Option<Slot>,
@@ -232,6 +242,7 @@ pub(crate) fn generate(
         input_slots: Vec::new(),
         lit_of_slot: HashMap::new(),
         materialized: HashMap::new(),
+        materialized_neg: HashMap::new(),
         inverter_cache: HashMap::new(),
         one_slot: None,
     };
@@ -256,14 +267,17 @@ pub(crate) fn generate(
         let f = g.field_of(node, &format!("out{i}"))?;
         outputs.push(f);
     }
+    let mut program = g.mc.into_program();
+    let opt_report = opt::optimize(&mut program, &inputs, &mut outputs, cols, opts.opt_level);
     Ok(CompiledKernel {
         dfg: g.dfg,
-        program: g.mc.into_program(),
+        program,
         inputs,
         outputs,
         input_names,
         output_names,
         cols,
+        opt_report,
     })
 }
 
@@ -313,6 +327,31 @@ impl Gen {
                 }
             }
         }
+        // opt_level ≥ 2: microcode-aware layout. An input consumed
+        // *exclusively* as the multiplier's second operand is stored
+        // self-paired, so the radix-4 digit searches get real two-bit keys
+        // (a plain multiplicand degrades them to single-pattern keys whose
+        // pair-valued terms can never match).
+        let mut self_paired = vec![false; n_inputs];
+        if self.opts.opt_level >= 2 {
+            let mut only_mul_rhs: Vec<Option<bool>> = vec![None; n_inputs];
+            for node in &self.dfg.nodes {
+                for (pos, src) in node.inputs.iter().enumerate() {
+                    if let Some(&idx) = input_node.get(src) {
+                        let good = node.op == DfgOp::Mul && pos == 1;
+                        only_mul_rhs[idx] = Some(only_mul_rhs[idx].unwrap_or(true) && good);
+                    }
+                }
+            }
+            for out in &self.dfg.outputs {
+                if let Some(&idx) = input_node.get(out) {
+                    only_mul_rhs[idx] = Some(false); // read back as plain bits
+                }
+            }
+            for i in 0..n_inputs {
+                self_paired[i] = only_mul_rhs[i] == Some(true) && partner[i].is_none();
+            }
+        }
         let mut fields: Vec<Option<Field>> = vec![None; n_inputs];
         for i in 0..n_inputs {
             if fields[i].is_some() {
@@ -329,7 +368,11 @@ impl Gen {
                 }
                 _ => {
                     let w = self.dfg.input_widths[i];
-                    let f = self.mc.alloc_plain_input(format!("in{i}"), w);
+                    let f = if self_paired[i] {
+                        self.mc.alloc_self_paired_input(format!("in{i}"), w)
+                    } else {
+                        self.mc.alloc_plain_input(format!("in{i}"), w)
+                    };
                     fields[i] = Some(f);
                 }
             }
@@ -535,16 +578,39 @@ impl Gen {
     }
 
     /// Map and emit the cones of `bits`, returning the backing field.
+    ///
+    /// At `opt_level ≥ 1`, output bits needed *only inverted* absorb the
+    /// inversion into their root LUT's truth table (the on-set is
+    /// complemented) instead of paying a one-search-one-write inverter LUT
+    /// per bit; the complemented column is tracked in `materialized_neg`
+    /// so later inverted uses bind to it directly.
     fn materialize_bits(&mut self, bits: &[Lit], name: &str) -> Result<Field, CompileError> {
+        use std::collections::HashSet;
+        let absorb = self.opts.opt_level >= 1;
+        let (pos_needed, neg_needed) = self.aig.polarity_uses(bits);
         // Which AND roots still need columns?
         let mut roots: Vec<Lit> = Vec::new();
+        let mut want_neg: HashSet<u32> = HashSet::new();
         for &l in bits {
             let n = lit_node(l);
-            if matches!(self.aig.node(n), AigNode::And(..)) && !self.materialized.contains_key(&n) {
-                let pos = crate::aig::lit(n, false);
-                if !roots.contains(&pos) {
-                    roots.push(pos);
-                }
+            if !matches!(self.aig.node(n), AigNode::And(..)) {
+                continue;
+            }
+            let neg_only = absorb && neg_needed.contains(&n) && !pos_needed.contains(&n);
+            let covered = if neg_only {
+                self.materialized_neg.contains_key(&n) || self.materialized.contains_key(&n)
+            } else {
+                self.materialized.contains_key(&n)
+            };
+            if covered {
+                continue;
+            }
+            if neg_only {
+                want_neg.insert(n);
+            }
+            let pos = crate::aig::lit(n, false);
+            if !roots.contains(&pos) {
+                roots.push(pos);
             }
         }
         if !roots.is_empty() {
@@ -553,25 +619,62 @@ impl Gen {
                 alpha: self.opts.alpha,
                 cuts_per_node: 8,
             };
-            let leaf_set: std::collections::HashSet<u32> =
-                self.materialized.keys().copied().collect();
+            let mut leaf_set: HashSet<u32> = self.materialized.keys().copied().collect();
+            if absorb {
+                // A node being (re-)mapped as a root must not double as a
+                // cut boundary for itself.
+                let root_nodes: HashSet<u32> = roots.iter().map(|&l| lit_node(l)).collect();
+                leaf_set.extend(
+                    self.materialized_neg
+                        .keys()
+                        .copied()
+                        .filter(|n| !root_nodes.contains(n)),
+                );
+            }
             let mapping = lutmap::map(&self.aig, &roots, &leaf_set, &map_opts);
+            // A root another LUT consumes as a leaf must stay positive.
+            let leaves_in_use: HashSet<u32> = mapping
+                .luts
+                .iter()
+                .flat_map(|l| l.leaves.iter().copied())
+                .collect();
             for lut in &mapping.luts {
+                let mut on_set = lut.on_set.clone();
                 let in_slots: Vec<Slot> = lut
                     .leaves
                     .iter()
-                    .map(|&leaf| self.slot_for_leaf(leaf))
+                    .enumerate()
+                    .map(|(idx, &leaf)| {
+                        if let Some(&s) = self.materialized.get(&leaf) {
+                            return Ok(s);
+                        }
+                        // A complemented column stores ¬leaf: bind it and
+                        // flip that input's polarity in the truth table.
+                        if let Some(&s) = self.materialized_neg.get(&leaf) {
+                            on_set = flip_on_set_input(&on_set, idx);
+                            return Ok(s);
+                        }
+                        self.slot_for_leaf(leaf)
+                    })
                     .collect::<Result<_, _>>()?;
+                let negate = want_neg.contains(&lut.root) && !leaves_in_use.contains(&lut.root);
+                if negate {
+                    on_set = complement_on_set(&on_set, lut.leaves.len());
+                }
                 let out = self.mc.alloc_plain(format!("{name}.lut"), 1);
                 let core_lut = Lut {
                     inputs: in_slots,
                     outputs: vec![LutOutput::Plain {
                         col: out.slot(0).base_col(),
-                        on_set: lut.on_set.clone(),
+                        on_set,
                     }],
                 };
                 self.mc.apply_lut(&core_lut);
-                self.materialized.insert(lut.root, out.slot(0));
+                if negate {
+                    self.materialized_neg.insert(lut.root, out.slot(0));
+                } else {
+                    self.materialized.insert(lut.root, out.slot(0));
+                }
             }
         }
         // Resolve each output bit literal to a slot.
@@ -609,6 +712,7 @@ impl Gen {
         self.input_slots.clear();
         self.lit_of_slot.clear();
         self.materialized.clear();
+        self.materialized_neg.clear();
         self.inverter_cache.clear();
         self.recycle_dead(current);
         Ok(())
@@ -617,7 +721,10 @@ impl Gen {
     /// Recycle columns of dead, non-aliased fields. Only safe right after a
     /// flush (no AIG state references storage).
     fn recycle_dead(&mut self, current: usize) {
-        if !self.lit_of_slot.is_empty() || !self.materialized.is_empty() {
+        if !self.lit_of_slot.is_empty()
+            || !self.materialized.is_empty()
+            || !self.materialized_neg.is_empty()
+        {
             return; // AIG state alive: unsafe to recycle
         }
         // Columns of live fields (and pinned constants) must be preserved.
@@ -666,6 +773,12 @@ impl Gen {
             return Ok(one);
         }
         let node = lit_node(l);
+        if lit_inverted(l) {
+            // An absorbed (complemented) column *is* the inverted literal.
+            if let Some(&s) = self.materialized_neg.get(&node) {
+                return Ok(s);
+            }
+        }
         let base = self.slot_for_leaf(node)?;
         if !lit_inverted(l) {
             return Ok(base);

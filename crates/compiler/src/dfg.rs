@@ -111,6 +111,26 @@ pub struct Dfg {
     pub input_widths: Vec<usize>,
 }
 
+/// All-ones mask of the low `w` bits.
+pub(crate) fn width_mask(w: usize) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+/// Sign-extend the `w`-bit value `v`.
+pub(crate) fn sign_extend(v: u64, w: usize) -> i64 {
+    if w >= 64 || w == 0 {
+        v as i64
+    } else if v >> (w - 1) & 1 == 1 {
+        (v | !width_mask(w)) as i64
+    } else {
+        v as i64
+    }
+}
+
 impl Dfg {
     /// Add a node; returns its id.
     pub fn push(&mut self, node: DfgNode) -> NodeId {
@@ -145,101 +165,111 @@ impl Dfg {
     pub fn eval(&self, inputs: &[u64]) -> Vec<u64> {
         assert_eq!(inputs.len(), self.input_widths.len(), "input count");
         let mut values: Vec<u64> = Vec::with_capacity(self.nodes.len());
-        let mask = |w: usize| -> u64 {
-            if w >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << w) - 1
-            }
-        };
-        let sext = |v: u64, w: usize| -> i64 {
-            if w >= 64 || w == 0 {
-                v as i64
-            } else if v >> (w - 1) & 1 == 1 {
-                (v | !mask(w)) as i64
-            } else {
-                v as i64
-            }
-        };
-        for node in &self.nodes {
-            let a = |i: usize| values[node.inputs[i]];
-            let in_node = |i: usize| &self.nodes[node.inputs[i]];
+        for (id, node) in self.nodes.iter().enumerate() {
             let v = match node.op {
-                DfgOp::Input { index } => inputs[index] & mask(self.input_widths[index]),
-                DfgOp::Const { value } => value,
-                DfgOp::Add => a(0).wrapping_add(a(1)),
-                DfgOp::Sub => a(0).wrapping_sub(a(1)),
-                DfgOp::Mul => a(0).wrapping_mul(a(1)),
-                DfgOp::Div => {
-                    if a(1) == 0 {
-                        mask(node.width)
-                    } else {
-                        a(0) / a(1)
-                    }
+                DfgOp::Input { index } => {
+                    inputs[index] & width_mask(self.input_widths[index]) & width_mask(node.width)
                 }
-                DfgOp::Rem => {
-                    if a(1) == 0 {
-                        a(0)
-                    } else {
-                        a(0) % a(1)
-                    }
-                }
-                DfgOp::And => a(0) & a(1),
-                DfgOp::Or => a(0) | a(1),
-                DfgOp::Xor => a(0) ^ a(1),
-                DfgOp::Not => !a(0),
-                DfgOp::Neg => a(0).wrapping_neg(),
-                DfgOp::Shl { amount } => a(0) << amount.min(63),
-                DfgOp::Shr { amount } => {
-                    let w = in_node(0).width;
-                    if in_node(0).signed {
-                        (sext(a(0), w) >> amount.min(63)) as u64
-                    } else {
-                        a(0) >> amount.min(63)
-                    }
-                }
-                DfgOp::Eq => (a(0) == a(1)) as u64,
-                DfgOp::Ne => (a(0) != a(1)) as u64,
-                DfgOp::Lt | DfgOp::Le | DfgOp::Gt | DfgOp::Ge => {
-                    let (x, y) = (a(0), a(1));
-                    let signed = in_node(0).signed || in_node(1).signed;
-                    let cmp = if signed {
-                        sext(x, in_node(0).width).cmp(&sext(y, in_node(1).width))
-                    } else {
-                        x.cmp(&y)
-                    };
-                    let r = match node.op {
-                        DfgOp::Lt => cmp.is_lt(),
-                        DfgOp::Le => cmp.is_le(),
-                        DfgOp::Gt => cmp.is_gt(),
-                        _ => cmp.is_ge(),
-                    };
-                    r as u64
-                }
-                DfgOp::Select => {
-                    if a(0) & 1 == 1 {
-                        a(1)
-                    } else {
-                        a(2)
-                    }
-                }
-                DfgOp::Resize => {
-                    let src = in_node(0);
-                    if src.signed && node.width > src.width {
-                        (sext(a(0), src.width) as u64) & mask(node.width)
-                    } else {
-                        a(0)
-                    }
-                }
-                DfgOp::Sqrt => (a(0) as f64).sqrt().floor() as u64,
-                DfgOp::Exp { frac_bits } => {
-                    let x = a(0) as f64 / (1u64 << frac_bits) as f64;
-                    (x.exp() * (1u64 << frac_bits) as f64) as u64
+                _ => {
+                    let args: Vec<u64> = node.inputs.iter().map(|&i| values[i]).collect();
+                    self.eval_op(id, &args)
                 }
             };
-            values.push(v & mask(node.width));
+            values.push(v);
         }
         self.outputs.iter().map(|&o| values[o]).collect()
+    }
+
+    /// Evaluate node `id`'s operation on concrete operand values (each
+    /// already masked to its producer's width), returning the result masked
+    /// to the node's width. This is the single source of truth for node
+    /// semantics, shared by [`eval`](Self::eval) and the constant-folding
+    /// pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Input` nodes — those take their value from the kernel
+    /// arguments, not operands.
+    pub fn eval_op(&self, id: NodeId, args: &[u64]) -> u64 {
+        let mask = width_mask;
+        let sext = sign_extend;
+        let node = &self.nodes[id];
+        let a = |i: usize| args[i];
+        let in_node = |i: usize| &self.nodes[node.inputs[i]];
+        let v = match node.op {
+            DfgOp::Input { .. } => panic!("Input nodes have no operands"),
+            DfgOp::Const { value } => value,
+            DfgOp::Add => a(0).wrapping_add(a(1)),
+            DfgOp::Sub => a(0).wrapping_sub(a(1)),
+            DfgOp::Mul => a(0).wrapping_mul(a(1)),
+            DfgOp::Div => {
+                if a(1) == 0 {
+                    mask(node.width)
+                } else {
+                    a(0) / a(1)
+                }
+            }
+            DfgOp::Rem => {
+                if a(1) == 0 {
+                    a(0)
+                } else {
+                    a(0) % a(1)
+                }
+            }
+            DfgOp::And => a(0) & a(1),
+            DfgOp::Or => a(0) | a(1),
+            DfgOp::Xor => a(0) ^ a(1),
+            DfgOp::Not => !a(0),
+            DfgOp::Neg => a(0).wrapping_neg(),
+            DfgOp::Shl { amount } => a(0) << amount.min(63),
+            DfgOp::Shr { amount } => {
+                let w = in_node(0).width;
+                if in_node(0).signed {
+                    (sext(a(0), w) >> amount.min(63)) as u64
+                } else {
+                    a(0) >> amount.min(63)
+                }
+            }
+            DfgOp::Eq => (a(0) == a(1)) as u64,
+            DfgOp::Ne => (a(0) != a(1)) as u64,
+            DfgOp::Lt | DfgOp::Le | DfgOp::Gt | DfgOp::Ge => {
+                let (x, y) = (a(0), a(1));
+                let signed = in_node(0).signed || in_node(1).signed;
+                let cmp = if signed {
+                    sext(x, in_node(0).width).cmp(&sext(y, in_node(1).width))
+                } else {
+                    x.cmp(&y)
+                };
+                let r = match node.op {
+                    DfgOp::Lt => cmp.is_lt(),
+                    DfgOp::Le => cmp.is_le(),
+                    DfgOp::Gt => cmp.is_gt(),
+                    _ => cmp.is_ge(),
+                };
+                r as u64
+            }
+            DfgOp::Select => {
+                if a(0) & 1 == 1 {
+                    a(1)
+                } else {
+                    a(2)
+                }
+            }
+            DfgOp::Resize => {
+                let src = in_node(0);
+                if src.signed && node.width > src.width {
+                    (sext(a(0), src.width) as u64) & mask(node.width)
+                } else {
+                    a(0)
+                }
+            }
+            DfgOp::Sqrt => (a(0) as f64).sqrt().floor() as u64,
+            DfgOp::Exp { frac_bits } => {
+                let x = a(0) as f64 / (1u64 << frac_bits) as f64;
+                (x.exp() * (1u64 << frac_bits) as f64) as u64
+            }
+        };
+        v & mask(node.width)
     }
 }
 

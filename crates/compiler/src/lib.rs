@@ -56,6 +56,7 @@ pub mod codegen;
 pub mod dfg;
 pub mod lex;
 pub mod lutmap;
+pub mod opt;
 pub mod pairing;
 pub mod parse;
 pub mod pipeline;
@@ -63,4 +64,4 @@ pub mod rtl;
 pub mod sema;
 
 pub use codegen::CompiledKernel;
-pub use pipeline::{compile, CompileError, CompileOptions};
+pub use pipeline::{compile, CompileError, CompileOptions, OPT_LEVEL_MAX};

@@ -82,6 +82,24 @@ fn min_to_vecs(on: &[u16], k: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
+/// The ON-set of ¬f over `k` inputs: every minterm *not* in `on_set`.
+/// Used by inverted-literal absorption — a LUT whose output is only ever
+/// consumed inverted writes the complemented function instead of paying a
+/// downstream inverter LUT.
+pub fn complement_on_set(on_set: &[u16], k: usize) -> Vec<u16> {
+    let present: std::collections::HashSet<u16> = on_set.iter().copied().collect();
+    (0..1u32 << k)
+        .map(|m| m as u16)
+        .filter(|m| !present.contains(m))
+        .collect()
+}
+
+/// Rewrite an ON-set for an input whose backing column stores the
+/// *complement* of the logical leaf: flip bit `input` of every minterm.
+pub fn flip_on_set_input(on_set: &[u16], input: usize) -> Vec<u16> {
+    on_set.iter().map(|&m| m ^ (1 << input)).collect()
+}
+
 /// Map the cones of `outputs` into LUTs. Nodes in `extra_leaves` are
 /// treated as free inputs (already materialized in storage).
 pub fn map(g: &Aig, outputs: &[Lit], extra_leaves: &HashSet<u32>, opts: &MapOptions) -> Mapping {
@@ -276,6 +294,34 @@ fn eval_to_leaves(
 mod tests {
     use super::*;
     use crate::rtl;
+
+    #[test]
+    fn complement_on_set_inverts_the_function() {
+        // f(a,b) = a·b over 2 inputs: on-set {3} → complement {0,1,2}.
+        let mut comp = complement_on_set(&[3], 2);
+        comp.sort_unstable();
+        assert_eq!(comp, vec![0, 1, 2]);
+        // Complementing twice is the identity.
+        let mut twice = complement_on_set(&comp, 2);
+        twice.sort_unstable();
+        assert_eq!(twice, vec![3]);
+    }
+
+    #[test]
+    fn flip_on_set_input_rewires_a_complemented_leaf() {
+        // f(a,b) = a·b with leaf 0 stored complemented: the table must
+        // answer with ¬a in slot a, i.e. on-set {3} → {2}.
+        assert_eq!(flip_on_set_input(&[3], 0), vec![2]);
+        assert_eq!(flip_on_set_input(&[2], 0), vec![3]);
+        // Semantics check by exhaustive evaluation over both inputs.
+        let f = |on: &[u16], a: u16, b: u16| on.contains(&(a | (b << 1)));
+        let flipped = flip_on_set_input(&[1, 2], 1);
+        for a in 0..2u16 {
+            for b in 0..2u16 {
+                assert_eq!(f(&flipped, a, b), f(&[1, 2], a, 1 - b));
+            }
+        }
+    }
 
     #[test]
     fn maps_small_adder_into_few_luts() {

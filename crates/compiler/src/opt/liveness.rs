@@ -1,0 +1,180 @@
+//! Backward live-variable analysis over the emitted op stream.
+//!
+//! This deliberately runs on the *post-LUT* program rather than the DFG:
+//! the codegen's unrolled bit-serial expansion manufactures its dead code
+//! at the column level (scratch columns recycled late, carry chains whose
+//! high bits nobody reads, whole LUT series feeding writes that constant
+//! propagation already proved unreachable), none of which exists in the
+//! DFG.
+//!
+//! The liveness state is the set of live *columns* (seeded from the output
+//! fields), plus two flags for the architectural registers: whether the
+//! current tag vector is still observed, and whether the encoder latch is.
+//! Walking backwards:
+//!
+//! - a `Write` whose column is dead is deleted; a live one marks the tags
+//!   live (it is a *weak* def — untagged rows keep the old value, so the
+//!   column stays live above it);
+//! - a `WriteEncoded` is a *strong* def of both its columns (every row is
+//!   rewritten), so it kills them and makes tags and latch live;
+//! - a `Search` whose tags nobody observes is deleted; a live overwrite
+//!   search kills tag-liveness upward (it defines the whole vector), while
+//!   an accumulate keeps it (it reads the old tags); its active key
+//!   columns become live;
+//! - `Latch` propagates latch-liveness into tag-liveness; `TagAll`/
+//!   `TagNone` are strong tag defs; `Count`/`Index` observe the tags and
+//!   are always kept (they feed the machine-visible `Outcome`).
+
+use std::collections::HashSet;
+
+use hyperap_core::field::Field;
+use hyperap_core::program::{ApOp, Program};
+
+/// One backward liveness sweep; deletes dead ops in place and returns how
+/// many were removed.
+pub fn run(program: &mut Program, outputs: &[Field]) -> usize {
+    let mut live: HashSet<usize> = outputs
+        .iter()
+        .flat_map(|f| f.slots.iter())
+        .flat_map(|s| s.columns())
+        .collect();
+    let ops = program.ops();
+    let mut delete = vec![false; ops.len()];
+    let mut tags_live = false;
+    let mut latch_live = false;
+
+    for (i, op) in ops.iter().enumerate().rev() {
+        match op {
+            ApOp::Search { key, accumulate } => {
+                if !tags_live {
+                    delete[i] = true;
+                    continue;
+                }
+                for (c, _) in key.active_bits() {
+                    live.insert(c);
+                }
+                // An overwrite search defines the tags from scratch; an
+                // accumulate reads the previous vector.
+                tags_live = *accumulate;
+            }
+            ApOp::Latch => {
+                if !latch_live {
+                    delete[i] = true;
+                } else {
+                    latch_live = false;
+                    tags_live = true;
+                }
+            }
+            ApOp::Write { col, .. } => {
+                if !live.contains(col) {
+                    delete[i] = true;
+                } else {
+                    // Weak def: `col` stays live (untagged rows show the
+                    // old value through the write).
+                    tags_live = true;
+                }
+            }
+            ApOp::WriteEncoded { col } => {
+                if !live.contains(col) && !live.contains(&(col + 1)) {
+                    delete[i] = true;
+                } else {
+                    // Strong def of both columns.
+                    live.remove(col);
+                    live.remove(&(col + 1));
+                    tags_live = true;
+                    latch_live = true;
+                }
+            }
+            ApOp::TagAll | ApOp::TagNone => {
+                if !tags_live {
+                    delete[i] = true;
+                } else {
+                    tags_live = false;
+                }
+            }
+            ApOp::Count | ApOp::Index => tags_live = true,
+        }
+    }
+
+    let deleted = delete.iter().filter(|&&d| d).count();
+    if deleted > 0 {
+        let mut out = Program::new();
+        for (i, op) in program.ops().iter().enumerate() {
+            if !delete[i] {
+                out.push(op.clone());
+            }
+        }
+        *program = out;
+    }
+    deleted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperap_core::field::Slot;
+    use hyperap_tcam::bit::KeyBit;
+    use hyperap_tcam::key::SearchKey;
+
+    fn single(col: usize) -> Field {
+        Field::new(format!("c{col}"), vec![Slot::Single { col }])
+    }
+
+    #[test]
+    fn kills_writes_to_unread_columns_and_their_searches() {
+        let mut p = Program::new();
+        p.search(SearchKey::masked(4).with_bit(0, KeyBit::One), false);
+        p.write(1, KeyBit::One); // dead: col 1 never read, not an output
+        p.search(SearchKey::masked(4).with_bit(0, KeyBit::Zero), false);
+        p.write(2, KeyBit::One);
+        assert_eq!(run(&mut p, &[single(2)]), 2);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn write_is_a_weak_def() {
+        // The first write to the output column is observable in untagged
+        // rows of the second — both must survive.
+        let mut p = Program::new();
+        p.search(SearchKey::masked(4).with_bit(0, KeyBit::One), false);
+        p.write(2, KeyBit::One);
+        p.search(SearchKey::masked(4).with_bit(1, KeyBit::One), false);
+        p.write(2, KeyBit::Zero);
+        assert_eq!(run(&mut p, &[single(2)]), 0);
+    }
+
+    #[test]
+    fn write_encoded_is_a_strong_def() {
+        // An encoded write rewrites every row of cols 2,3: the earlier
+        // plain write to col 2 (and its search) is dead.
+        let mut p = Program::new();
+        p.search(SearchKey::masked(4).with_bit(0, KeyBit::One), false);
+        p.write(2, KeyBit::One);
+        p.search(SearchKey::masked(4).with_bit(0, KeyBit::Zero), false);
+        p.push(ApOp::Latch);
+        p.search(SearchKey::masked(4).with_bit(1, KeyBit::One), false);
+        p.push(ApOp::WriteEncoded { col: 2 });
+        assert_eq!(run(&mut p, &[single(2), single(3)]), 2);
+        assert!(matches!(p.ops()[0], ApOp::Search { .. }));
+        assert!(matches!(p.ops()[1], ApOp::Latch));
+    }
+
+    #[test]
+    fn counts_keep_their_search_series_alive() {
+        let mut p = Program::new();
+        p.search(SearchKey::masked(4).with_bit(0, KeyBit::One), false);
+        p.push(ApOp::Count);
+        assert_eq!(run(&mut p, &[]), 0);
+    }
+
+    #[test]
+    fn orphan_latch_and_tag_ops_die() {
+        let mut p = Program::new();
+        p.push(ApOp::TagAll);
+        p.push(ApOp::Latch);
+        p.search(SearchKey::masked(4).with_bit(0, KeyBit::One), false);
+        p.write(1, KeyBit::One);
+        assert_eq!(run(&mut p, &[single(1)]), 2);
+        assert_eq!(p.len(), 2);
+    }
+}

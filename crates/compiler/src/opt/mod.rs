@@ -1,0 +1,200 @@
+//! Post-codegen program optimization (the `opt_level` pipeline).
+//!
+//! Three passes run over the emitted associative-operation stream, in the
+//! order constant propagation → liveness → loop summarization, iterated to
+//! a fixpoint (each pass exposes opportunities for the others: a constant-
+//! folded search orphans its write, a dead write orphans its search series,
+//! and a compacted stream pairs up adjacent write blocks):
+//!
+//! 1. [`sccp`] — sparse conditional constant propagation. Abstract
+//!    interpretation over per-column cell-value sets ({0}, {1}, {X} and
+//!    unions) plus a tag/latch lattice {all-ones, all-zeros, ⊤}. Searches
+//!    whose key can never match are deleted (accumulating) or pin the tags
+//!    to all-zeros (overwriting); searches certain to match everywhere pin
+//!    the tags to all-ones; writes under all-zero tags, writes that store a
+//!    column's known value back, and redundant tag ops are deleted; key
+//!    bits certain to match are masked off (narrowing). The companion
+//!    [`sccp::fold_dfg`] runs the classic Wegman–Zadeck half of the story
+//!    *before* codegen: constant nets fold, `Select` on a known predicate
+//!    keeps one arm, and nodes unreachable from the outputs are pruned.
+//! 2. [`liveness`] — backward live-variable analysis over columns, tags,
+//!    and the encoder latch. Writes to columns that are never read again
+//!    (and overwritten pair writes), search series whose tags nobody
+//!    consumes, and orphaned `Latch`/tag ops are deleted.
+//! 3. [`summarize`] — detects the codegen's unrolled per-bit repetition and
+//!    re-emits adjacent single-column write blocks as one closed-form
+//!    encoded-pair write (`Latch` + `WriteEncoded`), remapping the output
+//!    field layout to the pair encoding. This shortens the stream the
+//!    downstream trace peephole fuses over.
+//!
+//! Correctness contract: an optimized program must produce bit-identical
+//! *machine-visible* results — output field values and the
+//! [`Outcome`](hyperap_core::program::Outcome) of `Count`/`Index` ops —
+//! for every input. Dead scratch columns and the physical encoding of
+//! output bits may legitimately differ from level 0.
+
+pub mod liveness;
+pub mod sccp;
+pub mod summarize;
+
+use hyperap_core::field::Field;
+use hyperap_core::program::Program;
+
+/// What the optimizer did to one program (for reports and benches).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// Ops deleted by constant propagation.
+    pub sccp_deleted: usize,
+    /// Key bits narrowed to `Masked` by constant propagation.
+    pub narrowed_bits: usize,
+    /// Ops deleted by liveness analysis.
+    pub dead_deleted: usize,
+    /// Unrolled repetition blocks detected by the summarizer.
+    pub loops_found: usize,
+    /// Write-block pairs re-emitted as encoded-pair writes.
+    pub fused_pairs: usize,
+    /// Fixpoint rounds run.
+    pub rounds: usize,
+}
+
+impl OptReport {
+    /// Total ops removed from the stream.
+    pub fn deleted(&self) -> usize {
+        // Each fusion nets one op (two writes become latch + encoded write,
+        // and the latch is free in the op accounting).
+        self.sccp_deleted + self.dead_deleted + self.fused_pairs
+    }
+}
+
+/// Optimize `program` in place at the given level.
+///
+/// `inputs` seed the abstract cell values (host-loaded columns hold unknown
+/// data); `outputs` are the live-out columns and may be *remapped* by the
+/// summarizer (single columns becoming encoded-pair halves). `n_cols` is
+/// the PE geometry.
+pub fn optimize(
+    program: &mut Program,
+    inputs: &[Field],
+    outputs: &mut [Field],
+    n_cols: usize,
+    level: u8,
+) -> OptReport {
+    let mut report = OptReport::default();
+    if level == 0 || program.is_empty() {
+        return report;
+    }
+    loop {
+        report.rounds += 1;
+        let (deleted, narrowed) = sccp::run(program, inputs, n_cols);
+        report.sccp_deleted += deleted;
+        report.narrowed_bits += narrowed;
+        let dead = liveness::run(program, outputs);
+        report.dead_deleted += dead;
+        if deleted == 0 && dead == 0 {
+            break;
+        }
+        // The passes strictly shrink the program, so this terminates.
+        if report.rounds > 64 {
+            break;
+        }
+    }
+    let (loops_found, fused) = summarize::run(program, inputs, outputs);
+    report.loops_found = loops_found;
+    report.fused_pairs = fused;
+    if fused > 0 {
+        // Fusion rewrites write blocks; one more cleanup round.
+        report.rounds += 1;
+        let (deleted, narrowed) = sccp::run(program, inputs, n_cols);
+        report.sccp_deleted += deleted;
+        report.narrowed_bits += narrowed;
+        report.dead_deleted += liveness::run(program, outputs);
+    }
+    report
+}
+
+/// Counted (cycle-bearing) operations of a program — the metric the
+/// op-reduction targets are stated in.
+pub fn counted_ops(program: &Program) -> u64 {
+    let c = program.op_counts();
+    c.searches + c.writes_single + c.writes_encoded + c.tag_ops + c.counts + c.indexes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperap_core::field::Slot;
+    use hyperap_core::machine::HyperPe;
+    use hyperap_core::program::ApOp;
+    use hyperap_tcam::bit::KeyBit;
+    use hyperap_tcam::key::SearchKey;
+
+    fn single(col: usize) -> Field {
+        Field::new(format!("c{col}"), vec![Slot::Single { col }])
+    }
+
+    #[test]
+    fn level_zero_is_identity() {
+        let mut p = Program::new();
+        p.search(SearchKey::masked(4).with_bit(0, KeyBit::One), false);
+        p.write(3, KeyBit::One);
+        let before = p.clone();
+        let r = optimize(&mut p, &[single(0)], &mut [single(3)], 4, 0);
+        assert_eq!(p, before);
+        assert_eq!(r, OptReport::default());
+    }
+
+    #[test]
+    fn fixpoint_cascades_across_passes() {
+        // A search series feeding a write to a column nobody reads: the
+        // liveness pass kills the write, then the search series.
+        let mut p = Program::new();
+        p.search(SearchKey::masked(4).with_bit(0, KeyBit::One), false);
+        p.write(2, KeyBit::One); // dead: col 2 is not an output
+        p.search(SearchKey::masked(4).with_bit(0, KeyBit::Zero), false);
+        p.write(3, KeyBit::One);
+        let mut outs = [single(3)];
+        let r = optimize(&mut p, &[single(0)], &mut outs, 4, 1);
+        assert_eq!(p.len(), 2, "only the live series remains: {:?}", p.ops());
+        assert!(r.dead_deleted >= 2);
+    }
+
+    #[test]
+    fn optimized_equals_reference_on_a_small_program() {
+        // not(a) into col 3 via an impossible-term-padded series.
+        let build = |opt: bool| -> (Program, Field) {
+            let mut p = Program::new();
+            p.search(SearchKey::masked(4).with_bit(0, KeyBit::Zero), false);
+            // Impossible term: Z only matches stored X; col 0 is a plain bit.
+            p.search(SearchKey::masked(4).with_bit(0, KeyBit::Z), true);
+            p.write(3, KeyBit::One);
+            let mut outs = [single(3)];
+            if opt {
+                optimize(&mut p, &[single(0)], &mut outs, 4, 1);
+            }
+            let [out] = outs;
+            (p, out)
+        };
+        for a in [0u64, 1] {
+            let mut results = Vec::new();
+            for opt in [false, true] {
+                let (p, out) = build(opt);
+                let mut pe = HyperPe::new(1, 4);
+                single(0).store(&mut pe, 0, a);
+                p.run(&mut pe);
+                results.push(out.read(&pe, 0));
+            }
+            assert_eq!(results[0], results[1], "a={a}");
+            assert_eq!(results[0], 1 - a);
+        }
+        let (p, _) = build(true);
+        assert_eq!(p.len(), 2, "impossible term deleted");
+    }
+
+    #[test]
+    fn counted_ops_ignores_free_ops() {
+        let mut p = Program::new();
+        p.push(ApOp::Latch);
+        p.search(SearchKey::masked(2).with_bit(0, KeyBit::One), false);
+        assert_eq!(counted_ops(&p), 1);
+    }
+}

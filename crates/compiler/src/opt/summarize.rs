@@ -1,0 +1,330 @@
+//! Loop summarization over the unrolled op stream.
+//!
+//! The codegen unrolls every multi-bit operation into per-bit repetition:
+//! the same shape of search series, one per bit position, each ending in a
+//! single-column write at a constant column stride. This pass (1) detects
+//! those repetition trains — the op-stream residue of the source loops —
+//! and (2) re-emits adjacent pairs of single-column write blocks in closed
+//! form as *one* encoded-pair write:
+//!
+//! ```text
+//!   searches_A … ; Write p ← 1        searches_A … ; Latch
+//!   searches_B … ; Write p+1 ← 1  ⇒   searches_B … ; WriteEncoded p
+//! ```
+//!
+//! The two-bit encoder stores `(latch, tags)` — block A's result lands in
+//! the pair's hi half, block B's in the lo half — so the output field
+//! layout is remapped from `Single{p}, Single{p+1}` to
+//! `PairHi{p}, PairLo{p}`: same machine-visible value, one fewer write op
+//! and a shorter stream for the downstream trace peephole to fuse.
+//!
+//! Fusion is only legal when the pair of columns is write-once, never
+//! searched, not host-loaded, read out as plain `Single` output bits, and
+//! no later `WriteEncoded` observes the clobbered latch without an
+//! intervening `Latch`. Untagged rows are covered by the encoding itself:
+//! an all-zero `(latch, tags)` row stores the code for `(0, 0)`, exactly
+//! what the unfused writes leave behind.
+
+use std::collections::{HashMap, HashSet};
+
+use hyperap_core::field::{Field, Slot};
+use hyperap_core::program::{ApOp, Program};
+use hyperap_tcam::bit::KeyBit;
+
+/// One `[Search(overwrite), Search(accumulate)*, Write{col, One}]` block.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    /// Index of the first search.
+    start: usize,
+    /// Index of the terminating write.
+    write: usize,
+    /// The written column.
+    col: usize,
+}
+
+/// Scan the op stream for write blocks.
+fn find_blocks(ops: &[ApOp]) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        if !matches!(
+            ops[i],
+            ApOp::Search {
+                accumulate: false,
+                ..
+            }
+        ) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 1;
+        while matches!(
+            ops.get(j),
+            Some(ApOp::Search {
+                accumulate: true,
+                ..
+            })
+        ) {
+            j += 1;
+        }
+        match ops.get(j) {
+            Some(ApOp::Write {
+                col,
+                value: KeyBit::One,
+            }) => {
+                blocks.push(Block {
+                    start,
+                    write: j,
+                    col: *col,
+                });
+                i = j + 1;
+            }
+            // A new overwrite search restarts the scan from there.
+            Some(ApOp::Search { .. }) => i = j,
+            _ => i = j + 1,
+        }
+    }
+    blocks
+}
+
+/// Count maximal trains of ≥2 stream-consecutive blocks with the same
+/// search count and a constant column stride — the summarizable unrolled
+/// loops.
+fn count_loops(blocks: &[Block]) -> usize {
+    let mut loops = 0;
+    let mut run = 1usize;
+    let mut stride: Option<isize> = None;
+    for w in blocks.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let d = b.col as isize - a.col as isize;
+        let contiguous = b.start == a.write + 1
+            && b.write - b.start == a.write - a.start
+            && stride.is_none_or(|s| s == d);
+        if contiguous {
+            run += 1;
+            stride = Some(d);
+        } else {
+            loops += usize::from(run >= 2);
+            run = 1;
+            stride = None;
+        }
+    }
+    loops + usize::from(run >= 2)
+}
+
+/// Summarize `program` in place; returns `(loop trains found, block pairs
+/// fused)`. Output fields are remapped when their columns move into pair
+/// encoding.
+pub fn run(program: &mut Program, inputs: &[Field], outputs: &mut [Field]) -> (usize, usize) {
+    let ops = program.ops();
+    let blocks = find_blocks(ops);
+    let loops = count_loops(&blocks);
+    if blocks.len() < 2 {
+        return (loops, 0);
+    }
+
+    // Global column usage: searched columns, write counts, host-loaded
+    // input columns, and how each column is exposed in the outputs.
+    let mut searched: HashSet<usize> = HashSet::new();
+    let mut writes: HashMap<usize, usize> = HashMap::new();
+    for op in ops {
+        match op {
+            ApOp::Search { key, .. } => searched.extend(key.active_bits().map(|(c, _)| c)),
+            ApOp::Write { col, .. } => *writes.entry(*col).or_default() += 1,
+            ApOp::WriteEncoded { col } => {
+                for c in [*col, *col + 1] {
+                    *writes.entry(c).or_default() += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let input_cols: HashSet<usize> = inputs
+        .iter()
+        .flat_map(|f| f.slots.iter())
+        .flat_map(|s| s.columns())
+        .collect();
+    // col → is it exposed *only* as Single{col}? (A pair slot overlapping
+    // the column rules it out.)
+    let mut out_single: HashMap<usize, bool> = HashMap::new();
+    for slot in outputs.iter().flat_map(|f| f.slots.iter()) {
+        for c in slot.columns() {
+            let plain = matches!(slot, Slot::Single { .. });
+            out_single
+                .entry(c)
+                .and_modify(|v| *v &= plain)
+                .or_insert(plain);
+        }
+    }
+    // Latch-clobber guard: the first WriteEncoded after index i must see a
+    // fresh Latch, not ours.
+    let latch_safe_after = |i: usize| -> bool {
+        for op in &ops[i + 1..] {
+            match op {
+                ApOp::Latch => return true,
+                ApOp::WriteEncoded { .. } => return false,
+                _ => {}
+            }
+        }
+        true
+    };
+    let fusable_col = |c: usize| -> bool {
+        !searched.contains(&c)
+            && writes.get(&c) == Some(&1)
+            && !input_cols.contains(&c)
+            && out_single.get(&c) == Some(&true)
+    };
+
+    // Greedy left-to-right pairing of adjacent blocks over adjacent columns.
+    let mut fused: Vec<(Block, Block)> = Vec::new();
+    let mut k = 0;
+    while k + 1 < blocks.len() {
+        let (a, b) = (blocks[k], blocks[k + 1]);
+        if b.start == a.write + 1
+            && b.col == a.col + 1
+            && fusable_col(a.col)
+            && fusable_col(b.col)
+            && latch_safe_after(b.write)
+        {
+            fused.push((a, b));
+            k += 2;
+        } else {
+            k += 1;
+        }
+    }
+    if fused.is_empty() {
+        return (loops, 0);
+    }
+
+    // Rewrite: block A's write becomes a Latch, block B's becomes the
+    // encoded-pair write; everything else is copied through.
+    let mut replace: HashMap<usize, ApOp> = HashMap::new();
+    for (a, b) in &fused {
+        replace.insert(a.write, ApOp::Latch);
+        replace.insert(b.write, ApOp::WriteEncoded { col: a.col });
+    }
+    let mut out = Program::new();
+    for (i, op) in ops.iter().enumerate() {
+        out.push(replace.remove(&i).unwrap_or_else(|| op.clone()));
+    }
+    *program = out;
+
+    // Remap the output layout: hi half ← latch (block A), lo ← tags (B).
+    for (a, b) in &fused {
+        for slot in outputs.iter_mut().flat_map(|f| f.slots.iter_mut()) {
+            if *slot == (Slot::Single { col: a.col }) {
+                *slot = Slot::PairHi { col: a.col };
+            } else if *slot == (Slot::Single { col: b.col }) {
+                *slot = Slot::PairLo { col: a.col };
+            }
+        }
+    }
+    (loops, fused.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperap_core::machine::HyperPe;
+    use hyperap_tcam::key::SearchKey;
+
+    fn single(col: usize) -> Field {
+        Field::new(format!("c{col}"), vec![Slot::Single { col }])
+    }
+
+    /// Two inverter-style blocks: out bit0 = !a, out bit1 = !b.
+    fn two_blocks() -> (Program, Vec<Field>, Vec<Field>) {
+        let mut p = Program::new();
+        p.search(SearchKey::masked(4).with_bit(0, KeyBit::Zero), false);
+        p.write(2, KeyBit::One);
+        p.search(SearchKey::masked(4).with_bit(1, KeyBit::Zero), false);
+        p.write(3, KeyBit::One);
+        let inputs = vec![single(0), single(1)];
+        let outputs = vec![Field::new(
+            "out",
+            vec![Slot::Single { col: 2 }, Slot::Single { col: 3 }],
+        )];
+        (p, inputs, outputs)
+    }
+
+    #[test]
+    fn fuses_adjacent_blocks_and_preserves_values() {
+        for a in 0..2u64 {
+            for b in 0..2u64 {
+                let (reference, inputs, outputs) = two_blocks();
+                let mut pe = HyperPe::new(1, 4);
+                inputs[0].store(&mut pe, 0, a);
+                inputs[1].store(&mut pe, 0, b);
+                reference.run(&mut pe);
+                let want = outputs[0].read(&pe, 0);
+
+                let (mut p, inputs, mut outputs) = two_blocks();
+                let (_, fused) = run(&mut p, &inputs, &mut outputs);
+                assert_eq!(fused, 1);
+                assert_eq!(p.len(), 4);
+                assert!(matches!(p.ops()[3], ApOp::WriteEncoded { col: 2 }));
+                assert_eq!(outputs[0].slot(0), Slot::PairHi { col: 2 });
+                assert_eq!(outputs[0].slot(1), Slot::PairLo { col: 2 });
+                let mut pe = HyperPe::new(1, 4);
+                inputs[0].store(&mut pe, 0, a);
+                inputs[1].store(&mut pe, 0, b);
+                p.run(&mut pe);
+                assert_eq!(outputs[0].read(&pe, 0), want, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn refuses_searched_columns() {
+        let (mut p, inputs, mut outputs) = two_blocks();
+        // A later search reads col 2: the pair encoding would change what
+        // it matches.
+        p.search(SearchKey::masked(4).with_bit(2, KeyBit::One), false);
+        p.push(ApOp::Count);
+        assert_eq!(run(&mut p, &inputs, &mut outputs).1, 0);
+    }
+
+    #[test]
+    fn refuses_non_adjacent_columns() {
+        let mut p = Program::new();
+        p.search(SearchKey::masked(5).with_bit(0, KeyBit::Zero), false);
+        p.write(2, KeyBit::One);
+        p.search(SearchKey::masked(5).with_bit(1, KeyBit::Zero), false);
+        p.write(4, KeyBit::One);
+        let inputs = vec![single(0), single(1)];
+        let mut outputs = vec![single(2), single(4)];
+        assert_eq!(run(&mut p, &inputs, &mut outputs).1, 0);
+    }
+
+    #[test]
+    fn refuses_when_a_later_encoded_write_reads_the_latch() {
+        let (mut p, inputs, _) = two_blocks();
+        // A pre-existing encoded write whose latch was set before the
+        // blocks: fusing would clobber it.
+        p.push(ApOp::WriteEncoded { col: 4 });
+        let mut outputs = vec![
+            Field::new(
+                "out",
+                vec![Slot::Single { col: 2 }, Slot::Single { col: 3 }],
+            ),
+            Field::new("pair", vec![Slot::PairHi { col: 4 }]),
+        ];
+        let inputs2 = inputs;
+        assert_eq!(run(&mut p, &inputs2, &mut outputs).1, 0);
+    }
+
+    #[test]
+    fn counts_unrolled_loop_trains() {
+        let mut p = Program::new();
+        for bit in 0..4 {
+            p.search(SearchKey::masked(16).with_bit(bit, KeyBit::Zero), false);
+            p.write(8 + bit, KeyBit::One);
+        }
+        let inputs: Vec<Field> = (0..4).map(single).collect();
+        let mut outputs: Vec<Field> = (8..12).map(single).collect();
+        let (loops, fused) = run(&mut p, &inputs, &mut outputs);
+        assert_eq!(loops, 1);
+        assert_eq!(fused, 2);
+    }
+}

@@ -21,7 +21,24 @@ pub struct CompileOptions {
     pub pair_inputs: bool,
     /// Columns per PE (256 in the paper's geometry).
     pub pe_columns: usize,
+    /// Optimization level.
+    ///
+    /// * `0` — the seed compiler's byte-identical output (the oracle the
+    ///   equivalence suites compare against).
+    /// * `1` — DFG constant folding/pruning ([`crate::opt::sccp::fold_dfg`]),
+    ///   inverted-literal absorption into LUT truth tables, and the
+    ///   post-codegen stream passes ([`crate::opt`]): stream SCCP, dead-write
+    ///   elimination, loop summarization.
+    /// * `2` (max, see [`OPT_LEVEL_MAX`]) — level 1 plus microcode-aware
+    ///   input layout: operands consumed exclusively as the multiplier's
+    ///   second argument are stored self-paired so the radix-4 digit
+    ///   searches use real two-bit keys instead of degenerate plain-column
+    ///   patterns.
+    pub opt_level: u8,
 }
+
+/// Highest meaningful [`CompileOptions::opt_level`].
+pub const OPT_LEVEL_MAX: u8 = 2;
 
 impl Default for CompileOptions {
     fn default() -> Self {
@@ -32,6 +49,7 @@ impl Default for CompileOptions {
             enable_embedding: true,
             pair_inputs: true,
             pe_columns: 256,
+            opt_level: 0,
         }
     }
 }
@@ -41,6 +59,14 @@ impl CompileOptions {
     pub fn cmos() -> Self {
         CompileOptions {
             alpha: 1.0,
+            ..Self::default()
+        }
+    }
+
+    /// Default options at the maximum optimization level.
+    pub fn optimized() -> Self {
+        CompileOptions {
+            opt_level: OPT_LEVEL_MAX,
             ..Self::default()
         }
     }
@@ -95,11 +121,16 @@ impl std::error::Error for CompileError {}
 pub fn compile(src: &str, opts: &CompileOptions) -> Result<CompiledKernel, CompileError> {
     let ast = parse::parse(src).map_err(|e| CompileError::Parse(e.to_string()))?;
     let lowered = sema::lower(&ast).map_err(|e| CompileError::Sema(e.to_string()))?;
+    let dfg = if opts.opt_level >= 1 {
+        crate::opt::sccp::fold_dfg(&lowered.dfg).0
+    } else {
+        lowered.dfg
+    };
     // Resource exhaustion (e.g. a program that does not fit one PE's
     // columns) surfaces as a panic deep in the allocator; report it as a
     // compile error rather than unwinding through the public API.
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        codegen::generate(lowered.dfg, lowered.input_names, lowered.output_names, opts)
+        codegen::generate(dfg, lowered.input_names, lowered.output_names, opts)
     }));
     match result {
         Ok(r) => r,
@@ -151,6 +182,60 @@ mod tests {
             let expect = k.dfg.eval(&[a, b])[0];
             assert_eq!(got, expect, "a={a} b={b}");
         }
+    }
+
+    #[test]
+    fn opt_levels_match_level_zero_and_never_emit_more_ops() {
+        // Mixed arithmetic with a constant subexpression so every pass has
+        // something to chew on: DFG folding, absorption, stream SCCP,
+        // liveness, summarization.
+        let src = "unsigned int (8) main(unsigned int (8) a, unsigned int (8) b) {
+            unsigned int (8) t;
+            t = (a + b) ^ (a & 15);
+            t = t + (b * 0);
+            return t - b;
+        }";
+        let reference = compile(src, &CompileOptions::default()).unwrap();
+        let base = crate::opt::counted_ops(reference.program());
+        let rows: Vec<[u64; 2]> = (0..32).map(|i| [i * 37 % 256, i * 101 % 256]).collect();
+        let row_refs: Vec<&[u64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let want = reference.run_rows(&row_refs).unwrap();
+        for level in 1..=OPT_LEVEL_MAX {
+            let opts = CompileOptions {
+                opt_level: level,
+                ..CompileOptions::default()
+            };
+            let k = compile(src, &opts).unwrap();
+            let ops = crate::opt::counted_ops(k.program());
+            assert!(
+                ops <= base,
+                "level {level} emitted {ops} > level 0's {base}"
+            );
+            assert_eq!(k.run_rows(&row_refs).unwrap(), want, "level {level}");
+        }
+    }
+
+    #[test]
+    fn optimized_multiplication_validates_against_dfg() {
+        // Exercises the level-2 self-paired multiplier operand layout.
+        let src = "unsigned int (8) main(unsigned int (8) a, unsigned int (8) b) {
+            return a * b;
+        }";
+        let k = compile(src, &CompileOptions::optimized()).unwrap();
+        assert!(k.opt_report().deleted() > 0, "optimizer found nothing");
+        for (a, b) in [(0u64, 0u64), (255, 255), (13, 21), (200, 3), (1, 254)] {
+            let got = k.run_rows(&[&[a, b]]).unwrap()[0];
+            assert_eq!(got, k.dfg.eval(&[a, b])[0], "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn level_zero_output_is_untouched_by_the_optimizer() {
+        let src = "unsigned int (9) main(unsigned int (8) a, unsigned int (8) b) {
+            return a + b;
+        }";
+        let k = compile(src, &CompileOptions::default()).unwrap();
+        assert_eq!(*k.opt_report(), crate::opt::OptReport::default());
     }
 
     #[test]

@@ -158,6 +158,11 @@ impl SyntheticBench {
         self.mc.program().op_counts()
     }
 
+    /// The associative-operation program one pass executes.
+    pub fn program(&self) -> &hyperap_core::program::Program {
+        self.mc.program()
+    }
+
     /// Execute on the functional machine and compare every row against the
     /// host reference.
     ///

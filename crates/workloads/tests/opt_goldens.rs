@@ -1,0 +1,91 @@
+//! Optimizer golden counts: the compiler-built add32/mul16 kernels' op
+//! mixes and Table-I cycle totals are frozen *per opt level*, so optimizer
+//! regressions are caught the same way engine regressions are (see
+//! `kernel_goldens.rs` for the microcode-built streams). A drift here is
+//! fine only when intentional — update the constants alongside the
+//! EXPERIMENTS.md figures they feed.
+//!
+//! The headline acceptance bar is also enforced: both kernels must emit
+//! ≥15% fewer counted micro-ops at the maximum opt level than at level 0.
+
+use hyperap_compiler::{compile, opt, CompileOptions, CompiledKernel, OPT_LEVEL_MAX};
+use hyperap_model::TechParams;
+
+const ADD32: &str =
+    "unsigned int (32) main(unsigned int (32) a, unsigned int (32) b) { return a + b; }";
+const MUL16: &str =
+    "unsigned int (16) main(unsigned int (16) a, unsigned int (16) b) { return a * b; }";
+
+fn at_level(src: &str, level: u8) -> CompiledKernel {
+    let opts = CompileOptions {
+        opt_level: level,
+        ..CompileOptions::default()
+    };
+    compile(src, &opts).unwrap()
+}
+
+/// `(counted ops, searches, writes_single, writes_encoded, tag_ops, rram, cmos)`
+fn mix(k: &CompiledKernel) -> (u64, u64, u64, u64, u64, u64, u64) {
+    let c = k.op_counts();
+    (
+        opt::counted_ops(k.program()),
+        c.searches,
+        c.writes_single,
+        c.writes_encoded,
+        c.tag_ops,
+        c.cycles(&TechParams::rram()),
+        c.cycles(&TechParams::cmos()),
+    )
+}
+
+#[test]
+fn add32_per_level_op_mix_and_cycles_are_frozen() {
+    // Level 0 is the seed compiler's oracle output.
+    assert_eq!(mix(&at_level(ADD32, 0)), (249, 170, 79, 0, 0, 1288, 577));
+    // Level 1: 32 inverter LUTs absorbed into carry-chain truth tables,
+    // 16 adjacent sum-bit writes fused into encoded pairs.
+    assert_eq!(mix(&at_level(ADD32, 1)), (169, 138, 15, 16, 0, 824, 401));
+    // Level 2 adds the self-paired multiplier layout — a no-op for add.
+    assert_eq!(mix(&at_level(ADD32, 2)), (169, 138, 15, 16, 0, 824, 401));
+}
+
+#[test]
+fn mul16_per_level_op_mix_and_cycles_are_frozen() {
+    assert_eq!(
+        mix(&at_level(MUL16, 0)),
+        (2967, 2512, 133, 272, 50, 12926, 6833)
+    );
+    // Stream SCCP deletes the impossible radix-4 digit searches the plain
+    // multiplier layout produces; liveness then kills their write chains.
+    assert_eq!(mix(&at_level(MUL16, 1)), (929, 773, 61, 72, 23, 3957, 2112));
+    assert_eq!(mix(&at_level(MUL16, 2)), (929, 773, 61, 72, 23, 3957, 2112));
+}
+
+#[test]
+fn max_level_saves_at_least_fifteen_percent() {
+    for (name, src) in [("add32", ADD32), ("mul16", MUL16)] {
+        let base = opt::counted_ops(at_level(src, 0).program());
+        let best = opt::counted_ops(at_level(src, OPT_LEVEL_MAX).program());
+        assert!(
+            (best as f64) <= 0.85 * base as f64,
+            "{name}: {best} ops at max level vs {base} at level 0 — \
+             less than the 15% acceptance bar"
+        );
+    }
+}
+
+#[test]
+fn higher_levels_never_emit_more_ops() {
+    for src in [ADD32, MUL16] {
+        let mut prev = u64::MAX;
+        for level in (0..=OPT_LEVEL_MAX).rev() {
+            let ops = opt::counted_ops(at_level(src, level).program());
+            assert!(
+                ops >= prev || prev == u64::MAX,
+                "level {level} emits fewer ops than level {}",
+                level + 1
+            );
+            prev = ops;
+        }
+    }
+}
