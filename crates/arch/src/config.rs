@@ -330,6 +330,41 @@ impl ArchConfig {
         (h, w)
     }
 
+    /// FNV-1a content hash of everything that shapes compiled code and
+    /// results: the full PE hierarchy, array dimensions, the resolved mesh
+    /// shape, and the tech timing constants the trace compiler bakes into
+    /// step cycle counts ([`hyperap_isa::Instruction::cycles`]). Two
+    /// configs with equal hashes compile any stream to interchangeable
+    /// traces (modulo hash collisions — callers that cache by this hash
+    /// must still validate candidates), so this is the geometry half of a
+    /// shared program-cache key. Execution policy (`exec`) and fault
+    /// seeding are deliberately excluded: neither changes what a compiled
+    /// trace *is*.
+    pub fn geometry_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let (mh, mw) = self.mesh_dims();
+        let mut h = OFFSET;
+        for v in [
+            self.groups as u64,
+            self.banks_per_group as u64,
+            self.subarrays_per_bank as u64,
+            self.pes_per_subarray as u64,
+            self.rows as u64,
+            self.cols as u64,
+            mh as u64,
+            mw as u64,
+            self.tech.t_search_cycles,
+            self.tech.t_bit_write_cycles(),
+        ] {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+
     /// Group index owning a PE id.
     pub fn group_of(&self, pe: usize) -> usize {
         pe / self.pes_per_group()

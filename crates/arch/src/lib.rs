@@ -63,4 +63,4 @@ pub use hyperap_tcam::{FaultError, FaultModel};
 pub use machine::ApMachine;
 pub use slab::SlabMachine;
 pub use stats::{PeHealth, RunStats};
-pub use trace::CompiledTrace;
+pub use trace::{stream_set_hash, CompiledTrace};

@@ -100,6 +100,57 @@ pub fn parallel_pays() -> bool {
     })
 }
 
+/// Logical CPU count the scheduler will actually give this process —
+/// `available_parallelism()` (cgroup/affinity aware), floored at 1.
+pub fn logical_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Physical core count of the host, best effort: the number of distinct
+/// `(physical id, core id)` pairs in `/proc/cpuinfo`. Falls back to
+/// [`logical_cpus`] when the file is absent or unparseable (non-Linux,
+/// stripped containers), so the result is always ≥ 1 and never exceeds
+/// what the kernel reports as schedulable.
+///
+/// Benches record this next to the logical count and the
+/// [`parallel_pays`] outcome so a 1-CPU CI run and a real multi-core run
+/// are distinguishable in `BENCH_SIM.json` — SMT siblings inflate the
+/// logical count but share execution units, and the compute-bound slab
+/// kernels scale with *cores*, not hardware threads.
+pub fn physical_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") else {
+            return logical_cpus();
+        };
+        let mut pairs = std::collections::HashSet::new();
+        let (mut phys, mut core) = (None::<u64>, None::<u64>);
+        let mut flush = |phys: &mut Option<u64>, core: &mut Option<u64>| {
+            if let (Some(p), Some(c)) = (phys.take(), core.take()) {
+                pairs.insert((p, c));
+            }
+        };
+        for line in info.lines() {
+            let Some((key, value)) = line.split_once(':') else {
+                // Blank line: end of one processor's stanza.
+                flush(&mut phys, &mut core);
+                continue;
+            };
+            match key.trim() {
+                "physical id" => phys = value.trim().parse().ok(),
+                "core id" => core = value.trim().parse().ok(),
+                _ => {}
+            }
+        }
+        flush(&mut phys, &mut core);
+        if pairs.is_empty() {
+            logical_cpus()
+        } else {
+            pairs.len()
+        }
+    })
+}
+
 /// The pure decision behind [`parallel_pays`]: two workers "win" only when
 /// the forked timing beats inline by at least 10%, so scheduler noise on a
 /// host with no real second core can't flip Auto into the losing mode.

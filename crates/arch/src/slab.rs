@@ -374,6 +374,41 @@ impl SlabMachine {
         }
     }
 
+    /// Reset every piece of architectural state to the as-constructed
+    /// machine — cells, tags, latches, data registers, op counters, wear,
+    /// fault bookkeeping (re-seeded at the same global PE ids), search
+    /// keys, bank masks, and data buffers — without reallocating the
+    /// arenas. A scrubbed machine is bit-identical to a fresh
+    /// [`new`](Self::new) of the same config: the serving layer scrubs
+    /// between tenants so one job can never observe another's state. The
+    /// content-addressed trace cache survives (it is invisible in results
+    /// and exactly what a steady-state pool wants warm).
+    pub fn scrub(&mut self) {
+        for chunk in &mut self.chunks {
+            chunk.storage.reset();
+            chunk.tags.clear();
+            chunk.latch.clear();
+            chunk.regs.clear();
+            chunk.ops.fill(OpCounts::default());
+            chunk.active.fill(0);
+            chunk.all_active = false;
+            chunk.any_active = false;
+        }
+        for key in &mut self.keys {
+            *key = SearchKey::masked(self.config.cols);
+        }
+        for plan in &mut self.key_plans {
+            plan.clear();
+        }
+        self.bank_masks.fill(0xFF);
+        for buf in &mut self.data_buffers {
+            buf.blocks_mut().fill(0);
+        }
+        self.active.fill(ActiveSet::default());
+        self.mov_scratch.clear();
+        self.imm_scratch.blocks_mut().fill(0);
+    }
+
     /// The machine geometry.
     pub fn config(&self) -> &ArchConfig {
         &self.config
@@ -568,6 +603,24 @@ impl SlabMachine {
     /// [`run_compiled`](Self::run_compiled) surfacing fault degradation as
     /// a typed error (see [`try_run`](Self::try_run)).
     pub fn try_run_compiled(&mut self, traces: &[CompiledTrace]) -> Result<RunStats, FaultError> {
+        self.try_run_compiled_inner(traces)
+    }
+
+    /// [`try_run_compiled`](Self::try_run_compiled) over borrowed traces —
+    /// the shared-cache execution path: a serving layer holding compiled
+    /// programs behind `Arc`s (possibly the same program repeated across
+    /// groups) runs them without cloning a single trace.
+    pub fn try_run_compiled_refs(
+        &mut self,
+        traces: &[&CompiledTrace],
+    ) -> Result<RunStats, FaultError> {
+        self.try_run_compiled_inner(traces)
+    }
+
+    fn try_run_compiled_inner<T: std::borrow::Borrow<CompiledTrace>>(
+        &mut self,
+        traces: &[T],
+    ) -> Result<RunStats, FaultError> {
         self.begin_run()?;
         let groups = self.config.groups;
         let mut stats = RunStats {
@@ -587,19 +640,22 @@ impl SlabMachine {
         let entries: Vec<Option<KeySnapshot>> = (0..n)
             .map(|g| {
                 traces[g]
+                    .borrow()
                     .uses_entry_key
                     .then(|| (self.keys[g].clone(), self.key_plans[g].clone()))
             })
             .collect();
         let clocks = trace::drive_steps(traces, groups, |g, step| match &step.kind {
             StepKind::Segment(si) => {
-                let seg = &traces[g].segments[*si];
-                self.exec_segment(g, seg, &traces[g].plans, entries[g].as_ref());
+                let t = traces[g].borrow();
+                let seg = &t.segments[*si];
+                self.exec_segment(g, seg, &t.plans, entries[g].as_ref());
                 stats.group_ops[g].add(&seg.ops_delta);
             }
             StepKind::Sync(inst) => self.execute_sync(g, inst, &mut stats),
         });
         for (g, t) in traces.iter().enumerate().take(n) {
+            let t = t.borrow();
             if let Some(key) = &t.final_key {
                 self.keys[g].copy_from(key);
                 let fp = t.final_plan.expect("a final key implies a plan");
@@ -904,6 +960,67 @@ mod tests {
             assert_eq!(reference.pe(pe), &slab.pe_snapshot(pe), "PE {pe}");
             assert_eq!(reference.data_reg(pe), &slab.data_reg(pe), "reg {pe}");
         }
+    }
+
+    #[test]
+    fn scrub_restores_fresh_machine_behavior() {
+        let dirtying = vec![
+            search_key("1"),
+            SEARCH,
+            Instruction::Write {
+                col: 2,
+                encode: false,
+            },
+            Instruction::ReadTag,
+            Instruction::Broadcast { group_mask: 0b01 },
+            Instruction::Count,
+        ];
+        let probe = vec![
+            search_key("--"),
+            SEARCH,
+            Instruction::Count,
+            Instruction::Index,
+        ];
+        let mut pool = SlabMachine::new(ArchConfig::tiny());
+        pool.load_bit(1, 0, 0, true);
+        pool.run(std::slice::from_ref(&dirtying));
+        pool.scrub();
+        let mut fresh = SlabMachine::new(ArchConfig::tiny());
+        // Same host loads on both, then the probe must be bit-identical —
+        // nothing of the dirtying run (cells, tags, keys, bank masks, op
+        // counters) may leak through the scrub.
+        pool.load_bit(5, 1, 1, true);
+        fresh.load_bit(5, 1, 1, true);
+        let a = pool.run(std::slice::from_ref(&probe));
+        let b = fresh.run(std::slice::from_ref(&probe));
+        assert_eq!(a, b);
+        for pe in 0..fresh.config().total_pes() {
+            assert_eq!(pool.pe_snapshot(pe), fresh.pe_snapshot(pe), "PE {pe}");
+            assert_eq!(pool.data_reg(pe), fresh.data_reg(pe), "reg {pe}");
+        }
+    }
+
+    #[test]
+    fn run_compiled_refs_matches_owned_traces() {
+        let stream = vec![
+            search_key("1"),
+            SEARCH,
+            Instruction::Write {
+                col: 1,
+                encode: false,
+            },
+            Instruction::Count,
+        ];
+        let cfg = ArchConfig::tiny();
+        let traces = trace::compile_streams(&[stream.clone(), stream], &cfg);
+        let mut owned = SlabMachine::new(cfg.clone());
+        let mut refs = SlabMachine::new(cfg);
+        owned.load_bit(2, 0, 0, true);
+        refs.load_bit(2, 0, 0, true);
+        let a = owned.try_run_compiled(&traces).unwrap();
+        let trace_refs: Vec<&CompiledTrace> = traces.iter().collect();
+        let b = refs.try_run_compiled_refs(&trace_refs).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -723,8 +723,9 @@ mod peephole {
 /// group index — the interpreter's `(issue cycle, group)` key), advance its
 /// clock by the step's cycle cost, and hand the step to `f`. Returns the
 /// final per-group clocks (groups beyond `traces.len()` idle at zero).
-pub(crate) fn drive_steps<F>(traces: &[CompiledTrace], groups: usize, mut f: F) -> Vec<u64>
+pub(crate) fn drive_steps<T, F>(traces: &[T], groups: usize, mut f: F) -> Vec<u64>
 where
+    T: std::borrow::Borrow<CompiledTrace>,
     F: FnMut(usize, &Step),
 {
     let n = groups.min(traces.len());
@@ -732,15 +733,41 @@ where
     let mut clocks = vec![0u64; groups];
     loop {
         let next = (0..n)
-            .filter(|&g| steps[g] < traces[g].steps.len())
+            .filter(|&g| steps[g] < traces[g].borrow().steps.len())
             .min_by_key(|&g| (clocks[g], g));
         let Some(g) = next else { break };
-        let step = &traces[g].steps[steps[g]];
+        let step = &traces[g].borrow().steps[steps[g]];
         steps[g] += 1;
         clocks[g] += step.cycles;
         f(g, step);
     }
     clocks
+}
+
+/// Content hash of a multi-group program: FNV-1a over each stream's
+/// canonical ISA byte encoding ([`hyperap_isa::encoding::encode`]), with
+/// per-stream length separators so stream boundaries are part of the
+/// identity. Two stream sets with equal hashes are *probably* equal — a
+/// shared program cache must still validate candidates with full stream
+/// equality before reuse (the vectorized `SearchKey` comparison makes that
+/// cheap).
+pub fn stream_set_hash(streams: &[Vec<Instruction>]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&(streams.len() as u64).to_le_bytes());
+    for stream in streams {
+        let bytes = hyperap_isa::encoding::encode(stream);
+        eat(&(bytes.len() as u64).to_le_bytes());
+        eat(&bytes);
+    }
+    h
 }
 
 /// Compile every stream of a multi-group program, deriving each stream's

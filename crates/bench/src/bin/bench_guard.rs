@@ -72,6 +72,18 @@ fn json_number(src: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Scan `src` for `"key": true|false`. Same single-scalar-per-line layout
+/// assumption as [`json_number`].
+fn json_bool(src: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let at = src.find(&pat)? + pat.len();
+    match src[at..].trim_start() {
+        r if r.starts_with("true") => Some(true),
+        r if r.starts_with("false") => Some(false),
+        _ => None,
+    }
+}
+
 /// Find the checked-in baseline next to the workspace (cwd first, then
 /// walking up — `cargo run` leaves cwd at the invocation directory).
 fn load_baseline() -> Option<(std::path::PathBuf, String)> {
@@ -227,6 +239,94 @@ fn guard_auto_mode(baseline: &str, path: &std::path::Path) -> bool {
     failed
 }
 
+/// Gate the checked-in `serve` block (emitted by `serve_bench`): the
+/// shared program cache must serve ≥90% of lookups, saturation throughput
+/// must be a real positive number, and the saturated pool must beat the
+/// depth-1 closed loop by ≥1.5× where the host's threading pays —
+/// degrading to a ≥0.9× "concurrency costs <10%" floor on single-CPU
+/// hosts, where batching amortization is the only available win.
+fn guard_serve(baseline: &str, path: &std::path::Path) -> bool {
+    let mut failed = false;
+    // `parallel_pays` also appears in the `host` block; scan from the
+    // serve block so we read serve_bench's copy (the host it measured on).
+    let Some(serve_at) = baseline.find("\"serve\":") else {
+        eprintln!(
+            "bench_guard: baseline {} has no serve block — run serve_bench after bench_sim",
+            path.display()
+        );
+        return true;
+    };
+    let baseline = &baseline[serve_at..];
+    for key in ["saturation_jobs_per_sec", "single_jobs_per_sec"] {
+        match json_number(baseline, key) {
+            Some(v) if v.is_finite() && v > 0.0 => {
+                println!("bench_guard: serve {key} = {v}");
+            }
+            other => {
+                eprintln!(
+                    "bench_guard: baseline {} lacks usable serve {key} ({other:?}) — \
+                     run serve_bench after bench_sim",
+                    path.display()
+                );
+                failed = true;
+            }
+        }
+    }
+    match json_number(baseline, "cache_hit_rate") {
+        Some(rate) if rate >= 0.90 => {
+            println!("bench_guard: serve cache_hit_rate = {rate:.4} (floor 0.90)");
+        }
+        Some(rate) => {
+            eprintln!("bench_guard: serve cache_hit_rate {rate:.4} below the 0.90 floor");
+            failed = true;
+        }
+        None => {
+            eprintln!(
+                "bench_guard: baseline {} lacks cache_hit_rate",
+                path.display()
+            );
+            failed = true;
+        }
+    }
+    let pays = json_bool(baseline, "parallel_pays");
+    let floor = match pays {
+        Some(true) => 1.5,
+        Some(false) => 0.9,
+        None => {
+            eprintln!(
+                "bench_guard: baseline {} lacks serve parallel_pays",
+                path.display()
+            );
+            return true;
+        }
+    };
+    match json_number(baseline, "throughput_scaling") {
+        Some(s) if s >= floor => {
+            println!(
+                "bench_guard: serve throughput_scaling = {s:.2}x clears the {floor}x floor \
+                 (parallel_pays = {})",
+                pays.unwrap()
+            );
+        }
+        Some(s) => {
+            eprintln!(
+                "bench_guard: serve throughput_scaling {s:.2}x below the {floor}x floor \
+                 (parallel_pays = {})",
+                pays.unwrap()
+            );
+            failed = true;
+        }
+        None => {
+            eprintln!(
+                "bench_guard: baseline {} lacks throughput_scaling",
+                path.display()
+            );
+            failed = true;
+        }
+    }
+    failed
+}
+
 fn smoke() -> i32 {
     // Baseline sanity: the checked-in JSON must parse and must carry the
     // trace-engine entry bench_sim now emits.
@@ -264,6 +364,7 @@ fn smoke() -> i32 {
     failed |= baseline_below_slab_floor(&baseline, &path);
     failed |= guard_opt_levels(&baseline, &path);
     failed |= guard_auto_mode(&baseline, &path);
+    failed |= guard_serve(&baseline, &path);
 
     // Small geometry: 4 groups × 16 PEs of 64×256 keeps the smoke under a
     // second even in debug builds.
@@ -489,6 +590,7 @@ fn full() -> i32 {
     failed |= baseline_below_slab_floor(&baseline, &path);
     failed |= guard_opt_levels(&baseline, &path);
     failed |= guard_auto_mode(&baseline, &path);
+    failed |= guard_serve(&baseline, &path);
     if cfg!(debug_assertions) {
         println!("bench_guard: debug build — skipping the absolute floor on the fresh measurement");
     } else if slab_seq < SLAB_SEQ_FLOOR_IPS {

@@ -292,7 +292,14 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Host shape for interpreting every threaded number downstream: logical
+    // CPUs, physical cores (SMT folded out), and whether the fork-join
+    // engine considers threading profitable here at all — the same
+    // predicate `ExecMode::Auto` and the serving layer's scaling floors
+    // key off.
+    let host_cpus = hyperap_arch::par::logical_cpus();
+    let physical_cores = hyperap_arch::par::physical_cores();
+    let parallel_pays = hyperap_arch::par::parallel_pays();
 
     // 1. Kernel: allocating vs buffer-reusing search. The two loops must
     // differ only in where the result lands, so the key is laundered
@@ -455,7 +462,9 @@ fn main() {
   }},
   "host": {{
     "cpus": {host_cpus},
-    "parallel_threads": {parallel_threads}
+    "physical_cores": {physical_cores},
+    "parallel_threads": {parallel_threads},
+    "parallel_pays": {parallel_pays}
   }},
   "geometry": {{
     "groups": {GROUPS},

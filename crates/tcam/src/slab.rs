@@ -158,6 +158,12 @@ impl TagSlab {
         }
     }
 
+    /// Clear every tag bit, restoring the all-clear state of
+    /// [`zeros`](Self::zeros) without reallocating the plane.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
     /// Number of PEs in the slab.
     pub fn pes(&self) -> usize {
         self.pes
@@ -857,6 +863,29 @@ impl TcamSlab {
             // mask, every `ones` plane empty.
             zsum: vec![PlaneSummary::Full; cols],
             osum: vec![PlaneSummary::AllZero; cols],
+        }
+    }
+
+    /// Reset the slab to its as-constructed state — every cell `0`, wear
+    /// cleared — without reallocating the arenas. If a fault model is
+    /// attached it is re-seeded from scratch (same model, same global PE
+    /// base, same spare budget): remaps, retirements, the latched failure,
+    /// and the epoch all return to their initial values, and the initial
+    /// devices' stuck bits are re-enforced on the cleared storage. The
+    /// result is indistinguishable from a fresh [`new`](Self::new) +
+    /// [`attach_fault`](Self::attach_fault) slab — the serving layer's
+    /// scrub-on-assign isolation guarantee rests on this.
+    pub fn reset(&mut self) {
+        self.ones.fill(0);
+        let plane = self.rows * self.pw;
+        for c in 0..self.cols {
+            self.zeros[c * plane..(c + 1) * plane].copy_from_slice(&self.live);
+        }
+        self.wear.fill(0);
+        self.zsum.fill(PlaneSummary::Full);
+        self.osum.fill(PlaneSummary::AllZero);
+        if let Some(f) = self.fault.take() {
+            self.attach_fault(f.model, f.spares, f.pe0);
         }
     }
 
@@ -2316,6 +2345,60 @@ mod tests {
             expect.accumulate(&array.search(&k2));
             assert_eq!(out.to_tagvector(pe), expect, "pe {pe}");
         }
+    }
+
+    #[test]
+    fn tag_slab_clear_restores_zeros() {
+        let mut t = TagSlab::zeros(70, 9);
+        t.words_mut()[0] = 0x5555;
+        t.words_mut()[5] = 1;
+        t.clear();
+        assert_eq!(t, TagSlab::zeros(70, 9));
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let (mut slab, _) = seeded(4, 70, 5);
+        let tags = tag_pattern(&slab, 1);
+        slab.write_column_multi(3, TernaryBit::One, tags.words(), None);
+        slab.write_column_multi(0, TernaryBit::X, tags.words(), None);
+        slab.reset();
+        let fresh = TcamSlab::new(4, 70, 5);
+        assert_eq!(slab, fresh);
+        // The summaries are back to the exact fresh state too: a search on
+        // a reset slab takes the same pruned paths as on a new one.
+        let plan = SearchKey::parse("1-0Z-").unwrap().compile_plan();
+        let mut out = TagSlab::zeros(4, 70);
+        slab.search_plan_multi_into(&plan, None, out.words_mut());
+        let mut out_fresh = TagSlab::zeros(4, 70);
+        fresh.search_plan_multi_into(&plan, None, out_fresh.words_mut());
+        assert_eq!(out, out_fresh);
+    }
+
+    #[test]
+    fn reset_reseeds_fault_state() {
+        let model = FaultModel {
+            seed: 77,
+            stuck_per_million: 20_000,
+            miss_per_million: 1_000,
+            endurance_limit: Some(4),
+        };
+        let mut slab = TcamSlab::new(3, 40, 6);
+        slab.attach_fault(model, 2, 64);
+        let mut fresh = TcamSlab::new(3, 40, 6);
+        fresh.attach_fault(model, 2, 64);
+        // Mutate storage, wear, and fault bookkeeping past the initial
+        // state, including a latched failure.
+        let tags = tag_pattern(&slab, 2);
+        for _ in 0..5 {
+            slab.write_column_multi(1, TernaryBit::One, tags.words(), None);
+        }
+        slab.advance_epoch();
+        assert!(slab.service_endurance().is_err() || slab.fault().is_some());
+        slab.reset();
+        assert_eq!(slab, fresh);
+        assert_eq!(slab.fault().unwrap().epoch, 0);
+        assert!(slab.fault().unwrap().failed.iter().all(|f| f.is_none()));
     }
 
     #[test]
