@@ -343,9 +343,23 @@ impl ArchConfig {
     pub fn geometry_hash(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let (mh, mw) = self.mesh_dims();
         let mut h = OFFSET;
-        for v in [
+        for v in self.geometry_fields() {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+
+    /// The exact values [`geometry_hash`](Self::geometry_hash) digests, in
+    /// digest order — the collision-proof witness for caches keyed by that
+    /// hash: two configs compile any stream to interchangeable traces iff
+    /// these arrays are equal.
+    pub fn geometry_fields(&self) -> [u64; 10] {
+        let (mh, mw) = self.mesh_dims();
+        [
             self.groups as u64,
             self.banks_per_group as u64,
             self.subarrays_per_bank as u64,
@@ -356,13 +370,7 @@ impl ArchConfig {
             mw as u64,
             self.tech.t_search_cycles,
             self.tech.t_bit_write_cycles(),
-        ] {
-            for b in v.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(PRIME);
-            }
-        }
-        h
+        ]
     }
 
     /// Group index owning a PE id.

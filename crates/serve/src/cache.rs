@@ -11,8 +11,10 @@
 //!
 //! Correctness over the hash is never assumed: a key hit is validated by
 //! comparing the full stream set (cheap — the vectorized `SearchKey`
-//! equality from the slab work), and a collision recompiles and replaces
-//! the entry rather than serving the wrong program.
+//! equality from the slab work) *and* the geometry witness
+//! ([`ArchConfig::geometry_fields`], the exact values the geometry hash
+//! digests), and a collision on either half recompiles and replaces the
+//! entry rather than serving the wrong program.
 //!
 //! Compilation happens *outside* the cache lock, so a miss never stalls
 //! concurrent hits; two threads racing to compile the same cold program do
@@ -35,6 +37,12 @@ pub struct CachedProgram {
     pub key: (u64, u64),
     /// The instruction streams exactly as submitted, one per group.
     pub streams: Vec<Vec<Instruction>>,
+    /// The geometry witness ([`ArchConfig::geometry_fields`]) the program
+    /// was compiled for — the exact values the key's geometry hash
+    /// digests, validated on every hit alongside stream equality so a
+    /// geometry-hash collision can never serve a trace compiled for a
+    /// different machine shape.
+    pub geometry: [u64; 10],
     /// One compiled trace per stream.
     pub traces: Vec<CompiledTrace>,
 }
@@ -166,6 +174,7 @@ impl ProgramCache {
         streams: &[Vec<Instruction>],
         config: &ArchConfig,
     ) -> Arc<CachedProgram> {
+        let geometry = config.geometry_fields();
         let key = (stream_set_hash(streams), config.geometry_hash());
         let mut collision = false;
         {
@@ -173,7 +182,7 @@ impl ProgramCache {
             inner.clock += 1;
             let clock = inner.clock;
             if let Some(entry) = inner.entries.get_mut(&key) {
-                if entry.program.streams == streams {
+                if entry.program.streams == streams && entry.program.geometry == geometry {
                     entry.last_used = clock;
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Arc::clone(&entry.program);
@@ -190,6 +199,7 @@ impl ProgramCache {
         let program = Arc::new(CachedProgram {
             key,
             streams: streams.to_vec(),
+            geometry,
             traces: hyperap_arch::trace::compile_streams(streams, config),
         });
         let mut inner = self.inner.lock().expect("cache lock");
@@ -199,7 +209,7 @@ impl ProgramCache {
         // compiled; reuse its Arc so batch coalescing (which compares by
         // pointer first) sees one shared value.
         if let Some(entry) = inner.entries.get_mut(&key) {
-            if entry.program.streams == streams {
+            if entry.program.streams == streams && entry.program.geometry == geometry {
                 entry.last_used = clock;
                 return Arc::clone(&entry.program);
             }

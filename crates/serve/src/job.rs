@@ -69,6 +69,13 @@ pub enum JobError {
         /// The latched fault.
         error: FaultError,
     },
+    /// The worker thread panicked while running the sweep the job was in
+    /// (an internal invariant violation, not a modeled fault). The machine
+    /// is quarantined and every job in the sweep gets this error.
+    WorkerPanic {
+        /// Pool machine whose worker panicked.
+        machine: usize,
+    },
     /// The pool shut down (or lost its last healthy machine) before the
     /// job ran.
     PoolShutdown,
@@ -79,6 +86,9 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Fault { machine, error } => {
                 write!(f, "machine {machine} quarantined: {error}")
+            }
+            JobError::WorkerPanic { machine } => {
+                write!(f, "machine {machine} quarantined: worker panicked mid-sweep")
             }
             JobError::PoolShutdown => write!(f, "pool shut down before the job ran"),
         }
@@ -108,6 +118,22 @@ pub enum SubmitError {
     },
     /// The job has no streams.
     EmptyJob,
+    /// A host preload addresses a cell outside the job's own span. Loads
+    /// are job-local: `pe` must be below `streams.len() * pes_per_group`
+    /// (the PEs the job's groups own), and `row`/`col` must fit the
+    /// machine's array geometry. An out-of-span load on a batched job
+    /// would land in a co-batched tenant's groups, so it is refused at
+    /// the door instead.
+    LoadOutOfRange {
+        /// The offending preload.
+        load: CellLoad,
+        /// PEs the job's requested groups span (exclusive `pe` bound).
+        job_pes: usize,
+        /// Rows per PE array (exclusive `row` bound).
+        rows: usize,
+        /// Columns per PE array (exclusive `col` bound).
+        cols: usize,
+    },
     /// The program moves data across the PE mesh (`MovR`/`ReadR`/`WriteR`)
     /// but requests fewer groups than a whole machine. Mesh geometry
     /// derives from the full machine, so a partial-machine placement would
@@ -139,6 +165,17 @@ impl std::fmt::Display for SubmitError {
                 "job wants {requested} groups, machines have {machine_groups}"
             ),
             SubmitError::EmptyJob => write!(f, "job has no streams"),
+            SubmitError::LoadOutOfRange {
+                load,
+                job_pes,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "preload (pe {}, row {}, col {}) outside the job span \
+                 ({job_pes} PEs of {rows}x{cols})",
+                load.pe, load.row, load.col
+            ),
             SubmitError::RemoteOpsNeedFullMachine {
                 requested,
                 machine_groups,
@@ -199,8 +236,11 @@ impl JobHandle {
         }
     }
 
-    /// Non-blocking poll: `Some` exactly once, after completion.
+    /// Non-blocking poll: `None` while the job is in flight, `Some` once
+    /// it has resolved. Polling never consumes the result — repeated
+    /// calls keep returning it, and a later [`wait`](Self::wait) still
+    /// resolves immediately.
     pub fn try_wait(&self) -> Option<Result<JobOutput, JobError>> {
-        self.slot.result.lock().expect("slot lock").take()
+        self.slot.result.lock().expect("slot lock").clone()
     }
 }

@@ -13,8 +13,8 @@
 //!   cache into one shared, capacity-bounded LRU keyed by
 //!   `(stream-set hash, geometry hash)`: N tenants submitting the same
 //!   kernel compile it **once**, and every hit is validated by full stream
-//!   equality before reuse, so a hash collision can never serve the wrong
-//!   program.
+//!   equality plus the geometry witness before reuse, so a hash collision
+//!   can never serve the wrong program.
 //! * Compatible submissions — same cached program, no cross-PE traffic,
 //!   zero-fault config — are **batched**: coalesced onto disjoint group
 //!   ranges of one machine and executed as a single sweep, amortizing the
@@ -44,4 +44,4 @@ pub mod pool;
 
 pub use cache::{CacheStats, CachedProgram, ProgramCache};
 pub use job::{CellLoad, JobError, JobHandle, JobOutput, JobSpec, SubmitError, TenantId};
-pub use pool::{PoolStats, QuarantineReport, ServeConfig, ServePool, TenantStats};
+pub use pool::{PoolStats, QuarantineCause, QuarantineReport, ServeConfig, ServePool, TenantStats};

@@ -32,9 +32,11 @@
 //! A sweep that returns [`FaultError`] fails only the jobs in that sweep
 //! (each with a typed [`JobError::Fault`]); the machine is marked
 //! unhealthy, its queued jobs migrate to healthy workers, and the worker
-//! exits. The pool keeps serving on the survivors; submissions are
-//! refused with [`SubmitError::NoHealthyMachines`] only when the last
-//! machine is gone.
+//! exits. A sweep that *panics* (an internal invariant violation) takes
+//! the same path with [`JobError::WorkerPanic`], so waiters never block
+//! on a slot a dead worker will not fill. The pool keeps serving on the
+//! survivors; submissions are refused with
+//! [`SubmitError::NoHealthyMachines`] only when the last machine is gone.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -105,14 +107,33 @@ pub struct TenantStats {
     pub retired_columns: u64,
 }
 
+/// Why a machine was pulled from service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineCause {
+    /// A sweep latched a hardware fault.
+    Fault(FaultError),
+    /// The worker thread panicked mid-sweep (an internal invariant
+    /// violation, not a modeled fault).
+    WorkerPanic,
+}
+
+impl std::fmt::Display for QuarantineCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineCause::Fault(error) => write!(f, "{error}"),
+            QuarantineCause::WorkerPanic => write!(f, "worker panicked mid-sweep"),
+        }
+    }
+}
+
 /// One quarantined machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuarantineReport {
     /// Pool machine index.
     pub machine: usize,
-    /// The latched fault that triggered the quarantine.
-    pub error: FaultError,
-    /// Jobs failed in the sweep that hit the fault.
+    /// What triggered the quarantine.
+    pub cause: QuarantineCause,
+    /// Jobs failed in the sweep that triggered the quarantine.
     pub failed_jobs: u64,
 }
 
@@ -235,6 +256,7 @@ impl Sched {
                     && groups + job.program.streams.len() <= machine_groups
                     && (Arc::ptr_eq(&job.program, &primary.program)
                         || (job.program.key == primary.program.key
+                            && job.program.geometry == primary.program.geometry
                             && job.program.streams == primary.program.streams));
                 if fits {
                     let job = self.deques[v].remove(i).expect("indexed job");
@@ -359,6 +381,23 @@ impl ServePool {
             return Err(SubmitError::RemoteOpsNeedFullMachine {
                 requested: spec.streams.len(),
                 machine_groups,
+            });
+        }
+        // Preloads are job-local; an out-of-span `pe` on a batched job
+        // would land in a co-batched tenant's groups, and an out-of-range
+        // row/col would trip the slab's cell asserts on the worker.
+        let job_pes = spec.streams.len() * self.shared.cfg.arch.pes_per_group();
+        let (rows, cols) = (self.shared.cfg.arch.rows, self.shared.cfg.arch.cols);
+        if let Some(&load) = spec
+            .loads
+            .iter()
+            .find(|l| l.pe >= job_pes || l.row >= rows || l.col >= cols)
+        {
+            return Err(SubmitError::LoadOutOfRange {
+                load,
+                job_pes,
+                rows,
+                cols,
             });
         }
         // Compile (or hit the shared cache) before taking the scheduler
@@ -494,8 +533,23 @@ fn worker_loop(shared: &Shared, w: usize) {
                 sched = shared.work.wait(sched).expect("sched lock");
             }
         };
-        match run_batch(&mut machine, w, per, &batch) {
-            Ok(outputs) => {
+        // A panic inside the sweep (an internal assert, not a modeled
+        // fault) must not strand the batch: waiters would block forever on
+        // slots nobody will fill while admission keeps striping jobs to a
+        // dead worker. Catch it, quarantine like the fault path, and fail
+        // the batch with a typed error before the worker exits.
+        let swept = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_batch(&mut machine, w, per, &batch)
+        }));
+        match swept {
+            Err(_) => {
+                quarantine(shared, w, QuarantineCause::WorkerPanic, &batch);
+                for job in batch {
+                    job.slot.fulfill(Err(JobError::WorkerPanic { machine: w }));
+                }
+                return;
+            }
+            Ok(Ok(outputs)) => {
                 let mut sched = shared.sched.lock().expect("sched lock");
                 sched.sweeps += 1;
                 if batch.len() > 1 {
@@ -520,8 +574,8 @@ fn worker_loop(shared: &Shared, w: usize) {
                     job.slot.fulfill(Ok(output));
                 }
             }
-            Err(error) => {
-                quarantine(shared, w, error, &batch);
+            Ok(Err(error)) => {
+                quarantine(shared, w, QuarantineCause::Fault(error), &batch);
                 for job in batch {
                     job.slot.fulfill(Err(JobError::Fault { machine: w, error }));
                 }
@@ -600,12 +654,12 @@ fn slice_stats(full: &RunStats, off: usize, groups: usize, per: usize) -> RunSta
 /// Mark machine `w` unhealthy and migrate its queued jobs to healthy
 /// workers (or fail them with [`JobError::PoolShutdown`] when none
 /// remain).
-fn quarantine(shared: &Shared, w: usize, error: FaultError, batch: &[QueuedJob]) {
+fn quarantine(shared: &Shared, w: usize, cause: QuarantineCause, batch: &[QueuedJob]) {
     let mut sched = shared.sched.lock().expect("sched lock");
     sched.healthy[w] = false;
     sched.quarantined.push(QuarantineReport {
         machine: w,
-        error,
+        cause,
         failed_jobs: batch.len() as u64,
     });
     for job in batch {
@@ -799,6 +853,125 @@ mod tests {
                 machine_groups: groups
             }
         );
+    }
+
+    #[test]
+    fn out_of_span_loads_are_rejected() {
+        let pool = tiny_pool(1);
+        let arch = ArchConfig::tiny();
+        let per = arch.pes_per_group();
+        let ok = CellLoad {
+            pe: 0,
+            row: 0,
+            col: 0,
+            value: true,
+        };
+        // A 1-group job owns PEs [0, per): `pe == per` is the first PE of
+        // a *neighbor's* group range when batched, so it must be refused.
+        for bad in [
+            CellLoad { pe: per, ..ok },
+            CellLoad {
+                row: arch.rows,
+                ..ok
+            },
+            CellLoad {
+                col: arch.cols,
+                ..ok
+            },
+        ] {
+            assert_eq!(
+                pool.submit(JobSpec {
+                    tenant: 0,
+                    streams: vec![probe_stream()],
+                    loads: vec![ok, bad],
+                })
+                .unwrap_err(),
+                SubmitError::LoadOutOfRange {
+                    load: bad,
+                    job_pes: per,
+                    rows: arch.rows,
+                    cols: arch.cols,
+                }
+            );
+        }
+        // The same pe is fine when the job requests both groups.
+        let full = pool.submit(JobSpec {
+            tenant: 0,
+            streams: vec![probe_stream(); arch.groups],
+            loads: vec![CellLoad { pe: per, ..ok }],
+        });
+        full.unwrap().wait().unwrap();
+        assert_eq!(pool.stats().completed_jobs, 1);
+    }
+
+    #[test]
+    fn sweep_panic_fails_the_batch_and_quarantines() {
+        // Inject a job whose preload is outside the machine entirely,
+        // bypassing submit() validation — the stand-in for any internal
+        // invariant violation mid-sweep. The waiter must get a typed
+        // error (not block forever) and the machine must quarantine.
+        let pool = tiny_pool(2);
+        let arch = ArchConfig::tiny();
+        let program = pool.cache().get_or_compile(&[probe_stream()], &arch);
+        let slot = Slot::new();
+        {
+            let mut sched = pool.shared.sched.lock().expect("sched lock");
+            sched.deques[0].push_back(QueuedJob {
+                tenant: 9,
+                program,
+                loads: vec![CellLoad {
+                    pe: arch.total_pes(),
+                    row: 0,
+                    col: 0,
+                    value: true,
+                }],
+                batchable: true,
+                slot: Arc::clone(&slot),
+            });
+            sched.depth += 1;
+            sched.tenant_depth.insert(9, 1);
+        }
+        pool.shared.work.notify_all();
+        // Either worker may pick the job up (the idle peer can steal it).
+        let err = (JobHandle { slot, tenant: 9 }).wait().unwrap_err();
+        let JobError::WorkerPanic { machine } = err else {
+            panic!("expected a worker panic, got {err:?}");
+        };
+        // The survivor keeps serving; the panic is reported in stats.
+        pool.submit(JobSpec {
+            tenant: 1,
+            streams: vec![probe_stream()],
+            loads: vec![],
+        })
+        .unwrap()
+        .wait()
+        .unwrap();
+        let stats = pool.shutdown();
+        assert_eq!(stats.healthy_machines, 1);
+        assert_eq!(stats.quarantined.len(), 1);
+        assert_eq!(stats.quarantined[0].machine, machine);
+        assert_eq!(stats.quarantined[0].cause, QuarantineCause::WorkerPanic);
+    }
+
+    #[test]
+    fn try_wait_does_not_consume_the_result() {
+        let pool = tiny_pool(1);
+        let handle = pool
+            .submit(JobSpec {
+                tenant: 0,
+                streams: vec![probe_stream()],
+                loads: vec![],
+            })
+            .unwrap();
+        let polled = loop {
+            if let Some(r) = handle.try_wait() {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        let again = handle.try_wait().expect("poll after completion");
+        assert_eq!(polled, again);
+        assert_eq!(handle.wait(), polled, "wait still resolves after polls");
     }
 
     #[test]
