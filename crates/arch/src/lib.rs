@@ -53,6 +53,7 @@
 pub mod config;
 pub mod machine;
 pub mod par;
+pub mod similarity;
 pub mod slab;
 pub mod stats;
 pub mod trace;
@@ -61,6 +62,7 @@ pub mod transfer;
 pub use config::{env_faults, ArchConfig, ExecMode, FaultConfig};
 pub use hyperap_tcam::{FaultError, FaultModel};
 pub use machine::ApMachine;
+pub use similarity::{SimilarityHit, SimilarityOutcome};
 pub use slab::SlabMachine;
 pub use stats::{PeHealth, RunStats};
 pub use trace::{stream_set_hash, CompiledTrace};

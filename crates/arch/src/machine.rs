@@ -23,6 +23,7 @@
 
 use crate::config::{ArchConfig, ExecMode};
 use crate::par;
+use crate::similarity::{SimilarityHit, SimilarityOutcome};
 use crate::stats::{PeHealth, RunStats};
 use crate::trace::{self, CompiledTrace, MicroOp, PlanRef, Segment, StepKind};
 use hyperap_core::machine::HyperPe;
@@ -30,6 +31,7 @@ use hyperap_isa::{Direction, Instruction};
 use hyperap_model::timing::OpCounts;
 use hyperap_tcam::bit::{KeyBit, TernaryBit};
 use hyperap_tcam::key::SearchKey;
+use hyperap_tcam::similarity as tcam_similarity;
 use hyperap_tcam::tags::TagVector;
 use hyperap_tcam::FaultError;
 
@@ -185,6 +187,59 @@ impl ApMachine {
     /// A PE's data register.
     pub fn data_reg(&self, id: usize) -> &TagVector {
         &self.data_regs[id]
+    }
+
+    /// CAM-native batch similarity query: the top-`k` stored words across
+    /// every PE by ternary Hamming distance to `query`, searched over the
+    /// first `rows` rows of each PE.
+    ///
+    /// This is the scalar per-PE reference engine — it walks every cell —
+    /// and is bit-identical in hits *and* [`RunStats`] to
+    /// [`SlabMachine::hamming_topk`](crate::SlabMachine::hamming_topk);
+    /// see [`crate::similarity`] for the shared semantics and the
+    /// accounting model. Winners are sorted ascending
+    /// `(distance, pe, row)`. Read-only: no wear, no epoch advance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `rows` exceeds the machine's rows.
+    pub fn hamming_topk(&self, query: &SearchKey, rows: usize, k: usize) -> SimilarityOutcome {
+        assert!(rows <= self.config.rows, "row limit exceeds machine");
+        assert!(k > 0, "top-k requires k >= 1");
+        let plan = query.compile_plan();
+        let active = tcam_similarity::active_entries(&plan, self.config.cols);
+        let total = self.config.total_pes();
+        let mut distances = Vec::with_capacity(total * rows);
+        for pe in 0..total {
+            distances.extend(tcam_similarity::scalar_distances(
+                self.pes[pe].array(),
+                &plan,
+                rows,
+            ));
+        }
+        let sched = tcam_similarity::topk_schedule(&distances, active, k);
+        let mut hits: Vec<SimilarityHit> = distances
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d <= sched.tau)
+            .map(|(i, &d)| SimilarityHit {
+                distance: d,
+                pe: (i / rows) as u32,
+                row: (i % rows) as u32,
+            })
+            .collect();
+        hits.sort_unstable();
+        hits.truncate(k);
+        SimilarityOutcome {
+            hits,
+            stats: crate::similarity::query_stats(&self.config, active, sched.rounds, None),
+        }
+    }
+
+    /// The single nearest stored word to `query` —
+    /// [`hamming_topk`](Self::hamming_topk) with `k = 1`.
+    pub fn nearest(&self, query: &SearchKey, rows: usize) -> SimilarityOutcome {
+        self.hamming_topk(query, rows, 1)
     }
 
     /// Recompute the group's active-PE set if a `Broadcast` invalidated it.

@@ -35,6 +35,7 @@
 use crate::config::{ArchConfig, ExecMode};
 use crate::machine::{ActiveSet, ApMachine, KeySnapshot, BROADCAST_ADDR};
 use crate::par;
+use crate::similarity::{SimilarityHit, SimilarityOutcome};
 use crate::stats::{PeHealth, RunGeometry, RunStats};
 use crate::trace::{self, CompiledTrace, MicroOp, PlanRef, Segment, StepKind};
 use hyperap_core::machine::HyperPe;
@@ -43,7 +44,8 @@ use hyperap_model::timing::OpCounts;
 use hyperap_tcam::bit::{KeyBit, TernaryBit};
 use hyperap_tcam::encoding::encode_pair;
 use hyperap_tcam::key::SearchKey;
-use hyperap_tcam::slab::{SweepOp, TagSlab, TcamSlab};
+use hyperap_tcam::similarity as tcam_similarity;
+use hyperap_tcam::slab::{SlabTopk, SweepOp, TagSlab, TcamSlab};
 use hyperap_tcam::tags::TagVector;
 use hyperap_tcam::FaultError;
 
@@ -503,6 +505,100 @@ impl SlabMachine {
         ])
         .expect("valid two-bit code");
         (v & 0b10 != 0, v & 0b01 != 0)
+    }
+
+    /// CAM-native batch similarity query: the top-`k` stored words across
+    /// every PE by ternary Hamming distance to `query`, searched over the
+    /// first `rows` rows of each PE.
+    ///
+    /// This is the word-parallel engine: each chunk accumulates per-row
+    /// miss counts into counter bit-planes — 64 PEs per machine word —
+    /// and runs the progressive threshold schedule locally
+    /// ([`TcamSlab::hamming_topk`]); a chunk always executes at least as
+    /// many rounds as the global controller needs, so the per-round counts
+    /// sum to the exact global schedule and the merged winners are the
+    /// exact global top-k. Bit-identical in hits *and* [`RunStats`] to
+    /// [`ApMachine::hamming_topk`] under every [`ExecMode`] and chunk
+    /// width; see [`crate::similarity`]. Read-only: no wear, no epoch
+    /// advance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `rows` exceeds the machine's rows.
+    pub fn hamming_topk(&self, query: &SearchKey, rows: usize, k: usize) -> SimilarityOutcome {
+        assert!(rows <= self.config.rows, "row limit exceeds machine");
+        assert!(k > 0, "top-k requires k >= 1");
+        let plan = query.compile_plan();
+        let active = tcam_similarity::active_entries(&plan, self.config.cols);
+        let threads = self.config.exec.dispatch_threads(
+            self.threads,
+            (self.config.total_pes() * rows) as u64,
+            plan.len().max(1) as u64,
+        );
+        let mut results: Vec<Option<SlabTopk>> = vec![None; self.chunks.len()];
+        let chunks = &self.chunks;
+        par::for_each_chunk(threads, &mut results, |off, out| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = Some(chunks[off + i].storage.hamming_topk(&plan, rows, k));
+            }
+        });
+        let results: Vec<SlabTopk> = results
+            .into_iter()
+            .map(|r| r.expect("every chunk produced a result"))
+            .collect();
+        // Recover the global stopping round from the per-chunk counts: the
+        // first budget where the machine-wide count reaches `k` (or covers
+        // the maximum distance). Chunks never stop before the global
+        // controller would, so every summed entry exists.
+        let mut rounds = 0usize;
+        let tau = loop {
+            let tau = tcam_similarity::round_tau(rounds + 1);
+            let count: usize = results
+                .iter()
+                .map(|r| {
+                    r.round_counts
+                        .get(rounds)
+                        .copied()
+                        .expect("chunk ran at least as many rounds as the controller")
+                })
+                .sum();
+            rounds += 1;
+            if count >= k || tau >= active {
+                break tau;
+            }
+        };
+        let per = self.config.pes_per_group();
+        let mut hits: Vec<SimilarityHit> = Vec::new();
+        for (ci, r) in results.iter().enumerate() {
+            let base = (ci / self.chunks_per_group) * per + self.chunks[ci].base;
+            for h in &r.hits {
+                if h.distance <= tau {
+                    hits.push(SimilarityHit {
+                        distance: h.distance,
+                        pe: (base + h.pe as usize) as u32,
+                        row: h.row,
+                    });
+                }
+            }
+        }
+        hits.sort_unstable();
+        hits.truncate(k);
+        let geometry = Some(RunGeometry {
+            chunk_pes: self.chunk_pes,
+            chunks_per_group: self.chunks_per_group,
+            pe_words: self.chunk_pes.div_ceil(64),
+            threads: self.threads,
+        });
+        SimilarityOutcome {
+            hits,
+            stats: crate::similarity::query_stats(&self.config, active, rounds, geometry),
+        }
+    }
+
+    /// The single nearest stored word to `query` —
+    /// [`hamming_topk`](Self::hamming_topk) with `k = 1`.
+    pub fn nearest(&self, query: &SearchKey, rows: usize) -> SimilarityOutcome {
+        self.hamming_topk(query, rows, 1)
     }
 
     /// Run one instruction stream per group to completion — identical

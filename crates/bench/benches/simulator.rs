@@ -94,6 +94,52 @@ fn bench_slab_word_kernels(c: &mut Criterion) {
     });
 }
 
+fn bench_slab_hamming(c: &mut Criterion) {
+    use hyperap_tcam::bit::TernaryBit;
+    use hyperap_tcam::slab::TcamSlab;
+    use hyperap_tcam::KeyBit;
+
+    // Word-parallel Hamming kernels on a 1024-PE arena: the full-distance
+    // accumulate (per-plane miss → ripple-carry counters) and the
+    // progressive masked top-k (accumulate + bit-sliced threshold rounds).
+    let (pes, rows, cols) = (1024usize, 64usize, 64usize);
+    let mut slab = TcamSlab::new(pes, rows, cols);
+    for pe in 0..pes {
+        for row in 0..rows {
+            for col in 0..cols {
+                let v = if (pe ^ (3 * row) ^ (7 * col)) & 1 == 0 {
+                    TernaryBit::Zero
+                } else {
+                    TernaryBit::One
+                };
+                slab.set_cell(pe, row, col, v);
+            }
+        }
+    }
+    let plan: Vec<(usize, KeyBit)> = (0..cols)
+        .map(|col| {
+            (
+                col,
+                if col % 3 == 0 {
+                    KeyBit::One
+                } else {
+                    KeyBit::Zero
+                },
+            )
+        })
+        .collect();
+    let mut out = vec![0u32; pes * rows];
+    c.bench_function("slab_hamming_into_1024pe_64bit", |b| {
+        b.iter(|| {
+            slab.hamming_into(black_box(&plan), rows, &mut out);
+            black_box(&out);
+        })
+    });
+    c.bench_function("slab_hamming_topk16_1024pe_64bit", |b| {
+        b.iter(|| black_box(slab.hamming_topk(black_box(&plan), rows, 16)))
+    });
+}
+
 fn bench_group_run(c: &mut Criterion) {
     // Group-level engine fan-out: add32 on every PE of a 4-group machine,
     // sequential vs threaded dispatch.
@@ -162,6 +208,7 @@ criterion_group!(
     bench_tcam_search,
     bench_tcam_search_into,
     bench_slab_word_kernels,
+    bench_slab_hamming,
     bench_mvsop,
     bench_microcode_add,
     bench_machine_run,

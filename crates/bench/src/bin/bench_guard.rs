@@ -33,11 +33,19 @@ use hyperap_compiler::{compile, opt, CompileOptions, OPT_LEVEL_MAX};
 use hyperap_core::microcode::Microcode;
 use hyperap_isa::lower::lower;
 use hyperap_isa::Instruction;
+use hyperap_workloads::similarity as wsim;
 use std::hint::black_box;
 use std::time::Instant;
 
 /// Maximum tolerated throughput regression (fraction of the baseline).
 const FLOOR: f64 = 0.75;
+
+/// Absolute floor for the word-parallel similarity query's speedup over
+/// the scalar per-PE reference engine (`speedup_sim_slab_vs_scalar` in the
+/// baseline). The bit-plane Hamming kernels measure >30× on the reference
+/// host; the acceptance bar for the similarity workload family is 20×, so
+/// a regenerated baseline below this is a kernel regression, not noise.
+const SIM_SPEEDUP_FLOOR: f64 = 20.0;
 
 /// Absolute floor for the slab engine's sequential throughput, in
 /// instructions per second. The bit-plane arena rework (word-parallel
@@ -327,6 +335,87 @@ fn guard_serve(baseline: &str, path: &std::path::Path) -> bool {
     failed
 }
 
+/// Gate the checked-in `similarity` block (emitted by `bench_sim`): every
+/// column must be a usable positive number, the word-parallel top-k query
+/// must clear the absolute [`SIM_SPEEDUP_FLOOR`] over the scalar per-PE
+/// reference, the HDC inference speedup must not have collapsed, and the
+/// host-reference classifier must actually classify (accuracy floor).
+fn guard_similarity(baseline: &str, path: &std::path::Path) -> bool {
+    let mut failed = false;
+    for key in [
+        "sim_scalar_query_ns",
+        "sim_slab_query_ns",
+        "sim_queries_per_sec_slab",
+        "sim_words_per_ns",
+        "hdc_classify_scalar_ns",
+        "hdc_classify_slab_ns",
+    ] {
+        match json_number(baseline, key) {
+            Some(v) if v.is_finite() && v > 0.0 => {
+                println!("bench_guard: similarity {key} = {v}");
+            }
+            other => {
+                eprintln!(
+                    "bench_guard: baseline {} lacks usable similarity {key} ({other:?}) — \
+                     regenerate BENCH_SIM.json",
+                    path.display()
+                );
+                failed = true;
+            }
+        }
+    }
+    match json_number(baseline, "speedup_sim_slab_vs_scalar") {
+        Some(s) if s >= SIM_SPEEDUP_FLOOR => {
+            println!(
+                "bench_guard: similarity speedup_sim_slab_vs_scalar = {s:.2}x clears the \
+                 {SIM_SPEEDUP_FLOOR}x floor"
+            );
+        }
+        Some(s) => {
+            eprintln!(
+                "bench_guard: similarity speedup_sim_slab_vs_scalar {s:.2}x below the \
+                 {SIM_SPEEDUP_FLOOR}x floor"
+            );
+            failed = true;
+        }
+        None => {
+            eprintln!(
+                "bench_guard: baseline {} lacks speedup_sim_slab_vs_scalar",
+                path.display()
+            );
+            failed = true;
+        }
+    }
+    match json_number(baseline, "speedup_hdc_slab_vs_scalar") {
+        // HDC inference is one `nearest` query, so most of the top-k win
+        // carries over; 10× leaves headroom for the smaller search region.
+        Some(s) if s >= 10.0 => {
+            println!("bench_guard: similarity speedup_hdc_slab_vs_scalar = {s:.2}x (floor 10x)");
+        }
+        other => {
+            eprintln!(
+                "bench_guard: baseline {} speedup_hdc_slab_vs_scalar unusable or below 10x \
+                 ({other:?})",
+                path.display()
+            );
+            failed = true;
+        }
+    }
+    match json_number(baseline, "hdc_host_accuracy") {
+        Some(a) if a >= 0.85 => {
+            println!("bench_guard: similarity hdc_host_accuracy = {a:.4} (floor 0.85)");
+        }
+        other => {
+            eprintln!(
+                "bench_guard: baseline {} hdc_host_accuracy unusable or below 0.85 ({other:?})",
+                path.display()
+            );
+            failed = true;
+        }
+    }
+    failed
+}
+
 fn smoke() -> i32 {
     // Baseline sanity: the checked-in JSON must parse and must carry the
     // trace-engine entry bench_sim now emits.
@@ -365,6 +454,7 @@ fn smoke() -> i32 {
     failed |= guard_opt_levels(&baseline, &path);
     failed |= guard_auto_mode(&baseline, &path);
     failed |= guard_serve(&baseline, &path);
+    failed |= guard_similarity(&baseline, &path);
 
     // Small geometry: 4 groups × 16 PEs of 64×256 keeps the smoke under a
     // second even in debug builds.
@@ -447,6 +537,34 @@ fn smoke() -> i32 {
         failed = true;
     } else {
         println!("bench_guard: all engines bit-identical under the seeded fault model");
+    }
+
+    // Similarity cross-check: Hamming top-k over random stored codes must
+    // agree across the host reference, the scalar engine, and the slab
+    // engine — hits and priced stats. This is the cheap CI-side sentinel
+    // for `crates/arch/tests/similarity_equivalence.rs`.
+    let sim_rows = 8;
+    let codes = wsim::CodeSet::generate(0x57A6E, cfg.total_pes(), sim_rows, 64);
+    let mut sim_ap = ApMachine::new(ArchConfig {
+        exec: ExecMode::Sequential,
+        ..cfg.clone()
+    });
+    codes.load_ap(&mut sim_ap);
+    let mut sim_slab = SlabMachine::new(ArchConfig {
+        exec: ExecMode::Sequential,
+        ..cfg.clone()
+    });
+    codes.load_slab(&mut sim_slab);
+    let query = codes.random_query(3);
+    let key = codes.query_key(&query, cfg.cols);
+    let want = codes.host_topk(&query, 5);
+    let ap_out = sim_ap.hamming_topk(&key, sim_rows, 5);
+    let slab_out = sim_slab.hamming_topk(&key, sim_rows, 5);
+    if ap_out.hits != want || slab_out.hits != want || ap_out.stats != slab_out.stats {
+        eprintln!("bench_guard: engines disagree on the similarity smoke query");
+        failed = true;
+    } else {
+        println!("bench_guard: similarity top-k bit-identical across host, scalar, and slab");
     }
 
     let reps = 5;
@@ -591,6 +709,66 @@ fn full() -> i32 {
     failed |= guard_opt_levels(&baseline, &path);
     failed |= guard_auto_mode(&baseline, &path);
     failed |= guard_serve(&baseline, &path);
+    failed |= guard_similarity(&baseline, &path);
+
+    // Similarity re-measure: the same stored codes and query as bench_sim
+    // (seeds match), guarded relative to the baseline throughput column
+    // and — in release builds — against the absolute speedup floor.
+    {
+        let sim_rows = 64;
+        let sim_k = 16;
+        let codes = wsim::CodeSet::generate(0x51AB, cfg.total_pes(), sim_rows, cfg.cols);
+        let query = codes.random_query(7);
+        let key = codes.query_key(&query, cfg.cols);
+        let mut sim_ap = ApMachine::new(ArchConfig {
+            exec: ExecMode::Sequential,
+            ..cfg.clone()
+        });
+        codes.load_ap(&mut sim_ap);
+        let mut sim_slab = SlabMachine::new(ArchConfig {
+            exec: ExecMode::Sequential,
+            ..cfg.clone()
+        });
+        codes.load_slab(&mut sim_slab);
+        let want = codes.host_topk(&query, sim_k);
+        let ap_out = sim_ap.hamming_topk(&key, sim_rows, sim_k);
+        let slab_out = sim_slab.hamming_topk(&key, sim_rows, sim_k);
+        if ap_out.hits != want || slab_out.hits != want || ap_out.stats != slab_out.stats {
+            eprintln!("bench_guard: engines disagree on the similarity workload");
+            failed = true;
+        }
+        let scalar_s = best_secs(reps, || {
+            black_box(sim_ap.hamming_topk(&key, sim_rows, sim_k));
+        });
+        let slab_s = best_secs(reps, || {
+            black_box(sim_slab.hamming_topk(&key, sim_rows, sim_k));
+        });
+        failed |= guard_column(
+            "similarity slab query",
+            "sim_queries_per_sec_slab",
+            1.0 / slab_s,
+            &baseline,
+            &path,
+        );
+        let speedup = scalar_s / slab_s;
+        if cfg!(debug_assertions) {
+            println!(
+                "bench_guard: similarity speedup {speedup:.2}x (debug build — absolute floor \
+                 skipped)"
+            );
+        } else if speedup < SIM_SPEEDUP_FLOOR {
+            eprintln!(
+                "bench_guard: measured similarity speedup {speedup:.2}x below the \
+                 {SIM_SPEEDUP_FLOOR}x floor"
+            );
+            failed = true;
+        } else {
+            println!(
+                "bench_guard: measured similarity speedup {speedup:.2}x clears the \
+                 {SIM_SPEEDUP_FLOOR}x floor"
+            );
+        }
+    }
     if cfg!(debug_assertions) {
         println!("bench_guard: debug build — skipping the absolute floor on the fresh measurement");
     } else if slab_seq < SLAB_SEQ_FLOOR_IPS {

@@ -28,6 +28,13 @@
 //!    Search→SetTag→Write chains into single-sweep micro-ops) vs the same
 //!    streams compiled with `compile_streams_unfused` — bit-identical
 //!    results and identical architectural cycle counts, wall-clock only.
+//! 7. **Similarity search**: the CAM-native Hamming top-k query on the
+//!    word-parallel slab engine vs the scalar per-PE reference engine over
+//!    identical stored codes (both Sequential, so the ratio isolates the
+//!    bit-plane word kernels rather than host threading), the raw
+//!    accumulate-kernel word throughput, and the binarized-HDC classifier's
+//!    per-inference latency on both engines. All engine results are
+//!    cross-checked against the pure-host references before timing.
 //!
 //! The `run`-based columns include trace compilation; both machines keep a
 //! content-addressed trace cache, so steady-state reps pay one stream
@@ -52,6 +59,7 @@ use hyperap_isa::Instruction;
 use hyperap_tcam::array::TcamArray;
 use hyperap_tcam::key::SearchKey;
 use hyperap_tcam::tags::TagVector;
+use hyperap_workloads::similarity as wsim;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -434,6 +442,94 @@ fn main() {
         }
     });
 
+    // 7. Similarity search: Hamming top-k on the word-parallel slab engine
+    // vs the scalar per-PE reference engine over identical stored codes.
+    // Both run Sequential so the speedup isolates the bit-plane word
+    // kernels (64 PEs per ALU op), not host threading.
+    let sim_rows = 64usize;
+    let sim_k = 16usize;
+    let codes = wsim::CodeSet::generate(0x51AB, cfg.total_pes(), sim_rows, COLS);
+    let query = codes.random_query(7);
+    let query_key = codes.query_key(&query, COLS);
+    let mut sim_ap = ApMachine::new(engine_config(ExecMode::Sequential));
+    codes.load_ap(&mut sim_ap);
+    let mut sim_slab = SlabMachine::new(engine_config(ExecMode::Sequential));
+    codes.load_slab(&mut sim_slab);
+    let host_hits = codes.host_topk(&query, sim_k);
+    let ap_out = sim_ap.hamming_topk(&query_key, sim_rows, sim_k);
+    let slab_out = sim_slab.hamming_topk(&query_key, sim_rows, sim_k);
+    assert_eq!(ap_out.hits, host_hits, "scalar engine != host reference");
+    assert_eq!(slab_out.hits, host_hits, "slab engine != host reference");
+    assert_eq!(
+        ap_out.stats, slab_out.stats,
+        "engines disagree on priced stats"
+    );
+    let sim_scalar_query_ns = ns_per_call(|| {
+        black_box(sim_ap.hamming_topk(&query_key, sim_rows, sim_k));
+    });
+    let sim_slab_query_ns = ns_per_call(|| {
+        black_box(sim_slab.hamming_topk(&query_key, sim_rows, sim_k));
+    });
+
+    // Raw accumulate-kernel throughput on one contiguous arena: how many
+    // 64-PE plane words per nanosecond the per-plane miss accumulation
+    // sweeps (each word is one ALU op covering 64 PEs).
+    let mut sim_arena = hyperap_tcam::slab::TcamSlab::new(cfg.total_pes(), sim_rows, COLS);
+    for pe in 0..cfg.total_pes() {
+        for row in 0..sim_rows {
+            for (col, &b) in codes.codes[pe * sim_rows + row].iter().enumerate() {
+                sim_arena.set_cell(
+                    pe,
+                    row,
+                    col,
+                    if b {
+                        hyperap_tcam::bit::TernaryBit::One
+                    } else {
+                        hyperap_tcam::bit::TernaryBit::Zero
+                    },
+                );
+            }
+        }
+    }
+    let sim_plan = query_key.compile_plan();
+    let sim_accumulated = sim_arena.hamming_accumulated_cols(&sim_plan, sim_rows);
+    let mut dist_buf = vec![0u32; cfg.total_pes() * sim_rows];
+    let sim_accum_ns = ns_per_call(|| {
+        sim_arena.hamming_into(&sim_plan, sim_rows, &mut dist_buf);
+        black_box(&dist_buf);
+    });
+    let sim_words_per_ns =
+        (sim_accumulated * sim_arena.hamming_words_per_col(sim_rows)) as f64 / sim_accum_ns;
+
+    // Binarized-HDC classification: class hypervectors in CAM rows,
+    // inference = one nearest-neighbor query per sample.
+    let hdc_cfg = wsim::HdcConfig {
+        dim: COLS,
+        classes: 64,
+        train_per_class: 8,
+        test_per_class: 2,
+        noise_per_million: 60_000,
+        seed: 0x51AB_D0C5,
+    };
+    let hdc = wsim::HdcDataset::generate(hdc_cfg);
+    let model = wsim::HdcModel::train(&hdc);
+    let hdc_rows = model.rows_needed(cfg.total_pes()).max(1);
+    let mut hdc_ap = ApMachine::new(engine_config(ExecMode::Sequential));
+    model.load_ap(&mut hdc_ap, hdc_rows);
+    let mut hdc_slab = SlabMachine::new(engine_config(ExecMode::Sequential));
+    model.load_slab(&mut hdc_slab, hdc_rows);
+    let sample = &hdc.test[0].1;
+    let host_class = model.classify_host(sample, cfg.total_pes(), hdc_rows);
+    assert_eq!(model.classify_ap(&hdc_ap, sample, hdc_rows), host_class);
+    assert_eq!(model.classify_slab(&hdc_slab, sample, hdc_rows), host_class);
+    let hdc_scalar_ns = ns_per_call(|| {
+        black_box(model.classify_ap(&hdc_ap, sample, hdc_rows));
+    });
+    let hdc_slab_ns = ns_per_call(|| {
+        black_box(model.classify_slab(&hdc_slab, sample, hdc_rows));
+    });
+    let hdc_accuracy = model.accuracy_host(&hdc.test, cfg.total_pes(), hdc_rows);
+
     // Compiler optimizer columns: static op/cycle costs per opt level for
     // the two acceptance kernels. Deterministic — no timing involved.
     let add32_cols = compiler_columns(
@@ -498,6 +594,24 @@ fn main() {
     "ns_per_word_search_1024pe": {ns_word_search:.1},
     "words_per_ns": {words_per_ns:.2}
   }},
+  "similarity": {{
+    "sim_pes": {total_pes},
+    "sim_rows": {sim_rows},
+    "sim_code_bits": {COLS},
+    "sim_topk_k": {sim_k},
+    "sim_scalar_query_ns": {sim_scalar_query_ns:.0},
+    "sim_slab_query_ns": {sim_slab_query_ns:.0},
+    "speedup_sim_slab_vs_scalar": {sp_sim:.2},
+    "sim_queries_per_sec_slab": {sim_qps:.0},
+    "sim_words_per_ns": {sim_words_per_ns:.2},
+    "hdc_dim": {hdc_dim},
+    "hdc_classes": {hdc_classes},
+    "hdc_rows": {hdc_rows},
+    "hdc_classify_scalar_ns": {hdc_scalar_ns:.0},
+    "hdc_classify_slab_ns": {hdc_slab_ns:.0},
+    "speedup_hdc_slab_vs_scalar": {sp_hdc:.2},
+    "hdc_host_accuracy": {hdc_accuracy:.4}
+  }},
   "engine": {{
     "interpreter": {{
       "sequential_s": {interp_seq_s:.4},
@@ -549,6 +663,11 @@ fn main() {
         mul16_cyc_1 = mul16_cols[1].1,
         mul16_cyc_2 = mul16_cols[2].1,
         kernel_speedup = ns_search / ns_search_into,
+        sp_sim = sim_scalar_query_ns / sim_slab_query_ns,
+        sim_qps = 1e9 / sim_slab_query_ns,
+        hdc_dim = hdc_cfg.dim,
+        hdc_classes = hdc_cfg.classes,
+        sp_hdc = hdc_scalar_ns / hdc_slab_ns,
         ips_seq = total_instructions / seq_s,
         ips_par = total_instructions / par_s,
         ips_slab_seq = total_instructions / slab_seq_s,

@@ -14,7 +14,14 @@
 //! delta-debugging loop the stream cases use, dropping whole statements
 //! and input rows until a fixpoint.
 //!
-//! Usage: `diff_fuzz [--smoke] [--seed N] [--iters N] [--case N] [--kernel-case N]`
+//! A third axis covers the similarity API: random stored codes plus random
+//! ternary query keys, `rows` limits, and `k` values run through
+//! `hamming_topk` on the scalar engine and the slab engine over every
+//! mode × chunk width, with and without stuck-at faults — hits and stats
+//! must be bit-identical. Divergent cases shrink by dropping loads and
+//! queries.
+//!
+//! Usage: `diff_fuzz [--smoke] [--seed N] [--iters N] [--case N] [--kernel-case N] [--sim-case N]`
 //!
 //! * `--smoke` — a short deterministic pass for CI (few iterations).
 //! * `--seed N` — base seed; every iteration derives its own case seed.
@@ -22,6 +29,7 @@
 //! * `--case N` — re-run exactly one case seed (the repro header prints
 //!   the value to pass here).
 //! * `--kernel-case N` — re-run exactly one compiler-kernel case seed.
+//! * `--sim-case N` — re-run exactly one similarity-query case seed.
 //!
 //! The RNG is a self-contained splitmix64 so repros are stable across
 //! hosts and toolchains.
@@ -514,6 +522,142 @@ fn minimize_kernel(case: &mut KernelCase) {
     }
 }
 
+/// One similarity-query fuzz case: stored codes, a batch of read-only
+/// top-k queries, and a (possibly inactive) fault configuration.
+struct SimCase {
+    loads: Vec<Load>,
+    /// `(query, rows, k)` triples; queries are read-only so one machine
+    /// build answers the whole batch.
+    queries: Vec<(SearchKey, usize, usize)>,
+    faults: FaultConfig,
+}
+
+fn generate_sim_case(case_seed: u64) -> SimCase {
+    let mut rng = Rng(case_seed ^ 0x51AB_CA5E);
+    let loads = (0..rng.below(96))
+        .map(|_| {
+            (
+                rng.below(PES as u64) as usize,
+                rng.below(ROWS as u64) as usize,
+                rng.below(64) as usize,
+                rng.flag(),
+            )
+        })
+        .collect();
+    let queries = (0..1 + rng.below(4))
+        .map(|_| {
+            let key = random_key(&mut rng, 64);
+            let rows = 1 + rng.below(ROWS as u64) as usize;
+            let k = [1usize, 2, 5, 40, 200][rng.below(5) as usize];
+            (key, rows, k)
+        })
+        .collect();
+    let mut faults = random_faults(&mut rng);
+    // Queries never write, so endurance is irrelevant — and host loads on
+    // a near-exhausted array would make the fixture about wear, not
+    // distances.
+    faults.model.endurance_limit = None;
+    SimCase {
+        loads,
+        queries,
+        faults,
+    }
+}
+
+fn sim_config(case: &SimCase, mode: ExecMode) -> ArchConfig {
+    let mut cfg = ArchConfig::tiny();
+    cfg.exec = mode;
+    cfg.faults = case.faults;
+    cfg
+}
+
+/// Run the similarity engine matrix on `case`; `Some(description)` on the
+/// first divergence from the scalar reference.
+fn check_sim(case: &SimCase) -> Option<String> {
+    let mut reference = ApMachine::new(sim_config(case, ExecMode::Sequential));
+    for &(pe, row, col, v) in &case.loads {
+        reference.pe_mut(pe).load_bit(row, col, v);
+    }
+    for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+        for chunk_pes in CHUNK_WIDTHS {
+            let mut slab = SlabMachine::with_chunk_pes(sim_config(case, mode), chunk_pes);
+            for &(pe, row, col, v) in &case.loads {
+                slab.load_bit(pe, row, col, v);
+            }
+            for (qi, (query, rows, k)) in case.queries.iter().enumerate() {
+                let want = reference.hamming_topk(query, *rows, *k);
+                let got = slab.hamming_topk(query, *rows, *k);
+                if want.hits != got.hits {
+                    return Some(format!(
+                        "query {qi} (rows {rows}, k {k}) hits diverged on slab \
+                         ({mode:?}, {chunk_pes}-PE chunks):\n  reference: {:?}\n  slab:      {:?}",
+                        want.hits, got.hits
+                    ));
+                }
+                if want.stats != got.stats {
+                    return Some(format!(
+                        "query {qi} (rows {rows}, k {k}) stats diverged on slab \
+                         ({mode:?}, {chunk_pes}-PE chunks)"
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Greedy delta-debugging over loads and queries, mirroring [`minimize`].
+fn minimize_sim(case: &mut SimCase) {
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < case.loads.len() {
+            let removed = case.loads.remove(i);
+            if check_sim(case).is_some() {
+                shrunk = true;
+            } else {
+                case.loads.insert(i, removed);
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < case.queries.len() {
+            let removed = case.queries.remove(i);
+            if check_sim(case).is_some() {
+                shrunk = true;
+            } else {
+                case.queries.insert(i, removed);
+                i += 1;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+}
+
+/// Run one similarity case end to end; `true` when a divergence was found
+/// (already minimized and reported).
+fn run_sim_case(case_seed: u64, iteration: u64) -> bool {
+    let mut case = generate_sim_case(case_seed);
+    if check_sim(&case).is_none() {
+        return false;
+    }
+    minimize_sim(&mut case);
+    let divergence =
+        check_sim(&case).unwrap_or_else(|| "divergence vanished while shrinking".into());
+    eprintln!("diff_fuzz: SIMILARITY DIVERGENCE at iteration {iteration} (case seed {case_seed})");
+    eprintln!("diff_fuzz: re-run just this case with: diff_fuzz --sim-case {case_seed}");
+    eprintln!("diff_fuzz: minimized repro:");
+    eprintln!("  faults: {:?}", case.faults);
+    eprintln!("  loads (pe, row, col, value): {:?}", case.loads);
+    for (qi, (query, rows, k)) in case.queries.iter().enumerate() {
+        eprintln!("  query {qi} (rows {rows}, k {k}): {query:?}");
+    }
+    eprintln!("diff_fuzz: {divergence}");
+    true
+}
+
 /// Run one compiler-kernel case end to end; `true` when a divergence was
 /// found (already minimized and reported).
 fn run_kernel_case(case_seed: u64, iteration: u64) -> bool {
@@ -551,11 +695,12 @@ fn main() {
     let mut iters: u64 = 256;
     let mut single_case: Option<u64> = None;
     let mut single_kernel_case: Option<u64> = None;
+    let mut single_sim_case: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => iters = 24,
-            "--seed" | "--iters" | "--case" | "--kernel-case" => {
+            "--seed" | "--iters" | "--case" | "--kernel-case" | "--sim-case" => {
                 let Some(v) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
                     eprintln!("diff_fuzz: {} needs an integer argument", args[i]);
                     std::process::exit(2);
@@ -564,14 +709,16 @@ fn main() {
                     "--seed" => seed = v,
                     "--iters" => iters = v,
                     "--case" => single_case = Some(v),
-                    _ => single_kernel_case = Some(v),
+                    "--kernel-case" => single_kernel_case = Some(v),
+                    _ => single_sim_case = Some(v),
                 }
                 i += 1;
             }
             other => {
                 eprintln!("diff_fuzz: unknown argument {other}");
                 eprintln!(
-                    "usage: diff_fuzz [--smoke] [--seed N] [--iters N] [--case N] [--kernel-case N]"
+                    "usage: diff_fuzz [--smoke] [--seed N] [--iters N] [--case N] \
+                     [--kernel-case N] [--sim-case N]"
                 );
                 std::process::exit(2);
             }
@@ -593,9 +740,17 @@ fn main() {
         }
         std::process::exit(i32::from(failed));
     }
+    if let Some(case_seed) = single_sim_case {
+        let failed = run_sim_case(case_seed, 0);
+        if !failed {
+            println!("diff_fuzz: similarity case {case_seed} is clean — engines bit-identical");
+        }
+        std::process::exit(i32::from(failed));
+    }
 
     let mut derive = Rng(seed);
     let mut kernel_cases = 0u64;
+    let mut sim_cases = 0u64;
     for iteration in 0..iters {
         let case_seed = derive.next();
         if run_case(case_seed, iteration) {
@@ -609,10 +764,18 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // Every other iteration fuzzes the similarity API: random stored
+        // codes and top-k queries, scalar vs slab over the engine matrix.
+        if iteration % 2 == 0 {
+            sim_cases += 1;
+            if run_sim_case(case_seed, iteration) {
+                std::process::exit(1);
+            }
+        }
     }
     println!(
         "diff_fuzz: {iters} cases clean — interpreter, trace, and slab engines bit-identical \
          (with and without faults); {kernel_cases} compiler kernels agree at opt levels 0 and \
-         {OPT_LEVEL_MAX}"
+         {OPT_LEVEL_MAX}; {sim_cases} similarity-query cases agree across engines"
     );
 }

@@ -62,6 +62,16 @@ pub struct OpCounts {
     pub broadcasts: u64,
     /// Cycles spent stalled in `Wait` for inter-group synchronization.
     pub wait_cycles: u64,
+    /// Number of similarity-search column accumulations: one match-line
+    /// evaluation plus a ripple-carry update of the per-row Hamming
+    /// counter latches (CAM-native similarity search, DESIGN.md §11).
+    #[serde(default)]
+    pub sim_accums: u64,
+    /// Number of similarity top-k threshold rounds: one bit-serial
+    /// counter-compare search plus a global population count, repeated as
+    /// the controller widens the distance threshold.
+    #[serde(default)]
+    pub sim_rounds: u64,
 }
 
 impl OpCounts {
@@ -100,6 +110,8 @@ impl OpCounts {
             + self.tag_ops * SET_TAG
             + self.broadcasts * BROADCAST
             + self.wait_cycles
+            + self.sim_accums * (tech.t_search_cycles + 1)
+            + self.sim_rounds * (tech.t_search_cycles + COUNT)
     }
 
     /// Total latency in nanoseconds.
@@ -117,6 +129,8 @@ impl OpCounts {
             + self.mov_rs as f64 * tech.e_movr_pj
             + self.tag_ops as f64 * 0.1
             + self.broadcasts as f64 * 0.1
+            + self.sim_accums as f64 * (tech.e_search_pj + 0.1)
+            + self.sim_rounds as f64 * (tech.e_search_pj + tech.e_reduce_pj)
     }
 
     /// Merge another count into this one.
@@ -131,6 +145,8 @@ impl OpCounts {
         self.tag_ops += other.tag_ops;
         self.broadcasts += other.broadcasts;
         self.wait_cycles += other.wait_cycles;
+        self.sim_accums += other.sim_accums;
+        self.sim_rounds += other.sim_rounds;
     }
 
     /// This count scaled by `n` repetitions.
@@ -146,6 +162,8 @@ impl OpCounts {
             tag_ops: self.tag_ops * n,
             broadcasts: self.broadcasts * n,
             wait_cycles: self.wait_cycles * n,
+            sim_accums: self.sim_accums * n,
+            sim_rounds: self.sim_rounds * n,
         }
     }
 }
@@ -206,6 +224,20 @@ mod tests {
             ..OpCounts::default()
         };
         assert_eq!(ops.cycles(&TechParams::rram_monolithic()), 22);
+    }
+
+    #[test]
+    fn similarity_ops_price_through_tech_params() {
+        let ops = OpCounts {
+            sim_accums: 3,
+            sim_rounds: 2,
+            ..OpCounts::default()
+        };
+        // RRAM: an accumulate is one match-line search plus one counter-latch
+        // cycle; a threshold round is one search plus a Count reduction.
+        assert_eq!(ops.cycles(&TechParams::rram()), 3 * (1 + 1) + 2 * (1 + 4));
+        let e = ops.energy_pj_per_pe(&TechParams::rram());
+        assert!((e - (3.0 * (3.0 + 0.1) + 2.0 * (3.0 + 1.2))).abs() < 1e-9);
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl std::fmt::Display for JobError {
                 write!(f, "machine {machine} quarantined: {error}")
             }
             JobError::WorkerPanic { machine } => {
-                write!(f, "machine {machine} quarantined: worker panicked mid-sweep")
+                write!(
+                    f,
+                    "machine {machine} quarantined: worker panicked mid-sweep"
+                )
             }
             JobError::PoolShutdown => write!(f, "pool shut down before the job ran"),
         }

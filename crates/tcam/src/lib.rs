@@ -21,6 +21,10 @@
 //!   column-major-across-PEs arena per chunk of PEs with fused search/write
 //!   kernels, bit-identical to a `Vec` of per-PE [`array`](mod@array)s but swept
 //!   linearly like the banked hardware.
+//! * [`similarity`] — CAM-native similarity search: the graded "how many
+//!   key bits miss?" question (ternary Hamming distance), the progressive
+//!   top-k threshold schedule, and the scalar per-PE reference that pins
+//!   the slab's word-parallel distance kernels.
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@ pub mod fault;
 pub mod key;
 pub mod mvsop;
 mod plane;
+pub mod similarity;
 pub mod slab;
 mod sweep;
 pub mod tags;

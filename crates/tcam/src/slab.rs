@@ -2205,6 +2205,342 @@ impl TcamSlab {
     }
 }
 
+// ---------------------------------------------------------------------------
+// CAM-native similarity search (see `crate::similarity` for the
+// engine-shared semantics and DESIGN.md §11 for the hardware mapping).
+// ---------------------------------------------------------------------------
+
+/// One similarity candidate of a slab: chunk-relative PE, row, and its
+/// distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SlabHit {
+    /// Distance to the query (leading field: derived ordering is
+    /// ascending-distance with `(pe, row)` tie-break).
+    pub distance: u32,
+    /// Chunk-relative PE index.
+    pub pe: u32,
+    /// Row within the PE.
+    pub row: u32,
+}
+
+/// Result of a progressive top-k search over one slab.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlabTopk {
+    /// Every candidate within the final budget, ascending
+    /// `(distance, pe, row)` — a superset of this slab's local top-k.
+    pub hits: Vec<SlabHit>,
+    /// Candidates within budget at each executed round. A multi-chunk
+    /// machine sums these across chunks per round to recover the *global*
+    /// stopping round (each chunk always runs at least as many rounds as
+    /// the global controller needs; see [`TcamSlab::hamming_topk`]).
+    pub round_counts: Vec<usize>,
+    /// Distance budget of the final executed round.
+    pub tau: u32,
+    /// Maximum possible distance (in-range unmasked plan entries).
+    pub active: u32,
+}
+
+/// Word-parallel Hamming counter stack for one query: `bplanes` counter
+/// bits per candidate, laid out word-major (`planes[w * bplanes + b]`) so
+/// the ripple-carry hot loop touches one contiguous run per plane word.
+struct HammingCounters {
+    planes: Vec<u64>,
+    bplanes: usize,
+    /// Words per counter bit-plane (`rows * pe_words`).
+    words: usize,
+    /// Uniform offset from columns whose miss plane was summarized `Full`.
+    base: u32,
+    /// Maximum possible distance (in-range unmasked plan entries).
+    active: u32,
+    /// Columns that actually entered the ripple-carry accumulation.
+    accumulated: usize,
+}
+
+/// Ripple-carry add a miss plane into the counter stack: per word, a
+/// carry chain over at most `bplanes` counter bits, exiting as soon as the
+/// carry dies (the common case after the first couple of planes).
+fn ripple_accumulate(planes: &mut [u64], bplanes: usize, miss: &[u64]) {
+    for (w, &m) in miss.iter().enumerate() {
+        let mut carry = m;
+        if carry == 0 {
+            continue;
+        }
+        let cnt = &mut planes[w * bplanes..(w + 1) * bplanes];
+        for c in cnt {
+            let t = *c & carry;
+            *c ^= carry;
+            carry = t;
+            if carry == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(carry, 0, "counter stack overflow");
+    }
+}
+
+/// [`ripple_accumulate`] with the miss plane formed on the fly as
+/// `z | o` — the `KeyBit::Z` case (stored 0 and stored 1 both miss).
+fn ripple_accumulate_pair(planes: &mut [u64], bplanes: usize, z: &[u64], o: &[u64]) {
+    for (w, (&zw, &ow)) in z.iter().zip(o).enumerate() {
+        let mut carry = zw | ow;
+        if carry == 0 {
+            continue;
+        }
+        let cnt = &mut planes[w * bplanes..(w + 1) * bplanes];
+        for c in cnt {
+            let t = *c & carry;
+            *c ^= carry;
+            carry = t;
+            if carry == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(carry, 0, "counter stack overflow");
+    }
+}
+
+impl HammingCounters {
+    /// Counter value of the candidate at plane word `w`, bit `p`.
+    fn value(&self, w: usize, p: usize) -> u32 {
+        let cnt = &self.planes[w * self.bplanes..(w + 1) * self.bplanes];
+        let mut v = 0u32;
+        for (b, &c) in cnt.iter().enumerate() {
+            v |= (((c >> p) & 1) as u32) << b;
+        }
+        v
+    }
+
+    /// Bit-sliced threshold compare: the `[row][pe_word]` mask of live
+    /// candidates whose counter is ≤ `m`, written into `out`; returns the
+    /// population count. One word-parallel pass over the counter stack —
+    /// the hardware analog is a single multi-bit threshold search on the
+    /// counter latches.
+    fn le_mask_into(&self, live: &[u64], m: u32, out: &mut [u64]) -> usize {
+        debug_assert_eq!(live.len(), self.words);
+        let mut count = 0usize;
+        if self.bplanes == 0 || m as u64 >= (1u64 << self.bplanes) - 1 {
+            for (o, &l) in out.iter_mut().zip(live) {
+                *o = l;
+                count += l.count_ones() as usize;
+            }
+            return count;
+        }
+        for (w, (o, &l)) in out.iter_mut().zip(live).enumerate() {
+            let cnt = &self.planes[w * self.bplanes..(w + 1) * self.bplanes];
+            let mut eq = l;
+            let mut gt = 0u64;
+            for b in (0..self.bplanes).rev() {
+                let c = cnt[b];
+                if (m >> b) & 1 == 0 {
+                    gt |= eq & c;
+                    eq &= !c;
+                } else {
+                    eq &= c;
+                }
+            }
+            let le = l & !gt;
+            *o = le;
+            count += le.count_ones() as usize;
+        }
+        count
+    }
+}
+
+impl TcamSlab {
+    /// Accumulate per-candidate miss counts for `plan` over the first
+    /// `rows` rows into a word-parallel counter stack.
+    ///
+    /// Column pruning reuses the [`PlaneSummary`] caches: an `AllZero`
+    /// miss plane contributes nothing and is skipped outright; a `Full`
+    /// miss plane misses on *every* live candidate and becomes a uniform
+    /// `+1` base offset — neither ever enters the ripple-carry product.
+    /// The counter stack is sized by the columns that survive pruning.
+    fn hamming_counters(&self, plan: &[(usize, KeyBit)], rows: usize) -> HammingCounters {
+        assert!(rows <= self.rows, "row limit exceeds slab");
+        let pw = self.pw;
+        let words = rows * pw;
+        let plane = self.plane_words();
+        // Miss-plane source per surviving column: the `ones` plane for a
+        // key `0`, the `zeros` plane for a key `1`, both for `Z`.
+        enum Src {
+            Zeros(usize),
+            Ones(usize),
+            Both(usize),
+        }
+        let mut srcs: Vec<Src> = Vec::new();
+        let mut base = 0u32;
+        let mut active = 0u32;
+        for &(col, bit) in plan {
+            if col >= self.cols || bit == KeyBit::Masked {
+                continue;
+            }
+            active += 1;
+            match bit {
+                KeyBit::Zero => match self.osum[col] {
+                    PlaneSummary::AllZero => {}
+                    PlaneSummary::Full => base += 1,
+                    PlaneSummary::Unknown => srcs.push(Src::Ones(col)),
+                },
+                KeyBit::One => match self.zsum[col] {
+                    PlaneSummary::AllZero => {}
+                    PlaneSummary::Full => base += 1,
+                    PlaneSummary::Unknown => srcs.push(Src::Zeros(col)),
+                },
+                KeyBit::Z => match (self.zsum[col], self.osum[col]) {
+                    (PlaneSummary::AllZero, PlaneSummary::AllZero) => {}
+                    (PlaneSummary::Full, _) | (_, PlaneSummary::Full) => base += 1,
+                    (PlaneSummary::AllZero, _) => srcs.push(Src::Ones(col)),
+                    (_, PlaneSummary::AllZero) => srcs.push(Src::Zeros(col)),
+                    _ => srcs.push(Src::Both(col)),
+                },
+                KeyBit::Masked => unreachable!("masked entries filtered above"),
+            }
+        }
+        let bplanes = (usize::BITS - srcs.len().leading_zeros()) as usize;
+        let mut planes = vec![0u64; words * bplanes];
+        for s in &srcs {
+            match *s {
+                Src::Zeros(c) => ripple_accumulate(
+                    &mut planes,
+                    bplanes,
+                    &self.zeros[c * plane..c * plane + words],
+                ),
+                Src::Ones(c) => ripple_accumulate(
+                    &mut planes,
+                    bplanes,
+                    &self.ones[c * plane..c * plane + words],
+                ),
+                Src::Both(c) => ripple_accumulate_pair(
+                    &mut planes,
+                    bplanes,
+                    &self.zeros[c * plane..c * plane + words],
+                    &self.ones[c * plane..c * plane + words],
+                ),
+            }
+        }
+        HammingCounters {
+            planes,
+            bplanes,
+            words,
+            base,
+            active,
+            accumulated: srcs.len(),
+        }
+    }
+
+    /// Word-parallel distances of every candidate `(pe, row)` in the first
+    /// `rows` rows to the compiled plan, written to `out[pe * rows + row]`
+    /// — bit-identical to [`crate::similarity::scalar_distances`] on each
+    /// PE's array view.
+    ///
+    /// Distance is a function of *stored* state only (stuck-at bits are
+    /// already enforced there); transient search misses do not apply — see
+    /// the [`crate::similarity`] module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` exceeds the slab's rows or `out` is not
+    /// `pes * rows` long.
+    pub fn hamming_into(&self, plan: &[(usize, KeyBit)], rows: usize, out: &mut [u32]) {
+        assert_eq!(out.len(), self.pes * rows, "distance buffer size");
+        let hc = self.hamming_counters(plan, rows);
+        let pw = self.pw;
+        for row in 0..rows {
+            for wp in 0..pw {
+                let w = row * pw + wp;
+                let mut bits = self.live[w];
+                while bits != 0 {
+                    let p = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let pe = wp * 64 + p;
+                    out[pe * rows + row] = hc.base + hc.value(w, p);
+                }
+            }
+        }
+    }
+
+    /// Progressive masked top-k search over the first `rows` rows: run
+    /// threshold rounds with the engine-shared widening schedule
+    /// ([`crate::similarity::round_tau`]) until at least `k` candidates
+    /// fall within budget or the budget covers the maximum distance, then
+    /// read the winners out of the final threshold mask only.
+    ///
+    /// Each round is one word-parallel counter-threshold pass plus a
+    /// population count — low counter bits below the budget boundary are
+    /// effectively `Masked`, which is what lets a round cost one search.
+    /// The returned [`SlabTopk::hits`] hold *every* candidate within the
+    /// final budget (at least `min(k, candidates)` of them), so a caller
+    /// merging several slabs keeps exact global top-k semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `rows` exceeds the slab's rows.
+    pub fn hamming_topk(&self, plan: &[(usize, KeyBit)], rows: usize, k: usize) -> SlabTopk {
+        assert!(k > 0, "top-k requires k >= 1");
+        let hc = self.hamming_counters(plan, rows);
+        let live = &self.live[..hc.words];
+        let mut mask = vec![0u64; hc.words];
+        let mut round_counts = Vec::new();
+        let mut r = 1;
+        let tau = loop {
+            let tau = crate::similarity::round_tau(r);
+            let count = if tau < hc.base {
+                mask.fill(0);
+                0
+            } else {
+                hc.le_mask_into(live, tau - hc.base, &mut mask)
+            };
+            round_counts.push(count);
+            if count >= k || tau >= hc.active {
+                break tau;
+            }
+            r += 1;
+        };
+        let pw = self.pw;
+        let mut hits = Vec::new();
+        for row in 0..rows {
+            for wp in 0..pw {
+                let w = row * pw + wp;
+                let mut bits = mask[w];
+                while bits != 0 {
+                    let p = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    hits.push(SlabHit {
+                        distance: hc.base + hc.value(w, p),
+                        pe: (wp * 64 + p) as u32,
+                        row: row as u32,
+                    });
+                }
+            }
+        }
+        hits.sort_unstable();
+        SlabTopk {
+            hits,
+            round_counts,
+            tau,
+            active: hc.active,
+        }
+    }
+
+    /// Host words swept per column accumulation at this geometry and row
+    /// limit — the denominator benchmarks use to report the distance
+    /// kernel's words-per-nanosecond throughput.
+    pub fn hamming_words_per_col(&self, rows: usize) -> usize {
+        assert!(rows <= self.rows, "row limit exceeds slab");
+        rows * self.pw
+    }
+
+    /// Columns of `plan` that survive `PlaneSummary` pruning and
+    /// actually enter the ripple-carry accumulation — the column count
+    /// benchmarks multiply by [`hamming_words_per_col`](Self::hamming_words_per_col)
+    /// to report real words swept (pruned columns cost nothing on the
+    /// host, though hardware still drives them; see the accounting note on
+    /// `hyperap-arch`'s similarity module).
+    pub fn hamming_accumulated_cols(&self, plan: &[(usize, KeyBit)], rows: usize) -> usize {
+        self.hamming_counters(plan, rows).accumulated
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -3014,5 +3350,166 @@ mod tests {
             TcamSlab::from_bytes(&bytes[..bytes.len() - 3]),
             Err(SlabDecodeError::Truncated)
         );
+    }
+
+    /// Distances of every `(pe, row)` candidate from the scalar per-PE
+    /// reference, in the `hamming_into` layout.
+    fn reference_distances(
+        arrays: &[TcamArray],
+        plan: &[(usize, KeyBit)],
+        rows: usize,
+    ) -> Vec<u32> {
+        arrays
+            .iter()
+            .flat_map(|a| crate::similarity::scalar_distances(a, plan, rows))
+            .collect()
+    }
+
+    #[test]
+    fn hamming_matches_scalar_reference_across_word_boundary() {
+        let (slab, arrays) = seeded(70, 20, 24);
+        let key = SearchKey::parse("01Z-01Z-01Z-01Z-01Z-01Z-").unwrap();
+        let plan = key.compile_plan();
+        for rows in [1, 7, 20] {
+            let mut got = vec![u32::MAX; 70 * rows];
+            slab.hamming_into(&plan, rows, &mut got);
+            assert_eq!(got, reference_distances(&arrays, &plan, rows));
+        }
+    }
+
+    #[test]
+    fn hamming_pruning_paths_stay_exact() {
+        // A fresh slab stores all zeros: `zsum` is Full and `osum` is
+        // AllZero for every column, so a key of 1s rides the base-offset
+        // path and a key of 0s the skip path — neither touches a counter.
+        let slab = TcamSlab::new(3, 5, 8);
+        let ones_plan = SearchKey::parse("11111111").unwrap().compile_plan();
+        let zeros_plan = SearchKey::parse("00000000").unwrap().compile_plan();
+        let mut d = vec![0u32; 3 * 5];
+        slab.hamming_into(&ones_plan, 5, &mut d);
+        assert!(d.iter().all(|&x| x == 8), "all-ones key misses every cell");
+        slab.hamming_into(&zeros_plan, 5, &mut d);
+        assert!(
+            d.iter().all(|&x| x == 0),
+            "all-zeros key matches every cell"
+        );
+        // The top-k on the base-offset path still reports exact distances
+        // and a schedule consistent with the shared rule.
+        let topk = slab.hamming_topk(&ones_plan, 5, 2);
+        assert_eq!(topk.hits.len(), 15, "uniform distances: all within τ");
+        assert!(topk.hits.iter().all(|h| h.distance == 8));
+        assert_eq!(topk.round_counts, vec![0, 0, 0, 0, 15]);
+        assert_eq!(topk.tau, 15);
+    }
+
+    #[test]
+    fn topk_agrees_with_shared_schedule_and_distances() {
+        let (slab, arrays) = seeded(70, 20, 24);
+        let key = SearchKey::parse("0101Z-0101Z-0101Z-0101Z-").unwrap();
+        let plan = key.compile_plan();
+        let rows = 20;
+        let all = reference_distances(&arrays, &plan, rows);
+        let active = crate::similarity::active_entries(&plan, 24);
+        for k in [1, 3, 64, 2000] {
+            let topk = slab.hamming_topk(&plan, rows, k);
+            let sched = crate::similarity::topk_schedule(&all, active, k);
+            assert_eq!(topk.round_counts.len(), sched.rounds);
+            assert_eq!(topk.tau, sched.tau);
+            assert_eq!(topk.active, active);
+            // Hits are exactly the candidates within the final budget,
+            // sorted ascending with the (pe, row) tie-break.
+            let mut expect: Vec<SlabHit> = all
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d <= sched.tau)
+                .map(|(i, &d)| SlabHit {
+                    distance: d,
+                    pe: (i / rows) as u32,
+                    row: (i % rows) as u32,
+                })
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(topk.hits, expect);
+            assert!(topk.hits.len() >= k.min(all.len()));
+        }
+    }
+
+    #[test]
+    fn zero_distance_agrees_with_search() {
+        // A candidate is at distance 0 exactly when a plain search of the
+        // same plan tags it (fault-free: searches start from `live`).
+        let (slab, _) = seeded(5, 16, 12);
+        let key = SearchKey::parse("01Z-01Z-01Z-").unwrap();
+        let plan = key.compile_plan();
+        let mut d = vec![0u32; 5 * 16];
+        slab.hamming_into(&plan, 16, &mut d);
+        let mut tags = vec![0u64; slab.plane_words()];
+        slab.search_plan_multi_into(&plan, None, &mut tags);
+        for pe in 0..5 {
+            for row in 0..16 {
+                let tagged = tags[row * slab.pe_words() + pe / 64] >> (pe % 64) & 1 == 1;
+                assert_eq!(d[pe * 16 + row] == 0, tagged, "pe {pe} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_cells_perturb_distances_identically() {
+        let model = FaultModel {
+            seed: 0xD157,
+            stuck_per_million: 150_000,
+            miss_per_million: 250_000, // transient misses must NOT affect distances
+            endurance_limit: None,
+        };
+        let pes = 70;
+        let (rows, cols) = (12, 16);
+        let mut slab = TcamSlab::new(pes, rows, cols);
+        slab.attach_fault(model, 2, 9);
+        let mut arrays: Vec<TcamArray> = (0..pes).map(|_| TcamArray::new(rows, cols)).collect();
+        for (s, a) in arrays.iter_mut().enumerate() {
+            a.attach_fault(model, 2, 9 + s);
+        }
+        for (pe, array) in arrays.iter_mut().enumerate() {
+            for row in 0..rows {
+                for col in 0..cols {
+                    let v = match (5 * pe + 3 * row + 7 * col) % 3 {
+                        0 => TernaryBit::Zero,
+                        1 => TernaryBit::One,
+                        _ => TernaryBit::X,
+                    };
+                    slab.set_cell(pe, row, col, v);
+                    array.set_cell(row, col, v);
+                }
+            }
+        }
+        let key = SearchKey::parse("01Z-01Z-01Z-01Z-").unwrap();
+        let plan = key.compile_plan();
+        let mut got = vec![0u32; pes * rows];
+        slab.hamming_into(&plan, rows, &mut got);
+        assert_eq!(got, reference_distances(&arrays, &plan, rows));
+        // The stuck pattern is dense enough that it actually moved some
+        // distance away from the fault-free value.
+        let (ideal_slab, ideal_arrays) = {
+            let mut s = TcamSlab::new(pes, rows, cols);
+            let mut ars: Vec<TcamArray> = (0..pes).map(|_| TcamArray::new(rows, cols)).collect();
+            for (pe, ar) in ars.iter_mut().enumerate() {
+                for row in 0..rows {
+                    for col in 0..cols {
+                        let v = match (5 * pe + 3 * row + 7 * col) % 3 {
+                            0 => TernaryBit::Zero,
+                            1 => TernaryBit::One,
+                            _ => TernaryBit::X,
+                        };
+                        s.set_cell(pe, row, col, v);
+                        ar.set_cell(row, col, v);
+                    }
+                }
+            }
+            (s, ars)
+        };
+        let mut ideal = vec![0u32; pes * rows];
+        ideal_slab.hamming_into(&plan, rows, &mut ideal);
+        assert_eq!(ideal, reference_distances(&ideal_arrays, &plan, rows));
+        assert_ne!(got, ideal, "seeded stuck cells must perturb distances");
     }
 }

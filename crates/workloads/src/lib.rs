@@ -13,6 +13,9 @@
 //! * [`perf`] — chip-level performance extraction: turns per-slot operation
 //!   counts into the latency/throughput/efficiency metrics and compares
 //!   against the IMP and GPU baseline models.
+//! * [`similarity`] — search-dominated workloads driving the CAM-native
+//!   similarity API: Hamming top-k over stored binary codes and a
+//!   binarized-HDC classifier, each with a pure-host scalar reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +23,7 @@
 pub mod kernels;
 pub mod perf;
 pub mod scaleout;
+pub mod similarity;
 pub mod synthetic;
 
 pub use kernels::{all_kernels, Kernel};

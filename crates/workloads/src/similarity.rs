@@ -1,0 +1,433 @@
+//! Search-dominated similarity workloads: Hamming top-k over stored
+//! binary codes and a binarized-HDC classifier (the first benchmark family
+//! that exercises the TCAM *as a CAM* — ROADMAP item 5).
+//!
+//! Both workloads drive the batch similarity API of
+//! [`hyperap_arch::similarity`] and come with a pure-host scalar reference
+//! that never touches a machine:
+//!
+//! * [`CodeSet`] — seeded random binary codes stored one per `(pe, row)`
+//!   candidate slot; [`CodeSet::host_topk`] is the plain
+//!   sort-by-`(distance, pe, row)` reference the engines must reproduce
+//!   exactly.
+//! * [`HdcModel`] — hyperdimensional classification in the style of
+//!   binarized associative memories (PAPERS.md: arxiv 1807.08583 and the
+//!   in-CAM similarity search of 2208.02651): class prototypes generate
+//!   noisy binary samples, training *bundles* each class's samples by
+//!   per-bit majority vote into a class hypervector, the class vectors are
+//!   stored in CAM rows, and inference is one nearest-neighbor query.
+//!
+//! Class vectors are placed round-robin across PEs
+//! ([`HdcModel::slot_class`] wraps every `(pe, row)` slot onto a class),
+//! so every candidate slot is meaningful, every PE participates in every
+//! query, and the machine's deterministic `(distance, pe, row)` tie-break
+//! maps back to a class identically in every engine and in the host
+//! reference.
+
+use hyperap_arch::similarity::SimilarityHit;
+use hyperap_arch::{ApMachine, SlabMachine};
+use hyperap_tcam::key::SearchKey;
+use hyperap_tcam::KeyBit;
+
+/// One round of the splitmix64 finalizer — the same seeded generator the
+/// synthetic kernels use, so workload content is reproducible everywhere.
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded random bit vector of `bits` bits.
+fn random_code(state: &mut u64, bits: usize) -> Vec<bool> {
+    (0..bits).map(|_| splitmix(state) & 1 == 1).collect()
+}
+
+/// A fully specified search key for a binary code: bit `i` of the key is
+/// `0`/`1` per `code[i]`, everything beyond is masked out to `width`.
+pub fn code_key(code: &[bool], width: usize) -> SearchKey {
+    let mut key = SearchKey::masked(width);
+    for (col, &b) in code.iter().enumerate() {
+        key.set_bit(col, if b { KeyBit::One } else { KeyBit::Zero });
+    }
+    key
+}
+
+/// Hamming distance between two equal-length binary codes.
+pub fn hamming(a: &[bool], b: &[bool]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).filter(|(x, y)| x != y).count() as u32
+}
+
+/// Stored binary codes for the Hamming top-k workload: one `bits`-bit
+/// code per `(pe, row)` candidate slot of a `pes × rows` machine region.
+#[derive(Debug, Clone)]
+pub struct CodeSet {
+    /// PEs holding codes (must equal the machine's total PE count when
+    /// loading).
+    pub pes: usize,
+    /// Rows of codes per PE.
+    pub rows: usize,
+    /// Bits per code (must fit the machine's columns).
+    pub bits: usize,
+    /// Codes indexed `[pe * rows + row]`.
+    pub codes: Vec<Vec<bool>>,
+}
+
+impl CodeSet {
+    /// Seeded random codes filling every slot.
+    pub fn generate(seed: u64, pes: usize, rows: usize, bits: usize) -> Self {
+        let mut state = seed ^ 0x0C0D_E5E7_0000_0001;
+        let codes = (0..pes * rows)
+            .map(|_| random_code(&mut state, bits))
+            .collect();
+        CodeSet {
+            pes,
+            rows,
+            bits,
+            codes,
+        }
+    }
+
+    /// A seeded random query code of the set's width.
+    pub fn random_query(&self, seed: u64) -> Vec<bool> {
+        let mut state = seed ^ 0xC0DE_06E5_0000_0002;
+        random_code(&mut state, self.bits)
+    }
+
+    /// The query as a machine search key of `width` columns.
+    pub fn query_key(&self, query: &[bool], width: usize) -> SearchKey {
+        code_key(query, width)
+    }
+
+    /// Load every code into the scalar reference machine (host data-load
+    /// path; columns beyond `bits` stay `0`).
+    pub fn load_ap(&self, m: &mut ApMachine) {
+        assert_eq!(self.pes, m.config().total_pes(), "PE count mismatch");
+        for pe in 0..self.pes {
+            for row in 0..self.rows {
+                let code = &self.codes[pe * self.rows + row];
+                for (col, &b) in code.iter().enumerate() {
+                    m.pe_mut(pe).load_bit(row, col, b);
+                }
+            }
+        }
+    }
+
+    /// Load every code into the word-parallel slab machine.
+    pub fn load_slab(&self, m: &mut SlabMachine) {
+        assert_eq!(self.pes, m.config().total_pes(), "PE count mismatch");
+        for pe in 0..self.pes {
+            for row in 0..self.rows {
+                let code = &self.codes[pe * self.rows + row];
+                for (col, &b) in code.iter().enumerate() {
+                    m.load_bit(pe, row, col, b);
+                }
+            }
+        }
+    }
+
+    /// Pure-host scalar reference: the top-`k` stored codes by Hamming
+    /// distance to `query`, ascending `(distance, pe, row)` — exactly what
+    /// both engines must return (fault-free).
+    pub fn host_topk(&self, query: &[bool], k: usize) -> Vec<SimilarityHit> {
+        let mut hits: Vec<SimilarityHit> = self
+            .codes
+            .iter()
+            .enumerate()
+            .map(|(i, code)| SimilarityHit {
+                distance: hamming(code, query),
+                pe: (i / self.rows) as u32,
+                row: (i % self.rows) as u32,
+            })
+            .collect();
+        hits.sort_unstable();
+        hits.truncate(k);
+        hits
+    }
+}
+
+/// Configuration of the synthetic HDC classification task.
+#[derive(Debug, Clone, Copy)]
+pub struct HdcConfig {
+    /// Hypervector dimensionality (bits per vector; must fit the
+    /// machine's columns for inference).
+    pub dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Training samples bundled per class.
+    pub train_per_class: usize,
+    /// Held-out samples per class for accuracy evaluation.
+    pub test_per_class: usize,
+    /// Per-bit flip probability of a sample versus its class prototype,
+    /// in events per million.
+    pub noise_per_million: u32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// A generated HDC task: class prototypes plus noisy labeled samples.
+#[derive(Debug, Clone)]
+pub struct HdcDataset {
+    /// The generating configuration.
+    pub config: HdcConfig,
+    /// Ground-truth class prototypes (hidden from training).
+    pub prototypes: Vec<Vec<bool>>,
+    /// Labeled training samples `(class, hypervector)`.
+    pub train: Vec<(usize, Vec<bool>)>,
+    /// Labeled held-out samples `(class, hypervector)`.
+    pub test: Vec<(usize, Vec<bool>)>,
+}
+
+impl HdcDataset {
+    /// Generate prototypes and noisy samples from the seed.
+    pub fn generate(config: HdcConfig) -> Self {
+        assert!(config.classes > 0 && config.dim > 0, "degenerate task");
+        let mut state = config.seed ^ 0x4DC0_FFEE_0000_0003;
+        let prototypes: Vec<Vec<bool>> = (0..config.classes)
+            .map(|_| random_code(&mut state, config.dim))
+            .collect();
+        let noisy = |proto: &[bool], state: &mut u64| -> Vec<bool> {
+            proto
+                .iter()
+                .map(|&b| {
+                    if splitmix(state) % 1_000_000 < config.noise_per_million as u64 {
+                        !b
+                    } else {
+                        b
+                    }
+                })
+                .collect()
+        };
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (c, proto) in prototypes.iter().enumerate() {
+            for _ in 0..config.train_per_class {
+                train.push((c, noisy(proto, &mut state)));
+            }
+            for _ in 0..config.test_per_class {
+                test.push((c, noisy(proto, &mut state)));
+            }
+        }
+        HdcDataset {
+            config,
+            prototypes,
+            train,
+            test,
+        }
+    }
+}
+
+/// A trained binarized-HDC associative memory: one majority-vote class
+/// hypervector per class, stored in CAM rows for nearest-neighbor
+/// inference.
+#[derive(Debug, Clone)]
+pub struct HdcModel {
+    /// Hypervector dimensionality.
+    pub dim: usize,
+    /// Class hypervectors, indexed by class id.
+    pub class_vectors: Vec<Vec<bool>>,
+}
+
+impl HdcModel {
+    /// Bundle each class's training samples by per-bit majority vote
+    /// (ties round up — the bundling convention of binarized HDC with an
+    /// even sample count).
+    pub fn train(ds: &HdcDataset) -> Self {
+        let dim = ds.config.dim;
+        let mut votes = vec![vec![0usize; dim]; ds.config.classes];
+        let mut totals = vec![0usize; ds.config.classes];
+        for (c, sample) in &ds.train {
+            totals[*c] += 1;
+            for (v, &b) in votes[*c].iter_mut().zip(sample) {
+                *v += b as usize;
+            }
+        }
+        let class_vectors = votes
+            .iter()
+            .zip(&totals)
+            .map(|(v, &n)| {
+                assert!(n > 0, "every class needs at least one training sample");
+                v.iter().map(|&ones| 2 * ones >= n).collect()
+            })
+            .collect();
+        HdcModel { dim, class_vectors }
+    }
+
+    /// The class stored at candidate slot `(pe, row)`: class vectors are
+    /// placed round-robin across PEs (`slot index = row * pes + pe`,
+    /// wrapped onto the class count), so every slot of the searched region
+    /// holds a meaningful vector and every PE works on every query.
+    pub fn slot_class(&self, pe: usize, row: usize, pes: usize) -> usize {
+        (row * pes + pe) % self.class_vectors.len()
+    }
+
+    /// Rows per PE needed to hold at least one copy of every class vector
+    /// on a `pes`-wide machine.
+    pub fn rows_needed(&self, pes: usize) -> usize {
+        self.class_vectors.len().div_ceil(pes)
+    }
+
+    /// Store the class vectors into the scalar reference machine over the
+    /// first `rows` rows of every PE (every slot filled per
+    /// [`slot_class`](Self::slot_class)).
+    pub fn load_ap(&self, m: &mut ApMachine, rows: usize) {
+        let pes = m.config().total_pes();
+        assert!(self.dim <= m.config().cols, "hypervector exceeds columns");
+        for pe in 0..pes {
+            for row in 0..rows {
+                let v = &self.class_vectors[self.slot_class(pe, row, pes)];
+                for (col, &b) in v.iter().enumerate() {
+                    m.pe_mut(pe).load_bit(row, col, b);
+                }
+            }
+        }
+    }
+
+    /// Store the class vectors into the word-parallel slab machine.
+    pub fn load_slab(&self, m: &mut SlabMachine, rows: usize) {
+        let pes = m.config().total_pes();
+        assert!(self.dim <= m.config().cols, "hypervector exceeds columns");
+        for pe in 0..pes {
+            for row in 0..rows {
+                let v = &self.class_vectors[self.slot_class(pe, row, pes)];
+                for (col, &b) in v.iter().enumerate() {
+                    m.load_bit(pe, row, col, b);
+                }
+            }
+        }
+    }
+
+    /// Pure-host scalar inference over the same slot layout a machine
+    /// searches: nearest slot by `(distance, pe, row)`, mapped back to its
+    /// class. This is the reference every engine must agree with.
+    pub fn classify_host(&self, sample: &[bool], pes: usize, rows: usize) -> usize {
+        let mut best: Option<(u32, usize, usize)> = None;
+        for row in 0..rows {
+            for pe in 0..pes {
+                let d = hamming(&self.class_vectors[self.slot_class(pe, row, pes)], sample);
+                let cand = (d, pe, row);
+                // `(distance, pe, row)` ascending — the engines' tie-break.
+                if best.is_none_or(|b| (cand.0, cand.1, cand.2) < (b.0, b.1, b.2)) {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (_, pe, row) = best.expect("at least one slot");
+        self.slot_class(pe, row, pes)
+    }
+
+    /// Inference on the scalar reference machine: one `nearest` query.
+    pub fn classify_ap(&self, m: &ApMachine, sample: &[bool], rows: usize) -> usize {
+        let key = code_key(sample, m.config().cols);
+        let out = m.nearest(&key, rows);
+        let hit = out.best().expect("machine has candidates");
+        self.slot_class(hit.pe as usize, hit.row as usize, m.config().total_pes())
+    }
+
+    /// Inference on the word-parallel slab machine: one `nearest` query.
+    pub fn classify_slab(&self, m: &SlabMachine, sample: &[bool], rows: usize) -> usize {
+        let key = code_key(sample, m.config().cols);
+        let out = m.nearest(&key, rows);
+        let hit = out.best().expect("machine has candidates");
+        self.slot_class(hit.pe as usize, hit.row as usize, m.config().total_pes())
+    }
+
+    /// Host-reference accuracy on a labeled sample set.
+    pub fn accuracy_host(&self, samples: &[(usize, Vec<bool>)], pes: usize, rows: usize) -> f64 {
+        if samples.is_empty() {
+            return 1.0;
+        }
+        let good = samples
+            .iter()
+            .filter(|(c, s)| self.classify_host(s, pes, rows) == *c)
+            .count();
+        good as f64 / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperap_arch::ArchConfig;
+
+    fn fault_free(mut config: ArchConfig) -> ArchConfig {
+        config.faults = Default::default();
+        config
+    }
+
+    #[test]
+    fn host_topk_is_sorted_and_exact() {
+        let cs = CodeSet::generate(7, 4, 6, 32);
+        let q = cs.random_query(11);
+        let hits = cs.host_topk(&q, 5);
+        assert_eq!(hits.len(), 5);
+        for w in hits.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for h in &hits {
+            assert_eq!(
+                h.distance,
+                hamming(&cs.codes[h.pe as usize * 6 + h.row as usize], &q)
+            );
+        }
+    }
+
+    #[test]
+    fn engines_reproduce_host_topk() {
+        let config = fault_free(ArchConfig::tiny());
+        let cs = CodeSet::generate(3, config.total_pes(), 8, config.cols.min(48));
+        let mut ap = ApMachine::new(config.clone());
+        let mut slab = SlabMachine::new(config.clone());
+        cs.load_ap(&mut ap);
+        cs.load_slab(&mut slab);
+        for qseed in 0..4 {
+            let q = cs.random_query(qseed);
+            let key = cs.query_key(&q, config.cols);
+            for k in [1, 3, 17] {
+                let want = cs.host_topk(&q, k);
+                let a = ap.hamming_topk(&key, cs.rows, k);
+                let s = slab.hamming_topk(&key, cs.rows, k);
+                assert_eq!(a.hits, want, "scalar engine vs host, k={k}");
+                assert_eq!(s.hits, want, "slab engine vs host, k={k}");
+                assert_eq!(a.stats, s.stats, "engine stats must match");
+            }
+        }
+    }
+
+    #[test]
+    fn hdc_classifier_agrees_across_engines_and_learns() {
+        let config = fault_free(ArchConfig::tiny());
+        let ds = HdcDataset::generate(HdcConfig {
+            dim: 48,
+            classes: 6,
+            train_per_class: 10,
+            test_per_class: 6,
+            noise_per_million: 80_000, // 8% bit flips
+            seed: 0xDC5EED,
+        });
+        let model = HdcModel::train(&ds);
+        let pes = config.total_pes();
+        let rows = model.rows_needed(pes).max(3); // wrap several replicas
+        let mut ap = ApMachine::new(config.clone());
+        let mut slab = SlabMachine::new(config.clone());
+        model.load_ap(&mut ap, rows);
+        model.load_slab(&mut slab, rows);
+        let mut correct = 0;
+        for (label, sample) in &ds.test {
+            let host = model.classify_host(sample, pes, rows);
+            assert_eq!(model.classify_ap(&ap, sample, rows), host);
+            assert_eq!(model.classify_slab(&slab, sample, rows), host);
+            if host == *label {
+                correct += 1;
+            }
+        }
+        // Bundled prototypes under 8% noise recover labels reliably.
+        assert!(
+            correct * 10 >= ds.test.len() * 9,
+            "accuracy too low: {correct}/{}",
+            ds.test.len()
+        );
+    }
+}
