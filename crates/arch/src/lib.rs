@@ -63,6 +63,6 @@ pub use config::{env_faults, ArchConfig, ExecMode, FaultConfig};
 pub use hyperap_tcam::{FaultError, FaultModel};
 pub use machine::ApMachine;
 pub use similarity::{SimilarityHit, SimilarityOutcome};
-pub use slab::SlabMachine;
+pub use slab::{ChunkPayload, ChunkState, MachineExtras, RestoreError, SlabMachine};
 pub use stats::{PeHealth, RunStats};
 pub use trace::{stream_set_hash, CompiledTrace};

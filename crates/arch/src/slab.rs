@@ -79,6 +79,11 @@ struct SlabChunk {
     all_active: bool,
     /// Cached summary of `active`: at least one chunk PE is active.
     any_active: bool,
+    /// Monotonic write-tracking counter for `ops` — the slab/tag arenas
+    /// track their own versions, but the per-PE op counters live outside
+    /// them, so checkpoint dirty-detection needs this one too. Bumped
+    /// conservatively wherever `ops` can change; never reset.
+    ops_version: u64,
 }
 
 impl SlabChunk {
@@ -94,6 +99,7 @@ impl SlabChunk {
             active: vec![0; pes.div_ceil(64)],
             all_active: false,
             any_active: false,
+            ops_version: 0,
         }
     }
 
@@ -134,7 +140,6 @@ impl SlabChunk {
             tags,
             latch,
             regs,
-            ops,
             active,
             all_active,
             ..
@@ -276,13 +281,96 @@ impl SlabChunk {
             }
         }
         flush!();
-        for (i, pe_ops) in ops.iter_mut().enumerate() {
+        self.ops_version = self.ops_version.wrapping_add(1);
+        for (i, pe_ops) in self.ops.iter_mut().enumerate() {
             if group_mask[base + i] {
                 pe_ops.add(pe_delta);
             }
         }
     }
 }
+
+/// Borrowed view of one slab chunk's serializable state — everything a
+/// checkpoint must capture to restore the chunk bit-identically (the
+/// active-mask cache and trace cache are recomputed, not state).
+#[derive(Debug)]
+pub struct ChunkState<'a> {
+    /// Global index of the chunk's first PE.
+    pub global_base: usize,
+    /// PEs in the chunk.
+    pub pes: usize,
+    /// TCAM cells + wear + fault bookkeeping.
+    pub storage: &'a TcamSlab,
+    /// Tag registers.
+    pub tags: &'a TagSlab,
+    /// Encoder DFF stage.
+    pub latch: &'a TagSlab,
+    /// Data registers.
+    pub regs: &'a TagSlab,
+    /// Per-PE operation counters.
+    pub ops: &'a [OpCounts],
+}
+
+/// Owned state of one restored chunk — the decode-side counterpart of
+/// [`ChunkState`], fed to [`SlabMachine::restore_chunks`]. Payload chunks
+/// need not match the target machine's chunking: restore re-slices them
+/// (the migration path).
+#[derive(Debug, Clone)]
+pub struct ChunkPayload {
+    /// Global index of the payload's first PE.
+    pub global_base: usize,
+    /// TCAM cells + wear + fault bookkeeping.
+    pub storage: TcamSlab,
+    /// Tag registers.
+    pub tags: TagSlab,
+    /// Encoder DFF stage.
+    pub latch: TagSlab,
+    /// Data registers.
+    pub regs: TagSlab,
+    /// Per-PE operation counters.
+    pub ops: Vec<OpCounts>,
+}
+
+/// Per-group controller state outside the chunk arenas — key registers,
+/// compiled key plans, bank masks, and `ReadR` data buffers. Small and
+/// serialized whole by every checkpoint (no dirty tracking).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineExtras {
+    /// Per-group search-key registers.
+    pub keys: Vec<SearchKey>,
+    /// Per-group compiled key plans. Stored verbatim, **not** recomputed
+    /// from the key: traces install narrowed plans that a fresh
+    /// `compile_plan` would widen.
+    pub key_plans: Vec<Vec<(usize, KeyBit)>>,
+    /// Per-group bank masks.
+    pub bank_masks: Vec<u8>,
+    /// Per-group controller data buffers (last `ReadR` result).
+    pub data_buffers: Vec<TagVector>,
+}
+
+/// Failure modes of [`SlabMachine::restore_chunks`] /
+/// [`SlabMachine::set_machine_extras`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// Payload chunks do not tile the machine's PEs exactly (gap, overlap,
+    /// group-boundary straddle, or wrong total).
+    Coverage,
+    /// A payload's internal geometry (rows, cols, tag shapes, op-counter
+    /// length, or fault-state presence/base) contradicts the machine's
+    /// config.
+    Geometry,
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Coverage => write!(f, "restore payload does not tile the machine's PEs"),
+            RestoreError::Geometry => write!(f, "restore payload geometry contradicts the config"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 /// A simulated Hyper-AP machine backed by slab storage — the fast engine,
 /// bit-identical to [`ApMachine`] (see the [module docs](self)).
@@ -392,6 +480,7 @@ impl SlabMachine {
             chunk.latch.clear();
             chunk.regs.clear();
             chunk.ops.fill(OpCounts::default());
+            chunk.ops_version = chunk.ops_version.wrapping_add(1);
             chunk.active.fill(0);
             chunk.all_active = false;
             chunk.any_active = false;
@@ -461,6 +550,213 @@ impl SlabMachine {
     /// A group's controller data buffer.
     pub fn data_buffer(&self, group: usize) -> &TagVector {
         &self.data_buffers[group]
+    }
+
+    // ----- checkpoint surface -----
+
+    /// Number of slab chunks (`groups * chunks_per_group`) — the dirty
+    /// tracking and snapshot granularity of the checkpoint layer.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Borrow one chunk's serializable state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is out of range.
+    pub fn chunk_state(&self, chunk: usize) -> ChunkState<'_> {
+        let per = self.config.pes_per_group();
+        let c = &self.chunks[chunk];
+        ChunkState {
+            global_base: (chunk / self.chunks_per_group) * per + c.base,
+            pes: c.pes,
+            storage: &c.storage,
+            tags: &c.tags,
+            latch: &c.latch,
+            regs: &c.regs,
+            ops: &c.ops,
+        }
+    }
+
+    /// One chunk's write-tracking fingerprint: the version counters of the
+    /// storage arena, the three tag planes, and the op counters. Two equal
+    /// fingerprints taken across a span of operations prove the chunk's
+    /// serializable state did not change (the counters only ever advance);
+    /// unequal fingerprints prove nothing — bumps are conservative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is out of range.
+    pub fn chunk_fingerprint(&self, chunk: usize) -> [u64; 5] {
+        let c = &self.chunks[chunk];
+        [
+            c.storage.version(),
+            c.tags.version(),
+            c.latch.version(),
+            c.regs.version(),
+            c.ops_version,
+        ]
+    }
+
+    /// Copy out the per-group controller state outside the chunk arenas.
+    pub fn machine_extras(&self) -> MachineExtras {
+        MachineExtras {
+            keys: self.keys.clone(),
+            key_plans: self.key_plans.clone(),
+            bank_masks: self.bank_masks.clone(),
+            data_buffers: self.data_buffers.clone(),
+        }
+    }
+
+    /// Install per-group controller state from a checkpoint, invalidating
+    /// the derived active-set caches.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::Geometry`] when any vector's length or element shape
+    /// contradicts the machine's config.
+    pub fn set_machine_extras(&mut self, extras: MachineExtras) -> Result<(), RestoreError> {
+        let groups = self.config.groups;
+        // Key registers may be wider than the array (`lower()` emits
+        // KEY_COLUMNS-wide keys on any geometry), so only the per-group
+        // shape and the plan/buffer column bounds are checked.
+        if extras.keys.len() != groups
+            || extras.key_plans.len() != groups
+            || extras.bank_masks.len() != groups
+            || extras.data_buffers.len() != groups
+            || extras
+                .key_plans
+                .iter()
+                .any(|plan| plan.iter().any(|&(col, _)| col >= self.config.cols))
+            || extras
+                .data_buffers
+                .iter()
+                .any(|b| b.len() != self.config.rows)
+        {
+            return Err(RestoreError::Geometry);
+        }
+        self.keys = extras.keys;
+        self.key_plans = extras.key_plans;
+        self.bank_masks = extras.bank_masks;
+        self.data_buffers = extras.data_buffers;
+        self.active.fill(ActiveSet::default());
+        Ok(())
+    }
+
+    /// Replace every chunk's state from checkpoint payloads. Payload
+    /// chunking need not match this machine's: a payload written by a
+    /// machine with different `chunk_pes` is re-sliced through the lossless
+    /// per-PE array conversions (wear and fault bookkeeping carried along)
+    /// — the shard-migration path. Either way the restored machine is
+    /// bit-identical to the one that produced the payloads: every
+    /// `pe_snapshot`, data register, wear counter, spare remap, and fault
+    /// latch matches.
+    ///
+    /// The derived caches (active sets, scratch, trace cache) are reset;
+    /// the controller extras are restored separately via
+    /// [`set_machine_extras`](Self::set_machine_extras).
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::Coverage`] when the payloads do not tile the
+    /// machine's PEs exactly or straddle a group boundary;
+    /// [`RestoreError::Geometry`] when a payload's shape or fault state
+    /// contradicts the config.
+    pub fn restore_chunks(&mut self, mut parts: Vec<ChunkPayload>) -> Result<(), RestoreError> {
+        let (rows, cols) = (self.config.rows, self.config.cols);
+        let per = self.config.pes_per_group();
+        parts.sort_by_key(|p| p.global_base);
+        let mut next = 0usize;
+        for p in &parts {
+            let pes = p.storage.pes();
+            if p.global_base != next || pes == 0 {
+                return Err(RestoreError::Coverage);
+            }
+            // Chunks never span groups on any legal machine.
+            if p.global_base / per != (p.global_base + pes - 1) / per {
+                return Err(RestoreError::Coverage);
+            }
+            if p.storage.rows() != rows
+                || p.storage.cols() != cols
+                || [&p.tags, &p.latch, &p.regs]
+                    .iter()
+                    .any(|t| t.pes() != pes || t.rows() != rows)
+                || p.ops.len() != pes
+                || p.storage.fault().is_some() != self.config.faults.is_active()
+                || p.storage.fault().is_some_and(|f| f.pe0 != p.global_base)
+            {
+                return Err(RestoreError::Geometry);
+            }
+            next += pes;
+        }
+        if next != self.config.total_pes() {
+            return Err(RestoreError::Coverage);
+        }
+        let aligned = parts.len() == self.chunks.len()
+            && parts
+                .iter()
+                .zip(self.chunks.iter())
+                .enumerate()
+                .all(|(i, (p, c))| {
+                    p.global_base == (i / self.chunks_per_group) * per + c.base
+                        && p.storage.pes() == c.pes
+                });
+        if aligned {
+            for (chunk, p) in self.chunks.iter_mut().zip(parts) {
+                chunk.storage = p.storage;
+                chunk.tags = p.tags;
+                chunk.latch = p.latch;
+                chunk.regs = p.regs;
+                chunk.ops = p.ops;
+                chunk.ops_version = chunk.ops_version.wrapping_add(1);
+            }
+        } else {
+            // Migration: explode the payloads into per-PE arrays and
+            // re-slice them along this machine's chunk boundaries.
+            let mut arrays = Vec::with_capacity(self.config.total_pes());
+            let mut tags = Vec::with_capacity(self.config.total_pes());
+            let mut latches = Vec::with_capacity(self.config.total_pes());
+            let mut regs = Vec::with_capacity(self.config.total_pes());
+            let mut ops = Vec::with_capacity(self.config.total_pes());
+            for p in &parts {
+                arrays.extend(p.storage.to_arrays());
+                for s in 0..p.storage.pes() {
+                    tags.push(p.tags.to_tagvector(s));
+                    latches.push(p.latch.to_tagvector(s));
+                    regs.push(p.regs.to_tagvector(s));
+                }
+                ops.extend_from_slice(&p.ops);
+            }
+            for (i, chunk) in self.chunks.iter_mut().enumerate() {
+                let base = (i / self.chunks_per_group) * per + chunk.base;
+                let range = base..base + chunk.pes;
+                chunk.storage = TcamSlab::from_arrays(&arrays[range.clone()]);
+                let mut t = TagSlab::zeros(chunk.pes, rows);
+                let mut l = TagSlab::zeros(chunk.pes, rows);
+                let mut r = TagSlab::zeros(chunk.pes, rows);
+                for (s, g) in range.clone().enumerate() {
+                    t.set_pe(s, &tags[g]);
+                    l.set_pe(s, &latches[g]);
+                    r.set_pe(s, &regs[g]);
+                }
+                chunk.tags = t;
+                chunk.latch = l;
+                chunk.regs = r;
+                chunk.ops = ops[range].to_vec();
+                chunk.ops_version = chunk.ops_version.wrapping_add(1);
+            }
+        }
+        for chunk in &mut self.chunks {
+            chunk.active.fill(0);
+            chunk.all_active = false;
+            chunk.any_active = false;
+        }
+        self.active.fill(ActiveSet::default());
+        self.mov_scratch.clear();
+        self.imm_scratch.blocks_mut().fill(0);
+        self.trace_cache = None;
+        Ok(())
     }
 
     // ----- host data-load path (mirrors `HyperPe`'s; free) -----
@@ -822,6 +1118,7 @@ impl SlabMachine {
                     let (c, s) = self.chunk_of(base + i);
                     let chunk = &mut self.chunks[c];
                     chunk.ops[s].counts += 1;
+                    chunk.ops_version = chunk.ops_version.wrapping_add(1);
                     let count = chunk.tags.count(s);
                     stats.count_results[group].push((base + i, count));
                 }
@@ -836,6 +1133,7 @@ impl SlabMachine {
                     let (c, s) = self.chunk_of(base + i);
                     let chunk = &mut self.chunks[c];
                     chunk.ops[s].indexes += 1;
+                    chunk.ops_version = chunk.ops_version.wrapping_add(1);
                     let index = chunk.tags.first_index(s);
                     stats.index_results[group].push((base + i, index));
                 }

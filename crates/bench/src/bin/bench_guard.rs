@@ -416,6 +416,56 @@ fn guard_similarity(baseline: &str, path: &std::path::Path) -> bool {
     failed
 }
 
+/// Gate the checked-in `checkpoint` block (emitted by `bench_sim`): every
+/// cost column must be a usable positive number, and the incremental
+/// snapshot's dirty-chunk hit rate must stay ≥0.9 — the delta path exists
+/// so a barrier costs ~1/16 of a full snapshot; a collapsed hit rate means
+/// write tracking went conservative and checkpointing is back on the
+/// critical path. The *disabled* cost of checkpointing (per-op version
+/// bumps on the slab write paths) is pinned separately by the absolute
+/// [`SLAB_SEQ_FLOOR_IPS`] floor on the hot engine column: zero-checkpoint
+/// configs must keep the existing kernels.
+fn guard_checkpoint(baseline: &str, path: &std::path::Path) -> bool {
+    let mut failed = false;
+    for key in [
+        "ckpt_payload_bytes",
+        "ckpt_full_snapshot_ms",
+        "ckpt_full_mb_per_s",
+        "ckpt_incremental_bytes",
+        "ckpt_incremental_ms",
+        "ckpt_incremental_mb_per_s",
+        "ckpt_restore_ms",
+    ] {
+        match json_number(baseline, key) {
+            Some(v) if v.is_finite() && v > 0.0 => {
+                println!("bench_guard: checkpoint {key} = {v}");
+            }
+            other => {
+                eprintln!(
+                    "bench_guard: baseline {} lacks usable checkpoint {key} ({other:?}) — \
+                     regenerate BENCH_SIM.json",
+                    path.display()
+                );
+                failed = true;
+            }
+        }
+    }
+    match json_number(baseline, "checkpoint_dirty_hit_rate") {
+        Some(r) if r >= 0.9 => {
+            println!("bench_guard: checkpoint_dirty_hit_rate = {r:.4} (floor 0.9)");
+        }
+        other => {
+            eprintln!(
+                "bench_guard: baseline {} checkpoint_dirty_hit_rate unusable or below 0.9 \
+                 ({other:?}) — write tracking has gone conservative",
+                path.display()
+            );
+            failed = true;
+        }
+    }
+    failed
+}
+
 fn smoke() -> i32 {
     // Baseline sanity: the checked-in JSON must parse and must carry the
     // trace-engine entry bench_sim now emits.
@@ -455,6 +505,7 @@ fn smoke() -> i32 {
     failed |= guard_auto_mode(&baseline, &path);
     failed |= guard_serve(&baseline, &path);
     failed |= guard_similarity(&baseline, &path);
+    failed |= guard_checkpoint(&baseline, &path);
 
     // Small geometry: 4 groups × 16 PEs of 64×256 keeps the smoke under a
     // second even in debug builds.
@@ -710,6 +761,7 @@ fn full() -> i32 {
     failed |= guard_auto_mode(&baseline, &path);
     failed |= guard_serve(&baseline, &path);
     failed |= guard_similarity(&baseline, &path);
+    failed |= guard_checkpoint(&baseline, &path);
 
     // Similarity re-measure: the same stored codes and query as bench_sim
     // (seeds match), guarded relative to the baseline throughput column

@@ -530,6 +530,64 @@ fn main() {
     });
     let hdc_accuracy = model.accuracy_host(&hdc.test, cfg.total_pes(), hdc_rows);
 
+    // 8. Checkpoint cost: full and incremental snapshots of the 1024-PE
+    // slab machine (post-add32 state) into an in-memory sink, plus restore
+    // latency. The incremental column re-dirties only group 0 between
+    // snapshots, so with the default one-group chunking 15/16 of the
+    // chunks are clean — the dirty-chunk hit rate the delta path must
+    // sustain for checkpointing to stay off the critical path.
+    let (
+        ckpt_payload_bytes,
+        ckpt_full_ms,
+        ckpt_full_mbps,
+        ckpt_incr_bytes,
+        ckpt_incr_ms,
+        ckpt_incr_mbps,
+        ckpt_dirty_hit_rate,
+        ckpt_restore_ms,
+    ) = {
+        use hyperap_ckpt::{Checkpointer, MemSink};
+        let mut m = SlabMachine::new(engine_config(ExecMode::Sequential));
+        seed_slab(&mut m);
+        black_box(m.run(&streams));
+        // Full snapshot: a fresh checkpointer sees every chunk dirty.
+        let full_stats = Checkpointer::new(MemSink::new()).checkpoint(&m).unwrap();
+        let full_s = best_secs(reps, || {
+            let mut ck = Checkpointer::new(MemSink::new());
+            black_box(ck.checkpoint(&m).unwrap());
+        });
+        // Incremental snapshot: dirty group 0 only, then delta-checkpoint
+        // against the committed epoch. Timed over the checkpoint call alone.
+        let g0 = vec![streams[0].clone()];
+        let mut ck = Checkpointer::new(MemSink::new());
+        ck.checkpoint(&m).unwrap();
+        black_box(m.run(&g0));
+        let incr_stats = ck.checkpoint(&m).unwrap();
+        let hit_rate = incr_stats.chunks_clean as f64 / incr_stats.chunks_total as f64;
+        let mut incr_best = f64::INFINITY;
+        for _ in 0..reps {
+            black_box(m.run(&g0));
+            let t = Instant::now();
+            black_box(ck.checkpoint(&m).unwrap());
+            incr_best = incr_best.min(t.elapsed().as_secs_f64());
+        }
+        // Restore latency into a fresh machine of the same geometry.
+        let restore_s = best_secs(reps, || {
+            let mut fresh = SlabMachine::new(engine_config(ExecMode::Sequential));
+            black_box(ck.resume(&mut fresh).unwrap());
+        });
+        (
+            full_stats.payload_bytes,
+            full_s * 1e3,
+            full_stats.payload_bytes as f64 / 1e6 / full_s,
+            incr_stats.bytes_written,
+            incr_best * 1e3,
+            incr_stats.bytes_written as f64 / 1e6 / incr_best,
+            hit_rate,
+            restore_s * 1e3,
+        )
+    };
+
     // Compiler optimizer columns: static op/cycle costs per opt level for
     // the two acceptance kernels. Deterministic — no timing involved.
     let add32_cols = compiler_columns(
@@ -611,6 +669,16 @@ fn main() {
     "hdc_classify_slab_ns": {hdc_slab_ns:.0},
     "speedup_hdc_slab_vs_scalar": {sp_hdc:.2},
     "hdc_host_accuracy": {hdc_accuracy:.4}
+  }},
+  "checkpoint": {{
+    "ckpt_payload_bytes": {ckpt_payload_bytes},
+    "ckpt_full_snapshot_ms": {ckpt_full_ms:.3},
+    "ckpt_full_mb_per_s": {ckpt_full_mbps:.1},
+    "ckpt_incremental_bytes": {ckpt_incr_bytes},
+    "ckpt_incremental_ms": {ckpt_incr_ms:.3},
+    "ckpt_incremental_mb_per_s": {ckpt_incr_mbps:.1},
+    "checkpoint_dirty_hit_rate": {ckpt_dirty_hit_rate:.4},
+    "ckpt_restore_ms": {ckpt_restore_ms:.3}
   }},
   "engine": {{
     "interpreter": {{

@@ -1,0 +1,462 @@
+//! Checkpoint wire formats: the versioned manifest and the per-chunk
+//! payload, both hand-encoded big-endian (the workspace's `serde` is a
+//! no-op shim; every durable format in this repo is explicit bytes).
+//!
+//! # Manifest (`m-<epoch>.ckpt`)
+//!
+//! ```text
+//! magic "HAPC" | version u8 | epoch u64
+//! geometry witness: 10 × u64 (ArchConfig::geometry_fields order)
+//! fault witness: seed u64 | stuck u32 | miss u32 | limit flag u8 (+ u64) | spares u64
+//! extras, per group: key bits (u32 len + KeyBit bytes)
+//!                    key plan (u32 len + (u32 col, u8 bit) entries)
+//!                    bank mask u8
+//!                    data buffer (u32 rows + row-blocks as u64)
+//! chunks: u32 count, each { base u64 | pes u32 | payload len u64 | fnv64 }
+//! trailing fnv64 checksum of everything above
+//! ```
+//!
+//! The manifest is **deterministic** — no timestamps, no absolute paths —
+//! so a frozen fixture stays byte-stable and content-addressed chunk reuse
+//! works across processes.
+//!
+//! # Chunk payload (`c-<fnv64>-<len>.bin`)
+//!
+//! ```text
+//! version u8 | global base u64
+//! 4 × length-prefixed blob (u64 len + bytes):
+//!     TcamSlab::to_bytes | tags | latch | regs (TagSlab::to_bytes)
+//! ops: u32 count + count × OpCounts::ENCODED_LEN records
+//! ```
+
+use bytes::{Buf, BufMut, BytesMut};
+use hyperap_arch::slab::{ChunkPayload, ChunkState, MachineExtras, RestoreError};
+use hyperap_arch::ArchConfig;
+use hyperap_model::timing::OpCounts;
+use hyperap_tcam::bit::KeyBit;
+use hyperap_tcam::key::SearchKey;
+use hyperap_tcam::slab::{SlabDecodeError, TagSlab, TcamSlab};
+use hyperap_tcam::tags::TagVector;
+
+use crate::sink::SinkError;
+
+/// Magic bytes opening every manifest.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"HAPC";
+/// Version byte of the manifest format.
+pub const MANIFEST_VERSION: u8 = 1;
+/// Version byte of the chunk payload format.
+pub const CHUNK_VERSION: u8 = 1;
+
+/// Failure modes of checkpoint commit, decode, and resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// No committed checkpoint exists under the prefix.
+    NoCheckpoint,
+    /// A manifest or chunk carries an unknown format version.
+    BadVersion(u8),
+    /// A structurally valid manifest describes a different machine geometry
+    /// or fault configuration than the resuming machine's.
+    GeometryMismatch,
+    /// A manifest or chunk ends before its format promises.
+    Truncated,
+    /// The manifest's trailing checksum does not match its contents.
+    BadChecksum,
+    /// A chunk file referenced by the manifest is missing.
+    MissingChunk,
+    /// A chunk file's bytes do not hash to the manifest's entry.
+    ChunkHashMismatch,
+    /// A chunk payload's embedded slab image failed to decode.
+    ChunkDecode(SlabDecodeError),
+    /// The decoded chunks do not tile the machine (via
+    /// [`hyperap_arch::slab::RestoreError`]).
+    Restore(RestoreError),
+    /// The storage backend failed.
+    Sink(SinkError),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::NoCheckpoint => write!(f, "no committed checkpoint found"),
+            CkptError::BadVersion(v) => write!(f, "unknown checkpoint format version {v}"),
+            CkptError::GeometryMismatch => {
+                write!(
+                    f,
+                    "checkpoint geometry/fault witness contradicts the machine"
+                )
+            }
+            CkptError::Truncated => write!(f, "checkpoint record truncated"),
+            CkptError::BadChecksum => write!(f, "manifest checksum mismatch"),
+            CkptError::MissingChunk => write!(f, "manifest references a missing chunk file"),
+            CkptError::ChunkHashMismatch => write!(f, "chunk content does not match manifest hash"),
+            CkptError::ChunkDecode(e) => write!(f, "chunk payload decode failed: {e}"),
+            CkptError::Restore(e) => write!(f, "restore rejected decoded chunks: {e}"),
+            CkptError::Sink(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<SinkError> for CkptError {
+    fn from(e: SinkError) -> Self {
+        CkptError::Sink(e)
+    }
+}
+
+impl From<RestoreError> for CkptError {
+    fn from(e: RestoreError) -> Self {
+        CkptError::Restore(e)
+    }
+}
+
+impl From<SlabDecodeError> for CkptError {
+    fn from(e: SlabDecodeError) -> Self {
+        CkptError::ChunkDecode(e)
+    }
+}
+
+/// FNV-1a 64 over a byte slice — the content hash for chunk addressing and
+/// the manifest's self-checksum (same constants as
+/// [`ArchConfig::geometry_hash`]).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The fault-model witness embedded in every manifest: resuming into a
+/// machine with a different seeded fault universe would silently change
+/// results, so it is part of the geometry check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWitness {
+    /// Fault model seed.
+    pub seed: u64,
+    /// Stuck cells per million.
+    pub stuck_per_million: u32,
+    /// Transient misses per million.
+    pub miss_per_million: u32,
+    /// Endurance retirement limit.
+    pub endurance_limit: Option<u64>,
+    /// Spare columns per PE.
+    pub spare_cols: u64,
+}
+
+impl FaultWitness {
+    /// The witness of a machine config.
+    pub fn of(config: &ArchConfig) -> Self {
+        FaultWitness {
+            seed: config.faults.model.seed,
+            stuck_per_million: config.faults.model.stuck_per_million,
+            miss_per_million: config.faults.model.miss_per_million,
+            endurance_limit: config.faults.model.endurance_limit,
+            spare_cols: config.faults.spare_cols as u64,
+        }
+    }
+}
+
+/// One chunk reference inside a manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Global index of the chunk's first PE.
+    pub base: u64,
+    /// PEs in the chunk.
+    pub pes: u32,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a 64 of the payload bytes (also its content address).
+    pub hash: u64,
+}
+
+/// A decoded manifest: everything needed to locate, verify, and re-apply
+/// one committed epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotonic commit epoch.
+    pub epoch: u64,
+    /// [`ArchConfig::geometry_fields`] of the writing machine.
+    pub geometry: [u64; 10],
+    /// Fault-model witness of the writing machine.
+    pub fault: FaultWitness,
+    /// Controller state outside the chunk arenas.
+    pub extras: MachineExtras,
+    /// Chunk references, ascending by `base`.
+    pub chunks: Vec<ChunkEntry>,
+}
+
+fn key_bit_to_u8(b: KeyBit) -> u8 {
+    match b {
+        KeyBit::Zero => 0,
+        KeyBit::One => 1,
+        KeyBit::Z => 2,
+        KeyBit::Masked => 3,
+    }
+}
+
+fn key_bit_from_u8(v: u8) -> Option<KeyBit> {
+    match v {
+        0 => Some(KeyBit::Zero),
+        1 => Some(KeyBit::One),
+        2 => Some(KeyBit::Z),
+        3 => Some(KeyBit::Masked),
+        _ => None,
+    }
+}
+
+/// Checked sequential reader: every accessor verifies length first, so a
+/// truncated blob surfaces as [`CkptError::Truncated`] instead of a panic.
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn need(&self, n: usize) -> Result<(), CkptError> {
+        if self.0.remaining() < n {
+            Err(CkptError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, CkptError> {
+        self.need(1)?;
+        Ok(self.0.get_u8())
+    }
+
+    fn u32(&mut self) -> Result<u32, CkptError> {
+        self.need(4)?;
+        Ok(self.0.get_u32())
+    }
+
+    fn u64(&mut self) -> Result<u64, CkptError> {
+        self.need(8)?;
+        Ok(self.0.get_u64())
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        self.need(n)?;
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+}
+
+impl Manifest {
+    /// Serialize, appending the trailing self-checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&MANIFEST_MAGIC);
+        buf.put_u8(MANIFEST_VERSION);
+        buf.put_u64(self.epoch);
+        for field in self.geometry {
+            buf.put_u64(field);
+        }
+        buf.put_u64(self.fault.seed);
+        buf.put_u32(self.fault.stuck_per_million);
+        buf.put_u32(self.fault.miss_per_million);
+        match self.fault.endurance_limit {
+            Some(limit) => {
+                buf.put_u8(1);
+                buf.put_u64(limit);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u64(self.fault.spare_cols);
+        let groups = self.extras.keys.len();
+        debug_assert_eq!(groups, self.geometry[0] as usize, "extras/geometry groups");
+        for g in 0..groups {
+            let key = &self.extras.keys[g];
+            buf.put_u32(key.bits().len() as u32);
+            for &b in key.bits() {
+                buf.put_u8(key_bit_to_u8(b));
+            }
+            let plan = &self.extras.key_plans[g];
+            buf.put_u32(plan.len() as u32);
+            for &(col, b) in plan {
+                buf.put_u32(col as u32);
+                buf.put_u8(key_bit_to_u8(b));
+            }
+            buf.put_u8(self.extras.bank_masks[g]);
+            let db = &self.extras.data_buffers[g];
+            buf.put_u32(db.len() as u32);
+            for &w in db.blocks() {
+                buf.put_u64(w);
+            }
+        }
+        buf.put_u32(self.chunks.len() as u32);
+        for c in &self.chunks {
+            buf.put_u64(c.base);
+            buf.put_u32(c.pes);
+            buf.put_u64(c.len);
+            buf.put_u64(c.hash);
+        }
+        let mut out = buf.to_vec();
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_be_bytes());
+        out
+    }
+
+    /// Decode and verify a manifest blob.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] / [`CkptError::BadChecksum`] for damaged
+    /// blobs (a resume falls back to an older epoch on these);
+    /// [`CkptError::BadVersion`] for an intact blob from an unknown future
+    /// format (a hard error — falling back would silently ignore newer
+    /// state).
+    pub fn decode(bytes: &[u8]) -> Result<Manifest, CkptError> {
+        if bytes.len() < MANIFEST_MAGIC.len() + 8 {
+            return Err(CkptError::Truncated);
+        }
+        let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+        let want = u64::from_be_bytes(sum_bytes.try_into().expect("8-byte checksum"));
+        if fnv1a64(body) != want {
+            return Err(CkptError::BadChecksum);
+        }
+        let mut cur = Cursor(body);
+        if cur.bytes(4)? != MANIFEST_MAGIC {
+            return Err(CkptError::BadChecksum);
+        }
+        let version = cur.u8()?;
+        if version != MANIFEST_VERSION {
+            return Err(CkptError::BadVersion(version));
+        }
+        let epoch = cur.u64()?;
+        let mut geometry = [0u64; 10];
+        for field in &mut geometry {
+            *field = cur.u64()?;
+        }
+        let fault = FaultWitness {
+            seed: cur.u64()?,
+            stuck_per_million: cur.u32()?,
+            miss_per_million: cur.u32()?,
+            endurance_limit: match cur.u8()? {
+                0 => None,
+                1 => Some(cur.u64()?),
+                _ => return Err(CkptError::Truncated),
+            },
+            spare_cols: cur.u64()?,
+        };
+        let groups = geometry[0] as usize;
+        let mut extras = MachineExtras {
+            keys: Vec::with_capacity(groups),
+            key_plans: Vec::with_capacity(groups),
+            bank_masks: Vec::with_capacity(groups),
+            data_buffers: Vec::with_capacity(groups),
+        };
+        for _ in 0..groups {
+            let width = cur.u32()? as usize;
+            let mut bits = Vec::with_capacity(width);
+            for _ in 0..width {
+                bits.push(key_bit_from_u8(cur.u8()?).ok_or(CkptError::Truncated)?);
+            }
+            extras.keys.push(SearchKey::from_bits(bits));
+            let plen = cur.u32()? as usize;
+            let mut plan = Vec::with_capacity(plen);
+            for _ in 0..plen {
+                let col = cur.u32()? as usize;
+                plan.push((col, key_bit_from_u8(cur.u8()?).ok_or(CkptError::Truncated)?));
+            }
+            extras.key_plans.push(plan);
+            extras.bank_masks.push(cur.u8()?);
+            let rows = cur.u32()? as usize;
+            if rows == 0 {
+                return Err(CkptError::Truncated);
+            }
+            let mut db = TagVector::zeros(rows);
+            for w in db.blocks_mut() {
+                *w = cur.u64()?;
+            }
+            extras.data_buffers.push(db);
+        }
+        let nchunks = cur.u32()? as usize;
+        let mut chunks = Vec::with_capacity(nchunks);
+        for _ in 0..nchunks {
+            chunks.push(ChunkEntry {
+                base: cur.u64()?,
+                pes: cur.u32()?,
+                len: cur.u64()?,
+                hash: cur.u64()?,
+            });
+        }
+        if cur.0.has_remaining() {
+            return Err(CkptError::Truncated);
+        }
+        Ok(Manifest {
+            epoch,
+            geometry,
+            fault,
+            extras,
+            chunks,
+        })
+    }
+}
+
+/// Serialize one chunk's state into a payload blob.
+pub fn encode_chunk(state: &ChunkState<'_>) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u8(CHUNK_VERSION);
+    buf.put_u64(state.global_base as u64);
+    for blob in [
+        state.storage.to_bytes(),
+        state.tags.to_bytes(),
+        state.latch.to_bytes(),
+        state.regs.to_bytes(),
+    ] {
+        buf.put_u64(blob.len() as u64);
+        buf.put_slice(&blob);
+    }
+    buf.put_u32(state.ops.len() as u32);
+    let mut ops = Vec::with_capacity(state.ops.len() * OpCounts::ENCODED_LEN);
+    for o in state.ops {
+        o.encode_into(&mut ops);
+    }
+    buf.put_slice(&ops);
+    buf.to_vec()
+}
+
+/// Decode one chunk payload blob.
+///
+/// # Errors
+///
+/// [`CkptError::Truncated`] on short blobs, [`CkptError::BadVersion`] on
+/// unknown payload versions, [`CkptError::ChunkDecode`] when an embedded
+/// slab image is damaged.
+pub fn decode_chunk(bytes: &[u8]) -> Result<ChunkPayload, CkptError> {
+    let mut cur = Cursor(bytes);
+    let version = cur.u8()?;
+    if version != CHUNK_VERSION {
+        return Err(CkptError::BadVersion(version));
+    }
+    let global_base = cur.u64()? as usize;
+    let mut blobs: Vec<&[u8]> = Vec::with_capacity(4);
+    for _ in 0..4 {
+        let len = cur.u64()? as usize;
+        blobs.push(cur.bytes(len)?);
+    }
+    let storage = TcamSlab::from_bytes(blobs[0])?;
+    let tags = TagSlab::from_bytes(blobs[1])?;
+    let latch = TagSlab::from_bytes(blobs[2])?;
+    let regs = TagSlab::from_bytes(blobs[3])?;
+    let nops = cur.u32()? as usize;
+    let mut ops = Vec::with_capacity(nops);
+    for _ in 0..nops {
+        let rec = cur.bytes(OpCounts::ENCODED_LEN)?;
+        ops.push(OpCounts::decode(rec).expect("exact-length record"));
+    }
+    if cur.0.has_remaining() {
+        return Err(CkptError::Truncated);
+    }
+    Ok(ChunkPayload {
+        global_base,
+        storage,
+        tags,
+        latch,
+        regs,
+        ops,
+    })
+}

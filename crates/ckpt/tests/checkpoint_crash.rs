@@ -1,0 +1,192 @@
+//! Crash-injection proof of the commit protocol's atomicity: for **every**
+//! mutating sink operation of a commit, and every partial outcome that
+//! operation can be torn into (see [`hyperap_ckpt::testing::variants`]),
+//! killing the process there and resuming restores a machine bit-identical
+//! to the last committed epoch or to the new one — never a hybrid. The
+//! suite also chains crashes (kill → resume → more ops → kill → resume)
+//! and fuzzes kill points under random instruction streams and seeded
+//! fault models.
+
+mod common;
+
+use common::{assert_identical, build_machine, snap, stream_pair};
+use hyperap_arch::SlabMachine;
+use hyperap_ckpt::testing::{variants, CrashSink, KillPlan, OpKind};
+use hyperap_ckpt::{Checkpointer, CkptError, MemSink, SinkError};
+use proptest::prelude::*;
+
+/// Commit epoch 0 of `machine` into a fresh durable image.
+fn committed_base(machine: &SlabMachine) -> MemSink {
+    let mut ck = Checkpointer::new(MemSink::new());
+    ck.set_keep(1);
+    let stats = ck.checkpoint(machine).unwrap();
+    assert_eq!(stats.epoch, 0);
+    ck.into_sink()
+}
+
+/// Run the epoch-1 commit against a crash plan; returns the surviving
+/// image. `plan = None` is the op-counting pass and returns the op log.
+fn crashed_commit(
+    base: &MemSink,
+    machine: &SlabMachine,
+    plan: Option<KillPlan>,
+) -> (MemSink, Vec<OpKind>, Result<(), CkptError>) {
+    let mut ck = Checkpointer::new(CrashSink::new(base, plan));
+    ck.set_keep(1);
+    let result = ck.checkpoint(machine).map(|_| ());
+    let sink = ck.into_sink();
+    (sink.after_crash(), sink.op_log().to_vec(), result)
+}
+
+/// Resume from `image` into a fresh machine; returns `(epoch, machine)`.
+fn resume_fresh(image: MemSink, chunk_pes: usize, faulty: bool) -> (u64, SlabMachine) {
+    let mut cfg = hyperap_arch::ArchConfig::tiny();
+    if faulty {
+        cfg.faults = common::dense_faults();
+    }
+    let mut m = SlabMachine::with_chunk_pes(cfg, chunk_pes);
+    let mut ck = Checkpointer::new(image);
+    let epoch = ck.resume(&mut m).expect("a committed epoch must survive");
+    (epoch, m)
+}
+
+/// The exhaustive sweep: every kill point × every torn outcome of the
+/// epoch-1 commit (which exercises chunk writes, syncs, renames, the
+/// manifest commit rename, and the keep=1 garbage collection's removes).
+#[test]
+fn every_kill_point_restores_exactly_prev_or_new_epoch() {
+    let chunk_pes = 3;
+    let mut prev = build_machine(chunk_pes, true);
+    let _ = prev.try_run(&stream_pair(1));
+    let base = committed_base(&prev);
+
+    let mut new = build_machine(chunk_pes, true);
+    let _ = new.try_run(&stream_pair(1));
+    assert_identical(&prev, &new, "deterministic rebuild");
+    let _ = new.try_run(&stream_pair(9));
+
+    // Op-counting pass: no kill, commit succeeds, schedule recorded.
+    let (image, log, result) = crashed_commit(&base, &new, None);
+    result.expect("uninjected commit");
+    let (epoch, restored) = resume_fresh(image, chunk_pes, true);
+    assert_eq!(epoch, 1);
+    assert_identical(&restored, &new, "uninjected resume");
+    assert!(
+        log.contains(&OpKind::Rename) && log.contains(&OpKind::Remove),
+        "schedule must cover renames and GC removes: {log:?}"
+    );
+
+    for (kill_op, &kind) in log.iter().enumerate() {
+        for variant in 0..variants(kind) {
+            let plan = KillPlan {
+                kill_op: kill_op as u64,
+                variant,
+            };
+            let (image, _, result) = crashed_commit(&base, &new, Some(plan));
+            assert_eq!(
+                result.unwrap_err(),
+                CkptError::Sink(SinkError::Killed),
+                "kill at {plan:?} must surface"
+            );
+            let (epoch, restored) = resume_fresh(image, chunk_pes, true);
+            match epoch {
+                0 => assert_identical(&restored, &prev, &format!("{plan:?} -> prev epoch")),
+                1 => assert_identical(&restored, &new, &format!("{plan:?} -> new epoch")),
+                e => panic!("{plan:?} resumed impossible epoch {e}"),
+            }
+        }
+    }
+}
+
+/// Double-crash chains: crash the epoch-1 commit, resume, run more ops,
+/// crash the next commit too, resume again — the second resume must be
+/// bit-identical to one of the two states that were ever commit candidates
+/// in the second attempt.
+#[test]
+fn kill_resume_kill_resume_chains_stay_consistent() {
+    let chunk_pes = 4;
+    let mut prev = build_machine(chunk_pes, true);
+    let _ = prev.try_run(&stream_pair(2));
+    let base = committed_base(&prev);
+
+    let mut new = build_machine(chunk_pes, true);
+    let _ = new.try_run(&stream_pair(2));
+    let _ = new.try_run(&stream_pair(5));
+
+    let (_, log, _) = crashed_commit(&base, &new, None);
+    let n = log.len() as u64;
+
+    for k1 in [0, n / 3, n / 2, n - 2, n - 1] {
+        for k2 in [0, n / 2, n.saturating_sub(1)] {
+            let plan1 = KillPlan {
+                kill_op: k1,
+                variant: (k1 % 3) as u8,
+            };
+            let (image1, _, r1) = crashed_commit(&base, &new, Some(plan1));
+            assert!(r1.is_err());
+            let (epoch1, mut m1) = resume_fresh(image1.clone(), chunk_pes, true);
+            let before = snap(&m1);
+
+            // More work on the survivor, then a second crashing commit.
+            let _ = m1.try_run(&stream_pair(11));
+            let after = snap(&m1);
+            let mut ck2 = Checkpointer::new(CrashSink::new(
+                &image1,
+                Some(KillPlan {
+                    kill_op: k2,
+                    variant: (k2 % 2) as u8,
+                }),
+            ));
+            ck2.set_keep(1);
+            let r2 = ck2.checkpoint(&m1);
+            let image2 = ck2.into_sink().after_crash();
+            let (epoch2, m2) = resume_fresh(image2, chunk_pes, true);
+
+            assert!(epoch2 >= epoch1, "epochs must never move backwards");
+            let got = snap(&m2);
+            if r2.is_ok() || epoch2 > epoch1 {
+                assert_eq!(got, after, "k1={k1} k2={k2}: new state committed");
+            } else {
+                assert_eq!(got, before, "k1={k1} k2={k2}: prior epoch must hold");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fuzzed kill points: random salt streams, chunk widths, fault
+    /// on/off, and any (kill op, variant). The restored machine is always
+    /// exactly the prior epoch or the new one.
+    #[test]
+    fn fuzzed_kill_points_never_yield_hybrids(
+        chunk_pes in (0usize..3).prop_map(|i| [1usize, 3, 4][i]),
+        faulty in any::<bool>(),
+        salt_a in 0u8..32,
+        salt_b in 0u8..32,
+        kill_seed in any::<u64>(),
+    ) {
+        let mut prev = build_machine(chunk_pes, faulty);
+        let _ = prev.try_run(&stream_pair(salt_a));
+        let base = committed_base(&prev);
+
+        let mut new = build_machine(chunk_pes, faulty);
+        let _ = new.try_run(&stream_pair(salt_a));
+        let _ = new.try_run(&stream_pair(salt_b));
+
+        let (_, log, _) = crashed_commit(&base, &new, None);
+        let kill_op = kill_seed % log.len() as u64;
+        let variant = (kill_seed >> 32) as u8 % variants(log[kill_op as usize]);
+        let plan = KillPlan { kill_op, variant };
+
+        let (image, _, result) = crashed_commit(&base, &new, Some(plan));
+        prop_assert!(result.is_err());
+        let (epoch, restored) = resume_fresh(image, chunk_pes, faulty);
+        match epoch {
+            0 => assert_identical(&restored, &prev, "fuzzed -> prev"),
+            1 => assert_identical(&restored, &new, "fuzzed -> new"),
+            e => panic!("impossible epoch {e}"),
+        }
+    }
+}

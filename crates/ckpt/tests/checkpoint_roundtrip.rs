@@ -1,0 +1,205 @@
+//! Round-trip properties of full + incremental snapshots: a machine that
+//! runs, checkpoints, runs more, delta-checkpoints, and is restored into a
+//! **fresh** machine — possibly with a different chunk width — is
+//! bit-identical to a machine that ran the same ops straight through, and
+//! keeps behaving identically afterwards. Mirrors the engine-equivalence
+//! pattern of `crates/arch/tests/fault_equivalence.rs`: chunk widths 1, 3,
+//! 4 (whole group), with and without a seeded fault model.
+
+mod common;
+
+use common::{assert_identical, assert_matches_snap, build_machine, snap, stream_pair};
+use hyperap_arch::SlabMachine;
+use hyperap_ckpt::{CheckpointSink, Checkpointer, CkptError, MachineCheckpoint, MemSink};
+use proptest::prelude::*;
+
+fn fresh(chunk_pes: usize, faulty: bool) -> SlabMachine {
+    let mut cfg = hyperap_arch::ArchConfig::tiny();
+    if faulty {
+        cfg.faults = common::dense_faults();
+    }
+    SlabMachine::with_chunk_pes(cfg, chunk_pes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// run A → full checkpoint → run B → incremental checkpoint → restore
+    /// into a fresh machine of a (possibly different) chunk width ≡ the
+    /// straight-line machine after A;B — and still ≡ after running C on
+    /// both.
+    #[test]
+    fn incremental_snapshot_restores_the_straight_line_machine(
+        chunk_a in (0usize..3).prop_map(|i| [1usize, 3, 4][i]),
+        chunk_b in (0usize..3).prop_map(|i| [1usize, 3, 4][i]),
+        faulty in any::<bool>(),
+        salt_a in 0u8..32,
+        salt_b in 0u8..32,
+        salt_c in 0u8..32,
+    ) {
+        // Straight-line witness (chunk width is semantically irrelevant).
+        let mut straight = build_machine(chunk_a, faulty);
+        let _ = straight.try_run(&stream_pair(salt_a));
+        let _ = straight.try_run(&stream_pair(salt_b));
+
+        // Checkpointed twin: full epoch after A, dirty-chunk delta after B.
+        let mut twin = build_machine(chunk_a, faulty);
+        let _ = twin.try_run(&stream_pair(salt_a));
+        let mut ck = Checkpointer::new(MemSink::new());
+        let full = twin.checkpoint_to(&mut ck).unwrap();
+        prop_assert_eq!(full.epoch, 0);
+        prop_assert_eq!(full.chunks_clean, 0);
+        let _ = twin.try_run(&stream_pair(salt_b));
+        let delta = twin.checkpoint_to(&mut ck).unwrap();
+        prop_assert_eq!(delta.epoch, 1);
+
+        // Restore into a fresh machine — same or different chunking.
+        let mut restored = fresh(chunk_b, faulty);
+        let epoch = restored.resume_from(&mut ck).unwrap();
+        prop_assert_eq!(epoch, 1);
+        assert_identical(&restored, &straight, "restore ≡ straight-line");
+
+        // The restored machine must keep behaving identically.
+        let r1 = restored.try_run(&stream_pair(salt_c));
+        let r2 = straight.try_run(&stream_pair(salt_c));
+        match (r1, r2) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.group_cycles, b.group_cycles);
+                prop_assert_eq!(a.group_ops, b.group_ops);
+                prop_assert_eq!(a.count_results, b.count_results);
+                prop_assert_eq!(a.index_results, b.index_results);
+                prop_assert_eq!(a.pe_health, b.pe_health);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => panic!("post-restore results diverged: {a:?} vs {b:?}"),
+        }
+        assert_identical(&restored, &straight, "post-restore run diverged");
+    }
+
+    /// Checkpoint → restore → checkpoint again: the second commit's chunk
+    /// payloads content-address to the same files (restore is lossless at
+    /// the byte level, not merely equivalent).
+    #[test]
+    fn reencoding_a_restored_machine_is_byte_identical(
+        chunk in (0usize..3).prop_map(|i| [1usize, 3, 4][i]),
+        faulty in any::<bool>(),
+        salt in 0u8..32,
+    ) {
+        let mut m = build_machine(chunk, faulty);
+        let _ = m.try_run(&stream_pair(salt));
+        let mut ck = Checkpointer::new(MemSink::new());
+        m.checkpoint_to(&mut ck).unwrap();
+        let chunk_files = |s: &MemSink| -> Vec<String> {
+            s.files().keys().filter(|n| n.starts_with("c-")).cloned().collect()
+        };
+        let original = chunk_files(ck.sink());
+
+        let mut restored = fresh(chunk, faulty);
+        restored.resume_from(&mut ck).unwrap();
+        let mut ck2 = Checkpointer::new(MemSink::new());
+        restored.checkpoint_to(&mut ck2).unwrap();
+        prop_assert_eq!(original, chunk_files(ck2.sink()));
+    }
+}
+
+/// Dirty-chunk tracking actually skips clean chunks: touch only group 0
+/// between commits and the delta re-writes at most group 0's chunks.
+#[test]
+fn delta_checkpoint_skips_clean_chunks() {
+    // Pin a zero-fault machine regardless of the `HYPERAP_FAULTS` override:
+    // active fault bookkeeping legitimately dirties untouched chunks, and
+    // this test asserts the exact clean/dirty split of the tracker.
+    let mut cfg = hyperap_arch::ArchConfig::tiny();
+    cfg.faults = hyperap_arch::FaultConfig::default();
+    let mut m = SlabMachine::with_chunk_pes(cfg, 1); // 8 chunks of 1 PE
+    for pe in 0..8 {
+        for col in 0..24 {
+            for row in 0..4 {
+                m.load_bit(pe, row, col, (pe * 7 + col * 3 + row) % 5 < 2);
+            }
+        }
+    }
+    // Group-0-only stream without mesh traffic (MovR conservatively dirties
+    // the neighbor chunk across the group boundary).
+    let g0 = vec![
+        hyperap_isa::Instruction::SetKey {
+            key: hyperap_tcam::SearchKey::parse(&"1-".repeat(32)).unwrap(),
+        },
+        hyperap_isa::Instruction::Search {
+            acc: false,
+            encode: false,
+        },
+        hyperap_isa::Instruction::Write {
+            col: 9,
+            encode: false,
+        },
+        hyperap_isa::Instruction::Count,
+        hyperap_isa::Instruction::Index,
+    ];
+    let group0_only = vec![g0, Vec::new()];
+    let _ = m.try_run(&group0_only);
+
+    let mut ck = Checkpointer::new(MemSink::new());
+    let full = ck.checkpoint(&m).unwrap();
+    assert_eq!(full.chunks_total, 8);
+    assert_eq!(full.chunks_clean, 0);
+
+    let _ = m.try_run(&group0_only);
+    let delta = ck.checkpoint(&m).unwrap();
+    assert!(
+        delta.chunks_clean >= 4,
+        "group 1 chunks must be clean, got {}",
+        delta.chunks_clean
+    );
+    assert!(delta.chunks_written <= 4);
+    assert!(delta.bytes_written < full.bytes_written);
+
+    // An untouched machine is a fully clean delta: only a manifest lands.
+    let noop = ck.checkpoint(&m).unwrap();
+    assert_eq!(noop.chunks_clean, 8);
+    assert_eq!(noop.chunks_written, 0);
+    assert_eq!(noop.bytes_written, noop.manifest_bytes);
+}
+
+/// Resume prefers the newest epoch, survives losing it, and reports
+/// `NoCheckpoint` on an empty sink.
+#[test]
+fn resume_walks_back_through_epochs() {
+    let mut m = build_machine(3, true);
+    let _ = m.try_run(&stream_pair(4));
+    let after_a = snap(&m);
+
+    let mut ck = Checkpointer::new(MemSink::new());
+    ck.set_keep(2);
+    ck.checkpoint(&m).unwrap();
+    let _ = m.try_run(&stream_pair(8));
+    let after_b = snap(&m);
+    ck.checkpoint(&m).unwrap();
+
+    // Newest epoch wins.
+    let mut r = fresh(3, true);
+    let mut rck = Checkpointer::new(ck.sink().clone());
+    assert_eq!(rck.resume(&mut r).unwrap(), 1);
+    assert_matches_snap(&r, &after_b, "epoch 1");
+
+    // Delete epoch 1's manifest: epoch 0 must still restore.
+    let mut crippled = ck.sink().clone();
+    let names: Vec<String> = crippled.files().keys().cloned().collect();
+    for n in names {
+        if n.starts_with("m-") && n.ends_with("1.ckpt") {
+            CheckpointSink::remove(&mut crippled, &n).unwrap();
+        }
+    }
+    let mut r0 = fresh(3, true);
+    let mut rck0 = Checkpointer::new(crippled);
+    assert_eq!(rck0.resume(&mut r0).unwrap(), 0);
+    assert_matches_snap(&r0, &after_a, "epoch 0 fallback");
+
+    // Empty sink: typed NoCheckpoint.
+    let mut none = fresh(3, true);
+    let mut nck = Checkpointer::new(MemSink::new());
+    assert!(matches!(
+        nck.resume(&mut none),
+        Err(CkptError::NoCheckpoint)
+    ));
+}

@@ -149,6 +149,58 @@ impl OpCounts {
         self.sim_rounds += other.sim_rounds;
     }
 
+    /// Byte length of one [`encode_into`](Self::encode_into) record: 12
+    /// big-endian `u64` fields in declaration order.
+    pub const ENCODED_LEN: usize = 96;
+
+    /// Append this count to `out` as [`ENCODED_LEN`](Self::ENCODED_LEN)
+    /// big-endian bytes — the fixed-width record checkpoint chunk payloads
+    /// embed.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        for field in [
+            self.searches,
+            self.writes_single,
+            self.writes_encoded,
+            self.set_keys,
+            self.counts,
+            self.indexes,
+            self.mov_rs,
+            self.tag_ops,
+            self.broadcasts,
+            self.wait_cycles,
+            self.sim_accums,
+            self.sim_rounds,
+        ] {
+            out.extend_from_slice(&field.to_be_bytes());
+        }
+    }
+
+    /// Decode one [`encode_into`](Self::encode_into) record. Returns `None`
+    /// unless `bytes` is exactly [`ENCODED_LEN`](Self::ENCODED_LEN) long.
+    pub fn decode(bytes: &[u8]) -> Option<OpCounts> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return None;
+        }
+        let mut f = [0u64; 12];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            f[i] = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        Some(OpCounts {
+            searches: f[0],
+            writes_single: f[1],
+            writes_encoded: f[2],
+            set_keys: f[3],
+            counts: f[4],
+            indexes: f[5],
+            mov_rs: f[6],
+            tag_ops: f[7],
+            broadcasts: f[8],
+            wait_cycles: f[9],
+            sim_accums: f[10],
+            sim_rounds: f[11],
+        })
+    }
+
     /// This count scaled by `n` repetitions.
     pub fn repeated(&self, n: u64) -> OpCounts {
         OpCounts {
@@ -281,6 +333,31 @@ mod tests {
             ..OpCounts::default()
         };
         assert_eq!(ops.search_write_ops(), 14);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_and_rejects_bad_lengths() {
+        let ops = OpCounts {
+            searches: 1,
+            writes_single: 2,
+            writes_encoded: 3,
+            set_keys: 4,
+            counts: 5,
+            indexes: 6,
+            mov_rs: 7,
+            tag_ops: 8,
+            broadcasts: 9,
+            wait_cycles: 10,
+            sim_accums: 11,
+            sim_rounds: u64::MAX,
+        };
+        let mut buf = Vec::new();
+        ops.encode_into(&mut buf);
+        assert_eq!(buf.len(), OpCounts::ENCODED_LEN);
+        assert_eq!(OpCounts::decode(&buf), Some(ops));
+        assert_eq!(OpCounts::decode(&buf[..buf.len() - 1]), None);
+        buf.push(0);
+        assert_eq!(OpCounts::decode(&buf), None);
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub struct ServeConfig {
     /// Upper bound on jobs coalesced into one sweep (the machine's group
     /// count bounds it regardless).
     pub max_batch_jobs: usize,
+    /// When set, a machine being quarantined first dumps its full state
+    /// (slabs, wear, fault bookkeeping, op counters) as an atomic
+    /// checkpoint under `<dir>/machine-<index>/`, so the faulted state can
+    /// be resumed into an offline [`SlabMachine`] for diagnosis. Dumping
+    /// is best-effort: it never blocks or fails the quarantine itself.
+    pub postmortem_dir: Option<std::path::PathBuf>,
 }
 
 impl ServeConfig {
@@ -83,6 +89,7 @@ impl ServeConfig {
             tenant_queue_depth: 64,
             cache_capacity: 32,
             max_batch_jobs: usize::MAX,
+            postmortem_dir: None,
         }
     }
 }
@@ -127,7 +134,7 @@ impl std::fmt::Display for QuarantineCause {
 }
 
 /// One quarantined machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuarantineReport {
     /// Pool machine index.
     pub machine: usize,
@@ -135,6 +142,10 @@ pub struct QuarantineReport {
     pub cause: QuarantineCause,
     /// Jobs failed in the sweep that triggered the quarantine.
     pub failed_jobs: u64,
+    /// Where the machine's postmortem state dump was committed (see
+    /// [`ServeConfig::postmortem_dir`]); `None` when dumping is disabled
+    /// or the best-effort dump failed.
+    pub postmortem: Option<std::path::PathBuf>,
 }
 
 /// A point-in-time snapshot of pool health and counters.
@@ -543,7 +554,8 @@ fn worker_loop(shared: &Shared, w: usize) {
         }));
         match swept {
             Err(_) => {
-                quarantine(shared, w, QuarantineCause::WorkerPanic, &batch);
+                let dump = postmortem_dump(shared, w, &machine);
+                quarantine(shared, w, QuarantineCause::WorkerPanic, &batch, dump);
                 for job in batch {
                     job.slot.fulfill(Err(JobError::WorkerPanic { machine: w }));
                 }
@@ -575,7 +587,8 @@ fn worker_loop(shared: &Shared, w: usize) {
                 }
             }
             Ok(Err(error)) => {
-                quarantine(shared, w, QuarantineCause::Fault(error), &batch);
+                let dump = postmortem_dump(shared, w, &machine);
+                quarantine(shared, w, QuarantineCause::Fault(error), &batch, dump);
                 for job in batch {
                     job.slot.fulfill(Err(JobError::Fault { machine: w, error }));
                 }
@@ -651,16 +664,41 @@ fn slice_stats(full: &RunStats, off: usize, groups: usize, per: usize) -> RunSta
     }
 }
 
+/// Best-effort postmortem: commit the machine's full state as an atomic
+/// checkpoint under `postmortem_dir/machine-<w>/` so it can be resumed
+/// offline for diagnosis. Returns the dump directory on success; any
+/// failure (dir creation, I/O) is swallowed — a broken dump must never
+/// turn a quarantine into a crash.
+fn postmortem_dump(shared: &Shared, w: usize, machine: &SlabMachine) -> Option<std::path::PathBuf> {
+    let dir = shared
+        .cfg
+        .postmortem_dir
+        .as_ref()?
+        .join(format!("machine-{w}"));
+    let sink = hyperap_ckpt::DirSink::new(&dir).ok()?;
+    let mut ck = hyperap_ckpt::Checkpointer::new(sink);
+    ck.set_keep(1);
+    ck.checkpoint(machine).ok()?;
+    Some(dir)
+}
+
 /// Mark machine `w` unhealthy and migrate its queued jobs to healthy
 /// workers (or fail them with [`JobError::PoolShutdown`] when none
 /// remain).
-fn quarantine(shared: &Shared, w: usize, cause: QuarantineCause, batch: &[QueuedJob]) {
+fn quarantine(
+    shared: &Shared,
+    w: usize,
+    cause: QuarantineCause,
+    batch: &[QueuedJob],
+    postmortem: Option<std::path::PathBuf>,
+) {
     let mut sched = shared.sched.lock().expect("sched lock");
     sched.healthy[w] = false;
     sched.quarantined.push(QuarantineReport {
         machine: w,
         cause,
         failed_jobs: batch.len() as u64,
+        postmortem,
     });
     for job in batch {
         sched.tenant(job.tenant).faulted += 1;
@@ -1082,6 +1120,62 @@ mod tests {
         assert_eq!(stats.faulted_jobs, 1);
         assert_eq!(stats.quarantined.len(), 1);
         assert_eq!(stats.quarantined[0].failed_jobs, 1);
+        assert_eq!(stats.quarantined[0].postmortem, None);
+    }
+
+    /// With `postmortem_dir` set, a quarantine commits the faulted
+    /// machine's full state as a checkpoint that resumes offline into a
+    /// fresh machine — wear counters and retirements included.
+    #[test]
+    fn quarantine_dumps_resumable_postmortem_state() {
+        use hyperap_ckpt::{Checkpointer, DirSink};
+
+        let mut arch = ArchConfig::tiny();
+        arch.faults.model = FaultModel {
+            seed: 11,
+            stuck_per_million: 0,
+            miss_per_million: 0,
+            endurance_limit: Some(2),
+        };
+        arch.faults.spare_cols = 0;
+        let mut cfg = ServeConfig::new(arch);
+        cfg.machines = 1;
+        let dir = std::env::temp_dir().join(format!("hyperap-postmortem-{}", std::process::id()));
+        cfg.postmortem_dir = Some(dir.clone());
+        let arch_copy = cfg.arch.clone();
+        let pool = ServePool::new(cfg);
+        let mut wear_out = vec![setkey("1-")];
+        for _ in 0..3 {
+            wear_out.push(SEARCH);
+            wear_out.push(Instruction::Write {
+                col: 0,
+                encode: false,
+            });
+        }
+        let err = pool
+            .submit(JobSpec {
+                tenant: 3,
+                streams: vec![wear_out],
+                loads: vec![],
+            })
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, JobError::Fault { .. }));
+        let stats = pool.shutdown();
+        assert_eq!(stats.quarantined.len(), 1);
+        let dump = stats.quarantined[0]
+            .postmortem
+            .as_ref()
+            .expect("postmortem dump committed");
+        assert_eq!(dump, &dir.join("machine-0"));
+
+        let sink = DirSink::new(dump).unwrap();
+        let mut ck = Checkpointer::new(sink);
+        let mut revived = SlabMachine::new(arch_copy);
+        let epoch = ck.resume(&mut revived).expect("dump resumes");
+        assert_eq!(epoch, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -132,14 +132,27 @@ pub fn pe_range_mask(pes: usize, lo: usize, hi: usize) -> Vec<u64> {
 /// [`TcamSlab`], so slab search kernels write straight into this arena.
 /// Bits at PE positions `>= pes` in each row's last word are always zero
 /// (the padding invariant of the [module docs](self)).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TagSlab {
     pes: usize,
     rows: usize,
     /// 64-PE words per row.
     pw: usize,
     blocks: Vec<u64>,
+    /// Monotonic write-tracking counter; see [`version`](Self::version).
+    version: u64,
 }
+
+/// Equality covers geometry and plane contents only — the write-tracking
+/// [`version`](TagSlab::version) counter is bookkeeping, not state.
+impl PartialEq for TagSlab {
+    fn eq(&self, other: &Self) -> bool {
+        (self.pes, self.rows, self.pw, &self.blocks)
+            == (other.pes, other.rows, other.pw, &other.blocks)
+    }
+}
+
+impl Eq for TagSlab {}
 
 impl TagSlab {
     /// All-clear tags for `pes` PEs of `rows` rows each.
@@ -155,12 +168,27 @@ impl TagSlab {
             rows,
             pw,
             blocks: vec![0; rows * pw],
+            version: 0,
         }
+    }
+
+    /// Monotonic write-tracking counter: bumped by every method that can
+    /// change the plane contents (conservatively — a bump does not prove a
+    /// bit actually flipped). Checkpointing compares versions to skip clean
+    /// chunks; the counter is excluded from equality and from the byte
+    /// image.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn touch(&mut self) {
+        self.version = self.version.wrapping_add(1);
     }
 
     /// Clear every tag bit, restoring the all-clear state of
     /// [`zeros`](Self::zeros) without reallocating the plane.
     pub fn clear(&mut self) {
+        self.touch();
         self.blocks.fill(0);
     }
 
@@ -194,6 +222,7 @@ impl TagSlab {
     /// The whole `[row][pe_word]` plane, mutable. Bits at PE positions
     /// `>= pes` must be left zero.
     pub fn words_mut(&mut self) -> &mut [u64] {
+        self.touch();
         &mut self.blocks
     }
 
@@ -210,6 +239,7 @@ impl TagSlab {
             (other.pes, other.rows),
             "tag slab geometry mismatch"
         );
+        self.touch();
         match sel {
             None => {
                 for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
@@ -237,6 +267,7 @@ impl TagSlab {
             (other.pes, other.rows),
             "tag slab geometry mismatch"
         );
+        self.touch();
         match sel {
             None => self.blocks.copy_from_slice(&other.blocks),
             Some(m) => {
@@ -258,6 +289,7 @@ impl TagSlab {
     /// Panics if the vector's length differs from the slab's row count.
     pub fn broadcast(&mut self, tags: &TagVector, sel: Option<&[u64]>) {
         assert_eq!(tags.len(), self.rows, "tag length mismatch");
+        self.touch();
         let pw = self.pw;
         let tail = if !self.pes.is_multiple_of(64) {
             (1u64 << (self.pes % 64)) - 1
@@ -328,6 +360,7 @@ impl TagSlab {
     pub fn set_pe_blocks(&mut self, pe: usize, blocks: &[u64]) {
         assert!(pe < self.pes, "PE out of range");
         assert_eq!(blocks.len(), self.blocks_per_pe(), "block count mismatch");
+        self.touch();
         let (w, s) = (pe / 64, pe % 64);
         for row in 0..self.rows {
             let bit = blocks[row / 64] >> (row % 64) & 1;
@@ -427,6 +460,7 @@ impl TagSlab {
             rows,
             pw: pes.div_ceil(64),
             blocks: plane::pe_major_to_plane(&pm, rows, pes),
+            version: 0,
         })
     }
 }
@@ -784,6 +818,8 @@ pub struct TcamSlab {
     zsum: Vec<PlaneSummary>,
     /// Per-column [`PlaneSummary`] of the `ones` planes (`Zero` entries).
     osum: Vec<PlaneSummary>,
+    /// Monotonic write-tracking counter; see [`version`](Self::version).
+    version: u64,
 }
 
 impl PartialEq for TcamSlab {
@@ -863,7 +899,21 @@ impl TcamSlab {
             // mask, every `ones` plane empty.
             zsum: vec![PlaneSummary::Full; cols],
             osum: vec![PlaneSummary::AllZero; cols],
+            version: 0,
         }
+    }
+
+    /// Monotonic write-tracking counter: bumped by every method that can
+    /// change serialized state (storage, wear, or fault bookkeeping) —
+    /// conservatively, so a bump does not prove a bit actually flipped.
+    /// Checkpointing compares versions to skip clean chunks; the counter is
+    /// excluded from equality and from the byte image.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn touch(&mut self) {
+        self.version = self.version.wrapping_add(1);
     }
 
     /// Reset the slab to its as-constructed state — every cell `0`, wear
@@ -876,6 +926,7 @@ impl TcamSlab {
     /// [`attach_fault`](Self::attach_fault) slab — the serving layer's
     /// scrub-on-assign isolation guarantee rests on this.
     pub fn reset(&mut self) {
+        self.touch();
         self.ones.fill(0);
         let plane = self.rows * self.pw;
         for c in 0..self.cols {
@@ -935,6 +986,7 @@ impl TcamSlab {
     /// PE `pe0 + s`, each with `spares` spare column devices. Stuck bits of
     /// the initial devices are enforced on the storage immediately.
     pub fn attach_fault(&mut self, model: FaultModel, spares: usize, pe0: usize) {
+        self.touch();
         self.fault = Some(Box::new(SlabFaultState::new(
             model, pe0, spares, self.pes, self.rows, self.cols,
         )));
@@ -954,6 +1006,7 @@ impl TcamSlab {
     pub fn advance_epoch(&mut self) {
         if let Some(f) = &mut self.fault {
             f.advance_epoch();
+            self.version = self.version.wrapping_add(1);
         }
     }
 
@@ -971,6 +1024,7 @@ impl TcamSlab {
         let Some(limit) = self.fault.as_ref().and_then(|f| f.model.endurance_limit) else {
             return Ok(());
         };
+        self.touch();
         let pw = self.pw;
         for pe in 0..self.pes {
             let mut lane: Option<Vec<u64>> = None;
@@ -1126,6 +1180,7 @@ impl TcamSlab {
         );
         let idx = col * self.plane_words() + row * self.pw + pe / 64;
         let m = 1u64 << (pe % 64);
+        self.touch();
         self.note_write_summary(col, value);
         self.zeros[idx] &= !m;
         self.ones[idx] &= !m;
@@ -1282,6 +1337,7 @@ impl TcamSlab {
         assert!(col < self.cols, "column out of range");
         let plane = self.plane_words();
         assert_eq!(tags.len(), plane, "tag/plane word count mismatch");
+        self.touch();
         self.note_wear(col, sel);
         match sel {
             None => self.write_plane(col, value, tags),
@@ -1331,6 +1387,7 @@ impl TcamSlab {
         if src == dst {
             return;
         }
+        self.touch();
         let plane = self.plane_words();
         match sel {
             None => {
@@ -1400,6 +1457,7 @@ impl TcamSlab {
         let plane = self.plane_words();
         assert_eq!(latch.len(), plane, "latch/plane word count mismatch");
         assert_eq!(tags.len(), plane, "tag/plane word count mismatch");
+        self.touch();
         let pw = self.pw;
         // Encoded pairs can set or clear any of the four planes.
         for c in [col, col + 1] {
@@ -1499,6 +1557,9 @@ impl TcamSlab {
     ) {
         let plane = self.plane_words();
         assert_eq!(tags.len(), plane, "tag/plane word count mismatch");
+        if !writes.is_empty() {
+            self.touch();
+        }
         for &(col, _) in writes {
             assert!(col < self.cols, "column out of range");
             self.note_wear(col, sel);
@@ -1700,6 +1761,9 @@ impl TcamSlab {
     pub fn sweep_program(&mut self, ops: &[SweepOp<'_>], tags: &mut [u64], sel: Option<&[u64]>) {
         let plane = self.plane_words();
         assert_eq!(tags.len(), plane, "tag/plane word count mismatch");
+        if ops.iter().any(|op| !op.writes.is_empty()) {
+            self.touch();
+        }
         if self.fault.is_some() || sel.is_some() {
             for op in ops {
                 self.search_write_multi(op.plans, op.acc, op.writes, tags, sel);

@@ -10,8 +10,10 @@
 //! only.
 
 use hyperap_arch::transfer::column_transfer;
-use hyperap_arch::{ApMachine, ArchConfig};
+use hyperap_arch::{ApMachine, ArchConfig, SlabMachine};
+use hyperap_ckpt::{CheckpointSink, Checkpointer, CkptError};
 use hyperap_compiler::CompiledKernel;
+use hyperap_core::Field;
 use hyperap_isa::{lower, Direction, Instruction};
 use hyperap_model::timing::OpCounts;
 
@@ -140,6 +142,193 @@ pub fn stencil_1d(values: &[u64], width: u8) -> ScaleOutRun {
         cycles: stats.makespan(),
         ops: stats.group_ops[0],
     }
+}
+
+/// The shared per-shard stencil recipe: column layout, halo-exchange and
+/// compute streams, and the output field — identical for every shard, so a
+/// shard checkpoint written by one process restores into any other.
+struct StencilPlan {
+    halo: Vec<Instruction>,
+    compute: Vec<Instruction>,
+    out: Field,
+    w: usize,
+}
+
+impl StencilPlan {
+    fn new(width: u8) -> Self {
+        let w = width as usize;
+        let mut stream: Vec<Instruction> = Vec::new();
+        for b in 0..w {
+            stream.extend(column_transfer(
+                b as u8,
+                (w + b) as u8,
+                Direction::Right,
+                64,
+            ));
+            stream.extend(column_transfer(
+                b as u8,
+                (2 * w + b) as u8,
+                Direction::Left,
+                64,
+            ));
+        }
+        let mut mc = hyperap_core::microcode::Microcode::new(64);
+        let center = mc.alloc_plain_input("center", w);
+        let left = mc.alloc_plain_input("left", w);
+        let right = mc.alloc_plain_input("right", w);
+        assert_eq!(center.slot(0).base_col(), 0);
+        assert_eq!(left.slot(0).base_col(), w);
+        assert_eq!(right.slot(0).base_col(), 2 * w);
+        let center2 = mc.shl(&center, 1, w + 1);
+        let s1 = mc.add(&left, &center2);
+        let s2 = mc.add(&s1, &right);
+        let out = mc.shr(&s2, 2);
+        let prog = mc.into_program();
+        StencilPlan {
+            halo: stream,
+            compute: lower(&prog),
+            out,
+            w,
+        }
+    }
+
+    /// The machine for one shard of `ns` contiguous elements: a 1-D chain
+    /// of `ns` PEs, matching the [`stencil_1d`] geometry.
+    fn shard_config(ns: usize) -> ArchConfig {
+        ArchConfig {
+            groups: 1,
+            banks_per_group: 1,
+            subarrays_per_bank: 1,
+            pes_per_subarray: ns,
+            rows: 1,
+            cols: 64,
+            tech: hyperap_model::TechParams::rram(),
+            mesh: Some((1, ns)),
+            exec: Default::default(),
+            faults: Default::default(),
+        }
+    }
+}
+
+/// Outcome of one [`stencil_1d_sharded`] invocation.
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    /// Outputs per element, element order. Empty unless `completed`.
+    pub outputs: Vec<u64>,
+    /// Whether every shard reached its committed barrier (when false, call
+    /// again — possibly in a new process — to make further progress).
+    pub completed: bool,
+    /// Shards restored from a committed checkpoint this invocation.
+    pub shards_resumed: usize,
+    /// Shards computed (and committed) this invocation.
+    pub shards_computed: usize,
+    /// Makespan over the shards computed this invocation (shard machines
+    /// run concurrently in the modeled deployment).
+    pub cycles: u64,
+}
+
+/// [`stencil_1d`] across `shards` machine shards with checkpointed
+/// barriers: each shard is an independent [`SlabMachine`] (a contiguous
+/// slice of the element chain) that computes its slice and commits its
+/// full state into `sink` under the `s<i>-` prefix via the
+/// [`Checkpointer`] atomic protocol.
+///
+/// The call is **restartable at every point**: killed anywhere (including
+/// mid-commit — see the torn-write model in `hyperap_ckpt::testing`), a
+/// rerun over the surviving sink resumes finished shards from their
+/// barriers bit-identically and recomputes only the rest. `chunk_pes` is
+/// the shard machines' chunk width; a rerun may pick a *different* width
+/// and restores through the lossless migration path. `max_new_shards`
+/// bounds how many shards one invocation computes (a cooperative yield —
+/// the test harness's clean "kill between barriers").
+///
+/// Cross-shard halo cells are injected by the host after the in-shard
+/// mesh exchange (`MovR` shifts zeros in at shard edges), which is exactly
+/// the neighbor value the single-machine mesh would have delivered.
+///
+/// # Errors
+///
+/// Propagates sink failures ([`CkptError::Sink`]) and hard restore
+/// mismatches; a torn shard checkpoint is not an error (the shard is
+/// recomputed).
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or `width` leaves no column for the output.
+pub fn stencil_1d_sharded<S: CheckpointSink>(
+    values: &[u64],
+    width: u8,
+    shards: usize,
+    chunk_pes: usize,
+    sink: &mut S,
+    max_new_shards: Option<usize>,
+) -> Result<ShardedRun, CkptError> {
+    assert!(shards >= 1, "need at least one shard");
+    let n = values.len();
+    let plan = StencilPlan::new(width);
+    let w = plan.w;
+    let per = n.div_ceil(shards).max(1);
+    let mut run = ShardedRun {
+        outputs: vec![0; n],
+        completed: true,
+        shards_resumed: 0,
+        shards_computed: 0,
+        cycles: 0,
+    };
+    for s in 0..shards {
+        let start = (s * per).min(n);
+        let end = ((s + 1) * per).min(n);
+        if start >= end {
+            continue;
+        }
+        let ns = end - start;
+        let mut machine =
+            SlabMachine::with_chunk_pes(StencilPlan::shard_config(ns), chunk_pes.clamp(1, ns));
+        let mut ck = Checkpointer::with_prefix(&mut *sink, format!("s{s}-"));
+        ck.set_keep(1);
+        match ck.resume(&mut machine) {
+            Ok(_) => run.shards_resumed += 1,
+            Err(CkptError::NoCheckpoint) => {
+                if max_new_shards.is_some_and(|max| run.shards_computed >= max) {
+                    run.completed = false;
+                    run.outputs.clear();
+                    return Ok(run);
+                }
+                for (i, &v) in values[start..end].iter().enumerate() {
+                    for b in 0..w {
+                        machine.load_bit(i, 0, b, v >> b & 1 == 1);
+                    }
+                }
+                // In-shard halo exchange first: MovR fills the shard-edge
+                // halos with zeros, which the host then overwrites with
+                // the neighboring shard's boundary values.
+                let stats = machine.run(std::slice::from_ref(&plan.halo));
+                run.cycles = run.cycles.max(stats.makespan());
+                if start > 0 {
+                    let v = values[start - 1];
+                    for b in 0..w {
+                        machine.load_bit(0, 0, w + b, v >> b & 1 == 1);
+                    }
+                }
+                if end < n {
+                    let v = values[end];
+                    for b in 0..w {
+                        machine.load_bit(ns - 1, 0, 2 * w + b, v >> b & 1 == 1);
+                    }
+                }
+                let stats = machine.run(std::slice::from_ref(&plan.compute));
+                run.cycles = run.cycles.max(stats.makespan());
+                // The barrier: the shard's full state becomes durable.
+                ck.checkpoint(&machine)?;
+                run.shards_computed += 1;
+            }
+            Err(e) => return Err(e),
+        }
+        for i in 0..ns {
+            run.outputs[start + i] = plan.out.read(&machine.pe_snapshot(i), 0);
+        }
+    }
+    Ok(run)
 }
 
 /// Scalar reference for [`stencil_1d`].

@@ -1,0 +1,179 @@
+//! Cross-engine / cross-shard equivalence and crash-restartability of the
+//! sharded stencil driver.
+//!
+//! The equivalence chain: the scalar reference ≡ [`stencil_1d`] (ApMachine,
+//! single chain) ≡ [`stencil_1d_sharded`] (SlabMachine shards) for every
+//! shard count — so one shard ≡ N shards ≡ a different engine. On top of
+//! that, the sharded driver is killed at every commit-protocol operation
+//! and must resume from the last committed barrier into the bit-identical
+//! end state — including when the resuming process picks a different chunk
+//! width (migration).
+
+use hyperap_ckpt::testing::{variants, CrashSink, KillPlan};
+use hyperap_ckpt::{CkptError, MemSink, SinkError};
+use hyperap_workloads::scaleout::{stencil_1d, stencil_1d_reference, stencil_1d_sharded};
+use proptest::prelude::*;
+
+const WIDTH: u8 = 8;
+
+fn values_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..256, 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scalar reference ≡ ApMachine chain ≡ SlabMachine shards, for shard
+    /// counts 1..=4 and both extreme chunk widths.
+    #[test]
+    fn stencil_agrees_across_engines_and_shard_counts(
+        values in values_strategy(),
+        shards in 1usize..5,
+        chunk_pes in (0usize..2).prop_map(|i| [1usize, usize::MAX][i]),
+    ) {
+        let reference = stencil_1d_reference(&values);
+        prop_assert_eq!(&stencil_1d(&values, WIDTH).outputs, &reference);
+
+        let mut sink = MemSink::new();
+        let run = stencil_1d_sharded(&values, WIDTH, shards, chunk_pes, &mut sink, None)
+            .unwrap();
+        prop_assert!(run.completed);
+        prop_assert_eq!(run.shards_resumed, 0);
+        prop_assert_eq!(&run.outputs, &reference);
+
+        // A second invocation over the same sink resumes every shard from
+        // its barrier and reproduces the outputs without recomputing.
+        let rerun = stencil_1d_sharded(&values, WIDTH, shards, chunk_pes, &mut sink, None)
+            .unwrap();
+        prop_assert_eq!(rerun.shards_computed, 0);
+        prop_assert_eq!(rerun.shards_resumed, run.shards_computed);
+        prop_assert_eq!(&rerun.outputs, &reference);
+    }
+}
+
+/// Every shard's manifest bytes under `prefix s<i>-`, name-ordered.
+fn shard_manifests(sink: &MemSink) -> Vec<(String, Vec<u8>)> {
+    sink.files()
+        .iter()
+        .filter(|(n, _)| n.contains("-m-"))
+        .map(|(n, b)| (n.clone(), b.clone()))
+        .collect()
+}
+
+/// Kill the sharded job at every commit-protocol operation; resuming over
+/// the surviving image must finish the job with the same outputs and
+/// bit-identical shard states (equal manifests ⇒ equal content-addressed
+/// chunk hashes ⇒ equal machine state).
+#[test]
+fn killed_sharded_job_resumes_bit_identically_from_last_barrier() {
+    let values: Vec<u64> = (0..7).map(|i| (i * 37 + 11) % 256).collect();
+    let shards = 3;
+    let reference = stencil_1d_reference(&values);
+
+    // Uninterrupted witness.
+    let mut witness = MemSink::new();
+    let clean = stencil_1d_sharded(&values, WIDTH, shards, 1, &mut witness, None).unwrap();
+    assert_eq!(clean.outputs, reference);
+    let expected = shard_manifests(&witness);
+    assert_eq!(expected.len(), shards);
+
+    // Count the mutating ops of the whole job.
+    let mut counter = CrashSink::new(&MemSink::new(), None);
+    stencil_1d_sharded(&values, WIDTH, shards, 1, &mut counter, None).unwrap();
+    let log = counter.op_log().to_vec();
+    assert!(log.len() > 12, "expected several commits, got {log:?}");
+
+    for (kill_op, &kind) in log.iter().enumerate() {
+        for variant in 0..variants(kind) {
+            let mut crash = CrashSink::new(
+                &MemSink::new(),
+                Some(KillPlan {
+                    kill_op: kill_op as u64,
+                    variant,
+                }),
+            );
+            let died = stencil_1d_sharded(&values, WIDTH, shards, 1, &mut crash, None);
+            assert!(
+                matches!(died, Err(CkptError::Sink(SinkError::Killed))),
+                "kill at op {kill_op} must surface, got {died:?}"
+            );
+            let mut image = crash.after_crash();
+            let resumed = stencil_1d_sharded(&values, WIDTH, shards, 1, &mut image, None)
+                .unwrap_or_else(|e| panic!("resume after kill at op {kill_op}: {e}"));
+            assert!(resumed.completed);
+            assert_eq!(
+                resumed.outputs, reference,
+                "outputs diverged after kill at op {kill_op} variant {variant}"
+            );
+            // Bit-identical shard states: same manifests, chunk for chunk.
+            for (name, bytes) in &expected {
+                assert_eq!(
+                    image.get(name),
+                    Some(bytes.as_slice()),
+                    "shard manifest {name} diverged after kill at op {kill_op}"
+                );
+            }
+        }
+    }
+}
+
+/// `max_new_shards = 1` turns the driver into one-barrier-per-invocation:
+/// each call resumes all prior shards and computes exactly one more.
+#[test]
+fn cooperative_barriers_advance_one_shard_per_invocation() {
+    let values: Vec<u64> = (0..8).map(|i| (i * 53 + 7) % 256).collect();
+    let shards = 4;
+    let mut sink = MemSink::new();
+    for round in 0..shards {
+        let run = stencil_1d_sharded(&values, WIDTH, shards, 2, &mut sink, Some(1)).unwrap();
+        assert_eq!(run.shards_resumed, round);
+        if round + 1 < shards {
+            assert!(!run.completed, "round {round} finished early");
+            assert_eq!(run.shards_computed, 1);
+        } else {
+            assert!(run.completed);
+            assert_eq!(run.outputs, stencil_1d_reference(&values));
+        }
+    }
+}
+
+/// A job started with single-PE chunks finishes under a host-width
+/// chunking: every committed shard migrates through the lossless per-PE
+/// conversion path on resume.
+#[test]
+fn shard_checkpoints_migrate_across_chunk_widths() {
+    let values: Vec<u64> = (0..8).map(|i| (i * 91 + 3) % 256).collect();
+    let shards = 3;
+    let mut sink = MemSink::new();
+
+    // Two barriers under chunk width 1, then a "new host" finishes with
+    // the widest chunking (and vice-versa on a third pass).
+    let first = stencil_1d_sharded(&values, WIDTH, shards, 1, &mut sink, Some(2)).unwrap();
+    assert!(!first.completed);
+    assert_eq!(first.shards_computed, 2);
+
+    let second = stencil_1d_sharded(&values, WIDTH, shards, usize::MAX, &mut sink, None).unwrap();
+    assert!(second.completed);
+    assert_eq!(second.shards_resumed, 2);
+    assert_eq!(second.shards_computed, 1);
+    assert_eq!(second.outputs, stencil_1d_reference(&values));
+
+    let third = stencil_1d_sharded(&values, WIDTH, shards, 2, &mut sink, None).unwrap();
+    assert_eq!(third.shards_resumed, shards);
+    assert_eq!(third.outputs, stencil_1d_reference(&values));
+}
+
+/// A shard checkpoint for the wrong geometry is a hard error, not a silent
+/// recompute: the driver must refuse to mix jobs in one namespace.
+#[test]
+fn mismatched_job_in_the_same_sink_is_rejected() {
+    let values: Vec<u64> = (0..6).map(|i| (i * 29 + 5) % 256).collect();
+    let mut sink = MemSink::new();
+    stencil_1d_sharded(&values, WIDTH, 2, 1, &mut sink, None).unwrap();
+    // Same sink, different element split ⇒ different shard geometry.
+    let err = stencil_1d_sharded(&values[..5], WIDTH, 2, 1, &mut sink, None);
+    assert!(
+        matches!(err, Err(CkptError::GeometryMismatch)),
+        "got {err:?}"
+    );
+}
